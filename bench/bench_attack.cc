@@ -1,0 +1,46 @@
+// Experiment C4 — the query-only attack of the threat model (§IV-A, [9]):
+// frequency analysis (DET), order alignment (OPE) and the PROB baseline on
+// Zipf-skewed encrypted constants.
+
+#include <cstdio>
+
+#include "core/security.h"
+
+using namespace dpe;
+using namespace dpe::core;
+
+int main() {
+  std::printf("== C4: query-only attack — constant recovery accuracy ==\n\n");
+  std::printf("Setting: attacker sees the encrypted constants of one attribute\n"
+              "(Zipf(s)-distributed over a pool of k values) and knows the\n"
+              "plaintext distribution; for OPE also the plaintext order.\n\n");
+
+  std::printf("%-6s %8s %6s %6s %12s %12s\n", "class", "samples", "k", "s",
+              "accuracy", "baseline");
+  for (double s : {0.8, 1.2, 1.6}) {
+    for (size_t k : {10u, 50u}) {
+      for (crypto::PpeClass cls :
+           {crypto::PpeClass::kProb, crypto::PpeClass::kDet,
+            crypto::PpeClass::kOpe}) {
+        auto r = SimulateFrequencyAttack(cls, 5000, k, s, 1234);
+        if (!r.ok()) {
+          std::fprintf(stderr, "attack failed: %s\n",
+                       r.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("%-6s %8zu %6zu %6.1f %12.3f %12.3f\n", r->scheme.c_str(),
+                    r->samples, r->distinct_values, s, r->accuracy,
+                    r->baseline);
+      }
+    }
+  }
+
+  std::printf(
+      "\nReading: PROB = baseline (ciphertexts carry no signal); DET leaks\n"
+      "frequencies (rank matching beats the baseline, especially for skewed\n"
+      "logs); OPE leaks order and is recovered almost completely once the\n"
+      "constant pool is fully observed. This is the security ladder of\n"
+      "Fig. 1, measured — and why the paper assigns the *highest* class that\n"
+      "still preserves each distance measure.\n");
+  return 0;
+}

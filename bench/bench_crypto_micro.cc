@@ -1,0 +1,171 @@
+// Experiment P1 — crypto micro-benchmarks (google-benchmark): the cost of
+// every PPE primitive the KIT-DPE schemes are built from.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/csprng.h"
+#include "crypto/det.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/ope.h"
+#include "crypto/paillier.h"
+#include "crypto/prob.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace dpe::crypto;
+
+const KeyManager& Keys() {
+  static KeyManager keys("bench-crypto-micro");
+  return keys;
+}
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSha256_64B(benchmark::State& state) {
+  std::string data(64, 'm');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256("key", data));
+  }
+}
+BENCHMARK(BM_HmacSha256_64B);
+
+void BM_AesCtr_1KiB(benchmark::State& state) {
+  auto aes = Aes::Create(Keys().Derive("aes").substr(0, 32)).value();
+  std::string iv(16, 'i');
+  std::string data(1024, 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes.CtrXcrypt(iv, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AesCtr_1KiB);
+
+void BM_DetEncrypt(benchmark::State& state) {
+  auto det = DetEncryptor::Create(Keys().Derive("det")).value();
+  std::string pt = "i:123456";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Encrypt(pt));
+  }
+}
+BENCHMARK(BM_DetEncrypt);
+
+void BM_DetDecrypt(benchmark::State& state) {
+  auto det = DetEncryptor::Create(Keys().Derive("det")).value();
+  auto ct = det.Encrypt("i:123456");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Decrypt(ct));
+  }
+}
+BENCHMARK(BM_DetDecrypt);
+
+void BM_ProbEncrypt(benchmark::State& state) {
+  auto prob =
+      ProbEncryptor::Create(Keys().Derive("prob"), Csprng::FromSeed("b")).value();
+  std::string pt = "i:123456";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prob.Encrypt(pt));
+  }
+}
+BENCHMARK(BM_ProbEncrypt);
+
+void BM_OpeEncrypt(benchmark::State& state) {
+  BoldyrevaOpe::Options opts;
+  opts.domain_bits = 64;
+  opts.range_bits = static_cast<int>(state.range(0));
+  auto ope = BoldyrevaOpe::Create(Keys().Derive("ope"), opts).value();
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.Encrypt(x));
+    x += 0x9e3779b97f4a7c15ULL;
+  }
+}
+BENCHMARK(BM_OpeEncrypt)->Arg(80)->Arg(96)->Arg(128);
+
+void BM_OpeDecrypt(benchmark::State& state) {
+  auto ope = BoldyrevaOpe::Create(Keys().Derive("ope")).value();
+  auto ct = ope.Encrypt(123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ope.Decrypt(ct));
+  }
+}
+BENCHMARK(BM_OpeDecrypt);
+
+void BM_DictionaryOpeBuild(benchmark::State& state) {
+  std::vector<dpe::Bytes> domain;
+  for (int i = 0; i < state.range(0); ++i) {
+    domain.push_back("value-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    auto ope = DictionaryOpe::Create(Keys().Derive("dope")).value();
+    benchmark::DoNotOptimize(ope.BuildFromDomain(domain));
+  }
+}
+BENCHMARK(BM_DictionaryOpeBuild)->Arg(100)->Arg(1000);
+
+void BM_PaillierKeygen(benchmark::State& state) {
+  Csprng rng = Csprng::FromSeed("paillier-keygen");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Paillier::GenerateKeyPair(static_cast<int>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_PaillierKeygen)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+const Paillier::KeyPair& Kp512() {
+  static Paillier::KeyPair kp = [] {
+    Csprng rng = Csprng::FromSeed("paillier-bench");
+    return Paillier::GenerateKeyPair(512, rng).value();
+  }();
+  return kp;
+}
+
+void BM_PaillierEncrypt(benchmark::State& state) {
+  Csprng rng = Csprng::FromSeed("pe");
+  int64_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Encrypt(Kp512().pub, Bigint(m++), rng));
+  }
+}
+BENCHMARK(BM_PaillierEncrypt);
+
+void BM_PaillierDecrypt(benchmark::State& state) {
+  Csprng rng = Csprng::FromSeed("pd");
+  auto ct = Paillier::Encrypt(Kp512().pub, Bigint(424242), rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Decrypt(Kp512().pub, Kp512().priv, ct));
+  }
+}
+BENCHMARK(BM_PaillierDecrypt);
+
+void BM_PaillierAdd(benchmark::State& state) {
+  Csprng rng = Csprng::FromSeed("pa");
+  auto c1 = Paillier::Encrypt(Kp512().pub, Bigint(1), rng).value();
+  auto c2 = Paillier::Encrypt(Kp512().pub, Bigint(2), rng).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::Add(Kp512().pub, c1, c2));
+  }
+}
+BENCHMARK(BM_PaillierAdd);
+
+void BM_KeyDerivation(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Keys().Derive("purpose/" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_KeyDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

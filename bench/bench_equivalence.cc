@@ -1,0 +1,52 @@
+// Step 2/3 of KIT-DPE, verified per notion: the Definition-2 c-equivalence
+// reports (Enc(c(x)) == c(Enc(x)) for every query) for all four notions on
+// both workloads. This is the intermediate property the paper introduces to
+// bridge item-wise encryption and pair-wise distances.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/equivalence.h"
+
+using namespace dpe;
+using namespace dpe::core;
+
+int main() {
+  std::printf("== Def. 2 c-equivalence per notion (Enc(c(x)) == c(Enc(x))) ==\n\n");
+  std::printf("%-10s %-42s %8s %8s %8s %6s\n", "workload", "notion", "checked",
+              "skipped", "failed", "holds");
+
+  crypto::KeyManager keys("bench-equivalence");
+  bool all_ok = true;
+  for (bool sky : {false, true}) {
+    workload::Scenario s =
+        sky ? bench::MakeSky(17, 50, 40) : bench::MakeShop(16, 50, 40);
+    for (MeasureKind kind : {MeasureKind::kToken, MeasureKind::kStructure,
+                             MeasureKind::kResult, MeasureKind::kAccessArea}) {
+      LogEncryptor enc = bench::MakeEncryptor(kind, keys, s, 256);
+      auto report = CheckEquivalence(kind, enc, s.log, s.domains);
+      DPE_BENCH_CHECK(report);
+      all_ok &= report->ok();
+      std::printf("%-10s %-42s %8zu %8zu %8zu %6s\n",
+                  sky ? "skyserver" : "shop", report->notion.c_str(),
+                  report->checked, report->skipped, report->failed,
+                  report->ok() ? "yes" : "NO");
+      if (!report->ok()) {
+        std::printf("    first failure: %s\n", report->first_failure.c_str());
+      }
+    }
+    // Result equivalence additionally at the byte-exact ciphertext level
+    // (SPJ queries; aggregates validated in decrypted mode above).
+    LogEncryptor enc = bench::MakeEncryptor(MeasureKind::kResult, keys, s, 256);
+    auto ct = CheckResultEquivalence(enc, s.log,
+                                     ResultEquivalenceMode::kCiphertext);
+    DPE_BENCH_CHECK(ct);
+    all_ok &= ct->ok();
+    std::printf("%-10s %-42s %8zu %8zu %8zu %6s\n", sky ? "skyserver" : "shop",
+                ct->notion.c_str(), ct->checked, ct->skipped, ct->failed,
+                ct->ok() ? "yes" : "NO");
+  }
+  std::printf("\nDef. 2 reproduction: %s\n",
+              all_ok ? "ALL NOTIONS HOLD" : "FAILURE");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,82 @@
+// Extensions beyond the paper's case study (its §V future work):
+//  E1 — Levenshtein query-string distance under the token scheme
+//       (token-sequence granularity preserved; character granularity not);
+//  E2 — association-rule mining over the encrypted log ([17]): identical
+//       rule statistics, items bijectively renamed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "distance/levenshtein_distance.h"
+#include "mining/association.h"
+#include "sql/features.h"
+
+using namespace dpe;
+using namespace dpe::core;
+
+int main() {
+  crypto::KeyManager keys("bench-extensions");
+  workload::Scenario s = bench::MakeShop(7, 40, 40);
+  LogEncryptor enc = bench::MakeEncryptor(MeasureKind::kToken, keys, s, 256);
+  auto artifacts = enc.EncryptAll();
+  DPE_BENCH_CHECK(artifacts);
+
+  std::printf("== E1: Levenshtein query-string distance (paper Example 2) ==\n\n");
+  std::printf("%-20s %12s\n", "granularity", "max|delta|");
+  for (auto g : {distance::LevenshteinDistance::Granularity::kTokenSequence,
+                 distance::LevenshteinDistance::Granularity::kCharacter}) {
+    distance::LevenshteinDistance measure(g);
+    auto plain = distance::DistanceMatrix::Compute(s.log, measure, {});
+    auto encm =
+        distance::DistanceMatrix::Compute(artifacts->encrypted_log, measure, {});
+    DPE_BENCH_CHECK(plain);
+    DPE_BENCH_CHECK(encm);
+    auto delta = distance::DistanceMatrix::MaxAbsDifference(*plain, *encm);
+    DPE_BENCH_CHECK(delta);
+    std::printf("%-20s %12.4f   %s\n", measure.Name().c_str(), *delta,
+                *delta == 0.0 ? "PRESERVED (bijective token substitution)"
+                              : "not preserved (ciphertext lengths differ)");
+  }
+  std::printf("\nReading: KIT-DPE generalizes beyond Jaccard — any measure\n"
+              "defined on the *token sequence* survives the token scheme; the\n"
+              "paper's choice of token sets is necessary only for measures\n"
+              "that inspect raw characters.\n");
+
+  std::printf("\n== E2: association rules over the encrypted log (§V / [17]) ==\n\n");
+  auto transactions = [](const std::vector<sql::SelectQuery>& log) {
+    std::vector<mining::Transaction> out;
+    for (const auto& q : log) {
+      mining::Transaction t;
+      for (const auto& f : sql::Features(q)) t.insert(f.ToString());
+      out.push_back(std::move(t));
+    }
+    return out;
+  };
+  mining::AprioriOptions opt;
+  opt.min_support = 0.15;
+  opt.min_confidence = 0.6;
+  opt.max_itemset_size = 3;
+  auto plain = mining::Apriori(transactions(s.log), opt);
+  auto encr = mining::Apriori(transactions(artifacts->encrypted_log), opt);
+  DPE_BENCH_CHECK(plain);
+  DPE_BENCH_CHECK(encr);
+  std::printf("%-28s %10s %10s\n", "", "plaintext", "encrypted");
+  std::printf("%-28s %10zu %10zu\n", "frequent itemsets",
+              plain->frequent.size(), encr->frequent.size());
+  std::printf("%-28s %10zu %10zu\n", "rules (conf >= 0.6)",
+              plain->rules.size(), encr->rules.size());
+
+  std::printf("\ntop plaintext rules (owner view):\n");
+  for (size_t i = 0; i < std::min<size_t>(plain->rules.size(), 4); ++i) {
+    std::printf("  %s\n", plain->rules[i].ToString().c_str());
+  }
+  std::printf("matching encrypted rules (provider view, DET-renamed items):\n");
+  for (size_t i = 0; i < std::min<size_t>(encr->rules.size(), 2); ++i) {
+    std::printf("  %.110s...\n", encr->rules[i].ToString().c_str());
+  }
+  bool same = plain->rules.size() == encr->rules.size() &&
+              plain->frequent.size() == encr->frequent.size();
+  std::printf("\nE2 reproduction: rule mining on ciphertexts %s\n",
+              same ? "yields identical statistics" : "MISMATCH");
+  return same ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+// Experiment C3 — the paper's security claim (§IV-C, §V): KIT-DPE schemes
+// are more secure than what CryptDB-as-is would give. Quantified with
+// per-slot Fig.-1 levels and slot counts per level.
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "core/security.h"
+#include "sql/parser.h"
+
+using namespace dpe;
+using namespace dpe::core;
+
+namespace {
+
+void PrintProfile(const char* name, const SchemeSecurityReport& report) {
+  std::map<int, int> level_counts;
+  for (const auto& s : report.slots) ++level_counts[s.level];
+  std::printf("%-34s profile=%s  slots per level:", name,
+              report.profile.ToString().c_str());
+  for (int level = 3; level >= 0; --level) {
+    std::printf("  L%d:%d", level, level_counts[level]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== C3: security assessment (KIT-DPE step 4) ==\n\n");
+  crypto::KeyManager keys("bench-security");
+  workload::Scenario s = bench::MakeShop(42, 40, 50);
+
+  std::printf("Fig. 1 levels: 3 = PROB/HOM (best), 2 = DET/JOIN, 1 = OPE, "
+              "0 = plaintext.\nSlots: EncRel, EncAttr, one per "
+              "constant-bearing attribute.\n\n");
+
+  std::map<MeasureKind, SchemeSecurityReport> reports;
+  for (MeasureKind kind : {MeasureKind::kToken, MeasureKind::kStructure,
+                           MeasureKind::kResult, MeasureKind::kAccessArea}) {
+    LogEncryptor enc = bench::MakeEncryptor(kind, keys, s, 256);
+    reports[kind] = AssessScheme(enc);
+    PrintProfile(MeasureKindName(kind), reports[kind]);
+  }
+
+  // CryptDB-as-is baseline: a crafted log in which products.stock appears
+  // ONLY inside aggregate functions in the SELECT clause — exactly the case
+  // of the paper's §IV-C observation. CryptDB-as-is gives it an ADD onion
+  // (HOM); the KIT-DPE access-area scheme replaces that with PROB and does
+  // not even share its domain.
+  std::printf("\n-- The paper's §IV-C observation (aggregate-only attribute) --\n");
+  std::vector<sql::SelectQuery> crafted;
+  for (const char* text :
+       {"SELECT SUM(stock) FROM products WHERE category = 'books'",
+        "SELECT AVG(stock) FROM products",
+        "SELECT category, SUM(stock) FROM products GROUP BY category",
+        "SELECT pid FROM products WHERE weight > 1.5"}) {
+    auto q = sql::Parse(text);
+    DPE_BENCH_CHECK(q);
+    crafted.push_back(std::move(*q));
+  }
+  SchemeSpec as_is = CanonicalScheme(MeasureKind::kAccessArea);
+  as_is.const_mode = ConstMode::kCryptDb;  // keep HOM (CryptDB as it is)
+  LogEncryptor::Options options;
+  options.paillier_bits = 256;
+  options.rng_seed = "bench-seed";
+  auto as_is_enc = LogEncryptor::Create(as_is, keys, s.database, crafted,
+                                        s.domains, options);
+  DPE_BENCH_CHECK(as_is_enc);
+  SchemeSecurityReport as_is_report = AssessScheme(*as_is_enc);
+  auto no_hom_enc =
+      LogEncryptor::Create(CanonicalScheme(MeasureKind::kAccessArea), keys,
+                           s.database, crafted, s.domains, options);
+  DPE_BENCH_CHECK(no_hom_enc);
+  SchemeSecurityReport no_hom_report = AssessScheme(*no_hom_enc);
+  PrintProfile("access-area via CryptDB as-is", as_is_report);
+  PrintProfile("access-area KIT-DPE (no HOM)", no_hom_report);
+
+  int hom_slots = 0, prob_slots = 0;
+  for (const auto& slot : as_is_report.slots) {
+    hom_slots += slot.cls == crypto::PpeClass::kHom;
+  }
+  for (const auto& slot : no_hom_report.slots) {
+    prob_slots += slot.cls == crypto::PpeClass::kProb;
+  }
+  std::printf(
+      "\nAggregate-only attributes: CryptDB-as-is exposes %d HOM slot(s) "
+      "(decryptable algebraic structure,\nshared DB content); KIT-DPE keeps "
+      "%d PROB slot(s) and shares no content at all for them.\n",
+      hom_slots, prob_slots);
+
+  std::printf("\nShared information per measure (Table I columns 2-4):\n");
+  std::printf("  token/structure : log only\n");
+  std::printf("  result          : log + full DB content (onion-encrypted)\n");
+  std::printf("  access-area     : log + domains only -- strictly less than "
+              "result's DB content\n");
+
+  std::printf("\nC3 reproduction: aggregate-only attribute at PROB instead of "
+              "HOM, no other slot weaker: %s\n",
+              hom_slots > 0 && prob_slots > 0 &&
+                      CompareReports(no_hom_report, as_is_report) >= 0
+                  ? "CONFIRMED"
+                  : "FAILED");
+  return 0;
+}

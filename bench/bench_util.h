@@ -1,0 +1,81 @@
+// Shared setup helpers for the experiment binaries (DESIGN.md §4).
+
+#ifndef DPE_BENCH_BENCH_UTIL_H_
+#define DPE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/dpe.h"
+#include "core/log_encryptor.h"
+#include "workload/scenarios.h"
+
+namespace dpe::bench {
+
+inline workload::Scenario MakeShop(uint64_t seed, size_t rows, size_t log_size) {
+  workload::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.rows_per_relation = rows;
+  opt.log_size = log_size;
+  auto s = workload::MakeShopScenario(opt);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n", s.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(s).value();
+}
+
+inline workload::Scenario MakeSky(uint64_t seed, size_t rows, size_t log_size) {
+  workload::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.rows_per_relation = rows;
+  opt.log_size = log_size;
+  auto s = workload::MakeSkyServerScenario(opt);
+  if (!s.ok()) {
+    std::fprintf(stderr, "scenario failed: %s\n", s.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(s).value();
+}
+
+inline core::LogEncryptor MakeEncryptor(core::MeasureKind kind,
+                                        const crypto::KeyManager& keys,
+                                        const workload::Scenario& s,
+                                        int paillier_bits = 512) {
+  core::LogEncryptor::Options options;
+  options.paillier_bits = paillier_bits;
+  options.ope_range_bits = 96;
+  options.rng_seed = "bench-seed";
+  auto enc = core::LogEncryptor::Create(core::CanonicalScheme(kind), keys,
+                                        s.database, s.log, s.domains, options);
+  if (!enc.ok()) {
+    std::fprintf(stderr, "encryptor failed: %s\n",
+                 enc.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(enc).value();
+}
+
+/// Wall-clock helper (milliseconds).
+template <typename Fn>
+double TimeMs(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+#define DPE_BENCH_CHECK(expr)                                              \
+  do {                                                                     \
+    auto _r = (expr);                                                      \
+    if (!_r.ok()) {                                                        \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__,        \
+                   _r.status().ToString().c_str());                        \
+      std::exit(1);                                                        \
+    }                                                                      \
+  } while (false)
+
+}  // namespace dpe::bench
+
+#endif  // DPE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,51 @@
+// Why the "highest possible security" rule of Definition 6 matters: a
+// query-only attacker (threat model §IV-A, [9]) against the encrypted
+// constants of one attribute, under each PPE class.
+//
+//   $ ./build/examples/attack_demo
+
+#include <cstdio>
+
+#include "core/security.h"
+
+using namespace dpe;
+using namespace dpe::core;
+
+int main() {
+  std::printf("Query-only attack: the eavesdropper sees encrypted constants of\n"
+              "one attribute in a skewed log (Zipf s=1.3 over 15 city names)\n"
+              "and knows the public plaintext distribution.\n\n");
+
+  const size_t samples = 4000;
+  const size_t pool = 15;
+  const double skew = 1.3;
+
+  std::printf("%-42s %10s\n", "scheme (class)", "recovered");
+  struct Row {
+    crypto::PpeClass cls;
+    const char* label;
+  };
+  for (const Row& row : {Row{crypto::PpeClass::kProb,
+                             "PROB  - structure-distance constants"},
+                         Row{crypto::PpeClass::kDet,
+                             "DET   - token/result equality constants"},
+                         Row{crypto::PpeClass::kOpe,
+                             "OPE   - range-predicate constants"}}) {
+    auto r = SimulateFrequencyAttack(row.cls, samples, pool, skew, 99);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-42s %9.1f%%  (guessing baseline %.1f%%)\n", row.label,
+                100.0 * r->accuracy, 100.0 * r->baseline);
+  }
+
+  std::printf(
+      "\nReading: every functional layer the provider needs (equality,\n"
+      "order) is information the attacker gets for free. KIT-DPE therefore\n"
+      "assigns the *most* secure class that still preserves the chosen\n"
+      "distance measure — PROB where constants do not matter (structure),\n"
+      "DET where only equality matters (token), OPE only where ranges must\n"
+      "execute (result / access-area).\n");
+  return 0;
+}

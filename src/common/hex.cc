@@ -1,0 +1,69 @@
+#include "common/hex.h"
+
+namespace dpe {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string HexEncode(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (unsigned char c : data) {
+    out.push_back(kHexDigits[c >> 4]);
+    out.push_back(kHexDigits[c & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes EncodeBigEndian64(uint64_t v) {
+  Bytes out(8, '\0');
+  for (int i = 7; i >= 0; --i) {
+    out[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return out;
+}
+
+uint64_t DecodeBigEndian64(std::string_view bytes8) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < bytes8.size(); ++i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes8[i]);
+  }
+  return v;
+}
+
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  unsigned char acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace dpe

@@ -1,0 +1,34 @@
+// Byte-string helpers: this library represents ciphertexts and keys as
+// std::string byte buffers ("Bytes") and renders them as lowercase hex for
+// display and for use as deterministic set elements.
+
+#ifndef DPE_COMMON_HEX_H_
+#define DPE_COMMON_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dpe {
+
+/// Raw byte buffer. Using std::string keeps hashing/ordering/IO free.
+using Bytes = std::string;
+
+/// Encodes `data` as lowercase hex (two chars per byte).
+std::string HexEncode(std::string_view data);
+
+/// Decodes lowercase/uppercase hex; fails on odd length or non-hex chars.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// Big-endian fixed-width encodings, used for PRF inputs and DET/OPE atoms.
+Bytes EncodeBigEndian64(uint64_t v);
+uint64_t DecodeBigEndian64(std::string_view bytes8);
+
+/// Constant-time byte-string equality (length leaks, contents do not).
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+}  // namespace dpe
+
+#endif  // DPE_COMMON_HEX_H_

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random generator for *workloads and experiments*.
+// Not for key material — cryptographic randomness lives in crypto/csprng.h.
+
+#ifndef DPE_COMMON_RNG_H_
+#define DPE_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dpe {
+
+/// xoshiro256** seeded via SplitMix64. Deterministic across platforms, so
+/// every experiment in bench/ and tests/ is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound) without modulo bias; bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p = 0.5);
+
+  /// Zipf(s) rank in [0, n): rank r chosen with probability ∝ 1/(r+1)^s.
+  /// Classic inversion-by-CDF on a precomputed table is handled by ZipfDist.
+  class ZipfDist {
+   public:
+    ZipfDist(size_t n, double s);
+    size_t Sample(Rng& rng) const;
+    size_t n() const { return cdf_.size(); }
+
+   private:
+    std::vector<double> cdf_;
+  };
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBelow(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace dpe
+
+#endif  // DPE_COMMON_RNG_H_

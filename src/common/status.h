@@ -1,0 +1,155 @@
+// Status / Result<T> error model, following the Arrow / RocksDB idiom:
+// fallible operations return a Status (or Result<T>) instead of throwing.
+// Exceptions never cross public API boundaries in this library.
+
+#ifndef DPE_COMMON_STATUS_H_
+#define DPE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dpe {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,       ///< SQL text could not be parsed.
+  kTypeError,        ///< value/type mismatch during evaluation.
+  kCryptoError,      ///< key/ciphertext malformed, decryption failure, ...
+  kExecutionError,   ///< query referenced missing relations/attributes, ...
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a contextual message.
+///
+/// The OK state carries no allocation. Non-OK statuses are cheap to move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Analogous to arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (the common, successful path).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status. Constructing from an OK status is a bug
+  /// and is converted to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok(). (Checked in tests via death or status assertions.)
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagation helpers (Arrow-style).
+#define DPE_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::dpe::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define DPE_CONCAT_IMPL(a, b) a##b
+#define DPE_CONCAT(a, b) DPE_CONCAT_IMPL(a, b)
+
+/// ASSIGN_OR_RETURN: evaluates `rexpr` (a Result<T>), returns its status on
+/// failure, otherwise move-assigns the value into `lhs`.
+#define DPE_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto DPE_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!DPE_CONCAT(_res_, __LINE__).ok())                        \
+    return DPE_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(DPE_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace dpe
+
+#endif  // DPE_COMMON_STATUS_H_

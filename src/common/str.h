@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+
+#ifndef DPE_COMMON_STR_H_
+#define DPE_COMMON_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpe {
+
+/// ASCII uppercase copy.
+std::string ToUpperAscii(std::string_view s);
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` begins with `prefix` (ASCII case-insensitive).
+bool StartsWithIgnoreCase(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace dpe
+
+#endif  // DPE_COMMON_STR_H_

@@ -1,0 +1,70 @@
+// Definition-6 "appropriate encryption class" selection — the computation
+// that regenerates the paper's Table I.
+//
+// For each distance measure and each slot of the high-level scheme
+// (EncRel, EncAttr, EncA.Const), candidate classes are tried from most to
+// least secure (Fig. 1 levels; composite candidates ranked by their
+// SecurityProfile). A candidate is *appropriate* when the full Def.-1
+// distance-preservation check passes on a test workload; the most secure
+// appropriate candidate wins.
+
+#ifndef DPE_CORE_APPROPRIATE_H_
+#define DPE_CORE_APPROPRIATE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dpe.h"
+#include "core/log_encryptor.h"
+#include "core/taxonomy.h"
+
+namespace dpe::core {
+
+/// Outcome of testing one candidate in one slot.
+struct CandidateAudit {
+  std::string slot;       ///< "EncRel" | "EncAttr" | "EncConst"
+  std::string candidate;  ///< "PROB", "DET", "via CryptDB", ...
+  bool applicable = false;
+  bool preserves = false;
+  double max_abs_delta = -1.0;  ///< -1 when not applicable
+  std::string profile;          ///< security profile string
+};
+
+/// One regenerated row of Table I.
+struct TableIRow {
+  MeasureKind measure;
+  std::string measure_name;
+  std::string shared_information;  ///< "Log" / "Log + DB-Content" / ...
+  std::string equivalence_notion;
+  std::string characteristic;      ///< c = tokens / features / ...
+  std::string enc_rel;
+  std::string enc_attr;
+  std::string enc_const;
+  std::vector<CandidateAudit> audit;
+};
+
+struct AppropriateSearchOptions {
+  /// Workload the search validates candidates against.
+  uint64_t seed = 42;
+  size_t rows_per_relation = 60;
+  size_t log_size = 40;
+  /// Crypto parameters (reduced for search speed; class membership does not
+  /// depend on key sizes).
+  int paillier_bits = 256;
+  int ope_range_bits = 80;
+};
+
+/// Runs the Def. 6 search for one measure over the shop workload.
+Result<TableIRow> SelectAppropriateClasses(MeasureKind measure,
+                                           const AppropriateSearchOptions& options);
+
+/// All four rows (the full Table I).
+Result<std::vector<TableIRow>> RegenerateTableI(
+    const AppropriateSearchOptions& options);
+
+/// Renders rows in the layout of the paper's Table I.
+std::string RenderTableI(const std::vector<TableIRow>& rows);
+
+}  // namespace dpe::core
+
+#endif  // DPE_CORE_APPROPRIATE_H_

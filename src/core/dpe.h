@@ -1,0 +1,51 @@
+// The Definition-1 checker: is Enc d-distance preserving on a log?
+//
+//   forall x, y in D :  d(Enc(x), Enc(y)) = d(x, y)
+//
+// The check computes the full pairwise distance matrix on the plaintext side
+// (owner view) and on the ciphertext side (provider view, using only the
+// shared encrypted artifacts) and reports max |delta|. For the Table-I
+// schemes the expected value is exactly 0.
+
+#ifndef DPE_CORE_DPE_H_
+#define DPE_CORE_DPE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/log_encryptor.h"
+#include "distance/matrix.h"
+
+namespace dpe::core {
+
+struct DpeCheckReport {
+  std::string measure;
+  size_t query_count = 0;
+  size_t pair_count = 0;
+  double max_abs_delta = 0.0;
+
+  bool exact() const { return max_abs_delta == 0.0; }
+};
+
+/// Runs the Def. 1 check for `kind` under the scheme of `enc`.
+/// `plain_db` / `plain_domains` are the owner-side shared information.
+Result<DpeCheckReport> CheckDistancePreservation(
+    MeasureKind kind, const LogEncryptor& enc,
+    const std::vector<sql::SelectQuery>& log, const db::Database& plain_db,
+    const db::DomainRegistry& plain_domains);
+
+/// Both matrices (for benches that want to print them / time them).
+struct DpeMatrices {
+  distance::DistanceMatrix plain;
+  distance::DistanceMatrix encrypted;
+};
+
+Result<DpeMatrices> ComputeBothMatrices(MeasureKind kind,
+                                        const LogEncryptor& enc,
+                                        const std::vector<sql::SelectQuery>& log,
+                                        const db::Database& plain_db,
+                                        const db::DomainRegistry& plain_domains);
+
+}  // namespace dpe::core
+
+#endif  // DPE_CORE_DPE_H_

@@ -1,0 +1,72 @@
+// Step 1 and step 4 of KIT-DPE: the threat model (passive attacks on query
+// logs, after Sanamrad & Kossmann [9]) and the security assessment of a
+// concrete scheme, plus an empirical frequency-analysis / order attack in
+// the query-only model (bench C4 / examples/attack_demo).
+
+#ifndef DPE_CORE_SECURITY_H_
+#define DPE_CORE_SECURITY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/log_encryptor.h"
+#include "core/taxonomy.h"
+
+namespace dpe::core {
+
+/// Passive attacks on encrypted query logs ([9], instantiating §II-1).
+enum class AttackModel {
+  kQueryOnly,    ///< attacker sees only the encrypted log
+  kKnownQuery,   ///< attacker knows some (plain, encrypted) query pairs
+  kChosenQuery,  ///< attacker can have chosen plaintext queries encrypted
+};
+
+const char* AttackModelName(AttackModel model);
+
+/// Per-slot security of a concrete scheme.
+struct SlotSecurity {
+  std::string slot;  ///< "EncRel", "EncAttr", "EncConst(rel.attr)"
+  crypto::PpeClass cls;
+  int level;
+};
+
+struct SchemeSecurityReport {
+  std::string scheme;
+  std::vector<SlotSecurity> slots;
+  SecurityProfile profile;
+
+  std::string ToString() const;
+};
+
+/// Assesses the scheme of `enc`: per-slot classes and the overall profile.
+/// Step 4 of KIT-DPE — purely table-driven, because all instances come from
+/// classes whose security is known from the literature.
+SchemeSecurityReport AssessScheme(const LogEncryptor& enc);
+
+/// Compares two reports; positive when `a` is strictly more secure.
+int CompareReports(const SchemeSecurityReport& a, const SchemeSecurityReport& b);
+
+// -- Query-only attack simulation -------------------------------------------
+
+/// Frequency-analysis (DET), order+frequency (OPE) or guess-the-mode (PROB)
+/// attack on the encrypted constants of one attribute.
+struct FrequencyAttackResult {
+  std::string scheme;       ///< "PROB" | "DET" | "OPE"
+  size_t samples = 0;
+  size_t distinct_values = 0;
+  double accuracy = 0.0;    ///< fraction of constants recovered
+  double baseline = 0.0;    ///< guessing the most frequent value
+};
+
+/// Simulates the attack: `samples` constants drawn Zipf(s) from a pool of
+/// `distinct_values` ints, encrypted under `cls`; the attacker knows the
+/// plaintext distribution (and, for OPE, the plaintext order).
+Result<FrequencyAttackResult> SimulateFrequencyAttack(crypto::PpeClass cls,
+                                                      size_t samples,
+                                                      size_t distinct_values,
+                                                      double zipf_s,
+                                                      uint64_t seed);
+
+}  // namespace dpe::core
+
+#endif  // DPE_CORE_SECURITY_H_

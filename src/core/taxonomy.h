@@ -1,0 +1,100 @@
+// The property-preserving-encryption class taxonomy of the paper's Fig. 1,
+// as a queryable object, plus empirical validators for each class's defining
+// property (bench_fig1_taxonomy regenerates the figure from these).
+//
+//        level 3:   PROB    HOM          (HOM -> PROB subclass)
+//        level 2:   DET     JOIN         (JOIN: usage mode of DET)
+//        level 1:   OPE     JOIN-OPE     (OPE -> DET subclass;
+//                                         JOIN-OPE: usage mode of OPE/JOIN)
+//        "less security" downwards; classes within a row are not comparable.
+
+#ifndef DPE_CORE_TAXONOMY_H_
+#define DPE_CORE_TAXONOMY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/scheme.h"
+
+namespace dpe::core {
+
+using crypto::PpeClass;
+
+/// One subclass / usage-mode edge of Fig. 1.
+struct TaxonomyEdge {
+  PpeClass from;
+  PpeClass to;
+  enum class Kind { kSubclass, kUsageMode } kind;
+};
+
+/// The taxonomy object.
+class Taxonomy {
+ public:
+  /// The Fig. 1 taxonomy.
+  static const Taxonomy& Fig1();
+
+  const std::vector<PpeClass>& classes() const { return classes_; }
+  const std::vector<TaxonomyEdge>& edges() const { return edges_; }
+
+  /// Fig. 1 row (3 = top / most secure ... 1 = bottom; 0 = identity).
+  int SecurityLevel(PpeClass c) const { return crypto::PpeSecurityLevel(c); }
+
+  /// Transitive subclass test (kSubclass edges only).
+  bool IsSubclassOf(PpeClass sub, PpeClass super) const;
+
+  /// Partial security order: +1 if a more secure than b, -1 if less,
+  /// 0 if same class, nullopt if incomparable (same row, different class).
+  std::optional<int> CompareSecurity(PpeClass a, PpeClass b) const;
+
+  /// ASCII rendering of the taxonomy (what bench_fig1 prints).
+  std::string Render() const;
+
+ private:
+  Taxonomy();
+
+  std::vector<PpeClass> classes_;
+  std::vector<TaxonomyEdge> edges_;
+};
+
+/// Security profile of a composite scheme: the multiset of per-slot levels.
+/// Profiles compare lexicographically from the worst level upward — the
+/// Def. 6 tie-breaker for composite candidates.
+class SecurityProfile {
+ public:
+  void Add(PpeClass c) { levels_.push_back(crypto::PpeSecurityLevel(c)); }
+  void AddLevel(int level) { levels_.push_back(level); }
+
+  /// Worst (minimum) level; 0 when empty.
+  int MinLevel() const;
+  double MeanLevel() const;
+
+  /// +1 if *this is strictly better than other, -1 worse, 0 equal.
+  /// Comparison: sort both ascending, compare element-wise from the worst.
+  int Compare(const SecurityProfile& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int> levels_;
+};
+
+// -- Empirical class-property validators (used by bench_fig1 / tests) -------
+
+/// PROB: n encryptions of one plaintext yield n distinct ciphertexts.
+Result<bool> ValidateProbProperty(size_t samples);
+/// DET: encryption is a function (same in -> same out) and injective on a
+/// sample of distinct inputs.
+Result<bool> ValidateDetProperty(size_t samples);
+/// OPE: deterministic and strictly monotone on random pairs.
+Result<bool> ValidateOpeProperty(size_t samples);
+/// HOM: Dec(Enc(a) (+) Enc(b)) == a + b on random pairs.
+Result<bool> ValidateHomProperty(size_t samples);
+/// JOIN: equal plaintexts in two columns of one join group produce equal
+/// ciphertexts; in unrelated columns they differ.
+Result<bool> ValidateJoinProperty(size_t samples);
+
+}  // namespace dpe::core
+
+#endif  // DPE_CORE_TAXONOMY_H_

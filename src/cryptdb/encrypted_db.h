@@ -1,0 +1,82 @@
+// CryptDb: the owner-side facade over the whole CryptDB substrate.
+//
+//   owner   : Build(plain_db, layout)  ->  encrypted database + keys
+//   owner   : Rewrite(plain query)     ->  encrypted query
+//   provider: ExecuteEncrypted(enc q)  ->  encrypted result (Paillier hook)
+//   owner   : DecryptResult(...)       ->  plaintext result
+//
+// The provider only ever sees the encrypted database, encrypted queries and
+// the Paillier *public* key (inside the aggregate hook).
+
+#ifndef DPE_CRYPTDB_ENCRYPTED_DB_H_
+#define DPE_CRYPTDB_ENCRYPTED_DB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cryptdb/onion.h"
+#include "cryptdb/rewriter.h"
+#include "db/access_area.h"
+#include "db/database.h"
+#include "db/executor.h"
+
+namespace dpe::cryptdb {
+
+class CryptDb {
+ public:
+  struct Options {
+    OnionCrypto::Options crypto;
+    /// Also materialize RND columns for columns with onions (CryptDB keeps
+    /// an outer RND layer; we model it as an extra column when asked).
+    bool materialize_rnd_for_all = false;
+  };
+
+  /// Encrypts `plain` under `layout`. `keys` must outlive the CryptDb.
+  static Result<CryptDb> Build(const db::Database& plain,
+                               const OnionLayout& layout,
+                               const crypto::KeyManager& keys,
+                               const Options& options, crypto::Csprng rng);
+
+  /// The encrypted database (what the service provider stores).
+  const db::Database& encrypted() const { return encrypted_; }
+
+  const OnionCrypto& onion_crypto() const { return *crypto_; }
+
+  /// Owner-side: plaintext query -> encrypted query.
+  Result<sql::SelectQuery> Rewrite(const sql::SelectQuery& query) const;
+
+  /// Provider-side execution options (Paillier SUM/AVG hook; public key only).
+  db::ExecuteOptions ProviderOptions() const;
+
+  /// Convenience: run an encrypted query on the encrypted database.
+  Result<db::ResultTable> ExecuteEncrypted(const sql::SelectQuery& enc_query) const;
+
+  /// Owner-side: decrypt an encrypted result. `plain_query` supplies the
+  /// column/key mapping (the proxy keeps the original query, as in CryptDB).
+  Result<db::ResultTable> DecryptResult(const sql::SelectQuery& plain_query,
+                                        const db::ResultTable& enc_result) const;
+
+  /// Owner-side: OPE-encrypted image of a plaintext domain registry, keyed
+  /// by encrypted "rel.attr" names — what the provider gets for the
+  /// access-area measure ("Domains" column of Table I).
+  Result<db::DomainRegistry> EncryptDomains(const db::DomainRegistry& plain) const;
+
+  /// Encrypted key ("encRel.encAttr") of a plaintext column key.
+  std::string EncryptColumnKey(const std::string& column_key) const;
+
+ private:
+  CryptDb(std::unique_ptr<OnionCrypto> crypto, db::Database encrypted,
+          SchemaMap schemas)
+      : crypto_(std::move(crypto)),
+        encrypted_(std::move(encrypted)),
+        schemas_(std::move(schemas)) {}
+
+  std::unique_ptr<OnionCrypto> crypto_;
+  db::Database encrypted_;
+  SchemaMap schemas_;  // plaintext schemas (owner side)
+};
+
+}  // namespace dpe::cryptdb
+
+#endif  // DPE_CRYPTDB_ENCRYPTED_DB_H_

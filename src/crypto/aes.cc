@@ -1,0 +1,278 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace dpe::crypto {
+
+namespace {
+
+constexpr unsigned char kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+unsigned char kInvSbox[256];
+bool inv_sbox_ready = false;
+
+void EnsureInvSbox() {
+  if (!inv_sbox_ready) {
+    for (int i = 0; i < 256; ++i) kInvSbox[kSbox[i]] = static_cast<unsigned char>(i);
+    inv_sbox_ready = true;
+  }
+}
+
+inline unsigned char XTime(unsigned char x) {
+  return static_cast<unsigned char>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+inline unsigned char GfMul(unsigned char a, unsigned char b) {
+  unsigned char p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    a = XTime(a);
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr uint32_t kRcon[15] = {0x00000000, 0x01000000, 0x02000000, 0x04000000,
+                                0x08000000, 0x10000000, 0x20000000, 0x40000000,
+                                0x80000000, 0x1b000000, 0x36000000, 0x6c000000,
+                                0xd8000000, 0xab000000, 0x4d000000};
+
+inline uint32_t SubWord(uint32_t w) {
+  return (static_cast<uint32_t>(kSbox[(w >> 24) & 0xff]) << 24) |
+         (static_cast<uint32_t>(kSbox[(w >> 16) & 0xff]) << 16) |
+         (static_cast<uint32_t>(kSbox[(w >> 8) & 0xff]) << 8) |
+         static_cast<uint32_t>(kSbox[w & 0xff]);
+}
+
+inline uint32_t RotWord(uint32_t w) { return (w << 8) | (w >> 24); }
+
+}  // namespace
+
+Result<Aes> Aes::Create(std::string_view key) {
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32) {
+    return Status::CryptoError("AES key must be 16, 24 or 32 bytes, got " +
+                               std::to_string(key.size()));
+  }
+  EnsureInvSbox();
+  Aes aes;
+  aes.ExpandKey(reinterpret_cast<const unsigned char*>(key.data()), key.size());
+  return aes;
+}
+
+void Aes::ExpandKey(const unsigned char* key, size_t key_len) {
+  const int nk = static_cast<int>(key_len / 4);
+  rounds_ = nk + 6;
+  const int total_words = 4 * (rounds_ + 1);
+  for (int i = 0; i < nk; ++i) {
+    round_keys_[i] = (static_cast<uint32_t>(key[4 * i]) << 24) |
+                     (static_cast<uint32_t>(key[4 * i + 1]) << 16) |
+                     (static_cast<uint32_t>(key[4 * i + 2]) << 8) |
+                     static_cast<uint32_t>(key[4 * i + 3]);
+  }
+  for (int i = nk; i < total_words; ++i) {
+    uint32_t temp = round_keys_[i - 1];
+    if (i % nk == 0) {
+      temp = SubWord(RotWord(temp)) ^ kRcon[i / nk];
+    } else if (nk > 6 && i % nk == 4) {
+      temp = SubWord(temp);
+    }
+    round_keys_[i] = round_keys_[i - nk] ^ temp;
+  }
+  // Equivalent inverse cipher key schedule: copy then InvMixColumns on the
+  // middle round keys.
+  for (int i = 0; i < total_words; ++i) dec_round_keys_[i] = round_keys_[i];
+  for (int r = 1; r < rounds_; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = dec_round_keys_[4 * r + c];
+      unsigned char b[4] = {static_cast<unsigned char>(w >> 24),
+                            static_cast<unsigned char>(w >> 16),
+                            static_cast<unsigned char>(w >> 8),
+                            static_cast<unsigned char>(w)};
+      unsigned char m[4];
+      m[0] = static_cast<unsigned char>(GfMul(b[0], 14) ^ GfMul(b[1], 11) ^
+                                        GfMul(b[2], 13) ^ GfMul(b[3], 9));
+      m[1] = static_cast<unsigned char>(GfMul(b[0], 9) ^ GfMul(b[1], 14) ^
+                                        GfMul(b[2], 11) ^ GfMul(b[3], 13));
+      m[2] = static_cast<unsigned char>(GfMul(b[0], 13) ^ GfMul(b[1], 9) ^
+                                        GfMul(b[2], 14) ^ GfMul(b[3], 11));
+      m[3] = static_cast<unsigned char>(GfMul(b[0], 11) ^ GfMul(b[1], 13) ^
+                                        GfMul(b[2], 9) ^ GfMul(b[3], 14));
+      dec_round_keys_[4 * r + c] = (static_cast<uint32_t>(m[0]) << 24) |
+                                   (static_cast<uint32_t>(m[1]) << 16) |
+                                   (static_cast<uint32_t>(m[2]) << 8) |
+                                   static_cast<uint32_t>(m[3]);
+    }
+  }
+}
+
+void Aes::EncryptBlock(const unsigned char in[16], unsigned char out[16]) const {
+  unsigned char state[16];
+  std::memcpy(state, in, 16);
+  // AddRoundKey 0 (round keys are word-addressed, column-major state).
+  auto add_round_key = [&](int round, unsigned char* s) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = round_keys_[4 * round + c];
+      s[4 * c] ^= static_cast<unsigned char>(w >> 24);
+      s[4 * c + 1] ^= static_cast<unsigned char>(w >> 16);
+      s[4 * c + 2] ^= static_cast<unsigned char>(w >> 8);
+      s[4 * c + 3] ^= static_cast<unsigned char>(w);
+    }
+  };
+  add_round_key(0, state);
+  for (int round = 1; round <= rounds_; ++round) {
+    // SubBytes.
+    for (auto& b : state) b = kSbox[b];
+    // ShiftRows: state is column-major; row r byte of column c is state[4c+r].
+    unsigned char t[16];
+    for (int c = 0; c < 4; ++c)
+      for (int r = 0; r < 4; ++r) t[4 * c + r] = state[4 * ((c + r) % 4) + r];
+    std::memcpy(state, t, 16);
+    if (round != rounds_) {
+      // MixColumns.
+      for (int c = 0; c < 4; ++c) {
+        unsigned char* col = state + 4 * c;
+        unsigned char a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<unsigned char>(XTime(a0) ^ (XTime(a1) ^ a1) ^ a2 ^ a3);
+        col[1] = static_cast<unsigned char>(a0 ^ XTime(a1) ^ (XTime(a2) ^ a2) ^ a3);
+        col[2] = static_cast<unsigned char>(a0 ^ a1 ^ XTime(a2) ^ (XTime(a3) ^ a3));
+        col[3] = static_cast<unsigned char>((XTime(a0) ^ a0) ^ a1 ^ a2 ^ XTime(a3));
+      }
+    }
+    add_round_key(round, state);
+  }
+  std::memcpy(out, state, 16);
+}
+
+void Aes::DecryptBlock(const unsigned char in[16], unsigned char out[16]) const {
+  unsigned char state[16];
+  std::memcpy(state, in, 16);
+  auto add_round_key = [&](int round, unsigned char* s) {
+    for (int c = 0; c < 4; ++c) {
+      uint32_t w = dec_round_keys_[4 * round + c];
+      s[4 * c] ^= static_cast<unsigned char>(w >> 24);
+      s[4 * c + 1] ^= static_cast<unsigned char>(w >> 16);
+      s[4 * c + 2] ^= static_cast<unsigned char>(w >> 8);
+      s[4 * c + 3] ^= static_cast<unsigned char>(w);
+    }
+  };
+  // Equivalent inverse cipher (FIPS 197 §5.3.5).
+  add_round_key(rounds_, state);
+  for (int round = rounds_ - 1; round >= 0; --round) {
+    // InvSubBytes.
+    for (auto& b : state) b = kInvSbox[b];
+    // InvShiftRows.
+    unsigned char t[16];
+    for (int c = 0; c < 4; ++c)
+      for (int r = 0; r < 4; ++r) t[4 * c + r] = state[4 * ((c - r + 4) % 4) + r];
+    std::memcpy(state, t, 16);
+    if (round != 0) {
+      // InvMixColumns.
+      for (int c = 0; c < 4; ++c) {
+        unsigned char* col = state + 4 * c;
+        unsigned char a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+        col[0] = static_cast<unsigned char>(GfMul(a0, 14) ^ GfMul(a1, 11) ^
+                                            GfMul(a2, 13) ^ GfMul(a3, 9));
+        col[1] = static_cast<unsigned char>(GfMul(a0, 9) ^ GfMul(a1, 14) ^
+                                            GfMul(a2, 11) ^ GfMul(a3, 13));
+        col[2] = static_cast<unsigned char>(GfMul(a0, 13) ^ GfMul(a1, 9) ^
+                                            GfMul(a2, 14) ^ GfMul(a3, 11));
+        col[3] = static_cast<unsigned char>(GfMul(a0, 11) ^ GfMul(a1, 13) ^
+                                            GfMul(a2, 9) ^ GfMul(a3, 14));
+      }
+    }
+    add_round_key(round, state);
+  }
+  std::memcpy(out, state, 16);
+}
+
+Bytes Aes::CtrXcrypt(std::string_view iv, std::string_view data) const {
+  unsigned char counter[16];
+  std::memcpy(counter, iv.data(), 16);
+  Bytes out(data.size(), '\0');
+  unsigned char keystream[16];
+  size_t off = 0;
+  while (off < data.size()) {
+    EncryptBlock(counter, keystream);
+    size_t chunk = std::min<size_t>(16, data.size() - off);
+    for (size_t i = 0; i < chunk; ++i) {
+      out[off + i] = static_cast<char>(data[off + i] ^ keystream[i]);
+    }
+    off += chunk;
+    // Increment low 64 bits big-endian.
+    for (int i = 15; i >= 8; --i) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+Bytes Aes::CbcEncrypt(std::string_view iv, std::string_view plaintext) const {
+  const size_t pad = kBlockSize - (plaintext.size() % kBlockSize);
+  Bytes padded(plaintext);
+  padded.append(pad, static_cast<char>(pad));
+  Bytes out(padded.size(), '\0');
+  unsigned char prev[16];
+  std::memcpy(prev, iv.data(), 16);
+  for (size_t off = 0; off < padded.size(); off += 16) {
+    unsigned char block[16];
+    for (int i = 0; i < 16; ++i) {
+      block[i] = static_cast<unsigned char>(padded[off + i]) ^ prev[i];
+    }
+    EncryptBlock(block, prev);
+    std::memcpy(&out[off], prev, 16);
+  }
+  return out;
+}
+
+Result<Bytes> Aes::CbcDecrypt(std::string_view iv, std::string_view ciphertext) const {
+  if (ciphertext.empty() || ciphertext.size() % kBlockSize != 0) {
+    return Status::CryptoError("CBC ciphertext length not a multiple of 16");
+  }
+  Bytes out(ciphertext.size(), '\0');
+  unsigned char prev[16];
+  std::memcpy(prev, iv.data(), 16);
+  for (size_t off = 0; off < ciphertext.size(); off += 16) {
+    unsigned char block[16];
+    DecryptBlock(reinterpret_cast<const unsigned char*>(ciphertext.data()) + off,
+                 block);
+    for (int i = 0; i < 16; ++i) {
+      out[off + i] = static_cast<char>(block[i] ^ prev[i]);
+    }
+    std::memcpy(prev, ciphertext.data() + off, 16);
+  }
+  unsigned char pad = static_cast<unsigned char>(out.back());
+  if (pad == 0 || pad > 16 || pad > out.size()) {
+    return Status::CryptoError("CBC padding invalid");
+  }
+  for (size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (static_cast<unsigned char>(out[i]) != pad) {
+      return Status::CryptoError("CBC padding invalid");
+    }
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+}  // namespace dpe::crypto

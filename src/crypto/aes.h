@@ -1,0 +1,53 @@
+// AES-128/192/256 (FIPS 197) implemented from scratch, plus the block-cipher
+// modes this library needs: CTR (PROB and DET-SIV encryption) and CBC.
+//
+// The randomized-AES instance of the PROB class in the paper's Fig. 1 is
+// realized as AES-CTR with a fresh random IV (crypto/prob.h); the DET class
+// uses an SIV construction over the same core (crypto/det.h).
+
+#ifndef DPE_CRYPTO_AES_H_
+#define DPE_CRYPTO_AES_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hex.h"
+#include "common/status.h"
+
+namespace dpe::crypto {
+
+/// AES block cipher. Key must be 16, 24 or 32 bytes.
+class Aes {
+ public:
+  static constexpr size_t kBlockSize = 16;
+
+  /// Creates a cipher for `key`; fails on invalid key length.
+  static Result<Aes> Create(std::string_view key);
+
+  /// Encrypts exactly one 16-byte block (in/out may alias).
+  void EncryptBlock(const unsigned char in[16], unsigned char out[16]) const;
+  /// Decrypts exactly one 16-byte block.
+  void DecryptBlock(const unsigned char in[16], unsigned char out[16]) const;
+
+  /// CTR keystream XOR: encrypt == decrypt. `iv` must be 16 bytes and is the
+  /// initial counter block (big-endian increment on the low 64 bits).
+  Bytes CtrXcrypt(std::string_view iv, std::string_view data) const;
+
+  /// CBC with PKCS#7 padding. `iv` must be 16 bytes.
+  Bytes CbcEncrypt(std::string_view iv, std::string_view plaintext) const;
+  Result<Bytes> CbcDecrypt(std::string_view iv, std::string_view ciphertext) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  Aes() = default;
+  void ExpandKey(const unsigned char* key, size_t key_len);
+
+  uint32_t round_keys_[60];      // up to 14+1 round keys of 4 words
+  uint32_t dec_round_keys_[60];  // inverse-cipher key schedule
+  int rounds_ = 0;
+};
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_AES_H_

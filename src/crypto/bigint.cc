@@ -1,0 +1,168 @@
+#include "crypto/bigint.h"
+
+#include <ostream>
+#include <vector>
+
+#include "crypto/csprng.h"
+
+namespace dpe::crypto {
+
+Result<Bigint> Bigint::FromString(std::string_view s) {
+  Bigint out;
+  std::string str(s);
+  int base = 10;
+  std::string_view body = s;
+  bool negative = false;
+  if (!body.empty() && (body[0] == '-' || body[0] == '+')) {
+    negative = body[0] == '-';
+    body.remove_prefix(1);
+  }
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    base = 16;
+    body.remove_prefix(2);
+  }
+  if (body.empty()) return Status::InvalidArgument("empty bigint literal");
+  std::string digits(body);
+  if (mpz_set_str(out.v_, digits.c_str(), base) != 0) {
+    return Status::InvalidArgument("invalid bigint literal: " + str);
+  }
+  if (negative) mpz_neg(out.v_, out.v_);
+  return out;
+}
+
+Bigint Bigint::FromBytes(std::string_view bytes) {
+  Bigint out;
+  if (!bytes.empty()) {
+    mpz_import(out.v_, bytes.size(), /*order=*/1, /*size=*/1, /*endian=*/1,
+               /*nails=*/0, bytes.data());
+  }
+  return out;
+}
+
+Bigint Bigint::RandomBelow(const Bigint& bound, Csprng& rng) {
+  // Rejection sampling over ceil(bits/8) bytes.
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  for (;;) {
+    Bigint candidate = FromBytes(rng.NextBytes(nbytes));
+    // Mask excess high bits to reduce rejection rate.
+    size_t excess = nbytes * 8 - bits;
+    if (excess > 0) {
+      mpz_fdiv_r_2exp(candidate.v_, candidate.v_, nbytes * 8 - excess);
+    }
+    if (candidate < bound) return candidate;
+  }
+}
+
+Bigint Bigint::RandomBits(int bits, Csprng& rng) {
+  size_t nbytes = (static_cast<size_t>(bits) + 7) / 8;
+  Bigint out = FromBytes(rng.NextBytes(nbytes));
+  mpz_fdiv_r_2exp(out.v_, out.v_, bits);   // clear excess high bits
+  mpz_setbit(out.v_, bits - 1);            // force exact bit length
+  return out;
+}
+
+Bigint Bigint::RandomPrime(int bits, Csprng& rng) {
+  for (;;) {
+    Bigint candidate = RandomBits(bits, rng);
+    mpz_setbit(candidate.v_, 0);  // odd
+    if (candidate.IsProbablePrime()) return candidate;
+  }
+}
+
+Bigint operator+(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_add(out.v_, a.v_, b.v_);
+  return out;
+}
+Bigint operator-(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_sub(out.v_, a.v_, b.v_);
+  return out;
+}
+Bigint operator*(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_mul(out.v_, a.v_, b.v_);
+  return out;
+}
+Bigint operator/(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_tdiv_q(out.v_, a.v_, b.v_);
+  return out;
+}
+Bigint operator%(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_mod(out.v_, a.v_, b.v_);  // non-negative result
+  return out;
+}
+
+Bigint Bigint::operator-() const {
+  Bigint out;
+  mpz_neg(out.v_, v_);
+  return out;
+}
+Bigint& Bigint::operator+=(const Bigint& b) {
+  mpz_add(v_, v_, b.v_);
+  return *this;
+}
+Bigint& Bigint::operator-=(const Bigint& b) {
+  mpz_sub(v_, v_, b.v_);
+  return *this;
+}
+Bigint& Bigint::operator*=(const Bigint& b) {
+  mpz_mul(v_, v_, b.v_);
+  return *this;
+}
+
+Bigint Bigint::PowMod(const Bigint& e, const Bigint& m) const {
+  Bigint out;
+  mpz_powm(out.v_, v_, e.v_, m.v_);
+  return out;
+}
+
+Result<Bigint> Bigint::InvMod(const Bigint& m) const {
+  Bigint out;
+  if (mpz_invert(out.v_, v_, m.v_) == 0) {
+    return Status::CryptoError("no modular inverse (gcd != 1)");
+  }
+  return out;
+}
+
+Bigint Bigint::Gcd(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_gcd(out.v_, a.v_, b.v_);
+  return out;
+}
+
+Bigint Bigint::Lcm(const Bigint& a, const Bigint& b) {
+  Bigint out;
+  mpz_lcm(out.v_, a.v_, b.v_);
+  return out;
+}
+
+bool Bigint::IsProbablePrime(int rounds) const {
+  return mpz_probab_prime_p(v_, rounds) != 0;
+}
+
+std::string Bigint::ToString(int base) const {
+  std::vector<char> buf(mpz_sizeinbase(v_, base) + 2);
+  mpz_get_str(buf.data(), base, v_);
+  return std::string(buf.data());
+}
+
+Bytes Bigint::ToBytes() const {
+  if (IsZero()) return Bytes();
+  size_t count = 0;
+  size_t nbytes = (mpz_sizeinbase(v_, 2) + 7) / 8;
+  Bytes out(nbytes, '\0');
+  mpz_export(out.data(), &count, /*order=*/1, /*size=*/1, /*endian=*/1,
+             /*nails=*/0, v_);
+  out.resize(count);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Bigint& v) {
+  return os << v.ToString();
+}
+
+}  // namespace dpe::crypto

@@ -1,0 +1,113 @@
+// Arbitrary-precision integers: a value-semantics RAII wrapper over GMP's
+// mpz_t, plus the number theory needed by Paillier and OPE (modexp, invmod,
+// gcd/lcm, Miller-Rabin, random prime generation from our CSPRNG).
+//
+// No raw mpz_t escapes this header; the rest of the library only sees
+// `Bigint`.
+
+#ifndef DPE_CRYPTO_BIGINT_H_
+#define DPE_CRYPTO_BIGINT_H_
+
+#include <gmp.h>
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "common/hex.h"
+#include "common/status.h"
+
+namespace dpe::crypto {
+
+class Csprng;
+
+/// Arbitrary-precision signed integer (value semantics).
+class Bigint {
+ public:
+  Bigint() { mpz_init(v_); }
+  Bigint(int64_t v) { mpz_init_set_si(v_, v); }  // NOLINT(runtime/explicit)
+  Bigint(const Bigint& other) { mpz_init_set(v_, other.v_); }
+  Bigint(Bigint&& other) noexcept {
+    mpz_init(v_);
+    mpz_swap(v_, other.v_);
+  }
+  Bigint& operator=(const Bigint& other) {
+    if (this != &other) mpz_set(v_, other.v_);
+    return *this;
+  }
+  Bigint& operator=(Bigint&& other) noexcept {
+    mpz_swap(v_, other.v_);
+    return *this;
+  }
+  ~Bigint() { mpz_clear(v_); }
+
+  /// Parses a base-10 or base-16 ("0x"-prefixed) string.
+  static Result<Bigint> FromString(std::string_view s);
+  /// Interprets `bytes` as a big-endian unsigned integer.
+  static Bigint FromBytes(std::string_view bytes);
+  /// Uniform in [0, bound) using cryptographic randomness.
+  static Bigint RandomBelow(const Bigint& bound, Csprng& rng);
+  /// Random integer with exactly `bits` bits (msb set).
+  static Bigint RandomBits(int bits, Csprng& rng);
+  /// Random prime with exactly `bits` bits (Miller-Rabin, 32 rounds).
+  static Bigint RandomPrime(int bits, Csprng& rng);
+
+  // Arithmetic.
+  friend Bigint operator+(const Bigint& a, const Bigint& b);
+  friend Bigint operator-(const Bigint& a, const Bigint& b);
+  friend Bigint operator*(const Bigint& a, const Bigint& b);
+  /// Truncated division (C semantics).
+  friend Bigint operator/(const Bigint& a, const Bigint& b);
+  /// Mathematical mod: result always in [0, |b|).
+  friend Bigint operator%(const Bigint& a, const Bigint& b);
+  Bigint operator-() const;
+  Bigint& operator+=(const Bigint& b);
+  Bigint& operator-=(const Bigint& b);
+  Bigint& operator*=(const Bigint& b);
+
+  // Comparison.
+  friend bool operator==(const Bigint& a, const Bigint& b) {
+    return mpz_cmp(a.v_, b.v_) == 0;
+  }
+  friend bool operator!=(const Bigint& a, const Bigint& b) { return !(a == b); }
+  friend bool operator<(const Bigint& a, const Bigint& b) {
+    return mpz_cmp(a.v_, b.v_) < 0;
+  }
+  friend bool operator<=(const Bigint& a, const Bigint& b) {
+    return mpz_cmp(a.v_, b.v_) <= 0;
+  }
+  friend bool operator>(const Bigint& a, const Bigint& b) { return b < a; }
+  friend bool operator>=(const Bigint& a, const Bigint& b) { return b <= a; }
+
+  // Number theory.
+  /// this^e mod m; e >= 0, m > 0.
+  Bigint PowMod(const Bigint& e, const Bigint& m) const;
+  /// Modular inverse; fails if gcd(this, m) != 1.
+  Result<Bigint> InvMod(const Bigint& m) const;
+  static Bigint Gcd(const Bigint& a, const Bigint& b);
+  static Bigint Lcm(const Bigint& a, const Bigint& b);
+  /// Miller-Rabin (GMP mpz_probab_prime_p); true for "probably/definitely".
+  bool IsProbablePrime(int rounds = 32) const;
+
+  // Introspection / conversion.
+  bool IsZero() const { return mpz_sgn(v_) == 0; }
+  bool IsNegative() const { return mpz_sgn(v_) < 0; }
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const { return IsZero() ? 0 : mpz_sizeinbase(v_, 2); }
+  /// Low 64 bits (two's complement semantics for in-range values).
+  int64_t ToI64() const { return mpz_get_si(v_); }
+  bool FitsI64() const { return mpz_fits_slong_p(v_) != 0; }
+  std::string ToString(int base = 10) const;
+  /// Big-endian magnitude bytes (empty for zero); sign is dropped.
+  Bytes ToBytes() const;
+
+ private:
+  mpz_t v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Bigint& v);
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_BIGINT_H_

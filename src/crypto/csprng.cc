@@ -1,0 +1,64 @@
+#include "crypto/csprng.h"
+
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+#include "crypto/sha256.h"
+
+namespace dpe::crypto {
+
+Csprng::Csprng(const Bytes& key_material) : buffer_pos_(16) {
+  // key_material is hashed to exactly 32 key bytes + 16 counter bytes.
+  Bytes key = Sha256::Digest(Bytes("csprng-key\x00", 11) + key_material);
+  Bytes ctr = Sha256::Digest(Bytes("csprng-ctr\x00", 11) + key_material);
+  auto aes = Aes::Create(key);
+  aes_ = std::make_shared<Aes>(std::move(aes).value());
+  std::memcpy(counter_, ctr.data(), 16);
+}
+
+Csprng Csprng::FromSystemEntropy() {
+  Bytes seed(48, '\0');
+  FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f != nullptr) {
+    size_t got = std::fread(seed.data(), 1, seed.size(), f);
+    std::fclose(f);
+    if (got == seed.size()) return Csprng(seed);
+  }
+  // Fallback: std::random_device (still OS entropy on Linux).
+  std::random_device rd;
+  for (auto& c : seed) c = static_cast<char>(rd());
+  return Csprng(seed);
+}
+
+Csprng Csprng::FromSeed(std::string_view seed) { return Csprng(Bytes(seed)); }
+
+Bytes Csprng::NextBytes(size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (buffer_pos_ == 16) {
+      aes_->EncryptBlock(counter_, buffer_);
+      for (int i = 15; i >= 0; --i) {
+        if (++counter_[i] != 0) break;
+      }
+      buffer_pos_ = 0;
+    }
+    size_t take = std::min<size_t>(16 - buffer_pos_, n - out.size());
+    out.append(reinterpret_cast<char*>(buffer_) + buffer_pos_, take);
+    buffer_pos_ += take;
+  }
+  return out;
+}
+
+uint64_t Csprng::NextU64() { return DecodeBigEndian64(NextBytes(8)); }
+
+uint64_t Csprng::NextBelow(uint64_t bound) {
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace dpe::crypto

@@ -1,0 +1,35 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace dpe::crypto {
+
+Bytes HkdfExtract(std::string_view salt, std::string_view ikm) {
+  Bytes effective_salt =
+      salt.empty() ? Bytes(Sha256::kDigestSize, '\0') : Bytes(salt);
+  return HmacSha256(effective_salt, ikm);
+}
+
+Bytes HkdfExpand(std::string_view prk, std::string_view info, size_t length) {
+  Bytes out;
+  out.reserve(length);
+  Bytes t;
+  unsigned char counter = 1;
+  while (out.size() < length) {
+    Bytes msg = t;
+    msg.append(info);
+    msg.push_back(static_cast<char>(counter));
+    t = HmacSha256(prk, msg);
+    out.append(t, 0, std::min(t.size(), length - out.size()));
+    ++counter;
+  }
+  return out;
+}
+
+Bytes Hkdf(std::string_view ikm, std::string_view salt, std::string_view info,
+           size_t length) {
+  return HkdfExpand(HkdfExtract(salt, ikm), info, length);
+}
+
+}  // namespace dpe::crypto

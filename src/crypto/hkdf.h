@@ -1,0 +1,25 @@
+// HKDF (RFC 5869) over HMAC-SHA256: the key-hierarchy derivation function.
+
+#ifndef DPE_CRYPTO_HKDF_H_
+#define DPE_CRYPTO_HKDF_H_
+
+#include <string_view>
+
+#include "common/hex.h"
+
+namespace dpe::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes HkdfExtract(std::string_view salt, std::string_view ikm);
+
+/// HKDF-Expand: derives `length` bytes from `prk` under `info`.
+/// `length` must be <= 255 * 32.
+Bytes HkdfExpand(std::string_view prk, std::string_view info, size_t length);
+
+/// Extract-then-expand convenience.
+Bytes Hkdf(std::string_view ikm, std::string_view salt, std::string_view info,
+           size_t length);
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_HKDF_H_

@@ -1,0 +1,64 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha256.h"
+
+namespace dpe::crypto {
+
+Bytes HmacSha256(std::string_view key, std::string_view message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+  Bytes k(kBlock, '\0');
+  if (key.size() > kBlock) {
+    Bytes digest = Sha256::Digest(key);
+    std::copy(digest.begin(), digest.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  Bytes ipad(kBlock, '\0');
+  Bytes opad(kBlock, '\0');
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<char>(k[i] ^ 0x36);
+    opad[i] = static_cast<char>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes Prf(std::string_view key, std::string_view label, std::string_view input) {
+  Bytes msg;
+  msg.reserve(label.size() + 1 + input.size());
+  msg.append(label);
+  msg.push_back('\0');  // domain separator
+  msg.append(input);
+  return HmacSha256(key, msg);
+}
+
+Bytes PrfExpand(std::string_view key, std::string_view label,
+                std::string_view input, size_t n) {
+  Bytes out;
+  out.reserve(n);
+  uint32_t counter = 0;
+  while (out.size() < n) {
+    Bytes msg;
+    msg.append(label);
+    msg.push_back('\0');
+    msg.append(EncodeBigEndian64(counter));
+    msg.append(input);
+    Bytes block = HmacSha256(key, msg);
+    out.append(block, 0, std::min(block.size(), n - out.size()));
+    ++counter;
+  }
+  return out;
+}
+
+uint64_t PrfU64(std::string_view key, std::string_view label,
+                std::string_view input) {
+  return DecodeBigEndian64(Prf(key, label, input));
+}
+
+}  // namespace dpe::crypto

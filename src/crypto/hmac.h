@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). The library's workhorse PRF.
+
+#ifndef DPE_CRYPTO_HMAC_H_
+#define DPE_CRYPTO_HMAC_H_
+
+#include <string_view>
+
+#include "common/hex.h"
+
+namespace dpe::crypto {
+
+/// Computes HMAC-SHA256(key, message); returns the 32-byte tag.
+Bytes HmacSha256(std::string_view key, std::string_view message);
+
+/// PRF view of HMAC: F_key(label || input). The label separates domains so
+/// that the same key can safely serve different purposes.
+Bytes Prf(std::string_view key, std::string_view label, std::string_view input);
+
+/// PRF output truncated/expanded to exactly `n` bytes (counter mode over
+/// HMAC, NIST SP 800-108 style).
+Bytes PrfExpand(std::string_view key, std::string_view label,
+                std::string_view input, size_t n);
+
+/// PRF mapped to a uint64 (first 8 bytes, big-endian).
+uint64_t PrfU64(std::string_view key, std::string_view label,
+                std::string_view input);
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_HMAC_H_

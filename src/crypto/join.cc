@@ -1,0 +1,39 @@
+#include "crypto/join.h"
+
+namespace dpe::crypto {
+
+Status JoinKeyRegistry::AddToGroup(const std::string& group,
+                                   const std::string& column) {
+  auto it = column_to_group_.find(column);
+  if (it != column_to_group_.end() && it->second != group) {
+    return Status::AlreadyExists("column " + column +
+                                 " already in join group " + it->second);
+  }
+  column_to_group_[column] = group;
+  return Status::OK();
+}
+
+bool JoinKeyRegistry::IsJoinColumn(const std::string& column) const {
+  return column_to_group_.contains(column);
+}
+
+std::optional<std::string> JoinKeyRegistry::GroupOf(
+    const std::string& column) const {
+  auto it = column_to_group_.find(column);
+  if (it == column_to_group_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<DetEncryptor> JoinKeyRegistry::EncryptorFor(
+    const std::string& column) const {
+  auto group = GroupOf(column);
+  Bytes key = group.has_value() ? keys_->Derive("join-group/" + *group)
+                                : keys_->Derive("det-column/" + column);
+  return DetEncryptor::Create(key);
+}
+
+PpeClass JoinKeyRegistry::ClassFor(const std::string& column) const {
+  return IsJoinColumn(column) ? PpeClass::kJoin : PpeClass::kDet;
+}
+
+}  // namespace dpe::crypto

@@ -1,0 +1,28 @@
+#include "crypto/prob.h"
+
+namespace dpe::crypto {
+
+Result<ProbEncryptor> ProbEncryptor::Create(std::string_view key, Csprng rng) {
+  if (key.size() != 32) {
+    return Status::CryptoError("ProbEncryptor requires a 32-byte key");
+  }
+  DPE_ASSIGN_OR_RETURN(Aes aes, Aes::Create(key));
+  return ProbEncryptor(std::move(aes), std::move(rng));
+}
+
+Bytes ProbEncryptor::Encrypt(std::string_view plaintext) {
+  Bytes iv = rng_.NextBytes(Aes::kBlockSize);
+  Bytes body = aes_.CtrXcrypt(iv, plaintext);
+  return iv + body;
+}
+
+Result<Bytes> ProbEncryptor::Decrypt(std::string_view ciphertext) const {
+  if (ciphertext.size() < Aes::kBlockSize) {
+    return Status::CryptoError("PROB ciphertext shorter than IV");
+  }
+  std::string_view iv = ciphertext.substr(0, Aes::kBlockSize);
+  std::string_view body = ciphertext.substr(Aes::kBlockSize);
+  return aes_.CtrXcrypt(iv, body);
+}
+
+}  // namespace dpe::crypto

@@ -1,0 +1,36 @@
+// PROB instance: randomized AES-CTR. Equal plaintexts map to different
+// ciphertexts with overwhelming probability (fresh 16-byte IV per call).
+// This is the "randomized AES" instance the paper cites for the PROB class.
+
+#ifndef DPE_CRYPTO_PROB_H_
+#define DPE_CRYPTO_PROB_H_
+
+#include <memory>
+
+#include "crypto/aes.h"
+#include "crypto/csprng.h"
+#include "crypto/scheme.h"
+
+namespace dpe::crypto {
+
+/// Probabilistic encryption: ct = IV || AES-CTR_K(IV, pt).
+class ProbEncryptor final : public ValueEncryptor {
+ public:
+  /// `key` must be 32 bytes; `rng` supplies the per-call IVs.
+  static Result<ProbEncryptor> Create(std::string_view key, Csprng rng);
+
+  Bytes Encrypt(std::string_view plaintext) override;
+  Result<Bytes> Decrypt(std::string_view ciphertext) const override;
+  bool deterministic() const override { return false; }
+  PpeClass ppe_class() const override { return PpeClass::kProb; }
+
+ private:
+  ProbEncryptor(Aes aes, Csprng rng) : aes_(std::move(aes)), rng_(std::move(rng)) {}
+
+  Aes aes_;
+  Csprng rng_;
+};
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_PROB_H_

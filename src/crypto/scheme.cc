@@ -1,0 +1,67 @@
+#include "crypto/scheme.h"
+
+#include <cstring>
+
+namespace dpe::crypto {
+
+const char* PpeClassName(PpeClass c) {
+  switch (c) {
+    case PpeClass::kIdentity:
+      return "IDENTITY";
+    case PpeClass::kProb:
+      return "PROB";
+    case PpeClass::kHom:
+      return "HOM";
+    case PpeClass::kDet:
+      return "DET";
+    case PpeClass::kOpe:
+      return "OPE";
+    case PpeClass::kJoin:
+      return "JOIN";
+    case PpeClass::kJoinOpe:
+      return "JOIN-OPE";
+  }
+  return "?";
+}
+
+int PpeSecurityLevel(PpeClass c) {
+  switch (c) {
+    case PpeClass::kIdentity:
+      return 0;
+    case PpeClass::kProb:
+    case PpeClass::kHom:
+      return 3;
+    case PpeClass::kDet:
+    case PpeClass::kJoin:
+      return 2;
+    case PpeClass::kOpe:
+    case PpeClass::kJoinOpe:
+      return 1;
+  }
+  return 0;
+}
+
+uint64_t OrderPreservingU64FromDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  // Negative doubles: flip all bits (reverses their order and places them
+  // below positives). Non-negative: set the sign bit (places them above).
+  if (bits & (1ULL << 63)) {
+    return ~bits;
+  }
+  return bits | (1ULL << 63);
+}
+
+double DoubleFromOrderPreservingU64(uint64_t u) {
+  uint64_t bits;
+  if (u & (1ULL << 63)) {
+    bits = u & ~(1ULL << 63);
+  } else {
+    bits = ~u;
+  }
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+}  // namespace dpe::crypto

@@ -1,0 +1,76 @@
+// Common vocabulary for the property-preserving encryption (PPE) classes of
+// the paper's Fig. 1, plus the byte-level encryptor interface shared by the
+// PROB and DET instances.
+//
+//   PROB  probabilistic: equal plaintexts -> different ciphertexts (w.h.p.)
+//   HOM   homomorphic (subclass of PROB): aggregate arithmetic on ciphertexts
+//   DET   deterministic: equal plaintexts -> equal ciphertexts
+//   OPE   order-preserving (subclass of DET w.r.t. determinism): preserves <
+//   JOIN / JOIN-OPE  usage modes of DET / OPE enabling cross-column joins
+
+#ifndef DPE_CRYPTO_SCHEME_H_
+#define DPE_CRYPTO_SCHEME_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hex.h"
+#include "common/status.h"
+
+namespace dpe::crypto {
+
+/// The PPE classes of Fig. 1. kIdentity ("no encryption") is included as the
+/// zero-security baseline that the appropriate-class search must never pick
+/// when a real class suffices.
+enum class PpeClass : uint8_t {
+  kIdentity = 0,
+  kProb,
+  kHom,
+  kDet,
+  kOpe,
+  kJoin,
+  kJoinOpe,
+};
+
+/// Stable display name ("PROB", "DET", ...).
+const char* PpeClassName(PpeClass c);
+
+/// Fig. 1 security level: 3 = PROB/HOM (top row), 2 = DET/JOIN,
+/// 1 = OPE/JOIN-OPE (bottom row), 0 = identity. Classes within one level are
+/// not security-comparable (the paper: "a security ranking is not possible").
+int PpeSecurityLevel(PpeClass c);
+
+/// Byte-string -> byte-string symmetric encryptor (PROB and DET instances).
+class ValueEncryptor {
+ public:
+  virtual ~ValueEncryptor() = default;
+
+  /// Encrypts an arbitrary byte string.
+  virtual Bytes Encrypt(std::string_view plaintext) = 0;
+
+  /// Inverts Encrypt; fails on malformed/forged ciphertexts.
+  virtual Result<Bytes> Decrypt(std::string_view ciphertext) const = 0;
+
+  /// True iff Encrypt is a function of the plaintext alone.
+  virtual bool deterministic() const = 0;
+
+  virtual PpeClass ppe_class() const = 0;
+};
+
+/// Maps int64 to uint64 such that the unsigned order of the images equals
+/// the signed order of the preimages (offset-binary encoding).
+inline uint64_t OrderPreservingU64FromI64(int64_t v) {
+  return static_cast<uint64_t>(v) ^ (1ULL << 63);
+}
+inline int64_t I64FromOrderPreservingU64(uint64_t u) {
+  return static_cast<int64_t>(u ^ (1ULL << 63));
+}
+
+/// Maps a finite double to uint64 such that unsigned order of images equals
+/// IEEE-754 total order of preimages (sign-magnitude flip).
+uint64_t OrderPreservingU64FromDouble(double d);
+double DoubleFromOrderPreservingU64(uint64_t u);
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_SCHEME_H_

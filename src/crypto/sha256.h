@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used as the PRF/KDF core
+// for deterministic encryption IVs, HKDF key derivation and OPE coins.
+
+#ifndef DPE_CRYPTO_SHA256_H_
+#define DPE_CRYPTO_SHA256_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/hex.h"
+
+namespace dpe::crypto {
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(std::string_view data);
+
+  /// Finalizes and returns the 32-byte digest. The context must not be
+  /// reused afterwards (construct a fresh one).
+  Bytes Finish();
+
+  /// One-shot convenience.
+  static Bytes Digest(std::string_view data);
+
+ private:
+  void Compress(const unsigned char* block);
+
+  uint32_t h_[8];
+  unsigned char buffer_[kBlockSize];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_SHA256_H_

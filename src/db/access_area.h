@@ -1,0 +1,74 @@
+// Query access areas (Nguyen et al., [16]): for each attribute A accessed by
+// a query Q, access_A(Q) is the part of A's domain that Q accesses.
+//
+// Faithful to the paper's §IV-B-4 and its observation in §IV-C: the SELECT
+// clause does NOT influence access areas (that is what lets the access-area
+// scheme encrypt SELECT-only aggregate columns with PROB). Attributes are
+// "accessed" when they appear in WHERE, JOIN-ON, GROUP BY or ORDER BY;
+// constraints come from WHERE alone; accessed-but-unconstrained attributes
+// get the full domain.
+//
+// Extraction: the WHERE tree is normalized to negation normal form (NOT is
+// pushed onto atoms, flipping operators), then projected per attribute with
+// AND -> intersection, OR -> union; atoms on other attributes project to the
+// full domain. All interval math is endpoint-comparison based (interval.h),
+// so the extraction commutes with any order-preserving re-encoding.
+
+#ifndef DPE_DB_ACCESS_AREA_H_
+#define DPE_DB_ACCESS_AREA_H_
+
+#include <map>
+#include <string>
+
+#include "db/interval.h"
+#include "sql/ast.h"
+
+namespace dpe::db {
+
+/// Attribute domain: closed interval [min, max].
+struct Domain {
+  Value min;
+  Value max;
+};
+
+/// Shared per-attribute domains, keyed "relation.attribute".
+/// (The "Domains" column of the paper's Table I: the extra information that
+/// must be shared for the access-area measure.)
+class DomainRegistry {
+ public:
+  void Set(const std::string& column_key, Domain domain);
+  Result<Domain> Get(const std::string& column_key) const;
+  bool Has(const std::string& column_key) const;
+  const std::map<std::string, Domain>& all() const { return domains_; }
+
+ private:
+  std::map<std::string, Domain> domains_;
+};
+
+struct AccessAreaOptions {
+  /// When true, SELECT-clause attributes also count as accessed (full
+  /// domain). Default false, per the paper. Ablation A1 flips this.
+  bool include_select_clause = false;
+
+  /// When true, atoms and universes are clipped to the registered domain
+  /// [min, max]; every accessed attribute must then have a domain. When
+  /// false, the universe is the unbounded line and domains are not consulted
+  /// — the mode DPE schemes use, because it commutes with *any* injective
+  /// constant encryption (DET point sets) and not only with order-preserving
+  /// ones. For constants within their domains the two modes produce the same
+  /// delta_A values (tested).
+  bool clip_to_domain = true;
+};
+
+/// Per-attribute access areas of `query`. Keys are "relation.attribute"
+/// (aliases resolved to relation names). Fails when an accessed attribute
+/// has no registered domain or an unqualified column is ambiguous.
+Result<std::map<std::string, IntervalSet>> AccessAreas(
+    const sql::SelectQuery& query, const DomainRegistry& domains);
+Result<std::map<std::string, IntervalSet>> AccessAreas(
+    const sql::SelectQuery& query, const DomainRegistry& domains,
+    const AccessAreaOptions& options);
+
+}  // namespace dpe::db
+
+#endif  // DPE_DB_ACCESS_AREA_H_

@@ -1,0 +1,33 @@
+#include "db/database.h"
+
+namespace dpe::db {
+
+Status Database::CreateTable(Table table) {
+  const std::string name = table.name();
+  if (name.empty()) return Status::InvalidArgument("table must be named");
+  auto [it, inserted] = tables_.emplace(name, std::move(table));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table " + name + " exists");
+  return Status::OK();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no table named " + name);
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dpe::db

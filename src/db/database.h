@@ -1,0 +1,35 @@
+// The database catalog: named tables.
+
+#ifndef DPE_DB_DATABASE_H_
+#define DPE_DB_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+
+namespace dpe::db {
+
+class Database {
+ public:
+  /// Registers a new table; fails if the name exists.
+  Status CreateTable(Table table);
+
+  /// Lookup (null Status NotFound when missing).
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const { return tables_.contains(name); }
+
+  std::vector<std::string> TableNames() const;
+
+  size_t table_count() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace dpe::db
+
+#endif  // DPE_DB_DATABASE_H_

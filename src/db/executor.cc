@@ -1,0 +1,390 @@
+#include "db/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace dpe::db {
+
+namespace {
+
+struct BoundQuery {
+  EvalScope scope;
+  std::vector<Row> rows;  // joined working set
+};
+
+/// Loads FROM and folds in each JOIN with a hash equi-join.
+Result<BoundQuery> BindAndJoin(const Database& db, const sql::SelectQuery& q) {
+  BoundQuery bound;
+  DPE_ASSIGN_OR_RETURN(const Table* base, db.GetTable(q.from.name));
+  const std::string base_qual =
+      q.from.alias.empty() ? q.from.name : q.from.alias;
+  bound.scope.AddTable(base_qual, base->schema(), 0);
+  bound.rows = base->rows();
+
+  size_t width = base->schema().size();
+  for (const auto& join : q.joins) {
+    DPE_ASSIGN_OR_RETURN(const Table* right, db.GetTable(join.table.name));
+    const std::string right_qual =
+        join.table.alias.empty() ? join.table.name : join.table.alias;
+    EvalScope next_scope = bound.scope;
+    next_scope.AddTable(right_qual, right->schema(), width);
+
+    // Resolve both sides of the ON equality in the combined scope; exactly
+    // one side must land in the new table.
+    DPE_ASSIGN_OR_RETURN(size_t left_idx, next_scope.Resolve(join.left));
+    DPE_ASSIGN_OR_RETURN(size_t right_idx, next_scope.Resolve(join.right));
+    size_t probe_idx, build_idx;
+    if (left_idx < width && right_idx >= width) {
+      probe_idx = left_idx;
+      build_idx = right_idx - width;
+    } else if (right_idx < width && left_idx >= width) {
+      probe_idx = right_idx;
+      build_idx = left_idx - width;
+    } else {
+      return Status::ExecutionError(
+          "JOIN condition must relate the new table to a previous one");
+    }
+
+    // Build hash table on the new (right) table.
+    std::unordered_multimap<std::string, const Row*> hash;
+    hash.reserve(right->rows().size());
+    for (const Row& r : right->rows()) {
+      if (r[build_idx].is_null()) continue;
+      hash.emplace(r[build_idx].KeyBytes(), &r);
+    }
+    std::vector<Row> joined;
+    for (const Row& l : bound.rows) {
+      if (l[probe_idx].is_null()) continue;
+      auto [lo, hi] = hash.equal_range(l[probe_idx].KeyBytes());
+      for (auto it = lo; it != hi; ++it) {
+        Row combined = l;
+        combined.insert(combined.end(), it->second->begin(), it->second->end());
+        joined.push_back(std::move(combined));
+      }
+    }
+    bound.rows = std::move(joined);
+    bound.scope = std::move(next_scope);
+    width += right->schema().size();
+  }
+  return bound;
+}
+
+std::string ItemName(const sql::SelectItem& item) {
+  if (item.agg == sql::AggFn::kNone) {
+    return item.star ? "*" : item.column.ToSql();
+  }
+  std::string inner = item.star ? "*" : item.column.ToSql();
+  return std::string(sql::AggFnSql(item.agg)) + "(" + inner + ")";
+}
+
+/// Default (plaintext) aggregate semantics.
+Result<Value> DefaultAggregate(sql::AggFn fn, const std::vector<Value>& values,
+                               bool star) {
+  if (fn == sql::AggFn::kCount) {
+    if (star) return Value::Int(static_cast<int64_t>(values.size()));
+    int64_t n = 0;
+    for (const Value& v : values) {
+      if (!v.is_null()) ++n;
+    }
+    return Value::Int(n);
+  }
+  // Other aggregates ignore NULLs; empty input -> NULL.
+  std::vector<const Value*> present;
+  present.reserve(values.size());
+  for (const Value& v : values) {
+    if (!v.is_null()) present.push_back(&v);
+  }
+  if (present.empty()) return Value::Null();
+  switch (fn) {
+    case sql::AggFn::kSum:
+    case sql::AggFn::kAvg: {
+      bool all_int = true;
+      double acc = 0;
+      int64_t iacc = 0;
+      for (const Value* v : present) {
+        auto num = v->AsNumeric();
+        if (!num.has_value()) {
+          return Status::TypeError("SUM/AVG over non-numeric column");
+        }
+        acc += *num;
+        if (v->is_int()) {
+          iacc += v->int_value();
+        } else {
+          all_int = false;
+        }
+      }
+      if (fn == sql::AggFn::kAvg) {
+        return Value::Double(acc / static_cast<double>(present.size()));
+      }
+      return all_int ? Value::Int(iacc) : Value::Double(acc);
+    }
+    case sql::AggFn::kMin:
+    case sql::AggFn::kMax: {
+      const Value* best = present[0];
+      for (const Value* v : present) {
+        auto cmp = Value::Compare(*v, *best);
+        if (!cmp.has_value()) {
+          return Status::TypeError("MIN/MAX over mixed-type column");
+        }
+        if ((fn == sql::AggFn::kMin && *cmp < 0) ||
+            (fn == sql::AggFn::kMax && *cmp > 0)) {
+          best = v;
+        }
+      }
+      return *best;
+    }
+    default:
+      return Status::Internal("unexpected aggregate");
+  }
+}
+
+}  // namespace
+
+std::set<std::string> ResultTable::TupleKeySet() const {
+  std::set<std::string> out;
+  for (const Row& r : rows) {
+    std::string key;
+    for (size_t i = 0; i < r.size(); ++i) {
+      const char kind = i < column_kinds.size()
+                            ? static_cast<char>(column_kinds[i])
+                            : static_cast<char>(OutputKind::kPlain);
+      std::string part = r[i].KeyBytes();
+      key += kind;
+      key += std::to_string(part.size());
+      key += ':';
+      key += part;
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+namespace {
+OutputKind KindOfItem(const sql::SelectItem& item) {
+  switch (item.agg) {
+    case sql::AggFn::kNone:
+      return OutputKind::kPlain;
+    case sql::AggFn::kCount:
+      return OutputKind::kCount;
+    case sql::AggFn::kSum:
+      return OutputKind::kSum;
+    case sql::AggFn::kAvg:
+      return OutputKind::kAvg;
+    case sql::AggFn::kMin:
+    case sql::AggFn::kMax:
+      return OutputKind::kMinMax;
+  }
+  return OutputKind::kPlain;
+}
+}  // namespace
+
+Result<ResultTable> Execute(const Database& db, const sql::SelectQuery& q) {
+  return Execute(db, q, ExecuteOptions{});
+}
+
+Result<ResultTable> Execute(const Database& db, const sql::SelectQuery& q,
+                            const ExecuteOptions& options) {
+  DPE_ASSIGN_OR_RETURN(BoundQuery bound, BindAndJoin(db, q));
+
+  // WHERE filter.
+  if (q.where) {
+    std::vector<Row> kept;
+    kept.reserve(bound.rows.size());
+    for (Row& r : bound.rows) {
+      DPE_ASSIGN_OR_RETURN(bool pass, EvaluatePredicate(*q.where, r, bound.scope));
+      if (pass) kept.push_back(std::move(r));
+    }
+    bound.rows = std::move(kept);
+  }
+
+  const bool has_agg = std::any_of(
+      q.items.begin(), q.items.end(),
+      [](const sql::SelectItem& i) { return i.agg != sql::AggFn::kNone; });
+  const bool grouped = has_agg || !q.group_by.empty();
+
+  // In the ungrouped path ORDER BY sorts the working rows *before*
+  // projection (standard SQL: sort columns need not be projected).
+  if (!grouped && !q.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> sort_spec;
+    for (const auto& o : q.order_by) {
+      DPE_ASSIGN_OR_RETURN(size_t idx, bound.scope.Resolve(o.column));
+      sort_spec.emplace_back(idx, o.ascending);
+    }
+    std::stable_sort(bound.rows.begin(), bound.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (auto [idx, asc] : sort_spec) {
+                         if (a[idx] == b[idx]) continue;
+                         bool less = a[idx] < b[idx];
+                         return asc ? less : !less;
+                       }
+                       return false;
+                     });
+  }
+
+  ResultTable result;
+  for (const auto& item : q.items) {
+    if (item.star && item.agg == sql::AggFn::kNone) {
+      // Expanded below; record a placeholder name.
+      result.column_names.push_back("*");
+    } else {
+      result.column_names.push_back(ItemName(item));
+    }
+  }
+
+  // Pre-resolve plain select columns (star expands to the full row).
+  struct ResolvedItem {
+    const sql::SelectItem* item;
+    size_t index = 0;  // for non-star columns
+  };
+  std::vector<ResolvedItem> resolved;
+  for (const auto& item : q.items) {
+    ResolvedItem ri{&item, 0};
+    if (!item.star) {
+      DPE_ASSIGN_OR_RETURN(ri.index, bound.scope.Resolve(item.column));
+    }
+    resolved.push_back(ri);
+  }
+
+  // Output kinds aligned with the actual output row layout (star expands).
+  for (const auto& ri : resolved) {
+    if (ri.item->star && ri.item->agg == sql::AggFn::kNone) {
+      for (size_t k = 0; k < bound.scope.width(); ++k) {
+        result.column_kinds.push_back(OutputKind::kPlain);
+      }
+    } else {
+      result.column_kinds.push_back(KindOfItem(*ri.item));
+    }
+  }
+
+  if (grouped) {
+    // Grouped / aggregated path.
+    std::vector<size_t> group_idx;
+    for (const auto& c : q.group_by) {
+      DPE_ASSIGN_OR_RETURN(size_t idx, bound.scope.Resolve(c));
+      group_idx.push_back(idx);
+    }
+    // Non-aggregate select items must be group-by columns.
+    for (const auto& ri : resolved) {
+      if (ri.item->agg != sql::AggFn::kNone) continue;
+      if (ri.item->star) {
+        return Status::ExecutionError("SELECT * cannot be combined with aggregates");
+      }
+      if (std::find(group_idx.begin(), group_idx.end(), ri.index) ==
+          group_idx.end()) {
+        return Status::ExecutionError("non-aggregated column " +
+                                      ri.item->column.ToSql() +
+                                      " must appear in GROUP BY");
+      }
+    }
+    // Group rows; the ordered map keyed by the group-by values makes group
+    // output order deterministic and ascending in those values.
+    std::map<std::vector<Value>, std::vector<const Row*>> groups;
+    for (const Row& r : bound.rows) {
+      std::vector<Value> key;
+      key.reserve(group_idx.size());
+      for (size_t idx : group_idx) key.push_back(r[idx]);
+      groups[std::move(key)].push_back(&r);
+    }
+    // A global aggregate over an empty input still yields one row.
+    if (groups.empty() && q.group_by.empty()) {
+      groups[{}] = {};
+    }
+    for (const auto& [key, members] : groups) {
+      (void)key;
+      Row out;
+      for (const auto& ri : resolved) {
+        if (ri.item->agg == sql::AggFn::kNone) {
+          out.push_back((*members.front())[ri.index]);
+          continue;
+        }
+        std::vector<Value> args;
+        args.reserve(members.size());
+        if (ri.item->star) {
+          for (const Row* m : members) {
+            (void)m;
+            args.push_back(Value::Int(1));  // COUNT(*) placeholder values
+          }
+        } else {
+          for (const Row* m : members) args.push_back((*m)[ri.index]);
+        }
+        std::optional<Value> hooked;
+        if (options.agg_hook) {
+          const std::string col_name =
+              ri.item->star ? "*" : ri.item->column.name;
+          hooked = options.agg_hook(ri.item->agg, col_name, args);
+        }
+        if (hooked.has_value()) {
+          out.push_back(std::move(*hooked));
+        } else {
+          DPE_ASSIGN_OR_RETURN(
+              Value v, DefaultAggregate(ri.item->agg, args, ri.item->star));
+          out.push_back(std::move(v));
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  } else {
+    // Plain projection path.
+    for (const Row& r : bound.rows) {
+      Row out;
+      for (const auto& ri : resolved) {
+        if (ri.item->star) {
+          out.insert(out.end(), r.begin(), r.end());
+        } else {
+          out.push_back(r[ri.index]);
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+  }
+
+  if (q.distinct) {
+    std::set<std::string> seen;
+    std::vector<Row> unique_rows;
+    for (Row& r : result.rows) {
+      if (seen.insert(Table::RowKey(r)).second) {
+        unique_rows.push_back(std::move(r));
+      }
+    }
+    result.rows = std::move(unique_rows);
+  }
+
+  if (grouped && !q.order_by.empty()) {
+    // Grouped output: ORDER BY columns must be projected; match by name.
+    std::vector<std::pair<size_t, bool>> sort_spec;
+    for (const auto& o : q.order_by) {
+      size_t pos = SIZE_MAX;
+      for (size_t i = 0; i < result.column_names.size(); ++i) {
+        if (result.column_names[i] == o.column.ToSql() ||
+            result.column_names[i] == o.column.name) {
+          pos = i;
+          break;
+        }
+      }
+      if (pos == SIZE_MAX) {
+        return Status::ExecutionError("ORDER BY column " + o.column.ToSql() +
+                                      " is not in the select list");
+      }
+      sort_spec.emplace_back(pos, o.ascending);
+    }
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (auto [idx, asc] : sort_spec) {
+                         if (a[idx] == b[idx]) continue;
+                         bool less = a[idx] < b[idx];
+                         return asc ? less : !less;
+                       }
+                       return false;
+                     });
+  }
+
+  if (q.limit.has_value() &&
+      result.rows.size() > static_cast<size_t>(*q.limit)) {
+    result.rows.resize(static_cast<size_t>(*q.limit));
+  }
+
+  return result;
+}
+
+}  // namespace dpe::db

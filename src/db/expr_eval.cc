@@ -1,0 +1,109 @@
+#include "db/expr_eval.h"
+
+namespace dpe::db {
+
+void EvalScope::AddTable(const std::string& qualifier, const TableSchema& schema,
+                         size_t offset) {
+  for (size_t i = 0; i < schema.size(); ++i) {
+    const std::string& attr = schema.columns()[i].name;
+    qualified_[qualifier + "." + attr] = offset + i;
+    auto [it, inserted] = unqualified_.emplace(attr, static_cast<int>(offset + i));
+    if (!inserted) it->second = -1;  // ambiguous
+  }
+  width_ = std::max(width_, offset + schema.size());
+}
+
+Result<size_t> EvalScope::Resolve(const sql::ColumnRef& column) const {
+  if (!column.relation.empty()) {
+    auto it = qualified_.find(column.relation + "." + column.name);
+    if (it == qualified_.end()) {
+      return Status::ExecutionError("unknown column " + column.ToSql());
+    }
+    return it->second;
+  }
+  auto it = unqualified_.find(column.name);
+  if (it == unqualified_.end()) {
+    return Status::ExecutionError("unknown column " + column.name);
+  }
+  if (it->second < 0) {
+    return Status::ExecutionError("ambiguous column " + column.name);
+  }
+  return static_cast<size_t>(it->second);
+}
+
+namespace {
+
+bool ApplyOp(sql::CompareOp op, int cmp) {
+  switch (op) {
+    case sql::CompareOp::kEq:
+      return cmp == 0;
+    case sql::CompareOp::kNe:
+      return cmp != 0;
+    case sql::CompareOp::kLt:
+      return cmp < 0;
+    case sql::CompareOp::kLe:
+      return cmp <= 0;
+    case sql::CompareOp::kGt:
+      return cmp > 0;
+    case sql::CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> EvaluatePredicate(const sql::Predicate& p, const Row& row,
+                               const EvalScope& scope) {
+  using Kind = sql::Predicate::Kind;
+  switch (p.kind) {
+    case Kind::kCompare: {
+      DPE_ASSIGN_OR_RETURN(size_t idx, scope.Resolve(p.column));
+      auto cmp = Value::Compare(row[idx], Value::FromLiteral(p.literal));
+      if (!cmp.has_value()) return false;  // NULL / incomparable -> unknown -> false
+      return ApplyOp(p.op, *cmp);
+    }
+    case Kind::kColumnCompare: {
+      DPE_ASSIGN_OR_RETURN(size_t a, scope.Resolve(p.column));
+      DPE_ASSIGN_OR_RETURN(size_t b, scope.Resolve(p.column2));
+      auto cmp = Value::Compare(row[a], row[b]);
+      if (!cmp.has_value()) return false;
+      return ApplyOp(p.op, *cmp);
+    }
+    case Kind::kBetween: {
+      DPE_ASSIGN_OR_RETURN(size_t idx, scope.Resolve(p.column));
+      auto lo = Value::Compare(row[idx], Value::FromLiteral(p.low));
+      auto hi = Value::Compare(row[idx], Value::FromLiteral(p.high));
+      if (!lo.has_value() || !hi.has_value()) return false;
+      return *lo >= 0 && *hi <= 0;
+    }
+    case Kind::kIn: {
+      DPE_ASSIGN_OR_RETURN(size_t idx, scope.Resolve(p.column));
+      for (const auto& lit : p.in_list) {
+        if (Value::SqlEquals(row[idx], Value::FromLiteral(lit))) return true;
+      }
+      return false;
+    }
+    case Kind::kAnd: {
+      for (const auto& c : p.children) {
+        DPE_ASSIGN_OR_RETURN(bool v, EvaluatePredicate(*c, row, scope));
+        if (!v) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const auto& c : p.children) {
+        DPE_ASSIGN_OR_RETURN(bool v, EvaluatePredicate(*c, row, scope));
+        if (v) return true;
+      }
+      return false;
+    }
+    case Kind::kNot: {
+      DPE_ASSIGN_OR_RETURN(bool v, EvaluatePredicate(*p.children[0], row, scope));
+      return !v;
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+}  // namespace dpe::db

@@ -1,0 +1,43 @@
+// Predicate evaluation over (possibly joined) rows.
+
+#ifndef DPE_DB_EXPR_EVAL_H_
+#define DPE_DB_EXPR_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/table.h"
+#include "sql/ast.h"
+
+namespace dpe::db {
+
+/// Column-name resolution for one row layout. Qualified names resolve via
+/// "qualifier.attr" (qualifier = alias if present, else relation name);
+/// unqualified names resolve when unambiguous across the layout.
+class EvalScope {
+ public:
+  /// Appends the columns of `schema` under `qualifier` starting at `offset`.
+  void AddTable(const std::string& qualifier, const TableSchema& schema,
+                size_t offset);
+
+  /// Resolves a column reference to a row index.
+  Result<size_t> Resolve(const sql::ColumnRef& column) const;
+
+  size_t width() const { return width_; }
+
+ private:
+  std::map<std::string, size_t> qualified_;    // "qual.attr" -> index
+  std::map<std::string, int> unqualified_;     // attr -> index or -1 if dup
+  size_t width_ = 0;
+};
+
+/// Evaluates `predicate` on `row`; NULL comparisons are false (SQL-ish
+/// two-valued logic: unknown collapses to false).
+Result<bool> EvaluatePredicate(const sql::Predicate& predicate, const Row& row,
+                               const EvalScope& scope);
+
+}  // namespace dpe::db
+
+#endif  // DPE_DB_EXPR_EVAL_H_

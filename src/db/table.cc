@@ -1,0 +1,61 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+namespace dpe::db {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.size()) + " for table " + name_);
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!schema_.Accepts(i, row[i])) {
+      return Status::TypeError("value " + row[i].ToDisplayString() +
+                               " does not fit column " +
+                               schema_.columns()[i].name + " of " + name_);
+    }
+    // Normalize ints stored in double columns.
+    if (schema_.columns()[i].type == ColumnType::kDouble && row[i].is_int()) {
+      row[i] = Value::Double(static_cast<double>(row[i].int_value()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string Table::RowKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    std::string part = v.KeyBytes();
+    key += std::to_string(part.size());
+    key += ':';
+    key += part;
+  }
+  return key;
+}
+
+std::set<std::string> Table::RowKeySet() const {
+  std::set<std::string> out;
+  for (const Row& r : rows_) out.insert(RowKey(r));
+  return out;
+}
+
+Result<std::vector<Value>> Table::DistinctColumnValues(
+    const std::string& column) const {
+  auto idx = schema_.Find(column);
+  if (!idx.has_value()) {
+    return Status::NotFound("column " + column + " not in table " + name_);
+  }
+  std::vector<Value> values;
+  values.reserve(rows_.size());
+  for (const Row& r : rows_) {
+    if (!r[*idx].is_null()) values.push_back(r[*idx]);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+}  // namespace dpe::db

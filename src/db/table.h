@@ -1,0 +1,49 @@
+// In-memory row-store table.
+
+#ifndef DPE_DB_TABLE_H_
+#define DPE_DB_TABLE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace dpe::db {
+
+using Row = std::vector<Value>;
+
+/// A named relation: schema + rows.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, TableSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Appends a row after arity/type validation.
+  Status Append(Row row);
+
+  /// Injective string key of a row (for set/multiset comparisons).
+  static std::string RowKey(const Row& row);
+
+  /// The set of distinct row keys (result-tuple set semantics).
+  std::set<std::string> RowKeySet() const;
+
+  /// Distinct values of a column, sorted (used for domains / code books).
+  Result<std::vector<Value>> DistinctColumnValues(const std::string& column) const;
+
+ private:
+  std::string name_;
+  TableSchema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dpe::db
+
+#endif  // DPE_DB_TABLE_H_

@@ -1,0 +1,104 @@
+#include "db/value.h"
+
+#include <cmath>
+
+namespace dpe::db {
+
+const char* ColumnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt:
+      return "INT";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+Value Value::FromLiteral(const sql::Literal& lit) {
+  switch (lit.kind()) {
+    case sql::Literal::Kind::kInt:
+      return Int(lit.int_value());
+    case sql::Literal::Kind::kDouble:
+      return Double(lit.double_value());
+    case sql::Literal::Kind::kString:
+      return String(lit.string_value());
+  }
+  return Null();
+}
+
+std::optional<double> Value::AsNumeric() const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_double()) return double_value();
+  return std::nullopt;
+}
+
+std::optional<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.is_string() && b.is_string()) {
+    int c = a.string_value().compare(b.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.is_string() || b.is_string()) return std::nullopt;
+  // Numeric comparison; compare ints exactly when both are ints.
+  if (a.is_int() && b.is_int()) {
+    if (a.int_value() < b.int_value()) return -1;
+    if (a.int_value() > b.int_value()) return 1;
+    return 0;
+  }
+  double x = *a.AsNumeric();
+  double y = *b.AsNumeric();
+  if (x < y) return -1;
+  if (x > y) return 1;
+  return 0;
+}
+
+bool Value::SqlEquals(const Value& a, const Value& b) {
+  auto c = Compare(a, b);
+  return c.has_value() && *c == 0;
+}
+
+bool Value::operator<(const Value& other) const {
+  auto rank = [](const Value& v) {
+    if (v.is_null()) return 0;
+    if (v.is_int() || v.is_double()) return 1;
+    return 2;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb;
+  if (ra == 0) return false;  // NULL == NULL in container order
+  if (ra == 1) {
+    // Both numeric: numeric order; tie-break so int 5 < double 5.0 gives a
+    // strict weak ordering (int before double on exact ties).
+    double x = *AsNumeric();
+    double y = *other.AsNumeric();
+    if (x < y) return true;
+    if (x > y) return false;
+    return is_int() && other.is_double();
+  }
+  return string_value() < other.string_value();
+}
+
+std::string Value::ToDisplayString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(int_value());
+  if (is_double()) return sql::Literal::Double(double_value()).ToSql();
+  return sql::Literal::String(string_value()).ToSql();
+}
+
+std::string Value::KeyBytes() const {
+  if (is_null()) return "n:";
+  if (is_int()) return "i:" + std::to_string(int_value());
+  if (is_double()) return "d:" + sql::Literal::Double(double_value()).ToSql();
+  return "s:" + string_value();
+}
+
+Result<sql::Literal> Value::ToLiteral() const {
+  if (is_null()) return Status::TypeError("NULL has no literal form");
+  if (is_int()) return sql::Literal::Int(int_value());
+  if (is_double()) return sql::Literal::Double(double_value());
+  return sql::Literal::String(string_value());
+}
+
+}  // namespace dpe::db

@@ -1,0 +1,86 @@
+// Typed runtime values of the relational engine.
+//
+// The same engine executes plaintext and encrypted queries: onion columns of
+// the encrypted database simply hold string values (hex ciphertexts), and
+// fixed-width OPE hex strings make lexicographic order coincide with the
+// underlying numeric order, so range predicates work unmodified.
+
+#ifndef DPE_DB_VALUE_H_
+#define DPE_DB_VALUE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace dpe::db {
+
+enum class ColumnType { kInt, kDouble, kString };
+
+/// "INT" | "DOUBLE" | "STRING".
+const char* ColumnTypeName(ColumnType t);
+
+/// A SQL runtime value: NULL, INT, DOUBLE or STRING.
+class Value {
+ private:
+  struct NullTag {
+    bool operator==(const NullTag&) const { return true; }
+  };
+  using Repr = std::variant<NullTag, int64_t, double, std::string>;
+
+ public:
+  Value() : repr_(NullTag{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Double(double v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+  static Value FromLiteral(const sql::Literal& lit);
+
+  bool is_null() const { return std::holds_alternative<NullTag>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+  double double_value() const { return std::get<double>(repr_); }
+  const std::string& string_value() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view (int widened to double); nullopt for NULL / STRING.
+  std::optional<double> AsNumeric() const;
+
+  /// SQL comparison: -1/0/+1; nullopt when either side is NULL or the types
+  /// are incomparable (number vs string).
+  static std::optional<int> Compare(const Value& a, const Value& b);
+
+  /// SQL equality (NULL = anything -> false; int 5 equals double 5.0).
+  static bool SqlEquals(const Value& a, const Value& b);
+
+  /// Strict total order for use in ordered containers / sorting. Orders by
+  /// type class first (NULL < numeric < string), numerics numerically.
+  bool operator<(const Value& other) const;
+  /// Structural equality (used by containers; int 5 != double 5.0 here).
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Display form ("NULL", 42, 3.14, 'abc').
+  std::string ToDisplayString() const;
+
+  /// Injective byte encoding (type-tagged) for hashing/set keys.
+  std::string KeyBytes() const;
+
+  /// Literal with the same value (fails on NULL).
+  Result<sql::Literal> ToLiteral() const;
+
+ private:
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+}  // namespace dpe::db
+
+#endif  // DPE_DB_VALUE_H_

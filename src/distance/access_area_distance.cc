@@ -1,0 +1,44 @@
+#include "distance/access_area_distance.h"
+
+#include <set>
+
+namespace dpe::distance {
+
+Result<double> AccessAreaDistance::Distance(const sql::SelectQuery& q1,
+                                            const sql::SelectQuery& q2,
+                                            const MeasureContext& context) const {
+  if (context.domains == nullptr) {
+    return Status::InvalidArgument(
+        "access-area distance requires shared attribute domains (Table I)");
+  }
+  DPE_ASSIGN_OR_RETURN(auto areas1,
+                       db::AccessAreas(q1, *context.domains, options_.extraction));
+  DPE_ASSIGN_OR_RETURN(auto areas2,
+                       db::AccessAreas(q2, *context.domains, options_.extraction));
+
+  std::set<std::string> attrs;
+  for (const auto& [key, area] : areas1) attrs.insert(key);
+  for (const auto& [key, area] : areas2) attrs.insert(key);
+  if (attrs.empty()) return 0.0;  // neither query accesses anything
+
+  double sum = 0.0;
+  for (const std::string& attr : attrs) {
+    auto it1 = areas1.find(attr);
+    auto it2 = areas2.find(attr);
+    const db::IntervalSet empty;
+    const db::IntervalSet& a1 = it1 != areas1.end() ? it1->second : empty;
+    const db::IntervalSet& a2 = it2 != areas2.end() ? it2->second : empty;
+    double delta;
+    if (a1 == a2) {
+      delta = 0.0;
+    } else if (a1.Intersects(a2)) {
+      delta = options_.x;
+    } else {
+      delta = 1.0;
+    }
+    sum += delta;
+  }
+  return sum / static_cast<double>(attrs.size());
+}
+
+}  // namespace dpe::distance

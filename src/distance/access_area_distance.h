@@ -1,0 +1,43 @@
+// Query-access-area distance (paper Definition 5):
+//
+//   d_AE(Q1, Q2) = (1 / |Attr_{Q1,Q2}|) * sum_{A in Attr_{Q1,Q2}} delta_A
+//
+//   delta_A = 0  if access_A(Q1) == access_A(Q2)
+//           = x  if the areas intersect (0 < x < 1, default 0.5)
+//           = 1  otherwise
+//
+// Requires the attribute domains (Table I row 4).
+
+#ifndef DPE_DISTANCE_ACCESS_AREA_DISTANCE_H_
+#define DPE_DISTANCE_ACCESS_AREA_DISTANCE_H_
+
+#include "distance/measure.h"
+
+namespace dpe::distance {
+
+class AccessAreaDistance final : public QueryDistanceMeasure {
+ public:
+  struct Options {
+    /// The paper's x parameter: the partial-overlap distance, in (0, 1).
+    double x = 0.5;
+    /// Passed through to the access-area extractor (ablation A1d/A1e).
+    db::AccessAreaOptions extraction;
+  };
+
+  AccessAreaDistance() = default;
+  explicit AccessAreaDistance(const Options& options) : options_(options) {}
+
+  std::string Name() const override { return "access-area"; }
+  SharedInformation Shared() const override { return {true, false, true}; }
+  Result<double> Distance(const sql::SelectQuery& q1, const sql::SelectQuery& q2,
+                          const MeasureContext& context) const override;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_ACCESS_AREA_DISTANCE_H_

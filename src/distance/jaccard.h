@@ -1,0 +1,41 @@
+// Jaccard set distance: d(A, B) = 1 - |A n B| / |A u B|; d(0, 0) = 0.
+
+#ifndef DPE_DISTANCE_JACCARD_H_
+#define DPE_DISTANCE_JACCARD_H_
+
+#include <set>
+#include <string>
+
+namespace dpe::distance {
+
+/// Jaccard distance of two ordered sets.
+template <typename T>
+double JaccardDistance(const std::set<T>& a, const std::set<T>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t intersection = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++intersection;
+      ++ia;
+      ++ib;
+    }
+  }
+  const size_t uni = a.size() + b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+/// Jaccard similarity (1 - distance), for reporting.
+template <typename T>
+double JaccardSimilarity(const std::set<T>& a, const std::set<T>& b) {
+  return 1.0 - JaccardDistance(a, b);
+}
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_JACCARD_H_

@@ -1,0 +1,48 @@
+#include "distance/levenshtein_distance.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+#include "sql/printer.h"
+
+namespace dpe::distance {
+
+size_t EditDistance(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t substitution = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, substitution});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+Result<double> LevenshteinDistance::Distance(const sql::SelectQuery& q1,
+                                             const sql::SelectQuery& q2,
+                                             const MeasureContext& context) const {
+  (void)context;
+  const std::string s1 = sql::ToSql(q1);
+  const std::string s2 = sql::ToSql(q2);
+  std::vector<std::string> a, b;
+  if (granularity_ == Granularity::kTokenSequence) {
+    DPE_ASSIGN_OR_RETURN(auto t1, sql::Lex(s1));
+    DPE_ASSIGN_OR_RETURN(auto t2, sql::Lex(s2));
+    for (const auto& t : t1) a.push_back(t.lexeme);
+    for (const auto& t : t2) b.push_back(t.lexeme);
+  } else {
+    for (char c : s1) a.emplace_back(1, c);
+    for (char c : s2) b.emplace_back(1, c);
+  }
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(EditDistance(a, b)) /
+         static_cast<double>(longest);
+}
+
+}  // namespace dpe::distance

@@ -1,0 +1,33 @@
+#include "distance/matrix.h"
+
+#include <cmath>
+
+namespace dpe::distance {
+
+Result<double> DistanceMatrix::MaxAbsDifference(const DistanceMatrix& a,
+                                                const DistanceMatrix& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("matrix size mismatch");
+  }
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.cells_.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.cells_[i] - b.cells_[i]));
+  }
+  return max_diff;
+}
+
+Result<DistanceMatrix> DistanceMatrix::Compute(
+    const std::vector<sql::SelectQuery>& queries,
+    const QueryDistanceMeasure& measure, const MeasureContext& context) {
+  DistanceMatrix m(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    for (size_t j = i + 1; j < queries.size(); ++j) {
+      DPE_ASSIGN_OR_RETURN(double d,
+                           measure.Distance(queries[i], queries[j], context));
+      m.set(i, j, d);
+    }
+  }
+  return m;
+}
+
+}  // namespace dpe::distance

@@ -1,0 +1,42 @@
+// Pairwise distance matrices: the interface between the distance layer and
+// the distance-based mining algorithms.
+
+#ifndef DPE_DISTANCE_MATRIX_H_
+#define DPE_DISTANCE_MATRIX_H_
+
+#include <vector>
+
+#include "distance/measure.h"
+
+namespace dpe::distance {
+
+/// Symmetric n x n matrix with zero diagonal.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(size_t n) : n_(n), cells_(n * n, 0.0) {}
+
+  size_t size() const { return n_; }
+  double at(size_t i, size_t j) const { return cells_[i * n_ + j]; }
+  void set(size_t i, size_t j, double d) {
+    cells_[i * n_ + j] = d;
+    cells_[j * n_ + i] = d;
+  }
+
+  /// Max |a - b| over all cells; matrices must have equal size.
+  static Result<double> MaxAbsDifference(const DistanceMatrix& a,
+                                         const DistanceMatrix& b);
+
+  /// Computes all pairwise distances of `queries` under `measure`.
+  static Result<DistanceMatrix> Compute(
+      const std::vector<sql::SelectQuery>& queries,
+      const QueryDistanceMeasure& measure, const MeasureContext& context);
+
+ private:
+  size_t n_ = 0;
+  std::vector<double> cells_;
+};
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_MATRIX_H_

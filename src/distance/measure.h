@@ -1,0 +1,58 @@
+// The query-distance-measure interface (Table I rows).
+//
+// A measure computes d(Q1, Q2) given the shared information its row of
+// Table I requires: the log itself (always), the database content (result
+// distance) and/or the attribute domains (access-area distance). The same
+// implementations run on plaintext and on ciphertext: on the encrypted side
+// the context simply carries the encrypted database / encrypted domains and
+// the provider-side execution options.
+
+#ifndef DPE_DISTANCE_MEASURE_H_
+#define DPE_DISTANCE_MEASURE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "db/access_area.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "sql/ast.h"
+
+namespace dpe::distance {
+
+/// What must be shared with the service provider (Table I columns 2-4).
+struct SharedInformation {
+  bool log = true;
+  bool db_content = false;
+  bool domains = false;
+};
+
+/// Context supplying the shared information to a measure.
+struct MeasureContext {
+  /// Database to execute queries against (result distance).
+  const db::Database* database = nullptr;
+  /// Execution options (encrypted side: the Paillier aggregate hook).
+  const db::ExecuteOptions* exec_options = nullptr;
+  /// Attribute domains (access-area distance).
+  const db::DomainRegistry* domains = nullptr;
+};
+
+class QueryDistanceMeasure {
+ public:
+  virtual ~QueryDistanceMeasure() = default;
+
+  /// Stable identifier ("token", "structure", "result", "access-area").
+  virtual std::string Name() const = 0;
+
+  /// Which Table-I shared information this measure needs.
+  virtual SharedInformation Shared() const = 0;
+
+  /// d(q1, q2) in [0, 1].
+  virtual Result<double> Distance(const sql::SelectQuery& q1,
+                                  const sql::SelectQuery& q2,
+                                  const MeasureContext& context) const = 0;
+};
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_MEASURE_H_

@@ -1,0 +1,39 @@
+#include "distance/result_distance.h"
+
+#include <cstdio>
+
+#include "distance/jaccard.h"
+#include "sql/printer.h"
+
+namespace dpe::distance {
+
+Result<const std::set<std::string>*> ResultDistance::TupleSetOf(
+    const sql::SelectQuery& q, const MeasureContext& context) const {
+  char db_tag[32];
+  std::snprintf(db_tag, sizeof(db_tag), "%p|", static_cast<const void*>(context.database));
+  std::string key = std::string(db_tag) + sql::ToSql(q);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+
+  db::ExecuteOptions default_options;
+  const db::ExecuteOptions& options =
+      context.exec_options ? *context.exec_options : default_options;
+  DPE_ASSIGN_OR_RETURN(db::ResultTable r, db::Execute(*context.database, q, options));
+  auto [inserted, ok] = cache_.emplace(std::move(key), r.TupleKeySet());
+  (void)ok;
+  return &inserted->second;
+}
+
+Result<double> ResultDistance::Distance(const sql::SelectQuery& q1,
+                                        const sql::SelectQuery& q2,
+                                        const MeasureContext& context) const {
+  if (context.database == nullptr) {
+    return Status::InvalidArgument(
+        "result distance requires the database content (Table I)");
+  }
+  DPE_ASSIGN_OR_RETURN(const std::set<std::string>* t1, TupleSetOf(q1, context));
+  DPE_ASSIGN_OR_RETURN(const std::set<std::string>* t2, TupleSetOf(q2, context));
+  return JaccardDistance(*t1, *t2);
+}
+
+}  // namespace dpe::distance

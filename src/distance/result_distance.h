@@ -1,0 +1,34 @@
+// Query-result distance (paper §IV-B-3): Jaccard over the sets of result
+// tuples. Requires the database content (Table I row 3); both queries are
+// executed against context.database.
+
+#ifndef DPE_DISTANCE_RESULT_DISTANCE_H_
+#define DPE_DISTANCE_RESULT_DISTANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "distance/measure.h"
+
+namespace dpe::distance {
+
+class ResultDistance final : public QueryDistanceMeasure {
+ public:
+  std::string Name() const override { return "result"; }
+  SharedInformation Shared() const override { return {true, true, false}; }
+  Result<double> Distance(const sql::SelectQuery& q1, const sql::SelectQuery& q2,
+                          const MeasureContext& context) const override;
+
+ private:
+  /// Result-tuple set of one query, memoized per (database, SQL text) so a
+  /// distance matrix over n queries executes each query once, not n times.
+  Result<const std::set<std::string>*> TupleSetOf(const sql::SelectQuery& q,
+                                                  const MeasureContext& context) const;
+
+  mutable std::map<std::string, std::set<std::string>> cache_;
+};
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_RESULT_DISTANCE_H_

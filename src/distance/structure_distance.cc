@@ -1,0 +1,15 @@
+#include "distance/structure_distance.h"
+
+#include "distance/jaccard.h"
+#include "sql/features.h"
+
+namespace dpe::distance {
+
+Result<double> StructureDistance::Distance(const sql::SelectQuery& q1,
+                                           const sql::SelectQuery& q2,
+                                           const MeasureContext& context) const {
+  (void)context;  // needs only the log
+  return JaccardDistance(sql::Features(q1), sql::Features(q2));
+}
+
+}  // namespace dpe::distance

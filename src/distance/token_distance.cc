@@ -1,0 +1,18 @@
+#include "distance/token_distance.h"
+
+#include "distance/jaccard.h"
+#include "sql/lexer.h"
+#include "sql/printer.h"
+
+namespace dpe::distance {
+
+Result<double> TokenDistance::Distance(const sql::SelectQuery& q1,
+                                       const sql::SelectQuery& q2,
+                                       const MeasureContext& context) const {
+  (void)context;  // needs only the log
+  DPE_ASSIGN_OR_RETURN(auto t1, sql::TokenSet(sql::ToSql(q1)));
+  DPE_ASSIGN_OR_RETURN(auto t2, sql::TokenSet(sql::ToSql(q2)));
+  return JaccardDistance(t1, t2);
+}
+
+}  // namespace dpe::distance

@@ -1,0 +1,162 @@
+#include "mining/association.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dpe::mining {
+
+std::string AssociationRule::ToString() const {
+  auto render = [](const ItemSet& s) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& i : s) {
+      if (!first) out += ", ";
+      out += i;
+      first = false;
+    }
+    return out + "}";
+  };
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (sup %.3f, conf %.3f, lift %.2f)", support,
+                confidence, lift);
+  return render(lhs) + " => " + render(rhs) + buf;
+}
+
+namespace {
+
+bool Contains(const Transaction& t, const ItemSet& s) {
+  return std::includes(t.begin(), t.end(), s.begin(), s.end());
+}
+
+/// All (k+1)-candidates from frequent k-sets (join step + prune step).
+std::vector<ItemSet> GrowCandidates(const std::vector<ItemSet>& frequent_k) {
+  std::set<ItemSet> candidates;
+  for (size_t i = 0; i < frequent_k.size(); ++i) {
+    for (size_t j = i + 1; j < frequent_k.size(); ++j) {
+      ItemSet merged = frequent_k[i];
+      merged.insert(frequent_k[j].begin(), frequent_k[j].end());
+      if (merged.size() != frequent_k[i].size() + 1) continue;
+      // Prune: every k-subset must be frequent.
+      bool all_frequent = true;
+      for (const Item& drop : merged) {
+        ItemSet subset = merged;
+        subset.erase(drop);
+        if (std::find(frequent_k.begin(), frequent_k.end(), subset) ==
+            frequent_k.end()) {
+          all_frequent = false;
+          break;
+        }
+      }
+      if (all_frequent) candidates.insert(std::move(merged));
+    }
+  }
+  return {candidates.begin(), candidates.end()};
+}
+
+/// All non-empty proper subsets of `s` (for rule generation).
+void Subsets(const ItemSet& s, std::vector<ItemSet>* out) {
+  std::vector<Item> items(s.begin(), s.end());
+  const size_t n = items.size();
+  for (size_t mask = 1; mask + 1 < (1ULL << n); ++mask) {
+    ItemSet subset;
+    for (size_t b = 0; b < n; ++b) {
+      if (mask & (1ULL << b)) subset.insert(items[b]);
+    }
+    out->push_back(std::move(subset));
+  }
+}
+
+}  // namespace
+
+Result<AprioriResult> Apriori(const std::vector<Transaction>& transactions,
+                              const AprioriOptions& options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (options.min_confidence <= 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  AprioriResult result;
+  if (transactions.empty()) return result;
+  const double n = static_cast<double>(transactions.size());
+
+  auto support_of = [&](const ItemSet& s) {
+    size_t count = 0;
+    for (const Transaction& t : transactions) count += Contains(t, s);
+    return static_cast<double>(count) / n;
+  };
+
+  // Level 1.
+  std::map<Item, size_t> item_counts;
+  for (const Transaction& t : transactions) {
+    for (const Item& i : t) ++item_counts[i];
+  }
+  std::vector<ItemSet> level;
+  std::map<ItemSet, double> support;
+  for (const auto& [item, count] : item_counts) {
+    double s = static_cast<double>(count) / n;
+    if (s >= options.min_support) {
+      ItemSet set{item};
+      support[set] = s;
+      level.push_back(std::move(set));
+    }
+  }
+
+  // Level-wise growth.
+  while (!level.empty()) {
+    for (const ItemSet& s : level) {
+      result.frequent.push_back({s, support[s]});
+    }
+    if (level.front().size() >= options.max_itemset_size) break;
+    std::vector<ItemSet> next;
+    for (ItemSet& candidate : GrowCandidates(level)) {
+      double s = support_of(candidate);
+      if (s >= options.min_support) {
+        support[candidate] = s;
+        next.push_back(std::move(candidate));
+      }
+    }
+    level = std::move(next);
+  }
+
+  std::sort(result.frequent.begin(), result.frequent.end(),
+            [](const FrequentItemSet& a, const FrequentItemSet& b) {
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() < b.items.size();
+              }
+              return a.items < b.items;
+            });
+
+  // Rule generation from itemsets of size >= 2.
+  for (const FrequentItemSet& f : result.frequent) {
+    if (f.items.size() < 2) continue;
+    std::vector<ItemSet> lhs_options;
+    Subsets(f.items, &lhs_options);
+    for (ItemSet& lhs : lhs_options) {
+      auto it = support.find(lhs);
+      if (it == support.end()) continue;  // cannot happen for frequent sets
+      double confidence = f.support / it->second;
+      if (confidence + 1e-12 < options.min_confidence) continue;
+      ItemSet rhs;
+      std::set_difference(f.items.begin(), f.items.end(), lhs.begin(),
+                          lhs.end(), std::inserter(rhs, rhs.begin()));
+      auto rit = support.find(rhs);
+      double rhs_support = rit != support.end() ? rit->second : support_of(rhs);
+      AssociationRule rule;
+      rule.lhs = std::move(lhs);
+      rule.rhs = std::move(rhs);
+      rule.support = f.support;
+      rule.confidence = confidence;
+      rule.lift = rhs_support > 0 ? confidence / rhs_support : 0.0;
+      result.rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(result.rules.begin(), result.rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  return result;
+}
+
+}  // namespace dpe::mining

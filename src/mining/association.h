@@ -1,0 +1,60 @@
+// Association-rule mining (Apriori) over transaction sets.
+//
+// The paper's §V points to association-rule mining over encrypted SQL logs
+// (Aligon et al., [17]) as a further application of result/structural
+// equivalence: treating each query's feature set as a transaction, a
+// DET-encrypted log yields the *same* frequent itemsets and rules (their
+// items are the bijective images of the plaintext items), so OLAP
+// preference mining works on ciphertexts too. Implemented here as the
+// classic level-wise Apriori with deterministic ordering.
+
+#ifndef DPE_MINING_ASSOCIATION_H_
+#define DPE_MINING_ASSOCIATION_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpe::mining {
+
+using Item = std::string;
+using ItemSet = std::set<Item>;
+using Transaction = std::set<Item>;
+
+struct FrequentItemSet {
+  ItemSet items;
+  double support = 0.0;  ///< fraction of transactions containing the set
+};
+
+struct AssociationRule {
+  ItemSet lhs;
+  ItemSet rhs;  ///< disjoint from lhs
+  double support = 0.0;     ///< support of lhs u rhs
+  double confidence = 0.0;  ///< support(lhs u rhs) / support(lhs)
+  double lift = 0.0;        ///< confidence / support(rhs)
+
+  std::string ToString() const;
+};
+
+struct AprioriOptions {
+  double min_support = 0.1;      ///< in (0, 1]
+  double min_confidence = 0.6;   ///< in (0, 1]
+  size_t max_itemset_size = 4;   ///< level cap
+};
+
+struct AprioriResult {
+  std::vector<FrequentItemSet> frequent;  ///< sorted by (size, items)
+  std::vector<AssociationRule> rules;     ///< sorted by (lhs, rhs)
+};
+
+/// Runs Apriori over `transactions`. Deterministic: identical inputs yield
+/// identical outputs, and renaming items bijectively renames the outputs —
+/// the property that makes rule mining DPE-compatible.
+Result<AprioriResult> Apriori(const std::vector<Transaction>& transactions,
+                              const AprioriOptions& options);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_ASSOCIATION_H_

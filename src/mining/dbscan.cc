@@ -1,0 +1,52 @@
+#include "mining/dbscan.h"
+
+#include <deque>
+
+namespace dpe::mining {
+
+Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
+                            const DbscanOptions& options) {
+  if (options.epsilon < 0) {
+    return Status::InvalidArgument("epsilon must be >= 0");
+  }
+  const size_t n = m.size();
+  DbscanResult result;
+  result.labels.assign(n, -1);
+  std::vector<bool> visited(n, false);
+
+  auto neighbors = [&](size_t p) {
+    std::vector<size_t> out;
+    for (size_t q = 0; q < n; ++q) {
+      if (m.at(p, q) <= options.epsilon) out.push_back(q);  // includes p
+    }
+    return out;
+  };
+
+  int cluster = 0;
+  for (size_t p = 0; p < n; ++p) {
+    if (visited[p]) continue;
+    visited[p] = true;
+    std::vector<size_t> seeds = neighbors(p);
+    if (seeds.size() < options.min_points) continue;  // noise (for now)
+    result.labels[p] = cluster;
+    std::deque<size_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      size_t q = queue.front();
+      queue.pop_front();
+      if (result.labels[q] == -1) result.labels[q] = cluster;  // border point
+      if (visited[q]) continue;
+      visited[q] = true;
+      result.labels[q] = cluster;
+      std::vector<size_t> q_neighbors = neighbors(q);
+      if (q_neighbors.size() >= options.min_points) {
+        queue.insert(queue.end(), q_neighbors.begin(), q_neighbors.end());
+      }
+    }
+    ++cluster;
+  }
+  result.cluster_count = static_cast<size_t>(cluster);
+  result.labels = CanonicalizeLabels(result.labels);
+  return result;
+}
+
+}  // namespace dpe::mining

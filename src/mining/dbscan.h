@@ -1,0 +1,29 @@
+// DBSCAN (Ester et al. 1996, [4] in the paper) on a precomputed distance
+// matrix. Deterministic: points are seeded in index order, so two identical
+// matrices always produce identical labelings.
+
+#ifndef DPE_MINING_DBSCAN_H_
+#define DPE_MINING_DBSCAN_H_
+
+#include "common/status.h"
+#include "distance/matrix.h"
+#include "mining/partition.h"
+
+namespace dpe::mining {
+
+struct DbscanOptions {
+  double epsilon = 0.3;  ///< neighborhood radius (distances are in [0,1])
+  size_t min_points = 3; ///< core-point threshold, *including* the point itself
+};
+
+struct DbscanResult {
+  Labels labels;        ///< -1 = noise
+  size_t cluster_count = 0;
+};
+
+Result<DbscanResult> Dbscan(const distance::DistanceMatrix& matrix,
+                            const DbscanOptions& options);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_DBSCAN_H_

@@ -1,0 +1,87 @@
+#include "mining/hierarchical.h"
+
+#include <limits>
+#include <map>
+#include <numeric>
+
+namespace dpe::mining {
+
+Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m) {
+  const size_t n = m.size();
+  Dendrogram out;
+  out.leaf_count = n;
+  if (n == 0) return out;
+
+  // Active clusters: id -> member points. Fresh ids n, n+1, ... per merge.
+  std::map<size_t, std::vector<size_t>> clusters;
+  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+
+  // Complete-link distance between two member lists: max pairwise distance.
+  auto link = [&](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+    double worst = 0.0;
+    for (size_t x : a) {
+      for (size_t y : b) worst = std::max(worst, m.at(x, y));
+    }
+    return worst;
+  };
+
+  size_t next_id = n;
+  while (clusters.size() > 1) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_a = 0, best_b = 0;
+    for (auto ia = clusters.begin(); ia != clusters.end(); ++ia) {
+      for (auto ib = std::next(ia); ib != clusters.end(); ++ib) {
+        double d = link(ia->second, ib->second);
+        if (d < best) {  // strict: first (smallest id pair) wins ties
+          best = d;
+          best_a = ia->first;
+          best_b = ib->first;
+        }
+      }
+    }
+    std::vector<size_t> merged = clusters[best_a];
+    const auto& right = clusters[best_b];
+    merged.insert(merged.end(), right.begin(), right.end());
+    clusters.erase(best_a);
+    clusters.erase(best_b);
+    clusters[next_id] = std::move(merged);
+    out.merges.push_back({best_a, best_b, best});
+    ++next_id;
+  }
+  return out;
+}
+
+Result<Labels> Dendrogram::CutK(size_t k) const {
+  if (k == 0 || k > leaf_count) {
+    return Status::InvalidArgument("k must be in [1, leaf_count]");
+  }
+  // Replay the first (leaf_count - k) merges with a union-find.
+  std::vector<size_t> parent(leaf_count + merges.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const size_t replay = leaf_count - k;
+  for (size_t step = 0; step < replay; ++step) {
+    const Merge& mg = merges[step];
+    size_t fresh = leaf_count + step;
+    parent[find(mg.left)] = fresh;
+    parent[find(mg.right)] = fresh;
+  }
+  Labels labels(leaf_count);
+  std::map<size_t, int> root_to_label;
+  int next = 0;
+  for (size_t i = 0; i < leaf_count; ++i) {
+    size_t root = find(i);
+    auto [it, inserted] = root_to_label.emplace(root, next);
+    if (inserted) ++next;
+    labels[i] = it->second;
+  }
+  return CanonicalizeLabels(labels);
+}
+
+}  // namespace dpe::mining

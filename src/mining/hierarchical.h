@@ -1,0 +1,35 @@
+// Agglomerative hierarchical clustering with the complete-link criterion
+// (Defays 1977, [3] in the paper). Deterministic merge order (ties break to
+// the lexicographically smallest cluster pair).
+
+#ifndef DPE_MINING_HIERARCHICAL_H_
+#define DPE_MINING_HIERARCHICAL_H_
+
+#include "common/status.h"
+#include "distance/matrix.h"
+#include "mining/partition.h"
+
+namespace dpe::mining {
+
+/// One merge step of the dendrogram.
+struct Merge {
+  size_t left;     ///< cluster id merged (cluster ids: 0..n-1 leaves, then n+step)
+  size_t right;
+  double distance; ///< complete-link distance at which the merge happened
+};
+
+struct Dendrogram {
+  size_t leaf_count = 0;
+  std::vector<Merge> merges;  ///< n-1 merges, in order
+
+  /// Cuts the dendrogram into exactly `k` clusters (undoes the last k-1
+  /// merges); k in [1, leaf_count].
+  Result<Labels> CutK(size_t k) const;
+};
+
+/// Builds the complete-link dendrogram from a distance matrix.
+Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& matrix);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_HIERARCHICAL_H_

@@ -1,0 +1,92 @@
+#include "mining/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace dpe::mining {
+
+Result<KMedoidsResult> KMedoids(const distance::DistanceMatrix& m,
+                                const KMedoidsOptions& options) {
+  const size_t n = m.size();
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+
+  // Park-Jun initialization: v_j = sum_i d_ij / (sum_l d_il); take the k
+  // smallest v_j as initial medoids.
+  std::vector<double> row_sums(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) row_sums[i] += m.at(i, j);
+  }
+  std::vector<double> v(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      if (row_sums[i] > 0) v[j] += m.at(i, j) / row_sums[i];
+    }
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<size_t> medoids(order.begin(), order.begin() + options.k);
+  std::sort(medoids.begin(), medoids.end());
+
+  KMedoidsResult result;
+  result.labels.assign(n, 0);
+
+  auto assign = [&]() {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < medoids.size(); ++c) {
+        double d = m.at(i, medoids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      result.labels[i] = best;
+      total += best_d;
+    }
+    return total;
+  };
+
+  result.total_deviation = assign();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Update step: within each cluster pick the point minimizing the sum of
+    // distances to the cluster's members.
+    bool changed = false;
+    for (size_t c = 0; c < medoids.size(); ++c) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_point = medoids[c];
+      for (size_t candidate = 0; candidate < n; ++candidate) {
+        if (result.labels[candidate] != static_cast<int>(c)) continue;
+        double cost = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          if (result.labels[i] == static_cast<int>(c)) {
+            cost += m.at(candidate, i);
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_point = candidate;
+        }
+      }
+      if (best_point != medoids[c]) {
+        medoids[c] = best_point;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    result.total_deviation = assign();
+  }
+
+  result.medoids = medoids;
+  result.labels = CanonicalizeLabels(result.labels);
+  return result;
+}
+
+}  // namespace dpe::mining

@@ -1,0 +1,33 @@
+// K-medoids clustering, the "simple and fast" variant of Park & Jun 2009
+// ([5] in the paper). Fully deterministic (ties break to the lower index),
+// so identical distance matrices yield identical clusterings — the property
+// the DPE mining-equivalence experiments rely on.
+
+#ifndef DPE_MINING_KMEDOIDS_H_
+#define DPE_MINING_KMEDOIDS_H_
+
+#include "common/status.h"
+#include "distance/matrix.h"
+#include "mining/partition.h"
+
+namespace dpe::mining {
+
+struct KMedoidsOptions {
+  size_t k = 2;
+  size_t max_iterations = 100;
+};
+
+struct KMedoidsResult {
+  Labels labels;                 ///< cluster id per point
+  std::vector<size_t> medoids;   ///< point index of each cluster's medoid
+  double total_deviation = 0.0;  ///< sum of distances to assigned medoids
+  size_t iterations = 0;
+};
+
+/// Runs Park-Jun k-medoids on a precomputed distance matrix.
+Result<KMedoidsResult> KMedoids(const distance::DistanceMatrix& matrix,
+                                const KMedoidsOptions& options);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_KMEDOIDS_H_

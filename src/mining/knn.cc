@@ -1,0 +1,46 @@
+#include "mining/knn.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace dpe::mining {
+
+Result<std::vector<size_t>> NearestNeighbors(const distance::DistanceMatrix& m,
+                                             size_t i, size_t k) {
+  const size_t n = m.size();
+  if (i >= n) return Status::OutOfRange("point index out of range");
+  if (k >= n) return Status::InvalidArgument("k must be < n");
+  std::vector<size_t> order;
+  order.reserve(n - 1);
+  for (size_t j = 0; j < n; ++j) {
+    if (j != i) order.push_back(j);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (m.at(i, a) != m.at(i, b)) return m.at(i, a) < m.at(i, b);
+    return a < b;
+  });
+  order.resize(k);
+  return order;
+}
+
+Result<int> KnnClassify(const distance::DistanceMatrix& m, const Labels& labels,
+                        size_t i, size_t k) {
+  if (labels.size() != m.size()) {
+    return Status::InvalidArgument("labels size must match matrix size");
+  }
+  DPE_ASSIGN_OR_RETURN(std::vector<size_t> nn, NearestNeighbors(m, i, k));
+  std::map<int, size_t> votes;
+  for (size_t j : nn) ++votes[labels[j]];
+  int best_label = -1;
+  size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {  // map order => smallest label wins ties
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace dpe::mining

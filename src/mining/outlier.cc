@@ -1,0 +1,30 @@
+#include "mining/outlier.h"
+
+namespace dpe::mining {
+
+Result<OutlierResult> DistanceBasedOutliers(const distance::DistanceMatrix& m,
+                                            const OutlierOptions& options) {
+  if (options.p <= 0.0 || options.p > 1.0) {
+    return Status::InvalidArgument("p must be in (0, 1]");
+  }
+  const size_t n = m.size();
+  OutlierResult result;
+  result.is_outlier.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    size_t far = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (m.at(i, j) > options.d) ++far;
+    }
+    const size_t others = n > 0 ? n - 1 : 0;
+    if (others == 0) continue;
+    double fraction = static_cast<double>(far) / static_cast<double>(others);
+    if (fraction >= options.p) {
+      result.is_outlier[i] = true;
+      result.outliers.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace dpe::mining

@@ -1,0 +1,28 @@
+// Distance-based outliers DB(p, D) of Knorr, Ng & Tucakov 2000 ([6] in the
+// paper): an object is an outlier when at least fraction p of all other
+// objects lie farther than D from it.
+
+#ifndef DPE_MINING_OUTLIER_H_
+#define DPE_MINING_OUTLIER_H_
+
+#include "common/status.h"
+#include "distance/matrix.h"
+
+namespace dpe::mining {
+
+struct OutlierOptions {
+  double p = 0.9;  ///< required fraction of far-away objects, in (0, 1]
+  double d = 0.5;  ///< distance threshold D
+};
+
+struct OutlierResult {
+  std::vector<bool> is_outlier;     ///< per point
+  std::vector<size_t> outliers;     ///< indices, ascending
+};
+
+Result<OutlierResult> DistanceBasedOutliers(const distance::DistanceMatrix& matrix,
+                                            const OutlierOptions& options);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_OUTLIER_H_

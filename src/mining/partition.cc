@@ -1,0 +1,80 @@
+#include "mining/partition.h"
+
+#include <map>
+#include <vector>
+
+namespace dpe::mining {
+
+Labels CanonicalizeLabels(const Labels& labels) {
+  Labels out(labels.size(), -1);
+  std::map<int, int> remap;
+  int next = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] < 0) continue;
+    auto [it, inserted] = remap.emplace(labels[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+bool SamePartition(const Labels& a, const Labels& b) {
+  if (a.size() != b.size()) return false;
+  return CanonicalizeLabels(a) == CanonicalizeLabels(b);
+}
+
+namespace {
+
+/// Effective label with noise as unique singletons (offset past real ids).
+std::vector<long> EffectiveLabels(const Labels& l) {
+  std::vector<long> out(l.size());
+  long noise_id = 1'000'000'000L;
+  for (size_t i = 0; i < l.size(); ++i) {
+    out[i] = l[i] >= 0 ? l[i] : noise_id++;
+  }
+  return out;
+}
+
+}  // namespace
+
+double RandIndex(const Labels& a, const Labels& b) {
+  if (a.size() != b.size() || a.size() < 2) return 1.0;
+  auto ea = EffectiveLabels(a);
+  auto eb = EffectiveLabels(b);
+  size_t agree = 0, total = 0;
+  for (size_t i = 0; i < ea.size(); ++i) {
+    for (size_t j = i + 1; j < ea.size(); ++j) {
+      bool same_a = ea[i] == ea[j];
+      bool same_b = eb[i] == eb[j];
+      agree += (same_a == same_b);
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+double AdjustedRandIndex(const Labels& a, const Labels& b) {
+  if (a.size() != b.size() || a.empty()) return 1.0;
+  auto ea = EffectiveLabels(a);
+  auto eb = EffectiveLabels(b);
+  // Contingency table.
+  std::map<std::pair<long, long>, long> joint;
+  std::map<long, long> ca, cb;
+  for (size_t i = 0; i < ea.size(); ++i) {
+    ++joint[{ea[i], eb[i]}];
+    ++ca[ea[i]];
+    ++cb[eb[i]];
+  }
+  auto choose2 = [](long n) { return n * (n - 1) / 2.0; };
+  double sum_joint = 0, sum_a = 0, sum_b = 0;
+  for (const auto& [k, v] : joint) sum_joint += choose2(v);
+  for (const auto& [k, v] : ca) sum_a += choose2(v);
+  for (const auto& [k, v] : cb) sum_b += choose2(v);
+  double total = choose2(static_cast<long>(a.size()));
+  double expected = sum_a * sum_b / total;
+  double max_index = (sum_a + sum_b) / 2.0;
+  if (max_index == expected) return 1.0;  // degenerate: all singletons/one cluster
+  return (sum_joint - expected) / (max_index - expected);
+}
+
+}  // namespace dpe::mining

@@ -1,0 +1,33 @@
+// Partition (clustering label) utilities: canonical relabeling, equality and
+// agreement indices. The paper's headline claim — "data items are assigned
+// to the same clusters" — is checked with these.
+
+#ifndef DPE_MINING_PARTITION_H_
+#define DPE_MINING_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpe::mining {
+
+/// Cluster labels; -1 marks noise/outliers (DBSCAN), >= 0 are cluster ids.
+using Labels = std::vector<int>;
+
+/// Relabels clusters in order of first appearance (noise stays -1), so two
+/// labelings that induce the same partition become byte-identical.
+Labels CanonicalizeLabels(const Labels& labels);
+
+/// True iff `a` and `b` induce the same partition (including the same noise
+/// set).
+bool SamePartition(const Labels& a, const Labels& b);
+
+/// Rand index in [0, 1]; 1 = identical partitions. Noise points are treated
+/// as singleton clusters.
+double RandIndex(const Labels& a, const Labels& b);
+
+/// Adjusted Rand index (chance-corrected; 1 = identical).
+double AdjustedRandIndex(const Labels& a, const Labels& b);
+
+}  // namespace dpe::mining
+
+#endif  // DPE_MINING_PARTITION_H_

@@ -1,0 +1,92 @@
+#include "sql/features.h"
+
+namespace dpe::sql {
+
+namespace {
+
+std::pair<FeaturePartKind, std::string> AttrPart(const ColumnRef& c) {
+  return {FeaturePartKind::kAttribute, c.ToSql()};
+}
+
+std::pair<FeaturePartKind, std::string> SymbolPart(std::string s) {
+  return {FeaturePartKind::kSymbol, std::move(s)};
+}
+
+void CollectWhereFeatures(const Predicate& p, std::set<Feature>* out) {
+  switch (p.kind) {
+    case Predicate::Kind::kCompare:
+      out->insert(
+          {"WHERE", {AttrPart(p.column), SymbolPart(CompareOpSql(p.op))}});
+      break;
+    case Predicate::Kind::kColumnCompare:
+      out->insert({"WHERE",
+                   {AttrPart(p.column), SymbolPart(CompareOpSql(p.op)),
+                    AttrPart(p.column2)}});
+      break;
+    case Predicate::Kind::kBetween:
+      out->insert({"WHERE", {AttrPart(p.column), SymbolPart("BETWEEN")}});
+      break;
+    case Predicate::Kind::kIn:
+      out->insert({"WHERE", {AttrPart(p.column), SymbolPart("IN")}});
+      break;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+    case Predicate::Kind::kNot:
+      // Boolean structure is flattened: SnipSuggest features record which
+      // attribute/operator shapes occur, not how they nest.
+      for (const auto& c : p.children) CollectWhereFeatures(*c, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Feature::ToString() const {
+  std::string out = "(" + clause;
+  for (const auto& [kind, text] : parts) {
+    (void)kind;
+    out += ", " + text;
+  }
+  out += ")";
+  return out;
+}
+
+std::set<Feature> Features(const SelectQuery& q) {
+  std::set<Feature> out;
+  if (q.distinct) out.insert({"DISTINCT", {}});
+  for (const auto& item : q.items) {
+    if (item.agg == AggFn::kNone) {
+      if (item.star) {
+        out.insert({"SELECT", {SymbolPart("*")}});
+      } else {
+        out.insert({"SELECT", {AttrPart(item.column)}});
+      }
+    } else {
+      if (item.star) {
+        out.insert({"AGG", {SymbolPart(AggFnSql(item.agg)), SymbolPart("*")}});
+      } else {
+        out.insert(
+            {"AGG", {SymbolPart(AggFnSql(item.agg)), AttrPart(item.column)}});
+      }
+    }
+  }
+  out.insert({"FROM", {{FeaturePartKind::kRelation, q.from.name}}});
+  for (const auto& j : q.joins) {
+    out.insert({"FROM", {{FeaturePartKind::kRelation, j.table.name}}});
+    out.insert({"JOIN",
+                {AttrPart(j.left), SymbolPart("="), AttrPart(j.right)}});
+  }
+  if (q.where) CollectWhereFeatures(*q.where, &out);
+  for (const auto& c : q.group_by) out.insert({"GROUPBY", {AttrPart(c)}});
+  for (const auto& o : q.order_by) {
+    Feature f{"ORDERBY", {AttrPart(o.column)}};
+    if (!o.ascending) f.parts.push_back(SymbolPart("DESC"));
+    out.insert(std::move(f));
+  }
+  // LIMIT presence is structure; its numeric value is a constant and is
+  // dropped, like all constants.
+  if (q.limit.has_value()) out.insert({"LIMIT", {}});
+  return out;
+}
+
+}  // namespace dpe::sql

@@ -1,0 +1,55 @@
+// Query-structure features, following SnipSuggest ([15] in the paper) and
+// the paper's Example 5:
+//
+//   Q = SELECT A1 FROM R WHERE A2 > 5
+//   features(Q) = {(SELECT, A1), (FROM, R), (WHERE, A2 >)}
+//
+// Features deliberately DROP all constants — which is exactly why the
+// structural-equivalence scheme may encrypt constants with PROB (Table I).
+//
+// Parts are *tagged* (relation / attribute / operator / ...) so that the
+// c-equivalence checker can apply the high-level encryption scheme to a
+// feature set directly: Enc((WHERE, A2 >)) = (WHERE, EncAttr(A2) >).
+
+#ifndef DPE_SQL_FEATURES_H_
+#define DPE_SQL_FEATURES_H_
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace dpe::sql {
+
+/// What a feature part refers to; determines which Enc function applies.
+enum class FeaturePartKind {
+  kRelation,   ///< a relation name (EncRel applies)
+  kAttribute,  ///< an attribute name, possibly "rel.attr" (EncAttr applies)
+  kSymbol,     ///< operator / marker text, never encrypted ('>', 'BETWEEN')
+};
+
+/// One structural feature: a clause tag plus tagged parts.
+struct Feature {
+  std::string clause;  ///< SELECT | AGG | FROM | JOIN | WHERE | GROUPBY |
+                       ///< ORDERBY | DISTINCT | LIMIT
+  std::vector<std::pair<FeaturePartKind, std::string>> parts;
+
+  /// Display / set-element form, e.g. "(WHERE, a2 >)".
+  std::string ToString() const;
+
+  bool operator==(const Feature& other) const {
+    return clause == other.clause && parts == other.parts;
+  }
+  bool operator<(const Feature& other) const {
+    return std::tie(clause, parts) < std::tie(other.clause, other.parts);
+  }
+};
+
+/// The feature-set characteristic c = features of structural equivalence.
+std::set<Feature> Features(const SelectQuery& query);
+
+}  // namespace dpe::sql
+
+#endif  // DPE_SQL_FEATURES_H_

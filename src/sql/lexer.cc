@@ -1,0 +1,149 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/str.h"
+
+namespace dpe::sql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentCont(text[j])) ++j;
+      std::string word(text.substr(i, j - i));
+      std::string upper = ToUpperAscii(word);
+      if (IsKeyword(upper)) {
+        out.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        out.push_back({TokenKind::kIdentifier, ToLowerAscii(word), start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n && std::isdigit(static_cast<unsigned char>(text[i + 1])) &&
+         (out.empty() || out.back().kind == TokenKind::kOperator ||
+          (out.back().kind == TokenKind::kPunct && out.back().lexeme != ")") ||
+          out.back().kind == TokenKind::kKeyword))) {
+      // Number: optional leading '-', digits, optional fraction/exponent.
+      size_t j = i + (c == '-' ? 1 : 0);
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      if (j < n && text[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(text[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(text[j]))) ++j;
+      }
+      if (j < n && (text[j] == 'e' || text[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (text[k] == '+' || text[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) {
+          is_float = true;
+          ++k;
+          while (k < n && std::isdigit(static_cast<unsigned char>(text[k]))) ++k;
+          j = k;
+        }
+      }
+      out.push_back({is_float ? TokenKind::kFloat : TokenKind::kInteger,
+                     std::string(text.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      // String literal; '' escapes a quote.
+      size_t j = i + 1;
+      std::string lexeme = "'";
+      for (;;) {
+        if (j >= n) return Status::ParseError("unterminated string literal");
+        if (text[j] == '\'') {
+          if (j + 1 < n && text[j + 1] == '\'') {
+            lexeme += "''";
+            j += 2;
+            continue;
+          }
+          lexeme += '\'';
+          ++j;
+          break;
+        }
+        lexeme += text[j];
+        ++j;
+      }
+      out.push_back({TokenKind::kString, lexeme, start});
+      i = j;
+      continue;
+    }
+    // Operators.
+    if (c == '<') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        out.push_back({TokenKind::kOperator, "<=", start});
+        i += 2;
+      } else if (i + 1 < n && text[i + 1] == '>') {
+        out.push_back({TokenKind::kOperator, "<>", start});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kOperator, "<", start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && text[i + 1] == '=') {
+        out.push_back({TokenKind::kOperator, ">=", start});
+        i += 2;
+      } else {
+        out.push_back({TokenKind::kOperator, ">", start});
+        ++i;
+      }
+      continue;
+    }
+    if (c == '=') {
+      out.push_back({TokenKind::kOperator, "=", start});
+      ++i;
+      continue;
+    }
+    if (c == '!' && i + 1 < n && text[i + 1] == '=') {
+      out.push_back({TokenKind::kOperator, "<>", start});  // normalize != to <>
+      i += 2;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == '*' || c == '.') {
+      out.push_back({TokenKind::kPunct, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(start));
+  }
+  return out;
+}
+
+Result<std::set<std::string>> TokenSet(std::string_view text) {
+  DPE_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(text));
+  std::set<std::string> out;
+  for (const Token& t : toks) out.insert(t.lexeme);
+  return out;
+}
+
+}  // namespace dpe::sql

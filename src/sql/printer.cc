@@ -1,0 +1,120 @@
+#include "sql/printer.h"
+
+#include "common/str.h"
+
+namespace dpe::sql {
+
+namespace {
+
+void PrintPredicate(const Predicate& p, bool parenthesize_compound,
+                    std::string* out) {
+  switch (p.kind) {
+    case Predicate::Kind::kCompare:
+      *out += p.column.ToSql();
+      *out += " ";
+      *out += CompareOpSql(p.op);
+      *out += " ";
+      *out += p.literal.ToSql();
+      break;
+    case Predicate::Kind::kColumnCompare:
+      *out += p.column.ToSql();
+      *out += " ";
+      *out += CompareOpSql(p.op);
+      *out += " ";
+      *out += p.column2.ToSql();
+      break;
+    case Predicate::Kind::kBetween:
+      *out += p.column.ToSql();
+      *out += " BETWEEN ";
+      *out += p.low.ToSql();
+      *out += " AND ";
+      *out += p.high.ToSql();
+      break;
+    case Predicate::Kind::kIn: {
+      *out += p.column.ToSql();
+      *out += " IN (";
+      for (size_t i = 0; i < p.in_list.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += p.in_list[i].ToSql();
+      }
+      *out += ")";
+      break;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      const char* sep = p.kind == Predicate::Kind::kAnd ? " AND " : " OR ";
+      if (parenthesize_compound) *out += "(";
+      for (size_t i = 0; i < p.children.size(); ++i) {
+        if (i > 0) *out += sep;
+        // Children that are themselves compound get parentheses so the
+        // printed text re-parses to the identical tree.
+        PrintPredicate(*p.children[i], /*parenthesize_compound=*/true, out);
+      }
+      if (parenthesize_compound) *out += ")";
+      break;
+    }
+    case Predicate::Kind::kNot:
+      *out += "NOT ";
+      PrintPredicate(*p.children[0], /*parenthesize_compound=*/true, out);
+      break;
+  }
+}
+
+std::string SelectItemSql(const SelectItem& item) {
+  if (item.agg == AggFn::kNone) {
+    return item.star ? "*" : item.column.ToSql();
+  }
+  std::string inner = item.star ? "*" : item.column.ToSql();
+  return std::string(AggFnSql(item.agg)) + "(" + inner + ")";
+}
+
+}  // namespace
+
+std::string ToSql(const Predicate& predicate) {
+  std::string out;
+  PrintPredicate(predicate, /*parenthesize_compound=*/false, &out);
+  return out;
+}
+
+std::string ToSql(const SelectQuery& q) {
+  std::string out = "SELECT ";
+  if (q.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < q.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += SelectItemSql(q.items[i]);
+  }
+  out += " FROM ";
+  out += q.from.name;
+  if (!q.from.alias.empty()) out += " " + q.from.alias;
+  for (const auto& j : q.joins) {
+    out += " JOIN ";
+    out += j.table.name;
+    if (!j.table.alias.empty()) out += " " + j.table.alias;
+    out += " ON " + j.left.ToSql() + " = " + j.right.ToSql();
+  }
+  if (q.where) {
+    out += " WHERE ";
+    out += ToSql(*q.where);
+  }
+  if (!q.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < q.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += q.group_by[i].ToSql();
+    }
+  }
+  if (!q.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < q.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += q.order_by[i].column.ToSql();
+      if (!q.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (q.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*q.limit);
+  }
+  return out;
+}
+
+}  // namespace dpe::sql

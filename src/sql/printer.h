@@ -1,0 +1,22 @@
+// Canonical SQL serialization of the AST. Print(Parse(Print(q))) == Print(q)
+// (round-trip property, tested), and tokens(Print(q)) is the token-set
+// characteristic used by the token-based distance measure.
+
+#ifndef DPE_SQL_PRINTER_H_
+#define DPE_SQL_PRINTER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace dpe::sql {
+
+/// Canonical SQL text of a query.
+std::string ToSql(const SelectQuery& query);
+
+/// Canonical SQL text of a predicate (exposed for tests/debugging).
+std::string ToSql(const Predicate& predicate);
+
+}  // namespace dpe::sql
+
+#endif  // DPE_SQL_PRINTER_H_

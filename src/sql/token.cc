@@ -1,0 +1,38 @@
+#include "sql/token.h"
+
+#include <unordered_set>
+
+namespace dpe::sql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kKeyword:
+      return "keyword";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kOperator:
+      return "operator";
+    case TokenKind::kPunct:
+      return "punct";
+    case TokenKind::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+bool IsKeyword(const std::string& upper_word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "DISTINCT", "FROM", "WHERE",  "AND",   "OR",    "NOT",
+      "BETWEEN", "IN",      "JOIN", "ON",     "GROUP", "BY",    "ORDER",
+      "ASC",     "DESC",    "LIMIT", "COUNT", "SUM",   "AVG",   "MIN",
+      "MAX",     "AS",      "INNER", "NULL"};
+  return kKeywords.contains(upper_word);
+}
+
+}  // namespace dpe::sql

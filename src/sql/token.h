@@ -1,0 +1,43 @@
+// SQL tokens. `tokens(Q)` — the characteristic of the paper's token
+// equivalence notion (Def. 3) — is the set of lexemes produced by the lexer
+// over the canonical printed form of a query.
+
+#ifndef DPE_SQL_TOKEN_H_
+#define DPE_SQL_TOKEN_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dpe::sql {
+
+enum class TokenKind {
+  kKeyword,     ///< SELECT, FROM, WHERE, ... (normalized upper-case)
+  kIdentifier,  ///< relation / attribute names (normalized lower-case)
+  kInteger,     ///< 42
+  kFloat,       ///< 3.14
+  kString,      ///< 'abc' (lexeme keeps the quotes)
+  kOperator,    ///< = <> < <= > >=
+  kPunct,       ///< ( ) , * .
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string lexeme;  ///< normalized text (see kind docs)
+  size_t position;     ///< byte offset in the input
+
+  bool operator==(const Token& other) const {
+    return kind == other.kind && lexeme == other.lexeme;
+  }
+};
+
+/// Display name of a token kind ("keyword", "identifier", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword of our grammar.
+bool IsKeyword(const std::string& upper_word);
+
+}  // namespace dpe::sql
+
+#endif  // DPE_SQL_TOKEN_H_

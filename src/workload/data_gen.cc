@@ -1,0 +1,60 @@
+#include "workload/data_gen.h"
+
+namespace dpe::workload {
+
+Result<db::Database> GenerateData(const WorkloadSpec& spec,
+                                  const DataGenOptions& options) {
+  Rng rng(options.seed);
+  db::Database out;
+  for (const auto& rel : spec.relations) {
+    db::Table table(rel.name, spec.SchemaOf(rel));
+    for (size_t row_idx = 0; row_idx < options.rows_per_relation; ++row_idx) {
+      db::Row row;
+      row.reserve(rel.attrs.size());
+      for (const auto& attr : rel.attrs) {
+        switch (attr.type) {
+          case db::ColumnType::kInt: {
+            if (attr.is_key) {
+              // Sequential within [1, max]; wraps for FK-style columns whose
+              // key space is smaller than the row count.
+              int64_t span = attr.max_i - attr.min_i + 1;
+              int64_t v = attr.min_i +
+                          static_cast<int64_t>(row_idx) % (span > 0 ? span : 1);
+              // Foreign-key columns (keys that are not the first attribute)
+              // get skewed random references instead of sequential ids.
+              if (&attr != &rel.attrs.front()) {
+                Rng::ZipfDist zipf(static_cast<size_t>(
+                                       std::min<int64_t>(span, 1000)),
+                                   options.zipf_s);
+                v = attr.min_i + static_cast<int64_t>(zipf.Sample(rng));
+              }
+              row.push_back(db::Value::Int(v));
+            } else {
+              row.push_back(db::Value::Int(rng.NextInt(attr.min_i, attr.max_i)));
+            }
+            break;
+          }
+          case db::ColumnType::kDouble: {
+            double span = attr.max_d - attr.min_d;
+            row.push_back(db::Value::Double(attr.min_d + span * rng.NextDouble()));
+            break;
+          }
+          case db::ColumnType::kString: {
+            if (attr.categories.empty()) {
+              row.push_back(db::Value::String("v" + std::to_string(rng.NextBelow(100))));
+            } else {
+              Rng::ZipfDist zipf(attr.categories.size(), options.zipf_s);
+              row.push_back(db::Value::String(attr.categories[zipf.Sample(rng)]));
+            }
+            break;
+          }
+        }
+      }
+      DPE_RETURN_NOT_OK(table.Append(std::move(row)));
+    }
+    DPE_RETURN_NOT_OK(out.CreateTable(std::move(table)));
+  }
+  return out;
+}
+
+}  // namespace dpe::workload

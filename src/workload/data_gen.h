@@ -1,0 +1,29 @@
+// Deterministic synthetic data population for a WorkloadSpec.
+
+#ifndef DPE_WORKLOAD_DATA_GEN_H_
+#define DPE_WORKLOAD_DATA_GEN_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "workload/schema_gen.h"
+
+namespace dpe::workload {
+
+struct DataGenOptions {
+  uint64_t seed = 1;
+  /// Rows per relation (applied to every relation of the spec).
+  size_t rows_per_relation = 200;
+  /// Zipf skew for categorical/key value choices (1.0 = moderately skewed).
+  double zipf_s = 1.0;
+};
+
+/// Builds and populates a database for `spec`. Key attributes of the i-th
+/// row are i+1 (so foreign keys resolve), other attributes are drawn from
+/// their domains with Zipf-skewed choices.
+Result<db::Database> GenerateData(const WorkloadSpec& spec,
+                                  const DataGenOptions& options);
+
+}  // namespace dpe::workload
+
+#endif  // DPE_WORKLOAD_DATA_GEN_H_

@@ -1,0 +1,481 @@
+#include "workload/log_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dpe::workload {
+
+using sql::ColumnRef;
+using sql::CompareOp;
+using sql::Literal;
+using sql::Predicate;
+using sql::PredicatePtr;
+using sql::SelectItem;
+using sql::SelectQuery;
+
+namespace {
+
+enum class Template {
+  kPoint,
+  kRange,
+  kConjunctive,
+  kProjection,
+  kGroupAgg,
+  kIn,
+  kJoin,
+  kDisjunctive,
+  kGlobalAgg,
+  kOrderLimit,
+  kNegation,
+};
+
+class Generator {
+ public:
+  Generator(const WorkloadSpec& spec, const LogGenOptions& options)
+      : spec_(spec), options_(options), rng_(options.seed) {
+    BuildConstantPools();
+    BuildTemplateMix();
+  }
+
+  Result<std::vector<SelectQuery>> Run() {
+    std::vector<SelectQuery> log;
+    log.reserve(options_.count);
+    Rng::ZipfDist template_zipf(templates_.size(), options_.zipf_s);
+    size_t guard = 0;
+    while (log.size() < options_.count) {
+      if (++guard > options_.count * 100) {
+        return Status::Internal("log generator failed to make progress");
+      }
+      Template t = templates_[template_zipf.Sample(rng_)];
+      Result<SelectQuery> q = Make(t);
+      if (!q.ok()) continue;  // template not applicable to sampled relation
+      log.push_back(std::move(q).value());
+    }
+    return log;
+  }
+
+ private:
+  // -- constant pools ------------------------------------------------------
+
+  void BuildConstantPools() {
+    for (const auto& rel : spec_.relations) {
+      for (const auto& attr : rel.attrs) {
+        const std::string key = rel.name + "." + attr.name;
+        std::vector<Literal>& pool = pools_[key];
+        Rng pool_rng(options_.seed ^ std::hash<std::string>{}(key));
+        switch (attr.type) {
+          case db::ColumnType::kInt: {
+            for (size_t i = 0; i < options_.constant_pool_size; ++i) {
+              pool.push_back(
+                  Literal::Int(pool_rng.NextInt(attr.min_i, attr.max_i)));
+            }
+            break;
+          }
+          case db::ColumnType::kDouble: {
+            for (size_t i = 0; i < options_.constant_pool_size; ++i) {
+              double span = attr.max_d - attr.min_d;
+              // Two decimals keep canonical printing short and stable.
+              double raw = attr.min_d + span * pool_rng.NextDouble();
+              double v = std::round(raw * 100.0) / 100.0;
+              pool.push_back(Literal::Double(v));
+            }
+            break;
+          }
+          case db::ColumnType::kString: {
+            for (const auto& c : attr.categories) {
+              pool.push_back(Literal::String(c));
+            }
+            if (pool.empty()) pool.push_back(Literal::String("v0"));
+            break;
+          }
+        }
+        std::sort(pool.begin(), pool.end());
+        pool.erase(std::unique(pool.begin(), pool.end()), pool.end());
+      }
+    }
+  }
+
+  void BuildTemplateMix() {
+    templates_ = {Template::kPoint,      Template::kRange,
+                  Template::kConjunctive, Template::kProjection,
+                  Template::kGroupAgg,   Template::kIn,
+                  Template::kJoin,       Template::kDisjunctive,
+                  Template::kGlobalAgg,  Template::kOrderLimit,
+                  Template::kNegation};
+    auto drop = [&](Template t) {
+      templates_.erase(std::remove(templates_.begin(), templates_.end(), t),
+                       templates_.end());
+    };
+    if (!options_.include_joins || spec_.joins.empty()) drop(Template::kJoin);
+    if (!options_.include_aggregates) {
+      drop(Template::kGroupAgg);
+      drop(Template::kGlobalAgg);
+    }
+    if (!options_.include_order_limit) drop(Template::kOrderLimit);
+    if (!options_.include_negations) drop(Template::kNegation);
+  }
+
+  // -- sampling helpers ----------------------------------------------------
+
+  const RelationSpec& PickRelation() {
+    Rng::ZipfDist zipf(spec_.relations.size(), options_.zipf_s);
+    return spec_.relations[zipf.Sample(rng_)];
+  }
+
+  /// Picks an attribute satisfying `pred`; nullptr if none exists.
+  template <typename Pred>
+  const AttrSpec* PickAttr(const RelationSpec& rel, Pred pred) {
+    std::vector<const AttrSpec*> candidates;
+    for (const auto& a : rel.attrs) {
+      if (pred(a)) candidates.push_back(&a);
+    }
+    if (candidates.empty()) return nullptr;
+    Rng::ZipfDist zipf(candidates.size(), options_.zipf_s);
+    return candidates[zipf.Sample(rng_)];
+  }
+
+  Literal PickConstant(const RelationSpec& rel, const AttrSpec& attr) {
+    const auto& pool = pools_[rel.name + "." + attr.name];
+    Rng::ZipfDist zipf(pool.size(), options_.zipf_s);
+    return pool[zipf.Sample(rng_)];
+  }
+
+  /// An ordered constant pair (lo <= hi) for BETWEEN / range predicates.
+  std::pair<Literal, Literal> PickConstantPair(const RelationSpec& rel,
+                                               const AttrSpec& attr) {
+    Literal a = PickConstant(rel, attr);
+    Literal b = PickConstant(rel, attr);
+    if (b < a) std::swap(a, b);
+    return {a, b};
+  }
+
+  /// 1-3 projection columns of `rel` (unqualified).
+  std::vector<SelectItem> PickProjection(const RelationSpec& rel) {
+    std::vector<SelectItem> items;
+    if (rng_.NextBool(0.15)) {
+      items.push_back(SelectItem::Star());
+      return items;
+    }
+    size_t want = 1 + rng_.NextBelow(3);
+    std::vector<size_t> order(rel.attrs.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.Shuffle(order);
+    want = std::min(want, order.size());
+    std::vector<size_t> chosen(order.begin(), order.begin() + want);
+    std::sort(chosen.begin(), chosen.end());  // stable column order
+    for (size_t idx : chosen) {
+      items.push_back(SelectItem::Col({"", rel.attrs[idx].name}));
+    }
+    return items;
+  }
+
+  PredicatePtr MakeEqPredicate(const RelationSpec& rel, const AttrSpec& attr) {
+    return Predicate::Compare({"", attr.name}, CompareOp::kEq,
+                              PickConstant(rel, attr));
+  }
+
+  Result<PredicatePtr> MakeRangePredicate(const RelationSpec& rel,
+                                          const AttrSpec& attr) {
+    switch (rng_.NextBelow(4)) {
+      case 0: {
+        auto [lo, hi] = PickConstantPair(rel, attr);
+        return Predicate::Between({"", attr.name}, lo, hi);
+      }
+      case 1:
+        return Predicate::Compare({"", attr.name}, CompareOp::kLt,
+                                  PickConstant(rel, attr));
+      case 2:
+        return Predicate::Compare({"", attr.name}, CompareOp::kGe,
+                                  PickConstant(rel, attr));
+      default:
+        return Predicate::Compare({"", attr.name}, CompareOp::kGt,
+                                  PickConstant(rel, attr));
+    }
+  }
+
+  // -- templates -----------------------------------------------------------
+
+  Result<SelectQuery> Make(Template t) {
+    switch (t) {
+      case Template::kPoint:
+        return MakePoint();
+      case Template::kRange:
+        return MakeRange();
+      case Template::kConjunctive:
+        return MakeConjunctive();
+      case Template::kProjection:
+        return MakeProjection();
+      case Template::kGroupAgg:
+        return MakeGroupAgg();
+      case Template::kIn:
+        return MakeIn();
+      case Template::kJoin:
+        return MakeJoin();
+      case Template::kDisjunctive:
+        return MakeDisjunctive();
+      case Template::kGlobalAgg:
+        return MakeGlobalAgg();
+      case Template::kOrderLimit:
+        return MakeOrderLimit();
+      case Template::kNegation:
+        return MakeNegation();
+    }
+    return Status::Internal("unknown template");
+  }
+
+  Result<SelectQuery> MakePoint() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* attr = PickAttr(
+        rel, [](const AttrSpec& a) { return a.is_key || a.categorical; });
+    if (attr == nullptr) return Status::NotFound("no point attr");
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    q.where = MakeEqPredicate(rel, *attr);
+    return q;
+  }
+
+  Result<SelectQuery> MakeRange() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+    if (attr == nullptr) return Status::NotFound("no range attr");
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    DPE_ASSIGN_OR_RETURN(q.where, MakeRangePredicate(rel, *attr));
+    return q;
+  }
+
+  Result<SelectQuery> MakeConjunctive() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* eq_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.categorical || a.is_key; });
+    const AttrSpec* range_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+    if (eq_attr == nullptr || range_attr == nullptr) {
+      return Status::NotFound("no conjunctive attrs");
+    }
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    std::vector<PredicatePtr> parts;
+    parts.push_back(MakeEqPredicate(rel, *eq_attr));
+    DPE_ASSIGN_OR_RETURN(PredicatePtr range, MakeRangePredicate(rel, *range_attr));
+    parts.push_back(std::move(range));
+    q.where = Predicate::And(std::move(parts));
+    return q;
+  }
+
+  Result<SelectQuery> MakeProjection() {
+    const RelationSpec& rel = PickRelation();
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    if (rng_.NextBool(0.3)) q.limit = 5 + static_cast<int64_t>(rng_.NextBelow(20));
+    return q;
+  }
+
+  Result<SelectQuery> MakeGroupAgg() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* group_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.categorical; });
+    const AttrSpec* agg_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.aggregatable; });
+    if (group_attr == nullptr) return Status::NotFound("no group attr");
+    SelectQuery q;
+    q.items.push_back(SelectItem::Col({"", group_attr->name}));
+    if (agg_attr != nullptr && rng_.NextBool(0.6)) {
+      q.items.push_back(SelectItem::Agg(
+          rng_.NextBool(0.5) ? sql::AggFn::kSum : sql::AggFn::kAvg,
+          {"", agg_attr->name}));
+    } else {
+      q.items.push_back(SelectItem::CountStar());
+    }
+    q.from = {rel.name, ""};
+    if (rng_.NextBool(0.4)) {
+      const AttrSpec* filter_attr =
+          PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+      if (filter_attr != nullptr) {
+        DPE_ASSIGN_OR_RETURN(q.where, MakeRangePredicate(rel, *filter_attr));
+      }
+    }
+    q.group_by.push_back({"", group_attr->name});
+    return q;
+  }
+
+  Result<SelectQuery> MakeIn() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* attr = PickAttr(
+        rel, [](const AttrSpec& a) { return a.categorical || a.is_key; });
+    if (attr == nullptr) return Status::NotFound("no IN attr");
+    std::vector<Literal> values;
+    size_t want = 2 + rng_.NextBelow(3);
+    for (size_t i = 0; i < want; ++i) values.push_back(PickConstant(rel, *attr));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    q.where = Predicate::In({"", attr->name}, std::move(values));
+    return q;
+  }
+
+  Result<SelectQuery> MakeJoin() {
+    if (spec_.joins.empty()) return Status::NotFound("no joins");
+    const JoinSpec& join = spec_.joins[rng_.NextBelow(spec_.joins.size())];
+    const RelationSpec* left = spec_.Find(join.left_rel);
+    const RelationSpec* right = spec_.Find(join.right_rel);
+    if (left == nullptr || right == nullptr) {
+      return Status::NotFound("join relations missing");
+    }
+    SelectQuery q;
+    // Qualified projection: one column from each side.
+    const AttrSpec* lcol = PickAttr(*left, [](const AttrSpec&) { return true; });
+    const AttrSpec* rcol = PickAttr(*right, [](const AttrSpec&) { return true; });
+    q.items.push_back(SelectItem::Col({left->name, lcol->name}));
+    q.items.push_back(SelectItem::Col({right->name, rcol->name}));
+    q.from = {left->name, ""};
+    sql::JoinClause jc;
+    jc.table = {right->name, ""};
+    jc.left = {left->name, join.left_attr};
+    jc.right = {right->name, join.right_attr};
+    q.joins.push_back(std::move(jc));
+    // Predicate on one side (qualified).
+    const RelationSpec& pred_rel = rng_.NextBool(0.5) ? *left : *right;
+    const AttrSpec* pred_attr = PickAttr(pred_rel, [](const AttrSpec& a) {
+      return a.categorical || a.range_friendly;
+    });
+    if (pred_attr != nullptr) {
+      if (pred_attr->categorical) {
+        q.where = Predicate::Compare({pred_rel.name, pred_attr->name},
+                                     CompareOp::kEq,
+                                     PickConstant(pred_rel, *pred_attr));
+      } else {
+        auto [lo, hi] = PickConstantPair(pred_rel, *pred_attr);
+        q.where = Predicate::Between({pred_rel.name, pred_attr->name}, lo, hi);
+      }
+    }
+    return q;
+  }
+
+  Result<SelectQuery> MakeDisjunctive() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* attr = PickAttr(
+        rel, [](const AttrSpec& a) { return a.categorical || a.is_key; });
+    if (attr == nullptr) return Status::NotFound("no disjunction attr");
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    std::vector<PredicatePtr> parts;
+    parts.push_back(MakeEqPredicate(rel, *attr));
+    parts.push_back(MakeEqPredicate(rel, *attr));
+    q.where = Predicate::Or(std::move(parts));
+    return q;
+  }
+
+  Result<SelectQuery> MakeGlobalAgg() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* agg_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.aggregatable; });
+    SelectQuery q;
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        q.items.push_back(SelectItem::CountStar());
+        break;
+      case 1:
+        if (agg_attr == nullptr) return Status::NotFound("no agg attr");
+        q.items.push_back(SelectItem::Agg(sql::AggFn::kSum, {"", agg_attr->name}));
+        break;
+      case 2: {
+        const AttrSpec* mm =
+            PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+        if (mm == nullptr) return Status::NotFound("no minmax attr");
+        q.items.push_back(SelectItem::Agg(
+            rng_.NextBool(0.5) ? sql::AggFn::kMin : sql::AggFn::kMax,
+            {"", mm->name}));
+        break;
+      }
+      default:
+        if (agg_attr == nullptr) return Status::NotFound("no agg attr");
+        q.items.push_back(SelectItem::Agg(sql::AggFn::kAvg, {"", agg_attr->name}));
+        break;
+    }
+    q.from = {rel.name, ""};
+    if (rng_.NextBool(0.5)) {
+      const AttrSpec* filter = PickAttr(rel, [](const AttrSpec& a) {
+        return a.categorical || a.range_friendly;
+      });
+      if (filter != nullptr) {
+        if (filter->categorical) {
+          q.where = MakeEqPredicate(rel, *filter);
+        } else {
+          DPE_ASSIGN_OR_RETURN(q.where, MakeRangePredicate(rel, *filter));
+        }
+      }
+    }
+    return q;
+  }
+
+  Result<SelectQuery> MakeOrderLimit() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* order_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+    if (order_attr == nullptr) return Status::NotFound("no order attr");
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    if (rng_.NextBool(0.5)) {
+      const AttrSpec* filter =
+          PickAttr(rel, [](const AttrSpec& a) { return a.categorical; });
+      if (filter != nullptr) q.where = MakeEqPredicate(rel, *filter);
+    }
+    q.order_by.push_back({{"", order_attr->name}, rng_.NextBool(0.5)});
+    q.limit = 3 + static_cast<int64_t>(rng_.NextBelow(15));
+    return q;
+  }
+
+  Result<SelectQuery> MakeNegation() {
+    const RelationSpec& rel = PickRelation();
+    const AttrSpec* eq_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.categorical; });
+    const AttrSpec* range_attr =
+        PickAttr(rel, [](const AttrSpec& a) { return a.range_friendly; });
+    if (eq_attr == nullptr || range_attr == nullptr) {
+      return Status::NotFound("no negation attrs");
+    }
+    SelectQuery q;
+    q.items = PickProjection(rel);
+    q.from = {rel.name, ""};
+    std::vector<PredicatePtr> parts;
+    parts.push_back(Predicate::Not(MakeEqPredicate(rel, *eq_attr)));
+    if (rng_.NextBool(0.5)) {
+      auto [lo, hi] = PickConstantPair(rel, *range_attr);
+      parts.push_back(Predicate::Not(
+          Predicate::Between({"", range_attr->name}, lo, hi)));
+    } else {
+      DPE_ASSIGN_OR_RETURN(PredicatePtr range,
+                           MakeRangePredicate(rel, *range_attr));
+      parts.push_back(std::move(range));
+    }
+    q.where = Predicate::And(std::move(parts));
+    return q;
+  }
+
+  const WorkloadSpec& spec_;
+  LogGenOptions options_;
+  Rng rng_;
+  std::map<std::string, std::vector<Literal>> pools_;
+  std::vector<Template> templates_;
+};
+
+}  // namespace
+
+Result<std::vector<SelectQuery>> GenerateLog(const WorkloadSpec& spec,
+                                             const LogGenOptions& options) {
+  Generator gen(spec, options);
+  return gen.Run();
+}
+
+}  // namespace dpe::workload

@@ -1,0 +1,47 @@
+// Synthetic SQL query-log generator.
+//
+// Queries are drawn from templates (point / range / conjunctive /
+// disjunctive / IN / projection / aggregates / join / order-limit /
+// negation) with Zipf-skewed template, attribute and constant choices, so
+// logs exhibit the frequency skew that makes both the mining experiments and
+// the query-only-attack demo meaningful.
+//
+// Constants come from small per-attribute pools (deterministic in the seed),
+// so distinct queries share constants and the distance structure is rich.
+//
+// All generated queries satisfy the encrypted-execution constraints of the
+// CryptDB substrate (range/order predicates on numeric attributes, SUM/AVG
+// on int attributes, ORDER BY only in non-aggregate queries).
+
+#ifndef DPE_WORKLOAD_LOG_GEN_H_
+#define DPE_WORKLOAD_LOG_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "sql/ast.h"
+#include "workload/schema_gen.h"
+
+namespace dpe::workload {
+
+struct LogGenOptions {
+  uint64_t seed = 42;
+  size_t count = 100;
+  /// Zipf skew for template/attribute/constant choices.
+  double zipf_s = 1.1;
+  /// Distinct constants per attribute pool.
+  size_t constant_pool_size = 10;
+  bool include_joins = true;
+  bool include_aggregates = true;
+  bool include_order_limit = true;
+  bool include_negations = true;
+};
+
+/// Generates `options.count` queries over `spec`.
+Result<std::vector<sql::SelectQuery>> GenerateLog(const WorkloadSpec& spec,
+                                                  const LogGenOptions& options);
+
+}  // namespace dpe::workload
+
+#endif  // DPE_WORKLOAD_LOG_GEN_H_

@@ -1,0 +1,32 @@
+#include "workload/scenarios.h"
+
+namespace dpe::workload {
+
+namespace {
+
+Result<Scenario> MakeScenario(WorkloadSpec spec, const ScenarioOptions& options) {
+  Scenario s;
+  s.spec = std::move(spec);
+  DataGenOptions data_options;
+  data_options.seed = options.seed;
+  data_options.rows_per_relation = options.rows_per_relation;
+  DPE_ASSIGN_OR_RETURN(s.database, GenerateData(s.spec, data_options));
+  s.domains = s.spec.Domains();
+  LogGenOptions log_options = options.log;
+  log_options.seed = options.seed + 1;
+  log_options.count = options.log_size;
+  DPE_ASSIGN_OR_RETURN(s.log, GenerateLog(s.spec, log_options));
+  return s;
+}
+
+}  // namespace
+
+Result<Scenario> MakeShopScenario(const ScenarioOptions& options) {
+  return MakeScenario(MakeShopSpec(), options);
+}
+
+Result<Scenario> MakeSkyServerScenario(const ScenarioOptions& options) {
+  return MakeScenario(MakeSkyServerSpec(), options);
+}
+
+}  // namespace dpe::workload

@@ -1,0 +1,37 @@
+// Ready-made experiment scenarios: spec + populated database + shared
+// domains + query log, all deterministic in the seed.
+
+#ifndef DPE_WORKLOAD_SCENARIOS_H_
+#define DPE_WORKLOAD_SCENARIOS_H_
+
+#include "db/access_area.h"
+#include "db/database.h"
+#include "workload/data_gen.h"
+#include "workload/log_gen.h"
+#include "workload/schema_gen.h"
+
+namespace dpe::workload {
+
+struct Scenario {
+  WorkloadSpec spec;
+  db::Database database;
+  db::DomainRegistry domains;
+  std::vector<sql::SelectQuery> log;
+};
+
+struct ScenarioOptions {
+  uint64_t seed = 42;
+  size_t rows_per_relation = 200;
+  size_t log_size = 100;
+  LogGenOptions log;  ///< seed/count overridden from the fields above
+};
+
+/// Web-shop scenario (customers/orders/products).
+Result<Scenario> MakeShopScenario(const ScenarioOptions& options);
+
+/// SkyServer-like scenario (photoobj/specobj).
+Result<Scenario> MakeSkyServerScenario(const ScenarioOptions& options);
+
+}  // namespace dpe::workload
+
+#endif  // DPE_WORKLOAD_SCENARIOS_H_

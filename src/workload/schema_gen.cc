@@ -1,0 +1,178 @@
+#include "workload/schema_gen.h"
+
+namespace dpe::workload {
+
+const AttrSpec* RelationSpec::Find(const std::string& attr) const {
+  for (const auto& a : attrs) {
+    if (a.name == attr) return &a;
+  }
+  return nullptr;
+}
+
+const RelationSpec* WorkloadSpec::Find(const std::string& rel) const {
+  for (const auto& r : relations) {
+    if (r.name == rel) return &r;
+  }
+  return nullptr;
+}
+
+db::TableSchema WorkloadSpec::SchemaOf(const RelationSpec& rel) const {
+  std::vector<db::ColumnDef> cols;
+  cols.reserve(rel.attrs.size());
+  for (const auto& a : rel.attrs) cols.push_back({a.name, a.type});
+  return db::TableSchema(std::move(cols));
+}
+
+db::DomainRegistry WorkloadSpec::Domains() const {
+  db::DomainRegistry out;
+  for (const auto& rel : relations) {
+    for (const auto& a : rel.attrs) {
+      db::Domain dom;
+      switch (a.type) {
+        case db::ColumnType::kInt:
+          dom.min = db::Value::Int(a.min_i);
+          dom.max = db::Value::Int(a.max_i);
+          break;
+        case db::ColumnType::kDouble:
+          dom.min = db::Value::Double(a.min_d);
+          dom.max = db::Value::Double(a.max_d);
+          break;
+        case db::ColumnType::kString:
+          dom.min = db::Value::String(a.categories.empty() ? ""
+                                                           : a.categories.front());
+          dom.max = db::Value::String(a.categories.empty() ? "~"
+                                                           : a.categories.back());
+          break;
+      }
+      out.Set(rel.name + "." + a.name, std::move(dom));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+AttrSpec IntKey(const std::string& name, int64_t max) {
+  AttrSpec a;
+  a.name = name;
+  a.type = db::ColumnType::kInt;
+  a.min_i = 1;
+  a.max_i = max;
+  a.is_key = true;
+  return a;
+}
+
+AttrSpec IntRange(const std::string& name, int64_t lo, int64_t hi,
+                  bool aggregatable) {
+  AttrSpec a;
+  a.name = name;
+  a.type = db::ColumnType::kInt;
+  a.min_i = lo;
+  a.max_i = hi;
+  a.range_friendly = true;
+  a.aggregatable = aggregatable;
+  return a;
+}
+
+AttrSpec DoubleRange(const std::string& name, double lo, double hi) {
+  AttrSpec a;
+  a.name = name;
+  a.type = db::ColumnType::kDouble;
+  a.min_d = lo;
+  a.max_d = hi;
+  a.range_friendly = true;
+  return a;
+}
+
+AttrSpec Categorical(const std::string& name, std::vector<std::string> cats) {
+  AttrSpec a;
+  a.name = name;
+  a.type = db::ColumnType::kString;
+  a.categories = std::move(cats);
+  a.categorical = true;
+  return a;
+}
+
+}  // namespace
+
+WorkloadSpec MakeShopSpec() {
+  WorkloadSpec spec;
+  spec.name = "shop";
+
+  RelationSpec customers;
+  customers.name = "customers";
+  customers.attrs = {
+      IntKey("cid", 1000),
+      Categorical("city", {"amsterdam", "berlin", "karlsruhe", "london",
+                           "madrid", "paris", "rome", "vienna"}),
+      IntRange("age", 18, 90, /*aggregatable=*/false),
+      DoubleRange("score", 0.0, 100.0),
+      Categorical("segment", {"bronze", "gold", "platinum", "silver"}),
+  };
+
+  RelationSpec orders;
+  orders.name = "orders";
+  orders.attrs = {
+      IntKey("oid", 10000),
+      IntKey("cid", 1000),
+      IntKey("pid", 200),
+      IntRange("quantity", 1, 50, /*aggregatable=*/true),
+      IntRange("total_cents", 100, 500000, /*aggregatable=*/true),
+      Categorical("status", {"cancelled", "delivered", "pending", "shipped"}),
+  };
+  // cid/pid are keys for joining; they should not be primary lookup targets
+  // of random point queries as often, but keys are fine.
+
+  RelationSpec products;
+  products.name = "products";
+  products.attrs = {
+      IntKey("pid", 200),
+      Categorical("category", {"books", "electronics", "garden", "grocery",
+                               "sports", "toys"}),
+      IntRange("stock", 0, 1000, /*aggregatable=*/true),
+      DoubleRange("weight", 0.05, 40.0),
+  };
+
+  spec.relations = {customers, orders, products};
+  spec.joins = {
+      {"orders", "cid", "customers", "cid"},
+      {"orders", "pid", "products", "pid"},
+  };
+  return spec;
+}
+
+WorkloadSpec MakeSkyServerSpec() {
+  WorkloadSpec spec;
+  spec.name = "skyserver";
+
+  RelationSpec photoobj;
+  photoobj.name = "photoobj";
+  photoobj.attrs = {
+      IntKey("objid", 100000),
+      DoubleRange("ra", 0.0, 360.0),
+      DoubleRange("dec", -90.0, 90.0),
+      DoubleRange("mag_u", 10.0, 30.0),
+      DoubleRange("mag_g", 10.0, 30.0),
+      DoubleRange("mag_r", 10.0, 30.0),
+      Categorical("type", {"galaxy", "qso", "star", "unknown"}),
+      IntRange("field", 1, 400, /*aggregatable=*/true),
+  };
+
+  RelationSpec specobj;
+  specobj.name = "specobj";
+  specobj.attrs = {
+      IntKey("specid", 50000),
+      IntKey("objid", 100000),
+      DoubleRange("redshift", 0.0, 7.0),
+      Categorical("class", {"galaxy", "qso", "star"}),
+      IntRange("plate", 1, 3000, /*aggregatable=*/true),
+  };
+
+  spec.relations = {photoobj, specobj};
+  spec.joins = {
+      {"specobj", "objid", "photoobj", "objid"},
+  };
+  return spec;
+}
+
+}  // namespace dpe::workload

@@ -1,0 +1,70 @@
+// Workload schemas: a web-shop OLTP-ish schema and a SkyServer-like
+// astronomy schema (the paper's motivating query-log source, [16]).
+//
+// A WorkloadSpec is the single source of truth for schema, domains,
+// join relationships, and the constant pools the log generator draws from.
+
+#ifndef DPE_WORKLOAD_SCHEMA_GEN_H_
+#define DPE_WORKLOAD_SCHEMA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "db/access_area.h"
+#include "db/schema.h"
+
+namespace dpe::workload {
+
+/// One attribute: type, domain, and its role in generated queries.
+struct AttrSpec {
+  std::string name;
+  db::ColumnType type = db::ColumnType::kInt;
+
+  // Domain bounds (by type).
+  int64_t min_i = 0, max_i = 0;
+  double min_d = 0, max_d = 0;
+  std::vector<std::string> categories;  // string domain (sorted)
+
+  bool is_key = false;        ///< point-lookup target
+  bool range_friendly = false;///< numeric; range predicates allowed
+  bool aggregatable = false;  ///< int; SUM/AVG allowed
+  bool categorical = false;   ///< equality/IN/GROUP BY target
+};
+
+struct RelationSpec {
+  std::string name;
+  std::vector<AttrSpec> attrs;
+
+  const AttrSpec* Find(const std::string& attr) const;
+};
+
+/// A joinable column pair (foreign key relationship).
+struct JoinSpec {
+  std::string left_rel, left_attr;
+  std::string right_rel, right_attr;
+};
+
+struct WorkloadSpec {
+  std::string name;
+  std::vector<RelationSpec> relations;
+  std::vector<JoinSpec> joins;
+
+  const RelationSpec* Find(const std::string& rel) const;
+
+  /// db::TableSchema of one relation.
+  db::TableSchema SchemaOf(const RelationSpec& rel) const;
+
+  /// The shared domain registry ("Domains" of Table I), from the declared
+  /// attribute domains.
+  db::DomainRegistry Domains() const;
+};
+
+/// customers / orders / products.
+WorkloadSpec MakeShopSpec();
+
+/// photoobj / specobj (SkyServer-flavored).
+WorkloadSpec MakeSkyServerSpec();
+
+}  // namespace dpe::workload
+
+#endif  // DPE_WORKLOAD_SCHEMA_GEN_H_

@@ -1,0 +1,60 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe {
+namespace {
+
+TEST(HexTest, EncodeBasic) {
+  EXPECT_EQ(HexEncode(""), "");
+  EXPECT_EQ(HexEncode(std::string("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(HexEncode("AB"), "4142");
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<char>(i));
+  auto decoded = HexDecode(HexEncode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  auto d = HexDecode("DEADBEEF");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(HexEncode(*d), "deadbeef");
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+  EXPECT_FALSE(HexDecode("0g").ok());
+}
+
+TEST(BigEndianTest, RoundTrip64) {
+  for (uint64_t v : {0ULL, 1ULL, 0xdeadbeefULL, ~0ULL, 1ULL << 63}) {
+    Bytes b = EncodeBigEndian64(v);
+    ASSERT_EQ(b.size(), 8u);
+    EXPECT_EQ(DecodeBigEndian64(b), v);
+  }
+}
+
+TEST(BigEndianTest, OrderMatchesIntegerOrder) {
+  // Big-endian fixed width: lexicographic byte order == numeric order.
+  EXPECT_LT(EncodeBigEndian64(5), EncodeBigEndian64(6));
+  EXPECT_LT(EncodeBigEndian64(255), EncodeBigEndian64(256));
+  EXPECT_LT(EncodeBigEndian64(0), EncodeBigEndian64(~0ULL));
+}
+
+TEST(ConstantTimeEqualsTest, Works) {
+  EXPECT_TRUE(ConstantTimeEquals("abc", "abc"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "abd"));
+  EXPECT_FALSE(ConstantTimeEquals("abc", "abcd"));
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+}
+
+}  // namespace
+}  // namespace dpe

@@ -1,0 +1,33 @@
+#include "common/str.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe {
+namespace {
+
+TEST(StrTest, CaseConversion) {
+  EXPECT_EQ(ToUpperAscii("Select a1"), "SELECT A1");
+  EXPECT_EQ(ToLowerAscii("FROM R2"), "from r2");
+}
+
+TEST(StrTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "|"), "a|b|c");
+}
+
+TEST(StrTest, Split) {
+  EXPECT_EQ(Split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StrTest, CaseInsensitiveHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("select", "selec"));
+  EXPECT_TRUE(StartsWithIgnoreCase("SELECT a", "select"));
+  EXPECT_FALSE(StartsWithIgnoreCase("SEL", "select"));
+}
+
+}  // namespace
+}  // namespace dpe

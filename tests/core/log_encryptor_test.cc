@@ -1,0 +1,245 @@
+#include "core/log_encryptor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/scenarios.h"
+
+namespace dpe::core {
+namespace {
+
+/// Shared scenario + one encryptor per canonical scheme.
+class LogEncryptorTest : public ::testing::Test {
+ protected:
+  static const workload::Scenario& Scenario() {
+    static workload::Scenario s = [] {
+      workload::ScenarioOptions opt;
+      opt.seed = 5;
+      opt.rows_per_relation = 30;
+      opt.log_size = 25;
+      return workload::MakeShopScenario(opt).value();
+    }();
+    return s;
+  }
+
+  static const crypto::KeyManager& Keys() {
+    static crypto::KeyManager keys("log-encryptor-test");
+    return keys;
+  }
+
+  static LogEncryptor MakeEncryptor(MeasureKind kind) {
+    LogEncryptor::Options options;
+    options.paillier_bits = 256;
+    options.ope_range_bits = 80;
+    options.rng_seed = "test-seed";
+    return LogEncryptor::Create(CanonicalScheme(kind), Keys(),
+                                Scenario().database, Scenario().log,
+                                Scenario().domains, options)
+        .value();
+  }
+};
+
+TEST_F(LogEncryptorTest, CanonicalSchemesMatchTableI) {
+  EXPECT_EQ(CanonicalScheme(MeasureKind::kToken).uniform_const,
+            crypto::PpeClass::kDet);
+  EXPECT_TRUE(CanonicalScheme(MeasureKind::kToken).global_const_key);
+  EXPECT_EQ(CanonicalScheme(MeasureKind::kStructure).uniform_const,
+            crypto::PpeClass::kProb);
+  EXPECT_EQ(CanonicalScheme(MeasureKind::kResult).const_mode,
+            ConstMode::kCryptDb);
+  EXPECT_EQ(CanonicalScheme(MeasureKind::kAccessArea).const_mode,
+            ConstMode::kCryptDbNoHom);
+  for (MeasureKind m : {MeasureKind::kToken, MeasureKind::kStructure,
+                        MeasureKind::kResult, MeasureKind::kAccessArea}) {
+    EXPECT_EQ(CanonicalScheme(m).enc_rel, crypto::PpeClass::kDet);
+    EXPECT_EQ(CanonicalScheme(m).enc_attr, crypto::PpeClass::kDet);
+  }
+}
+
+TEST_F(LogEncryptorTest, TokenSchemeEncryptsEveryQuery) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kToken);
+  for (const auto& q : Scenario().log) {
+    auto eq = enc.EncryptQuery(q);
+    ASSERT_TRUE(eq.ok()) << sql::ToSql(q) << " -> " << eq.status();
+    // Encrypted query still lexes and parses.
+    EXPECT_TRUE(sql::Parse(sql::ToSql(*eq)).ok()) << sql::ToSql(*eq);
+  }
+}
+
+TEST_F(LogEncryptorTest, TokenSchemeNamesAreDeterministic) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kToken);
+  EXPECT_EQ(enc.EncryptRelName("orders").value(),
+            enc.EncryptRelName("orders").value());
+  EXPECT_NE(enc.EncryptRelName("orders").value(),
+            enc.EncryptAttrName("orders").value());
+}
+
+TEST_F(LogEncryptorTest, TokenSchemeIntConstantsGetNumericImages) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kToken);
+  auto img = enc.EncryptConstant("@any", sql::Literal::Int(5)).value();
+  EXPECT_EQ(img.kind(), sql::Literal::Kind::kInt);
+  EXPECT_NE(img.int_value(), 5);
+  EXPECT_EQ(enc.EncryptConstant("@other", sql::Literal::Int(5)).value(), img)
+      << "global key: image must not depend on the attribute";
+  auto dimg = enc.EncryptConstant("@any", sql::Literal::Double(2.5)).value();
+  EXPECT_EQ(dimg.kind(), sql::Literal::Kind::kDouble);
+  auto simg = enc.EncryptConstant("@any", sql::Literal::String("x")).value();
+  EXPECT_EQ(simg.kind(), sql::Literal::Kind::kString);
+  EXPECT_EQ(simg.string_value()[0], 'e');
+}
+
+TEST_F(LogEncryptorTest, TokenSchemeLimitGetsSameImageAsEqualConstant) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kToken);
+  auto q = sql::Parse("SELECT cid FROM customers WHERE age = 5 LIMIT 5").value();
+  auto eq = enc.EncryptQuery(q).value();
+  ASSERT_TRUE(eq.limit.has_value());
+  EXPECT_EQ(sql::Literal::Int(*eq.limit), eq.where->literal);
+}
+
+TEST_F(LogEncryptorTest, StructureSchemeConstantsAreProbabilistic) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kStructure);
+  auto q = sql::Parse("SELECT cid FROM customers WHERE age = 30").value();
+  auto e1 = enc.EncryptQuery(q).value();
+  auto e2 = enc.EncryptQuery(q).value();
+  // Same names, different constant ciphertexts.
+  EXPECT_EQ(e1.from.name, e2.from.name);
+  EXPECT_NE(e1.where->literal, e2.where->literal);
+  EXPECT_EQ(e1.where->literal.string_value()[0], 'p');
+}
+
+TEST_F(LogEncryptorTest, ResultSchemeUsesCryptDb) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kResult);
+  EXPECT_NE(enc.crypt_db(), nullptr);
+  auto artifacts = enc.EncryptAll().value();
+  EXPECT_TRUE(artifacts.encrypted_db.has_value());
+  EXPECT_EQ(artifacts.encrypted_log.size(), Scenario().log.size());
+  EXPECT_TRUE(static_cast<bool>(artifacts.provider_options.agg_hook));
+}
+
+TEST_F(LogEncryptorTest, AccessAreaSchemeDerivesPerAttributeClasses) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kAccessArea);
+  bool saw_ope = false, saw_det = false;
+  for (const auto& [key, cls] : enc.const_classes()) {
+    (void)key;
+    saw_ope |= cls == crypto::PpeClass::kOpe;
+    saw_det |= cls == crypto::PpeClass::kDet;
+    EXPECT_NE(cls, crypto::PpeClass::kHom) << "except HOM";
+  }
+  EXPECT_TRUE(saw_ope);
+  EXPECT_TRUE(saw_det);
+}
+
+TEST_F(LogEncryptorTest, AccessAreaArtifactsShareEncryptedDomains) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kAccessArea);
+  auto artifacts = enc.EncryptAll().value();
+  ASSERT_TRUE(artifacts.encrypted_domains.has_value());
+  EXPECT_FALSE(artifacts.encrypted_db.has_value());
+  EXPECT_GT(artifacts.encrypted_domains->all().size(), 0u);
+  // Domains of OPE attributes preserve order after encryption.
+  for (const auto& [key, dom] : artifacts.encrypted_domains->all()) {
+    (void)key;
+    if (dom.min.is_string() && dom.min.string_value()[0] == 'o') {
+      EXPECT_LT(dom.min.string_value(), dom.max.string_value());
+    }
+  }
+}
+
+TEST_F(LogEncryptorTest, DeriveOnionLayoutCoversLogNeeds) {
+  cryptdb::SchemaMap schemas;
+  for (const auto& rel : Scenario().database.TableNames()) {
+    schemas[rel] = Scenario().database.GetTable(rel).value()->schema();
+  }
+  std::vector<sql::SelectQuery> log = Scenario().log;
+  log.push_back(
+      sql::Parse("SELECT orders.oid FROM orders JOIN customers "
+                 "ON orders.cid = customers.cid WHERE orders.quantity > 3")
+          .value());
+  auto layout = DeriveOnionLayout(log, schemas).value();
+  EXPECT_GT(layout.columns.size(), 0u);
+  // The appended join put both cid columns into one shared group.
+  ASSERT_TRUE(layout.join_group_of.contains("orders.cid"));
+  ASSERT_TRUE(layout.join_group_of.contains("customers.cid"));
+  EXPECT_EQ(layout.join_group_of.at("orders.cid"),
+            layout.join_group_of.at("customers.cid"));
+  // And the range predicate forced an ORD onion.
+  EXPECT_TRUE(layout.ConfigFor("orders.quantity").ord);
+  EXPECT_TRUE(layout.ConfigFor("orders.cid").eq);
+}
+
+TEST_F(LogEncryptorTest, AccessAreaRangeConstantsKeepOrder) {
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kAccessArea);
+  // Find an attribute the scheme classified as OPE (ranged in the log) and
+  // craft a BETWEEN on it: the encrypted endpoints must stay ordered
+  // (fixed-width hex, monotone OPE).
+  std::string ope_key;
+  for (const auto& [key, cls] : enc.const_classes()) {
+    if (cls == crypto::PpeClass::kOpe) {
+      ope_key = key;
+      break;
+    }
+  }
+  ASSERT_FALSE(ope_key.empty()) << "log has range predicates, so some "
+                                   "attribute must be OPE-classified";
+  auto dot = ope_key.find('.');
+  const std::string rel = ope_key.substr(0, dot);
+  const std::string attr = ope_key.substr(dot + 1);
+  auto q = sql::Parse("SELECT " + attr + " FROM " + rel + " WHERE " + attr +
+                      " BETWEEN 21 AND 23")
+               .value();
+  auto eq = enc.EncryptQuery(q).value();
+  ASSERT_EQ(eq.where->kind, sql::Predicate::Kind::kBetween);
+  const std::string lo = eq.where->low.string_value();
+  const std::string hi = eq.where->high.string_value();
+  EXPECT_EQ(lo[0], 'o');
+  EXPECT_LT(lo, hi);
+  EXPECT_EQ(lo.size(), hi.size());
+}
+
+TEST_F(LogEncryptorTest, AccessAreaEqualityOnRangedAttributeUsesOpe) {
+  // Consistency: if the log ranges over an attribute anywhere, even its
+  // equality constants use the (order-comparable) OPE image.
+  LogEncryptor enc = MakeEncryptor(MeasureKind::kAccessArea);
+  auto cls = enc.ConstClassFor("customers.age");
+  ASSERT_TRUE(cls.ok());
+  if (*cls == crypto::PpeClass::kOpe) {
+    auto q = sql::Parse("SELECT cid FROM customers WHERE age = 30").value();
+    auto eq = enc.EncryptQuery(q).value();
+    EXPECT_EQ(eq.where->literal.string_value()[0], 'o');
+  }
+}
+
+TEST_F(LogEncryptorTest, DeterministicEncryptionAcrossEncryptorInstances) {
+  // Two encryptors with the same keys and spec produce identical encrypted
+  // queries (required for owner restarts).
+  LogEncryptor a = MakeEncryptor(MeasureKind::kToken);
+  LogEncryptor b = MakeEncryptor(MeasureKind::kToken);
+  for (size_t i = 0; i < 5 && i < Scenario().log.size(); ++i) {
+    EXPECT_EQ(sql::ToSql(a.EncryptQuery(Scenario().log[i]).value()),
+              sql::ToSql(b.EncryptQuery(Scenario().log[i]).value()));
+  }
+}
+
+TEST_F(LogEncryptorTest, SpecDescriptions) {
+  EXPECT_NE(CanonicalScheme(MeasureKind::kResult).Describe().find("via CryptDB"),
+            std::string::npos);
+  EXPECT_NE(CanonicalScheme(MeasureKind::kAccessArea)
+                .Describe()
+                .find("except HOM"),
+            std::string::npos);
+  EXPECT_NE(CanonicalScheme(MeasureKind::kToken).Describe().find("DET"),
+            std::string::npos);
+}
+
+TEST_F(LogEncryptorTest, MeasureFactory) {
+  for (MeasureKind m : {MeasureKind::kToken, MeasureKind::kStructure,
+                        MeasureKind::kResult, MeasureKind::kAccessArea}) {
+    auto measure = MakeMeasure(m);
+    ASSERT_NE(measure, nullptr);
+    EXPECT_EQ(measure->Name(), MeasureKindName(m));
+  }
+}
+
+}  // namespace
+}  // namespace dpe::core

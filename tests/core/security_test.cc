@@ -1,0 +1,101 @@
+#include "core/security.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenarios.h"
+
+namespace dpe::core {
+namespace {
+
+class SecurityTest : public ::testing::Test {
+ protected:
+  static const workload::Scenario& Scenario() {
+    static workload::Scenario s = [] {
+      workload::ScenarioOptions opt;
+      opt.seed = 33;
+      opt.rows_per_relation = 20;
+      opt.log_size = 25;
+      return workload::MakeShopScenario(opt).value();
+    }();
+    return s;
+  }
+
+  static LogEncryptor Make(MeasureKind kind) {
+    static crypto::KeyManager keys("security-test");
+    LogEncryptor::Options options;
+    options.paillier_bits = 256;
+    options.rng_seed = "sec";
+    return LogEncryptor::Create(CanonicalScheme(kind), keys, Scenario().database,
+                                Scenario().log, Scenario().domains, options)
+        .value();
+  }
+};
+
+TEST_F(SecurityTest, AttackModelNames) {
+  EXPECT_STREQ(AttackModelName(AttackModel::kQueryOnly), "query-only");
+  EXPECT_STREQ(AttackModelName(AttackModel::kKnownQuery), "known-query");
+  EXPECT_STREQ(AttackModelName(AttackModel::kChosenQuery), "chosen-query");
+}
+
+TEST_F(SecurityTest, AssessTokenScheme) {
+  LogEncryptor enc = Make(MeasureKind::kToken);
+  auto report = AssessScheme(enc);
+  ASSERT_EQ(report.slots.size(), 3u);  // EncRel, EncAttr, EncConst(*)
+  EXPECT_EQ(report.slots[0].cls, crypto::PpeClass::kDet);
+  EXPECT_EQ(report.slots[2].level, 2);
+  EXPECT_NE(report.ToString().find("EncConst"), std::string::npos);
+}
+
+TEST_F(SecurityTest, StructureSchemeIsStrictlyMoreSecureThanToken) {
+  // PROB constants (level 3) vs DET constants (level 2).
+  auto token_report = AssessScheme(Make(MeasureKind::kToken));
+  auto structure_report = AssessScheme(Make(MeasureKind::kStructure));
+  EXPECT_EQ(CompareReports(structure_report, token_report), 1);
+}
+
+TEST_F(SecurityTest, AccessAreaSchemeHasNoHomSlots) {
+  auto report = AssessScheme(Make(MeasureKind::kAccessArea));
+  for (const auto& slot : report.slots) {
+    EXPECT_NE(slot.cls, crypto::PpeClass::kHom) << slot.slot;
+  }
+}
+
+TEST_F(SecurityTest, FrequencyAttackOnDetSucceedsOnSkewedData) {
+  auto det =
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 5000, 20, 1.4, 7).value();
+  auto prob =
+      SimulateFrequencyAttack(crypto::PpeClass::kProb, 5000, 20, 1.4, 7).value();
+  // DET leaks frequencies: the attacker beats the guessing baseline.
+  EXPECT_GT(det.accuracy, det.baseline + 0.05);
+  // PROB gives the attacker nothing beyond the prior.
+  EXPECT_NEAR(prob.accuracy, prob.baseline, 1e-9);
+}
+
+TEST_F(SecurityTest, OrderAttackOnOpeIsStrongest) {
+  auto ope =
+      SimulateFrequencyAttack(crypto::PpeClass::kOpe, 2000, 20, 1.4, 7).value();
+  auto det =
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 2000, 20, 1.4, 7).value();
+  EXPECT_GE(ope.accuracy, det.accuracy);
+  EXPECT_GT(ope.accuracy, 0.9);  // full pool observed -> order aligns exactly
+}
+
+TEST_F(SecurityTest, AttackValidation) {
+  EXPECT_FALSE(
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 0, 10, 1.0, 1).ok());
+  EXPECT_FALSE(
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 10, 0, 1.0, 1).ok());
+  EXPECT_FALSE(
+      SimulateFrequencyAttack(crypto::PpeClass::kJoin, 10, 10, 1.0, 1).ok());
+}
+
+TEST_F(SecurityTest, AttackIsDeterministicInSeed) {
+  auto a =
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 1000, 10, 1.2, 42).value();
+  auto b =
+      SimulateFrequencyAttack(crypto::PpeClass::kDet, 1000, 10, 1.2, 42).value();
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+}  // namespace
+}  // namespace dpe::core

@@ -1,0 +1,89 @@
+#include "core/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::core {
+namespace {
+
+TEST(TaxonomyTest, Fig1Levels) {
+  const Taxonomy& t = Taxonomy::Fig1();
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kProb), 3);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kHom), 3);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kDet), 2);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kJoin), 2);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kOpe), 1);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kJoinOpe), 1);
+  EXPECT_EQ(t.SecurityLevel(PpeClass::kIdentity), 0);
+}
+
+TEST(TaxonomyTest, SubclassEdges) {
+  const Taxonomy& t = Taxonomy::Fig1();
+  EXPECT_TRUE(t.IsSubclassOf(PpeClass::kHom, PpeClass::kProb));
+  EXPECT_TRUE(t.IsSubclassOf(PpeClass::kOpe, PpeClass::kDet));
+  EXPECT_TRUE(t.IsSubclassOf(PpeClass::kDet, PpeClass::kDet));
+  EXPECT_FALSE(t.IsSubclassOf(PpeClass::kProb, PpeClass::kHom));
+  EXPECT_FALSE(t.IsSubclassOf(PpeClass::kDet, PpeClass::kProb));
+}
+
+TEST(TaxonomyTest, SecurityComparisonsPartial) {
+  const Taxonomy& t = Taxonomy::Fig1();
+  EXPECT_EQ(t.CompareSecurity(PpeClass::kProb, PpeClass::kDet).value(), 1);
+  EXPECT_EQ(t.CompareSecurity(PpeClass::kOpe, PpeClass::kDet).value(), -1);
+  EXPECT_EQ(t.CompareSecurity(PpeClass::kDet, PpeClass::kDet).value(), 0);
+  // Same row, different class: not comparable (the paper's Fig. 1 note).
+  EXPECT_FALSE(t.CompareSecurity(PpeClass::kProb, PpeClass::kHom).has_value());
+  EXPECT_FALSE(t.CompareSecurity(PpeClass::kDet, PpeClass::kJoin).has_value());
+}
+
+TEST(TaxonomyTest, RenderMentionsAllClasses) {
+  std::string r = Taxonomy::Fig1().Render();
+  for (const char* name : {"PROB", "HOM", "DET", "JOIN", "OPE", "JOIN-OPE"}) {
+    EXPECT_NE(r.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(SecurityProfileTest, CompareFromWorstSlot) {
+  SecurityProfile weak, strong;
+  weak.AddLevel(1);
+  weak.AddLevel(3);
+  strong.AddLevel(2);
+  strong.AddLevel(2);
+  EXPECT_EQ(strong.Compare(weak), 1);   // worst 2 beats worst 1
+  EXPECT_EQ(weak.Compare(strong), -1);
+  EXPECT_EQ(weak.Compare(weak), 0);
+  EXPECT_EQ(weak.MinLevel(), 1);
+  EXPECT_DOUBLE_EQ(strong.MeanLevel(), 2.0);
+}
+
+TEST(SecurityProfileTest, TieBrokenBySecondWorst) {
+  SecurityProfile a, b;
+  a.AddLevel(1);
+  a.AddLevel(3);
+  b.AddLevel(1);
+  b.AddLevel(2);
+  EXPECT_EQ(a.Compare(b), 1);
+}
+
+// Empirical Fig. 1 property validation (what bench_fig1 prints).
+TEST(TaxonomyValidationTest, ProbProperty) {
+  EXPECT_TRUE(ValidateProbProperty(200).value());
+}
+
+TEST(TaxonomyValidationTest, DetProperty) {
+  EXPECT_TRUE(ValidateDetProperty(200).value());
+}
+
+TEST(TaxonomyValidationTest, OpeProperty) {
+  EXPECT_TRUE(ValidateOpeProperty(150).value());
+}
+
+TEST(TaxonomyValidationTest, HomProperty) {
+  EXPECT_TRUE(ValidateHomProperty(20).value());
+}
+
+TEST(TaxonomyValidationTest, JoinProperty) {
+  EXPECT_TRUE(ValidateJoinProperty(50).value());
+}
+
+}  // namespace
+}  // namespace dpe::core

@@ -1,0 +1,157 @@
+#include "cryptdb/onion.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::cryptdb {
+namespace {
+
+using db::ColumnType;
+using db::Value;
+
+class OnionTest : public ::testing::Test {
+ protected:
+  static OnionCrypto& Crypto() {
+    static crypto::KeyManager keys("onion-test-master");
+    static OnionCrypto instance = [] {
+      OnionLayout layout;
+      layout.columns["r.a"] = {true, true, true};
+      layout.columns["r.s"] = {true, false, false};
+      layout.columns["r.j1"] = {true, false, false};
+      layout.columns["s.j2"] = {true, false, false};
+      layout.join_group_of["r.j1"] = "g";
+      layout.join_group_of["s.j2"] = "g";
+      OnionCrypto::Options options;
+      options.paillier_bits = 256;
+      options.ope_range_bits = 80;
+      return OnionCrypto::Create(keys, layout, options,
+                                 crypto::Csprng::FromSeed("onion"))
+          .value();
+    }();
+    return instance;
+  }
+};
+
+TEST_F(OnionTest, NameEncryptionIsDeterministicIdentifierSafe) {
+  std::string e1 = Crypto().EncryptRelName("orders");
+  std::string e2 = Crypto().EncryptRelName("orders");
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(e1[0], 'e');
+  for (char c : e1.substr(1)) {
+    EXPECT_TRUE(std::isxdigit(static_cast<unsigned char>(c)));
+  }
+  EXPECT_EQ(Crypto().DecryptRelName(e1).value(), "orders");
+}
+
+TEST_F(OnionTest, RelAndAttrNamespacesAreSeparate) {
+  EXPECT_NE(Crypto().EncryptRelName("x"), Crypto().EncryptAttrName("x"));
+  EXPECT_EQ(Crypto().DecryptAttrName(Crypto().EncryptAttrName("cid")).value(),
+            "cid");
+}
+
+TEST_F(OnionTest, EqOnionDeterministicPerColumn) {
+  Value v = Value::Int(42);
+  auto c1 = Crypto().EncryptEq("r.a", v).value();
+  auto c2 = Crypto().EncryptEq("r.a", v).value();
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1.string_value()[0], 'e');
+  // Different column, same value -> different ciphertext (per-column keys).
+  auto c3 = Crypto().EncryptEq("r.s", v).value();
+  EXPECT_NE(c1, c3);
+}
+
+TEST_F(OnionTest, EqOnionDecrypts) {
+  for (const Value& v : {Value::Int(-5), Value::Double(2.5), Value::String("x")}) {
+    auto ct = Crypto().EncryptEq("r.a", v).value();
+    auto type = v.is_int() ? ColumnType::kInt
+                           : (v.is_double() ? ColumnType::kDouble
+                                            : ColumnType::kString);
+    EXPECT_EQ(Crypto().DecryptCell("r.a", type, ct).value(), v);
+  }
+}
+
+TEST_F(OnionTest, JoinGroupSharesEqKeys) {
+  Value v = Value::Int(7);
+  auto c1 = Crypto().EncryptEq("r.j1", v).value();
+  auto c2 = Crypto().EncryptEq("s.j2", v).value();
+  EXPECT_EQ(c1, c2);  // same join group -> joinable
+}
+
+TEST_F(OnionTest, OrdOnionPreservesOrderAsStrings) {
+  auto lo = Crypto().EncryptOrd("r.a", Value::Int(-100)).value();
+  auto mid = Crypto().EncryptOrd("r.a", Value::Int(3)).value();
+  auto hi = Crypto().EncryptOrd("r.a", Value::Int(4000)).value();
+  EXPECT_LT(lo.string_value(), mid.string_value());
+  EXPECT_LT(mid.string_value(), hi.string_value());
+  EXPECT_EQ(Crypto().DecryptCell("r.a", ColumnType::kInt, mid).value(),
+            Value::Int(3));
+}
+
+TEST_F(OnionTest, OrdOnionDoubles) {
+  auto a = Crypto().EncryptOrd("r.a", Value::Double(-2.5)).value();
+  auto b = Crypto().EncryptOrd("r.a", Value::Double(2.5)).value();
+  EXPECT_LT(a.string_value(), b.string_value());
+  EXPECT_EQ(Crypto().DecryptCell("r.a", ColumnType::kDouble, b).value(),
+            Value::Double(2.5));
+}
+
+TEST_F(OnionTest, OrdOnionRejectsStrings) {
+  EXPECT_FALSE(Crypto().EncryptOrd("r.s", Value::String("x")).ok());
+}
+
+TEST_F(OnionTest, AddOnionPaillierSum) {
+  auto c1 = Crypto().EncryptAdd("r.a", Value::Int(30)).value();
+  auto c2 = Crypto().EncryptAdd("r.a", Value::Int(12)).value();
+  // Fold manually via the public key.
+  auto b1 = crypto::Bigint::FromBytes(
+      HexDecode(std::string_view(c1.string_value()).substr(1)).value());
+  auto b2 = crypto::Bigint::FromBytes(
+      HexDecode(std::string_view(c2.string_value()).substr(1)).value());
+  auto sum = crypto::Paillier::Add(Crypto().paillier_pub(), b1, b2);
+  Value sum_cell = Value::String("h" + HexEncode(sum.ToBytes()));
+  EXPECT_EQ(Crypto().DecryptPaillierSum(sum_cell).value(), 42);
+}
+
+TEST_F(OnionTest, AddOnionRejectsNonInt) {
+  EXPECT_FALSE(Crypto().EncryptAdd("r.a", Value::Double(1.5)).ok());
+  EXPECT_FALSE(Crypto().EncryptAdd("r.a", Value::String("x")).ok());
+}
+
+TEST_F(OnionTest, RndOnionIsProbabilisticButDecryptable) {
+  auto c1 = Crypto().EncryptRnd("r.s", Value::String("secret")).value();
+  auto c2 = Crypto().EncryptRnd("r.s", Value::String("secret")).value();
+  EXPECT_NE(c1, c2);
+  EXPECT_EQ(Crypto().DecryptCell("r.s", ColumnType::kString, c1).value(),
+            Value::String("secret"));
+  EXPECT_EQ(Crypto().DecryptCell("r.s", ColumnType::kString, c2).value(),
+            Value::String("secret"));
+}
+
+TEST_F(OnionTest, NullCellsPassThrough) {
+  EXPECT_TRUE(Crypto().EncryptEq("r.a", Value::Null()).value().is_null());
+  EXPECT_TRUE(Crypto().EncryptOrd("r.a", Value::Null()).value().is_null());
+  EXPECT_TRUE(
+      Crypto().DecryptCell("r.a", ColumnType::kInt, Value::Null()).value().is_null());
+}
+
+TEST_F(OnionTest, DecryptRejectsGarbage) {
+  EXPECT_FALSE(Crypto().DecryptCell("r.a", ColumnType::kInt, Value::Int(5)).ok());
+  EXPECT_FALSE(
+      Crypto().DecryptCell("r.a", ColumnType::kInt, Value::String("zzz")).ok());
+  EXPECT_FALSE(
+      Crypto().DecryptCell("r.a", ColumnType::kInt, Value::String("")).ok());
+}
+
+TEST(OrderPreservingU64Test, ValueDispatch) {
+  EXPECT_LT(OrderPreservingU64(Value::Int(-3)).value(),
+            OrderPreservingU64(Value::Int(2)).value());
+  EXPECT_LT(OrderPreservingU64(Value::Double(-0.5)).value(),
+            OrderPreservingU64(Value::Double(0.5)).value());
+  EXPECT_FALSE(OrderPreservingU64(Value::String("x")).ok());
+  EXPECT_EQ(ValueFromOrderPreservingU64(
+                OrderPreservingU64(Value::Int(77)).value(), ColumnType::kInt)
+                .value(),
+            Value::Int(77));
+}
+
+}  // namespace
+}  // namespace dpe::cryptdb

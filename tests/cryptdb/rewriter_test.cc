@@ -1,0 +1,181 @@
+#include "cryptdb/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
+
+namespace dpe::cryptdb {
+namespace {
+
+using db::ColumnType;
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  static OnionCrypto& Crypto() {
+    static crypto::KeyManager keys("rewriter-test-master");
+    static OnionCrypto instance = [] {
+      OnionLayout layout;
+      layout.columns["emp.id"] = {true, true, false};
+      layout.columns["emp.dept"] = {true, false, false};
+      layout.columns["emp.salary"] = {true, true, true};
+      layout.columns["emp.note"] = {false, false, false};  // RND only
+      layout.columns["dept.name"] = {true, false, false};
+      layout.columns["dept.budget"] = {true, true, false};
+      layout.join_group_of["emp.dept"] = "g";
+      layout.join_group_of["dept.name"] = "g";
+      OnionCrypto::Options options;
+      options.paillier_bits = 256;
+      return OnionCrypto::Create(keys, layout, options,
+                                 crypto::Csprng::FromSeed("rw"))
+          .value();
+    }();
+    return instance;
+  }
+
+  static const SchemaMap& Schemas() {
+    static SchemaMap schemas = [] {
+      SchemaMap s;
+      s["emp"] = db::TableSchema({{"id", ColumnType::kInt},
+                                  {"dept", ColumnType::kString},
+                                  {"salary", ColumnType::kInt},
+                                  {"note", ColumnType::kString}});
+      s["dept"] = db::TableSchema(
+          {{"name", ColumnType::kString}, {"budget", ColumnType::kInt}});
+      return s;
+    }();
+    return schemas;
+  }
+
+  sql::SelectQuery Rewrite(const std::string& text) {
+    QueryRewriter rewriter(&Crypto(), &Schemas());
+    auto q = sql::Parse(text).value();
+    auto out = rewriter.Rewrite(q);
+    EXPECT_TRUE(out.ok()) << text << " -> " << out.status();
+    return std::move(out).value();
+  }
+};
+
+TEST_F(RewriterTest, NamesAreEncryptedAndSuffixed) {
+  auto q = Rewrite("SELECT id FROM emp WHERE dept = 'eng'");
+  EXPECT_EQ(q.from.name, Crypto().EncryptRelName("emp"));
+  ASSERT_EQ(q.items.size(), 1u);
+  EXPECT_EQ(q.items[0].column.name,
+            Crypto().EncryptAttrName("id") + std::string(kEqSuffix));
+}
+
+TEST_F(RewriterTest, EqualityConstantsUseEqOnion) {
+  auto q = Rewrite("SELECT id FROM emp WHERE dept = 'eng'");
+  ASSERT_NE(q.where, nullptr);
+  const std::string& ct = q.where->literal.string_value();
+  EXPECT_EQ(ct[0], 'e');
+  // The ciphertext must equal the onion encryption of the cell value.
+  auto expected = Crypto().EncryptEq("emp.dept", db::Value::String("eng")).value();
+  EXPECT_EQ(ct, expected.string_value());
+}
+
+TEST_F(RewriterTest, RangeConstantsUseOrdOnion) {
+  auto q = Rewrite("SELECT id FROM emp WHERE salary > 100");
+  EXPECT_TRUE(q.where->column.name.ends_with(kOrdSuffix));
+  EXPECT_EQ(q.where->literal.string_value()[0], 'o');
+}
+
+TEST_F(RewriterTest, BetweenAndInRewrite) {
+  auto q1 = Rewrite("SELECT id FROM emp WHERE salary BETWEEN 50 AND 100");
+  EXPECT_TRUE(q1.where->column.name.ends_with(kOrdSuffix));
+  EXPECT_LT(q1.where->low.string_value(), q1.where->high.string_value());
+  auto q2 = Rewrite("SELECT id FROM emp WHERE id IN (1, 2, 3)");
+  EXPECT_TRUE(q2.where->column.name.ends_with(kEqSuffix));
+  EXPECT_EQ(q2.where->in_list.size(), 3u);
+}
+
+TEST_F(RewriterTest, IntConstantCoercedForDoubleColumnEquality) {
+  SchemaMap schemas = Schemas();
+  schemas["m"] = db::TableSchema({{"x", ColumnType::kDouble}});
+  OnionLayout layout = Crypto().layout();
+  // m.x not in the layout: defaults to RND-only but EncryptEq still derives
+  // a column key, which is all this test needs.
+  QueryRewriter rewriter(&Crypto(), &schemas);
+  auto q = sql::Parse("SELECT x FROM m WHERE x = 5").value();
+  auto out = rewriter.Rewrite(q).value();
+  auto expected = Crypto().EncryptEq("m.x", db::Value::Double(5.0)).value();
+  EXPECT_EQ(out.where->literal.string_value(), expected.string_value());
+}
+
+TEST_F(RewriterTest, AggregatesPickTheirOnions) {
+  auto q = Rewrite("SELECT SUM(salary), MIN(salary), COUNT(*) FROM emp");
+  EXPECT_TRUE(q.items[0].column.name.ends_with(kAddSuffix));
+  EXPECT_TRUE(q.items[1].column.name.ends_with(kOrdSuffix));
+  EXPECT_TRUE(q.items[2].star);
+}
+
+TEST_F(RewriterTest, RndOnlyProjectionUsesRndColumn) {
+  auto q = Rewrite("SELECT note FROM emp");
+  EXPECT_TRUE(q.items[0].column.name.ends_with(kRndSuffix));
+}
+
+TEST_F(RewriterTest, GroupByEqOrderByOrd) {
+  auto q = Rewrite(
+      "SELECT dept, COUNT(*) FROM emp WHERE salary > 1 GROUP BY dept");
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_TRUE(q.group_by[0].name.ends_with(kEqSuffix));
+  auto q2 = Rewrite("SELECT id FROM emp ORDER BY salary DESC LIMIT 3");
+  EXPECT_TRUE(q2.order_by[0].column.name.ends_with(kOrdSuffix));
+  EXPECT_EQ(q2.limit.value(), 3);
+}
+
+TEST_F(RewriterTest, JoinRewritesBothSidesToEq) {
+  auto q = Rewrite(
+      "SELECT emp.id FROM emp JOIN dept ON emp.dept = dept.name "
+      "WHERE dept.budget > 10");
+  ASSERT_EQ(q.joins.size(), 1u);
+  EXPECT_TRUE(q.joins[0].left.name.ends_with(kEqSuffix));
+  EXPECT_TRUE(q.joins[0].right.name.ends_with(kEqSuffix));
+  EXPECT_EQ(q.joins[0].left.relation, Crypto().EncryptRelName("emp"));
+}
+
+TEST_F(RewriterTest, BooleanStructurePreserved) {
+  auto q = Rewrite(
+      "SELECT id FROM emp WHERE NOT (dept = 'eng' OR salary > 100) AND id = 1");
+  ASSERT_EQ(q.where->kind, sql::Predicate::Kind::kAnd);
+  EXPECT_EQ(q.where->children[0]->kind, sql::Predicate::Kind::kNot);
+  EXPECT_EQ(q.where->children[0]->children[0]->kind, sql::Predicate::Kind::kOr);
+}
+
+TEST_F(RewriterTest, EncryptedQueryStillParses) {
+  auto q = Rewrite("SELECT id FROM emp WHERE dept = 'eng' AND salary >= 50");
+  auto text = sql::ToSql(q);
+  auto reparsed = sql::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << text;
+  EXPECT_TRUE(q.Equals(*reparsed));
+}
+
+TEST_F(RewriterTest, TypeErrorsSurface) {
+  QueryRewriter rewriter(&Crypto(), &Schemas());
+  // String constant for an int column.
+  auto q1 = sql::Parse("SELECT id FROM emp WHERE id = 'x'").value();
+  EXPECT_FALSE(rewriter.Rewrite(q1).ok());
+  // Range predicate over a string column (no ORD onion for strings).
+  auto q2 = sql::Parse("SELECT id FROM emp WHERE dept > 'a'").value();
+  EXPECT_FALSE(rewriter.Rewrite(q2).ok());
+}
+
+TEST_F(RewriterTest, UnknownColumnFails) {
+  QueryRewriter rewriter(&Crypto(), &Schemas());
+  auto q = sql::Parse("SELECT missing FROM emp WHERE missing = 1").value();
+  EXPECT_FALSE(rewriter.Rewrite(q).ok());
+}
+
+TEST(CoerceLiteralTest, Rules) {
+  EXPECT_EQ(CoerceLiteral(ColumnType::kDouble, sql::Literal::Int(5)).value(),
+            sql::Literal::Double(5.0));
+  EXPECT_EQ(CoerceLiteral(ColumnType::kInt, sql::Literal::Int(5)).value(),
+            sql::Literal::Int(5));
+  EXPECT_FALSE(CoerceLiteral(ColumnType::kInt, sql::Literal::Double(5.5)).ok());
+  EXPECT_FALSE(CoerceLiteral(ColumnType::kString, sql::Literal::Int(5)).ok());
+  EXPECT_FALSE(
+      CoerceLiteral(ColumnType::kDouble, sql::Literal::String("x")).ok());
+}
+
+}  // namespace
+}  // namespace dpe::cryptdb

@@ -1,0 +1,109 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace dpe::crypto {
+namespace {
+
+Bytes H(const char* hex) { return HexDecode(hex).value(); }
+
+// FIPS-197 Appendix C known-answer tests.
+TEST(AesTest, Fips197Aes128) {
+  auto aes = Aes::Create(H("000102030405060708090a0b0c0d0e0f")).value();
+  Bytes pt = H("00112233445566778899aabbccddeeff");
+  unsigned char ct[16];
+  aes.EncryptBlock(reinterpret_cast<const unsigned char*>(pt.data()), ct);
+  EXPECT_EQ(HexEncode(std::string(reinterpret_cast<char*>(ct), 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  unsigned char back[16];
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(back), 16), pt);
+}
+
+TEST(AesTest, Fips197Aes192) {
+  auto aes =
+      Aes::Create(H("000102030405060708090a0b0c0d0e0f1011121314151617")).value();
+  Bytes pt = H("00112233445566778899aabbccddeeff");
+  unsigned char ct[16];
+  aes.EncryptBlock(reinterpret_cast<const unsigned char*>(pt.data()), ct);
+  EXPECT_EQ(HexEncode(std::string(reinterpret_cast<char*>(ct), 16)),
+            "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  auto aes = Aes::Create(
+                 H("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"))
+                 .value();
+  Bytes pt = H("00112233445566778899aabbccddeeff");
+  unsigned char ct[16];
+  aes.EncryptBlock(reinterpret_cast<const unsigned char*>(pt.data()), ct);
+  EXPECT_EQ(HexEncode(std::string(reinterpret_cast<char*>(ct), 16)),
+            "8ea2b7ca516745bfeafc49904b496089");
+  unsigned char back[16];
+  aes.DecryptBlock(ct, back);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(back), 16), pt);
+}
+
+// NIST SP 800-38A F.5.1 (AES-128-CTR).
+TEST(AesTest, Sp800_38aCtr128) {
+  auto aes = Aes::Create(H("2b7e151628aed2a6abf7158809cf4f3c")).value();
+  Bytes iv = H("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Bytes pt = H(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51");
+  Bytes ct = aes.CtrXcrypt(iv, pt);
+  EXPECT_EQ(HexEncode(ct),
+            "874d6191b620e3261bef6864990db6ce"
+            "9806f66b7970fdff8617187bb9fffdff");
+  EXPECT_EQ(aes.CtrXcrypt(iv, ct), pt);  // CTR is an involution
+}
+
+TEST(AesTest, CtrHandlesPartialBlocks) {
+  auto aes = Aes::Create(Bytes(16, 'k')).value();
+  Bytes iv(16, '\0');
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 33u, 100u}) {
+    Bytes pt(len, 'x');
+    Bytes ct = aes.CtrXcrypt(iv, pt);
+    EXPECT_EQ(ct.size(), len);
+    EXPECT_EQ(aes.CtrXcrypt(iv, ct), pt);
+  }
+}
+
+TEST(AesTest, CbcRoundTripWithPadding) {
+  auto aes = Aes::Create(Bytes(32, 'q')).value();
+  Bytes iv(16, 'i');
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 64u}) {
+    Bytes pt(len, 'm');
+    Bytes ct = aes.CbcEncrypt(iv, pt);
+    EXPECT_EQ(ct.size() % 16, 0u);
+    EXPECT_GT(ct.size(), pt.size());  // always padded
+    auto back = aes.CbcDecrypt(iv, ct);
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(*back, pt);
+  }
+}
+
+TEST(AesTest, CbcRejectsCorruptPadding) {
+  auto aes = Aes::Create(Bytes(16, 'k')).value();
+  Bytes iv(16, '\0');
+  Bytes ct = aes.CbcEncrypt(iv, "hello");
+  ct.back() = static_cast<char>(ct.back() ^ 0x55);
+  EXPECT_FALSE(aes.CbcDecrypt(iv, ct).ok());
+}
+
+TEST(AesTest, RejectsBadKeySizes) {
+  EXPECT_FALSE(Aes::Create("short").ok());
+  EXPECT_FALSE(Aes::Create(Bytes(17, 'x')).ok());
+  EXPECT_FALSE(Aes::Create(Bytes(33, 'x')).ok());
+}
+
+TEST(AesTest, RoundCounts) {
+  EXPECT_EQ(Aes::Create(Bytes(16, 'a'))->rounds(), 10);
+  EXPECT_EQ(Aes::Create(Bytes(24, 'a'))->rounds(), 12);
+  EXPECT_EQ(Aes::Create(Bytes(32, 'a'))->rounds(), 14);
+}
+
+}  // namespace
+}  // namespace dpe::crypto

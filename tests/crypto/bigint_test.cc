@@ -1,0 +1,111 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/csprng.h"
+
+namespace dpe::crypto {
+namespace {
+
+TEST(BigintTest, BasicArithmetic) {
+  Bigint a(12), b(5);
+  EXPECT_EQ((a + b).ToI64(), 17);
+  EXPECT_EQ((a - b).ToI64(), 7);
+  EXPECT_EQ((a * b).ToI64(), 60);
+  EXPECT_EQ((a / b).ToI64(), 2);
+  EXPECT_EQ((a % b).ToI64(), 2);
+}
+
+TEST(BigintTest, MathematicalModIsNonNegative) {
+  Bigint a(-7), m(5);
+  EXPECT_EQ((a % m).ToI64(), 3);
+}
+
+TEST(BigintTest, Comparisons) {
+  EXPECT_LT(Bigint(3), Bigint(4));
+  EXPECT_LE(Bigint(4), Bigint(4));
+  EXPECT_GT(Bigint(-1), Bigint(-2));
+  EXPECT_EQ(Bigint(0), Bigint());
+  EXPECT_NE(Bigint(1), Bigint(-1));
+}
+
+TEST(BigintTest, FromStringDecimalAndHex) {
+  EXPECT_EQ(Bigint::FromString("123456789012345678901234567890")->ToString(),
+            "123456789012345678901234567890");
+  EXPECT_EQ(Bigint::FromString("0xff")->ToI64(), 255);
+  EXPECT_EQ(Bigint::FromString("-42")->ToI64(), -42);
+  EXPECT_FALSE(Bigint::FromString("").ok());
+  EXPECT_FALSE(Bigint::FromString("12x").ok());
+}
+
+TEST(BigintTest, BytesRoundTrip) {
+  for (const char* s : {"0", "1", "255", "256", "18446744073709551616",
+                        "123456789012345678901234567890"}) {
+    Bigint v = Bigint::FromString(s).value();
+    EXPECT_EQ(Bigint::FromBytes(v.ToBytes()), v) << s;
+  }
+}
+
+TEST(BigintTest, PowMod) {
+  // 3^200 mod 1000003.
+  Bigint base(3), exp(200), mod(1000003);
+  Bigint r = base.PowMod(exp, mod);
+  // Verified with an independent computation.
+  Bigint check(1);
+  for (int i = 0; i < 200; ++i) check = (check * base) % mod;
+  EXPECT_EQ(r, check);
+}
+
+TEST(BigintTest, InvMod) {
+  Bigint a(3), m(11);
+  Bigint inv = a.InvMod(m).value();
+  EXPECT_EQ((a * inv) % m, Bigint(1));
+  EXPECT_FALSE(Bigint(4).InvMod(Bigint(8)).ok());  // gcd != 1
+}
+
+TEST(BigintTest, GcdLcm) {
+  EXPECT_EQ(Bigint::Gcd(Bigint(12), Bigint(18)), Bigint(6));
+  EXPECT_EQ(Bigint::Lcm(Bigint(4), Bigint(6)), Bigint(12));
+}
+
+TEST(BigintTest, PrimalityKnownValues) {
+  EXPECT_TRUE(Bigint(2).IsProbablePrime());
+  EXPECT_TRUE(Bigint(65537).IsProbablePrime());
+  EXPECT_TRUE(Bigint::FromString("2305843009213693951")->IsProbablePrime());  // M61
+  EXPECT_FALSE(Bigint(1).IsProbablePrime());
+  EXPECT_FALSE(Bigint(100).IsProbablePrime());
+  EXPECT_FALSE(Bigint::FromString("2305843009213693953")->IsProbablePrime());
+}
+
+TEST(BigintTest, RandomBitsHasExactLength) {
+  Csprng rng = Csprng::FromSeed("bits");
+  for (int bits : {8, 17, 64, 128, 257}) {
+    Bigint v = Bigint::RandomBits(bits, rng);
+    EXPECT_EQ(v.BitLength(), static_cast<size_t>(bits));
+  }
+}
+
+TEST(BigintTest, RandomBelowIsBelow) {
+  Csprng rng = Csprng::FromSeed("below");
+  Bigint bound = Bigint::FromString("1000000000000000000000").value();
+  for (int i = 0; i < 50; ++i) {
+    Bigint v = Bigint::RandomBelow(bound, rng);
+    EXPECT_LT(v, bound);
+    EXPECT_FALSE(v.IsNegative());
+  }
+}
+
+TEST(BigintTest, RandomPrimeIsPrimeWithExactBits) {
+  Csprng rng = Csprng::FromSeed("prime");
+  Bigint p = Bigint::RandomPrime(96, rng);
+  EXPECT_TRUE(p.IsProbablePrime());
+  EXPECT_EQ(p.BitLength(), 96u);
+}
+
+TEST(BigintTest, FitsI64) {
+  EXPECT_TRUE(Bigint(42).FitsI64());
+  EXPECT_FALSE(Bigint::FromString("99999999999999999999999999")->FitsI64());
+}
+
+}  // namespace
+}  // namespace dpe::crypto

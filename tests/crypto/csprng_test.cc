@@ -1,0 +1,66 @@
+#include "crypto/csprng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpe::crypto {
+namespace {
+
+TEST(CsprngTest, SeededIsDeterministic) {
+  Csprng a = Csprng::FromSeed("seed");
+  Csprng b = Csprng::FromSeed("seed");
+  EXPECT_EQ(a.NextBytes(64), b.NextBytes(64));
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(CsprngTest, DifferentSeedsDiverge) {
+  Csprng a = Csprng::FromSeed("seed-1");
+  Csprng b = Csprng::FromSeed("seed-2");
+  EXPECT_NE(a.NextBytes(32), b.NextBytes(32));
+}
+
+TEST(CsprngTest, RequestedSizes) {
+  Csprng rng = Csprng::FromSeed("sizes");
+  for (size_t n : {0u, 1u, 15u, 16u, 17u, 100u}) {
+    EXPECT_EQ(rng.NextBytes(n).size(), n);
+  }
+}
+
+TEST(CsprngTest, StreamIsNotRepeating) {
+  Csprng rng = Csprng::FromSeed("stream");
+  std::set<Bytes> blocks;
+  for (int i = 0; i < 100; ++i) blocks.insert(rng.NextBytes(16));
+  EXPECT_EQ(blocks.size(), 100u);
+}
+
+TEST(CsprngTest, NextBelowUnbiasedRange) {
+  Csprng rng = Csprng::FromSeed("below");
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+  // All residues reachable.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(CsprngTest, SystemEntropyWorks) {
+  Csprng a = Csprng::FromSystemEntropy();
+  Csprng b = Csprng::FromSystemEntropy();
+  EXPECT_NE(a.NextBytes(32), b.NextBytes(32));
+}
+
+TEST(CsprngTest, ByteDistributionRoughlyUniform) {
+  Csprng rng = Csprng::FromSeed("dist");
+  std::vector<int> counts(256, 0);
+  Bytes data = rng.NextBytes(256 * 100);
+  for (unsigned char c : data) ++counts[c];
+  for (int c : counts) {
+    EXPECT_GT(c, 30);   // expected 100 each
+    EXPECT_LT(c, 300);
+  }
+}
+
+}  // namespace
+}  // namespace dpe::crypto

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/det.h"
+#include "crypto/keys.h"
+#include "crypto/prob.h"
+
+namespace dpe::crypto {
+namespace {
+
+class DetProbTest : public ::testing::Test {
+ protected:
+  KeyManager keys_{"det-prob-test-master"};
+};
+
+TEST_F(DetProbTest, DetIsDeterministicAndInvertible) {
+  auto det = DetEncryptor::Create(keys_.Derive("d")).value();
+  for (const std::string pt :
+       std::vector<std::string>{"", "a", "hello world", std::string(1000, 'z')}) {
+    Bytes c1 = det.Encrypt(pt);
+    Bytes c2 = det.Encrypt(pt);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(det.Decrypt(c1).value(), pt);
+  }
+}
+
+TEST_F(DetProbTest, DetDistinctPlaintextsDistinctCiphertexts) {
+  auto det = DetEncryptor::Create(keys_.Derive("d")).value();
+  std::set<Bytes> cts;
+  for (int i = 0; i < 500; ++i) cts.insert(det.Encrypt("v" + std::to_string(i)));
+  EXPECT_EQ(cts.size(), 500u);
+}
+
+TEST_F(DetProbTest, DetKeysSeparateCiphertexts) {
+  auto d1 = DetEncryptor::Create(keys_.Derive("k1")).value();
+  auto d2 = DetEncryptor::Create(keys_.Derive("k2")).value();
+  EXPECT_NE(d1.Encrypt("same"), d2.Encrypt("same"));
+}
+
+TEST_F(DetProbTest, DetDetectsTampering) {
+  auto det = DetEncryptor::Create(keys_.Derive("d")).value();
+  Bytes ct = det.Encrypt("integrity matters");
+  ct[ct.size() / 2] = static_cast<char>(ct[ct.size() / 2] ^ 1);
+  EXPECT_FALSE(det.Decrypt(ct).ok());
+}
+
+TEST_F(DetProbTest, DetRejectsShortCiphertext) {
+  auto det = DetEncryptor::Create(keys_.Derive("d")).value();
+  EXPECT_FALSE(det.Decrypt("short").ok());
+}
+
+TEST_F(DetProbTest, DetRejectsBadKeyLength) {
+  EXPECT_FALSE(DetEncryptor::Create("tiny").ok());
+}
+
+TEST_F(DetProbTest, ProbIsProbabilistic) {
+  auto prob =
+      ProbEncryptor::Create(keys_.Derive("p"), Csprng::FromSeed("s")).value();
+  std::set<Bytes> cts;
+  for (int i = 0; i < 200; ++i) cts.insert(prob.Encrypt("the same plaintext"));
+  EXPECT_EQ(cts.size(), 200u);
+}
+
+TEST_F(DetProbTest, ProbRoundTrips) {
+  auto prob =
+      ProbEncryptor::Create(keys_.Derive("p"), Csprng::FromSeed("s")).value();
+  for (const std::string pt :
+       std::vector<std::string>{"", "x", "some value", std::string(500, 'q')}) {
+    Bytes ct = prob.Encrypt(pt);
+    EXPECT_EQ(prob.Decrypt(ct).value(), pt);
+  }
+}
+
+TEST_F(DetProbTest, ProbCiphertextLeaksOnlyLength) {
+  auto prob =
+      ProbEncryptor::Create(keys_.Derive("p"), Csprng::FromSeed("s")).value();
+  EXPECT_EQ(prob.Encrypt("aaaa").size(), prob.Encrypt("bbbb").size());
+}
+
+TEST_F(DetProbTest, ClassesSelfIdentify) {
+  auto det = DetEncryptor::Create(keys_.Derive("d")).value();
+  auto prob =
+      ProbEncryptor::Create(keys_.Derive("p"), Csprng::FromSeed("s")).value();
+  EXPECT_TRUE(det.deterministic());
+  EXPECT_EQ(det.ppe_class(), PpeClass::kDet);
+  EXPECT_FALSE(prob.deterministic());
+  EXPECT_EQ(prob.ppe_class(), PpeClass::kProb);
+}
+
+TEST(SchemeTest, OrderPreservingI64Encoding) {
+  EXPECT_LT(OrderPreservingU64FromI64(-5), OrderPreservingU64FromI64(3));
+  EXPECT_LT(OrderPreservingU64FromI64(INT64_MIN), OrderPreservingU64FromI64(0));
+  EXPECT_LT(OrderPreservingU64FromI64(0), OrderPreservingU64FromI64(INT64_MAX));
+  for (int64_t v : {INT64_MIN, -1L, 0L, 1L, INT64_MAX}) {
+    EXPECT_EQ(I64FromOrderPreservingU64(OrderPreservingU64FromI64(v)), v);
+  }
+}
+
+TEST(SchemeTest, OrderPreservingDoubleEncoding) {
+  double values[] = {-1e300, -3.5, -0.0, 0.0, 1e-10, 2.0, 7.25, 1e300};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    if (values[i] == values[i + 1]) continue;  // -0.0 vs 0.0
+    EXPECT_LT(OrderPreservingU64FromDouble(values[i]),
+              OrderPreservingU64FromDouble(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+  for (double v : {-123.5, 0.25, 3.14159, 1e17}) {
+    EXPECT_EQ(DoubleFromOrderPreservingU64(OrderPreservingU64FromDouble(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace dpe::crypto

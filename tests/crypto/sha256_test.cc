@@ -1,0 +1,58 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace dpe::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexEncode(Sha256::Digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexEncode(Sha256::Digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexEncode(Sha256::Digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 ctx;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.Update(chunk);
+  EXPECT_EQ(HexEncode(ctx.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "SELECT a1 FROM r WHERE a2 > 5 -- an arbitrary message for chunking";
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 ctx;
+    ctx.Update(msg.substr(0, split));
+    ctx.Update(msg.substr(split));
+    EXPECT_EQ(ctx.Finish(), Sha256::Digest(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Padding edge cases: lengths around the 55/56/64-byte boundaries.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Bytes d1 = Sha256::Digest(msg);
+    Sha256 ctx;
+    for (char c : msg) ctx.Update(std::string(1, c));
+    EXPECT_EQ(ctx.Finish(), d1) << "len " << len;
+  }
+}
+
+}  // namespace
+}  // namespace dpe::crypto

@@ -1,0 +1,183 @@
+#include "db/access_area.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::db {
+namespace {
+
+class AccessAreaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    domains_.Set("r.a", {Value::Int(0), Value::Int(100)});
+    domains_.Set("r.b", {Value::Int(0), Value::Int(100)});
+    domains_.Set("r.s", {Value::String("aa"), Value::String("zz")});
+    domains_.Set("t.x", {Value::Int(0), Value::Int(50)});
+  }
+
+  std::map<std::string, IntervalSet> Areas(const std::string& sql,
+                                           bool clip = true) {
+    auto q = sql::Parse(sql).value();
+    AccessAreaOptions opt;
+    opt.clip_to_domain = clip;
+    auto r = AccessAreas(q, domains_, opt);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return std::move(r).value();
+  }
+
+  DomainRegistry domains_;
+};
+
+TEST_F(AccessAreaTest, SelectClauseDoesNotInfluenceAccessArea) {
+  // The paper's observation (SS IV-C): SELECT-only attributes are not accessed.
+  auto areas = Areas("SELECT a FROM r WHERE b > 10");
+  EXPECT_FALSE(areas.contains("r.a"));
+  EXPECT_TRUE(areas.contains("r.b"));
+}
+
+TEST_F(AccessAreaTest, IncludeSelectClauseOption) {
+  auto q = sql::Parse("SELECT a FROM r WHERE b > 10").value();
+  AccessAreaOptions opt;
+  opt.include_select_clause = true;
+  auto areas = AccessAreas(q, domains_, opt).value();
+  EXPECT_TRUE(areas.contains("r.a"));
+  // a is unconstrained: full domain.
+  EXPECT_EQ(areas["r.a"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(100))));
+}
+
+TEST_F(AccessAreaTest, RangePredicate) {
+  auto areas = Areas("SELECT a FROM r WHERE b > 10");
+  IntervalSet expected = IntervalSet::Of(
+      Interval{IntervalBound{Value::Int(10), false},
+               IntervalBound{Value::Int(100), true}});
+  EXPECT_EQ(areas["r.b"], expected);
+}
+
+TEST_F(AccessAreaTest, EqualityIsAPoint) {
+  auto areas = Areas("SELECT a FROM r WHERE b = 42");
+  EXPECT_EQ(areas["r.b"], IntervalSet::Of(Interval::Point(Value::Int(42))));
+}
+
+TEST_F(AccessAreaTest, BetweenAndIn) {
+  auto areas = Areas("SELECT a FROM r WHERE b BETWEEN 10 AND 20");
+  EXPECT_EQ(areas["r.b"],
+            IntervalSet::Of(Interval::Closed(Value::Int(10), Value::Int(20))));
+  auto areas2 = Areas("SELECT a FROM r WHERE b IN (1, 5, 9)");
+  EXPECT_EQ(areas2["r.b"].intervals().size(), 3u);
+}
+
+TEST_F(AccessAreaTest, ConjunctionIntersects) {
+  auto areas = Areas("SELECT a FROM r WHERE b > 10 AND b <= 20");
+  IntervalSet expected = IntervalSet::Of(
+      Interval{IntervalBound{Value::Int(10), false},
+               IntervalBound{Value::Int(20), true}});
+  EXPECT_EQ(areas["r.b"], expected);
+}
+
+TEST_F(AccessAreaTest, DisjunctionUnites) {
+  auto areas = Areas("SELECT a FROM r WHERE b = 1 OR b = 5");
+  EXPECT_EQ(areas["r.b"].intervals().size(), 2u);
+}
+
+TEST_F(AccessAreaTest, CrossAttributeConjunction) {
+  // b constrained, a constrained separately; each projects its own region.
+  auto areas = Areas("SELECT s FROM r WHERE a = 5 AND b > 50");
+  EXPECT_EQ(areas["r.a"], IntervalSet::Of(Interval::Point(Value::Int(5))));
+  EXPECT_TRUE(areas["r.b"].Contains(Value::Int(60)));
+  EXPECT_FALSE(areas["r.b"].Contains(Value::Int(50)));
+}
+
+TEST_F(AccessAreaTest, CrossAttributeDisjunctionGivesFullDomain) {
+  // a = 5 OR b = 7: rows with b = 7 can have any a.
+  auto areas = Areas("SELECT s FROM r WHERE a = 5 OR b = 7");
+  EXPECT_EQ(areas["r.a"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(100))));
+  EXPECT_EQ(areas["r.b"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(100))));
+}
+
+TEST_F(AccessAreaTest, NegationPushdown) {
+  auto areas = Areas("SELECT a FROM r WHERE NOT b = 42");
+  EXPECT_FALSE(areas["r.b"].Contains(Value::Int(42)));
+  EXPECT_TRUE(areas["r.b"].Contains(Value::Int(41)));
+  auto areas2 = Areas("SELECT a FROM r WHERE NOT (b > 10)");
+  EXPECT_TRUE(areas2["r.b"].Contains(Value::Int(10)));
+  EXPECT_FALSE(areas2["r.b"].Contains(Value::Int(11)));
+  auto areas3 = Areas("SELECT a FROM r WHERE NOT (b BETWEEN 10 AND 20)");
+  EXPECT_TRUE(areas3["r.b"].Contains(Value::Int(9)));
+  EXPECT_FALSE(areas3["r.b"].Contains(Value::Int(15)));
+  EXPECT_TRUE(areas3["r.b"].Contains(Value::Int(21)));
+}
+
+TEST_F(AccessAreaTest, DeMorganNegatedConjunction) {
+  auto areas = Areas("SELECT a FROM r WHERE NOT (b = 1 AND a = 2)");
+  // NOT(b=1 AND a=2) = b<>1 OR a<>2; for b: complement-of-1 union universe.
+  EXPECT_EQ(areas["r.b"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(100))));
+}
+
+TEST_F(AccessAreaTest, GroupOrderJoinColumnsAreAccessed) {
+  auto areas =
+      Areas("SELECT s, COUNT(*) FROM r WHERE a > 1 GROUP BY s ORDER BY s");
+  EXPECT_TRUE(areas.contains("r.s"));
+  EXPECT_EQ(areas["r.s"],
+            IntervalSet::Of(Interval::Closed(Value::String("aa"),
+                                             Value::String("zz"))));
+}
+
+TEST_F(AccessAreaTest, JoinPredicateGivesFullDomainsBothSides) {
+  auto q = sql::Parse("SELECT r.a FROM r JOIN t ON r.b = t.x WHERE r.a > 3")
+               .value();
+  auto areas = AccessAreas(q, domains_, AccessAreaOptions{}).value();
+  EXPECT_TRUE(areas.contains("r.b"));
+  EXPECT_TRUE(areas.contains("t.x"));
+  EXPECT_EQ(areas["t.x"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(50))));
+}
+
+TEST_F(AccessAreaTest, PredicatesClipToDomain) {
+  auto areas = Areas("SELECT a FROM r WHERE b > -100");
+  EXPECT_EQ(areas["r.b"],
+            IntervalSet::Of(Interval::Closed(Value::Int(0), Value::Int(100))));
+}
+
+TEST_F(AccessAreaTest, UnclippedModeUsesUnboundedUniverse) {
+  auto areas = Areas("SELECT a FROM r WHERE b > 10", /*clip=*/false);
+  EXPECT_TRUE(areas["r.b"].Contains(Value::Int(1000000)));  // beyond domain
+  // Unclipped mode never consults the registry, so unknown attrs work too.
+  auto q = sql::Parse("SELECT a FROM unknown_rel WHERE zz = 1").value();
+  AccessAreaOptions opt;
+  opt.clip_to_domain = false;
+  EXPECT_TRUE(AccessAreas(q, domains_, opt).ok());
+}
+
+TEST_F(AccessAreaTest, ClippedAndUnclippedAgreeOnDeltaRelations) {
+  // For in-domain constants the two modes yield the same equal/intersect/
+  // disjoint relations (the property the DPE scheme relies on).
+  const char* queries[] = {
+      "SELECT a FROM r WHERE b = 10",
+      "SELECT a FROM r WHERE b = 11",
+      "SELECT a FROM r WHERE b > 10",
+      "SELECT a FROM r WHERE b BETWEEN 5 AND 15",
+      "SELECT a FROM r WHERE NOT b = 10",
+      "SELECT a FROM r WHERE b IN (10, 20)",
+  };
+  for (const char* qa : queries) {
+    for (const char* qb : queries) {
+      auto ca = Areas(qa, true)["r.b"], cb = Areas(qb, true)["r.b"];
+      auto ua = Areas(qa, false)["r.b"], ub = Areas(qb, false)["r.b"];
+      EXPECT_EQ(ca == cb, ua == ub) << qa << " vs " << qb;
+      EXPECT_EQ(ca.Intersects(cb), ua.Intersects(ub)) << qa << " vs " << qb;
+    }
+  }
+}
+
+TEST_F(AccessAreaTest, MissingDomainFailsInClippedMode) {
+  auto q = sql::Parse("SELECT a FROM r WHERE unknown_attr = 1").value();
+  EXPECT_FALSE(AccessAreas(q, domains_, AccessAreaOptions{}).ok());
+}
+
+}  // namespace
+}  // namespace dpe::db

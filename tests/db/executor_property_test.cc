@@ -1,0 +1,143 @@
+// Metamorphic properties of the SELECT executor, checked over generated
+// workloads: logical identities that must hold for ANY query/database.
+
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "sql/printer.h"
+#include "workload/scenarios.h"
+
+namespace dpe::db {
+namespace {
+
+class ExecutorPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    workload::ScenarioOptions opt;
+    opt.seed = GetParam();
+    opt.rows_per_relation = 50;
+    opt.log_size = 40;
+    scenario_ = workload::MakeShopScenario(opt).value();
+  }
+
+  workload::Scenario scenario_;
+};
+
+TEST_P(ExecutorPropertyTest, IdempotentConjunction) {
+  // WHERE p  ==  WHERE p AND p.
+  for (const auto& q : scenario_.log) {
+    if (!q.where || !q.group_by.empty()) continue;
+    sql::SelectQuery doubled = q.CloneValue();
+    std::vector<sql::PredicatePtr> both;
+    both.push_back(q.where->Clone());
+    both.push_back(q.where->Clone());
+    doubled.where = sql::Predicate::And(std::move(both));
+    auto r1 = Execute(scenario_.database, q).value();
+    auto r2 = Execute(scenario_.database, doubled).value();
+    EXPECT_EQ(r1.TupleKeySet(), r2.TupleKeySet()) << sql::ToSql(q);
+  }
+}
+
+TEST_P(ExecutorPropertyTest, ExcludedMiddleOnNonNullData) {
+  // The shop generator produces no NULLs, so WHERE p OR NOT p == full scan.
+  size_t checked = 0;
+  for (const auto& q : scenario_.log) {
+    if (!q.where || !q.group_by.empty() || q.limit.has_value()) continue;
+    bool has_agg = false;
+    for (const auto& item : q.items) has_agg |= item.agg != sql::AggFn::kNone;
+    if (has_agg) continue;
+    sql::SelectQuery full = q.CloneValue();
+    std::vector<sql::PredicatePtr> either;
+    either.push_back(q.where->Clone());
+    either.push_back(sql::Predicate::Not(q.where->Clone()));
+    full.where = sql::Predicate::Or(std::move(either));
+    sql::SelectQuery unfiltered = q.CloneValue();
+    unfiltered.where = nullptr;
+    auto r1 = Execute(scenario_.database, full).value();
+    auto r2 = Execute(scenario_.database, unfiltered).value();
+    EXPECT_EQ(r1.TupleKeySet(), r2.TupleKeySet()) << sql::ToSql(q);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(ExecutorPropertyTest, DistinctIsIdempotentAndOrderIrrelevantForSets) {
+  for (const auto& q : scenario_.log) {
+    if (!q.group_by.empty() || q.limit.has_value()) continue;
+    bool has_agg = false;
+    for (const auto& item : q.items) has_agg |= item.agg != sql::AggFn::kNone;
+    if (has_agg) continue;
+    sql::SelectQuery distinct_q = q.CloneValue();
+    distinct_q.distinct = true;
+    sql::SelectQuery unordered = q.CloneValue();
+    unordered.order_by.clear();
+    auto plain = Execute(scenario_.database, q).value();
+    auto dist = Execute(scenario_.database, distinct_q).value();
+    auto unord = Execute(scenario_.database, unordered).value();
+    EXPECT_EQ(plain.TupleKeySet(), dist.TupleKeySet()) << sql::ToSql(q);
+    EXPECT_EQ(dist.rows.size(), dist.TupleKeySet().size());
+    EXPECT_EQ(plain.TupleKeySet(), unord.TupleKeySet());
+  }
+}
+
+TEST_P(ExecutorPropertyTest, LimitIsAPrefixOfTheUnlimitedResult) {
+  for (const auto& q : scenario_.log) {
+    if (!q.limit.has_value() || !q.group_by.empty()) continue;
+    sql::SelectQuery unlimited = q.CloneValue();
+    unlimited.limit.reset();
+    auto limited = Execute(scenario_.database, q).value();
+    auto full = Execute(scenario_.database, unlimited).value();
+    ASSERT_LE(limited.rows.size(), full.rows.size());
+    ASSERT_LE(limited.rows.size(), static_cast<size_t>(*q.limit));
+    for (size_t i = 0; i < limited.rows.size(); ++i) {
+      EXPECT_EQ(Table::RowKey(limited.rows[i]), Table::RowKey(full.rows[i]));
+    }
+  }
+}
+
+TEST_P(ExecutorPropertyTest, CountStarMatchesRowCount) {
+  for (const auto& q : scenario_.log) {
+    if (!q.group_by.empty() || q.joins.size() > 0) continue;
+    bool has_agg = false;
+    for (const auto& item : q.items) has_agg |= item.agg != sql::AggFn::kNone;
+    if (has_agg) continue;
+    sql::SelectQuery count_q = q.CloneValue();
+    count_q.items = {sql::SelectItem::CountStar()};
+    count_q.order_by.clear();
+    count_q.limit.reset();
+    count_q.distinct = false;
+    sql::SelectQuery rows_q = q.CloneValue();
+    rows_q.order_by.clear();
+    rows_q.limit.reset();
+    rows_q.distinct = false;
+    auto count = Execute(scenario_.database, count_q).value();
+    auto rows = Execute(scenario_.database, rows_q).value();
+    ASSERT_EQ(count.rows.size(), 1u);
+    EXPECT_EQ(count.rows[0][0].int_value(),
+              static_cast<int64_t>(rows.rows.size()))
+        << sql::ToSql(q);
+  }
+}
+
+TEST_P(ExecutorPropertyTest, OrderByIsAPermutation) {
+  for (const auto& q : scenario_.log) {
+    if (q.order_by.empty() || !q.group_by.empty()) continue;
+    sql::SelectQuery unordered = q.CloneValue();
+    unordered.order_by.clear();
+    unordered.limit.reset();
+    sql::SelectQuery ordered = q.CloneValue();
+    ordered.limit.reset();
+    auto a = Execute(scenario_.database, ordered).value();
+    auto b = Execute(scenario_.database, unordered).value();
+    std::multiset<std::string> ka, kb;
+    for (const auto& r : a.rows) ka.insert(Table::RowKey(r));
+    for (const auto& r : b.rows) kb.insert(Table::RowKey(r));
+    EXPECT_EQ(ka, kb) << sql::ToSql(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorPropertyTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace dpe::db

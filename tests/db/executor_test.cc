@@ -1,0 +1,226 @@
+#include "db/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::db {
+namespace {
+
+/// Tiny fixed database:
+///   emp(id INT, dept STRING, salary INT, rating DOUBLE)
+///   dept(name STRING, budget INT)
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table emp("emp", TableSchema({{"id", ColumnType::kInt},
+                                  {"dept", ColumnType::kString},
+                                  {"salary", ColumnType::kInt},
+                                  {"rating", ColumnType::kDouble}}));
+    auto add = [&](int id, const char* dept, int salary, double rating) {
+      ASSERT_TRUE(emp.Append({Value::Int(id), Value::String(dept),
+                              Value::Int(salary), Value::Double(rating)})
+                      .ok());
+    };
+    add(1, "eng", 100, 4.5);
+    add(2, "eng", 120, 3.5);
+    add(3, "sales", 90, 4.0);
+    add(4, "sales", 110, 2.5);
+    add(5, "hr", 80, 5.0);
+    ASSERT_TRUE(db_.CreateTable(std::move(emp)).ok());
+
+    Table dept("dept", TableSchema({{"name", ColumnType::kString},
+                                    {"budget", ColumnType::kInt}}));
+    ASSERT_TRUE(dept.Append({Value::String("eng"), Value::Int(1000)}).ok());
+    ASSERT_TRUE(dept.Append({Value::String("sales"), Value::Int(500)}).ok());
+    ASSERT_TRUE(db_.CreateTable(std::move(dept)).ok());
+  }
+
+  ResultTable Run(const std::string& sql) {
+    auto q = sql::Parse(sql);
+    EXPECT_TRUE(q.ok()) << sql << ": " << q.status();
+    auto r = Execute(db_, *q);
+    EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+    return std::move(r).value();
+  }
+
+  Status RunError(const std::string& sql) {
+    auto q = sql::Parse(sql);
+    EXPECT_TRUE(q.ok()) << sql;
+    return Execute(db_, *q).status();
+  }
+
+  Database db_;
+};
+
+TEST_F(ExecutorTest, FullScanStar) {
+  auto r = Run("SELECT * FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0].size(), 4u);
+}
+
+TEST_F(ExecutorTest, Projection) {
+  auto r = Run("SELECT id FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0].size(), 1u);
+}
+
+TEST_F(ExecutorTest, EqualityFilter) {
+  auto r = Run("SELECT id FROM emp WHERE dept = 'eng'");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(1));
+  EXPECT_EQ(r.rows[1][0], Value::Int(2));
+}
+
+TEST_F(ExecutorTest, RangeFilters) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary > 100").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary >= 100").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary BETWEEN 90 AND 110").rows.size(),
+            3u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE rating < 4.0").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE salary <> 100").rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, BooleanLogic) {
+  EXPECT_EQ(
+      Run("SELECT id FROM emp WHERE dept = 'eng' AND salary > 110").rows.size(),
+      1u);
+  EXPECT_EQ(
+      Run("SELECT id FROM emp WHERE dept = 'hr' OR salary = 90").rows.size(), 2u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE NOT dept = 'eng'").rows.size(), 3u);
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE NOT (salary > 80 AND salary < 120)")
+                .rows.size(),
+            2u);
+}
+
+TEST_F(ExecutorTest, InList) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE id IN (1, 3, 99)").rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, IntConstantMatchesDoubleColumn) {
+  EXPECT_EQ(Run("SELECT id FROM emp WHERE rating = 4").rows.size(), 1u);
+}
+
+TEST_F(ExecutorTest, Distinct) {
+  auto r = Run("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(r.rows.size(), 3u);
+}
+
+TEST_F(ExecutorTest, OrderByNonProjectedColumn) {
+  auto r = Run("SELECT id FROM emp ORDER BY salary");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(5));   // salary 80
+  EXPECT_EQ(r.rows[4][0], Value::Int(2));   // salary 120
+}
+
+TEST_F(ExecutorTest, OrderByDescWithLimit) {
+  auto r = Run("SELECT id FROM emp ORDER BY salary DESC LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(2));
+  EXPECT_EQ(r.rows[1][0], Value::Int(4));
+}
+
+TEST_F(ExecutorTest, CountStar) {
+  auto r = Run("SELECT COUNT(*) FROM emp WHERE salary >= 100");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(3));
+}
+
+TEST_F(ExecutorTest, GlobalAggregates) {
+  auto r = Run("SELECT SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(500));
+  EXPECT_EQ(r.rows[0][1], Value::Double(100.0));
+  EXPECT_EQ(r.rows[0][2], Value::Int(80));
+  EXPECT_EQ(r.rows[0][3], Value::Int(120));
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  auto r = Run("SELECT COUNT(*), SUM(salary) FROM emp WHERE salary > 99999");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  auto r = Run("SELECT dept, COUNT(*), SUM(salary) FROM emp GROUP BY dept");
+  ASSERT_EQ(r.rows.size(), 3u);
+  // Groups come out in deterministic (key) order: eng, hr, sales.
+  EXPECT_EQ(r.rows[0][0], Value::String("eng"));
+  EXPECT_EQ(r.rows[0][1], Value::Int(2));
+  EXPECT_EQ(r.rows[0][2], Value::Int(220));
+  EXPECT_EQ(r.rows[1][0], Value::String("hr"));
+  EXPECT_EQ(r.rows[2][0], Value::String("sales"));
+}
+
+TEST_F(ExecutorTest, GroupByWithFilter) {
+  auto r = Run(
+      "SELECT dept, AVG(salary) FROM emp WHERE salary >= 90 GROUP BY dept");
+  ASSERT_EQ(r.rows.size(), 2u);  // hr filtered out entirely
+}
+
+TEST_F(ExecutorTest, NonGroupedColumnRejected) {
+  EXPECT_EQ(RunError("SELECT id, COUNT(*) FROM emp GROUP BY dept").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, HashJoin) {
+  auto r = Run(
+      "SELECT emp.id, dept.budget FROM emp JOIN dept ON emp.dept = dept.name");
+  EXPECT_EQ(r.rows.size(), 4u);  // hr has no dept row
+}
+
+TEST_F(ExecutorTest, JoinWithFilterAndAlias) {
+  auto r = Run(
+      "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.name "
+      "WHERE d.budget > 600");
+  ASSERT_EQ(r.rows.size(), 2u);  // eng employees
+}
+
+TEST_F(ExecutorTest, JoinAggregate) {
+  auto r = Run(
+      "SELECT d.name, SUM(e.salary) FROM emp e JOIN dept d ON e.dept = d.name "
+      "GROUP BY d.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(ExecutorTest, ColumnCompareInWhere) {
+  // salary > budget never true here; id = id trivially true after join.
+  auto r = Run(
+      "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.name "
+      "WHERE e.salary > d.budget");
+  EXPECT_EQ(r.rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, UnknownTableOrColumn) {
+  EXPECT_EQ(RunError("SELECT a FROM missing").code(), StatusCode::kNotFound);
+  EXPECT_EQ(RunError("SELECT missing FROM emp").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, AmbiguousColumnRejected) {
+  // "name" exists in dept only; "id" in emp only; make a genuinely ambiguous
+  // reference by self-joining dept (both sides have "name").
+  EXPECT_EQ(RunError("SELECT name FROM dept d1 JOIN dept d2 ON d1.name = d2.name")
+                .code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(ExecutorTest, NullComparisonsAreFalse) {
+  Table t("nt", TableSchema({{"x", ColumnType::kInt}}));
+  ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(db_.CreateTable(std::move(t)).ok());
+  EXPECT_EQ(Run("SELECT x FROM nt WHERE x = 1").rows.size(), 1u);
+  EXPECT_EQ(Run("SELECT x FROM nt WHERE NOT x = 1").rows.size(), 1u);  // NULL row
+  EXPECT_EQ(Run("SELECT x FROM nt WHERE x <> 1").rows.size(), 0u);
+}
+
+TEST_F(ExecutorTest, TupleKeySetSemantics) {
+  auto r = Run("SELECT dept FROM emp");
+  EXPECT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.TupleKeySet().size(), 3u);
+}
+
+}  // namespace
+}  // namespace dpe::db

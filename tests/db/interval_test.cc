@@ -1,0 +1,155 @@
+#include "db/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::db {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+TEST(IntervalTest, EmptyDetection) {
+  EXPECT_FALSE(Interval::Point(I(5)).IsEmpty());
+  EXPECT_FALSE(Interval::Closed(I(1), I(2)).IsEmpty());
+  EXPECT_TRUE(Interval::Closed(I(2), I(1)).IsEmpty());
+  Interval half_open{IntervalBound{I(1), true}, IntervalBound{I(1), false}};
+  EXPECT_TRUE(half_open.IsEmpty());
+  EXPECT_FALSE(Interval::All().IsEmpty());
+}
+
+TEST(IntervalTest, Contains) {
+  Interval iv = Interval::Closed(I(1), I(5));
+  EXPECT_TRUE(iv.Contains(I(1)));
+  EXPECT_TRUE(iv.Contains(I(5)));
+  EXPECT_FALSE(iv.Contains(I(0)));
+  Interval open{IntervalBound{I(1), false}, IntervalBound{I(5), false}};
+  EXPECT_FALSE(open.Contains(I(1)));
+  EXPECT_TRUE(open.Contains(I(2)));
+  EXPECT_TRUE(Interval::LessThan(I(3), false).Contains(I(-100)));
+  EXPECT_FALSE(Interval::LessThan(I(3), false).Contains(I(3)));
+  EXPECT_TRUE(Interval::GreaterThan(I(3), true).Contains(I(3)));
+}
+
+TEST(IntervalSetTest, NormalizationMergesOverlaps) {
+  auto s = IntervalSet::OfAll(
+      {Interval::Closed(I(1), I(5)), Interval::Closed(I(3), I(8))});
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval::Closed(I(1), I(8)));
+}
+
+TEST(IntervalSetTest, NormalizationMergesTouchingWithInclusiveEndpoint) {
+  // [1,3] u (3,5] -> [1,5]
+  auto s = IntervalSet::OfAll(
+      {Interval::Closed(I(1), I(3)),
+       Interval{IntervalBound{I(3), false}, IntervalBound{I(5), true}}});
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval::Closed(I(1), I(5)));
+}
+
+TEST(IntervalSetTest, NoMergeWhenBothExclusive) {
+  // [1,3) u (3,5] stays two pieces: 3 is in neither.
+  auto s = IntervalSet::OfAll(
+      {Interval{IntervalBound{I(1), true}, IntervalBound{I(3), false}},
+       Interval{IntervalBound{I(3), false}, IntervalBound{I(5), true}}});
+  EXPECT_EQ(s.intervals().size(), 2u);
+}
+
+TEST(IntervalSetTest, NoDiscreteAdjacencyMerge) {
+  // [1,2] u [3,4] must NOT merge: merging would require successor arithmetic,
+  // which does not commute with order-preserving re-encodings.
+  auto s = IntervalSet::OfAll(
+      {Interval::Closed(I(1), I(2)), Interval::Closed(I(3), I(4))});
+  EXPECT_EQ(s.intervals().size(), 2u);
+}
+
+TEST(IntervalSetTest, UnionAndIntersect) {
+  auto a = IntervalSet::Of(Interval::Closed(I(1), I(5)));
+  auto b = IntervalSet::Of(Interval::Closed(I(4), I(9)));
+  auto u = a.Union(b);
+  ASSERT_EQ(u.intervals().size(), 1u);
+  EXPECT_EQ(u.intervals()[0], Interval::Closed(I(1), I(9)));
+  auto i = a.Intersect(b);
+  ASSERT_EQ(i.intervals().size(), 1u);
+  EXPECT_EQ(i.intervals()[0], Interval::Closed(I(4), I(5)));
+}
+
+TEST(IntervalSetTest, DisjointIntersectionIsEmpty) {
+  auto a = IntervalSet::Of(Interval::Closed(I(1), I(2)));
+  auto b = IntervalSet::Of(Interval::Closed(I(5), I(6)));
+  EXPECT_TRUE(a.Intersect(b).IsEmpty());
+  EXPECT_FALSE(a.Intersects(b));
+}
+
+TEST(IntervalSetTest, PointIntersection) {
+  auto a = IntervalSet::Of(Interval::Closed(I(1), I(5)));
+  auto p = IntervalSet::Of(Interval::Point(I(5)));
+  EXPECT_TRUE(a.Intersects(p));
+  auto edge = IntervalSet::Of(
+      Interval{IntervalBound{I(1), true}, IntervalBound{I(5), false}});
+  EXPECT_FALSE(edge.Intersects(p));
+}
+
+TEST(IntervalSetTest, ComplementOfPoint) {
+  auto c = IntervalSet::Of(Interval::Point(I(5))).Complement();
+  ASSERT_EQ(c.intervals().size(), 2u);
+  EXPECT_FALSE(c.Contains(I(5)));
+  EXPECT_TRUE(c.Contains(I(4)));
+  EXPECT_TRUE(c.Contains(I(6)));
+  // Complement twice is identity.
+  EXPECT_EQ(c.Complement(), IntervalSet::Of(Interval::Point(I(5))));
+}
+
+TEST(IntervalSetTest, ComplementOfEmptyAndAll) {
+  EXPECT_EQ(IntervalSet::Empty().Complement(), IntervalSet::All());
+  EXPECT_EQ(IntervalSet::All().Complement(), IntervalSet::Empty());
+}
+
+TEST(IntervalSetTest, ComplementOfUnion) {
+  auto s = IntervalSet::OfAll(
+      {Interval::Closed(I(1), I(2)), Interval::Closed(I(5), I(6))});
+  auto c = s.Complement();
+  ASSERT_EQ(c.intervals().size(), 3u);
+  EXPECT_TRUE(c.Contains(I(0)));
+  EXPECT_TRUE(c.Contains(I(3)));
+  EXPECT_TRUE(c.Contains(I(7)));
+  EXPECT_FALSE(c.Contains(I(1)));
+  EXPECT_FALSE(c.Contains(I(6)));
+}
+
+TEST(IntervalSetTest, EqualityAfterNormalization) {
+  auto a = IntervalSet::OfAll(
+      {Interval::Closed(I(1), I(3)), Interval::Closed(I(2), I(7))});
+  auto b = IntervalSet::Of(Interval::Closed(I(1), I(7)));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, IntervalSet::Of(Interval::Closed(I(1), I(8))));
+}
+
+TEST(IntervalSetTest, StringEndpoints) {
+  auto a = IntervalSet::Of(Interval::Closed(Value::String("berlin"),
+                                            Value::String("paris")));
+  EXPECT_TRUE(a.Contains(Value::String("london")));
+  EXPECT_FALSE(a.Contains(Value::String("amsterdam")));
+  auto p = IntervalSet::Of(Interval::Point(Value::String("rome")));
+  EXPECT_FALSE(a.Intersects(p));
+}
+
+TEST(IntervalSetTest, MembershipAgreesWithBruteForce) {
+  // Property check: set algebra vs direct membership evaluation.
+  auto a = IntervalSet::OfAll(
+      {Interval::Closed(I(0), I(10)),
+       Interval{IntervalBound{I(20), false}, IntervalBound{I(30), false}}});
+  auto b = IntervalSet::OfAll(
+      {Interval::Closed(I(5), I(25))});
+  auto u = a.Union(b);
+  auto i = a.Intersect(b);
+  auto c = a.Complement();
+  for (int64_t v = -5; v <= 35; ++v) {
+    bool in_a = a.Contains(I(v));
+    bool in_b = b.Contains(I(v));
+    EXPECT_EQ(u.Contains(I(v)), in_a || in_b) << v;
+    EXPECT_EQ(i.Contains(I(v)), in_a && in_b) << v;
+    EXPECT_EQ(c.Contains(I(v)), !in_a) << v;
+  }
+}
+
+}  // namespace
+}  // namespace dpe::db

@@ -1,0 +1,91 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace dpe::db {
+namespace {
+
+TableSchema TwoColSchema() {
+  return TableSchema({{"id", ColumnType::kInt}, {"name", ColumnType::kString}});
+}
+
+TEST(TableTest, AppendValidRow) {
+  Table t("t", TwoColSchema());
+  EXPECT_TRUE(t.Append({Value::Int(1), Value::String("a")}).ok());
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, RejectsArityMismatch) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.Append({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, RejectsTypeMismatch) {
+  Table t("t", TwoColSchema());
+  EXPECT_FALSE(t.Append({Value::String("x"), Value::String("a")}).ok());
+}
+
+TEST(TableTest, NullAlwaysFits) {
+  Table t("t", TwoColSchema());
+  EXPECT_TRUE(t.Append({Value::Null(), Value::Null()}).ok());
+}
+
+TEST(TableTest, IntWidensIntoDoubleColumn) {
+  Table t("t", TableSchema({{"x", ColumnType::kDouble}}));
+  ASSERT_TRUE(t.Append({Value::Int(3)}).ok());
+  EXPECT_TRUE(t.rows()[0][0].is_double());
+  EXPECT_EQ(t.rows()[0][0].double_value(), 3.0);
+}
+
+TEST(TableTest, RowKeyInjective) {
+  // Adjacent-field ambiguity must not collapse distinct rows.
+  Row r1 = {Value::String("ab"), Value::String("c")};
+  Row r2 = {Value::String("a"), Value::String("bc")};
+  EXPECT_NE(Table::RowKey(r1), Table::RowKey(r2));
+}
+
+TEST(TableTest, RowKeySetDeduplicates) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(2), Value::String("b")}).ok());
+  EXPECT_EQ(t.RowKeySet().size(), 2u);
+}
+
+TEST(TableTest, DistinctColumnValues) {
+  Table t("t", TwoColSchema());
+  for (int v : {3, 1, 3, 2, 1}) {
+    ASSERT_TRUE(t.Append({Value::Int(v), Value::String("x")}).ok());
+  }
+  auto values = t.DistinctColumnValues("id").value();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values[0], Value::Int(1));
+  EXPECT_EQ(values[2], Value::Int(3));
+  EXPECT_FALSE(t.DistinctColumnValues("nope").ok());
+}
+
+TEST(SchemaTest, FindAndAccepts) {
+  TableSchema s = TwoColSchema();
+  EXPECT_EQ(s.Find("id").value(), 0u);
+  EXPECT_EQ(s.Find("name").value(), 1u);
+  EXPECT_FALSE(s.Find("missing").has_value());
+  EXPECT_TRUE(s.Accepts(0, Value::Int(1)));
+  EXPECT_FALSE(s.Accepts(0, Value::String("x")));
+  EXPECT_FALSE(s.Accepts(5, Value::Int(1)));
+}
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(Table("a", TwoColSchema())).ok());
+  EXPECT_TRUE(db.HasTable("a"));
+  EXPECT_TRUE(db.GetTable("a").ok());
+  EXPECT_FALSE(db.GetTable("b").ok());
+  EXPECT_FALSE(db.CreateTable(Table("a", TwoColSchema())).ok());  // duplicate
+  EXPECT_FALSE(db.CreateTable(Table("", TwoColSchema())).ok());   // unnamed
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"a"});
+}
+
+}  // namespace
+}  // namespace dpe::db

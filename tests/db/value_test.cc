@@ -1,0 +1,68 @@
+#include "db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::db {
+namespace {
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+}
+
+TEST(ValueTest, SqlCompareNumericCrossType) {
+  EXPECT_EQ(Value::Compare(Value::Int(5), Value::Double(5.0)).value(), 0);
+  EXPECT_EQ(Value::Compare(Value::Int(5), Value::Double(5.5)).value(), -1);
+  EXPECT_EQ(Value::Compare(Value::Double(6.0), Value::Int(5)).value(), 1);
+}
+
+TEST(ValueTest, SqlCompareNullAndMixedAreUnknown) {
+  EXPECT_FALSE(Value::Compare(Value::Null(), Value::Int(1)).has_value());
+  EXPECT_FALSE(Value::Compare(Value::Int(1), Value::String("1")).has_value());
+}
+
+TEST(ValueTest, SqlEquals) {
+  EXPECT_TRUE(Value::SqlEquals(Value::Int(5), Value::Int(5)));
+  EXPECT_TRUE(Value::SqlEquals(Value::Int(5), Value::Double(5.0)));
+  EXPECT_FALSE(Value::SqlEquals(Value::Null(), Value::Null()));
+  EXPECT_TRUE(Value::SqlEquals(Value::String("a"), Value::String("a")));
+}
+
+TEST(ValueTest, ContainerOrderIsStrictWeak) {
+  std::vector<Value> vs = {Value::String("b"), Value::Int(2), Value::Null(),
+                           Value::Double(1.5), Value::Int(-1),
+                           Value::String("a")};
+  std::sort(vs.begin(), vs.end());
+  EXPECT_TRUE(vs[0].is_null());
+  EXPECT_EQ(vs[1], Value::Int(-1));
+  EXPECT_EQ(vs[2], Value::Double(1.5));
+  EXPECT_EQ(vs[3], Value::Int(2));
+  EXPECT_EQ(vs[4], Value::String("a"));
+  EXPECT_EQ(vs[5], Value::String("b"));
+}
+
+TEST(ValueTest, KeyBytesInjectiveAcrossTypes) {
+  EXPECT_NE(Value::Int(5).KeyBytes(), Value::String("5").KeyBytes());
+  EXPECT_NE(Value::Int(5).KeyBytes(), Value::Double(5).KeyBytes());
+  EXPECT_NE(Value::Null().KeyBytes(), Value::String("").KeyBytes());
+}
+
+TEST(ValueTest, LiteralRoundTrip) {
+  for (const Value& v :
+       {Value::Int(-3), Value::Double(2.25), Value::String("s")}) {
+    auto lit = v.ToLiteral().value();
+    EXPECT_EQ(Value::FromLiteral(lit), v);
+  }
+  EXPECT_FALSE(Value::Null().ToLiteral().ok());
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Null().ToDisplayString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToDisplayString(), "42");
+  EXPECT_EQ(Value::String("hi").ToDisplayString(), "'hi'");
+}
+
+}  // namespace
+}  // namespace dpe::db

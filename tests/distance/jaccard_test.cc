@@ -1,0 +1,63 @@
+#include "distance/jaccard.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::distance {
+namespace {
+
+using S = std::set<std::string>;
+
+TEST(JaccardTest, IdenticalSetsDistanceZero) {
+  S a{"x", "y"};
+  EXPECT_EQ(JaccardDistance(a, a), 0.0);
+}
+
+TEST(JaccardTest, DisjointSetsDistanceOne) {
+  EXPECT_EQ(JaccardDistance(S{"a"}, S{"b"}), 1.0);
+}
+
+TEST(JaccardTest, BothEmptyIsZero) {
+  EXPECT_EQ(JaccardDistance(S{}, S{}), 0.0);
+}
+
+TEST(JaccardTest, OneEmptyIsOne) {
+  EXPECT_EQ(JaccardDistance(S{"a"}, S{}), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // |{a,b} n {b,c}| = 1, |u| = 3 -> d = 2/3.
+  EXPECT_DOUBLE_EQ(JaccardDistance(S{"a", "b"}, S{"b", "c"}), 2.0 / 3.0);
+}
+
+TEST(JaccardTest, SymmetricAndBounded) {
+  S a{"1", "2", "3"}, b{"3", "4"};
+  EXPECT_EQ(JaccardDistance(a, b), JaccardDistance(b, a));
+  EXPECT_GE(JaccardDistance(a, b), 0.0);
+  EXPECT_LE(JaccardDistance(a, b), 1.0);
+}
+
+TEST(JaccardTest, SimilarityComplement) {
+  S a{"a", "b"}, b{"b", "c"};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b) + JaccardDistance(a, b), 1.0);
+}
+
+TEST(JaccardTest, IntSets) {
+  std::set<int> a{1, 2, 3, 4}, b{3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(JaccardDistance(a, b), 1.0 - 2.0 / 6.0);
+}
+
+TEST(JaccardTest, TriangleInequalityOnSamples) {
+  // Jaccard distance is a metric; spot-check the triangle inequality.
+  std::vector<S> sets = {{"a", "b"}, {"b", "c"}, {"a", "c", "d"}, {}, {"e"}};
+  for (const auto& x : sets) {
+    for (const auto& y : sets) {
+      for (const auto& z : sets) {
+        EXPECT_LE(JaccardDistance(x, z),
+                  JaccardDistance(x, y) + JaccardDistance(y, z) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpe::distance

@@ -1,0 +1,84 @@
+#include "distance/levenshtein_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::distance {
+namespace {
+
+std::vector<std::string> Chars(const std::string& s) {
+  std::vector<std::string> out;
+  for (char c : s) out.emplace_back(1, c);
+  return out;
+}
+
+TEST(EditDistanceTest, ClassicExamples) {
+  EXPECT_EQ(EditDistance(Chars("kitten"), Chars("sitting")), 3u);
+  EXPECT_EQ(EditDistance(Chars("flaw"), Chars("lawn")), 2u);
+  EXPECT_EQ(EditDistance(Chars(""), Chars("abc")), 3u);
+  EXPECT_EQ(EditDistance(Chars("same"), Chars("same")), 0u);
+}
+
+TEST(EditDistanceTest, MetricPropertiesOnSamples) {
+  std::vector<std::vector<std::string>> samples = {
+      Chars("select"), Chars("selects"), Chars("elect"), Chars(""),
+      Chars("from")};
+  for (const auto& a : samples) {
+    for (const auto& b : samples) {
+      EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+      for (const auto& c : samples) {
+        EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+      }
+    }
+  }
+}
+
+class LevenshteinMeasureTest : public ::testing::Test {
+ protected:
+  double D(const std::string& a, const std::string& b,
+           LevenshteinDistance::Granularity g) {
+    LevenshteinDistance measure(g);
+    return measure
+        .Distance(sql::Parse(a).value(), sql::Parse(b).value(), MeasureContext{})
+        .value();
+  }
+};
+
+TEST_F(LevenshteinMeasureTest, TokenSequenceGranularity) {
+  // Q1/Q2 differ in one token of eight: d = 1/8.
+  EXPECT_DOUBLE_EQ(D("SELECT a FROM r WHERE b = 1", "SELECT a FROM r WHERE b = 2",
+                     LevenshteinDistance::Granularity::kTokenSequence),
+                   1.0 / 8.0);
+  EXPECT_EQ(D("SELECT a FROM r", "SELECT a FROM r",
+              LevenshteinDistance::Granularity::kTokenSequence),
+            0.0);
+}
+
+TEST_F(LevenshteinMeasureTest, OrderMattersUnlikeTokenSets) {
+  // Same token SET, different sequences -> token-set distance would be 0,
+  // Levenshtein sees the reordering.
+  double d = D("SELECT a, b FROM r", "SELECT b, a FROM r",
+               LevenshteinDistance::Granularity::kTokenSequence);
+  EXPECT_GT(d, 0.0);
+}
+
+TEST_F(LevenshteinMeasureTest, CharacterGranularity) {
+  double d = D("SELECT a FROM r", "SELECT ab FROM r",
+               LevenshteinDistance::Granularity::kCharacter);
+  EXPECT_NEAR(d, 1.0 / 16.0, 1e-9);  // one inserted char over 16
+}
+
+TEST_F(LevenshteinMeasureTest, NamesAndBounds) {
+  LevenshteinDistance token_measure;
+  LevenshteinDistance char_measure(LevenshteinDistance::Granularity::kCharacter);
+  EXPECT_EQ(token_measure.Name(), "levenshtein-token");
+  EXPECT_EQ(char_measure.Name(), "levenshtein-char");
+  double d = D("SELECT a FROM r", "SELECT z9 FROM qqq WHERE x = 1",
+               LevenshteinDistance::Granularity::kTokenSequence);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+}  // namespace
+}  // namespace dpe::distance

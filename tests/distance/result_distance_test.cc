@@ -1,0 +1,96 @@
+#include "distance/result_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::distance {
+namespace {
+
+class ResultDistanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db::Table t("t", db::TableSchema({{"id", db::ColumnType::kInt},
+                                      {"grp", db::ColumnType::kString}}));
+    for (int i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(t.Append({db::Value::Int(i),
+                            db::Value::String(i <= 5 ? "low" : "high")})
+                      .ok());
+    }
+    ASSERT_TRUE(db_.CreateTable(std::move(t)).ok());
+    ctx_.database = &db_;
+  }
+
+  double D(const std::string& a, const std::string& b) {
+    return measure_
+        .Distance(sql::Parse(a).value(), sql::Parse(b).value(), ctx_)
+        .value();
+  }
+
+  db::Database db_;
+  MeasureContext ctx_;
+  ResultDistance measure_;
+};
+
+TEST_F(ResultDistanceTest, EquivalentQueriesHaveDistanceZero) {
+  // Different syntax, same result set.
+  EXPECT_EQ(D("SELECT id FROM t WHERE id <= 5",
+              "SELECT id FROM t WHERE grp = 'low'"),
+            0.0);
+}
+
+TEST_F(ResultDistanceTest, DisjointResultsHaveDistanceOne) {
+  EXPECT_EQ(D("SELECT id FROM t WHERE id <= 5", "SELECT id FROM t WHERE id > 5"),
+            1.0);
+}
+
+TEST_F(ResultDistanceTest, OverlapCounts) {
+  // {1..6} vs {4..10}: intersection {4,5,6} = 3, union 10 -> d = 0.7.
+  EXPECT_DOUBLE_EQ(
+      D("SELECT id FROM t WHERE id <= 6", "SELECT id FROM t WHERE id >= 4"),
+      0.7);
+}
+
+TEST_F(ResultDistanceTest, SetSemanticsIgnoreDuplicatesAndOrder) {
+  EXPECT_EQ(D("SELECT grp FROM t", "SELECT DISTINCT grp FROM t"), 0.0);
+  EXPECT_EQ(D("SELECT id FROM t ORDER BY id DESC", "SELECT id FROM t"), 0.0);
+}
+
+TEST_F(ResultDistanceTest, DifferentArityTuplesAreDisjoint) {
+  EXPECT_EQ(D("SELECT id FROM t WHERE id = 1", "SELECT id, grp FROM t WHERE id = 1"),
+            1.0);
+}
+
+TEST_F(ResultDistanceTest, RequiresDatabase) {
+  ResultDistance measure;
+  MeasureContext empty;
+  auto q = sql::Parse("SELECT id FROM t").value();
+  EXPECT_FALSE(measure.Distance(q, q, empty).ok());
+}
+
+TEST_F(ResultDistanceTest, ExecutionErrorsPropagate) {
+  auto q1 = sql::Parse("SELECT id FROM t").value();
+  auto q2 = sql::Parse("SELECT id FROM missing").value();
+  EXPECT_FALSE(measure_.Distance(q1, q2, ctx_).ok());
+}
+
+TEST_F(ResultDistanceTest, SharedInformationDeclaresDbContent) {
+  EXPECT_TRUE(measure_.Shared().db_content);
+}
+
+TEST_F(ResultDistanceTest, CachedExecutionIsConsistent) {
+  // Repeated distance computations (cache hits) agree with fresh ones.
+  double d1 = D("SELECT id FROM t WHERE id <= 6", "SELECT id FROM t WHERE id >= 4");
+  double d2 = D("SELECT id FROM t WHERE id <= 6", "SELECT id FROM t WHERE id >= 4");
+  EXPECT_EQ(d1, d2);
+  ResultDistance fresh;
+  EXPECT_EQ(fresh
+                .Distance(sql::Parse("SELECT id FROM t WHERE id <= 6").value(),
+                          sql::Parse("SELECT id FROM t WHERE id >= 4").value(),
+                          ctx_)
+                .value(),
+            d1);
+}
+
+}  // namespace
+}  // namespace dpe::distance

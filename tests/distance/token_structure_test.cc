@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "distance/structure_distance.h"
+#include "distance/token_distance.h"
+#include "sql/parser.h"
+
+namespace dpe::distance {
+namespace {
+
+double TokenD(const std::string& a, const std::string& b) {
+  TokenDistance measure;
+  return measure
+      .Distance(sql::Parse(a).value(), sql::Parse(b).value(), MeasureContext{})
+      .value();
+}
+
+double StructD(const std::string& a, const std::string& b) {
+  StructureDistance measure;
+  return measure
+      .Distance(sql::Parse(a).value(), sql::Parse(b).value(), MeasureContext{})
+      .value();
+}
+
+TEST(TokenDistanceTest, IdenticalQueriesAreAtDistanceZero) {
+  EXPECT_EQ(TokenD("SELECT a FROM r WHERE b = 1", "SELECT a FROM r WHERE b = 1"),
+            0.0);
+}
+
+TEST(TokenDistanceTest, WhitespaceAndCaseDoNotMatter) {
+  EXPECT_EQ(TokenD("select  A from R", "SELECT a FROM r"), 0.0);
+}
+
+TEST(TokenDistanceTest, Definition3Worked) {
+  // Q1: tokens {SELECT,a,FROM,r,WHERE,b,=,1}  (8)
+  // Q2: tokens {SELECT,a,FROM,r,WHERE,b,=,2}  (8)
+  // intersection 7, union 9 -> d = 2/9.
+  EXPECT_DOUBLE_EQ(TokenD("SELECT a FROM r WHERE b = 1",
+                          "SELECT a FROM r WHERE b = 2"),
+                   2.0 / 9.0);
+}
+
+TEST(TokenDistanceTest, CompletelyDifferentQueries) {
+  double d = TokenD("SELECT a FROM r", "SELECT b FROM s");
+  // Shared: SELECT, FROM -> 2 of 6 union -> d = 2/3.
+  EXPECT_DOUBLE_EQ(d, 2.0 / 3.0);
+}
+
+TEST(TokenDistanceTest, RangeOfValues) {
+  double d = TokenD("SELECT a, b FROM r WHERE x BETWEEN 1 AND 2",
+                    "SELECT a FROM r WHERE x = 1");
+  EXPECT_GT(d, 0.0);
+  EXPECT_LT(d, 1.0);
+}
+
+TEST(StructureDistanceTest, ConstantsDoNotMatter) {
+  EXPECT_EQ(StructD("SELECT a FROM r WHERE b = 1", "SELECT a FROM r WHERE b = 2"),
+            0.0);
+  EXPECT_EQ(StructD("SELECT a FROM r WHERE b BETWEEN 1 AND 5",
+                    "SELECT a FROM r WHERE b BETWEEN 100 AND 200"),
+            0.0);
+}
+
+TEST(StructureDistanceTest, OperatorsMatter) {
+  EXPECT_GT(StructD("SELECT a FROM r WHERE b > 1", "SELECT a FROM r WHERE b < 1"),
+            0.0);
+}
+
+TEST(StructureDistanceTest, Example5Worked) {
+  // features(Q1) = {(SELECT,a1),(FROM,r),(WHERE,a2 >)}
+  // features(Q2) = {(SELECT,a1),(FROM,r)}
+  // intersection 2, union 3 -> d = 1/3.
+  EXPECT_DOUBLE_EQ(
+      StructD("SELECT a1 FROM r WHERE a2 > 5", "SELECT a1 FROM r"), 1.0 / 3.0);
+}
+
+TEST(StructureDistanceTest, AggregationShapesDiffer) {
+  EXPECT_GT(StructD("SELECT SUM(x) FROM t", "SELECT AVG(x) FROM t"), 0.0);
+  EXPECT_EQ(StructD("SELECT SUM(x) FROM t WHERE y = 1",
+                    "SELECT SUM(x) FROM t WHERE y = 2"),
+            0.0);
+}
+
+TEST(DistanceMeasureTest, SharedInformationDeclarations) {
+  TokenDistance token;
+  StructureDistance structure;
+  EXPECT_FALSE(token.Shared().db_content);
+  EXPECT_FALSE(token.Shared().domains);
+  EXPECT_FALSE(structure.Shared().db_content);
+  EXPECT_EQ(token.Name(), "token");
+  EXPECT_EQ(structure.Name(), "structure");
+}
+
+}  // namespace
+}  // namespace dpe::distance

@@ -1,0 +1,82 @@
+// Definition-1 end-to-end checks: for every Table-I scheme and both
+// workloads, plaintext and ciphertext distance matrices are identical.
+
+#include <gtest/gtest.h>
+
+#include "core/dpe.h"
+#include "workload/scenarios.h"
+
+namespace dpe::core {
+namespace {
+
+struct Case {
+  MeasureKind measure;
+  bool skyserver;
+};
+
+class DpePreservation : public ::testing::TestWithParam<Case> {
+ protected:
+  static const workload::Scenario& Shop() {
+    static workload::Scenario s = [] {
+      workload::ScenarioOptions opt;
+      opt.seed = 42;
+      opt.rows_per_relation = 40;
+      opt.log_size = 30;
+      return workload::MakeShopScenario(opt).value();
+    }();
+    return s;
+  }
+
+  static const workload::Scenario& Sky() {
+    static workload::Scenario s = [] {
+      workload::ScenarioOptions opt;
+      opt.seed = 43;
+      opt.rows_per_relation = 40;
+      opt.log_size = 30;
+      return workload::MakeSkyServerScenario(opt).value();
+    }();
+    return s;
+  }
+};
+
+TEST_P(DpePreservation, MatricesAreIdentical) {
+  const Case c = GetParam();
+  const workload::Scenario& s = c.skyserver ? Sky() : Shop();
+  crypto::KeyManager keys("dpe-preservation");
+  LogEncryptor::Options options;
+  options.paillier_bits = 256;
+  options.ope_range_bits = 80;
+  options.rng_seed = "dpe";
+  auto enc = LogEncryptor::Create(CanonicalScheme(c.measure), keys, s.database,
+                                  s.log, s.domains, options)
+                 .value();
+  auto report =
+      CheckDistancePreservation(c.measure, enc, s.log, s.database, s.domains)
+          .value();
+  EXPECT_EQ(report.max_abs_delta, 0.0)
+      << MeasureKindName(c.measure) << " on "
+      << (c.skyserver ? "skyserver" : "shop");
+  EXPECT_TRUE(report.exact());
+  EXPECT_EQ(report.pair_count, s.log.size() * (s.log.size() - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMeasuresBothWorkloads, DpePreservation,
+    ::testing::Values(Case{MeasureKind::kToken, false},
+                      Case{MeasureKind::kStructure, false},
+                      Case{MeasureKind::kResult, false},
+                      Case{MeasureKind::kAccessArea, false},
+                      Case{MeasureKind::kToken, true},
+                      Case{MeasureKind::kStructure, true},
+                      Case{MeasureKind::kResult, true},
+                      Case{MeasureKind::kAccessArea, true}),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return std::string(MeasureKindName(info.param.measure)) == "access-area"
+                 ? std::string("access_area") +
+                       (info.param.skyserver ? "_sky" : "_shop")
+                 : std::string(MeasureKindName(info.param.measure)) +
+                       (info.param.skyserver ? "_sky" : "_shop");
+    });
+
+}  // namespace
+}  // namespace dpe::core

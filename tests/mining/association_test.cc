@@ -1,0 +1,148 @@
+#include "mining/association.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::mining {
+namespace {
+
+std::vector<Transaction> MarketBasket() {
+  // Classic toy basket data.
+  return {
+      {"bread", "milk"},
+      {"bread", "diapers", "beer", "eggs"},
+      {"milk", "diapers", "beer", "cola"},
+      {"bread", "milk", "diapers", "beer"},
+      {"bread", "milk", "diapers", "cola"},
+  };
+}
+
+TEST(AprioriTest, FrequentItemsetsWithSupports) {
+  AprioriOptions opt;
+  opt.min_support = 0.6;
+  opt.min_confidence = 0.5;
+  auto r = Apriori(MarketBasket(), opt).value();
+  // Singletons at support >= 0.6: bread(4/5), milk(4/5), diapers(4/5),
+  // beer(3/5); pairs: {bread,milk} 3/5, {bread,diapers} 3/5,
+  // {milk,diapers} 3/5, {beer,diapers} 3/5.
+  size_t singletons = 0, pairs = 0;
+  for (const auto& f : r.frequent) {
+    if (f.items.size() == 1) ++singletons;
+    if (f.items.size() == 2) ++pairs;
+    EXPECT_GE(f.support, 0.6);
+  }
+  EXPECT_EQ(singletons, 4u);
+  EXPECT_EQ(pairs, 4u);
+}
+
+TEST(AprioriTest, RuleConfidenceAndLift) {
+  AprioriOptions opt;
+  opt.min_support = 0.6;
+  opt.min_confidence = 0.99;
+  auto r = Apriori(MarketBasket(), opt).value();
+  // beer -> diapers has confidence 3/3 = 1.0; diapers -> beer only 3/4.
+  bool found_beer_rule = false;
+  for (const auto& rule : r.rules) {
+    if (rule.lhs == ItemSet{"beer"}) {
+      EXPECT_EQ(rule.rhs, ItemSet{"diapers"});
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_DOUBLE_EQ(rule.support, 0.6);
+      EXPECT_NEAR(rule.lift, 1.0 / 0.8, 1e-9);
+      found_beer_rule = true;
+    }
+    EXPECT_NE(rule.lhs, ItemSet{"diapers"});  // conf 0.75 < 0.99 filtered
+  }
+  EXPECT_TRUE(found_beer_rule);
+}
+
+TEST(AprioriTest, MonotonicityOfSupport) {
+  AprioriOptions opt;
+  opt.min_support = 0.2;
+  opt.min_confidence = 0.5;
+  auto r = Apriori(MarketBasket(), opt).value();
+  // Every subset of a frequent set is frequent with >= support (Apriori
+  // property); check pairwise against singletons.
+  std::map<ItemSet, double> support;
+  for (const auto& f : r.frequent) support[f.items] = f.support;
+  for (const auto& f : r.frequent) {
+    for (const auto& item : f.items) {
+      ItemSet single{item};
+      ASSERT_TRUE(support.contains(single));
+      EXPECT_GE(support[single], f.support);
+    }
+  }
+}
+
+TEST(AprioriTest, EmptyAndDegenerateInputs) {
+  AprioriOptions opt;
+  auto r = Apriori({}, opt).value();
+  EXPECT_TRUE(r.frequent.empty());
+  EXPECT_TRUE(r.rules.empty());
+  EXPECT_FALSE(Apriori(MarketBasket(), {0.0, 0.5, 3}).ok());
+  EXPECT_FALSE(Apriori(MarketBasket(), {0.5, 1.5, 3}).ok());
+}
+
+TEST(AprioriTest, MaxItemsetSizeCaps) {
+  AprioriOptions opt;
+  opt.min_support = 0.2;
+  opt.max_itemset_size = 1;
+  auto r = Apriori(MarketBasket(), opt).value();
+  for (const auto& f : r.frequent) EXPECT_EQ(f.items.size(), 1u);
+  EXPECT_TRUE(r.rules.empty());
+}
+
+TEST(AprioriTest, DeterministicOrdering) {
+  AprioriOptions opt;
+  opt.min_support = 0.4;
+  opt.min_confidence = 0.6;
+  auto r1 = Apriori(MarketBasket(), opt).value();
+  auto r2 = Apriori(MarketBasket(), opt).value();
+  ASSERT_EQ(r1.rules.size(), r2.rules.size());
+  for (size_t i = 0; i < r1.rules.size(); ++i) {
+    EXPECT_EQ(r1.rules[i].ToString(), r2.rules[i].ToString());
+  }
+}
+
+TEST(AprioriTest, BijectiveItemRenamingRenamesResults) {
+  // The DPE property: renaming items through any injection yields the same
+  // rules with renamed items and identical statistics.
+  AprioriOptions opt;
+  opt.min_support = 0.4;
+  opt.min_confidence = 0.6;
+  auto plain = Apriori(MarketBasket(), opt).value();
+
+  auto rename = [](const Item& i) { return "enc(" + i + ")"; };
+  std::vector<Transaction> renamed;
+  for (const auto& t : MarketBasket()) {
+    Transaction rt;
+    for (const auto& i : t) rt.insert(rename(i));
+    renamed.push_back(std::move(rt));
+  }
+  auto enc = Apriori(renamed, opt).value();
+
+  ASSERT_EQ(plain.rules.size(), enc.rules.size());
+  // Compare statistics multisets.
+  auto stats = [](const AprioriResult& r) {
+    std::multiset<std::pair<double, double>> out;
+    for (const auto& rule : r.rules) out.insert({rule.support, rule.confidence});
+    return out;
+  };
+  EXPECT_EQ(stats(plain), stats(enc));
+  // And the rename maps rules one-to-one.
+  for (const auto& rule : plain.rules) {
+    ItemSet lhs, rhs;
+    for (const auto& i : rule.lhs) lhs.insert(rename(i));
+    for (const auto& i : rule.rhs) rhs.insert(rename(i));
+    bool found = false;
+    for (const auto& erule : enc.rules) {
+      if (erule.lhs == lhs && erule.rhs == rhs) {
+        EXPECT_DOUBLE_EQ(erule.support, rule.support);
+        EXPECT_DOUBLE_EQ(erule.confidence, rule.confidence);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << rule.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dpe::mining

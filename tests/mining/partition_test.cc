@@ -1,0 +1,59 @@
+#include "mining/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::mining {
+namespace {
+
+TEST(PartitionTest, CanonicalizeRelabelsByFirstAppearance) {
+  EXPECT_EQ(CanonicalizeLabels({5, 5, 2, 2, 9}), (Labels{0, 0, 1, 1, 2}));
+  EXPECT_EQ(CanonicalizeLabels({0, 1, 2}), (Labels{0, 1, 2}));
+}
+
+TEST(PartitionTest, NoiseStaysNoise) {
+  EXPECT_EQ(CanonicalizeLabels({-1, 3, -1, 3}), (Labels{-1, 0, -1, 0}));
+}
+
+TEST(PartitionTest, SamePartitionUpToRelabeling) {
+  EXPECT_TRUE(SamePartition({0, 0, 1}, {7, 7, 3}));
+  EXPECT_FALSE(SamePartition({0, 0, 1}, {0, 1, 1}));
+  EXPECT_FALSE(SamePartition({0, 0}, {0, 0, 0}));
+  EXPECT_TRUE(SamePartition({-1, 0, 0}, {-1, 5, 5}));
+  EXPECT_FALSE(SamePartition({-1, 0, 0}, {0, 0, 0}));
+}
+
+TEST(PartitionTest, RandIndexIdentical) {
+  EXPECT_EQ(RandIndex({0, 0, 1, 1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(PartitionTest, RandIndexWorked) {
+  // Labels {0,0,1,1} vs {0,1,1,1}: pairs (6 total):
+  // (0,1): same/diff -> disagree; (0,2): diff/diff agree; (0,3) diff/diff agree;
+  // (1,2): diff/same disagree; (1,3): diff/same disagree; (2,3): same/same agree.
+  EXPECT_DOUBLE_EQ(RandIndex({0, 0, 1, 1}, {0, 1, 1, 1}), 0.5);
+}
+
+TEST(PartitionTest, AdjustedRandIdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({0, 1, 0, 1, 2}, {5, 9, 5, 9, 7}), 1.0);
+}
+
+TEST(PartitionTest, AdjustedRandRandomIsLow) {
+  // Independent labelings should land near 0.
+  Labels a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(i % 2);
+    b.push_back((i / 2) % 2);
+  }
+  double ari = AdjustedRandIndex(a, b);
+  EXPECT_LT(ari, 0.2);
+  EXPECT_GT(ari, -0.2);
+}
+
+TEST(PartitionTest, NoiseAsSingletons) {
+  // Two all-noise labelings of the same size are the same partition.
+  EXPECT_EQ(RandIndex({-1, -1}, {-1, -1}), 1.0);
+  EXPECT_TRUE(SamePartition({-1, -1}, {-1, -1}));
+}
+
+}  // namespace
+}  // namespace dpe::mining

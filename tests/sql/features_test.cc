@@ -1,0 +1,95 @@
+#include "sql/features.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::sql {
+namespace {
+
+std::set<std::string> FeatureStrings(const std::string& text) {
+  auto q = Parse(text).value();
+  std::set<std::string> out;
+  for (const auto& f : Features(q)) out.insert(f.ToString());
+  return out;
+}
+
+TEST(FeaturesTest, PaperExample5) {
+  // features(SELECT A1 FROM R WHERE A2 > 5) =
+  //   {(SELECT, A1), (FROM, R), (WHERE, A2 >)}
+  auto fs = FeatureStrings("SELECT A1 FROM R WHERE A2 > 5");
+  EXPECT_EQ(fs, (std::set<std::string>{"(SELECT, a1)", "(FROM, r)",
+                                       "(WHERE, a2, >)"}));
+}
+
+TEST(FeaturesTest, ConstantsAreDropped) {
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r WHERE x = 1"),
+            FeatureStrings("SELECT a FROM r WHERE x = 999"));
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r WHERE x BETWEEN 1 AND 2"),
+            FeatureStrings("SELECT a FROM r WHERE x BETWEEN 50 AND 60"));
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r WHERE x IN (1, 2)"),
+            FeatureStrings("SELECT a FROM r WHERE x IN (7, 8, 9)"));
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r LIMIT 5"),
+            FeatureStrings("SELECT a FROM r LIMIT 50"));
+}
+
+TEST(FeaturesTest, OperatorsAreKept) {
+  EXPECT_NE(FeatureStrings("SELECT a FROM r WHERE x > 1"),
+            FeatureStrings("SELECT a FROM r WHERE x < 1"));
+  EXPECT_NE(FeatureStrings("SELECT a FROM r WHERE x = 1"),
+            FeatureStrings("SELECT a FROM r WHERE x BETWEEN 1 AND 2"));
+}
+
+TEST(FeaturesTest, BooleanNestingIsFlattened) {
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r WHERE x = 1 AND y = 2"),
+            FeatureStrings("SELECT a FROM r WHERE x = 3 OR y = 4"));
+  EXPECT_EQ(FeatureStrings("SELECT a FROM r WHERE NOT x = 1"),
+            FeatureStrings("SELECT a FROM r WHERE x = 1"));
+}
+
+TEST(FeaturesTest, AggregatesAndGrouping) {
+  auto fs = FeatureStrings("SELECT city, COUNT(*) FROM t GROUP BY city");
+  EXPECT_TRUE(fs.contains("(SELECT, city)"));
+  EXPECT_TRUE(fs.contains("(AGG, COUNT, *)"));
+  EXPECT_TRUE(fs.contains("(GROUPBY, city)"));
+}
+
+TEST(FeaturesTest, SumVsAvgDiffer) {
+  EXPECT_NE(FeatureStrings("SELECT SUM(x) FROM t"),
+            FeatureStrings("SELECT AVG(x) FROM t"));
+}
+
+TEST(FeaturesTest, JoinFeatures) {
+  auto fs = FeatureStrings(
+      "SELECT o.x FROM orders o JOIN customers c ON o.cid = c.cid");
+  EXPECT_TRUE(fs.contains("(FROM, orders)"));
+  EXPECT_TRUE(fs.contains("(FROM, customers)"));
+  EXPECT_TRUE(fs.contains("(JOIN, o.cid, =, c.cid)"));
+}
+
+TEST(FeaturesTest, OrderByDirectionMatters) {
+  EXPECT_NE(FeatureStrings("SELECT a FROM r ORDER BY a"),
+            FeatureStrings("SELECT a FROM r ORDER BY a DESC"));
+}
+
+TEST(FeaturesTest, DistinctAndLimitMarkers) {
+  auto fs = FeatureStrings("SELECT DISTINCT a FROM r LIMIT 5");
+  EXPECT_TRUE(fs.contains("(DISTINCT)"));
+  EXPECT_TRUE(fs.contains("(LIMIT)"));
+}
+
+TEST(FeaturesTest, PartsAreTaggedForEncryption) {
+  auto q = Parse("SELECT a FROM r WHERE b > 1").value();
+  for (const auto& f : Features(q)) {
+    if (f.clause == "FROM") {
+      EXPECT_EQ(f.parts[0].first, FeaturePartKind::kRelation);
+    }
+    if (f.clause == "WHERE") {
+      EXPECT_EQ(f.parts[0].first, FeaturePartKind::kAttribute);
+      EXPECT_EQ(f.parts[1].first, FeaturePartKind::kSymbol);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dpe::sql

@@ -1,0 +1,94 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::sql {
+namespace {
+
+std::vector<std::string> Lexemes(const std::string& text) {
+  auto tokens = Lex(text).value();
+  std::vector<std::string> out;
+  for (const auto& t : tokens) out.push_back(t.lexeme);
+  return out;
+}
+
+TEST(LexerTest, PaperExample4Query) {
+  auto tokens = Lex("SELECT A1 FROM R WHERE A2 > 5").value();
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[0].lexeme, "SELECT");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].lexeme, "a1");  // identifiers normalize to lower case
+  EXPECT_EQ(tokens[6].kind, TokenKind::kOperator);
+  EXPECT_EQ(tokens[6].lexeme, ">");
+  EXPECT_EQ(tokens[7].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[7].lexeme, "5");
+}
+
+TEST(LexerTest, KeywordsNormalizeUpper) {
+  EXPECT_EQ(Lexemes("select from where"),
+            (std::vector<std::string>{"SELECT", "FROM", "WHERE"}));
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Lexemes("a = 1 b <> 2 c < 3 d <= 4 e > 5 f >= 6"),
+            (std::vector<std::string>{"a", "=", "1", "b", "<>", "2", "c", "<",
+                                      "3", "d", "<=", "4", "e", ">", "5", "f",
+                                      ">=", "6"}));
+}
+
+TEST(LexerTest, BangEqualsNormalizesToAngleBrackets) {
+  EXPECT_EQ(Lexemes("a != 1"), (std::vector<std::string>{"a", "<>", "1"}));
+}
+
+TEST(LexerTest, NumbersIntFloatExponent) {
+  auto tokens = Lex("1 2.5 3e4 1.5e-3 42").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kInteger);
+}
+
+TEST(LexerTest, NegativeNumberAfterOperator) {
+  auto tokens = Lex("a > -5").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[2].lexeme, "-5");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("name = 'O''Brien'").value();
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].lexeme, "'O''Brien'");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Lex("a = 'oops").ok());
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  EXPECT_FALSE(Lex("a # b").ok());
+}
+
+TEST(LexerTest, QualifiedNamesSplitOnDot) {
+  EXPECT_EQ(Lexemes("r.a1"), (std::vector<std::string>{"r", ".", "a1"}));
+}
+
+TEST(LexerTest, TokenSetDeduplicates) {
+  auto set = TokenSet("SELECT a, a FROM r WHERE a = 1 OR a = 1").value();
+  // {SELECT, a, ",", FROM, r, WHERE, =, 1, OR}
+  EXPECT_EQ(set.size(), 9u);
+  EXPECT_TRUE(set.contains("a"));
+  EXPECT_TRUE(set.contains("1"));
+  EXPECT_TRUE(set.contains("SELECT"));
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_TRUE(Lex("").value().empty());
+  EXPECT_TRUE(Lex("   \t\n ").value().empty());
+}
+
+}  // namespace
+}  // namespace dpe::sql

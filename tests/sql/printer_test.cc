@@ -1,0 +1,88 @@
+#include "sql/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace dpe::sql {
+namespace {
+
+// Round-trip property: parse(print(parse(text))) == parse(text), and printing
+// is a fixed point.
+class PrinterRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PrinterRoundTrip, ParsePrintParse) {
+  auto q1 = Parse(GetParam());
+  ASSERT_TRUE(q1.ok()) << GetParam() << ": " << q1.status();
+  std::string printed = ToSql(*q1);
+  auto q2 = Parse(printed);
+  ASSERT_TRUE(q2.ok()) << printed << ": " << q2.status();
+  EXPECT_TRUE(q1->Equals(*q2)) << printed;
+  EXPECT_EQ(printed, ToSql(*q2));  // fixed point
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, PrinterRoundTrip,
+    ::testing::Values(
+        "SELECT a FROM r",
+        "SELECT * FROM r",
+        "SELECT DISTINCT a, b FROM r",
+        "SELECT a1 FROM r WHERE a2 > 5",
+        "SELECT a FROM r WHERE x = 1 AND y = 2 OR z = 3",
+        "SELECT a FROM r WHERE x = 1 AND (y = 2 OR z = 3)",
+        "SELECT a FROM r WHERE NOT (x = 1 OR y = 2)",
+        "SELECT a FROM r WHERE x BETWEEN 1 AND 5",
+        "SELECT a FROM r WHERE x IN (1, 2, 3)",
+        "SELECT a FROM r WHERE s = 'it''s'",
+        "SELECT a FROM r WHERE d = 2.5 AND e > -3",
+        "SELECT o.x, c.y FROM orders o JOIN customers c ON o.cid = c.cid",
+        "SELECT city, COUNT(*) FROM t GROUP BY city",
+        "SELECT SUM(x), AVG(y) FROM t WHERE z >= 10",
+        "SELECT MIN(a), MAX(b) FROM t",
+        "SELECT a FROM r ORDER BY a DESC, b LIMIT 7",
+        "SELECT a FROM r WHERE x <> 9 ORDER BY x"));
+
+TEST(PrinterTest, CanonicalText) {
+  auto q = Parse("select  A1  from  R  where  A2>5").value();
+  EXPECT_EQ(ToSql(q), "SELECT a1 FROM r WHERE a2 > 5");
+}
+
+TEST(PrinterTest, NestedPredicateParentheses) {
+  auto q = Parse("SELECT a FROM r WHERE (x = 1 OR y = 2) AND z = 3").value();
+  EXPECT_EQ(ToSql(q), "SELECT a FROM r WHERE (x = 1 OR y = 2) AND z = 3");
+}
+
+TEST(PrinterTest, PredicatePrinting) {
+  auto p = Predicate::Between({"", "x"}, Literal::Int(1), Literal::Int(2));
+  EXPECT_EQ(ToSql(*p), "x BETWEEN 1 AND 2");
+}
+
+TEST(PrinterTest, DoubleCanonicalForm) {
+  EXPECT_EQ(Literal::Double(2.0).ToSql(), "2.0");  // lexes as float
+  EXPECT_EQ(Literal::Double(0.5).ToSql(), "0.5");
+  // Round-trip exactness.
+  double v = 0.1 + 0.2;
+  auto lit = Literal::Double(v);
+  auto parsed = Parse("SELECT a FROM r WHERE x = " + lit.ToSql()).value();
+  EXPECT_EQ(parsed.where->literal.double_value(), v);
+}
+
+TEST(LiteralTest, CanonicalBytesInjective) {
+  EXPECT_NE(Literal::Int(5).CanonicalBytes(), Literal::String("5").CanonicalBytes());
+  EXPECT_NE(Literal::Int(5).CanonicalBytes(), Literal::Double(5).CanonicalBytes());
+  EXPECT_EQ(Literal::Int(5).CanonicalBytes(), Literal::Int(5).CanonicalBytes());
+}
+
+TEST(LiteralTest, CanonicalBytesRoundTrip) {
+  for (const Literal& lit :
+       {Literal::Int(-42), Literal::Double(3.25), Literal::String("a'b")}) {
+    auto back = Literal::FromCanonicalBytes(lit.CanonicalBytes());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, lit);
+  }
+  EXPECT_FALSE(Literal::FromCanonicalBytes("junk").ok());
+  EXPECT_FALSE(Literal::FromCanonicalBytes("x:1").ok());
+}
+
+}  // namespace
+}  // namespace dpe::sql

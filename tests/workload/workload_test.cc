@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/executor.h"
+#include "sql/parser.h"
+#include "sql/printer.h"
+#include "workload/scenarios.h"
+
+namespace dpe::workload {
+namespace {
+
+TEST(SchemaGenTest, ShopSpecShape) {
+  WorkloadSpec spec = MakeShopSpec();
+  EXPECT_EQ(spec.relations.size(), 3u);
+  EXPECT_NE(spec.Find("customers"), nullptr);
+  EXPECT_NE(spec.Find("orders"), nullptr);
+  EXPECT_NE(spec.Find("products"), nullptr);
+  EXPECT_EQ(spec.Find("nope"), nullptr);
+  EXPECT_EQ(spec.joins.size(), 2u);
+  const RelationSpec* orders = spec.Find("orders");
+  EXPECT_NE(orders->Find("quantity"), nullptr);
+  EXPECT_TRUE(orders->Find("quantity")->aggregatable);
+}
+
+TEST(SchemaGenTest, DomainsCoverAllAttributes) {
+  WorkloadSpec spec = MakeShopSpec();
+  db::DomainRegistry domains = spec.Domains();
+  for (const auto& rel : spec.relations) {
+    for (const auto& attr : rel.attrs) {
+      EXPECT_TRUE(domains.Has(rel.name + "." + attr.name));
+    }
+  }
+}
+
+TEST(DataGenTest, PopulatesAllRelationsDeterministically) {
+  WorkloadSpec spec = MakeShopSpec();
+  DataGenOptions opt;
+  opt.seed = 7;
+  opt.rows_per_relation = 50;
+  auto db1 = GenerateData(spec, opt).value();
+  auto db2 = GenerateData(spec, opt).value();
+  for (const auto& rel : spec.relations) {
+    auto t1 = db1.GetTable(rel.name).value();
+    auto t2 = db2.GetTable(rel.name).value();
+    EXPECT_EQ(t1->row_count(), 50u);
+    EXPECT_EQ(t1->RowKeySet(), t2->RowKeySet());
+  }
+}
+
+TEST(DataGenTest, ValuesRespectDomains) {
+  WorkloadSpec spec = MakeShopSpec();
+  DataGenOptions opt;
+  opt.rows_per_relation = 100;
+  auto db = GenerateData(spec, opt).value();
+  const RelationSpec* customers = spec.Find("customers");
+  auto table = db.GetTable("customers").value();
+  auto age_idx = table->schema().Find("age").value();
+  const AttrSpec* age = customers->Find("age");
+  for (const auto& row : table->rows()) {
+    EXPECT_GE(row[age_idx].int_value(), age->min_i);
+    EXPECT_LE(row[age_idx].int_value(), age->max_i);
+  }
+}
+
+TEST(LogGenTest, GeneratesRequestedCountDeterministically) {
+  WorkloadSpec spec = MakeShopSpec();
+  LogGenOptions opt;
+  opt.seed = 11;
+  opt.count = 60;
+  auto log1 = GenerateLog(spec, opt).value();
+  auto log2 = GenerateLog(spec, opt).value();
+  ASSERT_EQ(log1.size(), 60u);
+  for (size_t i = 0; i < log1.size(); ++i) {
+    EXPECT_EQ(sql::ToSql(log1[i]), sql::ToSql(log2[i]));
+  }
+}
+
+TEST(LogGenTest, QueriesCoverTemplateVariety) {
+  WorkloadSpec spec = MakeShopSpec();
+  LogGenOptions opt;
+  opt.seed = 13;
+  opt.count = 150;
+  auto log = GenerateLog(spec, opt).value();
+  bool has_where = false, has_join = false, has_agg = false, has_group = false,
+       has_in = false, has_between = false, has_not = false, has_limit = false;
+  for (const auto& q : log) {
+    std::string text = sql::ToSql(q);
+    has_where |= q.where != nullptr;
+    has_join |= !q.joins.empty();
+    has_group |= !q.group_by.empty();
+    has_limit |= q.limit.has_value();
+    has_in |= text.find(" IN (") != std::string::npos;
+    has_between |= text.find(" BETWEEN ") != std::string::npos;
+    has_not |= text.find("NOT ") != std::string::npos;
+    for (const auto& item : q.items) has_agg |= item.agg != sql::AggFn::kNone;
+  }
+  EXPECT_TRUE(has_where);
+  EXPECT_TRUE(has_join);
+  EXPECT_TRUE(has_agg);
+  EXPECT_TRUE(has_group);
+  EXPECT_TRUE(has_in);
+  EXPECT_TRUE(has_between);
+  EXPECT_TRUE(has_not);
+  EXPECT_TRUE(has_limit);
+}
+
+TEST(LogGenTest, TemplateTogglesWork) {
+  WorkloadSpec spec = MakeShopSpec();
+  LogGenOptions opt;
+  opt.count = 80;
+  opt.include_joins = false;
+  opt.include_aggregates = false;
+  auto log = GenerateLog(spec, opt).value();
+  for (const auto& q : log) {
+    EXPECT_TRUE(q.joins.empty());
+    for (const auto& item : q.items) EXPECT_EQ(item.agg, sql::AggFn::kNone);
+  }
+}
+
+TEST(LogGenTest, ConstantsComeFromSmallPools) {
+  WorkloadSpec spec = MakeShopSpec();
+  LogGenOptions opt;
+  opt.seed = 17;
+  opt.count = 200;
+  opt.constant_pool_size = 5;
+  auto log = GenerateLog(spec, opt).value();
+  // Count distinct int constants in point queries on customers.cid: bounded
+  // by the pool size.
+  std::set<int64_t> cids;
+  for (const auto& q : log) {
+    if (q.where && q.where->kind == sql::Predicate::Kind::kCompare &&
+        q.from.name == "customers" && q.where->column.name == "cid" &&
+        q.where->literal.kind() == sql::Literal::Kind::kInt) {
+      cids.insert(q.where->literal.int_value());
+    }
+  }
+  EXPECT_LE(cids.size(), 5u);
+}
+
+TEST(ScenarioTest, ShopScenarioQueriesExecute) {
+  ScenarioOptions opt;
+  opt.seed = 21;
+  opt.rows_per_relation = 40;
+  opt.log_size = 50;
+  auto s = MakeShopScenario(opt).value();
+  for (const auto& q : s.log) {
+    auto r = db::Execute(s.database, q);
+    EXPECT_TRUE(r.ok()) << sql::ToSql(q) << " -> " << r.status();
+  }
+}
+
+TEST(ScenarioTest, SkyServerScenarioQueriesExecute) {
+  ScenarioOptions opt;
+  opt.seed = 22;
+  opt.rows_per_relation = 40;
+  opt.log_size = 40;
+  auto s = MakeSkyServerScenario(opt).value();
+  EXPECT_EQ(s.spec.name, "skyserver");
+  for (const auto& q : s.log) {
+    auto r = db::Execute(s.database, q);
+    EXPECT_TRUE(r.ok()) << sql::ToSql(q) << " -> " << r.status();
+  }
+}
+
+TEST(ScenarioTest, GeneratedQueriesReparse) {
+  ScenarioOptions opt;
+  opt.log_size = 60;
+  auto s = MakeShopScenario(opt).value();
+  for (const auto& q : s.log) {
+    auto round = sql::Parse(sql::ToSql(q));
+    ASSERT_TRUE(round.ok());
+    EXPECT_TRUE(q.Equals(*round)) << sql::ToSql(q);
+  }
+}
+
+}  // namespace
+}  // namespace dpe::workload
