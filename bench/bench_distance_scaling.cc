@@ -5,13 +5,19 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "distance/matrix.h"
+#include "engine/matrix_builder.h"
 
 using namespace dpe;
 using namespace dpe::core;
 
 int main() {
   std::printf("== P3: distance-matrix computation, plain vs encrypted ==\n\n");
+
+  // Both sides go through the engine's blocked parallel builder (the bit-
+  // identical replacement for the serial DistanceMatrix::Compute).
+  engine::ThreadPool pool;
+  engine::MatrixBuilder builder(&pool);
+  std::printf("(engine matrix builder, %zu threads)\n\n", pool.thread_count());
   std::printf("%-12s %6s %12s %12s %8s\n", "measure", "n", "plain ms",
               "encrypted ms", "ratio");
 
@@ -41,12 +47,11 @@ int main() {
       }
 
       double plain_ms = bench::TimeMs([&] {
-        DPE_BENCH_CHECK(
-            distance::DistanceMatrix::Compute(s.log, *measure_plain, plain_ctx));
+        DPE_BENCH_CHECK(builder.Build(s.log, *measure_plain, plain_ctx));
       });
       double enc_ms = bench::TimeMs([&] {
-        DPE_BENCH_CHECK(distance::DistanceMatrix::Compute(
-            artifacts->encrypted_log, *measure_enc, enc_ctx));
+        DPE_BENCH_CHECK(
+            builder.Build(artifacts->encrypted_log, *measure_enc, enc_ctx));
       });
       std::printf("%-12s %6zu %12.1f %12.1f %8.2f\n", MeasureKindName(kind), n,
                   plain_ms, enc_ms, enc_ms / (plain_ms > 0 ? plain_ms : 1e-9));

@@ -13,8 +13,7 @@
 #include <cstdio>
 
 #include "core/dpe.h"
-#include "distance/matrix.h"
-#include "mining/kmedoids.h"
+#include "engine/engine.h"
 #include "mining/partition.h"
 #include "sql/printer.h"
 #include "workload/scenarios.h"
@@ -45,27 +44,25 @@ int main() {
               artifacts.encrypted_db->table_count());
 
   // ---------------- provider (no keys!) ----------------
+  // The provider runs the batch mining engine over the encrypted artifacts:
+  // parallel blocked distance-matrix build, measure selected by name.
   distance::MeasureContext provider_ctx;
   provider_ctx.database = &*artifacts.encrypted_db;
   provider_ctx.exec_options = &artifacts.provider_options;
-  auto measure = MakeMeasure(MeasureKind::kResult);
-  auto enc_matrix = distance::DistanceMatrix::Compute(artifacts.encrypted_log,
-                                                      *measure, provider_ctx)
-                        .value();
+  engine::Engine provider(provider_ctx);
+  provider.SetLog(artifacts.encrypted_log);
   mining::KMedoidsOptions kopt;
   kopt.k = 4;
-  auto provider_clusters = mining::KMedoids(enc_matrix, kopt).value();
-  std::printf("provider: executed %zu encrypted queries, clustered into %u "
-              "groups (k-medoids)\n",
-              artifacts.encrypted_log.size(), 4u);
+  auto provider_clusters = provider.RunKMedoids("result", kopt).value();
+  std::printf("provider: executed %zu encrypted queries (%zu-thread engine), "
+              "clustered into %u groups (k-medoids)\n",
+              artifacts.encrypted_log.size(), provider.pool().thread_count(),
+              4u);
 
   // ---------------- owner verifies ----------------
-  distance::MeasureContext owner_ctx;
-  owner_ctx.database = &s.database;
-  auto owner_measure = MakeMeasure(MeasureKind::kResult);
-  auto plain_matrix =
-      distance::DistanceMatrix::Compute(s.log, *owner_measure, owner_ctx).value();
-  auto owner_clusters = mining::KMedoids(plain_matrix, kopt).value();
+  engine::Engine owner(s.Context());
+  owner.SetLog(s.log);
+  auto owner_clusters = owner.RunKMedoids("result", kopt).value();
 
   bool same =
       mining::SamePartition(owner_clusters.labels, provider_clusters.labels);

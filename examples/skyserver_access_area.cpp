@@ -7,9 +7,7 @@
 #include <cstdio>
 
 #include "core/dpe.h"
-#include "distance/matrix.h"
-#include "mining/dbscan.h"
-#include "mining/outlier.h"
+#include "engine/engine.h"
 #include "sql/printer.h"
 #include "workload/scenarios.h"
 
@@ -34,39 +32,43 @@ int main() {
               "NO database content\n",
               artifacts.encrypted_domains->all().size());
 
-  // Provider: DBSCAN over access-area distances on ciphertexts.
+  // Provider: the batch mining engine over ciphertexts — DBSCAN and the
+  // outlier report share one memoized distance matrix (the second Run* call
+  // is served entirely from the engine's distance cache).
   distance::MeasureContext provider_ctx;
   provider_ctx.domains = &*artifacts.encrypted_domains;
-  auto measure = MakeMeasure(MeasureKind::kAccessArea);
-  auto enc_matrix = distance::DistanceMatrix::Compute(artifacts.encrypted_log,
-                                                      *measure, provider_ctx)
-                        .value();
+  engine::Engine provider(provider_ctx);
+  provider.SetLog(artifacts.encrypted_log);
+
   mining::DbscanOptions dopt;
   dopt.epsilon = 0.4;
   dopt.min_points = 3;
-  auto provider_result = mining::Dbscan(enc_matrix, dopt).value();
+  auto provider_result = provider.RunDbscan("access-area", dopt).value();
 
   mining::OutlierOptions oopt;
   oopt.p = 0.9;
   oopt.d = 0.75;
   auto provider_outliers =
-      mining::DistanceBasedOutliers(enc_matrix, oopt).value();
+      provider.RunOutlierKnn("access-area", oopt, 3).value();
 
   std::printf("provider: DBSCAN found %zu interest clusters, %zu unusual "
-              "queries (DB(p,D) outliers)\n",
-              provider_result.cluster_count, provider_outliers.outliers.size());
+              "queries (DB(p,D) outliers); %zu/%zu distances from cache\n",
+              provider_result.cluster_count,
+              provider_outliers.outliers.outliers.size(),
+              provider.cache_stats().hits,
+              provider.cache_stats().hits + provider.cache_stats().misses);
 
-  // Owner: verify against plaintext mining.
+  // Owner: verify against plaintext mining through the same engine API.
   distance::MeasureContext owner_ctx;
   owner_ctx.domains = &s.domains;
-  auto owner_measure = MakeMeasure(MeasureKind::kAccessArea);
-  auto plain_matrix =
-      distance::DistanceMatrix::Compute(s.log, *owner_measure, owner_ctx).value();
-  auto owner_result = mining::Dbscan(plain_matrix, dopt).value();
-  auto owner_outliers = mining::DistanceBasedOutliers(plain_matrix, oopt).value();
+  engine::Engine owner(owner_ctx);
+  owner.SetLog(s.log);
+  auto owner_result = owner.RunDbscan("access-area", dopt).value();
+  auto owner_outliers = owner.RunOutlierKnn("access-area", oopt, 3).value();
 
   bool clusters_same = owner_result.labels == provider_result.labels;
-  bool outliers_same = owner_outliers.outliers == provider_outliers.outliers;
+  bool outliers_same =
+      owner_outliers.outliers.outliers == provider_outliers.outliers.outliers;
   std::printf("owner: clusters identical: %s, outliers identical: %s\n",
               clusters_same ? "YES" : "NO", outliers_same ? "YES" : "NO");
 

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verify (build + full ctest) plus an ASan/UBSan build of the engine
+# and distance suites (the layers with new concurrency). CI entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== sanitizers: asan+ubsan on engine/distance tests =="
+cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
+      -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j"$JOBS" \
+      --target dpe_engine_tests dpe_distance_tests
+ctest --test-dir build-asan --output-on-failure -R '^(engine|distance)$'
+
+echo "== check.sh: all green =="

@@ -45,15 +45,9 @@ std::unique_ptr<distance::QueryDistanceMeasure> MakeMeasure(MeasureKind kind) {
       return std::make_unique<distance::StructureDistance>();
     case MeasureKind::kResult:
       return std::make_unique<distance::ResultDistance>();
-    case MeasureKind::kAccessArea: {
-      distance::AccessAreaDistance::Options options;
-      // DPE schemes compute access areas with the unbounded universe, which
-      // commutes with both DET (points) and OPE (ranges) constants; see
-      // DESIGN.md and access_area.h.
-      options.extraction.include_select_clause = false;
-      options.extraction.clip_to_domain = false;
-      return std::make_unique<distance::AccessAreaDistance>(options);
-    }
+    case MeasureKind::kAccessArea:
+      return std::make_unique<distance::AccessAreaDistance>(
+          distance::AccessAreaDistance::CanonicalDpeOptions());
   }
   return nullptr;
 }

@@ -27,6 +27,18 @@ class AccessAreaDistance final : public QueryDistanceMeasure {
   AccessAreaDistance() = default;
   explicit AccessAreaDistance(const Options& options) : options_(options) {}
 
+  /// The canonical DPE extraction options: access areas over the unbounded
+  /// universe, which commutes with both DET (points) and OPE (ranges)
+  /// constants — the configuration Table I's access-area row is proved for.
+  /// Both core::MakeMeasure and the engine's measure registry build from
+  /// this, so owner and provider always agree.
+  static Options CanonicalDpeOptions() {
+    Options options;
+    options.extraction.include_select_clause = false;
+    options.extraction.clip_to_domain = false;
+    return options;
+  }
+
   std::string Name() const override { return "access-area"; }
   SharedInformation Shared() const override { return {true, false, true}; }
   Result<double> Distance(const sql::SelectQuery& q1, const sql::SelectQuery& q2,

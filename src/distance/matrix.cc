@@ -1,8 +1,32 @@
 #include "distance/matrix.h"
 
 #include <cmath>
+#include <string>
 
 namespace dpe::distance {
+
+namespace {
+
+Status IndexError(const char* what, size_t i, size_t j, size_t n) {
+  return Status::OutOfRange(std::string(what) + ": (" + std::to_string(i) +
+                            ", " + std::to_string(j) + ") outside " +
+                            std::to_string(n) + " x " + std::to_string(n) +
+                            " matrix");
+}
+
+}  // namespace
+
+Result<double> DistanceMatrix::At(size_t i, size_t j) const {
+  if (i >= n_ || j >= n_) return IndexError("DistanceMatrix::At", i, j, n_);
+  return cells_[i * n_ + j];
+}
+
+Status DistanceMatrix::Set(size_t i, size_t j, double d) {
+  if (i >= n_ || j >= n_) return IndexError("DistanceMatrix::Set", i, j, n_);
+  cells_[i * n_ + j] = d;
+  cells_[j * n_ + i] = d;
+  return Status::OK();
+}
 
 Result<double> DistanceMatrix::MaxAbsDifference(const DistanceMatrix& a,
                                                 const DistanceMatrix& b) {
@@ -19,6 +43,7 @@ Result<double> DistanceMatrix::MaxAbsDifference(const DistanceMatrix& a,
 Result<DistanceMatrix> DistanceMatrix::Compute(
     const std::vector<sql::SelectQuery>& queries,
     const QueryDistanceMeasure& measure, const MeasureContext& context) {
+  DPE_RETURN_NOT_OK(measure.Prepare(queries, context));
   DistanceMatrix m(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     for (size_t j = i + 1; j < queries.size(); ++j) {

@@ -4,6 +4,7 @@
 #ifndef DPE_DISTANCE_MATRIX_H_
 #define DPE_DISTANCE_MATRIX_H_
 
+#include <cassert>
 #include <vector>
 
 #include "distance/measure.h"
@@ -11,23 +12,38 @@
 namespace dpe::distance {
 
 /// Symmetric n x n matrix with zero diagonal.
+///
+/// `at`/`set` are the unchecked hot-path accessors (debug-asserted only);
+/// `At`/`Set` are the checked variants for callers handling untrusted
+/// indices.
 class DistanceMatrix {
  public:
   DistanceMatrix() = default;
   explicit DistanceMatrix(size_t n) : n_(n), cells_(n * n, 0.0) {}
 
   size_t size() const { return n_; }
-  double at(size_t i, size_t j) const { return cells_[i * n_ + j]; }
+  double at(size_t i, size_t j) const {
+    assert(i < n_ && j < n_ && "DistanceMatrix::at index out of range");
+    return cells_[i * n_ + j];
+  }
   void set(size_t i, size_t j, double d) {
+    assert(i < n_ && j < n_ && "DistanceMatrix::set index out of range");
     cells_[i * n_ + j] = d;
     cells_[j * n_ + i] = d;
   }
+
+  /// Bounds-checked read.
+  Result<double> At(size_t i, size_t j) const;
+  /// Bounds-checked symmetric write.
+  Status Set(size_t i, size_t j, double d);
 
   /// Max |a - b| over all cells; matrices must have equal size.
   static Result<double> MaxAbsDifference(const DistanceMatrix& a,
                                          const DistanceMatrix& b);
 
-  /// Computes all pairwise distances of `queries` under `measure`.
+  /// Computes all pairwise distances of `queries` under `measure`, serially.
+  /// This is the reference implementation the engine's parallel builder is
+  /// tested bit-identical against.
   static Result<DistanceMatrix> Compute(
       const std::vector<sql::SelectQuery>& queries,
       const QueryDistanceMeasure& measure, const MeasureContext& context);

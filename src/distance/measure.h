@@ -11,6 +11,7 @@
 #define DPE_DISTANCE_MEASURE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "db/access_area.h"
@@ -46,6 +47,18 @@ class QueryDistanceMeasure {
 
   /// Which Table-I shared information this measure needs.
   virtual SharedInformation Shared() const = 0;
+
+  /// Optional per-log precomputation before many Distance calls (e.g. the
+  /// result measure executes each query once here instead of lazily).
+  /// Called single-threaded. Contract: after a successful Prepare over
+  /// `queries`, Distance must be safe to call concurrently for pairs drawn
+  /// from `queries` — the engine's parallel matrix builder relies on this.
+  virtual Status Prepare(const std::vector<sql::SelectQuery>& queries,
+                         const MeasureContext& context) const {
+    (void)queries;
+    (void)context;
+    return Status::OK();
+  }
 
   /// d(q1, q2) in [0, 1].
   virtual Result<double> Distance(const sql::SelectQuery& q1,

@@ -24,6 +24,20 @@ Result<const std::set<std::string>*> ResultDistance::TupleSetOf(
   return &inserted->second;
 }
 
+Status ResultDistance::Prepare(const std::vector<sql::SelectQuery>& queries,
+                               const MeasureContext& context) const {
+  if (context.database == nullptr) {
+    return Status::InvalidArgument(
+        "result distance requires the database content (Table I)");
+  }
+  for (const sql::SelectQuery& q : queries) {
+    DPE_ASSIGN_OR_RETURN(const std::set<std::string>* tuples,
+                         TupleSetOf(q, context));
+    (void)tuples;
+  }
+  return Status::OK();
+}
+
 Result<double> ResultDistance::Distance(const sql::SelectQuery& q1,
                                         const sql::SelectQuery& q2,
                                         const MeasureContext& context) const {

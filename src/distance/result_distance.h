@@ -17,6 +17,10 @@ class ResultDistance final : public QueryDistanceMeasure {
  public:
   std::string Name() const override { return "result"; }
   SharedInformation Shared() const override { return {true, true, false}; }
+  /// Executes every query once, filling the tuple-set cache; afterwards
+  /// Distance over prepared queries is read-only and thread-safe.
+  Status Prepare(const std::vector<sql::SelectQuery>& queries,
+                 const MeasureContext& context) const override;
   Result<double> Distance(const sql::SelectQuery& q1, const sql::SelectQuery& q2,
                           const MeasureContext& context) const override;
 

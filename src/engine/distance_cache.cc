@@ -1,0 +1,47 @@
+#include "engine/distance_cache.h"
+
+#include <utility>
+
+namespace dpe::engine {
+
+std::optional<double> DistanceCache::MeasureView::Lookup(uint32_t i,
+                                                         uint32_t j) {
+  if (entries_ != nullptr) {
+    auto it = entries_->find(Key(i, j));
+    if (it != entries_->end()) {
+      ++stats_->hits;
+      return it->second;
+    }
+  }
+  ++stats_->misses;
+  return std::nullopt;
+}
+
+DistanceCache::MeasureView DistanceCache::ViewFor(const std::string& measure) {
+  auto it = by_measure_.find(measure);
+  return MeasureView(&stats_,
+                     it != by_measure_.end() ? &it->second : nullptr);
+}
+
+std::optional<double> DistanceCache::Lookup(const std::string& measure,
+                                            uint32_t i, uint32_t j) {
+  return ViewFor(measure).Lookup(i, j);
+}
+
+void DistanceCache::Insert(const std::string& measure, uint32_t i, uint32_t j,
+                           double d) {
+  by_measure_[measure][Key(i, j)] = d;
+}
+
+size_t DistanceCache::size() const {
+  size_t total = 0;
+  for (const auto& [measure, entries] : by_measure_) total += entries.size();
+  return total;
+}
+
+void DistanceCache::Clear() {
+  by_measure_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace dpe::engine

@@ -1,0 +1,72 @@
+// Memoizing distance cache keyed on (measure, i, j), where i/j are stable
+// query ids assigned by the engine in insertion order. Incremental
+// workloads — append a few queries, rebuild the matrix — then recompute only
+// the new rows instead of all O(n^2) pairs.
+
+#ifndef DPE_ENGINE_DISTANCE_CACHE_H_
+#define DPE_ENGINE_DISTANCE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace dpe::engine {
+
+class DistanceCache {
+ public:
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  /// Per-measure read handle: resolves the measure's entry map once, so the
+  /// n(n-1)/2-pair scan of a matrix rebuild does not re-find the measure
+  /// name per pair. Stays valid across Insert (map nodes are stable); a new
+  /// view must be taken after Clear().
+  class MeasureView {
+   public:
+    /// Cached d(i, j), if present. Counts a hit or a miss on the owning
+    /// cache's stats. (i, j) is unordered.
+    std::optional<double> Lookup(uint32_t i, uint32_t j);
+
+   private:
+    friend class DistanceCache;
+    MeasureView(Stats* stats, const std::unordered_map<uint64_t, double>* entries)
+        : stats_(stats), entries_(entries) {}
+    Stats* stats_;
+    const std::unordered_map<uint64_t, double>* entries_;  ///< null: empty
+  };
+
+  /// Read handle for `measure` (valid even if nothing is cached yet).
+  MeasureView ViewFor(const std::string& measure);
+
+  /// Cached d(i, j) under `measure`, if present. Counts a hit or a miss.
+  /// (i, j) is unordered: Lookup(m, i, j) == Lookup(m, j, i).
+  std::optional<double> Lookup(const std::string& measure, uint32_t i,
+                               uint32_t j);
+
+  /// Stores d(i, j); overwrites silently (distances are deterministic, so a
+  /// rewrite can only store the same value).
+  void Insert(const std::string& measure, uint32_t i, uint32_t j, double d);
+
+  size_t size() const;
+  const Stats& stats() const { return stats_; }
+
+  void Clear();
+
+ private:
+  static uint64_t Key(uint32_t i, uint32_t j) {
+    if (i > j) std::swap(i, j);
+    return (static_cast<uint64_t>(i) << 32) | j;
+  }
+
+  std::map<std::string, std::unordered_map<uint64_t, double>> by_measure_;
+  Stats stats_;
+};
+
+}  // namespace dpe::engine
+
+#endif  // DPE_ENGINE_DISTANCE_CACHE_H_

@@ -1,0 +1,117 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+namespace dpe::engine {
+
+Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
+    : options_(options),
+      context_(context),
+      pool_(options.threads),
+      builder_(&pool_, MatrixBuilderOptions{options.block}) {}
+
+void Engine::SetLog(std::vector<sql::SelectQuery> log) {
+  queries_ = std::move(log);
+  cache_.Clear();
+}
+
+void Engine::AddQuery(sql::SelectQuery query) {
+  queries_.push_back(std::move(query));
+}
+
+Result<const distance::QueryDistanceMeasure*> Engine::MeasureFor(
+    const std::string& name) {
+  auto it = measures_.find(name);
+  if (it == measures_.end()) {
+    DPE_ASSIGN_OR_RETURN(auto measure, registry_.Create(name));
+    it = measures_.emplace(name, std::move(measure)).first;
+  }
+  return it->second.get();
+}
+
+Result<distance::DistanceMatrix> Engine::BuildMatrix(
+    const std::string& measure_name) {
+  DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
+                       MeasureFor(measure_name));
+  const size_t n = queries_.size();
+
+  if (!options_.enable_cache) {
+    return builder_.Build(queries_, *measure, context_);
+  }
+
+  // Split the upper triangle into cached and missing pairs. The view
+  // resolves the measure's entry map once for the whole scan.
+  distance::DistanceMatrix m(n);
+  DistanceCache::MeasureView view = cache_.ViewFor(measure_name);
+  std::vector<std::pair<size_t, size_t>> missing;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (auto d = view.Lookup(static_cast<uint32_t>(i),
+                               static_cast<uint32_t>(j))) {
+        m.set(i, j, *d);
+      } else {
+        missing.emplace_back(i, j);
+      }
+    }
+  }
+
+  if (missing.size() == n * (n - 1) / 2) {
+    // Cold cache: use the blocked full build, then memoize everything.
+    DPE_ASSIGN_OR_RETURN(m, builder_.Build(queries_, *measure, context_));
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        cache_.Insert(measure_name, static_cast<uint32_t>(i),
+                      static_cast<uint32_t>(j), m.at(i, j));
+      }
+    }
+    return m;
+  }
+
+  if (!missing.empty()) {
+    DPE_ASSIGN_OR_RETURN(
+        std::vector<double> distances,
+        builder_.ComputePairs(queries_, missing, *measure, context_));
+    for (size_t p = 0; p < missing.size(); ++p) {
+      const auto [i, j] = missing[p];
+      m.set(i, j, distances[p]);
+      cache_.Insert(measure_name, static_cast<uint32_t>(i),
+                    static_cast<uint32_t>(j), distances[p]);
+    }
+  }
+  return m;
+}
+
+Result<mining::KMedoidsResult> Engine::RunKMedoids(
+    const std::string& measure, const mining::KMedoidsOptions& options) {
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
+  return mining::KMedoids(m, options);
+}
+
+Result<mining::DbscanResult> Engine::RunDbscan(
+    const std::string& measure, const mining::DbscanOptions& options) {
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
+  return mining::Dbscan(m, options);
+}
+
+Result<mining::Dendrogram> Engine::RunHierarchical(const std::string& measure) {
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
+  return mining::CompleteLink(m);
+}
+
+Result<OutlierKnnReport> Engine::RunOutlierKnn(
+    const std::string& measure, const mining::OutlierOptions& options,
+    size_t k) {
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
+  OutlierKnnReport report;
+  DPE_ASSIGN_OR_RETURN(report.outliers,
+                       mining::DistanceBasedOutliers(m, options));
+  report.neighbors.reserve(report.outliers.outliers.size());
+  for (size_t index : report.outliers.outliers) {
+    DPE_ASSIGN_OR_RETURN(std::vector<size_t> nn,
+                         mining::NearestNeighbors(m, index, k));
+    report.neighbors.push_back(std::move(nn));
+  }
+  return report;
+}
+
+}  // namespace dpe::engine

@@ -1,0 +1,113 @@
+// The batch mining engine — the facade every scaling path goes through.
+//
+//   Engine e(context);                 // owns a thread pool + distance cache
+//   e.SetLog(scenario.log);
+//   auto m   = e.BuildMatrix("token");           // parallel, blocked, cached
+//   auto km  = e.RunKMedoids("token", {.k = 4});
+//   e.AddQuery(q);                               // incremental: only the new
+//   auto m2  = e.BuildMatrix("token");           // row is recomputed
+//
+// The engine works identically on the owner side (plaintext context) and the
+// provider side (encrypted artifacts in the context) — exactly like the
+// underlying measures.
+
+#ifndef DPE_ENGINE_ENGINE_H_
+#define DPE_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distance/matrix.h"
+#include "engine/distance_cache.h"
+#include "engine/matrix_builder.h"
+#include "engine/measure_registry.h"
+#include "engine/thread_pool.h"
+#include "mining/dbscan.h"
+#include "mining/hierarchical.h"
+#include "mining/kmedoids.h"
+#include "mining/knn.h"
+#include "mining/outlier.h"
+
+namespace dpe::engine {
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  size_t threads = 0;
+  /// Tile edge of the blocked matrix build.
+  size_t block = 64;
+  /// Memoize distances across BuildMatrix / Run* calls and query insertions.
+  bool enable_cache = true;
+};
+
+/// DB(p, D) outliers plus the k nearest neighbours of each outlier — the
+/// "what is this unusual query close to?" report.
+struct OutlierKnnReport {
+  mining::OutlierResult outliers;
+  /// neighbors[r] = the k nearest neighbours of outliers.outliers[r].
+  std::vector<std::vector<size_t>> neighbors;
+};
+
+class Engine {
+ public:
+  /// `context` is captured by value (it only holds non-owning pointers; the
+  /// pointees must outlive the engine).
+  explicit Engine(const distance::MeasureContext& context,
+                  EngineOptions options = {});
+
+  /// Measure name -> factory table; custom measures register here.
+  MeasureRegistry& registry() { return registry_; }
+  const ThreadPool& pool() const { return pool_; }
+
+  // -- Log management --------------------------------------------------------
+
+  /// Replaces the query log (drops the cache: ids restart from 0).
+  void SetLog(std::vector<sql::SelectQuery> log);
+  /// Appends one query, keeping all cached pairwise distances valid.
+  void AddQuery(sql::SelectQuery query);
+  size_t log_size() const { return queries_.size(); }
+  const std::vector<sql::SelectQuery>& log() const { return queries_; }
+
+  // -- Batch mining API ------------------------------------------------------
+
+  /// Pairwise matrix of the current log under the named measure. Cached
+  /// pairs are reused; missing pairs are computed in parallel.
+  Result<distance::DistanceMatrix> BuildMatrix(const std::string& measure);
+
+  Result<mining::KMedoidsResult> RunKMedoids(
+      const std::string& measure, const mining::KMedoidsOptions& options);
+  Result<mining::DbscanResult> RunDbscan(const std::string& measure,
+                                         const mining::DbscanOptions& options);
+  Result<mining::Dendrogram> RunHierarchical(const std::string& measure);
+  Result<OutlierKnnReport> RunOutlierKnn(const std::string& measure,
+                                         const mining::OutlierOptions& options,
+                                         size_t k);
+
+  // -- Cache introspection ---------------------------------------------------
+
+  const DistanceCache::Stats& cache_stats() const { return cache_.stats(); }
+  size_t cache_size() const { return cache_.size(); }
+  void ClearCache() { cache_.Clear(); }
+
+ private:
+  /// Instantiates (once) and returns the named measure. Instances are kept
+  /// alive for the engine's lifetime so measure-internal memoization (the
+  /// result measure's tuple-set cache) spans calls.
+  Result<const distance::QueryDistanceMeasure*> MeasureFor(
+      const std::string& name);
+
+  EngineOptions options_;
+  distance::MeasureContext context_;
+  MeasureRegistry registry_ = MeasureRegistry::WithBuiltins();
+  ThreadPool pool_;
+  MatrixBuilder builder_;
+  DistanceCache cache_;
+  std::vector<sql::SelectQuery> queries_;
+  std::map<std::string, std::unique_ptr<distance::QueryDistanceMeasure>>
+      measures_;
+};
+
+}  // namespace dpe::engine
+
+#endif  // DPE_ENGINE_ENGINE_H_

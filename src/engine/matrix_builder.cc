@@ -1,0 +1,115 @@
+#include "engine/matrix_builder.h"
+
+#include <algorithm>
+
+namespace dpe::engine {
+
+namespace {
+
+/// Computes the cells of one upper-triangle tile: rows [row_begin, row_end),
+/// columns [col_begin, col_end), cells with i < j only.
+Status ComputeTile(const std::vector<sql::SelectQuery>& queries,
+                   const distance::QueryDistanceMeasure& measure,
+                   const distance::MeasureContext& context, size_t row_begin,
+                   size_t row_end, size_t col_begin, size_t col_end,
+                   distance::DistanceMatrix& m) {
+  for (size_t i = row_begin; i < row_end; ++i) {
+    for (size_t j = std::max(i + 1, col_begin); j < col_end; ++j) {
+      DPE_ASSIGN_OR_RETURN(double d,
+                           measure.Distance(queries[i], queries[j], context));
+      m.set(i, j, d);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<distance::DistanceMatrix> MatrixBuilder::Build(
+    const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context) const {
+  DPE_RETURN_NOT_OK(measure.Prepare(queries, context));
+
+  const size_t n = queries.size();
+  const size_t block = options_.block;
+  distance::DistanceMatrix m(n);
+
+  // Upper-triangle tiles (bi <= bj). Cell (i, j), i < j, belongs to exactly
+  // one tile, and set() mirrors into (j, i) which no other tile touches.
+  std::vector<std::pair<size_t, size_t>> tiles;
+  const size_t block_count = (n + block - 1) / block;
+  for (size_t bi = 0; bi < block_count; ++bi) {
+    for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
+  }
+
+  std::vector<Status> tile_status(tiles.size());
+  auto run_tiles = [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const auto [bi, bj] = tiles[t];
+      tile_status[t] =
+          ComputeTile(queries, measure, context, bi * block,
+                      std::min(n, (bi + 1) * block), bj * block,
+                      std::min(n, (bj + 1) * block), m);
+    }
+  };
+
+  if (pool_ == nullptr) {
+    run_tiles(0, tiles.size());
+  } else {
+    ParallelFor(*pool_, 0, tiles.size(), 1, run_tiles);
+  }
+
+  // Deterministic error selection: first failing tile in schedule order.
+  for (const Status& s : tile_status) {
+    if (!s.ok()) return s;
+  }
+  return m;
+}
+
+Result<std::vector<double>> MatrixBuilder::ComputePairs(
+    const std::vector<sql::SelectQuery>& queries,
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context) const {
+  const size_t n = queries.size();
+  for (const auto& [i, j] : pairs) {
+    if (i >= n || j >= n) {
+      return Status::OutOfRange("pair index outside query log");
+    }
+  }
+  DPE_RETURN_NOT_OK(measure.Prepare(queries, context));
+
+  std::vector<double> out(pairs.size(), 0.0);
+  std::vector<Status> chunk_status;
+  const size_t grain = std::max<size_t>(1, options_.block * options_.block / 2);
+  const size_t chunk_count = pairs.empty() ? 0 : (pairs.size() + grain - 1) / grain;
+  chunk_status.assign(std::max<size_t>(chunk_count, 1), Status::OK());
+
+  auto run_chunk = [&](size_t begin, size_t end) {
+    const size_t chunk = begin / grain;
+    for (size_t p = begin; p < end; ++p) {
+      const auto [i, j] = pairs[p];
+      if (i == j) continue;  // zero diagonal by definition
+      auto d = measure.Distance(queries[i], queries[j], context);
+      if (!d.ok()) {
+        chunk_status[chunk] = d.status();
+        return;
+      }
+      out[p] = *d;
+    }
+  };
+
+  if (pool_ == nullptr) {
+    if (!pairs.empty()) run_chunk(0, pairs.size());
+  } else {
+    ParallelFor(*pool_, 0, pairs.size(), grain, run_chunk);
+  }
+
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+}  // namespace dpe::engine

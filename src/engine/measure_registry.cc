@@ -1,0 +1,67 @@
+#include "engine/measure_registry.h"
+
+#include "distance/access_area_distance.h"
+#include "distance/levenshtein_distance.h"
+#include "distance/result_distance.h"
+#include "distance/structure_distance.h"
+#include "distance/token_distance.h"
+
+namespace dpe::engine {
+
+MeasureRegistry MeasureRegistry::WithBuiltins() {
+  using distance::LevenshteinDistance;
+  MeasureRegistry r;
+  r.Register("token", [] {
+    return std::make_unique<distance::TokenDistance>();
+  });
+  r.Register("structure", [] {
+    return std::make_unique<distance::StructureDistance>();
+  });
+  r.Register("result", [] {
+    return std::make_unique<distance::ResultDistance>();
+  });
+  r.Register("access-area", [] {
+    return std::make_unique<distance::AccessAreaDistance>(
+        distance::AccessAreaDistance::CanonicalDpeOptions());
+  });
+  r.Register("levenshtein-token", [] {
+    return std::make_unique<LevenshteinDistance>(
+        LevenshteinDistance::Granularity::kTokenSequence);
+  });
+  r.Register("levenshtein-char", [] {
+    return std::make_unique<LevenshteinDistance>(
+        LevenshteinDistance::Granularity::kCharacter);
+  });
+  return r;
+}
+
+Status MeasureRegistry::Register(const std::string& name, Factory factory) {
+  if (name.empty()) return Status::InvalidArgument("empty measure name");
+  if (factory == nullptr) {
+    return Status::InvalidArgument("null factory for measure '" + name + "'");
+  }
+  auto [it, inserted] = factories_.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("measure '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<distance::QueryDistanceMeasure>> MeasureRegistry::Create(
+    const std::string& name) const {
+  auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    return Status::NotFound("no measure registered under '" + name + "'");
+  }
+  return it->second();
+}
+
+std::vector<std::string> MeasureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace dpe::engine

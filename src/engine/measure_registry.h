@@ -1,0 +1,48 @@
+// Name -> distance-measure factory registry, so workloads, benches and the
+// engine's batch API select measures dynamically ("result", "access-area",
+// ...) instead of hard-coding concrete types.
+
+#ifndef DPE_ENGINE_MEASURE_REGISTRY_H_
+#define DPE_ENGINE_MEASURE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "distance/measure.h"
+
+namespace dpe::engine {
+
+class MeasureRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<distance::QueryDistanceMeasure>()>;
+
+  /// Registry pre-populated with every built-in measure: the four Table-I
+  /// rows ("token", "structure", "result", "access-area") plus the Example-2
+  /// string measures ("levenshtein-token", "levenshtein-char").
+  static MeasureRegistry WithBuiltins();
+
+  /// Registers `factory` under `name`; AlreadyExists on duplicates.
+  Status Register(const std::string& name, Factory factory);
+
+  bool Contains(const std::string& name) const {
+    return factories_.count(name) > 0;
+  }
+
+  /// Fresh measure instance; NotFound for unregistered names.
+  Result<std::unique_ptr<distance::QueryDistanceMeasure>> Create(
+      const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace dpe::engine
+
+#endif  // DPE_ENGINE_MEASURE_REGISTRY_H_

@@ -1,0 +1,87 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace dpe::engine {
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t count = end - begin;
+  if (count <= grain || pool.thread_count() <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Per-call completion latch: ParallelFor only waits for its own chunks,
+  // so unrelated Submit() traffic on the pool cannot wedge it.
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = (count + grain - 1) / grain;
+
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+    const size_t chunk_end = std::min(end, chunk_begin + grain);
+    pool.Submit([&, chunk_begin, chunk_end] {
+      body(chunk_begin, chunk_end);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) done.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  done.wait(lock, [&] { return remaining == 0; });
+}
+
+}  // namespace dpe::engine

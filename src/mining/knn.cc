@@ -11,13 +11,17 @@ Result<std::vector<size_t>> NearestNeighbors(const distance::DistanceMatrix& m,
   const size_t n = m.size();
   if (i >= n) return Status::OutOfRange("point index out of range");
   if (k >= n) return Status::InvalidArgument("k must be < n");
+  // Snapshot row i once: the comparator then reads a flat array instead of
+  // doing 2-4 matrix accesses per comparison.
+  std::vector<double> row(n);
+  for (size_t j = 0; j < n; ++j) row[j] = m.at(i, j);
   std::vector<size_t> order;
   order.reserve(n - 1);
   for (size_t j = 0; j < n; ++j) {
     if (j != i) order.push_back(j);
   }
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    if (m.at(i, a) != m.at(i, b)) return m.at(i, a) < m.at(i, b);
+    if (row[a] != row[b]) return row[a] < row[b];
     return a < b;
   });
   order.resize(k);

@@ -2,6 +2,13 @@
 
 namespace dpe::workload {
 
+distance::MeasureContext Scenario::Context() const {
+  distance::MeasureContext context;
+  context.database = &database;
+  context.domains = &domains;
+  return context;
+}
+
 namespace {
 
 Result<Scenario> MakeScenario(WorkloadSpec spec, const ScenarioOptions& options) {

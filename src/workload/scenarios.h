@@ -6,6 +6,7 @@
 
 #include "db/access_area.h"
 #include "db/database.h"
+#include "distance/measure.h"
 #include "workload/data_gen.h"
 #include "workload/log_gen.h"
 #include "workload/schema_gen.h"
@@ -17,6 +18,11 @@ struct Scenario {
   db::Database database;
   db::DomainRegistry domains;
   std::vector<sql::SelectQuery> log;
+
+  /// Owner-side measure context (database + domains wired up) — what the
+  /// engine and every plaintext-side distance computation consume. The
+  /// returned context points into this scenario.
+  distance::MeasureContext Context() const;
 };
 
 struct ScenarioOptions {

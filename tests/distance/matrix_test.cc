@@ -1,0 +1,61 @@
+// Regression tests for the bounds-checked DistanceMatrix accessors: at/set
+// used to silently read/write out of bounds for any caller other than
+// MaxAbsDifference.
+
+#include "distance/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace dpe::distance {
+namespace {
+
+TEST(DistanceMatrixTest, CheckedAtReadsInRange) {
+  DistanceMatrix m(3);
+  m.set(0, 2, 0.25);
+  auto d = m.At(0, 2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0.25);
+  auto mirrored = m.At(2, 0);
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(*mirrored, 0.25);
+}
+
+TEST(DistanceMatrixTest, CheckedAtRejectsOutOfRange) {
+  DistanceMatrix m(3);
+  EXPECT_EQ(m.At(3, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(m.At(0, 3).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(m.At(100, 100).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(DistanceMatrixTest, CheckedSetWritesSymmetrically) {
+  DistanceMatrix m(4);
+  ASSERT_TRUE(m.Set(1, 3, 0.5).ok());
+  EXPECT_EQ(m.at(1, 3), 0.5);
+  EXPECT_EQ(m.at(3, 1), 0.5);
+}
+
+TEST(DistanceMatrixTest, CheckedSetRejectsOutOfRange) {
+  DistanceMatrix m(2);
+  EXPECT_EQ(m.Set(2, 0, 0.1).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(m.Set(0, 2, 0.1).code(), StatusCode::kOutOfRange);
+  // The matrix must be untouched by the failed write.
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) EXPECT_EQ(m.at(i, j), 0.0);
+  }
+}
+
+TEST(DistanceMatrixTest, EmptyMatrixRejectsEverything) {
+  DistanceMatrix m;
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.At(0, 0).ok());
+  EXPECT_FALSE(m.Set(0, 0, 1.0).ok());
+}
+
+TEST(DistanceMatrixTest, MaxAbsDifferenceSizeMismatch) {
+  DistanceMatrix a(2), b(3);
+  EXPECT_EQ(DistanceMatrix::MaxAbsDifference(a, b).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpe::distance

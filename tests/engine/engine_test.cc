@@ -1,0 +1,207 @@
+// Engine facade: batch mining API, distance-cache correctness across
+// incremental insertions, and agreement with the direct mining calls.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/token_distance.h"
+#include "workload/scenarios.h"
+
+namespace dpe::engine {
+namespace {
+
+workload::Scenario Shop(uint64_t seed, size_t log_size) {
+  workload::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.rows_per_relation = 40;
+  opt.log_size = log_size;
+  auto s = workload::MakeShopScenario(opt);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return std::move(s).value();
+}
+
+void ExpectBitIdentical(const distance::DistanceMatrix& a,
+                        const distance::DistanceMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto diff = distance::DistanceMatrix::MaxAbsDifference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+}
+
+TEST(EngineTest, BuildMatrixMatchesSerialReference) {
+  workload::Scenario s = Shop(42, 30);
+  Engine engine(s.Context(), {.threads = 4, .block = 8});
+  engine.SetLog(s.log);
+
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(serial.ok());
+  auto built = engine.BuildMatrix("token");
+  ASSERT_TRUE(built.ok()) << built.status();
+  ExpectBitIdentical(*serial, *built);
+}
+
+TEST(EngineTest, UnknownMeasureIsNotFound) {
+  workload::Scenario s = Shop(1, 5);
+  Engine engine(s.Context());
+  engine.SetLog(s.log);
+  EXPECT_EQ(engine.BuildMatrix("bogus").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, SecondBuildIsServedFromCache) {
+  workload::Scenario s = Shop(9, 20);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+
+  auto first = engine.BuildMatrix("token");
+  ASSERT_TRUE(first.ok());
+  const size_t pairs = 20 * 19 / 2;
+  EXPECT_EQ(engine.cache_stats().misses, pairs);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+  EXPECT_EQ(engine.cache_size(), pairs);
+
+  auto second = engine.BuildMatrix("token");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.cache_stats().hits, pairs);
+  EXPECT_EQ(engine.cache_stats().misses, pairs);  // no new misses
+  ExpectBitIdentical(*first, *second);
+}
+
+TEST(EngineTest, CacheHitCorrectnessAfterPointInsertion) {
+  workload::Scenario s = Shop(17, 24);
+  const size_t initial = 18;
+
+  Engine engine(s.Context(), {.threads = 4, .block = 8});
+  engine.SetLog({s.log.begin(), s.log.begin() + initial});
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  const size_t initial_pairs = initial * (initial - 1) / 2;
+  EXPECT_EQ(engine.cache_size(), initial_pairs);
+
+  // Incremental: append the remaining queries one by one.
+  for (size_t i = initial; i < s.log.size(); ++i) {
+    engine.AddQuery(s.log[i]);
+  }
+  auto incremental = engine.BuildMatrix("token");
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+
+  // Every previously cached pair must be served as a hit...
+  EXPECT_EQ(engine.cache_stats().hits, initial_pairs);
+  const size_t total_pairs = s.log.size() * (s.log.size() - 1) / 2;
+  EXPECT_EQ(engine.cache_size(), total_pairs);
+
+  // ...and the result must still be bit-identical to a from-scratch serial
+  // computation over the full log.
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(serial.ok());
+  ExpectBitIdentical(*serial, *incremental);
+}
+
+TEST(EngineTest, CacheIsPerMeasure) {
+  workload::Scenario s = Shop(31, 10);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  ASSERT_TRUE(engine.BuildMatrix("structure").ok());
+  EXPECT_EQ(engine.cache_size(), 2 * (10 * 9 / 2));
+}
+
+TEST(EngineTest, SetLogInvalidatesCache) {
+  workload::Scenario s = Shop(13, 8);
+  Engine engine(s.Context());
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  EXPECT_GT(engine.cache_size(), 0u);
+  engine.SetLog(s.log);
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(EngineTest, DisabledCacheStillBuildsCorrectly) {
+  workload::Scenario s = Shop(5, 15);
+  Engine engine(s.Context(), {.threads = 2, .enable_cache = false});
+  engine.SetLog(s.log);
+  auto built = engine.BuildMatrix("token");
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(engine.cache_size(), 0u);
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(serial.ok());
+  ExpectBitIdentical(*serial, *built);
+}
+
+TEST(EngineTest, BatchMiningMatchesDirectCalls) {
+  workload::Scenario s = Shop(77, 26);
+  Engine engine(s.Context(), {.threads = 4});
+  engine.SetLog(s.log);
+
+  distance::TokenDistance token;
+  auto matrix = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(matrix.ok());
+
+  mining::KMedoidsOptions kopt;
+  kopt.k = 3;
+  auto km_direct = mining::KMedoids(*matrix, kopt);
+  auto km_engine = engine.RunKMedoids("token", kopt);
+  ASSERT_TRUE(km_direct.ok());
+  ASSERT_TRUE(km_engine.ok()) << km_engine.status();
+  EXPECT_EQ(km_direct->labels, km_engine->labels);
+  EXPECT_EQ(km_direct->medoids, km_engine->medoids);
+
+  mining::DbscanOptions dopt;
+  dopt.epsilon = 0.4;
+  dopt.min_points = 3;
+  auto db_direct = mining::Dbscan(*matrix, dopt);
+  auto db_engine = engine.RunDbscan("token", dopt);
+  ASSERT_TRUE(db_direct.ok());
+  ASSERT_TRUE(db_engine.ok());
+  EXPECT_EQ(db_direct->labels, db_engine->labels);
+
+  auto hc_direct = mining::CompleteLink(*matrix);
+  auto hc_engine = engine.RunHierarchical("token");
+  ASSERT_TRUE(hc_direct.ok());
+  ASSERT_TRUE(hc_engine.ok());
+  ASSERT_EQ(hc_direct->merges.size(), hc_engine->merges.size());
+  for (size_t i = 0; i < hc_direct->merges.size(); ++i) {
+    EXPECT_EQ(hc_direct->merges[i].left, hc_engine->merges[i].left);
+    EXPECT_EQ(hc_direct->merges[i].right, hc_engine->merges[i].right);
+    EXPECT_EQ(hc_direct->merges[i].distance, hc_engine->merges[i].distance);
+  }
+
+  mining::OutlierOptions oopt;
+  oopt.p = 0.9;
+  oopt.d = 0.8;
+  auto out_direct = mining::DistanceBasedOutliers(*matrix, oopt);
+  auto out_engine = engine.RunOutlierKnn("token", oopt, 3);
+  ASSERT_TRUE(out_direct.ok());
+  ASSERT_TRUE(out_engine.ok());
+  EXPECT_EQ(out_direct->outliers, out_engine->outliers.outliers);
+  ASSERT_EQ(out_engine->neighbors.size(), out_engine->outliers.outliers.size());
+  for (size_t r = 0; r < out_engine->neighbors.size(); ++r) {
+    auto nn =
+        mining::NearestNeighbors(*matrix, out_engine->outliers.outliers[r], 3);
+    ASSERT_TRUE(nn.ok());
+    EXPECT_EQ(out_engine->neighbors[r], *nn);
+  }
+}
+
+TEST(EngineTest, RegistryAcceptsCustomMeasure) {
+  workload::Scenario s = Shop(3, 12);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.registry()
+                  .Register("my-token",
+                            [] {
+                              return std::make_unique<
+                                  distance::TokenDistance>();
+                            })
+                  .ok());
+  auto mine = engine.BuildMatrix("my-token");
+  auto builtin = engine.BuildMatrix("token");
+  ASSERT_TRUE(mine.ok());
+  ASSERT_TRUE(builtin.ok());
+  ExpectBitIdentical(*mine, *builtin);
+}
+
+}  // namespace
+}  // namespace dpe::engine

@@ -1,0 +1,159 @@
+// The tentpole guarantee: the blocked parallel matrix build is bit-identical
+// to the serial DistanceMatrix::Compute reference, across log sizes, thread
+// counts, block sizes and measures.
+
+#include "engine/matrix_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/access_area_distance.h"
+#include "distance/result_distance.h"
+#include "distance/token_distance.h"
+#include "engine/measure_registry.h"
+#include "workload/scenarios.h"
+
+namespace dpe::engine {
+namespace {
+
+workload::Scenario Shop(uint64_t seed, size_t log_size) {
+  workload::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.rows_per_relation = 40;
+  opt.log_size = log_size;
+  auto s = workload::MakeShopScenario(opt);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return std::move(s).value();
+}
+
+/// EXPECT bit-identical equality cell by cell (== on doubles, no tolerance).
+void ExpectBitIdentical(const distance::DistanceMatrix& a,
+                        const distance::DistanceMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a.at(i, j), b.at(i, j)) << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(MatrixBuilderTest, ParallelEqualsSerialAcrossSizesAndThreads) {
+  MeasureRegistry registry = MeasureRegistry::WithBuiltins();
+  for (size_t log_size : {1u, 2u, 17u, 64u, 90u}) {
+    workload::Scenario s = Shop(7 + log_size, log_size);
+    distance::MeasureContext context = s.Context();
+    for (const char* name : {"token", "structure"}) {
+      auto measure = registry.Create(name);
+      ASSERT_TRUE(measure.ok());
+      auto serial = distance::DistanceMatrix::Compute(s.log, **measure, context);
+      ASSERT_TRUE(serial.ok()) << serial.status();
+      for (size_t threads : {1u, 2u, 4u}) {
+        ThreadPool pool(threads);
+        MatrixBuilder builder(&pool, MatrixBuilderOptions{16});
+        auto parallel = builder.Build(s.log, **measure, context);
+        ASSERT_TRUE(parallel.ok()) << parallel.status();
+        ExpectBitIdentical(*serial, *parallel);
+      }
+    }
+  }
+}
+
+TEST(MatrixBuilderTest, ParallelEqualsSerialForOddBlockSizes) {
+  workload::Scenario s = Shop(3, 33);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, context);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(4);
+  for (size_t block : {1u, 5u, 32u, 33u, 1000u}) {
+    MatrixBuilder builder(&pool, MatrixBuilderOptions{block});
+    auto parallel = builder.Build(s.log, token, context);
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    ExpectBitIdentical(*serial, *parallel);
+  }
+}
+
+TEST(MatrixBuilderTest, ParallelEqualsSerialForStatefulResultMeasure) {
+  // The result measure memoizes tuple sets; Prepare() warms that cache
+  // serially so the parallel pairwise phase is read-only.
+  workload::Scenario s = Shop(11, 24);
+  distance::MeasureContext context = s.Context();
+  distance::ResultDistance serial_measure;
+  auto serial =
+      distance::DistanceMatrix::Compute(s.log, serial_measure, context);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ThreadPool pool(4);
+  MatrixBuilder builder(&pool, MatrixBuilderOptions{8});
+  distance::ResultDistance parallel_measure;
+  auto parallel = builder.Build(s.log, parallel_measure, context);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectBitIdentical(*serial, *parallel);
+}
+
+TEST(MatrixBuilderTest, ParallelEqualsSerialForAccessArea) {
+  workload::Scenario s = Shop(19, 30);
+  distance::MeasureContext context = s.Context();
+  distance::AccessAreaDistance measure;
+  auto serial = distance::DistanceMatrix::Compute(s.log, measure, context);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ThreadPool pool(3);
+  MatrixBuilder builder(&pool, MatrixBuilderOptions{7});
+  auto parallel = builder.Build(s.log, measure, context);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectBitIdentical(*serial, *parallel);
+}
+
+TEST(MatrixBuilderTest, NullPoolRunsSerially) {
+  workload::Scenario s = Shop(5, 12);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  MatrixBuilder builder(nullptr);
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, context);
+  auto built = builder.Build(s.log, token, context);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(built.ok());
+  ExpectBitIdentical(*serial, *built);
+}
+
+TEST(MatrixBuilderTest, PropagatesMeasureErrors) {
+  // The result measure without a database must fail, not crash, under the
+  // parallel build.
+  workload::Scenario s = Shop(2, 10);
+  distance::MeasureContext empty_context;
+  distance::ResultDistance measure;
+  ThreadPool pool(4);
+  MatrixBuilder builder(&pool);
+  auto built = builder.Build(s.log, measure, empty_context);
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixBuilderTest, ComputePairsMatchesMatrixCells) {
+  workload::Scenario s = Shop(23, 20);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, context);
+  ASSERT_TRUE(serial.ok());
+
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {0, 1}, {3, 7}, {19, 2}, {5, 5}, {18, 19}};
+  ThreadPool pool(4);
+  MatrixBuilder builder(&pool, MatrixBuilderOptions{2});
+  auto distances = builder.ComputePairs(s.log, pairs, token, context);
+  ASSERT_TRUE(distances.ok()) << distances.status();
+  ASSERT_EQ(distances->size(), pairs.size());
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    EXPECT_EQ((*distances)[p], serial->at(pairs[p].first, pairs[p].second));
+  }
+}
+
+TEST(MatrixBuilderTest, ComputePairsRejectsOutOfRangeIndices) {
+  workload::Scenario s = Shop(29, 5);
+  distance::TokenDistance token;
+  MatrixBuilder builder(nullptr);
+  auto distances =
+      builder.ComputePairs(s.log, {{0, 99}}, token, s.Context());
+  EXPECT_EQ(distances.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dpe::engine

@@ -1,0 +1,61 @@
+#include "engine/measure_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/token_distance.h"
+
+namespace dpe::engine {
+namespace {
+
+TEST(MeasureRegistryTest, BuiltinsContainEveryMeasure) {
+  MeasureRegistry r = MeasureRegistry::WithBuiltins();
+  const std::vector<std::string> expected = {
+      "access-area",       "levenshtein-char", "levenshtein-token",
+      "result",            "structure",        "token"};
+  EXPECT_EQ(r.Names(), expected);
+}
+
+TEST(MeasureRegistryTest, CreateReturnsMatchingName) {
+  MeasureRegistry r = MeasureRegistry::WithBuiltins();
+  for (const std::string& name : r.Names()) {
+    auto measure = r.Create(name);
+    ASSERT_TRUE(measure.ok()) << name;
+    EXPECT_EQ((*measure)->Name(), name);
+  }
+}
+
+TEST(MeasureRegistryTest, CreateUnknownIsNotFound) {
+  MeasureRegistry r = MeasureRegistry::WithBuiltins();
+  auto measure = r.Create("no-such-measure");
+  EXPECT_EQ(measure.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MeasureRegistryTest, DuplicateRegistrationRejected) {
+  MeasureRegistry r = MeasureRegistry::WithBuiltins();
+  Status s = r.Register(
+      "token", [] { return std::make_unique<distance::TokenDistance>(); });
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MeasureRegistryTest, CustomMeasureRegisters) {
+  MeasureRegistry r = MeasureRegistry::WithBuiltins();
+  ASSERT_TRUE(r.Register("token-v2", [] {
+                 return std::make_unique<distance::TokenDistance>();
+               }).ok());
+  EXPECT_TRUE(r.Contains("token-v2"));
+  auto measure = r.Create("token-v2");
+  ASSERT_TRUE(measure.ok());
+  EXPECT_EQ((*measure)->Name(), "token");  // factory decides the instance
+}
+
+TEST(MeasureRegistryTest, RejectsEmptyNameAndNullFactory) {
+  MeasureRegistry r;
+  EXPECT_EQ(r.Register("", [] {
+               return std::make_unique<distance::TokenDistance>();
+             }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.Register("x", nullptr).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpe::engine
