@@ -11,11 +11,11 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== sanitizers: asan+ubsan on engine/distance tests =="
+echo "== sanitizers: asan+ubsan on engine/distance/store tests =="
 cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
       -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j"$JOBS" \
-      --target dpe_engine_tests dpe_distance_tests
-ctest --test-dir build-asan --output-on-failure -R '^(engine|distance)$'
+      --target dpe_engine_tests dpe_distance_tests dpe_store_tests
+ctest --test-dir build-asan --output-on-failure -R '^(engine|distance|store)$'
 
 echo "== check.sh: all green =="

@@ -1,26 +1,22 @@
 #include "engine/distance_cache.h"
 
-#include <utility>
-
 namespace dpe::engine {
 
 std::optional<double> DistanceCache::MeasureView::Lookup(uint32_t i,
                                                          uint32_t j) {
-  if (entries_ != nullptr) {
-    auto it = entries_->find(Key(i, j));
-    if (it != entries_->end()) {
-      ++stats_->hits;
-      return it->second;
-    }
+  if (measure_id_ == kNoMeasure) {
+    cache_->misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
-  ++stats_->misses;
-  return std::nullopt;
+  return cache_->LookupById(measure_id_, Key(i, j), generation_);
 }
 
 DistanceCache::MeasureView DistanceCache::ViewFor(const std::string& measure) {
-  auto it = by_measure_.find(measure);
-  return MeasureView(&stats_,
-                     it != by_measure_.end() ? &it->second : nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(measure);
+  return MeasureView(this,
+                     it != ids_.end() ? it->second : MeasureView::kNoMeasure,
+                     generation_);
 }
 
 std::optional<double> DistanceCache::Lookup(const std::string& measure,
@@ -28,20 +24,118 @@ std::optional<double> DistanceCache::Lookup(const std::string& measure,
   return ViewFor(measure).Lookup(i, j);
 }
 
+std::optional<double> DistanceCache::LookupById(uint32_t measure_id,
+                                                uint64_t key,
+                                                uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation != generation_ || measure_id >= measures_.size()) {
+    // The view outlived a Clear() (e.g. ClearCache during an async build):
+    // its id may be gone or reused by a different measure, so read it as a
+    // cold cache instead of indexing a reset vector or the wrong measure.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  auto& index = measures_[measure_id].entries;
+  auto it = index.find(key);
+  if (it == index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  // Recency only matters if eviction can happen: the unbounded cache skips
+  // the list splice, keeping the warm-scan fast path a single map probe.
+  if (options_.max_bytes != 0) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // promote to most-recent
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->d;
+}
+
+uint32_t DistanceCache::MeasureId(const std::string& measure, bool create) {
+  auto it = ids_.find(measure);
+  if (it != ids_.end()) return it->second;
+  if (!create) return MeasureView::kNoMeasure;
+  const uint32_t id = static_cast<uint32_t>(measures_.size());
+  measures_.push_back(MeasureIndex{measure, {}});
+  ids_.emplace(measure, id);
+  return id;
+}
+
 void DistanceCache::Insert(const std::string& measure, uint32_t i, uint32_t j,
                            double d) {
-  by_measure_[measure][Key(i, j)] = d;
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(MeasureId(measure, /*create=*/true), Key(i, j), d);
+}
+
+void DistanceCache::InsertLocked(uint32_t measure_id, uint64_t key, double d) {
+  auto& index = measures_[measure_id].entries;
+  auto it = index.find(key);
+  if (it != index.end()) {
+    it->second->d = d;
+    if (options_.max_bytes != 0) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+    }
+    return;
+  }
+  lru_.push_front(Node{measure_id, key, d});
+  index.emplace(key, lru_.begin());
+  EvictToBudgetLocked();
+}
+
+void DistanceCache::EvictToBudgetLocked() {
+  if (options_.max_bytes == 0) return;
+  const size_t capacity = options_.max_bytes / kEntryBytes;
+  while (lru_.size() > capacity) {
+    const Node& cold = lru_.back();
+    measures_[cold.measure_id].entries.erase(cold.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 size_t DistanceCache::size() const {
-  size_t total = 0;
-  for (const auto& [measure, entries] : by_measure_) total += entries.size();
-  return total;
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+DistanceCache::Stats DistanceCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void DistanceCache::Clear() {
-  by_measure_.clear();
-  stats_ = Stats{};
+  std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;  // invalidates outstanding MeasureViews
+  lru_.clear();
+  measures_.clear();
+  ids_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<store::CacheEntry> DistanceCache::Export() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<store::CacheEntry> entries;
+  entries.reserve(lru_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {  // coldest first
+    store::CacheEntry e;
+    e.measure = measures_[it->measure_id].name;
+    e.i = static_cast<uint32_t>(it->key >> 32);
+    e.j = static_cast<uint32_t>(it->key & 0xFFFFFFFFu);
+    e.d = it->d;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void DistanceCache::Restore(const std::vector<store::CacheEntry>& entries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const store::CacheEntry& e : entries) {
+    InsertLocked(MeasureId(e.measure, /*create=*/true), Key(e.i, e.j), e.d);
+  }
 }
 
 }  // namespace dpe::engine

@@ -2,69 +2,148 @@
 // query ids assigned by the engine in insertion order. Incremental
 // workloads — append a few queries, rebuild the matrix — then recompute only
 // the new rows instead of all O(n^2) pairs.
+//
+// Long-running providers hold bounded memory: entries live on a global LRU
+// list (most recent at the front, across all measures) and a configurable
+// byte budget evicts from the cold end on insert. Hit/miss/eviction
+// counters are atomics — concurrent lookups never tear the stats, and bench
+// numbers stay trustworthy — and are reset by Clear(). The cache Export()s
+// its entries coldest-first for the persistent store (src/store) and
+// Restore()s them in that order, reproducing both contents and recency.
 
 #ifndef DPE_ENGINE_DISTANCE_CACHE_H_
 #define DPE_ENGINE_DISTANCE_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
+
+#include "store/codec.h"
 
 namespace dpe::engine {
 
 class DistanceCache {
  public:
-  struct Stats {
-    size_t hits = 0;
-    size_t misses = 0;
+  struct Options {
+    /// Eviction budget in bytes (kEntryBytes per entry); 0 = unbounded.
+    size_t max_bytes = 0;
   };
 
-  /// Per-measure read handle: resolves the measure's entry map once, so the
+  /// Monotonic counters (reset by Clear()). `hits`/`misses` count Lookup
+  /// outcomes; `evictions` counts entries dropped by the byte budget.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// Approximate heap cost of one cached pair (LRU node + index-map node,
+  /// including allocator overhead). The byte budget is counted in these
+  /// units, so `max_bytes / kEntryBytes` is the entry capacity.
+  static constexpr size_t kEntryBytes = 96;
+
+  DistanceCache() : options_{/*max_bytes=*/0} {}
+  explicit DistanceCache(Options options) : options_(options) {}
+
+  /// Per-measure read handle: resolves the measure name once, so the
   /// n(n-1)/2-pair scan of a matrix rebuild does not re-find the measure
-  /// name per pair. Stays valid across Insert (map nodes are stable); a new
-  /// view must be taken after Clear().
+  /// per pair. Stays valid across Insert; after Clear() an outstanding
+  /// view safely degrades to all-misses (generation-checked), take a new
+  /// view to see fresh entries.
   class MeasureView {
    public:
-    /// Cached d(i, j), if present. Counts a hit or a miss on the owning
-    /// cache's stats. (i, j) is unordered.
+    /// Cached d(i, j), if present; promotes the entry to most-recent when a
+    /// byte budget is set. Counts a hit or a miss. (i, j) is unordered.
     std::optional<double> Lookup(uint32_t i, uint32_t j);
 
    private:
     friend class DistanceCache;
-    MeasureView(Stats* stats, const std::unordered_map<uint64_t, double>* entries)
-        : stats_(stats), entries_(entries) {}
-    Stats* stats_;
-    const std::unordered_map<uint64_t, double>* entries_;  ///< null: empty
+    static constexpr uint32_t kNoMeasure = UINT32_MAX;
+    MeasureView(DistanceCache* cache, uint32_t measure_id, uint64_t generation)
+        : cache_(cache), measure_id_(measure_id), generation_(generation) {}
+    DistanceCache* cache_;
+    uint32_t measure_id_;  ///< kNoMeasure: nothing cached for this measure
+    uint64_t generation_;  ///< Clear() epoch the id was resolved in
   };
 
   /// Read handle for `measure` (valid even if nothing is cached yet).
   MeasureView ViewFor(const std::string& measure);
 
-  /// Cached d(i, j) under `measure`, if present. Counts a hit or a miss.
-  /// (i, j) is unordered: Lookup(m, i, j) == Lookup(m, j, i).
+  /// Cached d(i, j) under `measure`, if present; promotes to most-recent
+  /// when a byte budget is set. Counts a hit or a miss. (i, j) is
+  /// unordered: Lookup(m, i, j) == Lookup(m, j, i).
   std::optional<double> Lookup(const std::string& measure, uint32_t i,
                                uint32_t j);
 
-  /// Stores d(i, j); overwrites silently (distances are deterministic, so a
-  /// rewrite can only store the same value).
+  /// Stores d(i, j) as the most-recent entry; overwrites silently
+  /// (distances are deterministic, so a rewrite can only store the same
+  /// value). May evict cold entries to stay within the byte budget.
   void Insert(const std::string& measure, uint32_t i, uint32_t j, double d);
 
   size_t size() const;
-  const Stats& stats() const { return stats_; }
+  /// size() * kEntryBytes — never exceeds Options::max_bytes when set.
+  size_t bytes_used() const { return size() * kEntryBytes; }
+  size_t max_bytes() const { return options_.max_bytes; }
 
+  /// Consistent snapshot of the counters.
+  Stats stats() const;
+
+  /// Drops every entry and resets the stats counters.
   void Clear();
 
+  // -- Persistence hooks (src/store) -----------------------------------------
+
+  /// Every entry, coldest-first (the order Restore expects).
+  std::vector<store::CacheEntry> Export() const;
+  /// Inserts `entries` in order (coldest-first input reproduces recency);
+  /// the byte budget applies, so a too-small budget keeps only the tail —
+  /// and counts those drops in stats().evictions. The hit/miss counters
+  /// are untouched.
+  void Restore(const std::vector<store::CacheEntry>& entries);
+
  private:
+  struct Node {
+    uint32_t measure_id;
+    uint64_t key;
+    double d;
+  };
+  using LruList = std::list<Node>;
+  struct MeasureIndex {
+    std::string name;
+    std::unordered_map<uint64_t, LruList::iterator> entries;
+  };
+
   static uint64_t Key(uint32_t i, uint32_t j) {
     if (i > j) std::swap(i, j);
     return (static_cast<uint64_t>(i) << 32) | j;
   }
 
-  std::map<std::string, std::unordered_map<uint64_t, double>> by_measure_;
-  Stats stats_;
+  /// Lookup by pre-resolved measure id (the MeasureView fast path). A
+  /// stale `generation` (the view predates a Clear) reads as a miss —
+  /// never as another measure that reused the id.
+  std::optional<double> LookupById(uint32_t measure_id, uint64_t key,
+                                   uint64_t generation);
+  /// Id for `measure`, creating the index if `create`; kNoMeasure otherwise.
+  uint32_t MeasureId(const std::string& measure, bool create);
+  void InsertLocked(uint32_t measure_id, uint64_t key, double d);
+  void EvictToBudgetLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  uint64_t generation_ = 0;              ///< bumped by Clear()
+  LruList lru_;                          ///< front = most recently used
+  std::vector<MeasureIndex> measures_;   ///< indexed by measure id
+  std::map<std::string, uint32_t> ids_;  ///< measure name -> id
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace dpe::engine

@@ -1,6 +1,10 @@
 #include "engine/engine.h"
 
+#include <map>
 #include <utility>
+
+#include "sql/parser.h"
+#include "sql/printer.h"
 
 namespace dpe::engine {
 
@@ -8,19 +12,43 @@ Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
     : options_(options),
       context_(context),
       pool_(options.threads),
-      builder_(&pool_, MatrixBuilderOptions{options.block}) {}
+      builder_(&pool_, MatrixBuilderOptions{options.block}),
+      cache_(DistanceCache::Options{options.cache_max_bytes}) {}
+
+Engine::~Engine() {
+  // Async build tasks capture `this`; members destruct in reverse
+  // declaration order, so without this barrier a still-queued task could
+  // touch the cache/store after they are gone.
+  pool_.Wait();
+}
 
 void Engine::SetLog(std::vector<sql::SelectQuery> log) {
   queries_ = std::move(log);
   cache_.Clear();
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_.reset();
+  journal_watermarks_.clear();
 }
 
-void Engine::AddQuery(sql::SelectQuery query) {
+Status Engine::AddQuery(sql::SelectQuery query) {
+  // Journal first, mutate second: if the append fails (disk full, ...) the
+  // in-memory log and the journal must not diverge — a retry would
+  // otherwise duplicate the query or leave an index gap that bricks the
+  // checkpoint on the next load.
+  {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    if (store_ != nullptr) {
+      DPE_RETURN_NOT_OK(store_->AppendQuery(
+          static_cast<uint32_t>(queries_.size()), sql::ToSql(query)));
+    }
+  }
   queries_.push_back(std::move(query));
+  return Status::OK();
 }
 
 Result<const distance::QueryDistanceMeasure*> Engine::MeasureFor(
     const std::string& name) {
+  std::lock_guard<std::mutex> lock(measures_mu_);
   auto it = measures_.find(name);
   if (it == measures_.end()) {
     DPE_ASSIGN_OR_RETURN(auto measure, registry_.Create(name));
@@ -33,10 +61,46 @@ Result<distance::DistanceMatrix> Engine::BuildMatrix(
     const std::string& measure_name) {
   DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
                        MeasureFor(measure_name));
-  const size_t n = queries_.size();
+  return BuildMatrixOn(builder_, queries_, *measure, measure_name);
+}
+
+std::future<Result<distance::DistanceMatrix>> Engine::BuildMatrixAsync(
+    const std::string& measure_name) {
+  using BuildResult = Result<distance::DistanceMatrix>;
+
+  // A private measure instance per task: overlapping builds must not race
+  // on measure-internal state (Prepare is a single-threaded contract).
+  Result<std::unique_ptr<distance::QueryDistanceMeasure>> measure = [&] {
+    std::lock_guard<std::mutex> lock(measures_mu_);
+    return registry_.Create(measure_name);
+  }();
+  if (!measure.ok()) {
+    std::promise<BuildResult> failed;
+    failed.set_value(measure.status());
+    return failed.get_future();
+  }
+
+  auto promise = std::make_shared<std::promise<BuildResult>>();
+  std::future<BuildResult> future = promise->get_future();
+  pool_.Submit([this, promise, measure_name,
+                owned = std::shared_ptr(std::move(*measure)),
+                queries = queries_] {
+    // Serial builder: a nested ParallelFor on the engine's own pool from
+    // inside a pool task could starve the outer task.
+    MatrixBuilder serial(nullptr, MatrixBuilderOptions{options_.block});
+    promise->set_value(BuildMatrixOn(serial, queries, *owned, measure_name));
+  });
+  return future;
+}
+
+Result<distance::DistanceMatrix> Engine::BuildMatrixOn(
+    const MatrixBuilder& builder, const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const std::string& measure_name) {
+  const size_t n = queries.size();
 
   if (!options_.enable_cache) {
-    return builder_.Build(queries_, *measure, context_);
+    return builder.Build(queries, measure, context_);
   }
 
   // Split the upper triangle into cached and missing pairs. The view
@@ -57,28 +121,174 @@ Result<distance::DistanceMatrix> Engine::BuildMatrix(
 
   if (missing.size() == n * (n - 1) / 2) {
     // Cold cache: use the blocked full build, then memoize everything.
-    DPE_ASSIGN_OR_RETURN(m, builder_.Build(queries_, *measure, context_));
-    for (size_t i = 0; i < n; ++i) {
-      for (size_t j = i + 1; j < n; ++j) {
-        cache_.Insert(measure_name, static_cast<uint32_t>(i),
-                      static_cast<uint32_t>(j), m.at(i, j));
-      }
+    DPE_ASSIGN_OR_RETURN(m, builder.Build(queries, measure, context_));
+    for (const auto& [i, j] : missing) {
+      cache_.Insert(measure_name, static_cast<uint32_t>(i),
+                    static_cast<uint32_t>(j), m.at(i, j));
     }
+    DPE_RETURN_NOT_OK(JournalComputedPairs(measure_name, missing, m));
     return m;
   }
 
   if (!missing.empty()) {
     DPE_ASSIGN_OR_RETURN(
         std::vector<double> distances,
-        builder_.ComputePairs(queries_, missing, *measure, context_));
+        builder.ComputePairs(queries, missing, measure, context_));
     for (size_t p = 0; p < missing.size(); ++p) {
       const auto [i, j] = missing[p];
       m.set(i, j, distances[p]);
       cache_.Insert(measure_name, static_cast<uint32_t>(i),
                     static_cast<uint32_t>(j), distances[p]);
     }
+    DPE_RETURN_NOT_OK(JournalComputedPairs(measure_name, missing, m));
   }
   return m;
+}
+
+Status Engine::JournalComputedPairs(
+    const std::string& measure_name,
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const distance::DistanceMatrix& m) {
+  if (pairs.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(store_mu_);  // also guards the store_ read
+  if (store_ == nullptr) return Status::OK();
+  // Group by the larger index — the newer query's row — so the journal
+  // reads as "row r gained these columns". Rows below the high-water mark
+  // were already persisted (by the snapshot or an earlier journal record):
+  // re-journaling them here would grow the journal without bound whenever a
+  // byte-budgeted cache evicts and recomputes old pairs. Skipped rows are
+  // simply recomputed after a restart — correctness never depends on them.
+  size_t& watermark = journal_watermarks_[measure_name];
+  std::map<uint32_t, std::vector<std::pair<uint32_t, double>>> rows;
+  for (const auto& [i, j] : pairs) {
+    const uint32_t row = static_cast<uint32_t>(std::max(i, j));
+    const uint32_t col = static_cast<uint32_t>(std::min(i, j));
+    if (row < watermark) continue;
+    rows[row].emplace_back(col, m.at(i, j));
+  }
+  if (rows.empty()) return Status::OK();
+  std::vector<store::JournalRecord> records;
+  records.reserve(rows.size());
+  for (auto& [row, cols] : rows) {
+    store::JournalRecord record;
+    record.kind = store::JournalRecord::Kind::kRowComputed;
+    record.measure = measure_name;
+    record.row = row;
+    record.cols = std::move(cols);
+    records.push_back(std::move(record));
+  }
+  DPE_RETURN_NOT_OK(store_->AppendRecords(records));
+  watermark = std::max(watermark, records.back().row + 1ul);
+  return Status::OK();
+}
+
+Status Engine::SaveCheckpoint(const std::string& dir) {
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore opened, store::MatrixStore::Open(dir));
+  // store_mu_ is held across export + write + truncate + attach so journal
+  // appends from in-flight async builds cannot interleave: they block, then
+  // land in the fresh (truncated) journal. Pairs such a build inserts after
+  // the Export() below miss this snapshot and are skipped by the watermark;
+  // they are recomputed after a restore — consistency is never at risk.
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store::Snapshot snapshot;
+  snapshot.queries.reserve(queries_.size());
+  for (const sql::SelectQuery& q : queries_) {
+    snapshot.queries.push_back(sql::ToSql(q));
+  }
+  snapshot.entries = cache_.Export();
+  DPE_RETURN_NOT_OK(opened.WriteSnapshot(snapshot));
+  DPE_RETURN_NOT_OK(opened.TruncateJournal());
+  store_ = std::make_unique<store::MatrixStore>(std::move(opened));
+  RebuildWatermarksLocked(snapshot.entries);
+  return Status::OK();
+}
+
+void Engine::RebuildWatermarksLocked(
+    const std::vector<store::CacheEntry>& entries) {
+  // Watermarks reflect what the snapshot actually covers per measure — the
+  // highest row with an exported entry — not the log size: rows queried
+  // but never built yet must still journal when they are first computed.
+  journal_watermarks_.clear();
+  for (const store::CacheEntry& e : entries) {
+    size_t& watermark = journal_watermarks_[e.measure];
+    watermark = std::max(watermark,
+                         static_cast<size_t>(std::max(e.i, e.j)) + 1);
+  }
+}
+
+Status Engine::LoadCheckpoint(const std::string& dir) {
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore opened,
+                       store::MatrixStore::OpenExisting(dir));
+  DPE_ASSIGN_OR_RETURN(store::Snapshot snapshot, opened.ReadSnapshot());
+  // Recovery read: a torn final record (we may be restarting from the very
+  // crash the checkpoint exists for) is dropped and trimmed, not fatal.
+  DPE_ASSIGN_OR_RETURN(std::vector<store::JournalRecord> journal,
+                       opened.RecoverJournal());
+
+  // Parse everything up front so a corrupt checkpoint leaves the engine
+  // untouched.
+  std::vector<sql::SelectQuery> log;
+  log.reserve(snapshot.queries.size());
+  for (const std::string& text : snapshot.queries) {
+    DPE_ASSIGN_OR_RETURN(sql::SelectQuery q, sql::Parse(text));
+    log.push_back(std::move(q));
+  }
+  std::vector<sql::SelectQuery> appended;
+  for (const store::JournalRecord& record : journal) {
+    if (record.kind != store::JournalRecord::Kind::kQueryAppended) continue;
+    // Records the snapshot already subsumes are skipped, not rejected: a
+    // crash between WriteSnapshot and TruncateJournal in SaveCheckpoint
+    // must not brick the checkpoint (the snapshot holds those queries and
+    // their distances already, at the same ids).
+    if (record.index < log.size()) continue;
+    const size_t expect = log.size() + appended.size();
+    if (record.index != expect) {
+      return Status::ParseError(
+          "checkpoint journal: query record has index " +
+          std::to_string(record.index) + ", expected " +
+          std::to_string(expect));
+    }
+    DPE_ASSIGN_OR_RETURN(sql::SelectQuery q, sql::Parse(record.sql));
+    appended.push_back(std::move(q));
+  }
+  const size_t total = log.size() + appended.size();
+  for (const store::JournalRecord& record : journal) {
+    if (record.kind != store::JournalRecord::Kind::kRowComputed) continue;
+    if (record.row >= total) {
+      return Status::ParseError("checkpoint journal: row " +
+                                std::to_string(record.row) + " outside log of " +
+                                std::to_string(total) + " queries");
+    }
+    for (const auto& col_d : record.cols) {
+      if (col_d.first >= record.row) {
+        return Status::ParseError(
+            "checkpoint journal: row " + std::to_string(record.row) +
+            " has column " + std::to_string(col_d.first) +
+            " (columns must be below their row)");
+      }
+    }
+  }
+
+  queries_ = std::move(log);
+  for (sql::SelectQuery& q : appended) queries_.push_back(std::move(q));
+  cache_.Clear();
+  cache_.Restore(snapshot.entries);
+  for (const store::JournalRecord& record : journal) {
+    if (record.kind != store::JournalRecord::Kind::kRowComputed) continue;
+    for (const auto& [col, d] : record.cols) {
+      cache_.Insert(record.measure, col, record.row, d);
+    }
+  }
+  std::lock_guard<std::mutex> lock(store_mu_);
+  store_ = std::make_unique<store::MatrixStore>(std::move(opened));
+  // As in SaveCheckpoint, plus whatever the replayed journal covers on top.
+  RebuildWatermarksLocked(snapshot.entries);
+  for (const store::JournalRecord& record : journal) {
+    if (record.kind != store::JournalRecord::Kind::kRowComputed) continue;
+    size_t& watermark = journal_watermarks_[record.measure];
+    watermark = std::max(watermark, record.row + 1ul);
+  }
+  return Status::OK();
 }
 
 Result<mining::KMedoidsResult> Engine::RunKMedoids(

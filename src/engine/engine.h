@@ -7,6 +7,13 @@
 //   e.AddQuery(q);                               // incremental: only the new
 //   auto m2  = e.BuildMatrix("token");           // row is recomputed
 //
+//   e.SaveCheckpoint("/var/lib/dpe/log-a");      // snapshot log + cache
+//   // ... process restarts ...
+//   Engine e2(context);
+//   e2.LoadCheckpoint("/var/lib/dpe/log-a");     // resume: cached pairs back
+//   e2.AddQuery(q2);                             // journaled
+//   auto m3 = e2.BuildMatrix("token");           // only the new row costs
+//
 // The engine works identically on the owner side (plaintext context) and the
 // provider side (encrypted artifacts in the context) — exactly like the
 // underlying measures.
@@ -14,8 +21,10 @@
 #ifndef DPE_ENGINE_ENGINE_H_
 #define DPE_ENGINE_ENGINE_H_
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +38,7 @@
 #include "mining/kmedoids.h"
 #include "mining/knn.h"
 #include "mining/outlier.h"
+#include "store/matrix_store.h"
 
 namespace dpe::engine {
 
@@ -39,6 +49,9 @@ struct EngineOptions {
   size_t block = 64;
   /// Memoize distances across BuildMatrix / Run* calls and query insertions.
   bool enable_cache = true;
+  /// Distance-cache eviction budget in bytes (LRU); 0 = unbounded. See
+  /// DistanceCache::kEntryBytes for the per-pair cost.
+  size_t cache_max_bytes = 0;
 };
 
 /// DB(p, D) outliers plus the k nearest neighbours of each outlier — the
@@ -55,6 +68,9 @@ class Engine {
   /// pointees must outlive the engine).
   explicit Engine(const distance::MeasureContext& context,
                   EngineOptions options = {});
+  /// Drains in-flight async builds before any member is torn down (the
+  /// pool outlives the cache/store only because of this barrier).
+  ~Engine();
 
   /// Measure name -> factory table; custom measures register here.
   MeasureRegistry& registry() { return registry_; }
@@ -62,10 +78,13 @@ class Engine {
 
   // -- Log management --------------------------------------------------------
 
-  /// Replaces the query log (drops the cache: ids restart from 0).
+  /// Replaces the query log (drops the cache — ids restart from 0 — and
+  /// detaches any checkpoint store; the new state needs a fresh
+  /// SaveCheckpoint).
   void SetLog(std::vector<sql::SelectQuery> log);
-  /// Appends one query, keeping all cached pairwise distances valid.
-  void AddQuery(sql::SelectQuery query);
+  /// Appends one query, keeping all cached pairwise distances valid. With a
+  /// checkpoint attached, the query is journaled so a restart replays it.
+  Status AddQuery(sql::SelectQuery query);
   size_t log_size() const { return queries_.size(); }
   const std::vector<sql::SelectQuery>& log() const { return queries_; }
 
@@ -74,6 +93,15 @@ class Engine {
   /// Pairwise matrix of the current log under the named measure. Cached
   /// pairs are reused; missing pairs are computed in parallel.
   Result<distance::DistanceMatrix> BuildMatrix(const std::string& measure);
+
+  /// Non-blocking BuildMatrix: the build is scheduled on the engine's pool
+  /// and the caller overlaps other work (encryption I/O, another measure's
+  /// build) with it. The task builds serially inside its pool slot (nested
+  /// ParallelFor on the same pool could starve), shares the distance cache,
+  /// and uses a private measure instance so overlapping builds never race.
+  /// The log must not be mutated while async builds are in flight.
+  std::future<Result<distance::DistanceMatrix>> BuildMatrixAsync(
+      const std::string& measure);
 
   Result<mining::KMedoidsResult> RunKMedoids(
       const std::string& measure, const mining::KMedoidsOptions& options);
@@ -84,10 +112,31 @@ class Engine {
                                          const mining::OutlierOptions& options,
                                          size_t k);
 
+  // -- Persistence -----------------------------------------------------------
+
+  /// Checkpoints the full incremental-mining state (query log as canonical
+  /// SQL + every cached distance) into `dir`, truncates the journal, and
+  /// attaches the store: subsequent AddQuery calls and freshly computed
+  /// matrix rows are journaled incrementally.
+  Status SaveCheckpoint(const std::string& dir);
+
+  /// Restores the state a SaveCheckpoint (plus any journal written since)
+  /// captured in `dir`: the query log is re-parsed, the distance cache is
+  /// repopulated, journal records are replayed in order, and the store
+  /// stays attached for further journaling. NotFound if `dir` holds no
+  /// snapshot; ParseError on corruption (never UB).
+  Status LoadCheckpoint(const std::string& dir);
+
+  bool checkpoint_attached() const {
+    std::lock_guard<std::mutex> lock(store_mu_);
+    return store_ != nullptr;
+  }
+
   // -- Cache introspection ---------------------------------------------------
 
-  const DistanceCache::Stats& cache_stats() const { return cache_.stats(); }
+  DistanceCache::Stats cache_stats() const { return cache_.stats(); }
   size_t cache_size() const { return cache_.size(); }
+  size_t cache_bytes_used() const { return cache_.bytes_used(); }
   void ClearCache() { cache_.Clear(); }
 
  private:
@@ -97,6 +146,27 @@ class Engine {
   Result<const distance::QueryDistanceMeasure*> MeasureFor(
       const std::string& name);
 
+  /// The cache-aware build over an explicit log/builder/measure — shared by
+  /// the sync path (pool-backed builder) and async tasks (serial builder on
+  /// a log snapshot).
+  Result<distance::DistanceMatrix> BuildMatrixOn(
+      const MatrixBuilder& builder,
+      const std::vector<sql::SelectQuery>& queries,
+      const distance::QueryDistanceMeasure& measure,
+      const std::string& measure_name);
+
+  /// Journals freshly computed pairs as per-row records (grouped by the
+  /// larger index — the newer query), reading the values out of `m`.
+  /// No-op when no store is attached.
+  Status JournalComputedPairs(
+      const std::string& measure_name,
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      const distance::DistanceMatrix& m);
+
+  /// Resets the per-measure watermarks to what `entries` (a snapshot's
+  /// cache export) actually covers: the highest row seen per measure.
+  void RebuildWatermarksLocked(const std::vector<store::CacheEntry>& entries);
+
   EngineOptions options_;
   distance::MeasureContext context_;
   MeasureRegistry registry_ = MeasureRegistry::WithBuiltins();
@@ -104,8 +174,19 @@ class Engine {
   MatrixBuilder builder_;
   DistanceCache cache_;
   std::vector<sql::SelectQuery> queries_;
+  std::mutex measures_mu_;  ///< guards measures_ and registry lookups
   std::map<std::string, std::unique_ptr<distance::QueryDistanceMeasure>>
       measures_;
+  /// Guards store_ itself (attach/detach), the watermarks, and serializes
+  /// journal appends.
+  mutable std::mutex store_mu_;
+  std::unique_ptr<store::MatrixStore> store_;
+  /// Per-measure high-water mark: rows below it are already persisted
+  /// (snapshot or journal) for that measure, so recomputes of evicted
+  /// pairs are never re-journaled (bounded journal growth). A measure
+  /// first built after the checkpoint starts at 0 and journals its full
+  /// matrix exactly once.
+  std::map<std::string, size_t> journal_watermarks_;
 };
 
 }  // namespace dpe::engine

@@ -1,0 +1,376 @@
+#include "store/codec.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace dpe::store {
+
+namespace {
+
+/// fsync `path` (a file or a directory) so a rename/unlink ordering cannot
+/// be undone by a power loss. Best-effort on filesystems without dirsync.
+Status SyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::Internal("store codec: cannot open " + path + " to sync");
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Internal("store codec: fsync of " + path + " failed");
+  }
+  return Status::OK();
+}
+
+constexpr std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("store codec: " + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  uint32_t c = 0xFFFFFFFFu;
+  for (char ch : data) {
+    c = kCrcTable[(c ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// -- Writer ------------------------------------------------------------------
+
+void Writer::PutU8(uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+void Writer::PutU32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void Writer::PutDouble(double v) { PutU64(std::bit_cast<uint64_t>(v)); }
+
+void Writer::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  buffer_.append(s);
+}
+
+void Writer::PutRaw(std::string_view raw) { buffer_.append(raw); }
+
+// -- Reader ------------------------------------------------------------------
+
+Status Reader::Need(size_t bytes, const char* what) const {
+  if (remaining() < bytes) {
+    return Corrupt(std::string("truncated input reading ") + what + " (need " +
+                   std::to_string(bytes) + " bytes, have " +
+                   std::to_string(remaining()) + ")");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> Reader::ReadU8() {
+  DPE_RETURN_NOT_OK(Need(1, "u8"));
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> Reader::ReadU32() {
+  DPE_RETURN_NOT_OK(Need(4, "u32"));
+  uint32_t v = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<uint64_t> Reader::ReadU64() {
+  DPE_RETURN_NOT_OK(Need(8, "u64"));
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 8) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+         << shift;
+  }
+  return v;
+}
+
+Result<double> Reader::ReadDouble() {
+  DPE_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+  return std::bit_cast<double>(bits);
+}
+
+Result<std::string> Reader::ReadString() {
+  DPE_ASSIGN_OR_RETURN(uint32_t len, ReadU32());
+  return ReadBytes(len);
+}
+
+Result<std::string> Reader::ReadBytes(size_t len) {
+  DPE_RETURN_NOT_OK(Need(len, "byte run"));
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Status Reader::ExpectEnd() const {
+  if (!AtEnd()) {
+    return Corrupt(std::to_string(remaining()) + " trailing bytes");
+  }
+  return Status::OK();
+}
+
+// -- Value codecs ------------------------------------------------------------
+
+void EncodeMatrix(const distance::DistanceMatrix& m, Writer* w) {
+  const size_t n = m.size();
+  w->PutU64(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      w->PutDouble(m.at(i, j));
+    }
+  }
+}
+
+Result<distance::DistanceMatrix> DecodeMatrix(Reader* r) {
+  DPE_ASSIGN_OR_RETURN(uint64_t n, r->ReadU64());
+  // Validate the declared size against the bytes present before allocating:
+  // n*(n-1)/2 doubles of 8 bytes each must still be in the input.
+  if (n != 0 && (n - 1) > r->remaining() / 4 / n) {
+    return Status::ParseError(
+        "store codec: matrix declares n = " + std::to_string(n) +
+        " but only " + std::to_string(r->remaining()) + " bytes remain");
+  }
+  std::vector<double> upper;
+  upper.reserve(n * (n - 1) / 2);
+  for (size_t k = 0; k < n * (n - 1) / 2; ++k) {
+    DPE_ASSIGN_OR_RETURN(double d, r->ReadDouble());
+    upper.push_back(d);
+  }
+  return distance::DistanceMatrix::FromUpperTriangle(n, upper);
+}
+
+void EncodeCacheEntries(const std::vector<CacheEntry>& entries, Writer* w) {
+  // Name table in first-appearance order; entries reference it by index, so
+  // repeated measure names cost 4 bytes instead of a full string each. The
+  // table is discovered while encoding the entry body, then written first.
+  std::vector<std::string> names;
+  auto index_of = [&names](const std::string& name) -> uint32_t {
+    for (uint32_t k = 0; k < names.size(); ++k) {
+      if (names[k] == name) return k;
+    }
+    names.push_back(name);
+    return static_cast<uint32_t>(names.size() - 1);
+  };
+  Writer body;
+  body.PutU64(entries.size());
+  for (const CacheEntry& e : entries) {
+    body.PutU32(index_of(e.measure));
+    body.PutU32(e.i);
+    body.PutU32(e.j);
+    body.PutDouble(e.d);
+  }
+  w->PutU32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) w->PutString(name);
+  w->PutRaw(body.buffer());
+}
+
+Result<std::vector<CacheEntry>> DecodeCacheEntries(Reader* r) {
+  DPE_ASSIGN_OR_RETURN(uint32_t name_count, r->ReadU32());
+  if (name_count > r->remaining() / 4) {  // >= 4 bytes per name
+    return Corrupt("measure name count " + std::to_string(name_count) +
+                   " exceeds remaining input");
+  }
+  std::vector<std::string> names;
+  names.reserve(name_count);
+  for (uint32_t k = 0; k < name_count; ++k) {
+    DPE_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+    names.push_back(std::move(name));
+  }
+  DPE_ASSIGN_OR_RETURN(uint64_t count, r->ReadU64());
+  // Each entry is 20 bytes; reject counts the input cannot hold.
+  if (count > r->remaining() / 20) {
+    return Corrupt("cache entry count " + std::to_string(count) +
+                   " exceeds remaining input");
+  }
+  std::vector<CacheEntry> entries;
+  entries.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    CacheEntry e;
+    DPE_ASSIGN_OR_RETURN(uint32_t name_idx, r->ReadU32());
+    if (name_idx >= names.size()) {
+      return Corrupt("cache entry references measure #" +
+                     std::to_string(name_idx) + " of " +
+                     std::to_string(names.size()));
+    }
+    e.measure = names[name_idx];
+    DPE_ASSIGN_OR_RETURN(e.i, r->ReadU32());
+    DPE_ASSIGN_OR_RETURN(e.j, r->ReadU32());
+    DPE_ASSIGN_OR_RETURN(e.d, r->ReadDouble());
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void EncodeSnapshotMeta(const SnapshotMeta& meta, Writer* w) {
+  w->PutU64(meta.query_count);
+  w->PutU32(static_cast<uint32_t>(meta.measures.size()));
+  for (const std::string& m : meta.measures) w->PutString(m);
+}
+
+Result<SnapshotMeta> DecodeSnapshotMeta(Reader* r) {
+  SnapshotMeta meta;
+  DPE_ASSIGN_OR_RETURN(meta.query_count, r->ReadU64());
+  DPE_ASSIGN_OR_RETURN(uint32_t count, r->ReadU32());
+  if (count > r->remaining() / 4) {
+    return Corrupt("measure count " + std::to_string(count) +
+                   " exceeds remaining input");
+  }
+  meta.measures.reserve(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    DPE_ASSIGN_OR_RETURN(std::string m, r->ReadString());
+    meta.measures.push_back(std::move(m));
+  }
+  return meta;
+}
+
+// -- Framing -----------------------------------------------------------------
+
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       std::string_view payload) {
+  Writer header;
+  header.PutU32(magic);
+  header.PutU32(kFormatVersion);
+  header.PutU64(payload.size());
+  header.PutU32(Crc32(payload));
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("store codec: cannot open " + tmp +
+                              " for writing");
+    }
+    out.write(header.buffer().data(),
+              static_cast<std::streamsize>(header.buffer().size()));
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      return Status::Internal("store codec: short write to " + tmp);
+    }
+  }
+  // Durability order matters: the payload must be on disk before the rename
+  // publishes it, and the rename must be on disk before callers take
+  // dependent actions (SaveCheckpoint deletes the journal right after this
+  // returns — a reordered power loss must not lose both).
+  DPE_RETURN_NOT_OK(SyncPath(tmp));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::Internal("store codec: rename " + tmp + " -> " + path +
+                            " failed");
+  }
+  std::string parent = std::filesystem::path(path).parent_path().string();
+  return SyncPath(parent.empty() ? "." : parent);
+}
+
+Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("store codec: " + path + " does not exist");
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Reader r(data);
+  DPE_ASSIGN_OR_RETURN(uint32_t got_magic, r.ReadU32());
+  if (got_magic != magic) {
+    return Corrupt("bad magic in " + path);
+  }
+  DPE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version != kFormatVersion) {
+    return Corrupt("unsupported format version " + std::to_string(version) +
+                   " in " + path);
+  }
+  DPE_ASSIGN_OR_RETURN(uint64_t payload_len, r.ReadU64());
+  DPE_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+  if (payload_len != r.remaining()) {
+    return Corrupt("payload length mismatch in " + path + " (declared " +
+                   std::to_string(payload_len) + ", have " +
+                   std::to_string(r.remaining()) + ")");
+  }
+  std::string payload = data.substr(data.size() - payload_len);
+  if (Crc32(payload) != crc) {
+    return Corrupt("checksum mismatch in " + path);
+  }
+  return payload;
+}
+
+void AppendRecord(std::string_view payload, std::string* out) {
+  Writer frame;
+  frame.PutU32(static_cast<uint32_t>(payload.size()));
+  frame.PutU32(Crc32(payload));
+  out->append(frame.buffer());
+  out->append(payload);
+}
+
+Result<std::vector<std::string>> SplitRecords(std::string_view data) {
+  DPE_ASSIGN_OR_RETURN(RecordScan scan, ScanRecords(data));
+  if (scan.torn_tail) {
+    return Corrupt("truncated record at byte " +
+                   std::to_string(scan.valid_bytes));
+  }
+  return std::move(scan.records);
+}
+
+Result<RecordScan> ScanRecords(std::string_view data) {
+  RecordScan scan;
+  Reader r(data);
+  while (!r.AtEnd()) {
+    if (r.remaining() < 8) {  // half-written length/crc header
+      scan.torn_tail = true;
+      return scan;
+    }
+    DPE_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+    DPE_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
+    if (len > r.remaining()) {  // payload cut off by the crash
+      scan.torn_tail = true;
+      return scan;
+    }
+    DPE_ASSIGN_OR_RETURN(std::string payload, r.ReadBytes(len));
+    if (Crc32(payload) != crc) {
+      if (r.AtEnd()) {  // final record half-flushed: recoverable
+        scan.torn_tail = true;
+        return scan;
+      }
+      return Corrupt("record checksum mismatch mid-stream");
+    }
+    scan.records.push_back(std::move(payload));
+    scan.valid_bytes = data.size() - r.remaining();
+  }
+  return scan;
+}
+
+}  // namespace dpe::store

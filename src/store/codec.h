@@ -1,0 +1,166 @@
+// Versioned, checksummed binary codec for the persistence layer.
+//
+// Layout conventions: all integers are little-endian fixed-width; doubles
+// are the IEEE-754 bit pattern carried in a u64 (round-trips are therefore
+// bit-identical, including NaN payloads); strings are u32-length-prefixed
+// byte runs. A `Writer` appends values to a growable buffer; a `Reader`
+// consumes a byte view and returns `common::Status` on any malformed input
+// — truncation, bad magic, checksum mismatch, out-of-range counts — never
+// undefined behaviour. Decoders validate declared element counts against
+// the bytes actually present *before* allocating, so a corrupted header
+// cannot trigger a multi-gigabyte allocation.
+//
+// On top of the primitives sit the value codecs for the store's core types
+// (DistanceMatrix, distance-cache entries, snapshot metadata) and two
+// framing schemes:
+//
+//   whole-file:  [magic u32][version u32][payload_len u64][crc32 u32][payload]
+//   record:      [payload_len u32][crc32 u32][payload]        (journals)
+//
+// The whole-file frame is checksummed once over the payload and written
+// atomically (tmp + rename); the record frame is checksummed per record so
+// an append-only journal detects torn tails. The upper-triangle matrix
+// layout here is also the planned exchange format for the sharded
+// multi-host matrix builder (see ROADMAP).
+
+#ifndef DPE_STORE_CODEC_H_
+#define DPE_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "distance/matrix.h"
+
+namespace dpe::store {
+
+/// Current on-disk format version (bumped on incompatible layout changes).
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// File magics ("DPES"/"DPEJ"/"DPEM" as little-endian u32).
+inline constexpr uint32_t kSnapshotMagic = 0x53455044;  // "DPES"
+inline constexpr uint32_t kJournalMagic = 0x4a455044;   // "DPEJ"
+inline constexpr uint32_t kMatrixMagic = 0x4d455044;    // "DPEM"
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`.
+uint32_t Crc32(std::string_view data);
+
+// -- Primitives --------------------------------------------------------------
+
+/// Appends fixed-width little-endian values to an internal buffer.
+class Writer {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// IEEE-754 bit pattern in a u64: decoding returns the exact same double.
+  void PutDouble(double v);
+  /// u32 length prefix + raw bytes (embedded NULs are preserved).
+  void PutString(std::string_view s);
+  /// Raw bytes with no prefix — for splicing pre-encoded sections.
+  void PutRaw(std::string_view raw);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Cursor over a byte view; every read is bounds-checked and returns a
+/// ParseError Status instead of reading past the end.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadDouble();
+  Result<std::string> ReadString();
+  /// `len` raw bytes (no length prefix) — the block-copy counterpart of
+  /// Writer::PutRaw.
+  Result<std::string> ReadBytes(size_t len);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  /// ParseError unless the whole input has been consumed.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t bytes, const char* what) const;
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// -- Value codecs ------------------------------------------------------------
+
+/// One memoized pairwise distance: d(i, j) under `measure`. The exchange
+/// type between the engine's DistanceCache and the persistent store.
+struct CacheEntry {
+  std::string measure;
+  uint32_t i = 0;
+  uint32_t j = 0;
+  double d = 0.0;
+
+  bool operator==(const CacheEntry&) const = default;
+};
+
+/// Measure/config metadata stored alongside a snapshot.
+struct SnapshotMeta {
+  uint64_t query_count = 0;
+  std::vector<std::string> measures;  ///< measure names present, sorted
+
+  bool operator==(const SnapshotMeta&) const = default;
+};
+
+/// n + upper triangle (row-major, i < j) — half the cells; symmetry and the
+/// zero diagonal are restored on decode.
+void EncodeMatrix(const distance::DistanceMatrix& m, Writer* w);
+Result<distance::DistanceMatrix> DecodeMatrix(Reader* r);
+
+/// Entries with a measure-name table so repeated names cost 4 bytes each.
+void EncodeCacheEntries(const std::vector<CacheEntry>& entries, Writer* w);
+Result<std::vector<CacheEntry>> DecodeCacheEntries(Reader* r);
+
+void EncodeSnapshotMeta(const SnapshotMeta& meta, Writer* w);
+Result<SnapshotMeta> DecodeSnapshotMeta(Reader* r);
+
+// -- Framing -----------------------------------------------------------------
+
+/// Writes [magic][version][payload_len][crc32][payload] to `path` atomically
+/// (tmp file + rename), so readers never observe a half-written file.
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       std::string_view payload);
+
+/// Reads a framed file back, validating magic, version, length and checksum.
+/// NotFound if the file does not exist; ParseError on any corruption.
+Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic);
+
+/// Appends one [payload_len][crc32][payload] record to `out`.
+void AppendRecord(std::string_view payload, std::string* out);
+
+/// Splits a concatenation of records back into payloads; ParseError on a
+/// truncated or checksum-failing record (torn journal tails surface here).
+Result<std::vector<std::string>> SplitRecords(std::string_view data);
+
+/// Outcome of a crash-tolerant record scan.
+struct RecordScan {
+  std::vector<std::string> records;  ///< intact records, in order
+  size_t valid_bytes = 0;            ///< prefix length holding them
+  bool torn_tail = false;            ///< trailing partial record was dropped
+};
+
+/// Like SplitRecords, but a corrupt record that reaches the end of the
+/// input is reported as a torn tail (the half-written append of a killed
+/// process) instead of an error; a checksum failure *followed by further
+/// records* is still a ParseError. WAL recovery = replay `records`, then
+/// truncate the file back to `valid_bytes`.
+Result<RecordScan> ScanRecords(std::string_view data);
+
+}  // namespace dpe::store
+
+#endif  // DPE_STORE_CODEC_H_

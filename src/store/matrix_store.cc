@@ -1,0 +1,312 @@
+#include "store/matrix_store.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace dpe::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status Corrupt(const std::string& what) {
+  return Status::ParseError("matrix store: " + what);
+}
+
+void EncodeJournalRecord(const JournalRecord& record, Writer* w) {
+  w->PutU8(static_cast<uint8_t>(record.kind));
+  switch (record.kind) {
+    case JournalRecord::Kind::kQueryAppended:
+      w->PutU32(record.index);
+      w->PutString(record.sql);
+      break;
+    case JournalRecord::Kind::kRowComputed:
+      w->PutString(record.measure);
+      w->PutU32(record.row);
+      w->PutU32(static_cast<uint32_t>(record.cols.size()));
+      for (const auto& [col, d] : record.cols) {
+        w->PutU32(col);
+        w->PutDouble(d);
+      }
+      break;
+  }
+}
+
+Result<JournalRecord> DecodeJournalRecord(std::string_view payload) {
+  Reader r(payload);
+  JournalRecord record;
+  DPE_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  switch (static_cast<JournalRecord::Kind>(kind)) {
+    case JournalRecord::Kind::kQueryAppended: {
+      record.kind = JournalRecord::Kind::kQueryAppended;
+      DPE_ASSIGN_OR_RETURN(record.index, r.ReadU32());
+      DPE_ASSIGN_OR_RETURN(record.sql, r.ReadString());
+      break;
+    }
+    case JournalRecord::Kind::kRowComputed: {
+      record.kind = JournalRecord::Kind::kRowComputed;
+      DPE_ASSIGN_OR_RETURN(record.measure, r.ReadString());
+      DPE_ASSIGN_OR_RETURN(record.row, r.ReadU32());
+      DPE_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+      if (count > r.remaining() / 12) {  // 12 bytes per (col, distance)
+        return Corrupt("row record column count " + std::to_string(count) +
+                       " exceeds record size");
+      }
+      record.cols.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        DPE_ASSIGN_OR_RETURN(uint32_t col, r.ReadU32());
+        DPE_ASSIGN_OR_RETURN(double d, r.ReadDouble());
+        record.cols.emplace_back(col, d);
+      }
+      break;
+    }
+    default:
+      return Corrupt("unknown journal record kind " + std::to_string(kind));
+  }
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  return record;
+}
+
+}  // namespace
+
+Result<MatrixStore> MatrixStore::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir)) {
+    return Status::InvalidArgument("matrix store: cannot open directory " +
+                                   dir);
+  }
+  return MatrixStore(dir);
+}
+
+Result<MatrixStore> MatrixStore::OpenExisting(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("matrix store: no store directory at " + dir);
+  }
+  return MatrixStore(dir);
+}
+
+std::string MatrixStore::SnapshotPath() const {
+  return (fs::path(dir_) / "snapshot.dpe").string();
+}
+
+std::string MatrixStore::JournalPath() const {
+  return (fs::path(dir_) / "journal.dpe").string();
+}
+
+std::string MatrixStore::MatrixPath(const std::string& name) const {
+  return (fs::path(dir_) / ("matrix-" + name + ".dpe")).string();
+}
+
+// -- Snapshot ----------------------------------------------------------------
+
+bool MatrixStore::HasSnapshot() const {
+  std::error_code ec;
+  return fs::exists(SnapshotPath(), ec);
+}
+
+Status MatrixStore::WriteSnapshot(const Snapshot& snapshot) {
+  SnapshotMeta meta;
+  meta.query_count = snapshot.queries.size();
+  std::set<std::string> measures;
+  for (const CacheEntry& e : snapshot.entries) measures.insert(e.measure);
+  meta.measures.assign(measures.begin(), measures.end());
+
+  Writer w;
+  EncodeSnapshotMeta(meta, &w);
+  w.PutU64(snapshot.queries.size());
+  for (const std::string& sql : snapshot.queries) w.PutString(sql);
+  EncodeCacheEntries(snapshot.entries, &w);
+  return WriteFramedFile(SnapshotPath(), kSnapshotMagic, w.buffer());
+}
+
+Result<Snapshot> MatrixStore::ReadSnapshot() const {
+  DPE_ASSIGN_OR_RETURN(std::string payload,
+                       ReadFramedFile(SnapshotPath(), kSnapshotMagic));
+  Reader r(payload);
+  DPE_ASSIGN_OR_RETURN(SnapshotMeta meta, DecodeSnapshotMeta(&r));
+  DPE_ASSIGN_OR_RETURN(uint64_t query_count, r.ReadU64());
+  if (query_count != meta.query_count) {
+    return Corrupt("snapshot metadata declares " +
+                   std::to_string(meta.query_count) + " queries but " +
+                   std::to_string(query_count) + " are present");
+  }
+  if (query_count > r.remaining() / 4) {  // >= 4 bytes per string
+    return Corrupt("snapshot query count " + std::to_string(query_count) +
+                   " exceeds remaining input");
+  }
+  Snapshot snapshot;
+  snapshot.queries.reserve(query_count);
+  for (uint64_t k = 0; k < query_count; ++k) {
+    DPE_ASSIGN_OR_RETURN(std::string sql, r.ReadString());
+    snapshot.queries.push_back(std::move(sql));
+  }
+  DPE_ASSIGN_OR_RETURN(snapshot.entries, DecodeCacheEntries(&r));
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  return snapshot;
+}
+
+// -- Journal -----------------------------------------------------------------
+
+Status MatrixStore::AppendRecords(const std::vector<JournalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  std::string frame;
+  // A fresh journal starts with the same magic/version prologue as the
+  // framed files (but no length/checksum — records carry their own).
+  constexpr uintmax_t kUnknownSize = static_cast<uintmax_t>(-1);
+  std::error_code ec;
+  const bool existed = fs::exists(JournalPath(), ec);
+  uintmax_t old_size = 0;
+  if (existed) {
+    old_size = fs::file_size(JournalPath(), ec);
+    if (ec) old_size = kUnknownSize;  // unknown: rollback must not "grow"
+  }
+  if (!existed) {
+    Writer header;
+    header.PutU32(kJournalMagic);
+    header.PutU32(kFormatVersion);
+    frame = header.TakeBuffer();
+  }
+  for (const JournalRecord& record : records) {
+    Writer payload;
+    EncodeJournalRecord(record, &payload);
+    AppendRecord(payload.buffer(), &frame);
+  }
+
+  std::ofstream out(JournalPath(), std::ios::binary | std::ios::app);
+  if (!out) {
+    return Status::Internal("matrix store: cannot open journal " +
+                            JournalPath());
+  }
+  out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) {
+    // Roll the partial append back (best effort): torn bytes left at the
+    // tail would be buried mid-stream by a later successful append,
+    // turning a transient write failure into permanent corruption.
+    out.close();
+    if (!existed) {
+      fs::remove(JournalPath(), ec);
+    } else if (old_size != kUnknownSize) {
+      fs::resize_file(JournalPath(), old_size, ec);
+    }
+    return Status::Internal("matrix store: short write to journal " +
+                            JournalPath());
+  }
+  return Status::OK();
+}
+
+Status MatrixStore::AppendQuery(uint32_t index, const std::string& sql) {
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kQueryAppended;
+  record.index = index;
+  record.sql = sql;
+  return AppendRecords({std::move(record)});
+}
+
+Status MatrixStore::AppendRow(
+    const std::string& measure, uint32_t row,
+    const std::vector<std::pair<uint32_t, double>>& cols) {
+  JournalRecord record;
+  record.kind = JournalRecord::Kind::kRowComputed;
+  record.measure = measure;
+  record.row = row;
+  record.cols = cols;
+  return AppendRecords({std::move(record)});
+}
+
+Result<std::vector<JournalRecord>> MatrixStore::ReadJournalImpl(
+    bool recover_torn_tail) const {
+  std::ifstream in(JournalPath(), std::ios::binary);
+  if (!in) return std::vector<JournalRecord>{};  // no journal = no records
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  if (data.size() < 8 && recover_torn_tail) {
+    // A crash can die inside the very first buffered write, before even the
+    // 8-byte magic/version prologue is complete. Recovery treats that as an
+    // empty journal and clears the stub so future appends start clean.
+    std::error_code ec;
+    fs::remove(JournalPath(), ec);
+    return std::vector<JournalRecord>{};
+  }
+  Reader header(data);
+  DPE_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
+  if (magic != kJournalMagic) {
+    return Corrupt("bad journal magic in " + JournalPath());
+  }
+  DPE_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+  if (version != kFormatVersion) {
+    return Corrupt("unsupported journal version " + std::to_string(version));
+  }
+  DPE_ASSIGN_OR_RETURN(RecordScan scan,
+                       ScanRecords(std::string_view(data).substr(8)));
+  if (scan.torn_tail) {
+    if (!recover_torn_tail) {
+      return Corrupt("torn journal tail in " + JournalPath() +
+                     " (crash mid-append?)");
+    }
+    // Truncate the torn bytes away so future appends extend an intact
+    // stream instead of burying garbage mid-file.
+    std::error_code ec;
+    fs::resize_file(JournalPath(), 8 + scan.valid_bytes, ec);
+    if (ec) {
+      return Status::Internal("matrix store: cannot truncate torn journal " +
+                              JournalPath());
+    }
+  }
+  std::vector<JournalRecord> records;
+  records.reserve(scan.records.size());
+  for (const std::string& payload : scan.records) {
+    DPE_ASSIGN_OR_RETURN(JournalRecord record, DecodeJournalRecord(payload));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Result<std::vector<JournalRecord>> MatrixStore::ReadJournal() const {
+  return ReadJournalImpl(/*recover_torn_tail=*/false);
+}
+
+Result<std::vector<JournalRecord>> MatrixStore::RecoverJournal() {
+  return ReadJournalImpl(/*recover_torn_tail=*/true);
+}
+
+Status MatrixStore::TruncateJournal() {
+  std::error_code ec;
+  fs::remove(JournalPath(), ec);
+  if (ec) {
+    return Status::Internal("matrix store: cannot remove journal " +
+                            JournalPath());
+  }
+  return Status::OK();
+}
+
+// -- Standalone matrices -----------------------------------------------------
+
+Status MatrixStore::WriteMatrix(const std::string& name,
+                                const distance::DistanceMatrix& matrix) {
+  Writer w;
+  w.PutString(name);
+  EncodeMatrix(matrix, &w);
+  return WriteFramedFile(MatrixPath(name), kMatrixMagic, w.buffer());
+}
+
+Result<distance::DistanceMatrix> MatrixStore::ReadMatrix(
+    const std::string& name) const {
+  DPE_ASSIGN_OR_RETURN(std::string payload,
+                       ReadFramedFile(MatrixPath(name), kMatrixMagic));
+  Reader r(payload);
+  DPE_ASSIGN_OR_RETURN(std::string stored_name, r.ReadString());
+  if (stored_name != name) {
+    return Corrupt("matrix file for '" + name + "' declares name '" +
+                   stored_name + "'");
+  }
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, DecodeMatrix(&r));
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  return m;
+}
+
+}  // namespace dpe::store

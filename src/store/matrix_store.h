@@ -1,0 +1,127 @@
+// Persistent distance store: snapshot + append-only journal, rooted in one
+// directory, so incremental mining survives restarts.
+//
+//   <dir>/snapshot.dpe       full checkpoint: query log (canonical SQL),
+//                            memoized cache entries, measure metadata
+//   <dir>/journal.dpe        append-only log of work done *after* the
+//                            snapshot: appended queries and computed rows
+//   <dir>/matrix-<name>.dpe  standalone finished-matrix snapshots (also the
+//                            planned shard exchange format)
+//
+// The snapshot is rewritten atomically (tmp + rename) and replaces the
+// journal; the journal is the cheap hot path — one small checksummed record
+// per appended query or computed matrix row. Recovery = read snapshot, then
+// replay journal records in order. Every read path returns common::Status
+// on corruption (bad magic, bad checksum, truncated tail) instead of
+// crashing; see store/codec.h for the byte-level format.
+
+#ifndef DPE_STORE_MATRIX_STORE_H_
+#define DPE_STORE_MATRIX_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "distance/matrix.h"
+#include "store/codec.h"
+
+namespace dpe::store {
+
+/// A full checkpoint of the incremental-mining state.
+struct Snapshot {
+  /// Canonical SQL (sql::ToSql) of each log query, in stable-id order.
+  /// Restores via sql::Parse — the printer/parser round-trip is a tested
+  /// property of the sql layer.
+  std::vector<std::string> queries;
+  /// Memoized distances, coldest-first, so restoring in order reproduces
+  /// the cache's LRU recency as well as its contents.
+  std::vector<CacheEntry> entries;
+};
+
+/// One replayable journal record.
+struct JournalRecord {
+  enum class Kind : uint8_t {
+    kQueryAppended = 1,  ///< a query was appended to the log
+    kRowComputed = 2,    ///< one matrix row's distances were computed
+  };
+
+  Kind kind = Kind::kQueryAppended;
+
+  // kQueryAppended: the log index the query was assigned, plus its SQL.
+  uint32_t index = 0;
+  std::string sql;
+
+  // kRowComputed: d(col, row) for every freshly computed column of `row`
+  // under `measure` (cols < row; previously cached columns are absent).
+  std::string measure;
+  uint32_t row = 0;
+  std::vector<std::pair<uint32_t, double>> cols;
+};
+
+class MatrixStore {
+ public:
+  /// Opens (creating if needed) the store directory. Fails if `dir` exists
+  /// but is not a directory.
+  static Result<MatrixStore> Open(const std::string& dir);
+
+  /// Read-side open: NotFound if `dir` does not exist — never creates
+  /// anything, so a mistyped restore path fails loudly instead of leaving
+  /// empty directory trees behind.
+  static Result<MatrixStore> OpenExisting(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  // -- Snapshot --------------------------------------------------------------
+
+  bool HasSnapshot() const;
+  /// Atomically replaces the snapshot (the journal is left untouched;
+  /// callers checkpointing a full state follow with TruncateJournal()).
+  Status WriteSnapshot(const Snapshot& snapshot);
+  /// NotFound if no snapshot was ever written; ParseError on corruption.
+  Result<Snapshot> ReadSnapshot() const;
+
+  // -- Journal ---------------------------------------------------------------
+
+  /// Appends a kQueryAppended record.
+  Status AppendQuery(uint32_t index, const std::string& sql);
+  /// Appends a kRowComputed record; `cols` holds (col, distance) pairs.
+  Status AppendRow(const std::string& measure, uint32_t row,
+                   const std::vector<std::pair<uint32_t, double>>& cols);
+  /// Appends a batch of records in one open/write/flush cycle — the bulk
+  /// path for journaling a whole build's rows.
+  Status AppendRecords(const std::vector<JournalRecord>& records);
+  /// All journal records since the last truncation, in append order.
+  /// An absent journal file reads as empty; corruption is a ParseError.
+  Result<std::vector<JournalRecord>> ReadJournal() const;
+  /// Crash-recovery read: a torn final record (the half-flushed append of
+  /// a killed process) is dropped and the file truncated back to the last
+  /// intact record, so the checkpoint survives the very crash it exists
+  /// for. Mid-stream corruption is still a ParseError.
+  Result<std::vector<JournalRecord>> RecoverJournal();
+  /// Drops every journal record (after a fresh snapshot subsumed them).
+  Status TruncateJournal();
+
+  // -- Standalone matrices ---------------------------------------------------
+
+  /// Snapshots a finished matrix under `name` ("token", "shard-3", ...).
+  Status WriteMatrix(const std::string& name,
+                     const distance::DistanceMatrix& matrix);
+  Result<distance::DistanceMatrix> ReadMatrix(const std::string& name) const;
+
+ private:
+  explicit MatrixStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string SnapshotPath() const;
+  std::string JournalPath() const;
+  std::string MatrixPath(const std::string& name) const;
+  Result<std::vector<JournalRecord>> ReadJournalImpl(
+      bool recover_torn_tail) const;
+
+  std::string dir_;
+};
+
+}  // namespace dpe::store
+
+#endif  // DPE_STORE_MATRIX_STORE_H_

@@ -1,0 +1,171 @@
+// DistanceCache: LRU eviction under a byte budget, atomic stats (reset on
+// Clear), export/restore recency round-trip, and concurrent-lookup safety.
+
+#include "engine/distance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dpe::engine {
+namespace {
+
+DistanceCache::Options Budget(size_t entries) {
+  return DistanceCache::Options{entries * DistanceCache::kEntryBytes};
+}
+
+TEST(DistanceCacheTest, LookupIsUnorderedInPair) {
+  DistanceCache cache;
+  cache.Insert("token", 3, 7, 0.5);
+  auto a = cache.Lookup("token", 3, 7);
+  auto b = cache.Lookup("token", 7, 3);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, 0.5);
+  EXPECT_EQ(*b, 0.5);
+  EXPECT_FALSE(cache.Lookup("structure", 3, 7).has_value());
+}
+
+TEST(DistanceCacheTest, StatsCountHitsAndMissesAndResetOnClear) {
+  DistanceCache cache;
+  cache.Insert("token", 0, 1, 0.1);
+  cache.Lookup("token", 0, 1);  // hit
+  cache.Lookup("token", 0, 2);  // miss
+  cache.Lookup("other", 0, 1);  // miss (measure never seen)
+  DistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+
+  cache.Clear();
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DistanceCacheTest, UnboundedByDefault) {
+  DistanceCache cache;
+  for (uint32_t k = 0; k < 1000; ++k) cache.Insert("token", k, k + 1, 0.5);
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(DistanceCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  DistanceCache cache(Budget(4));
+  for (uint32_t k = 0; k < 6; ++k) cache.Insert("token", k, k + 1, k * 0.1);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_LE(cache.bytes_used(), cache.max_bytes());
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // The two oldest pairs are gone, the four newest survive.
+  EXPECT_FALSE(cache.Lookup("token", 0, 1).has_value());
+  EXPECT_FALSE(cache.Lookup("token", 1, 2).has_value());
+  EXPECT_TRUE(cache.Lookup("token", 2, 3).has_value());
+  EXPECT_TRUE(cache.Lookup("token", 5, 6).has_value());
+}
+
+TEST(DistanceCacheTest, LookupPromotesAgainstEviction) {
+  DistanceCache cache(Budget(3));
+  cache.Insert("token", 0, 1, 0.0);
+  cache.Insert("token", 1, 2, 0.1);
+  cache.Insert("token", 2, 3, 0.2);
+  // Touch the oldest pair; the *untouched* oldest should be evicted next.
+  ASSERT_TRUE(cache.Lookup("token", 0, 1).has_value());
+  cache.Insert("token", 3, 4, 0.3);
+  EXPECT_TRUE(cache.Lookup("token", 0, 1).has_value());   // promoted: kept
+  EXPECT_FALSE(cache.Lookup("token", 1, 2).has_value());  // evicted
+}
+
+TEST(DistanceCacheTest, LruIsGlobalAcrossMeasures) {
+  DistanceCache cache(Budget(2));
+  cache.Insert("token", 0, 1, 0.0);
+  cache.Insert("structure", 0, 1, 0.5);
+  cache.Insert("token", 1, 2, 0.1);  // evicts the token (0,1) pair
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Lookup("token", 0, 1).has_value());
+  EXPECT_TRUE(cache.Lookup("structure", 0, 1).has_value());
+  EXPECT_TRUE(cache.Lookup("token", 1, 2).has_value());
+}
+
+TEST(DistanceCacheTest, ReinsertUpdatesValueAndRecency) {
+  DistanceCache cache(Budget(2));
+  cache.Insert("token", 0, 1, 0.0);
+  cache.Insert("token", 1, 2, 0.1);
+  cache.Insert("token", 0, 1, 0.0);  // re-insert: promote, no growth
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert("token", 2, 3, 0.2);  // evicts (1,2), not the promoted (0,1)
+  EXPECT_TRUE(cache.Lookup("token", 0, 1).has_value());
+  EXPECT_FALSE(cache.Lookup("token", 1, 2).has_value());
+}
+
+TEST(DistanceCacheTest, ExportRestoreRoundTripPreservesRecency) {
+  // Budgeted source cache: lookups promote only when eviction is possible
+  // (the unbounded cache skips LRU bookkeeping as a fast path).
+  DistanceCache cache(Budget(8));
+  cache.Insert("token", 0, 1, 0.0);
+  cache.Insert("structure", 0, 1, 0.5);
+  cache.Insert("token", 1, 2, 0.1);
+  ASSERT_TRUE(cache.Lookup("token", 0, 1).has_value());  // promote (0,1)
+
+  std::vector<store::CacheEntry> exported = cache.Export();
+  ASSERT_EQ(exported.size(), 3u);
+  // Coldest first: structure (0,1), token (1,2), token (0,1).
+  EXPECT_EQ(exported[0].measure, "structure");
+  EXPECT_EQ(exported[2].measure, "token");
+  EXPECT_EQ(exported[2].i, 0u);
+  EXPECT_EQ(exported[2].j, 1u);
+
+  // Restoring into a budget of 2 must keep the two *hottest* entries.
+  DistanceCache restored(Budget(2));
+  restored.Restore(exported);
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_FALSE(restored.Lookup("structure", 0, 1).has_value());
+  EXPECT_TRUE(restored.Lookup("token", 1, 2).has_value());
+  EXPECT_TRUE(restored.Lookup("token", 0, 1).has_value());
+  // Restore itself does not disturb the counters (the three lookups above
+  // are the only events).
+  EXPECT_EQ(restored.stats().hits, 2u);
+  EXPECT_EQ(restored.stats().misses, 1u);
+}
+
+TEST(DistanceCacheTest, TinyBudgetNeverExceedsItself) {
+  DistanceCache cache(DistanceCache::Options{1});  // less than one entry
+  cache.Insert("token", 0, 1, 0.5);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_LE(cache.bytes_used(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(DistanceCacheTest, ConcurrentLookupsAndInsertsKeepConsistentCounters) {
+  DistanceCache cache(Budget(64));
+  constexpr size_t kThreads = 4;
+  constexpr size_t kOpsPerThread = 2000;
+  std::atomic<bool> torn_value{false};  // gtest asserts are not thread-safe
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &torn_value, t] {
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        const uint32_t i = static_cast<uint32_t>((t * 7 + op) % 40);
+        const uint32_t j = i + 1 + static_cast<uint32_t>(op % 3);
+        if (op % 2 == 0) {
+          cache.Insert("token", i, j, 0.25);
+        } else {
+          auto d = cache.Lookup("token", i, j);
+          // Values are deterministic: a hit can only ever see 0.25.
+          if (d.has_value() && *d != 0.25) torn_value = true;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(torn_value);
+
+  DistanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread / 2);
+  EXPECT_LE(cache.bytes_used(), cache.max_bytes());
+}
+
+}  // namespace
+}  // namespace dpe::engine

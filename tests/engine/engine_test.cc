@@ -6,28 +6,14 @@
 #include <gtest/gtest.h>
 
 #include "distance/token_distance.h"
+#include "tests/scenario_test_util.h"
 #include "workload/scenarios.h"
 
 namespace dpe::engine {
 namespace {
 
-workload::Scenario Shop(uint64_t seed, size_t log_size) {
-  workload::ScenarioOptions opt;
-  opt.seed = seed;
-  opt.rows_per_relation = 40;
-  opt.log_size = log_size;
-  auto s = workload::MakeShopScenario(opt);
-  EXPECT_TRUE(s.ok()) << s.status();
-  return std::move(s).value();
-}
-
-void ExpectBitIdentical(const distance::DistanceMatrix& a,
-                        const distance::DistanceMatrix& b) {
-  ASSERT_EQ(a.size(), b.size());
-  auto diff = distance::DistanceMatrix::MaxAbsDifference(a, b);
-  ASSERT_TRUE(diff.ok());
-  EXPECT_EQ(*diff, 0.0);
-}
+using testutil::ExpectBitIdentical;
+using testutil::Shop;
 
 TEST(EngineTest, BuildMatrixMatchesSerialReference) {
   workload::Scenario s = Shop(42, 30);
@@ -183,6 +169,92 @@ TEST(EngineTest, BatchMiningMatchesDirectCalls) {
     ASSERT_TRUE(nn.ok());
     EXPECT_EQ(out_engine->neighbors[r], *nn);
   }
+}
+
+TEST(EngineTest, AsyncBuildMatchesSerialReference) {
+  workload::Scenario s = Shop(21, 20);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+
+  auto future = engine.BuildMatrixAsync("token");
+  auto built = future.get();
+  ASSERT_TRUE(built.ok()) << built.status();
+
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(serial.ok());
+  ExpectBitIdentical(*serial, *built);
+
+  // The async build shares the cache: a following sync build is all hits.
+  auto second = engine.BuildMatrix("token");
+  ASSERT_TRUE(second.ok());
+  const size_t pairs = 20 * 19 / 2;
+  EXPECT_EQ(engine.cache_stats().hits, pairs);
+  ExpectBitIdentical(*serial, *second);
+}
+
+TEST(EngineTest, AsyncBuildsOverlapAcrossMeasures) {
+  workload::Scenario s = Shop(23, 24);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+
+  // Two in-flight builds at once; neither blocks the caller.
+  auto token_future = engine.BuildMatrixAsync("token");
+  auto structure_future = engine.BuildMatrixAsync("structure");
+  auto token = token_future.get();
+  auto structure = structure_future.get();
+  ASSERT_TRUE(token.ok()) << token.status();
+  ASSERT_TRUE(structure.ok()) << structure.status();
+
+  distance::TokenDistance token_measure;
+  auto token_serial =
+      distance::DistanceMatrix::Compute(s.log, token_measure, s.Context());
+  ASSERT_TRUE(token_serial.ok());
+  ExpectBitIdentical(*token_serial, *token);
+
+  auto structure_sync = engine.BuildMatrix("structure");
+  ASSERT_TRUE(structure_sync.ok());
+  ExpectBitIdentical(*structure_sync, *structure);
+}
+
+TEST(EngineTest, DestructorDrainsInFlightAsyncBuilds) {
+  workload::Scenario s = Shop(27, 18);
+  // The future is deliberately dropped without get(): the engine's
+  // destructor must block until the task is done, or the task would touch
+  // destroyed members (caught by the ASan run of this suite).
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+  engine.BuildMatrixAsync("token");
+  engine.BuildMatrixAsync("structure");
+}
+
+TEST(EngineTest, AsyncBuildOfUnknownMeasureFailsFast) {
+  workload::Scenario s = Shop(2, 5);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+  auto future = engine.BuildMatrixAsync("bogus");
+  EXPECT_EQ(future.get().status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, CacheByteBudgetIsEnforcedDuringBuilds) {
+  workload::Scenario s = Shop(11, 16);
+  const size_t budget = 40 * DistanceCache::kEntryBytes;  // < 120 pairs
+  Engine engine(s.Context(), {.threads = 2, .cache_max_bytes = budget});
+  engine.SetLog(s.log);
+
+  auto built = engine.BuildMatrix("token");
+  ASSERT_TRUE(built.ok());
+  EXPECT_LE(engine.cache_bytes_used(), budget);
+  EXPECT_GT(engine.cache_stats().evictions, 0u);
+
+  // Evicted pairs recompute on demand — the result stays bit-identical.
+  distance::TokenDistance token;
+  auto serial = distance::DistanceMatrix::Compute(s.log, token, s.Context());
+  ASSERT_TRUE(serial.ok());
+  auto rebuilt = engine.BuildMatrix("token");
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_LE(engine.cache_bytes_used(), budget);
+  ExpectBitIdentical(*serial, *rebuilt);
 }
 
 TEST(EngineTest, RegistryAcceptsCustomMeasure) {

@@ -1,0 +1,37 @@
+// Shared test helpers for suites that drive the engine over a generated
+// scenario (tests/engine, tests/store). The bench counterpart lives in
+// bench/bench_util.h.
+
+#ifndef DPE_TESTS_SCENARIO_TEST_UTIL_H_
+#define DPE_TESTS_SCENARIO_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "distance/matrix.h"
+#include "workload/scenarios.h"
+
+namespace dpe::testutil {
+
+/// Small web-shop scenario, deterministic in the seed.
+inline workload::Scenario Shop(uint64_t seed, size_t log_size) {
+  workload::ScenarioOptions opt;
+  opt.seed = seed;
+  opt.rows_per_relation = 40;
+  opt.log_size = log_size;
+  auto s = workload::MakeShopScenario(opt);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return std::move(s).value();
+}
+
+/// Asserts max |a - b| == 0 — bit-identity, not approximate equality.
+inline void ExpectBitIdentical(const distance::DistanceMatrix& a,
+                               const distance::DistanceMatrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto diff = distance::DistanceMatrix::MaxAbsDifference(a, b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+}
+
+}  // namespace dpe::testutil
+
+#endif  // DPE_TESTS_SCENARIO_TEST_UTIL_H_

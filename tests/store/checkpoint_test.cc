@@ -1,0 +1,370 @@
+// End-to-end kill/restart round-trip (the acceptance criterion of the
+// persistent store): build a matrix for N logs, SaveCheckpoint, reload in a
+// fresh Engine, append M new logs, and the incrementally-completed matrix
+// must be bit-identical to a cold build over N+M logs — while the journal
+// shows only the new rows were computed and the LRU cache never exceeds its
+// byte budget. A second restart then replays the journal and rebuilds with
+// zero recomputation.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "engine/engine.h"
+#include "sql/printer.h"
+#include "store/matrix_store.h"
+#include "tests/scenario_test_util.h"
+#include "workload/scenarios.h"
+
+namespace dpe::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectBitIdentical;
+using testutil::Shop;
+
+constexpr size_t kInitial = 18;  // N
+constexpr size_t kAppended = 6;  // M
+constexpr size_t kTotal = kInitial + kAppended;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("checkpoint_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, KillRestartRoundTripIsBitIdenticalAndIncremental) {
+  workload::Scenario s = Shop(42, kTotal);
+  // Budget with finite headroom: holds every pair of the full log (plus the
+  // second measure used below), but is a real LRU bound that the test
+  // checks is never exceeded.
+  EngineOptions options;
+  options.threads = 2;
+  options.block = 8;
+  options.cache_max_bytes = 3 * (kTotal * (kTotal - 1) / 2) *
+                            DistanceCache::kEntryBytes;
+
+  // --- Session 1: build over N queries, checkpoint, "die". ---
+  {
+    Engine engine(s.Context(), options);
+    engine.SetLog({s.log.begin(), s.log.begin() + kInitial});
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    ASSERT_FALSE(engine.checkpoint_attached());
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+    ASSERT_TRUE(engine.checkpoint_attached());
+    EXPECT_LE(engine.cache_bytes_used(), options.cache_max_bytes);
+  }
+
+  // --- Session 2: fresh engine, restore, append M, rebuild. ---
+  Engine engine2(s.Context(), options);
+  ASSERT_TRUE(engine2.LoadCheckpoint(dir_).ok());
+  EXPECT_EQ(engine2.log_size(), kInitial);
+  EXPECT_EQ(engine2.cache_size(), kInitial * (kInitial - 1) / 2);
+
+  for (size_t i = kInitial; i < kTotal; ++i) {
+    ASSERT_TRUE(engine2.AddQuery(s.log[i]).ok());
+  }
+  auto incremental = engine2.BuildMatrix("token");
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+  EXPECT_LE(engine2.cache_bytes_used(), options.cache_max_bytes);
+
+  // Every pre-checkpoint pair was served from the restored cache...
+  EXPECT_EQ(engine2.cache_stats().hits, kInitial * (kInitial - 1) / 2);
+
+  // ...and the result is bit-identical to a cold build over all N+M logs.
+  Engine cold(s.Context(), options);
+  cold.SetLog(s.log);
+  auto full = cold.BuildMatrix("token");
+  ASSERT_TRUE(full.ok());
+  ExpectBitIdentical(*full, *incremental);
+
+  // The journal records the appended queries and ONLY the new rows.
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto journal = store->ReadJournal();
+  ASSERT_TRUE(journal.ok()) << journal.status();
+  size_t query_records = 0, row_records = 0;
+  for (const store::JournalRecord& record : *journal) {
+    if (record.kind == store::JournalRecord::Kind::kQueryAppended) {
+      EXPECT_GE(record.index, kInitial);
+      EXPECT_LT(record.index, kTotal);
+      ++query_records;
+    } else {
+      EXPECT_GE(record.row, kInitial) << "old row was recomputed";
+      EXPECT_LT(record.row, kTotal);
+      ++row_records;
+    }
+  }
+  EXPECT_EQ(query_records, kAppended);
+  EXPECT_EQ(row_records, kAppended);  // one record per new row
+
+  // --- Session 3: another kill/restart; the journal replays, nothing is
+  // recomputed, and the matrix is still bit-identical. ---
+  Engine engine3(s.Context(), options);
+  ASSERT_TRUE(engine3.LoadCheckpoint(dir_).ok());
+  EXPECT_EQ(engine3.log_size(), kTotal);
+  EXPECT_EQ(engine3.cache_size(), kTotal * (kTotal - 1) / 2);
+  auto replayed = engine3.BuildMatrix("token");
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(engine3.cache_stats().misses, 0u);  // zero recomputation
+  ExpectBitIdentical(*full, *replayed);
+  EXPECT_LE(engine3.cache_bytes_used(), options.cache_max_bytes);
+}
+
+TEST_F(CheckpointTest, MultiMeasureCheckpointRestoresBoth) {
+  workload::Scenario s = Shop(9, 12);
+  Engine engine(s.Context(), {.threads = 2});
+  engine.SetLog(s.log);
+  auto token = engine.BuildMatrix("token");
+  auto structure = engine.BuildMatrix("structure");
+  ASSERT_TRUE(token.ok());
+  ASSERT_TRUE(structure.ok());
+  ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+
+  Engine restored(s.Context(), {.threads = 2});
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  auto token2 = restored.BuildMatrix("token");
+  auto structure2 = restored.BuildMatrix("structure");
+  ASSERT_TRUE(token2.ok());
+  ASSERT_TRUE(structure2.ok());
+  EXPECT_EQ(restored.cache_stats().misses, 0u);
+  ExpectBitIdentical(*token, *token2);
+  ExpectBitIdentical(*structure, *structure2);
+}
+
+TEST_F(CheckpointTest, RestoredLogRoundTripsThroughSqlText) {
+  workload::Scenario s = Shop(17, 10);
+  Engine engine(s.Context());
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+
+  Engine restored(s.Context());
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  ASSERT_EQ(restored.log_size(), s.log.size());
+  for (size_t i = 0; i < s.log.size(); ++i) {
+    EXPECT_EQ(sql::ToSql(restored.log()[i]), sql::ToSql(s.log[i]));
+  }
+}
+
+TEST_F(CheckpointTest, LoadFromMissingDirectoryIsNotFoundAndCreatesNothing) {
+  workload::Scenario s = Shop(1, 4);
+  Engine engine(s.Context());
+  EXPECT_EQ(engine.LoadCheckpoint(dir_).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(engine.checkpoint_attached());
+  // A mistyped restore path must not leave directory trees behind.
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST_F(CheckpointTest, EvictedRecomputesAreNotReJournaled) {
+  workload::Scenario s = Shop(37, 10);
+  EngineOptions options;
+  options.cache_max_bytes = 20 * DistanceCache::kEntryBytes;  // < 45 pairs
+  Engine engine(s.Context(), options);
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+
+  // Each rebuild recomputes the evicted pairs; none of those rows are new,
+  // so the journal must stay empty instead of growing per rebuild.
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto journal = store->ReadJournal();
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(journal->empty());
+
+  // A genuinely new row still journals exactly once.
+  workload::Scenario extra = Shop(38, 1);
+  ASSERT_TRUE(engine.AddQuery(extra.log[0]).ok());
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  ASSERT_TRUE(engine.BuildMatrix("token").ok());
+  journal = store->ReadJournal();
+  ASSERT_TRUE(journal.ok());
+  size_t row_records = 0;
+  for (const auto& record : *journal) {
+    if (record.kind == store::JournalRecord::Kind::kRowComputed) {
+      EXPECT_EQ(record.row, 10u);
+      ++row_records;
+    }
+  }
+  EXPECT_EQ(row_records, 1u);
+}
+
+TEST_F(CheckpointTest, CorruptSnapshotLeavesEngineUntouched) {
+  workload::Scenario s = Shop(3, 8);
+  {
+    Engine engine(s.Context());
+    engine.SetLog(s.log);
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+  }
+  const std::string path = (fs::path(dir_) / "snapshot.dpe").string();
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data[data.size() - 3] = static_cast<char>(data[data.size() - 3] ^ 0x11);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+
+  Engine engine(s.Context());
+  engine.SetLog({s.log.begin(), s.log.begin() + 2});
+  Status load_status = engine.LoadCheckpoint(dir_);
+  EXPECT_EQ(load_status.code(), StatusCode::kParseError) << load_status;
+  // The failed load must not have clobbered the engine's state.
+  EXPECT_EQ(engine.log_size(), 2u);
+  EXPECT_FALSE(engine.checkpoint_attached());
+}
+
+TEST_F(CheckpointTest, LoadToleratesJournalSubsumedBySnapshot) {
+  // A crash between WriteSnapshot and TruncateJournal leaves a fresh
+  // snapshot next to a stale journal whose records the snapshot already
+  // contains. The load must skip them, not brick the checkpoint.
+  workload::Scenario s = Shop(29, 10);
+  Engine cold(s.Context());
+  cold.SetLog(s.log);
+  auto expect = cold.BuildMatrix("token");
+  ASSERT_TRUE(expect.ok());
+  {
+    Engine engine(s.Context());
+    engine.SetLog({s.log.begin(), s.log.begin() + 8});
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+    ASSERT_TRUE(engine.AddQuery(s.log[8]).ok());
+    ASSERT_TRUE(engine.AddQuery(s.log[9]).ok());
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());  // journals rows 8, 9
+    // Second SaveCheckpoint writes the 10-query snapshot; simulate the
+    // crash by re-appending the (now subsumed) journal records ourselves.
+    // In a real crash the stale records carry the same deterministic
+    // distances the snapshot already holds — replayed here verbatim.
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+  }
+  {
+    auto store = store::MatrixStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->AppendQuery(8, sql::ToSql(s.log[8])).ok());
+    ASSERT_TRUE(store->AppendQuery(9, sql::ToSql(s.log[9])).ok());
+    ASSERT_TRUE(store->AppendRow("token", 8, {{0, expect->at(0, 8)}}).ok());
+  }
+
+  Engine restored(s.Context());
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  EXPECT_EQ(restored.log_size(), 10u);
+
+  auto got = restored.BuildMatrix("token");
+  ASSERT_TRUE(got.ok());
+  ExpectBitIdentical(*expect, *got);
+}
+
+TEST_F(CheckpointTest, JournalRowWithColumnAboveRowIsParseError) {
+  workload::Scenario s = Shop(31, 6);
+  {
+    Engine engine(s.Context());
+    engine.SetLog(s.log);
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+  }
+  {
+    auto store = store::MatrixStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    // Valid CRC, nonsense content: column 4000000000 of row 5.
+    ASSERT_TRUE(store->AppendRow("token", 5, {{4000000000u, 0.3}}).ok());
+  }
+  Engine engine(s.Context());
+  EXPECT_EQ(engine.LoadCheckpoint(dir_).code(), StatusCode::kParseError);
+}
+
+TEST_F(CheckpointTest, TornJournalTailRecoversOnLoad) {
+  workload::Scenario s = Shop(43, 12);
+  {
+    Engine engine(s.Context());
+    engine.SetLog({s.log.begin(), s.log.begin() + 10});
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+    ASSERT_TRUE(engine.AddQuery(s.log[10]).ok());
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());  // journals row 10
+  }
+  // The process is killed halfway through its next journal append.
+  std::ofstream out(fs::path(dir_) / "journal.dpe",
+                    std::ios::binary | std::ios::app);
+  out.write("\x40\x00\x00\x00half", 8);
+  out.close();
+
+  Engine restored(s.Context());
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  EXPECT_EQ(restored.log_size(), 11u);  // the intact records replayed
+
+  // The restored engine keeps working: append + rebuild, bit-identical.
+  ASSERT_TRUE(restored.AddQuery(s.log[11]).ok());
+  auto rebuilt = restored.BuildMatrix("token");
+  ASSERT_TRUE(rebuilt.ok());
+  Engine cold(s.Context());
+  cold.SetLog(s.log);
+  auto expect = cold.BuildMatrix("token");
+  ASSERT_TRUE(expect.ok());
+  ExpectBitIdentical(*expect, *rebuilt);
+}
+
+TEST_F(CheckpointTest, MeasureBuiltAfterCheckpointIsPersistedViaJournal) {
+  workload::Scenario s = Shop(47, 10);
+  {
+    Engine engine(s.Context());
+    engine.SetLog(s.log);
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+    // "structure" is first built after the checkpoint: its rows must be
+    // journaled (per-measure watermark), not silently dropped.
+    ASSERT_TRUE(engine.BuildMatrix("structure").ok());
+  }
+  Engine restored(s.Context());
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  ASSERT_TRUE(restored.BuildMatrix("structure").ok());
+  EXPECT_EQ(restored.cache_stats().misses, 0u);  // fully replayed
+}
+
+TEST_F(CheckpointTest, RowsQueriedButNotBuiltBeforeSaveStillJournal) {
+  // Checkpoint taken while the matrix lags the log: 5 rows built, 5 more
+  // queries appended un-built. The watermark must reflect snapshot
+  // coverage (5 rows), not the log size, so the later build journals the
+  // missing rows and a restart replays everything.
+  workload::Scenario s = Shop(53, 10);
+  {
+    Engine engine(s.Context());
+    engine.SetLog({s.log.begin(), s.log.begin() + 5});
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());
+    for (size_t i = 5; i < 10; ++i) {
+      ASSERT_TRUE(engine.AddQuery(s.log[i]).ok());
+    }
+    ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+    ASSERT_TRUE(engine.BuildMatrix("token").ok());  // rows 5..9 journal here
+  }
+  Engine restored(s.Context());
+  ASSERT_TRUE(restored.LoadCheckpoint(dir_).ok());
+  ASSERT_TRUE(restored.BuildMatrix("token").ok());
+  EXPECT_EQ(restored.cache_stats().misses, 0u);  // nothing recomputed
+}
+
+TEST_F(CheckpointTest, SetLogDetachesCheckpoint) {
+  workload::Scenario s = Shop(5, 6);
+  Engine engine(s.Context());
+  engine.SetLog(s.log);
+  ASSERT_TRUE(engine.SaveCheckpoint(dir_).ok());
+  ASSERT_TRUE(engine.checkpoint_attached());
+  engine.SetLog(s.log);
+  EXPECT_FALSE(engine.checkpoint_attached());
+}
+
+}  // namespace
+}  // namespace dpe::engine

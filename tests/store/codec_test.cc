@@ -1,0 +1,282 @@
+// Store codec: primitive round-trips, property-style random matrix / cache
+// round-trips across all six built-in measures, and corruption tests — a
+// truncated file, a bad magic, or any single flipped byte must surface as a
+// Status error, never undefined behaviour.
+
+#include "store/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
+#include "common/rng.h"
+#include "engine/measure_registry.h"
+
+namespace dpe::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+TEST(CodecTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEFu);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutDouble(0.25);
+  w.PutString("hello");
+  w.PutString(std::string("nul\0byte", 8));
+  w.PutString("");
+
+  Reader r(w.buffer());
+  auto u8 = r.ReadU8();
+  ASSERT_TRUE(u8.ok());
+  EXPECT_EQ(*u8, 0xAB);
+  auto u32 = r.ReadU32();
+  ASSERT_TRUE(u32.ok());
+  EXPECT_EQ(*u32, 0xDEADBEEFu);
+  auto u64 = r.ReadU64();
+  ASSERT_TRUE(u64.ok());
+  EXPECT_EQ(*u64, 0x0123456789ABCDEFull);
+  auto d = r.ReadDouble();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 0.25);
+  auto s1 = r.ReadString();
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(*s1, "hello");
+  auto s2 = r.ReadString();
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, std::string("nul\0byte", 8));
+  auto s3 = r.ReadString();
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ(*s3, "");
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(CodecTest, DoubleRoundTripIsBitExact) {
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0 / 3.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max()};
+  for (double v : values) {
+    Writer w;
+    w.PutDouble(v);
+    Reader r(w.buffer());
+    auto got = r.ReadDouble();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::bit_cast<uint64_t>(*got), std::bit_cast<uint64_t>(v));
+  }
+}
+
+TEST(CodecTest, ReadsOnEmptyInputAreErrorsNotUB) {
+  Reader r("");
+  EXPECT_EQ(r.ReadU8().status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.ReadU32().status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.ReadU64().status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.ReadDouble().status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kParseError);
+}
+
+TEST(CodecTest, StringLengthBeyondInputIsError) {
+  Writer w;
+  w.PutU32(1000);  // declares 1000 bytes, provides 3
+  w.PutRaw("abc");
+  Reader r(w.buffer());
+  EXPECT_EQ(r.ReadString().status().code(), StatusCode::kParseError);
+}
+
+TEST(CodecTest, Crc32KnownVector) {
+  // The classic IEEE test vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+}
+
+TEST(CodecTest, MatrixRoundTripRandomProperty) {
+  Rng rng(2026);
+  for (size_t trial = 0; trial < 25; ++trial) {
+    const size_t n = static_cast<size_t>(rng.NextBelow(21));  // 0..20
+    distance::DistanceMatrix m(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        m.set(i, j, rng.NextDouble());
+      }
+    }
+    Writer w;
+    EncodeMatrix(m, &w);
+    Reader r(w.buffer());
+    auto decoded = DecodeMatrix(&r);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    ASSERT_TRUE(r.AtEnd());
+    ASSERT_EQ(decoded->size(), n);
+    auto diff = distance::DistanceMatrix::MaxAbsDifference(m, *decoded);
+    ASSERT_TRUE(diff.ok());
+    EXPECT_EQ(*diff, 0.0);
+  }
+}
+
+TEST(CodecTest, MatrixDeclaringHugeSizeIsRejectedBeforeAllocating) {
+  Writer w;
+  w.PutU64(1ull << 40);  // a petabyte-scale matrix in an 8-byte payload
+  Reader r(w.buffer());
+  EXPECT_EQ(DecodeMatrix(&r).status().code(), StatusCode::kParseError);
+}
+
+TEST(CodecTest, CacheEntriesRoundTripAcrossAllSixMeasures) {
+  const std::vector<std::string> measures =
+      engine::MeasureRegistry::WithBuiltins().Names();
+  ASSERT_EQ(measures.size(), 6u);
+
+  Rng rng(7);
+  std::vector<CacheEntry> entries;
+  for (const std::string& measure : measures) {
+    for (size_t k = 0; k < 40; ++k) {
+      CacheEntry e;
+      e.measure = measure;
+      e.i = static_cast<uint32_t>(rng.NextBelow(100));
+      e.j = static_cast<uint32_t>(rng.NextBelow(100));
+      e.d = rng.NextDouble();
+      entries.push_back(std::move(e));
+    }
+  }
+  Writer w;
+  EncodeCacheEntries(entries, &w);
+  Reader r(w.buffer());
+  auto decoded = DecodeCacheEntries(&r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(*decoded, entries);
+}
+
+TEST(CodecTest, CacheEntriesHugeNameCountIsRejectedBeforeAllocating) {
+  Writer w;
+  w.PutU32(0xFFFFFFFFu);  // ~4 billion names in a 4-byte payload
+  Reader r(w.buffer());
+  EXPECT_EQ(DecodeCacheEntries(&r).status().code(), StatusCode::kParseError);
+}
+
+TEST(CodecTest, CacheEntriesBadNameIndexIsError) {
+  Writer w;
+  w.PutU32(1);          // one name
+  w.PutString("token");
+  w.PutU64(1);          // one entry
+  w.PutU32(5);          // ...referencing name #5
+  w.PutU32(0);
+  w.PutU32(1);
+  w.PutDouble(0.5);
+  Reader r(w.buffer());
+  EXPECT_EQ(DecodeCacheEntries(&r).status().code(), StatusCode::kParseError);
+}
+
+TEST(CodecTest, SnapshotMetaRoundTrip) {
+  SnapshotMeta meta;
+  meta.query_count = 123;
+  meta.measures = {"access-area", "token"};
+  Writer w;
+  EncodeSnapshotMeta(meta, &w);
+  Reader r(w.buffer());
+  auto decoded = DecodeSnapshotMeta(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, meta);
+}
+
+TEST(CodecTest, FramedFileRoundTrip) {
+  const std::string path = TempPath("codec_frame.dpe");
+  const std::string payload = "some payload bytes \x01\x02\x03";
+  ASSERT_TRUE(WriteFramedFile(path, kSnapshotMagic, payload).ok());
+  auto read = ReadFramedFile(path, kSnapshotMagic);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+}
+
+TEST(CodecTest, MissingFramedFileIsNotFound) {
+  auto read = ReadFramedFile(TempPath("codec_nonexistent.dpe"), kSnapshotMagic);
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CodecTest, WrongMagicIsError) {
+  const std::string path = TempPath("codec_magic.dpe");
+  ASSERT_TRUE(WriteFramedFile(path, kSnapshotMagic, "payload").ok());
+  EXPECT_EQ(ReadFramedFile(path, kJournalMagic).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(CodecTest, TruncatedFramedFileIsError) {
+  const std::string path = TempPath("codec_trunc.dpe");
+  ASSERT_TRUE(WriteFramedFile(path, kSnapshotMagic, "0123456789").ok());
+  // Chop k bytes off the end for every possible k > 0.
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t keep = 0; keep < data.size(); ++keep) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    auto read = ReadFramedFile(path, kSnapshotMagic);
+    EXPECT_FALSE(read.ok()) << "truncation to " << keep << " bytes accepted";
+  }
+}
+
+TEST(CodecTest, EverySingleByteFlipIsDetected) {
+  const std::string path = TempPath("codec_flip.dpe");
+  Writer payload;
+  payload.PutString("snapshot-ish payload");
+  payload.PutU64(42);
+  ASSERT_TRUE(WriteFramedFile(path, kSnapshotMagic, payload.buffer()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    std::string corrupted = data;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x40);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    out.close();
+    auto read = ReadFramedFile(path, kSnapshotMagic);
+    EXPECT_FALSE(read.ok()) << "flip at byte " << pos << " accepted";
+  }
+}
+
+TEST(CodecTest, RecordFramingRoundTripAndTornTail) {
+  std::string log;
+  AppendRecord("first", &log);
+  AppendRecord("", &log);
+  AppendRecord("third record", &log);
+  auto records = SplitRecords(log);
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0], "first");
+  EXPECT_EQ((*records)[1], "");
+  EXPECT_EQ((*records)[2], "third record");
+
+  // A torn tail (partial append before a crash) must be a ParseError for
+  // every possible cut point inside the last record.
+  const size_t before_third = log.size() - (8 + 12);
+  for (size_t cut = before_third + 1; cut < log.size(); ++cut) {
+    auto torn = SplitRecords(std::string_view(log).substr(0, cut));
+    EXPECT_FALSE(torn.ok()) << "cut at " << cut << " accepted";
+  }
+
+  // Flipping any payload or header byte of a record is detected too.
+  for (size_t pos = 0; pos < log.size(); ++pos) {
+    std::string corrupted = log;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x01);
+    EXPECT_FALSE(SplitRecords(corrupted).ok()) << "flip at " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace dpe::store

@@ -1,0 +1,263 @@
+// MatrixStore: snapshot + journal round-trips, reopen persistence,
+// truncation, standalone matrix files, and corruption handling.
+
+#include "store/matrix_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+
+namespace dpe::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class MatrixStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("matrix_store_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+Snapshot MakeSnapshot() {
+  Snapshot s;
+  s.queries = {"SELECT a FROM t WHERE a = 1;", "SELECT b FROM t WHERE b = 2;"};
+  s.entries = {{"token", 0, 1, 0.5}, {"structure", 0, 1, 0.25}};
+  return s;
+}
+
+TEST_F(MatrixStoreTest, OpenCreatesDirectory) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_TRUE(fs::is_directory(dir_));
+  EXPECT_FALSE(store->HasSnapshot());
+  EXPECT_EQ(store->ReadSnapshot().status().code(), StatusCode::kNotFound);
+  auto journal = store->ReadJournal();
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(journal->empty());
+}
+
+TEST_F(MatrixStoreTest, OpenExistingNeverCreates) {
+  EXPECT_EQ(MatrixStore::OpenExisting(dir_).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(fs::exists(dir_));
+  ASSERT_TRUE(MatrixStore::Open(dir_).ok());
+  EXPECT_TRUE(MatrixStore::OpenExisting(dir_).ok());
+}
+
+TEST_F(MatrixStoreTest, OpenFailsOnFilePath) {
+  std::ofstream out(dir_);  // occupy the path with a regular file
+  out << "not a directory";
+  out.close();
+  EXPECT_FALSE(MatrixStore::Open(dir_).ok());
+}
+
+TEST_F(MatrixStoreTest, SnapshotRoundTrip) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const Snapshot written = MakeSnapshot();
+  ASSERT_TRUE(store->WriteSnapshot(written).ok());
+  EXPECT_TRUE(store->HasSnapshot());
+
+  auto read = store->ReadSnapshot();
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->queries, written.queries);
+  EXPECT_EQ(read->entries, written.entries);
+}
+
+TEST_F(MatrixStoreTest, SnapshotOverwriteReplacesAtomically) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->WriteSnapshot(MakeSnapshot()).ok());
+  Snapshot second;
+  second.queries = {"SELECT c FROM u WHERE c < 9;"};
+  ASSERT_TRUE(store->WriteSnapshot(second).ok());
+  auto read = store->ReadSnapshot();
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->queries, second.queries);
+  EXPECT_TRUE(read->entries.empty());
+}
+
+TEST_F(MatrixStoreTest, JournalAppendReadTruncate) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->AppendQuery(2, "SELECT a FROM t WHERE a = 3;").ok());
+  ASSERT_TRUE(store->AppendRow("token", 2, {{0, 0.1}, {1, 0.9}}).ok());
+  ASSERT_TRUE(store->AppendQuery(3, "SELECT b FROM t WHERE b = 4;").ok());
+
+  auto records = store->ReadJournal();
+  ASSERT_TRUE(records.ok()) << records.status();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].kind, JournalRecord::Kind::kQueryAppended);
+  EXPECT_EQ((*records)[0].index, 2u);
+  EXPECT_EQ((*records)[0].sql, "SELECT a FROM t WHERE a = 3;");
+  EXPECT_EQ((*records)[1].kind, JournalRecord::Kind::kRowComputed);
+  EXPECT_EQ((*records)[1].measure, "token");
+  EXPECT_EQ((*records)[1].row, 2u);
+  ASSERT_EQ((*records)[1].cols.size(), 2u);
+  EXPECT_EQ((*records)[1].cols[0], (std::pair<uint32_t, double>{0, 0.1}));
+  EXPECT_EQ((*records)[1].cols[1], (std::pair<uint32_t, double>{1, 0.9}));
+  EXPECT_EQ((*records)[2].index, 3u);
+
+  ASSERT_TRUE(store->TruncateJournal().ok());
+  auto after = store->ReadJournal();
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->empty());
+}
+
+TEST_F(MatrixStoreTest, JournalSurvivesReopen) {
+  {
+    auto store = MatrixStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->WriteSnapshot(MakeSnapshot()).ok());
+    ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.75}}).ok());
+  }
+  auto reopened = MatrixStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_TRUE(reopened->HasSnapshot());
+  auto records = reopened->ReadJournal();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].measure, "token");
+}
+
+TEST_F(MatrixStoreTest, CorruptJournalTailIsParseError) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.75}}).ok());
+  // Simulate a torn append: write half a record's worth of garbage.
+  std::ofstream out(fs::path(dir_) / "journal.dpe",
+                    std::ios::binary | std::ios::app);
+  out.write("\x10\x00\x00\x00garbage", 11);
+  out.close();
+  EXPECT_EQ(store->ReadJournal().status().code(), StatusCode::kParseError);
+}
+
+TEST_F(MatrixStoreTest, RecoverJournalDropsTornTailAndRepairsFile) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.75}}).ok());
+  ASSERT_TRUE(store->AppendQuery(2, "SELECT a FROM t WHERE a = 1;").ok());
+  const auto intact_size = fs::file_size(fs::path(dir_) / "journal.dpe");
+
+  // Crash mid-append: any cut point inside a third record must recover to
+  // exactly the two intact records.
+  ASSERT_TRUE(store->AppendRow("token", 2, {{0, 0.1}, {1, 0.2}}).ok());
+  std::ifstream in(fs::path(dir_) / "journal.dpe", std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  for (size_t cut = intact_size + 1; cut < full.size(); ++cut) {
+    std::ofstream out(fs::path(dir_) / "journal.dpe",
+                      std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    auto recovered = store->RecoverJournal();
+    ASSERT_TRUE(recovered.ok()) << "cut at " << cut << ": "
+                                << recovered.status();
+    ASSERT_EQ(recovered->size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(fs::file_size(fs::path(dir_) / "journal.dpe"), intact_size);
+    // The repaired journal is fully valid again for the strict reader and
+    // for further appends.
+    auto strict = store->ReadJournal();
+    ASSERT_TRUE(strict.ok());
+    EXPECT_EQ(strict->size(), 2u);
+  }
+  ASSERT_TRUE(store->AppendRow("token", 3, {{0, 0.5}}).ok());
+  auto after_append = store->ReadJournal();
+  ASSERT_TRUE(after_append.ok());
+  EXPECT_EQ(after_append->size(), 3u);
+}
+
+TEST_F(MatrixStoreTest, RecoverJournalHandlesHeaderStub) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  // A crash inside the very first append can leave fewer than the 8 header
+  // bytes on disk. Strict read errors; recovery clears the stub.
+  std::ofstream out(fs::path(dir_) / "journal.dpe", std::ios::binary);
+  out.write("\x44\x50\x45", 3);
+  out.close();
+  EXPECT_EQ(store->ReadJournal().status().code(), StatusCode::kParseError);
+  auto recovered = store->RecoverJournal();
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->empty());
+  EXPECT_FALSE(fs::exists(fs::path(dir_) / "journal.dpe"));
+  // Appends start a clean journal afterwards.
+  ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.5}}).ok());
+  auto after = store->ReadJournal();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);
+}
+
+TEST_F(MatrixStoreTest, FlippedSnapshotByteIsParseError) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->WriteSnapshot(MakeSnapshot()).ok());
+  const std::string path = (fs::path(dir_) / "snapshot.dpe").string();
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data[data.size() / 2] = static_cast<char>(data[data.size() / 2] ^ 0x20);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+  EXPECT_FALSE(store->ReadSnapshot().ok());
+}
+
+TEST_F(MatrixStoreTest, StandaloneMatrixRoundTrip) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Rng rng(5);
+  distance::DistanceMatrix m(17);
+  for (size_t i = 0; i < 17; ++i) {
+    for (size_t j = i + 1; j < 17; ++j) {
+      m.set(i, j, rng.NextDouble());
+    }
+  }
+  ASSERT_TRUE(store->WriteMatrix("token", m).ok());
+  auto read = store->ReadMatrix("token");
+  ASSERT_TRUE(read.ok()) << read.status();
+  auto diff = distance::DistanceMatrix::MaxAbsDifference(m, *read);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+
+  EXPECT_EQ(store->ReadMatrix("structure").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MatrixStoreTest, UpperTriangleHooksRoundTrip) {
+  distance::DistanceMatrix m(5);
+  double v = 0.0;
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i + 1; j < 5; ++j) {
+      m.set(i, j, v += 0.1);
+    }
+  }
+  std::vector<double> upper = m.UpperTriangle();
+  EXPECT_EQ(upper.size(), 10u);
+  auto rebuilt = distance::DistanceMatrix::FromUpperTriangle(5, upper);
+  ASSERT_TRUE(rebuilt.ok());
+  auto diff = distance::DistanceMatrix::MaxAbsDifference(m, *rebuilt);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+
+  EXPECT_EQ(distance::DistanceMatrix::FromUpperTriangle(4, upper)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dpe::store
