@@ -41,10 +41,15 @@ int main() {
     }
     distance::MeasureContext ctx = s.Context();
 
+    // Reference for bit-identity: the serial, un-featurized path. The
+    // timing baseline is the serial *featurized* builder (null pool), so
+    // the thread sweep below isolates parallel scaling from the feature-
+    // pipeline speedup (bench_distance_scaling measures that one).
     auto serial = distance::DistanceMatrix::Compute(s.log, **measure, ctx);
     DPE_BENCH_CHECK(serial);
+    engine::MatrixBuilder serial_builder(nullptr);
     double serial_ms = bench::TimeMs([&] {
-      DPE_BENCH_CHECK(distance::DistanceMatrix::Compute(s.log, **measure, ctx));
+      DPE_BENCH_CHECK(serial_builder.Build(s.log, **measure, ctx));
     });
 
     std::printf("%-10s %8s %12s %9s %10s\n", name, "threads", "build ms",

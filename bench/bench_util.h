@@ -5,7 +5,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/dpe.h"
 #include "core/log_encryptor.h"
@@ -65,6 +68,78 @@ double TimeMs(Fn&& fn) {
   auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
+
+/// Machine-readable bench output: collects labeled metric samples and writes
+/// them as `BENCH_<name>.json` in the working directory, so CI can archive
+/// the perf trajectory across PRs instead of scraping stdout.
+///
+///   bench::JsonReport report("mining_scaling");
+///   report.Add("build_ms", 12.5, {{"miner", "kmedoids"}, {"threads", "4"}});
+///   ...
+///   report.Write();  // -> BENCH_mining_scaling.json
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// One sample: a metric value plus string labels identifying the
+  /// configuration it was measured under.
+  void Add(const std::string& metric, double value,
+           std::initializer_list<std::pair<std::string, std::string>> labels = {}) {
+    Sample s;
+    s.metric = metric;
+    s.value = value;
+    s.labels.assign(labels.begin(), labels.end());
+    samples_.push_back(std::move(s));
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a stderr note) on I/O
+  /// failure so benches can keep their human-readable output regardless.
+  bool Write() const { return WriteTo("BENCH_" + name_ + ".json"); }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"samples\": [",
+                 Escaped(name_).c_str());
+    for (size_t i = 0; i < samples_.size(); ++i) {
+      const Sample& s = samples_[i];
+      std::fprintf(f, "%s\n    {\"metric\": \"%s\", \"value\": %.17g",
+                   i == 0 ? "" : ",", Escaped(s.metric).c_str(), s.value);
+      for (const auto& [key, value] : s.labels) {
+        std::fprintf(f, ", \"%s\": \"%s\"", Escaped(key).c_str(),
+                     Escaped(value).c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("(json: %s)\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Sample {
+    std::string metric;
+    double value = 0.0;
+    std::vector<std::pair<std::string, std::string>> labels;
+  };
+
+  static std::string Escaped(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Sample> samples_;
+};
 
 #define DPE_BENCH_CHECK(expr)                                              \
   do {                                                                     \

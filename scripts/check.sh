@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verify (build + full ctest) plus an ASan/UBSan build of the engine
-# and distance suites (the layers with new concurrency). CI entry point.
+# and distance suites (the layers with new concurrency), plus a smoke run of
+# the scaling benches so perf-tracking binaries at least compile-and-run on
+# every PR. CI entry point.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,6 +12,14 @@ echo "== tier-1: build + ctest =="
 cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== bench smoke: scaling benches compile-and-run =="
+# --smoke uses tiny sizes; both binaries hard-fail if any parallel or
+# featurized result deviates from its serial reference, and both emit
+# BENCH_*.json for the perf trajectory.
+(cd build && ./bench/bench_distance_scaling --smoke > /dev/null)
+(cd build && ./bench/bench_mining_scaling --smoke > /dev/null)
+ls -l build/BENCH_distance_scaling.json build/BENCH_mining_scaling.json
 
 echo "== sanitizers: asan+ubsan on engine/distance/store tests =="
 cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \

@@ -1,8 +1,8 @@
-#include "engine/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
-namespace dpe::engine {
+namespace dpe::common {
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) {
@@ -84,4 +84,26 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
   done.wait(lock, [&] { return remaining == 0; });
 }
 
-}  // namespace dpe::engine
+Status ParallelForStatus(ThreadPool* pool, size_t begin, size_t end,
+                         size_t grain,
+                         const std::function<Status(size_t, size_t)>& body) {
+  if (begin >= end) return Status::OK();
+  if (grain == 0) grain = 1;
+  if (pool == nullptr) return body(begin, end);
+
+  const size_t chunk_count = (end - begin + grain - 1) / grain;
+  std::vector<Status> chunk_status(chunk_count, Status::OK());
+  ParallelFor(*pool, begin, end, grain,
+              [&](size_t chunk_begin, size_t chunk_end) {
+                // ParallelFor chunks start at begin + k*grain, so this
+                // recovers k even on the inline single-chunk fast path.
+                chunk_status[(chunk_begin - begin) / grain] =
+                    body(chunk_begin, chunk_end);
+              });
+  for (const Status& s : chunk_status) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace dpe::common

@@ -1,0 +1,78 @@
+// Fixed-size worker pool plus a tiled ParallelFor scheduler — the execution
+// substrate of the mining engine *and* the parallel mining kernels. The pool
+// is deliberately minimal: tasks are type-erased closures, scheduling is
+// FIFO, and ParallelFor is a static chunking over a contiguous index range
+// (deterministic tile boundaries, so parallel runs partition the work
+// identically regardless of timing).
+//
+// Lives in common/ (not engine/) because both the engine layer above mining
+// and the mining kernels themselves schedule on it; common/ is the only
+// layer below both.
+
+#ifndef DPE_COMMON_THREAD_POOL_H_
+#define DPE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpe::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;  ///< workers: queue non-empty or stopping
+  std::condition_variable idle_;  ///< Wait(): pending_ reached zero
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Splits [begin, end) into contiguous chunks of at most `grain` indices and
+/// runs `body(chunk_begin, chunk_end)` across the pool; blocks until every
+/// chunk has finished. Chunk boundaries depend only on (begin, end, grain),
+/// never on timing. Runs inline on the calling thread when the range fits in
+/// one chunk or the pool has a single worker. Must not be called from inside
+/// a pool task (the inner wait could starve the outer one).
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& body);
+
+/// ParallelFor for fallible bodies: each chunk's Status is collected and
+/// the first failure in chunk (= index) order is returned — deterministic
+/// regardless of which worker failed first in time. `pool` may be null:
+/// the range then runs as one chunk on the caller. This is the one place
+/// that knows how chunk indices align with ParallelFor's boundaries;
+/// callers must not re-derive that mapping.
+Status ParallelForStatus(ThreadPool* pool, size_t begin, size_t end,
+                         size_t grain,
+                         const std::function<Status(size_t, size_t)>& body);
+
+}  // namespace dpe::common
+
+#endif  // DPE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,80 @@
+#include "distance/features.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sql/lexer.h"
+#include "sql/printer.h"
+
+namespace dpe::distance {
+
+Result<RawQueryFeatures> ExtractRawFeatures(const sql::SelectQuery& query) {
+  RawQueryFeatures raw;
+  raw.sql = sql::ToSql(query);
+  DPE_ASSIGN_OR_RETURN(std::vector<sql::Token> tokens, sql::Lex(raw.sql));
+  raw.token_seq.reserve(tokens.size());
+  for (sql::Token& t : tokens) raw.token_seq.push_back(std::move(t.lexeme));
+  std::set<sql::Feature> features = sql::Features(query);
+  raw.structure.assign(features.begin(), features.end());
+  return raw;
+}
+
+FeatureCache FeatureCache::Intern(
+    const std::vector<const sql::SelectQuery*>& queries,
+    std::vector<RawQueryFeatures> raw) {
+  FeatureCache cache;
+  cache.features_.resize(raw.size());
+  cache.index_.reserve(raw.size());
+
+  // Ids are assigned in first-seen order over the input — deterministic for
+  // a given log, though the distances never depend on the assignment (only
+  // on cardinalities, which any bijection preserves).
+  std::unordered_map<std::string, uint32_t> token_ids;
+  std::map<sql::Feature, uint32_t> feature_ids;
+
+  for (size_t q = 0; q < raw.size(); ++q) {
+    QueryFeatures& f = cache.features_[q];
+    f.sql = std::move(raw[q].sql);
+
+    f.token_seq.reserve(raw[q].token_seq.size());
+    for (std::string& lexeme : raw[q].token_seq) {
+      auto [it, inserted] = token_ids.emplace(
+          std::move(lexeme), static_cast<uint32_t>(token_ids.size()));
+      (void)inserted;
+      f.token_seq.push_back(it->second);
+    }
+    f.token_ids = f.token_seq;
+    std::sort(f.token_ids.begin(), f.token_ids.end());
+    f.token_ids.erase(std::unique(f.token_ids.begin(), f.token_ids.end()),
+                      f.token_ids.end());
+
+    f.structure_ids.reserve(raw[q].structure.size());
+    for (sql::Feature& feature : raw[q].structure) {
+      auto [it, inserted] = feature_ids.emplace(
+          std::move(feature), static_cast<uint32_t>(feature_ids.size()));
+      (void)inserted;
+      f.structure_ids.push_back(it->second);
+    }
+    std::sort(f.structure_ids.begin(), f.structure_ids.end());
+
+    cache.index_.emplace(queries[q], q);
+  }
+  return cache;
+}
+
+Result<FeatureCache> FeatureCache::Compute(
+    const std::vector<sql::SelectQuery>& queries) {
+  std::vector<const sql::SelectQuery*> pointers;
+  pointers.reserve(queries.size());
+  std::vector<RawQueryFeatures> raw;
+  raw.reserve(queries.size());
+  for (const sql::SelectQuery& q : queries) {
+    DPE_ASSIGN_OR_RETURN(RawQueryFeatures r, ExtractRawFeatures(q));
+    pointers.push_back(&q);
+    raw.push_back(std::move(r));
+  }
+  return Intern(pointers, std::move(raw));
+}
+
+}  // namespace dpe::distance

@@ -1,0 +1,95 @@
+// Per-query feature precomputation — the fix for the O(n²) re-tokenization
+// in the token-family measures.
+//
+// Without it, every Distance(q1, q2) call re-prints and re-lexes *both*
+// queries: an n-query matrix build performs O(n²) feature extractions for an
+// O(n) input. A FeatureCache extracts each query's features exactly once —
+// canonical SQL text, interned token ids (sorted set + ordered sequence),
+// interned structure-feature ids — and the measures' hot paths then run
+// branch-light merge intersections over sorted id vectors instead of
+// re-lexing SQL per pair.
+//
+// Bit-identity: interning is a bijection on the strings/features actually
+// seen, and the Jaccard / edit distances depend only on element (in)equality
+// and set cardinalities, which any bijection preserves. So the featurized
+// distances are bit-identical to the un-featurized reference path — a tested
+// property, not a best-effort one.
+//
+// Extraction is split in two phases so the engine's MatrixBuilder can run
+// phase 1 in parallel:
+//   1. ExtractRawFeatures(q)  — print + lex + featurize one query;
+//      independent per query, safe to run on any thread.
+//   2. FeatureCache::Intern   — assign ids across the whole log; serial,
+//      cheap (hash-map inserts over already-extracted strings).
+// FeatureCache::Compute does both serially (the reference path).
+
+#ifndef DPE_DISTANCE_FEATURES_H_
+#define DPE_DISTANCE_FEATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/features.h"
+
+namespace dpe::distance {
+
+/// Everything the log-only measures need about one query, computed once.
+struct QueryFeatures {
+  /// Canonical SQL text (sql::ToSql).
+  std::string sql;
+  /// Interned lexeme id of every token, in token order (Levenshtein).
+  std::vector<uint32_t> token_seq;
+  /// Sorted unique interned lexeme ids (token-set Jaccard).
+  std::vector<uint32_t> token_ids;
+  /// Sorted unique interned structure-feature ids (structure Jaccard).
+  std::vector<uint32_t> structure_ids;
+};
+
+/// Phase-1 output: one query's features before interning. Produced
+/// independently per query, so parallel extraction needs no shared state.
+struct RawQueryFeatures {
+  std::string sql;
+  std::vector<std::string> token_seq;   ///< lexemes, in token order
+  std::vector<sql::Feature> structure;  ///< sorted (std::set iteration order)
+};
+
+/// Prints, lexes and featurizes one query (phase 1).
+Result<RawQueryFeatures> ExtractRawFeatures(const sql::SelectQuery& query);
+
+/// Precomputed features of a query log, looked up by query identity (the
+/// address of the log's SelectQuery object). A cache is built against one
+/// specific query vector and must not outlive it.
+class FeatureCache {
+ public:
+  FeatureCache() = default;
+
+  /// Reference path: extract + intern every query, serially.
+  static Result<FeatureCache> Compute(
+      const std::vector<sql::SelectQuery>& queries);
+
+  /// Phase 2: interns already-extracted raw features. `queries[i]` is the
+  /// query `raw[i]` was extracted from; the vectors must be aligned.
+  static FeatureCache Intern(const std::vector<const sql::SelectQuery*>& queries,
+                             std::vector<RawQueryFeatures> raw);
+
+  /// Features of `q`, or nullptr when `q` is not one of the cached log's
+  /// objects (callers then fall back to extraction on the fly).
+  const QueryFeatures* Find(const sql::SelectQuery& q) const {
+    auto it = index_.find(&q);
+    return it == index_.end() ? nullptr : &features_[it->second];
+  }
+
+  size_t size() const { return features_.size(); }
+
+ private:
+  std::unordered_map<const sql::SelectQuery*, size_t> index_;
+  std::vector<QueryFeatures> features_;
+};
+
+}  // namespace dpe::distance
+
+#endif  // DPE_DISTANCE_FEATURES_H_

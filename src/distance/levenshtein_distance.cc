@@ -1,14 +1,21 @@
 #include "distance/levenshtein_distance.h"
 
 #include <algorithm>
+#include <string_view>
 
+#include "distance/features.h"
 #include "sql/lexer.h"
 #include "sql/printer.h"
 
 namespace dpe::distance {
 
-size_t EditDistance(const std::vector<std::string>& a,
-                    const std::vector<std::string>& b) {
+namespace {
+
+// The DP only reads element (in)equality, so it runs unchanged over string
+// vectors (reference), interned id vectors and raw character strings — the
+// equality pattern, hence every table cell, is identical across them.
+template <typename Seq>
+size_t EditDistanceSeq(const Seq& a, const Seq& b) {
   const size_t n = a.size(), m = b.size();
   std::vector<size_t> prev(m + 1), cur(m + 1);
   for (size_t j = 0; j <= m; ++j) prev[j] = j;
@@ -23,10 +30,35 @@ size_t EditDistance(const std::vector<std::string>& a,
   return prev[m];
 }
 
+double Normalized(size_t edits, size_t len_a, size_t len_b) {
+  const size_t longest = std::max(len_a, len_b);
+  if (longest == 0) return 0.0;
+  return static_cast<double>(edits) / static_cast<double>(longest);
+}
+
+}  // namespace
+
+size_t EditDistance(const std::vector<std::string>& a,
+                    const std::vector<std::string>& b) {
+  return EditDistanceSeq(a, b);
+}
+
 Result<double> LevenshteinDistance::Distance(const sql::SelectQuery& q1,
                                              const sql::SelectQuery& q2,
                                              const MeasureContext& context) const {
-  (void)context;
+  if (context.features != nullptr) {
+    const QueryFeatures* f1 = context.features->Find(q1);
+    const QueryFeatures* f2 = context.features->Find(q2);
+    if (f1 != nullptr && f2 != nullptr) {
+      if (granularity_ == Granularity::kTokenSequence) {
+        return Normalized(EditDistanceSeq(f1->token_seq, f2->token_seq),
+                          f1->token_seq.size(), f2->token_seq.size());
+      }
+      const std::string_view s1 = f1->sql, s2 = f2->sql;
+      return Normalized(EditDistanceSeq(s1, s2), s1.size(), s2.size());
+    }
+  }
+
   const std::string s1 = sql::ToSql(q1);
   const std::string s2 = sql::ToSql(q2);
   std::vector<std::string> a, b;
@@ -39,10 +71,7 @@ Result<double> LevenshteinDistance::Distance(const sql::SelectQuery& q1,
     for (char c : s1) a.emplace_back(1, c);
     for (char c : s2) b.emplace_back(1, c);
   }
-  const size_t longest = std::max(a.size(), b.size());
-  if (longest == 0) return 0.0;
-  return static_cast<double>(EditDistance(a, b)) /
-         static_cast<double>(longest);
+  return Normalized(EditDistance(a, b), a.size(), b.size());
 }
 
 }  // namespace dpe::distance

@@ -13,24 +13,32 @@ namespace dpe::distance {
 
 /// Symmetric n x n matrix with zero diagonal.
 ///
-/// `at`/`set` are the unchecked hot-path accessors (debug-asserted only);
-/// `At`/`Set` are the checked variants for callers handling untrusted
-/// indices.
+/// `AtUnchecked`/`SetUnchecked` are the unchecked hot-path accessors
+/// (debug-asserted only) for the mining/builder inner loops, whose indices
+/// are loop-bounded by construction; `at`/`set` are their general-purpose
+/// aliases, and `At`/`Set` are the bounds-checked variants for callers
+/// handling untrusted indices.
 class DistanceMatrix {
  public:
   DistanceMatrix() = default;
   explicit DistanceMatrix(size_t n) : n_(n), cells_(n * n, 0.0) {}
 
   size_t size() const { return n_; }
-  double at(size_t i, size_t j) const {
-    assert(i < n_ && j < n_ && "DistanceMatrix::at index out of range");
+
+  /// Unchecked read for hot loops; i and j must be < size().
+  double AtUnchecked(size_t i, size_t j) const {
+    assert(i < n_ && j < n_ && "DistanceMatrix::AtUnchecked out of range");
     return cells_[i * n_ + j];
   }
-  void set(size_t i, size_t j, double d) {
-    assert(i < n_ && j < n_ && "DistanceMatrix::set index out of range");
+  /// Unchecked symmetric write for hot loops; i and j must be < size().
+  void SetUnchecked(size_t i, size_t j, double d) {
+    assert(i < n_ && j < n_ && "DistanceMatrix::SetUnchecked out of range");
     cells_[i * n_ + j] = d;
     cells_[j * n_ + i] = d;
   }
+
+  double at(size_t i, size_t j) const { return AtUnchecked(i, j); }
+  void set(size_t i, size_t j, double d) { SetUnchecked(i, j, d); }
 
   /// Bounds-checked read.
   Result<double> At(size_t i, size_t j) const;

@@ -28,6 +28,8 @@ struct SharedInformation {
   bool domains = false;
 };
 
+class FeatureCache;
+
 /// Context supplying the shared information to a measure.
 struct MeasureContext {
   /// Database to execute queries against (result distance).
@@ -36,6 +38,12 @@ struct MeasureContext {
   const db::ExecuteOptions* exec_options = nullptr;
   /// Attribute domains (access-area distance).
   const db::DomainRegistry* domains = nullptr;
+  /// Precomputed per-query features (distance/features.h), set by the
+  /// engine's MatrixBuilder for the duration of one build. Optional: with
+  /// it the log-only measures skip re-printing/re-lexing SQL per pair;
+  /// without it (or for queries outside the cache) every measure falls back
+  /// to extraction on the fly, bit-identically.
+  const FeatureCache* features = nullptr;
 };
 
 class QueryDistanceMeasure {

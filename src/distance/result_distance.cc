@@ -1,17 +1,36 @@
 #include "distance/result_distance.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <set>
 
+#include "distance/features.h"
 #include "distance/jaccard.h"
 #include "sql/printer.h"
 
 namespace dpe::distance {
 
-Result<const std::set<std::string>*> ResultDistance::TupleSetOf(
-    const sql::SelectQuery& q, const MeasureContext& context) const {
+namespace {
+
+/// Cache key: the database identity plus the canonical SQL text (reused
+/// from the feature cache when present, so the hot path never re-prints).
+std::string CacheKey(const sql::SelectQuery& q, const MeasureContext& context) {
   char db_tag[32];
-  std::snprintf(db_tag, sizeof(db_tag), "%p|", static_cast<const void*>(context.database));
-  std::string key = std::string(db_tag) + sql::ToSql(q);
+  std::snprintf(db_tag, sizeof(db_tag), "%p|",
+                static_cast<const void*>(context.database));
+  if (context.features != nullptr) {
+    if (const QueryFeatures* f = context.features->Find(q)) {
+      return std::string(db_tag) + f->sql;
+    }
+  }
+  return std::string(db_tag) + sql::ToSql(q);
+}
+
+}  // namespace
+
+Result<const std::vector<uint32_t>*> ResultDistance::TupleIdsOf(
+    const sql::SelectQuery& q, const MeasureContext& context) const {
+  std::string key = CacheKey(q, context);
   auto it = cache_.find(key);
   if (it != cache_.end()) return &it->second;
 
@@ -19,7 +38,17 @@ Result<const std::set<std::string>*> ResultDistance::TupleSetOf(
   const db::ExecuteOptions& options =
       context.exec_options ? *context.exec_options : default_options;
   DPE_ASSIGN_OR_RETURN(db::ResultTable r, db::Execute(*context.database, q, options));
-  auto [inserted, ok] = cache_.emplace(std::move(key), r.TupleKeySet());
+  std::set<std::string> tuples = r.TupleKeySet();
+  std::vector<uint32_t> ids;
+  ids.reserve(tuples.size());
+  for (const std::string& tuple : tuples) {
+    auto [id_it, inserted] = tuple_ids_.emplace(
+        tuple, static_cast<uint32_t>(tuple_ids_.size()));
+    (void)inserted;
+    ids.push_back(id_it->second);
+  }
+  std::sort(ids.begin(), ids.end());
+  auto [inserted, ok] = cache_.emplace(std::move(key), std::move(ids));
   (void)ok;
   return &inserted->second;
 }
@@ -31,9 +60,9 @@ Status ResultDistance::Prepare(const std::vector<sql::SelectQuery>& queries,
         "result distance requires the database content (Table I)");
   }
   for (const sql::SelectQuery& q : queries) {
-    DPE_ASSIGN_OR_RETURN(const std::set<std::string>* tuples,
-                         TupleSetOf(q, context));
-    (void)tuples;
+    DPE_ASSIGN_OR_RETURN(const std::vector<uint32_t>* ids,
+                         TupleIdsOf(q, context));
+    (void)ids;
   }
   return Status::OK();
 }
@@ -45,9 +74,9 @@ Result<double> ResultDistance::Distance(const sql::SelectQuery& q1,
     return Status::InvalidArgument(
         "result distance requires the database content (Table I)");
   }
-  DPE_ASSIGN_OR_RETURN(const std::set<std::string>* t1, TupleSetOf(q1, context));
-  DPE_ASSIGN_OR_RETURN(const std::set<std::string>* t2, TupleSetOf(q2, context));
-  return JaccardDistance(*t1, *t2);
+  DPE_ASSIGN_OR_RETURN(const std::vector<uint32_t>* t1, TupleIdsOf(q1, context));
+  DPE_ASSIGN_OR_RETURN(const std::vector<uint32_t>* t2, TupleIdsOf(q2, context));
+  return JaccardDistanceSorted(*t1, *t2);
 }
 
 }  // namespace dpe::distance

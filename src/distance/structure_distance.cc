@@ -1,5 +1,6 @@
 #include "distance/structure_distance.h"
 
+#include "distance/features.h"
 #include "distance/jaccard.h"
 #include "sql/features.h"
 
@@ -8,7 +9,13 @@ namespace dpe::distance {
 Result<double> StructureDistance::Distance(const sql::SelectQuery& q1,
                                            const sql::SelectQuery& q2,
                                            const MeasureContext& context) const {
-  (void)context;  // needs only the log
+  if (context.features != nullptr) {
+    const QueryFeatures* f1 = context.features->Find(q1);
+    const QueryFeatures* f2 = context.features->Find(q2);
+    if (f1 != nullptr && f2 != nullptr) {
+      return JaccardDistanceSorted(f1->structure_ids, f2->structure_ids);
+    }
+  }
   return JaccardDistance(sql::Features(q1), sql::Features(q2));
 }
 

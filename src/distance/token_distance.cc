@@ -1,5 +1,6 @@
 #include "distance/token_distance.h"
 
+#include "distance/features.h"
 #include "distance/jaccard.h"
 #include "sql/lexer.h"
 #include "sql/printer.h"
@@ -9,7 +10,13 @@ namespace dpe::distance {
 Result<double> TokenDistance::Distance(const sql::SelectQuery& q1,
                                        const sql::SelectQuery& q2,
                                        const MeasureContext& context) const {
-  (void)context;  // needs only the log
+  if (context.features != nullptr) {
+    const QueryFeatures* f1 = context.features->Find(q1);
+    const QueryFeatures* f2 = context.features->Find(q2);
+    if (f1 != nullptr && f2 != nullptr) {
+      return JaccardDistanceSorted(f1->token_ids, f2->token_ids);
+    }
+  }
   DPE_ASSIGN_OR_RETURN(auto t1, sql::TokenSet(sql::ToSql(q1)));
   DPE_ASSIGN_OR_RETURN(auto t2, sql::TokenSet(sql::ToSql(q2)));
   return JaccardDistance(t1, t2);

@@ -291,21 +291,31 @@ Status Engine::LoadCheckpoint(const std::string& dir) {
   return Status::OK();
 }
 
+// The Run* methods hand the engine's pool to the mining kernels: the
+// miners' parallel maps + serial index-order reductions are bit-identical
+// to their serial references (tested), so batch callers get the speedup
+// without a semantics change. Run* executes on the caller's thread, never
+// inside a pool task, so the nested ParallelFor contract holds.
+
 Result<mining::KMedoidsResult> Engine::RunKMedoids(
     const std::string& measure, const mining::KMedoidsOptions& options) {
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
-  return mining::KMedoids(m, options);
+  mining::KMedoidsOptions pooled = options;
+  pooled.pool = &pool_;
+  return mining::KMedoids(m, pooled);
 }
 
 Result<mining::DbscanResult> Engine::RunDbscan(
     const std::string& measure, const mining::DbscanOptions& options) {
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
-  return mining::Dbscan(m, options);
+  mining::DbscanOptions pooled = options;
+  pooled.pool = &pool_;
+  return mining::Dbscan(m, pooled);
 }
 
 Result<mining::Dendrogram> Engine::RunHierarchical(const std::string& measure) {
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
-  return mining::CompleteLink(m);
+  return mining::CompleteLink(m, &pool_);
 }
 
 Result<OutlierKnnReport> Engine::RunOutlierKnn(
@@ -313,14 +323,22 @@ Result<OutlierKnnReport> Engine::RunOutlierKnn(
     size_t k) {
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   OutlierKnnReport report;
+  mining::OutlierOptions pooled = options;
+  pooled.pool = &pool_;
   DPE_ASSIGN_OR_RETURN(report.outliers,
-                       mining::DistanceBasedOutliers(m, options));
-  report.neighbors.reserve(report.outliers.outliers.size());
-  for (size_t index : report.outliers.outliers) {
-    DPE_ASSIGN_OR_RETURN(std::vector<size_t> nn,
-                         mining::NearestNeighbors(m, index, k));
-    report.neighbors.push_back(std::move(nn));
-  }
+                       mining::DistanceBasedOutliers(m, pooled));
+  // kNN scoring of each outlier is independent; one report slot per
+  // outlier, filled in parallel, first failure in index order wins.
+  const std::vector<size_t>& outliers = report.outliers.outliers;
+  report.neighbors.assign(outliers.size(), {});
+  DPE_RETURN_NOT_OK(common::ParallelForStatus(
+      &pool_, 0, outliers.size(), 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          DPE_ASSIGN_OR_RETURN(report.neighbors[r],
+                               mining::NearestNeighbors(m, outliers[r], k));
+        }
+        return Status::OK();
+      }));
   return report;
 }
 

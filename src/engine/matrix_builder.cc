@@ -17,7 +17,7 @@ Status ComputeTile(const std::vector<sql::SelectQuery>& queries,
     for (size_t j = std::max(i + 1, col_begin); j < col_end; ++j) {
       DPE_ASSIGN_OR_RETURN(double d,
                            measure.Distance(queries[i], queries[j], context));
-      m.set(i, j, d);
+      m.SetUnchecked(i, j, d);
     }
   }
   return Status::OK();
@@ -25,45 +25,66 @@ Status ComputeTile(const std::vector<sql::SelectQuery>& queries,
 
 }  // namespace
 
+Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
+    const std::vector<const sql::SelectQuery*>& selected) const {
+  const size_t n = selected.size();
+  std::vector<distance::RawQueryFeatures> raw(n);
+
+  // Phase 1 — print + lex + featurize each query, one task per chunk.
+  DPE_RETURN_NOT_OK(common::ParallelForStatus(
+      pool_, 0, n, std::max<size_t>(1, options_.block / 4),
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t q = begin; q < end; ++q) {
+          DPE_ASSIGN_OR_RETURN(raw[q],
+                               distance::ExtractRawFeatures(*selected[q]));
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2 — intern serially (cheap; deterministic id assignment).
+  return distance::FeatureCache::Intern(selected, std::move(raw));
+}
+
 Result<distance::DistanceMatrix> MatrixBuilder::Build(
     const std::vector<sql::SelectQuery>& queries,
     const distance::QueryDistanceMeasure& measure,
     const distance::MeasureContext& context) const {
-  DPE_RETURN_NOT_OK(measure.Prepare(queries, context));
+  std::vector<const sql::SelectQuery*> selected;
+  selected.reserve(queries.size());
+  for (const sql::SelectQuery& q : queries) selected.push_back(&q);
+  DPE_ASSIGN_OR_RETURN(distance::FeatureCache features,
+                       PrecomputeFeatures(selected));
+  distance::MeasureContext ctx = context;
+  ctx.features = &features;
+
+  DPE_RETURN_NOT_OK(measure.Prepare(queries, ctx));
 
   const size_t n = queries.size();
   const size_t block = options_.block;
   distance::DistanceMatrix m(n);
 
   // Upper-triangle tiles (bi <= bj). Cell (i, j), i < j, belongs to exactly
-  // one tile, and set() mirrors into (j, i) which no other tile touches.
+  // one tile, and SetUnchecked mirrors into (j, i) which no other tile
+  // touches.
   std::vector<std::pair<size_t, size_t>> tiles;
   const size_t block_count = (n + block - 1) / block;
   for (size_t bi = 0; bi < block_count; ++bi) {
     for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
   }
 
-  std::vector<Status> tile_status(tiles.size());
-  auto run_tiles = [&](size_t begin, size_t end) {
-    for (size_t t = begin; t < end; ++t) {
-      const auto [bi, bj] = tiles[t];
-      tile_status[t] =
-          ComputeTile(queries, measure, context, bi * block,
-                      std::min(n, (bi + 1) * block), bj * block,
-                      std::min(n, (bj + 1) * block), m);
-    }
-  };
-
-  if (pool_ == nullptr) {
-    run_tiles(0, tiles.size());
-  } else {
-    ParallelFor(*pool_, 0, tiles.size(), 1, run_tiles);
-  }
-
-  // Deterministic error selection: first failing tile in schedule order.
-  for (const Status& s : tile_status) {
-    if (!s.ok()) return s;
-  }
+  // One tile per chunk; ParallelForStatus returns the first failing tile
+  // in schedule order (deterministic error selection).
+  DPE_RETURN_NOT_OK(common::ParallelForStatus(
+      pool_, 0, tiles.size(), 1, [&](size_t begin, size_t end) -> Status {
+        for (size_t t = begin; t < end; ++t) {
+          const auto [bi, bj] = tiles[t];
+          DPE_RETURN_NOT_OK(
+              ComputeTile(queries, measure, ctx, bi * block,
+                          std::min(n, (bi + 1) * block), bj * block,
+                          std::min(n, (bj + 1) * block), m));
+        }
+        return Status::OK();
+      }));
   return m;
 }
 
@@ -78,37 +99,48 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
       return Status::OutOfRange("pair index outside query log");
     }
   }
-  DPE_RETURN_NOT_OK(measure.Prepare(queries, context));
+
+  // Featurize only the queries the pair list references.
+  std::vector<bool> used(n, false);
+  for (const auto& [i, j] : pairs) {
+    used[i] = true;
+    used[j] = true;
+  }
+  std::vector<const sql::SelectQuery*> selected;
+  for (size_t q = 0; q < n; ++q) {
+    if (used[q]) selected.push_back(&queries[q]);
+  }
+  DPE_ASSIGN_OR_RETURN(distance::FeatureCache features,
+                       PrecomputeFeatures(selected));
+  distance::MeasureContext ctx = context;
+  ctx.features = &features;
+
+  // Prepare only the referenced queries: for a sparse pair list (one
+  // evicted pair, say) a heavy measure must not re-execute / re-extract the
+  // whole log. Measures memoize by canonical text, so preparing copies
+  // still makes Distance on the originals a cache hit.
+  if (selected.size() == n) {
+    DPE_RETURN_NOT_OK(measure.Prepare(queries, ctx));
+  } else {
+    std::vector<sql::SelectQuery> subset;
+    subset.reserve(selected.size());
+    for (const sql::SelectQuery* q : selected) subset.push_back(*q);
+    DPE_RETURN_NOT_OK(measure.Prepare(subset, ctx));
+  }
 
   std::vector<double> out(pairs.size(), 0.0);
-  std::vector<Status> chunk_status;
-  const size_t grain = std::max<size_t>(1, options_.block * options_.block / 2);
-  const size_t chunk_count = pairs.empty() ? 0 : (pairs.size() + grain - 1) / grain;
-  chunk_status.assign(std::max<size_t>(chunk_count, 1), Status::OK());
-
-  auto run_chunk = [&](size_t begin, size_t end) {
-    const size_t chunk = begin / grain;
-    for (size_t p = begin; p < end; ++p) {
-      const auto [i, j] = pairs[p];
-      if (i == j) continue;  // zero diagonal by definition
-      auto d = measure.Distance(queries[i], queries[j], context);
-      if (!d.ok()) {
-        chunk_status[chunk] = d.status();
-        return;
-      }
-      out[p] = *d;
-    }
-  };
-
-  if (pool_ == nullptr) {
-    if (!pairs.empty()) run_chunk(0, pairs.size());
-  } else {
-    ParallelFor(*pool_, 0, pairs.size(), grain, run_chunk);
-  }
-
-  for (const Status& s : chunk_status) {
-    if (!s.ok()) return s;
-  }
+  DPE_RETURN_NOT_OK(common::ParallelForStatus(
+      pool_, 0, pairs.size(),
+      std::max<size_t>(1, options_.block * options_.block / 2),
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t p = begin; p < end; ++p) {
+          const auto [i, j] = pairs[p];
+          if (i == j) continue;  // zero diagonal by definition
+          DPE_ASSIGN_OR_RETURN(out[p],
+                               measure.Distance(queries[i], queries[j], ctx));
+        }
+        return Status::OK();
+      }));
   return out;
 }
 

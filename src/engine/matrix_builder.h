@@ -1,12 +1,19 @@
 // Parallel, cache-blocked construction of pairwise distance matrices.
 //
+// Before any distances are computed, the builder runs the feature-
+// precompute pipeline (distance/features.h): every query is printed, lexed
+// and featurized exactly once — in parallel on the pool — and the resulting
+// FeatureCache is threaded through the MeasureContext so each measure's hot
+// path consumes precomputed features instead of re-lexing SQL per pair.
+// That turns the matrix build from O(n²·lex) into O(n·lex + n²·merge).
+//
 // The upper triangle is tiled into `block` x `block` blocks; each block is
 // one pool task, so workers touch disjoint, contiguous stripes of the
 // matrix (cache-friendly) and no two tasks ever write the same cell. Every
-// cell is produced by the exact same measure.Distance(queries[i],
-// queries[j], context) call the serial DistanceMatrix::Compute makes, so
-// the parallel result is bit-identical to the serial one — a tested
-// guarantee, not a best-effort property.
+// cell carries the exact value the serial, un-featurized
+// DistanceMatrix::Compute produces (featurization preserves the distances
+// bit-for-bit), so the parallel result is bit-identical to the serial one —
+// a tested guarantee, not a best-effort property.
 
 #ifndef DPE_ENGINE_MATRIX_BUILDER_H_
 #define DPE_ENGINE_MATRIX_BUILDER_H_
@@ -14,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "distance/features.h"
 #include "distance/matrix.h"
 #include "engine/thread_pool.h"
 
@@ -32,14 +40,16 @@ class MatrixBuilder {
     if (options_.block == 0) options_.block = 1;
   }
 
-  /// Full pairwise matrix over `queries` (calls measure.Prepare first).
+  /// Full pairwise matrix over `queries` (precomputes features, then calls
+  /// measure.Prepare, then fills the tiles).
   Result<distance::DistanceMatrix> Build(
       const std::vector<sql::SelectQuery>& queries,
       const distance::QueryDistanceMeasure& measure,
       const distance::MeasureContext& context) const;
 
   /// d(queries[i], queries[j]) for an explicit pair list — the distance
-  /// cache's miss path. Returns one value per pair, in input order.
+  /// cache's miss path. Returns one value per pair, in input order. Only
+  /// the queries referenced by `pairs` are featurized.
   Result<std::vector<double>> ComputePairs(
       const std::vector<sql::SelectQuery>& queries,
       const std::vector<std::pair<size_t, size_t>>& pairs,
@@ -47,6 +57,11 @@ class MatrixBuilder {
       const distance::MeasureContext& context) const;
 
  private:
+  /// Extracts raw features of `selected` in parallel (phase 1 of
+  /// distance/features.h), then interns serially (phase 2).
+  Result<distance::FeatureCache> PrecomputeFeatures(
+      const std::vector<const sql::SelectQuery*>& selected) const;
+
   ThreadPool* pool_;  ///< not owned
   MatrixBuilderOptions options_;
 };

@@ -1,60 +1,16 @@
-// Fixed-size worker pool plus a tiled ParallelFor scheduler — the execution
-// substrate of the mining engine. The pool is deliberately minimal: tasks
-// are type-erased closures, scheduling is FIFO, and ParallelFor is a static
-// chunking over a contiguous index range (deterministic tile boundaries, so
-// parallel runs partition the work identically regardless of timing).
+// Compatibility header: the pool moved to common/thread_pool.h so the
+// mining kernels (a layer below engine/) can schedule on it too. Engine
+// code keeps using the dpe::engine names.
 
 #ifndef DPE_ENGINE_THREAD_POOL_H_
 #define DPE_ENGINE_THREAD_POOL_H_
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/thread_pool.h"
 
 namespace dpe::engine {
 
-class ThreadPool {
- public:
-  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
-  /// (at least 1).
-  explicit ThreadPool(size_t threads = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  size_t thread_count() const { return workers_.size(); }
-
-  /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
-
-  /// Blocks until every task submitted so far has finished.
-  void Wait();
-
- private:
-  void WorkerLoop();
-
-  mutable std::mutex mu_;
-  std::condition_variable wake_;  ///< workers: queue non-empty or stopping
-  std::condition_variable idle_;  ///< Wait(): pending_ reached zero
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  ///< queued + currently running tasks
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
-};
-
-/// Splits [begin, end) into contiguous chunks of at most `grain` indices and
-/// runs `body(chunk_begin, chunk_end)` across the pool; blocks until every
-/// chunk has finished. Chunk boundaries depend only on (begin, end, grain),
-/// never on timing. Runs inline on the calling thread when the range fits in
-/// one chunk or the pool has a single worker. Must not be called from inside
-/// a pool task (the inner wait could starve the outer one).
-void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
-                 const std::function<void(size_t, size_t)>& body);
+using common::ParallelFor;
+using common::ThreadPool;
 
 }  // namespace dpe::engine
 

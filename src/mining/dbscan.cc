@@ -2,6 +2,8 @@
 
 #include <deque>
 
+#include "mining/parallel_util.h"
+
 namespace dpe::mining {
 
 Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
@@ -14,19 +16,39 @@ Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
   result.labels.assign(n, -1);
   std::vector<bool> visited(n, false);
 
-  auto neighbors = [&](size_t p) {
-    std::vector<size_t> out;
+  // With a pool, precompute all neighborhood lists up front — every list
+  // built by one task in index order, so it equals the lazy scan — and
+  // accept the O(sum of neighborhood sizes) memory. Without one, keep the
+  // serial reference's one-list-at-a-time lazy scan (O(n) transient).
+  const bool precomputed = options.pool != nullptr;
+  std::vector<std::vector<size_t>> precompute(precomputed ? n : 0);
+  if (precomputed) {
+    MaybeParallelFor(options.pool, 0, n, MiningGrain(n, options.pool),
+                     [&](size_t begin, size_t end) {
+                       for (size_t p = begin; p < end; ++p) {
+                         for (size_t q = 0; q < n; ++q) {
+                           if (m.AtUnchecked(p, q) <= options.epsilon) {
+                             precompute[p].push_back(q);  // includes p
+                           }
+                         }
+                       }
+                     });
+  }
+  std::vector<size_t> lazy;
+  auto neighbors = [&](size_t p) -> const std::vector<size_t>& {
+    if (precomputed) return precompute[p];
+    lazy.clear();
     for (size_t q = 0; q < n; ++q) {
-      if (m.at(p, q) <= options.epsilon) out.push_back(q);  // includes p
+      if (m.AtUnchecked(p, q) <= options.epsilon) lazy.push_back(q);
     }
-    return out;
+    return lazy;
   };
 
   int cluster = 0;
   for (size_t p = 0; p < n; ++p) {
     if (visited[p]) continue;
     visited[p] = true;
-    std::vector<size_t> seeds = neighbors(p);
+    const std::vector<size_t>& seeds = neighbors(p);
     if (seeds.size() < options.min_points) continue;  // noise (for now)
     result.labels[p] = cluster;
     std::deque<size_t> queue(seeds.begin(), seeds.end());
@@ -37,7 +59,7 @@ Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
       if (visited[q]) continue;
       visited[q] = true;
       result.labels[q] = cluster;
-      std::vector<size_t> q_neighbors = neighbors(q);
+      const std::vector<size_t>& q_neighbors = neighbors(q);
       if (q_neighbors.size() >= options.min_points) {
         queue.insert(queue.end(), q_neighbors.begin(), q_neighbors.end());
       }

@@ -1,12 +1,16 @@
 #include "mining/hierarchical.h"
 
+#include <functional>
 #include <limits>
 #include <map>
 #include <numeric>
 
+#include "mining/parallel_util.h"
+
 namespace dpe::mining {
 
-Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m) {
+Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
+                                common::ThreadPool* pool) {
   const size_t n = m.size();
   Dendrogram out;
   out.leaf_count = n;
@@ -16,36 +20,73 @@ Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m) {
   std::map<size_t, std::vector<size_t>> clusters;
   for (size_t i = 0; i < n; ++i) clusters[i] = {i};
 
-  // Complete-link distance between two member lists: max pairwise distance.
+  // Complete-link distance between two member lists: max pairwise distance
+  // (max is order-independent, so parallel callers get the same double).
   auto link = [&](const std::vector<size_t>& a, const std::vector<size_t>& b) {
     double worst = 0.0;
     for (size_t x : a) {
-      for (size_t y : b) worst = std::max(worst, m.at(x, y));
+      for (size_t y : b) worst = std::max(worst, m.AtUnchecked(x, y));
     }
     return worst;
   };
 
+  struct Best {
+    double d = std::numeric_limits<double>::infinity();
+    size_t a = 0;
+    size_t b = 0;
+  };
+
   size_t next_id = n;
+  std::vector<const std::vector<size_t>*> members;
+  std::vector<size_t> ids;
   while (clusters.size() > 1) {
-    double best = std::numeric_limits<double>::infinity();
-    size_t best_a = 0, best_b = 0;
-    for (auto ia = clusters.begin(); ia != clusters.end(); ++ia) {
-      for (auto ib = std::next(ia); ib != clusters.end(); ++ib) {
-        double d = link(ia->second, ib->second);
-        if (d < best) {  // strict: first (smallest id pair) wins ties
-          best = d;
-          best_a = ia->first;
-          best_b = ib->first;
+    // Snapshot the active clusters in map (= ascending id) order; the scan
+    // over (ia, ib > ia) pairs below then visits pairs in the same
+    // lexicographic order as the serial nested-iterator loop.
+    ids.clear();
+    members.clear();
+    for (const auto& [id, pts] : clusters) {
+      ids.push_back(id);
+      members.push_back(&pts);
+    }
+    const size_t k = ids.size();
+
+    // Rows shrink as ia grows (k - ia - 1 inner pairs), so use a fine grain
+    // to keep chunks balanced — but floor it at 8 rows so tiny rounds do
+    // not dissolve into per-row scheduling overhead.
+    const size_t grain =
+        pool == nullptr ? k
+                        : std::max<size_t>(8, k / (8 * pool->thread_count()));
+    const size_t chunk_count = (k + grain - 1) / grain;
+    std::vector<Best> chunk_best(chunk_count);
+    MaybeParallelFor(pool, 0, k, grain, [&](size_t begin, size_t end) {
+      Best local;
+      for (size_t ia = begin; ia < end; ++ia) {
+        for (size_t ib = ia + 1; ib < k; ++ib) {
+          double d = link(*members[ia], *members[ib]);
+          if (d < local.d) {  // strict: first (smallest id pair) wins ties
+            local.d = d;
+            local.a = ids[ia];
+            local.b = ids[ib];
+          }
         }
       }
+      chunk_best[begin / grain] = local;
+    });
+    // Ascending chunk order + strict < keeps the earliest chunk's minimum
+    // on ties — exactly the serial first-min selection.
+    Best best;
+    for (const Best& candidate : chunk_best) {
+      if (candidate.d < best.d) best = candidate;
     }
-    std::vector<size_t> merged = clusters[best_a];
-    const auto& right = clusters[best_b];
+
+    std::vector<size_t> merged = clusters[best.a];
+    const auto& right = clusters[best.b];
     merged.insert(merged.end(), right.begin(), right.end());
-    clusters.erase(best_a);
-    clusters.erase(best_b);
+    clusters.erase(best.a);
+    clusters.erase(best.b);
     clusters[next_id] = std::move(merged);
-    out.merges.push_back({best_a, best_b, best});
+    out.merges.push_back({best.a, best.b, best.d});
     ++next_id;
   }
   return out;

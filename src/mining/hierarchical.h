@@ -1,11 +1,19 @@
 // Agglomerative hierarchical clustering with the complete-link criterion
 // (Defays 1977, [3] in the paper). Deterministic merge order (ties break to
 // the lexicographically smallest cluster pair).
+//
+// With a thread pool, each round's min-pair search — the dominant O(k²·link)
+// scan over active cluster pairs — is chunked over the pool; every chunk
+// keeps the first minimum in its own scan order and the chunk results are
+// merged in ascending chunk order with strict <, reproducing exactly the
+// serial "first smallest pair wins ties" selection. The dendrogram is
+// therefore bit-identical for every thread count.
 
 #ifndef DPE_MINING_HIERARCHICAL_H_
 #define DPE_MINING_HIERARCHICAL_H_
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
 
@@ -27,8 +35,10 @@ struct Dendrogram {
   Result<Labels> CutK(size_t k) const;
 };
 
-/// Builds the complete-link dendrogram from a distance matrix.
-Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& matrix);
+/// Builds the complete-link dendrogram from a distance matrix; the min-pair
+/// search runs on `pool` when one is given (nullptr = serial, bit-identical).
+Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& matrix,
+                                common::ThreadPool* pool = nullptr);
 
 }  // namespace dpe::mining
 

@@ -2,11 +2,18 @@
 // ([5] in the paper). Fully deterministic (ties break to the lower index),
 // so identical distance matrices yield identical clusterings — the property
 // the DPE mining-equivalence experiments rely on.
+//
+// With a thread pool in the options, the O(n²) phases — Park-Jun init, the
+// assignment step and the per-cluster medoid update — run as per-row
+// parallel maps followed by serial index-order reductions, so the result
+// (labels, medoids, total_deviation, iteration count) is bit-identical to
+// the serial path for every thread count.
 
 #ifndef DPE_MINING_KMEDOIDS_H_
 #define DPE_MINING_KMEDOIDS_H_
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
 
@@ -15,6 +22,8 @@ namespace dpe::mining {
 struct KMedoidsOptions {
   size_t k = 2;
   size_t max_iterations = 100;
+  /// Optional pool for the O(n²) phases; nullptr = serial (bit-identical).
+  common::ThreadPool* pool = nullptr;
 };
 
 struct KMedoidsResult {

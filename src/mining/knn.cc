@@ -14,7 +14,7 @@ Result<std::vector<size_t>> NearestNeighbors(const distance::DistanceMatrix& m,
   // Snapshot row i once: the comparator then reads a flat array instead of
   // doing 2-4 matrix accesses per comparison.
   std::vector<double> row(n);
-  for (size_t j = 0; j < n; ++j) row[j] = m.at(i, j);
+  for (size_t j = 0; j < n; ++j) row[j] = m.AtUnchecked(i, j);
   std::vector<size_t> order;
   order.reserve(n - 1);
   for (size_t j = 0; j < n; ++j) {

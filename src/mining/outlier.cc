@@ -1,5 +1,7 @@
 #include "mining/outlier.h"
 
+#include "mining/parallel_util.h"
+
 namespace dpe::mining {
 
 Result<OutlierResult> DistanceBasedOutliers(const distance::DistanceMatrix& m,
@@ -10,16 +12,26 @@ Result<OutlierResult> DistanceBasedOutliers(const distance::DistanceMatrix& m,
   const size_t n = m.size();
   OutlierResult result;
   result.is_outlier.assign(n, false);
+  // Parallel map over points (std::vector<bool> is not safe for concurrent
+  // element writes, so flags land in a plain byte vector first).
+  std::vector<unsigned char> flags(n, 0);
+  MaybeParallelFor(options.pool, 0, n, MiningGrain(n, options.pool),
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       size_t far = 0;
+                       for (size_t j = 0; j < n; ++j) {
+                         if (j == i) continue;
+                         if (m.AtUnchecked(i, j) > options.d) ++far;
+                       }
+                       const size_t others = n > 0 ? n - 1 : 0;
+                       if (others == 0) continue;
+                       double fraction = static_cast<double>(far) /
+                                         static_cast<double>(others);
+                       if (fraction >= options.p) flags[i] = 1;
+                     }
+                   });
   for (size_t i = 0; i < n; ++i) {
-    size_t far = 0;
-    for (size_t j = 0; j < n; ++j) {
-      if (j == i) continue;
-      if (m.at(i, j) > options.d) ++far;
-    }
-    const size_t others = n > 0 ? n - 1 : 0;
-    if (others == 0) continue;
-    double fraction = static_cast<double>(far) / static_cast<double>(others);
-    if (fraction >= options.p) {
+    if (flags[i] != 0) {
       result.is_outlier[i] = true;
       result.outliers.push_back(i);
     }

@@ -1,11 +1,16 @@
 // Distance-based outliers DB(p, D) of Knorr, Ng & Tucakov 2000 ([6] in the
 // paper): an object is an outlier when at least fraction p of all other
 // objects lie farther than D from it.
+//
+// With a thread pool, the per-point far-neighbor counts (the O(n²) scan)
+// run as a parallel map; the outlier list is collected serially in index
+// order, so the result is bit-identical for every thread count.
 
 #ifndef DPE_MINING_OUTLIER_H_
 #define DPE_MINING_OUTLIER_H_
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "distance/matrix.h"
 
 namespace dpe::mining {
@@ -13,6 +18,8 @@ namespace dpe::mining {
 struct OutlierOptions {
   double p = 0.9;  ///< required fraction of far-away objects, in (0, 1]
   double d = 0.5;  ///< distance threshold D
+  /// Optional pool for the far-count scan; nullptr = serial.
+  common::ThreadPool* pool = nullptr;
 };
 
 struct OutlierResult {

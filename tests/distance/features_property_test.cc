@@ -1,0 +1,151 @@
+// Property test for the feature-precompute pipeline: for every built-in
+// measure, the featurized hot path (MeasureContext.features set) returns
+// the exact same distance — bit-identical, not approximately equal — as the
+// un-featurized reference path, over every pair of a generated query log.
+
+#include "distance/features.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "distance/access_area_distance.h"
+#include "distance/jaccard.h"
+#include "distance/levenshtein_distance.h"
+#include "distance/result_distance.h"
+#include "distance/structure_distance.h"
+#include "distance/token_distance.h"
+#include "tests/scenario_test_util.h"
+
+namespace dpe::distance {
+namespace {
+
+std::vector<std::unique_ptr<QueryDistanceMeasure>> AllMeasures() {
+  std::vector<std::unique_ptr<QueryDistanceMeasure>> measures;
+  measures.push_back(std::make_unique<TokenDistance>());
+  measures.push_back(std::make_unique<StructureDistance>());
+  measures.push_back(std::make_unique<ResultDistance>());
+  measures.push_back(std::make_unique<AccessAreaDistance>(
+      AccessAreaDistance::CanonicalDpeOptions()));
+  measures.push_back(std::make_unique<LevenshteinDistance>(
+      LevenshteinDistance::Granularity::kTokenSequence));
+  measures.push_back(std::make_unique<LevenshteinDistance>(
+      LevenshteinDistance::Granularity::kCharacter));
+  return measures;
+}
+
+TEST(FeatureCacheTest, ComputesOneEntryPerQuery) {
+  workload::Scenario s = testutil::Shop(7, 12);
+  auto cache = FeatureCache::Compute(s.log).value();
+  EXPECT_EQ(cache.size(), s.log.size());
+  for (const sql::SelectQuery& q : s.log) {
+    const QueryFeatures* f = cache.Find(q);
+    ASSERT_NE(f, nullptr);
+    EXPECT_FALSE(f->sql.empty());
+    EXPECT_FALSE(f->token_seq.empty());
+    // token_ids is the sorted unique projection of token_seq.
+    std::vector<uint32_t> expect = f->token_seq;
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(f->token_ids, expect);
+    EXPECT_TRUE(std::is_sorted(f->structure_ids.begin(),
+                               f->structure_ids.end()));
+  }
+}
+
+TEST(FeatureCacheTest, FindIsIdentityBasedSoCopiesFallBack) {
+  workload::Scenario s = testutil::Shop(7, 4);
+  auto cache = FeatureCache::Compute(s.log).value();
+  sql::SelectQuery copy = s.log[0];
+  EXPECT_EQ(cache.Find(copy), nullptr);
+  EXPECT_NE(cache.Find(s.log[0]), nullptr);
+}
+
+// The tentpole property: featurized == un-featurized, bit for bit, for all
+// six measures over all pairs. Separate measure instances per path so the
+// featurized one cannot reuse reference-path internal caches.
+TEST(FeaturizedDistanceProperty, BitIdenticalToReferenceForAllMeasures) {
+  workload::Scenario s = testutil::Shop(42, 30);
+  distance::MeasureContext reference_ctx = s.Context();
+  auto cache = FeatureCache::Compute(s.log).value();
+  distance::MeasureContext featurized_ctx = reference_ctx;
+  featurized_ctx.features = &cache;
+
+  auto reference_measures = AllMeasures();
+  auto featurized_measures = AllMeasures();
+  for (size_t mi = 0; mi < reference_measures.size(); ++mi) {
+    const QueryDistanceMeasure& reference = *reference_measures[mi];
+    const QueryDistanceMeasure& featurized = *featurized_measures[mi];
+    ASSERT_TRUE(reference.Prepare(s.log, reference_ctx).ok()) << reference.Name();
+    ASSERT_TRUE(featurized.Prepare(s.log, featurized_ctx).ok()) << featurized.Name();
+    for (size_t i = 0; i < s.log.size(); ++i) {
+      for (size_t j = i + 1; j < s.log.size(); ++j) {
+        auto expect = reference.Distance(s.log[i], s.log[j], reference_ctx);
+        auto got = featurized.Distance(s.log[i], s.log[j], featurized_ctx);
+        ASSERT_TRUE(expect.ok()) << reference.Name();
+        ASSERT_TRUE(got.ok()) << featurized.Name();
+        // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the claim is bit-identity.
+        EXPECT_EQ(*got, *expect)
+            << reference.Name() << " pair (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// A query outside the cache falls back to extraction on the fly and still
+// matches the reference path exactly.
+TEST(FeaturizedDistanceProperty, UncachedQueryFallsBackBitIdentically) {
+  workload::Scenario s = testutil::Shop(3, 6);
+  std::vector<sql::SelectQuery> cached_log(s.log.begin(), s.log.end() - 1);
+  auto cache = FeatureCache::Compute(cached_log).value();
+  distance::MeasureContext ctx = s.Context();
+  distance::MeasureContext featurized_ctx = ctx;
+  featurized_ctx.features = &cache;
+
+  TokenDistance token;
+  const sql::SelectQuery& outside = s.log.back();
+  auto expect = token.Distance(cached_log[0], outside, ctx);
+  auto got = token.Distance(cached_log[0], outside, featurized_ctx);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *expect);
+}
+
+// Merge-intersection kernel vs std::set_intersection on random sorted
+// unique vectors.
+TEST(SortedIntersectionTest, MatchesSetIntersectionOnRandomInputs) {
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    std::set<uint32_t> sa, sb;
+    std::uniform_int_distribution<uint32_t> value(0, 60);
+    std::uniform_int_distribution<size_t> len(0, 40);
+    const size_t na = len(rng), nb = len(rng);
+    while (sa.size() < na) sa.insert(value(rng));
+    while (sb.size() < nb) sb.insert(value(rng));
+    std::vector<uint32_t> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<uint32_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+    EXPECT_EQ(SortedIntersectionCount(a, b), expect.size());
+    EXPECT_EQ(SortedIntersectionCount(b, a), expect.size());
+    // And the distance agrees with the std::set reference implementation.
+    std::set<uint32_t> set_a(a.begin(), a.end()), set_b(b.begin(), b.end());
+    EXPECT_EQ(JaccardDistanceSorted(a, b), JaccardDistance(set_a, set_b));
+  }
+}
+
+TEST(SortedIntersectionTest, EmptyEdgeCases) {
+  std::vector<uint32_t> empty, some{1, 2, 3};
+  EXPECT_EQ(SortedIntersectionCount(empty, empty), 0u);
+  EXPECT_EQ(SortedIntersectionCount(empty, some), 0u);
+  EXPECT_EQ(JaccardDistanceSorted(empty, empty), 0.0);
+  EXPECT_EQ(JaccardDistanceSorted(empty, some), 1.0);
+  EXPECT_EQ(JaccardDistanceSorted(some, some), 0.0);
+}
+
+}  // namespace
+}  // namespace dpe::distance
