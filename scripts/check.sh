@@ -14,12 +14,19 @@ cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo "== bench smoke: scaling benches compile-and-run =="
-# --smoke uses tiny sizes; both binaries hard-fail if any parallel or
-# featurized result deviates from its serial reference, and both emit
-# BENCH_*.json for the perf trajectory.
+# --smoke uses tiny sizes; the binaries hard-fail if any parallel,
+# featurized or sharded result deviates from its serial/direct reference,
+# and all emit BENCH_*.json for the perf trajectory.
 (cd build && ./bench/bench_distance_scaling --smoke > /dev/null)
 (cd build && ./bench/bench_mining_scaling --smoke > /dev/null)
-ls -l build/BENCH_distance_scaling.json build/BENCH_mining_scaling.json
+(cd build && ./bench/bench_shard_scaling --smoke > /dev/null)
+ls -l build/BENCH_distance_scaling.json build/BENCH_mining_scaling.json \
+      build/BENCH_shard_scaling.json
+
+echo "== example smoke: sharded build round-trip =="
+# Plans -> k worker engines -> on-disk shard files -> merged matrix; exits
+# non-zero unless the merge is bit-identical to the direct build.
+(cd build && ./examples/sharded_build > /dev/null)
 
 echo "== sanitizers: asan+ubsan on engine/distance/store tests =="
 cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \

@@ -216,14 +216,29 @@ void Engine::RebuildWatermarksLocked(
   }
 }
 
-Status Engine::LoadCheckpoint(const std::string& dir) {
+Status Engine::LoadCheckpoint(const std::string& dir,
+                              CheckpointLoadReport* report) {
+  if (report != nullptr) *report = CheckpointLoadReport{};
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened,
                        store::MatrixStore::OpenExisting(dir));
   DPE_ASSIGN_OR_RETURN(store::Snapshot snapshot, opened.ReadSnapshot());
   // Recovery read: a torn final record (we may be restarting from the very
-  // crash the checkpoint exists for) is dropped and trimmed, not fatal.
-  DPE_ASSIGN_OR_RETURN(std::vector<store::JournalRecord> journal,
-                       opened.RecoverJournal());
+  // crash the checkpoint exists for) is dropped and trimmed, not fatal —
+  // unless the operator opted into strict loads, where a tear is theirs to
+  // inspect before it is destroyed.
+  std::vector<store::JournalRecord> journal;
+  if (options_.tolerate_torn_journal) {
+    DPE_ASSIGN_OR_RETURN(store::JournalRecovery recovery,
+                         opened.RecoverJournal());
+    journal = std::move(recovery.records);
+    if (report != nullptr) {
+      report->journal_tail_truncated = recovery.tail_truncated;
+      report->dropped_journal_records = recovery.dropped_records;
+      report->dropped_journal_bytes = recovery.dropped_bytes;
+    }
+  } else {
+    DPE_ASSIGN_OR_RETURN(journal, opened.ReadJournal());
+  }
 
   // Parse everything up front so a corrupt checkpoint leaves the engine
   // untouched.
@@ -340,6 +355,56 @@ Result<OutlierKnnReport> Engine::RunOutlierKnn(
         return Status::OK();
       }));
   return report;
+}
+
+// -- Sharded builds ----------------------------------------------------------
+
+Result<ShardPlan> Engine::PlanShards(size_t shard_count) const {
+  return engine::PlanShards(queries_.size(), options_.block, shard_count);
+}
+
+Status Engine::RunShard(const std::string& measure_name, const ShardPlan& plan,
+                        size_t shard_index, const std::string& dir) {
+  DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
+                       MeasureFor(measure_name));
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore store, store::MatrixStore::Open(dir));
+  ShardWorker worker(&pool_);
+  return worker
+      .Run(measure_name, queries_, *measure, context_, plan, shard_index,
+           store)
+      .status();
+}
+
+Result<distance::DistanceMatrix> Engine::MergeShards(
+    const std::string& measure_name, size_t shard_count,
+    const std::string& dir) {
+  // Fail a typo'd measure name fast (as RunShard does), before it can warm
+  // the cache with entries no BuildMatrix call could ever reach.
+  DPE_RETURN_NOT_OK(MeasureFor(measure_name).status());
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore store,
+                       store::MatrixStore::OpenExisting(dir));
+  ShardCoordinator coordinator;
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix merged,
+                       coordinator.Merge(store, measure_name, shard_count));
+  if (merged.size() != queries_.size()) {
+    return Status::InvalidArgument(
+        "merge shards: shard set is for n = " + std::to_string(merged.size()) +
+        " queries but this engine's log holds " +
+        std::to_string(queries_.size()));
+  }
+  if (options_.enable_cache) {
+    // Warm the cache so mining over the merged matrix (or an incremental
+    // rebuild after AddQuery) reuses the shards' work. Not journaled: the
+    // shard files on disk already persist these pairs.
+    const size_t n = merged.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        cache_.Insert(measure_name, static_cast<uint32_t>(i),
+                      static_cast<uint32_t>(j), merged.at(i, j));
+      }
+    }
+  }
+  return merged;
 }
 
 }  // namespace dpe::engine

@@ -32,6 +32,7 @@
 #include "engine/distance_cache.h"
 #include "engine/matrix_builder.h"
 #include "engine/measure_registry.h"
+#include "engine/shard.h"
 #include "engine/thread_pool.h"
 #include "mining/dbscan.h"
 #include "mining/hierarchical.h"
@@ -52,6 +53,19 @@ struct EngineOptions {
   /// Distance-cache eviction budget in bytes (LRU); 0 = unbounded. See
   /// DistanceCache::kEntryBytes for the per-pair cost.
   size_t cache_max_bytes = 0;
+  /// LoadCheckpoint tolerance for a torn journal tail (the half-flushed
+  /// append of a killed process): true (default) drops the torn record,
+  /// truncates the file back to the intact prefix and reports the damage;
+  /// false fails the load with ParseError so operators who would rather
+  /// inspect the file than lose a record can.
+  bool tolerate_torn_journal = true;
+};
+
+/// What LoadCheckpoint had to do to the journal to complete the restore.
+struct CheckpointLoadReport {
+  bool journal_tail_truncated = false;  ///< a torn tail was dropped
+  uint64_t dropped_journal_records = 0; ///< partial records lost (0 or 1)
+  uint64_t dropped_journal_bytes = 0;   ///< bytes trimmed off the journal
 };
 
 /// DB(p, D) outliers plus the k nearest neighbours of each outlier — the
@@ -112,6 +126,39 @@ class Engine {
                                          const mining::OutlierOptions& options,
                                          size_t k);
 
+  // -- Sharded builds --------------------------------------------------------
+  //
+  // The O(n²) matrix build split across processes/hosts: every participant
+  // derives the same deterministic plan, each worker computes one
+  // contiguous tile range and exports it as a checksummed shard file, and
+  // the coordinator validates + merges the shards into a matrix
+  // bit-identical to BuildMatrix. See engine/shard.h for the failure modes.
+  //
+  //   auto plan = coordinator.PlanShards(4).value();
+  //   // on worker s (any process able to see `dir`):
+  //   worker_engine.RunShard("token", plan, s, dir);
+  //   // back on the coordinator, once all k shard files exist:
+  //   auto m = coordinator.MergeShards("token", 4, dir).value();
+
+  /// Deterministic `shard_count`-way plan over the current log, using this
+  /// engine's block size.
+  Result<ShardPlan> PlanShards(size_t shard_count) const;
+
+  /// Computes shard `shard_index` of `plan` for the named measure on this
+  /// engine's pool and exports it to the store directory `dir` (created if
+  /// needed). InvalidArgument if the plan does not match this engine's log.
+  Status RunShard(const std::string& measure, const ShardPlan& plan,
+                  size_t shard_index, const std::string& dir);
+
+  /// Reads the `shard_count` shard files of `measure` from `dir`, validates
+  /// their manifests, merges them, and verifies the merged matrix covers
+  /// this engine's log (wrong-n shard sets are InvalidArgument). The merged
+  /// pairs warm the distance cache (nothing is journaled — the shards on
+  /// disk already persist the work), so subsequent Run* calls reuse them.
+  Result<distance::DistanceMatrix> MergeShards(const std::string& measure,
+                                               size_t shard_count,
+                                               const std::string& dir);
+
   // -- Persistence -----------------------------------------------------------
 
   /// Checkpoints the full incremental-mining state (query log as canonical
@@ -124,8 +171,11 @@ class Engine {
   /// captured in `dir`: the query log is re-parsed, the distance cache is
   /// repopulated, journal records are replayed in order, and the store
   /// stays attached for further journaling. NotFound if `dir` holds no
-  /// snapshot; ParseError on corruption (never UB).
-  Status LoadCheckpoint(const std::string& dir);
+  /// snapshot; ParseError on corruption (never UB). A torn journal tail is
+  /// recovered or rejected per EngineOptions::tolerate_torn_journal; when
+  /// `report` is non-null it receives what the recovery dropped.
+  Status LoadCheckpoint(const std::string& dir,
+                        CheckpointLoadReport* report = nullptr);
 
   bool checkpoint_attached() const {
     std::lock_guard<std::mutex> lock(store_mu_);

@@ -2,28 +2,40 @@
 
 #include <algorithm>
 
+#include "engine/shard.h"
+
 namespace dpe::engine {
 
 namespace {
 
-/// Computes the cells of one upper-triangle tile: rows [row_begin, row_end),
-/// columns [col_begin, col_end), cells with i < j only.
+/// Computes the cells of one upper-triangle tile (block coordinates
+/// (bi, bj)) via the shared tile->cells traversal.
 Status ComputeTile(const std::vector<sql::SelectQuery>& queries,
                    const distance::QueryDistanceMeasure& measure,
-                   const distance::MeasureContext& context, size_t row_begin,
-                   size_t row_end, size_t col_begin, size_t col_end,
-                   distance::DistanceMatrix& m) {
-  for (size_t i = row_begin; i < row_end; ++i) {
-    for (size_t j = std::max(i + 1, col_begin); j < col_end; ++j) {
-      DPE_ASSIGN_OR_RETURN(double d,
-                           measure.Distance(queries[i], queries[j], context));
-      m.SetUnchecked(i, j, d);
+                   const distance::MeasureContext& context, size_t block,
+                   size_t bi, size_t bj, distance::DistanceMatrix& m) {
+  Status status = Status::OK();
+  ForEachTileCell(queries.size(), block, bi, bj, [&](size_t i, size_t j) {
+    if (!status.ok()) return;
+    auto d = measure.Distance(queries[i], queries[j], context);
+    if (!d.ok()) {
+      status = d.status();
+      return;
     }
-  }
-  return Status::OK();
+    m.SetUnchecked(i, j, *d);
+  });
+  return status;
 }
 
 }  // namespace
+
+Status MatrixBuilder::ValidateOptions() const {
+  if (options_.block == 0) {
+    return Status::InvalidArgument(
+        "matrix builder: block must be >= 1 (got 0)");
+  }
+  return Status::OK();
+}
 
 Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
     const std::vector<const sql::SelectQuery*>& selected) const {
@@ -45,43 +57,84 @@ Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
   return distance::FeatureCache::Intern(selected, std::move(raw));
 }
 
+Result<distance::MeasureContext> MatrixBuilder::PrepareSelected(
+    const std::vector<sql::SelectQuery>& queries,
+    const std::vector<bool>& used,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context,
+    distance::FeatureCache* features) const {
+  std::vector<const sql::SelectQuery*> selected;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (used[q]) selected.push_back(&queries[q]);
+  }
+  DPE_ASSIGN_OR_RETURN(*features, PrecomputeFeatures(selected));
+  distance::MeasureContext ctx = context;
+  ctx.features = features;
+
+  if (selected.size() == queries.size()) {
+    DPE_RETURN_NOT_OK(measure.Prepare(queries, ctx));
+  } else {
+    std::vector<sql::SelectQuery> subset;
+    subset.reserve(selected.size());
+    for (const sql::SelectQuery* q : selected) subset.push_back(*q);
+    DPE_RETURN_NOT_OK(measure.Prepare(subset, ctx));
+  }
+  return ctx;
+}
+
 Result<distance::DistanceMatrix> MatrixBuilder::Build(
     const std::vector<sql::SelectQuery>& queries,
     const distance::QueryDistanceMeasure& measure,
     const distance::MeasureContext& context) const {
-  std::vector<const sql::SelectQuery*> selected;
-  selected.reserve(queries.size());
-  for (const sql::SelectQuery& q : queries) selected.push_back(&q);
-  DPE_ASSIGN_OR_RETURN(distance::FeatureCache features,
-                       PrecomputeFeatures(selected));
-  distance::MeasureContext ctx = context;
-  ctx.features = &features;
+  DPE_RETURN_NOT_OK(ValidateOptions());
+  return BuildTiles(queries, measure, context, 0,
+                    TileCount(queries.size(), options_.block));
+}
 
-  DPE_RETURN_NOT_OK(measure.Prepare(queries, ctx));
-
+Result<distance::DistanceMatrix> MatrixBuilder::BuildTiles(
+    const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context, size_t tile_begin,
+    size_t tile_end) const {
+  DPE_RETURN_NOT_OK(ValidateOptions());
   const size_t n = queries.size();
   const size_t block = options_.block;
-  distance::DistanceMatrix m(n);
-
-  // Upper-triangle tiles (bi <= bj). Cell (i, j), i < j, belongs to exactly
-  // one tile, and SetUnchecked mirrors into (j, i) which no other tile
-  // touches.
-  std::vector<std::pair<size_t, size_t>> tiles;
-  const size_t block_count = (n + block - 1) / block;
-  for (size_t bi = 0; bi < block_count; ++bi) {
-    for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
+  const std::vector<std::pair<size_t, size_t>> tiles = TileSchedule(n, block);
+  if (tile_begin > tile_end || tile_end > tiles.size()) {
+    return Status::OutOfRange(
+        "matrix builder: tile range [" + std::to_string(tile_begin) + ", " +
+        std::to_string(tile_end) + ") outside schedule of " +
+        std::to_string(tiles.size()) + " tiles");
   }
 
+  // Featurize + prepare only the queries the requested tiles touch: a shard
+  // building a few tiles must not pay feature extraction for the whole log.
+  std::vector<bool> used(n, false);
+  for (size_t t = tile_begin; t < tile_end; ++t) {
+    const auto [bi, bj] = tiles[t];
+    for (size_t i = bi * block; i < std::min(n, (bi + 1) * block); ++i) {
+      used[i] = true;
+    }
+    for (size_t j = bj * block; j < std::min(n, (bj + 1) * block); ++j) {
+      used[j] = true;
+    }
+  }
+  distance::FeatureCache features;
+  DPE_ASSIGN_OR_RETURN(
+      distance::MeasureContext ctx,
+      PrepareSelected(queries, used, measure, context, &features));
+
+  distance::DistanceMatrix m(n);
   // One tile per chunk; ParallelForStatus returns the first failing tile
-  // in schedule order (deterministic error selection).
+  // in schedule order (deterministic error selection). Cell (i, j), i < j,
+  // belongs to exactly one tile, and SetUnchecked mirrors into (j, i) which
+  // no other tile touches.
   DPE_RETURN_NOT_OK(common::ParallelForStatus(
-      pool_, 0, tiles.size(), 1, [&](size_t begin, size_t end) -> Status {
+      pool_, tile_begin, tile_end, 1, [&](size_t begin, size_t end) -> Status {
         for (size_t t = begin; t < end; ++t) {
           const auto [bi, bj] = tiles[t];
           DPE_RETURN_NOT_OK(
-              ComputeTile(queries, measure, ctx, bi * block,
-                          std::min(n, (bi + 1) * block), bj * block,
-                          std::min(n, (bj + 1) * block), m));
+              ComputeTile(queries, measure, ctx, block, bi, bj, m));
         }
         return Status::OK();
       }));
@@ -93,6 +146,7 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
     const std::vector<std::pair<size_t, size_t>>& pairs,
     const distance::QueryDistanceMeasure& measure,
     const distance::MeasureContext& context) const {
+  DPE_RETURN_NOT_OK(ValidateOptions());
   const size_t n = queries.size();
   for (const auto& [i, j] : pairs) {
     if (i >= n || j >= n) {
@@ -106,27 +160,10 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
     used[i] = true;
     used[j] = true;
   }
-  std::vector<const sql::SelectQuery*> selected;
-  for (size_t q = 0; q < n; ++q) {
-    if (used[q]) selected.push_back(&queries[q]);
-  }
-  DPE_ASSIGN_OR_RETURN(distance::FeatureCache features,
-                       PrecomputeFeatures(selected));
-  distance::MeasureContext ctx = context;
-  ctx.features = &features;
-
-  // Prepare only the referenced queries: for a sparse pair list (one
-  // evicted pair, say) a heavy measure must not re-execute / re-extract the
-  // whole log. Measures memoize by canonical text, so preparing copies
-  // still makes Distance on the originals a cache hit.
-  if (selected.size() == n) {
-    DPE_RETURN_NOT_OK(measure.Prepare(queries, ctx));
-  } else {
-    std::vector<sql::SelectQuery> subset;
-    subset.reserve(selected.size());
-    for (const sql::SelectQuery* q : selected) subset.push_back(*q);
-    DPE_RETURN_NOT_OK(measure.Prepare(subset, ctx));
-  }
+  distance::FeatureCache features;
+  DPE_ASSIGN_OR_RETURN(
+      distance::MeasureContext ctx,
+      PrepareSelected(queries, used, measure, context, &features));
 
   std::vector<double> out(pairs.size(), 0.0);
   DPE_RETURN_NOT_OK(common::ParallelForStatus(

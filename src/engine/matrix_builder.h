@@ -28,7 +28,9 @@
 namespace dpe::engine {
 
 struct MatrixBuilderOptions {
-  /// Tile edge (queries per block) of the blocked schedule.
+  /// Tile edge (queries per block) of the blocked schedule. Must be >= 1;
+  /// every build entry point validates this and returns InvalidArgument on
+  /// a zero block instead of dividing by it.
   size_t block = 64;
 };
 
@@ -36,9 +38,7 @@ class MatrixBuilder {
  public:
   /// `pool` may be null: everything then runs serially on the caller.
   explicit MatrixBuilder(ThreadPool* pool, MatrixBuilderOptions options = {})
-      : pool_(pool), options_(options) {
-    if (options_.block == 0) options_.block = 1;
-  }
+      : pool_(pool), options_(options) {}
 
   /// Full pairwise matrix over `queries` (precomputes features, then calls
   /// measure.Prepare, then fills the tiles).
@@ -46,6 +46,19 @@ class MatrixBuilder {
       const std::vector<sql::SelectQuery>& queries,
       const distance::QueryDistanceMeasure& measure,
       const distance::MeasureContext& context) const;
+
+  /// Builds only tiles [tile_begin, tile_end) of the deterministic
+  /// TileSchedule (engine/shard.h) into an n x n matrix; cells outside the
+  /// range stay zero. Only the queries those tiles touch are featurized and
+  /// prepared. This is the shard worker's compute path — Build is the full
+  /// range — so a k-shard build traverses exactly the tiles, in exactly the
+  /// per-tile order, of the single-process build. OutOfRange if the tile
+  /// range exceeds the schedule.
+  Result<distance::DistanceMatrix> BuildTiles(
+      const std::vector<sql::SelectQuery>& queries,
+      const distance::QueryDistanceMeasure& measure,
+      const distance::MeasureContext& context, size_t tile_begin,
+      size_t tile_end) const;
 
   /// d(queries[i], queries[j]) for an explicit pair list — the distance
   /// cache's miss path. Returns one value per pair, in input order. Only
@@ -57,10 +70,27 @@ class MatrixBuilder {
       const distance::MeasureContext& context) const;
 
  private:
+  /// InvalidArgument unless the options are usable (block >= 1). Every
+  /// public entry point calls this first — a zero block would otherwise
+  /// divide by zero in the tile-count computation.
+  Status ValidateOptions() const;
+
   /// Extracts raw features of `selected` in parallel (phase 1 of
   /// distance/features.h), then interns serially (phase 2).
   Result<distance::FeatureCache> PrecomputeFeatures(
       const std::vector<const sql::SelectQuery*>& selected) const;
+
+  /// Featurizes the queries flagged in `used` and runs measure.Prepare over
+  /// them (over the full log when all are used, over a copied subset
+  /// otherwise — measures memoize by canonical text, so preparing copies
+  /// still makes Distance on the originals a hit). Returns the context to
+  /// compute distances with; `features` must outlive it.
+  Result<distance::MeasureContext> PrepareSelected(
+      const std::vector<sql::SelectQuery>& queries,
+      const std::vector<bool>& used,
+      const distance::QueryDistanceMeasure& measure,
+      const distance::MeasureContext& context,
+      distance::FeatureCache* features) const;
 
   ThreadPool* pool_;  ///< not owned
   MatrixBuilderOptions options_;

@@ -1,0 +1,222 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+
+#include "engine/matrix_builder.h"
+
+namespace dpe::engine {
+
+size_t TileCount(size_t n, size_t block) {
+  const size_t block_count = (n + block - 1) / block;
+  return block_count * (block_count + 1) / 2;
+}
+
+std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block) {
+  const size_t block_count = (n + block - 1) / block;
+  std::vector<std::pair<size_t, size_t>> tiles;
+  tiles.reserve(block_count * (block_count + 1) / 2);
+  for (size_t bi = 0; bi < block_count; ++bi) {
+    for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
+  }
+  return tiles;
+}
+
+size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj) {
+  // Closed form, not a traversal: plan derivation runs on every participant
+  // before any distance work, so it must stay O(tile_count), not O(n^2).
+  const size_t row_begin = std::min(n, bi * block);
+  const size_t rows = std::min(n, (bi + 1) * block) - row_begin;
+  if (bi == bj) return rows * (rows - (rows > 0)) / 2;
+  // Off-diagonal tiles (bi < bj): every column index exceeds every row
+  // index, so all rows x cols cells are upper-triangle cells.
+  const size_t col_begin = std::min(n, bj * block);
+  const size_t cols = std::min(n, (bj + 1) * block) - col_begin;
+  return rows * cols;
+}
+
+Result<ShardPlan> PlanShards(size_t n, size_t block, size_t shard_count) {
+  if (block == 0) {
+    return Status::InvalidArgument("shard plan: block must be >= 1 (got 0)");
+  }
+  if (shard_count == 0) {
+    return Status::InvalidArgument(
+        "shard plan: shard count must be >= 1 (got 0)");
+  }
+  ShardPlan plan;
+  plan.n = n;
+  plan.block = block;
+  plan.tile_count = TileCount(n, block);
+
+  // Cumulative cell count per tile: diagonal tiles hold roughly half the
+  // cells of square ones, so cutting by tile index alone would load the
+  // first shard (which owns the diagonal-heavy prefix rows) unevenly.
+  const std::vector<std::pair<size_t, size_t>> tiles = TileSchedule(n, block);
+  std::vector<size_t> cumulative(tiles.size() + 1, 0);
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    cumulative[t + 1] = cumulative[t] + TileCellCount(n, block, tiles[t].first,
+                                                      tiles[t].second);
+  }
+  const size_t total_cells = cumulative.back();
+
+  // Shard s gets the tiles whose cumulative cell count falls in
+  // [total*s/k, total*(s+1)/k) — contiguous, disjoint, covering, and
+  // balanced to within one tile's worth of cells. Cuts depend only on
+  // (n, block, k), so every participant derives the identical plan.
+  plan.ranges.reserve(shard_count);
+  size_t cursor = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    const size_t target = total_cells * (s + 1) / shard_count;
+    TileRange range;
+    range.begin = cursor;
+    // Zero-cell tiles never stall this cut: they leave the cumulative count
+    // unchanged, so `<=` consumes them — and the last shard's target is
+    // total_cells exactly, which consumes every remaining tile.
+    while (cursor < tiles.size() && cumulative[cursor + 1] <= target) {
+      ++cursor;
+    }
+    range.end = cursor;
+    plan.ranges.push_back(range);
+  }
+  return plan;
+}
+
+namespace {
+
+Status ValidatePlan(const ShardPlan& plan, size_t shard_index, size_t n) {
+  if (plan.block == 0) {
+    return Status::InvalidArgument("shard worker: plan has block 0");
+  }
+  if (plan.n != n) {
+    return Status::InvalidArgument(
+        "shard worker: plan is for n = " + std::to_string(plan.n) +
+        " queries but the log holds " + std::to_string(n));
+  }
+  if (plan.tile_count != TileCount(plan.n, plan.block)) {
+    return Status::InvalidArgument(
+        "shard worker: plan declares " + std::to_string(plan.tile_count) +
+        " tiles; the schedule has " +
+        std::to_string(TileCount(plan.n, plan.block)));
+  }
+  if (shard_index >= plan.shard_count()) {
+    return Status::InvalidArgument(
+        "shard worker: shard index " + std::to_string(shard_index) +
+        " outside plan of " + std::to_string(plan.shard_count()) + " shards");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<store::ShardManifest> ShardWorker::Run(
+    const std::string& matrix_name,
+    const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context, const ShardPlan& plan,
+    size_t shard_index, store::MatrixStore& store) const {
+  DPE_RETURN_NOT_OK(ValidatePlan(plan, shard_index, queries.size()));
+  const TileRange& range = plan.ranges[shard_index];
+
+  MatrixBuilder builder(pool_, MatrixBuilderOptions{plan.block});
+  DPE_ASSIGN_OR_RETURN(
+      distance::DistanceMatrix partial,
+      builder.BuildTiles(queries, measure, context, range.begin, range.end));
+
+  store::ShardManifest manifest;
+  manifest.matrix = matrix_name;
+  manifest.shard_index = static_cast<uint32_t>(shard_index);
+  manifest.shard_count = static_cast<uint32_t>(plan.shard_count());
+  manifest.n = plan.n;
+  manifest.block = plan.block;
+  manifest.tile_begin = range.begin;
+  manifest.tile_end = range.end;
+  DPE_RETURN_NOT_OK(store.WriteShard(manifest, partial));
+  return manifest;
+}
+
+Result<distance::DistanceMatrix> ShardCoordinator::Merge(
+    const store::MatrixStore& store, const std::string& matrix_name,
+    size_t shard_count) const {
+  if (shard_count == 0 || shard_count > UINT32_MAX) {
+    return Status::InvalidArgument("shard merge: shard count " +
+                                   std::to_string(shard_count) +
+                                   " out of range");
+  }
+
+  // Stream the shards: read one, validate its manifest, copy its owned
+  // cells, drop it — peak memory is one partial plus the result, not k
+  // partials. A failure anywhere returns before `merged` escapes, so a
+  // missing (NotFound), corrupt (ParseError) or inconsistent
+  // (InvalidArgument) shard never yields a half-merged matrix. Shard 0
+  // anchors the build parameters every later manifest must match; the
+  // ranges, in shard order, must exactly partition the schedule — an
+  // overlap would double-write cells (two workers claiming the same
+  // pairs), a gap would silently leave distances at zero.
+  size_t n = 0;
+  size_t block = 0;
+  size_t tile_count = 0;
+  size_t expect_begin = 0;
+  std::vector<std::pair<size_t, size_t>> tiles;
+  distance::DistanceMatrix merged;
+  for (size_t s = 0; s < shard_count; ++s) {
+    DPE_ASSIGN_OR_RETURN(
+        store::ShardFile shard,
+        store.ReadShard(matrix_name, static_cast<uint32_t>(s),
+                        static_cast<uint32_t>(shard_count)));
+    const store::ShardManifest& m = shard.manifest;
+    if (s == 0) {
+      if (m.block == 0) {
+        return Status::InvalidArgument(
+            "shard merge: shard 0 declares block 0");
+      }
+      n = m.n;
+      block = m.block;
+      tile_count = TileCount(n, block);
+      tiles = TileSchedule(n, block);
+      merged = distance::DistanceMatrix(n);
+    } else if (m.n != n || m.block != block) {
+      return Status::InvalidArgument(
+          "shard merge: shard " + std::to_string(m.shard_index) +
+          " declares n = " + std::to_string(m.n) + ", block = " +
+          std::to_string(m.block) + " but shard 0 declares n = " +
+          std::to_string(n) + ", block = " + std::to_string(block));
+    }
+    if (m.tile_end > tile_count) {
+      return Status::InvalidArgument(
+          "shard merge: shard " + std::to_string(m.shard_index) +
+          " claims tiles [" + std::to_string(m.tile_begin) + ", " +
+          std::to_string(m.tile_end) + ") of a schedule with " +
+          std::to_string(tile_count) + " tiles");
+    }
+    if (m.tile_begin < expect_begin) {
+      return Status::InvalidArgument(
+          "shard merge: shard " + std::to_string(m.shard_index) +
+          " overlaps its predecessor (starts at tile " +
+          std::to_string(m.tile_begin) + ", expected " +
+          std::to_string(expect_begin) + ")");
+    }
+    if (m.tile_begin > expect_begin) {
+      return Status::InvalidArgument(
+          "shard merge: tiles [" + std::to_string(expect_begin) + ", " +
+          std::to_string(m.tile_begin) + ") are covered by no shard");
+    }
+    expect_begin = m.tile_end;
+
+    // Copy exactly the cells this shard's tile range owns, via the same
+    // tile->cells traversal the builder executes, so the result is
+    // bit-identical to the single-process build.
+    for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
+      const auto [bi, bj] = tiles[t];
+      ForEachTileCell(n, block, bi, bj, [&](size_t i, size_t j) {
+        merged.SetUnchecked(i, j, shard.partial.AtUnchecked(i, j));
+      });
+    }
+  }
+  if (expect_begin != tile_count) {
+    return Status::InvalidArgument(
+        "shard merge: tiles [" + std::to_string(expect_begin) + ", " +
+        std::to_string(tile_count) + ") are covered by no shard");
+  }
+  return merged;
+}
+
+}  // namespace dpe::engine

@@ -1,0 +1,156 @@
+// Sharded distance-matrix builds: the distributed-execution seam of the
+// engine.
+//
+// The blocked MatrixBuilder already computes the upper triangle as a
+// deterministic schedule of block x block tiles. A *shard* is a contiguous
+// range of that schedule, so a k-shard build is just a partition of the
+// tile list:
+//
+//   ShardPlan      PlanShards(n, block, k) — cuts the schedule into k
+//                  contiguous tile ranges, balanced by cell count (diagonal
+//                  tiles hold about half the cells of square ones), purely
+//                  from (n, block, k): every participant derives the same
+//                  plan with no coordination.
+//   ShardWorker    computes its range into a partial n x n matrix (zero
+//                  outside its tiles) and exports it through the store
+//                  codec as a checksummed shard file (manifest + partial
+//                  upper triangle) — the exchange format between processes
+//                  or hosts.
+//   ShardCoordinator
+//                  streams the k shard files back, cross-validates their
+//                  manifests (matrix name, n, block, shard count, and that
+//                  the tile ranges exactly partition the schedule), and
+//                  merges the partials cell-by-cell, one shard in memory
+//                  at a time. Overlapping, missing or corrupt shards fail
+//                  with typed Status errors and no merged matrix escapes.
+//
+// Because the plan, the tile schedule and the per-tile cell traversal are
+// shared with MatrixBuilder (the builder iterates the same TileSchedule),
+// the merged matrix is bit-identical to a single-process
+// MatrixBuilder::Build — a tested guarantee for every built-in measure.
+
+#ifndef DPE_ENGINE_SHARD_H_
+#define DPE_ENGINE_SHARD_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "distance/matrix.h"
+#include "distance/measure.h"
+#include "engine/thread_pool.h"
+#include "store/matrix_store.h"
+
+namespace dpe::engine {
+
+/// Tiles in the blocked upper-triangle schedule of an n-query matrix with
+/// tile edge `block`: T(T+1)/2 where T = ceil(n / block). Zero when n < 2
+/// produces no pairs only if n == 0; n == 1 still has one (empty) diagonal
+/// tile-row worth of zero tiles — the schedule is over blocks, so n >= 1
+/// yields T >= 1 and TileCount >= 1. Requires block >= 1.
+size_t TileCount(size_t n, size_t block);
+
+/// The deterministic tile schedule the blocked builder executes: tile t maps
+/// to block coordinates (bi, bj) with bi <= bj, enumerated row-major
+/// (bi ascending, bj from bi). Tile t covers cells (i, j) with i < j,
+/// i in [bi*block, min(n, (bi+1)*block)), j in [bj*block, min(n,
+/// (bj+1)*block)). Every cell of the upper triangle belongs to exactly one
+/// tile. Requires block >= 1.
+std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block);
+
+/// Invokes fn(i, j) for every upper-triangle cell (i < j) of tile
+/// (bi, bj), in row-major order. The single definition of tile->cells used
+/// by the builder, the worker and the merge path.
+template <typename Fn>
+void ForEachTileCell(size_t n, size_t block, size_t bi, size_t bj, Fn&& fn) {
+  const size_t row_end = std::min(n, (bi + 1) * block);
+  const size_t col_end = std::min(n, (bj + 1) * block);
+  for (size_t i = bi * block; i < row_end; ++i) {
+    for (size_t j = std::max(i + 1, bj * block); j < col_end; ++j) {
+      fn(i, j);
+    }
+  }
+}
+
+/// Number of upper-triangle cells tile (bi, bj) holds.
+size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj);
+
+/// A contiguous range [begin, end) of tile indices in the schedule.
+struct TileRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  bool operator==(const TileRange&) const = default;
+};
+
+/// A deterministic k-way partition of the tile schedule. Shards are
+/// contiguous, disjoint and cover [0, tile_count) in shard-index order.
+/// Any shard may be empty when the schedule is coarser than the shard
+/// count (a tile straddling a cut boundary lands in the later shard, so
+/// with one big tile and k = 4 the ranges are [0,0) [0,0) [0,0) [0,1)) —
+/// assign hosts from the plan's actual ranges, not from shard indices.
+struct ShardPlan {
+  size_t n = 0;           ///< queries in the full matrix
+  size_t block = 0;       ///< tile edge of the schedule
+  size_t tile_count = 0;  ///< TileCount(n, block)
+  std::vector<TileRange> ranges;  ///< one range per shard, in shard order
+
+  size_t shard_count() const { return ranges.size(); }
+};
+
+/// Partitions the schedule for `n` queries with tile edge `block` into
+/// `shard_count` contiguous ranges, balanced by upper-triangle cell count.
+/// Deterministic in its arguments (workers and coordinator re-derive the
+/// identical plan independently). InvalidArgument if block == 0 or
+/// shard_count == 0.
+Result<ShardPlan> PlanShards(size_t n, size_t block, size_t shard_count);
+
+/// Computes one shard of a plan and exports it through the store codec.
+class ShardWorker {
+ public:
+  /// `pool` may be null: the shard's tiles then compute serially.
+  explicit ShardWorker(ThreadPool* pool) : pool_(pool) {}
+
+  /// Computes tiles plan.ranges[shard_index] of the pairwise matrix of
+  /// `queries` under `measure` into a partial matrix and writes it to
+  /// `store` as shard file `matrix_name`-`shard_index`of`k`. Only the
+  /// queries the shard's tiles actually touch are featurized and prepared,
+  /// so a shard's cost tracks its tile range, not the whole log. Returns
+  /// the manifest that was written.
+  Result<store::ShardManifest> Run(
+      const std::string& matrix_name,
+      const std::vector<sql::SelectQuery>& queries,
+      const distance::QueryDistanceMeasure& measure,
+      const distance::MeasureContext& context, const ShardPlan& plan,
+      size_t shard_index, store::MatrixStore& store) const;
+
+ private:
+  ThreadPool* pool_;  ///< not owned
+};
+
+/// Validates and merges the shard files of one sharded build.
+class ShardCoordinator {
+ public:
+  /// Streams shards 0..shard_count-1 of `matrix_name` from `store` —
+  /// validate manifest, copy owned cells, drop, one shard resident at a
+  /// time — into the full matrix. Any failure returns before a (partially)
+  /// merged matrix escapes.
+  ///
+  /// Failure modes (all typed, never UB):
+  ///   - a shard file absent                      -> NotFound
+  ///   - frame/checksum/decode corruption          -> ParseError
+  ///   - manifests disagree on n / block / count   -> InvalidArgument
+  ///   - tile ranges overlap                       -> InvalidArgument
+  ///   - tile ranges leave a gap / don't cover     -> InvalidArgument
+  ///   - tile range exceeds the schedule           -> InvalidArgument
+  Result<distance::DistanceMatrix> Merge(const store::MatrixStore& store,
+                                         const std::string& matrix_name,
+                                         size_t shard_count) const;
+};
+
+}  // namespace dpe::engine
+
+#endif  // DPE_ENGINE_SHARD_H_

@@ -256,6 +256,45 @@ Result<SnapshotMeta> DecodeSnapshotMeta(Reader* r) {
   return meta;
 }
 
+void EncodeShardManifest(const ShardManifest& manifest, Writer* w) {
+  w->PutString(manifest.matrix);
+  w->PutU32(manifest.shard_index);
+  w->PutU32(manifest.shard_count);
+  w->PutU64(manifest.n);
+  w->PutU64(manifest.block);
+  w->PutU64(manifest.tile_begin);
+  w->PutU64(manifest.tile_end);
+}
+
+Result<ShardManifest> DecodeShardManifest(Reader* r) {
+  ShardManifest manifest;
+  DPE_ASSIGN_OR_RETURN(manifest.matrix, r->ReadString());
+  DPE_ASSIGN_OR_RETURN(manifest.shard_index, r->ReadU32());
+  DPE_ASSIGN_OR_RETURN(manifest.shard_count, r->ReadU32());
+  DPE_ASSIGN_OR_RETURN(manifest.n, r->ReadU64());
+  DPE_ASSIGN_OR_RETURN(manifest.block, r->ReadU64());
+  DPE_ASSIGN_OR_RETURN(manifest.tile_begin, r->ReadU64());
+  DPE_ASSIGN_OR_RETURN(manifest.tile_end, r->ReadU64());
+  if (std::string defect = ShardManifestDefect(manifest); !defect.empty()) {
+    return Corrupt(defect);
+  }
+  return manifest;
+}
+
+std::string ShardManifestDefect(const ShardManifest& manifest) {
+  if (manifest.shard_count == 0 ||
+      manifest.shard_index >= manifest.shard_count) {
+    return "shard manifest index " + std::to_string(manifest.shard_index) +
+           " of " + std::to_string(manifest.shard_count);
+  }
+  if (manifest.tile_begin > manifest.tile_end) {
+    return "shard manifest tile range [" +
+           std::to_string(manifest.tile_begin) + ", " +
+           std::to_string(manifest.tile_end) + ") is inverted";
+  }
+  return "";
+}
+
 // -- Framing -----------------------------------------------------------------
 
 Status WriteFramedFile(const std::string& path, uint32_t magic,

@@ -39,10 +39,11 @@ namespace dpe::store {
 /// Current on-disk format version (bumped on incompatible layout changes).
 inline constexpr uint32_t kFormatVersion = 1;
 
-/// File magics ("DPES"/"DPEJ"/"DPEM" as little-endian u32).
+/// File magics ("DPES"/"DPEJ"/"DPEM"/"DPEH" as little-endian u32).
 inline constexpr uint32_t kSnapshotMagic = 0x53455044;  // "DPES"
 inline constexpr uint32_t kJournalMagic = 0x4a455044;   // "DPEJ"
 inline constexpr uint32_t kMatrixMagic = 0x4d455044;    // "DPEM"
+inline constexpr uint32_t kShardMagic = 0x48455044;     // "DPEH" (sHard)
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`.
 uint32_t Crc32(std::string_view data);
@@ -128,6 +129,32 @@ Result<std::vector<CacheEntry>> DecodeCacheEntries(Reader* r);
 
 void EncodeSnapshotMeta(const SnapshotMeta& meta, Writer* w);
 Result<SnapshotMeta> DecodeSnapshotMeta(Reader* r);
+
+/// Identity of one shard of a sharded matrix build: which logical matrix it
+/// belongs to and which contiguous range of the deterministic upper-triangle
+/// tile schedule it carries. Travels inside the shard file (a "DPEH" frame,
+/// so the codec version and checksum are validated on read) and is what the
+/// merge coordinator cross-checks before touching any cell.
+struct ShardManifest {
+  std::string matrix;       ///< logical matrix name, e.g. "token"
+  uint32_t shard_index = 0; ///< this shard's position, < shard_count
+  uint32_t shard_count = 0; ///< total shards in the build
+  uint64_t n = 0;           ///< queries in the full matrix
+  uint64_t block = 0;       ///< tile edge of the schedule
+  uint64_t tile_begin = 0;  ///< first tile of this shard (inclusive)
+  uint64_t tile_end = 0;    ///< past-the-end tile of this shard
+
+  bool operator==(const ShardManifest&) const = default;
+};
+
+void EncodeShardManifest(const ShardManifest& manifest, Writer* w);
+Result<ShardManifest> DecodeShardManifest(Reader* r);
+
+/// Empty when `manifest` is self-consistent; otherwise a description of
+/// the defect (index >= count, inverted tile range). The single definition
+/// of manifest well-formedness — the write path (InvalidArgument) and the
+/// decode path (ParseError) both wrap it.
+std::string ShardManifestDefect(const ShardManifest& manifest);
 
 // -- Framing -----------------------------------------------------------------
 

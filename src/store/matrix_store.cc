@@ -73,9 +73,16 @@ Result<JournalRecord> DecodeJournalRecord(std::string_view payload) {
 Result<MatrixStore> MatrixStore::Open(const std::string& dir) {
   std::error_code ec;
   fs::create_directories(dir, ec);
-  if (ec || !fs::is_directory(dir)) {
-    return Status::InvalidArgument("matrix store: cannot open directory " +
-                                   dir);
+  if (ec) {
+    // Surface the OS error text: "Permission denied" vs "Not a directory"
+    // vs "No space left on device" need different operator responses.
+    return Status::InvalidArgument("matrix store: cannot create directory " +
+                                   dir + ": " + ec.message());
+  }
+  if (!fs::is_directory(dir, ec)) {
+    return Status::InvalidArgument(
+        "matrix store: " + dir + " exists but is not a directory" +
+        (ec ? " (" + ec.message() + ")" : ""));
   }
   return MatrixStore(dir);
 }
@@ -98,6 +105,15 @@ std::string MatrixStore::JournalPath() const {
 
 std::string MatrixStore::MatrixPath(const std::string& name) const {
   return (fs::path(dir_) / ("matrix-" + name + ".dpe")).string();
+}
+
+std::string MatrixStore::ShardPath(const std::string& matrix,
+                                   uint32_t shard_index,
+                                   uint32_t shard_count) const {
+  return (fs::path(dir_) /
+          ("shard-" + matrix + "-" + std::to_string(shard_index) + "of" +
+           std::to_string(shard_count) + ".dpe"))
+      .string();
 }
 
 // -- Snapshot ----------------------------------------------------------------
@@ -217,20 +233,26 @@ Status MatrixStore::AppendRow(
   return AppendRecords({std::move(record)});
 }
 
-Result<std::vector<JournalRecord>> MatrixStore::ReadJournalImpl(
+Result<JournalRecovery> MatrixStore::ReadJournalImpl(
     bool recover_torn_tail) const {
+  JournalRecovery recovery;
   std::ifstream in(JournalPath(), std::ios::binary);
-  if (!in) return std::vector<JournalRecord>{};  // no journal = no records
+  if (!in) return recovery;  // no journal = no records
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   in.close();
   if (data.size() < 8 && recover_torn_tail) {
     // A crash can die inside the very first buffered write, before even the
     // 8-byte magic/version prologue is complete. Recovery treats that as an
-    // empty journal and clears the stub so future appends start clean.
+    // empty journal and clears the stub so future appends start clean. The
+    // prologue is only ever written as part of an append, so the in-flight
+    // record was lost too — count it like any other torn tail.
     std::error_code ec;
     fs::remove(JournalPath(), ec);
-    return std::vector<JournalRecord>{};
+    recovery.tail_truncated = true;
+    recovery.dropped_records = 1;
+    recovery.dropped_bytes = data.size();
+    return recovery;
   }
   Reader header(data);
   DPE_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
@@ -256,21 +278,25 @@ Result<std::vector<JournalRecord>> MatrixStore::ReadJournalImpl(
       return Status::Internal("matrix store: cannot truncate torn journal " +
                               JournalPath());
     }
+    recovery.tail_truncated = true;
+    recovery.dropped_records = 1;  // a tear is one half-flushed record
+    recovery.dropped_bytes = data.size() - (8 + scan.valid_bytes);
   }
-  std::vector<JournalRecord> records;
-  records.reserve(scan.records.size());
+  recovery.records.reserve(scan.records.size());
   for (const std::string& payload : scan.records) {
     DPE_ASSIGN_OR_RETURN(JournalRecord record, DecodeJournalRecord(payload));
-    records.push_back(std::move(record));
+    recovery.records.push_back(std::move(record));
   }
-  return records;
+  return recovery;
 }
 
 Result<std::vector<JournalRecord>> MatrixStore::ReadJournal() const {
-  return ReadJournalImpl(/*recover_torn_tail=*/false);
+  DPE_ASSIGN_OR_RETURN(JournalRecovery recovery,
+                       ReadJournalImpl(/*recover_torn_tail=*/false));
+  return std::move(recovery.records);
 }
 
-Result<std::vector<JournalRecord>> MatrixStore::RecoverJournal() {
+Result<JournalRecovery> MatrixStore::RecoverJournal() {
   return ReadJournalImpl(/*recover_torn_tail=*/true);
 }
 
@@ -307,6 +333,55 @@ Result<distance::DistanceMatrix> MatrixStore::ReadMatrix(
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, DecodeMatrix(&r));
   DPE_RETURN_NOT_OK(r.ExpectEnd());
   return m;
+}
+
+// -- Shards ------------------------------------------------------------------
+
+Status MatrixStore::WriteShard(const ShardManifest& manifest,
+                               const distance::DistanceMatrix& partial) {
+  if (std::string defect = ShardManifestDefect(manifest); !defect.empty()) {
+    return Status::InvalidArgument("matrix store: " + defect);
+  }
+  if (partial.size() != manifest.n) {
+    return Status::InvalidArgument(
+        "matrix store: shard partial has n = " +
+        std::to_string(partial.size()) + " but the manifest declares " +
+        std::to_string(manifest.n));
+  }
+  Writer w;
+  EncodeShardManifest(manifest, &w);
+  EncodeMatrix(partial, &w);
+  return WriteFramedFile(
+      ShardPath(manifest.matrix, manifest.shard_index, manifest.shard_count),
+      kShardMagic, w.buffer());
+}
+
+Result<ShardFile> MatrixStore::ReadShard(const std::string& matrix,
+                                         uint32_t shard_index,
+                                         uint32_t shard_count) const {
+  const std::string path = ShardPath(matrix, shard_index, shard_count);
+  DPE_ASSIGN_OR_RETURN(std::string payload,
+                       ReadFramedFile(path, kShardMagic));
+  Reader r(payload);
+  ShardFile shard;
+  DPE_ASSIGN_OR_RETURN(shard.manifest, DecodeShardManifest(&r));
+  if (shard.manifest.matrix != matrix ||
+      shard.manifest.shard_index != shard_index ||
+      shard.manifest.shard_count != shard_count) {
+    return Corrupt("shard file " + path + " declares shard " +
+                   std::to_string(shard.manifest.shard_index) + "/" +
+                   std::to_string(shard.manifest.shard_count) +
+                   " of matrix '" + shard.manifest.matrix + "'");
+  }
+  DPE_ASSIGN_OR_RETURN(shard.partial, DecodeMatrix(&r));
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  if (shard.partial.size() != shard.manifest.n) {
+    return Corrupt("shard file " + path + " carries an n = " +
+                   std::to_string(shard.partial.size()) +
+                   " matrix but its manifest declares n = " +
+                   std::to_string(shard.manifest.n));
+  }
+  return shard;
 }
 
 }  // namespace dpe::store

@@ -5,8 +5,13 @@
 //                            memoized cache entries, measure metadata
 //   <dir>/journal.dpe        append-only log of work done *after* the
 //                            snapshot: appended queries and computed rows
-//   <dir>/matrix-<name>.dpe  standalone finished-matrix snapshots (also the
-//                            planned shard exchange format)
+//   <dir>/matrix-<name>.dpe  standalone finished-matrix snapshots
+//   <dir>/shard-<name>-<i>of<k>.dpe
+//                            one shard of a sharded matrix build: a
+//                            ShardManifest (which tile range of which
+//                            matrix) plus the partial upper triangle — the
+//                            exchange format between shard workers and the
+//                            merge coordinator (engine/shard.h)
 //
 // The snapshot is rewritten atomically (tmp + rename) and replaces the
 // journal; the journal is the cheap hot path — one small checksummed record
@@ -60,6 +65,23 @@ struct JournalRecord {
   std::vector<std::pair<uint32_t, double>> cols;
 };
 
+/// What a crash-tolerant journal read recovered — the intact prefix plus an
+/// account of what the torn tail cost, so operators can tell a clean
+/// shutdown (nothing dropped) from a crash (how much work to redo).
+struct JournalRecovery {
+  std::vector<JournalRecord> records;  ///< intact records, in append order
+  bool tail_truncated = false;  ///< a torn tail was dropped + trimmed
+  uint64_t dropped_records = 0; ///< partial records lost to the tear (0 or 1)
+  uint64_t dropped_bytes = 0;   ///< bytes truncated off the journal file
+};
+
+/// One shard file's contents: its manifest plus the partial matrix (full
+/// n x n, zero outside the shard's tiles).
+struct ShardFile {
+  ShardManifest manifest;
+  distance::DistanceMatrix partial;
+};
+
 class MatrixStore {
  public:
   /// Opens (creating if needed) the store directory. Fails if `dir` exists
@@ -98,17 +120,33 @@ class MatrixStore {
   /// Crash-recovery read: a torn final record (the half-flushed append of
   /// a killed process) is dropped and the file truncated back to the last
   /// intact record, so the checkpoint survives the very crash it exists
-  /// for. Mid-stream corruption is still a ParseError.
-  Result<std::vector<JournalRecord>> RecoverJournal();
+  /// for — and the recovery reports exactly what the tear cost. Mid-stream
+  /// corruption is still a ParseError.
+  Result<JournalRecovery> RecoverJournal();
   /// Drops every journal record (after a fresh snapshot subsumed them).
   Status TruncateJournal();
 
   // -- Standalone matrices ---------------------------------------------------
 
-  /// Snapshots a finished matrix under `name` ("token", "shard-3", ...).
+  /// Snapshots a finished matrix under `name` ("token", "structure", ...).
   Status WriteMatrix(const std::string& name,
                      const distance::DistanceMatrix& matrix);
   Result<distance::DistanceMatrix> ReadMatrix(const std::string& name) const;
+
+  // -- Shards ----------------------------------------------------------------
+
+  /// Exports one shard of a sharded build: the manifest plus the partial
+  /// matrix, as a checksummed "DPEH" frame. InvalidArgument if the manifest
+  /// is self-inconsistent (index >= count, inverted tile range, partial
+  /// size != n).
+  Status WriteShard(const ShardManifest& manifest,
+                    const distance::DistanceMatrix& partial);
+  /// Reads shard `shard_index` of `shard_count` for `matrix` back,
+  /// validating frame magic/version/checksum, manifest identity against the
+  /// requested coordinates, and the partial's size against the manifest's
+  /// n. NotFound for an absent shard; ParseError on corruption.
+  Result<ShardFile> ReadShard(const std::string& matrix, uint32_t shard_index,
+                              uint32_t shard_count) const;
 
  private:
   explicit MatrixStore(std::string dir) : dir_(std::move(dir)) {}
@@ -116,8 +154,9 @@ class MatrixStore {
   std::string SnapshotPath() const;
   std::string JournalPath() const;
   std::string MatrixPath(const std::string& name) const;
-  Result<std::vector<JournalRecord>> ReadJournalImpl(
-      bool recover_torn_tail) const;
+  std::string ShardPath(const std::string& matrix, uint32_t shard_index,
+                        uint32_t shard_count) const;
+  Result<JournalRecovery> ReadJournalImpl(bool recover_torn_tail) const;
 
   std::string dir_;
 };

@@ -155,5 +155,67 @@ TEST(MatrixBuilderTest, ComputePairsRejectsOutOfRangeIndices) {
   EXPECT_EQ(distances.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(MatrixBuilderTest, ZeroBlockIsInvalidArgumentNotDivisionByZero) {
+  // block == 0 used to be clamped silently; it must now surface as a typed
+  // error from every entry point (the tile-count computation divides by it).
+  workload::Scenario s = Shop(41, 6);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  MatrixBuilder builder(nullptr, MatrixBuilderOptions{0});
+  EXPECT_EQ(builder.Build(s.log, token, context).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(builder.BuildTiles(s.log, token, context, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      builder.ComputePairs(s.log, {{0, 1}}, token, context).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(MatrixBuilderTest, EmptyAndSingletonLogsBuildEmptySchedules) {
+  workload::Scenario s = Shop(43, 1);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  ThreadPool pool(2);
+  for (size_t block : {1u, 64u}) {
+    MatrixBuilder builder(&pool, MatrixBuilderOptions{block});
+
+    auto empty = builder.Build({}, token, context);
+    ASSERT_TRUE(empty.ok()) << empty.status();
+    EXPECT_EQ(empty->size(), 0u);
+
+    auto single = builder.Build(s.log, token, context);
+    ASSERT_TRUE(single.ok()) << single.status();
+    ASSERT_EQ(single->size(), 1u);
+    EXPECT_EQ(single->at(0, 0), 0.0);
+  }
+}
+
+TEST(MatrixBuilderTest, BuildTilesSubrangeFillsOnlyItsTiles) {
+  workload::Scenario s = Shop(47, 12);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  MatrixBuilder builder(nullptr, MatrixBuilderOptions{4});
+  auto full = builder.Build(s.log, token, context);
+  ASSERT_TRUE(full.ok());
+
+  // Tiles (block 4, n 12): (0,0) (0,1) (0,2) (1,1) (1,2) (2,2). The range
+  // [1, 3) is tiles (0,1) and (0,2): rows 0..3 against columns 4..11.
+  auto partial = builder.BuildTiles(s.log, token, context, 1, 3);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = i + 1; j < 12; ++j) {
+      const bool in_range = i < 4 && j >= 4;
+      EXPECT_EQ(partial->at(i, j), in_range ? full->at(i, j) : 0.0)
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+
+  // A subrange past the schedule is a typed error.
+  EXPECT_EQ(builder.BuildTiles(s.log, token, context, 2, 99).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(builder.BuildTiles(s.log, token, context, 5, 3).status().code(),
+            StatusCode::kOutOfRange);
+}
+
 }  // namespace
 }  // namespace dpe::engine

@@ -60,7 +60,26 @@ TEST_F(MatrixStoreTest, OpenFailsOnFilePath) {
   std::ofstream out(dir_);  // occupy the path with a regular file
   out << "not a directory";
   out.close();
-  EXPECT_FALSE(MatrixStore::Open(dir_).ok());
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MatrixStoreTest, OpenErrorSurfacesOsErrorText) {
+  // A path *under* a regular file cannot be created; the Status must carry
+  // the OS error text so operators can tell permission problems from typos.
+  std::ofstream out(dir_);
+  out << "file";
+  out.close();
+  auto store = MatrixStore::Open((fs::path(dir_) / "sub").string());
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+  // ec.message() is platform-worded; any non-empty suffix after the path
+  // counts. "cannot create directory <path>: <os text>".
+  const std::string& message = store.status().message();
+  const size_t colon = message.rfind(": ");
+  ASSERT_NE(colon, std::string::npos) << message;
+  EXPECT_GT(message.size(), colon + 2) << message;
 }
 
 TEST_F(MatrixStoreTest, SnapshotRoundTrip) {
@@ -166,7 +185,12 @@ TEST_F(MatrixStoreTest, RecoverJournalDropsTornTailAndRepairsFile) {
     auto recovered = store->RecoverJournal();
     ASSERT_TRUE(recovered.ok()) << "cut at " << cut << ": "
                                 << recovered.status();
-    ASSERT_EQ(recovered->size(), 2u) << "cut at " << cut;
+    ASSERT_EQ(recovered->records.size(), 2u) << "cut at " << cut;
+    // The recovery accounts for the tear: one partial record, and exactly
+    // the bytes between the cut and the intact prefix.
+    EXPECT_TRUE(recovered->tail_truncated) << "cut at " << cut;
+    EXPECT_EQ(recovered->dropped_records, 1u) << "cut at " << cut;
+    EXPECT_EQ(recovered->dropped_bytes, cut - intact_size) << "cut at " << cut;
     EXPECT_EQ(fs::file_size(fs::path(dir_) / "journal.dpe"), intact_size);
     // The repaired journal is fully valid again for the strict reader and
     // for further appends.
@@ -178,6 +202,14 @@ TEST_F(MatrixStoreTest, RecoverJournalDropsTornTailAndRepairsFile) {
   auto after_append = store->ReadJournal();
   ASSERT_TRUE(after_append.ok());
   EXPECT_EQ(after_append->size(), 3u);
+
+  // An intact journal recovers with nothing dropped and nothing reported.
+  auto clean = store->RecoverJournal();
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->records.size(), 3u);
+  EXPECT_FALSE(clean->tail_truncated);
+  EXPECT_EQ(clean->dropped_records, 0u);
+  EXPECT_EQ(clean->dropped_bytes, 0u);
 }
 
 TEST_F(MatrixStoreTest, RecoverJournalHandlesHeaderStub) {
@@ -191,7 +223,10 @@ TEST_F(MatrixStoreTest, RecoverJournalHandlesHeaderStub) {
   EXPECT_EQ(store->ReadJournal().status().code(), StatusCode::kParseError);
   auto recovered = store->RecoverJournal();
   ASSERT_TRUE(recovered.ok()) << recovered.status();
-  EXPECT_TRUE(recovered->empty());
+  EXPECT_TRUE(recovered->records.empty());
+  EXPECT_TRUE(recovered->tail_truncated);
+  EXPECT_EQ(recovered->dropped_records, 1u);  // the in-flight append
+  EXPECT_EQ(recovered->dropped_bytes, 3u);
   EXPECT_FALSE(fs::exists(fs::path(dir_) / "journal.dpe"));
   // Appends start a clean journal afterwards.
   ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.5}}).ok());
@@ -257,6 +292,109 @@ TEST_F(MatrixStoreTest, UpperTriangleHooksRoundTrip) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+ShardManifest MakeManifest(uint32_t index, uint32_t count, uint64_t n) {
+  ShardManifest m;
+  m.matrix = "token";
+  m.shard_index = index;
+  m.shard_count = count;
+  m.n = n;
+  m.block = 4;
+  m.tile_begin = index;  // not cross-validated here; the coordinator does
+  m.tile_end = index + 1;
+  return m;
+}
+
+TEST_F(MatrixStoreTest, ShardRoundTrip) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Rng rng(11);
+  distance::DistanceMatrix partial(9);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 9; ++j) {
+      partial.set(i, j, rng.NextDouble());
+    }
+  }
+  const ShardManifest manifest = MakeManifest(1, 3, 9);
+  ASSERT_TRUE(store->WriteShard(manifest, partial).ok());
+
+  auto read = store->ReadShard("token", 1, 3);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->manifest, manifest);
+  auto diff = distance::DistanceMatrix::MaxAbsDifference(partial,
+                                                         read->partial);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0.0);
+
+  // Other coordinates are distinct files.
+  EXPECT_EQ(store->ReadShard("token", 0, 3).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store->ReadShard("token", 1, 4).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store->ReadShard("structure", 1, 3).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MatrixStoreTest, WriteShardRejectsInconsistentManifests) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  distance::DistanceMatrix partial(4);
+
+  ShardManifest bad_index = MakeManifest(2, 2, 4);  // index >= count
+  EXPECT_EQ(store->WriteShard(bad_index, partial).code(),
+            StatusCode::kInvalidArgument);
+
+  ShardManifest inverted = MakeManifest(0, 2, 4);
+  inverted.tile_begin = 3;
+  inverted.tile_end = 1;
+  EXPECT_EQ(store->WriteShard(inverted, partial).code(),
+            StatusCode::kInvalidArgument);
+
+  ShardManifest wrong_n = MakeManifest(0, 2, 7);  // partial is 4 x 4
+  EXPECT_EQ(store->WriteShard(wrong_n, partial).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MatrixStoreTest, FlippedShardByteIsParseError) {
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  distance::DistanceMatrix partial(6);
+  partial.set(0, 1, 0.5);
+  ASSERT_TRUE(store->WriteShard(MakeManifest(0, 1, 6), partial).ok());
+
+  const std::string path = (fs::path(dir_) / "shard-token-0of1.dpe").string();
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // Flip every byte position in turn: all must surface as a typed error.
+  for (size_t pos = 0; pos < data.size(); ++pos) {
+    std::string flipped = data;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ 0x40);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+    out.close();
+    auto read = store->ReadShard("token", 0, 1);
+    ASSERT_FALSE(read.ok()) << "flipped byte " << pos;
+    EXPECT_EQ(read.status().code(), StatusCode::kParseError)
+        << "flipped byte " << pos;
+  }
+}
+
+TEST_F(MatrixStoreTest, ShardFileRenamedToOtherCoordinatesIsParseError) {
+  // A shard file moved (or copied) under another shard's name must be
+  // rejected by the manifest identity check, not silently merged.
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  distance::DistanceMatrix partial(4);
+  ASSERT_TRUE(store->WriteShard(MakeManifest(0, 2, 4), partial).ok());
+  fs::rename(fs::path(dir_) / "shard-token-0of2.dpe",
+             fs::path(dir_) / "shard-token-1of2.dpe");
+  auto read = store->ReadShard("token", 1, 2);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace
