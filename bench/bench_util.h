@@ -5,8 +5,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <initializer_list>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -69,14 +72,41 @@ double TimeMs(Fn&& fn) {
   return std::chrono::duration<double, std::milli>(end - start).count();
 }
 
+/// Directory BENCH_*.json artifacts land in, independent of the CWD the
+/// bench was invoked from: DPE_BENCH_OUT_DIR if set, else the repository
+/// root (found by walking up from the CWD to the first directory holding
+/// both CMakeLists.txt and ROADMAP.md), else the CWD. Benches used to drop
+/// artifacts wherever they were started — usually scattered under build/ —
+/// which left the archived perf trajectory empty whenever CI and humans
+/// disagreed about working directories.
+inline std::string BenchOutputDir() {
+  if (const char* env = std::getenv("DPE_BENCH_OUT_DIR");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path dir = fs::current_path(ec);
+  if (ec) return ".";
+  while (true) {
+    if (fs::exists(dir / "CMakeLists.txt", ec) &&
+        fs::exists(dir / "ROADMAP.md", ec)) {
+      return dir.string();
+    }
+    fs::path parent = dir.parent_path();
+    if (parent.empty() || parent == dir) return ".";
+    dir = std::move(parent);
+  }
+}
+
 /// Machine-readable bench output: collects labeled metric samples and writes
-/// them as `BENCH_<name>.json` in the working directory, so CI can archive
-/// the perf trajectory across PRs instead of scraping stdout.
+/// them as `BENCH_<name>.json` at the repo root (see BenchOutputDir), so CI
+/// can archive the perf trajectory across PRs instead of scraping stdout.
 ///
 ///   bench::JsonReport report("mining_scaling");
 ///   report.Add("build_ms", 12.5, {{"miner", "kmedoids"}, {"threads", "4"}});
 ///   ...
-///   report.Write();  // -> BENCH_mining_scaling.json
+///   report.Write();  // -> <repo root>/BENCH_mining_scaling.json
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
@@ -92,9 +122,14 @@ class JsonReport {
     samples_.push_back(std::move(s));
   }
 
-  /// Writes BENCH_<name>.json; returns false (with a stderr note) on I/O
-  /// failure so benches can keep their human-readable output regardless.
-  bool Write() const { return WriteTo("BENCH_" + name_ + ".json"); }
+  /// Writes BENCH_<name>.json into BenchOutputDir(); returns false (with a
+  /// stderr note) on I/O failure so benches can keep their human-readable
+  /// output regardless.
+  bool Write() const {
+    return WriteTo(
+        (std::filesystem::path(BenchOutputDir()) / ("BENCH_" + name_ + ".json"))
+            .string());
+  }
 
   bool WriteTo(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");

@@ -13,15 +13,24 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "== bench smoke: scaling benches compile-and-run =="
+echo "== scalar-forced backend: dispatch-sensitive suites rerun =="
+# The SIMD dispatch (common/simd.h) honors DPE_KERNEL_BACKEND; rerunning
+# the kernel-touching suites pinned to scalar keeps the fallback path green
+# on hardware where auto-dispatch would otherwise always pick AVX2/SSE4.2.
+DPE_KERNEL_BACKEND=scalar ctest --test-dir build --output-on-failure \
+      -R '^(common|distance|engine|mining|store)$'
+
+echo "== bench smoke: scaling + kernel benches compile-and-run =="
 # --smoke uses tiny sizes; the binaries hard-fail if any parallel,
-# featurized or sharded result deviates from its serial/direct reference,
-# and all emit BENCH_*.json for the perf trajectory.
+# featurized, sharded or SIMD-backend result deviates from its
+# serial/direct/scalar reference, and all emit BENCH_*.json (at the repo
+# root, wherever they are invoked from) for the perf trajectory.
 (cd build && ./bench/bench_distance_scaling --smoke > /dev/null)
 (cd build && ./bench/bench_mining_scaling --smoke > /dev/null)
 (cd build && ./bench/bench_shard_scaling --smoke > /dev/null)
-ls -l build/BENCH_distance_scaling.json build/BENCH_mining_scaling.json \
-      build/BENCH_shard_scaling.json
+(cd build && ./bench/bench_simd_kernels --smoke)
+ls -l BENCH_distance_scaling.json BENCH_mining_scaling.json \
+      BENCH_shard_scaling.json BENCH_simd_kernels.json
 
 echo "== example smoke: sharded build round-trip =="
 # Plans -> k worker engines -> on-disk shard files -> merged matrix; exits
@@ -34,5 +43,16 @@ cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j"$JOBS" \
       --target dpe_engine_tests dpe_distance_tests dpe_store_tests
 ctest --test-dir build-asan --output-on-failure -R '^(engine|distance|store)$'
+
+echo "== scalar-only compile: DPE_DISABLE_SIMD build + kernel suites =="
+# Simulates a non-x86 target: the SIMD backends are not even compiled, and
+# the dispatch-sensitive suites must pass on the pure scalar table.
+cmake -B build-noscalar-simd -S . -DDPE_DISABLE_SIMD=ON \
+      -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF
+cmake --build build-noscalar-simd -j"$JOBS" \
+      --target dpe_common_tests dpe_engine_tests dpe_distance_tests \
+      dpe_mining_tests
+ctest --test-dir build-noscalar-simd --output-on-failure \
+      -R '^(common|distance|engine|mining)$'
 
 echo "== check.sh: all green =="

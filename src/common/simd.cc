@@ -1,0 +1,549 @@
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if !defined(DPE_DISABLE_SIMD) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define DPE_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DPE_SIMD_X86 0
+#endif
+
+namespace dpe::common::simd {
+
+namespace {
+
+// -- Scalar reference kernels ------------------------------------------------
+//
+// These ARE the semantics: every other backend is tested bit-identical to
+// them. The intersection is the same branch-light merge the featurized
+// Jaccard path has always used; the edit distance is the same two-row DP
+// as the Levenshtein measure's reference; argmin/max_at mirror the serial
+// loops in kNN selection and complete-link scoring.
+
+size_t IntersectScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                       size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    const uint32_t x = a[i], y = b[j];
+    count += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return count;
+}
+
+template <typename Sym>
+size_t EditDistanceDp(const Sym* a, size_t n, const Sym* b, size_t m) {
+  std::vector<size_t> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t substitution = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, substitution});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+size_t EditU32Scalar(const uint32_t* a, size_t na, const uint32_t* b,
+                     size_t nb) {
+  return EditDistanceDp(a, na, b, nb);
+}
+
+size_t EditBytesScalar(const char* a, size_t na, const char* b, size_t nb) {
+  return EditDistanceDp(a, na, b, nb);
+}
+
+ArgMinResult ArgMinScalar(const double* v, size_t n) {
+  ArgMinResult best{v[0], 0};
+  for (size_t i = 1; i < n; ++i) {
+    if (v[i] < best.value) best = {v[i], i};  // strict: first min wins ties
+  }
+  return best;
+}
+
+double MaxAtScalar(const double* row, const uint32_t* idx, size_t count) {
+  double best = row[idx[0]];
+  for (size_t k = 1; k < count; ++k) best = std::max(best, row[idx[k]]);
+  return best;
+}
+
+// -- Galloping intersection (shared by the SIMD backends) --------------------
+//
+// When one set is much smaller than the other, a linear merge touches every
+// element of the big set; galloping binary-searches each small element in an
+// exponentially grown window instead. The count is exact either way, so the
+// skew cutoff (a pure function of the sizes) never affects results.
+
+constexpr size_t kGallopSkew = 32;
+
+size_t IntersectGallop(const uint32_t* small, size_t ns, const uint32_t* large,
+                       size_t nl) {
+  size_t j = 0, count = 0;
+  for (size_t i = 0; i < ns && j < nl; ++i) {
+    const uint32_t x = small[i];
+    // Grow a window [j, j + bound) whose end is the first position >= x.
+    size_t bound = 1;
+    while (j + bound < nl && large[j + bound] < x) bound <<= 1;
+    const size_t hi = std::min(nl, j + bound + 1);
+    j = static_cast<size_t>(std::lower_bound(large + j, large + hi, x) - large);
+    if (j < nl && large[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+bool Skewed(size_t na, size_t nb) {
+  const size_t lo = std::min(na, nb), hi = std::max(na, nb);
+  return lo > 0 && hi / lo >= kGallopSkew;
+}
+
+size_t IntersectGallopOrdered(const uint32_t* a, size_t na, const uint32_t* b,
+                              size_t nb) {
+  return na <= nb ? IntersectGallop(a, na, b, nb)
+                  : IntersectGallop(b, nb, a, na);
+}
+
+// -- Myers bit-parallel edit distance (SSE4.2/AVX2 backends) -----------------
+//
+// Hyyrö's formulation of Myers' algorithm: one 64-bit word carries 64 DP
+// cells as vertical-delta bit vectors, advanced per text symbol with ~15
+// word ops; patterns longer than 64 use the blocked variant with the
+// horizontal delta carried between words. The score it maintains is the
+// exact DP value D[m][j], so the result is bit-identical to the reference
+// DP — an integer, tested on block-boundary and adversarial inputs.
+//
+// The symbol alphabet is open-ended (interned u32 token ids), so the
+// match-bit table Peq is built per call over the pattern's distinct
+// symbols; scratch buffers are thread_local because Distance() runs
+// concurrently inside the parallel matrix builder.
+
+struct MyersScratch {
+  // Open-addressing symbol -> Peq-row table (power-of-two capacity, linear
+  // probing; key stored as sym+1 in a u64 so every u32 symbol is
+  // representable and 0 means empty). An unordered_map here costs more than
+  // the bit-parallel core for typical SQL token sequences.
+  std::vector<uint64_t> keys;
+  std::vector<uint32_t> rows;
+  std::vector<uint64_t> peq;  // row-major, `blocks` words per row
+  std::vector<uint64_t> zero;
+  std::vector<uint64_t> pv, mv;
+};
+
+template <typename Sym>
+size_t MyersEdit(const Sym* a, size_t na, const Sym* b, size_t nb) {
+  // The shorter sequence is the pattern: fewer blocks per text symbol.
+  // Levenshtein distance is symmetric, so the swap never changes results.
+  const Sym* pat = a;
+  size_t m = na;
+  const Sym* txt = b;
+  size_t n = nb;
+  if (m > n) {
+    std::swap(pat, txt);
+    std::swap(m, n);
+  }
+  if (m == 0) return n;
+
+  const size_t blocks = (m + 63) / 64;
+  thread_local MyersScratch s;
+  size_t cap = 16;
+  while (cap < 2 * m) cap <<= 1;
+  s.keys.assign(cap, 0);
+  s.rows.resize(cap);
+  auto slot_of = [&](uint64_t key) {
+    size_t h = static_cast<size_t>(key * 0x9E3779B97F4A7C15ull) & (cap - 1);
+    while (s.keys[h] != 0 && s.keys[h] != key) h = (h + 1) & (cap - 1);
+    return h;
+  };
+  s.peq.clear();
+  uint32_t row_count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    const uint64_t key = static_cast<uint64_t>(pat[i]) + 1;
+    const size_t slot = slot_of(key);
+    if (s.keys[slot] == 0) {
+      s.keys[slot] = key;
+      s.rows[slot] = row_count++;
+      s.peq.resize(s.peq.size() + blocks, 0);
+    }
+    s.peq[s.rows[slot] * blocks + i / 64] |= 1ull << (i % 64);
+  }
+
+  // The score delta of column j is read off the pattern's last row: bit
+  // (m-1) % 64 of the top block. Garbage bits above it never flow down —
+  // carries and shifts both propagate low-to-high only.
+  const uint64_t top_bit = 1ull << ((m - 1) % 64);
+  int64_t score = static_cast<int64_t>(m);
+
+  if (blocks == 1) {
+    // Single-word fast path (m <= 64 — nearly every SQL token sequence):
+    // the generic loop below with blocks == 1 and hin pinned to +1 at the
+    // block's entry, constants folded.
+    uint64_t pv = ~0ull, mv = 0;
+    for (size_t j = 0; j < n; ++j) {
+      const uint64_t key = static_cast<uint64_t>(txt[j]) + 1;
+      const size_t slot = slot_of(key);
+      const uint64_t eq = s.keys[slot] == key ? s.peq[s.rows[slot]] : 0;
+      const uint64_t xv = eq | mv;
+      const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+      uint64_t ph = mv | ~(xh | pv);
+      uint64_t mh = pv & xh;
+      score += static_cast<int64_t>((ph >> (m - 1)) & 1) -
+               static_cast<int64_t>((mh >> (m - 1)) & 1);
+      ph = (ph << 1) | 1;  // hin = +1 (boundary row grows by 1 per column)
+      mh <<= 1;
+      pv = mh | ~(xv | ph);
+      mv = ph & xv;
+    }
+    return static_cast<size_t>(score);
+  }
+
+  s.zero.assign(blocks, 0);
+  s.pv.assign(blocks, ~0ull);
+  s.mv.assign(blocks, 0);
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t key = static_cast<uint64_t>(txt[j]) + 1;
+    const size_t slot = slot_of(key);
+    const uint64_t* eq_row =
+        s.keys[slot] == key ? &s.peq[s.rows[slot] * blocks] : s.zero.data();
+    int hin = 1;  // boundary row: D[0][j] - D[0][j-1] = 1
+    for (size_t bl = 0; bl < blocks; ++bl) {
+      const uint64_t eq = eq_row[bl];
+      const uint64_t pv = s.pv[bl], mv = s.mv[bl];
+      const uint64_t xv = eq | mv;
+      const uint64_t eq_in = eq | (hin < 0 ? 1ull : 0ull);
+      const uint64_t xh = (((eq_in & pv) + pv) ^ pv) | eq_in;
+      uint64_t ph = mv | ~(xh | pv);
+      uint64_t mh = pv & xh;
+      const uint64_t out_bit = bl + 1 == blocks ? top_bit : 1ull << 63;
+      int hout = 0;
+      if (ph & out_bit) {
+        hout = 1;
+      } else if (mh & out_bit) {
+        hout = -1;
+      }
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0) {
+        ph |= 1;
+      } else if (hin < 0) {
+        mh |= 1;
+      }
+      s.pv[bl] = mh | ~(xv | ph);
+      s.mv[bl] = ph & xv;
+      hin = hout;
+    }
+    score += hin;
+  }
+  return static_cast<size_t>(score);
+}
+
+size_t EditU32Myers(const uint32_t* a, size_t na, const uint32_t* b,
+                    size_t nb) {
+  return MyersEdit(a, na, b, nb);
+}
+
+size_t EditBytesMyers(const char* a, size_t na, const char* b, size_t nb) {
+  // Map char through unsigned char so equal bytes intern to equal symbols
+  // regardless of char's signedness.
+  return MyersEdit(reinterpret_cast<const unsigned char*>(a), na,
+                   reinterpret_cast<const unsigned char*>(b), nb);
+}
+
+#if DPE_SIMD_X86
+
+// -- SSE4.2 4x4 block intersection -------------------------------------------
+//
+// Compare a 4-lane block of A against the 4 rotations of a 4-lane block of
+// B: every (a, b) lane pair meets exactly once, the OR of the equality
+// masks marks A-lanes with a match (each A element matches at most one B
+// element — the inputs are unique), and popcount(movemask) counts them.
+// Whichever block's max is smaller is exhausted and advances; on equal
+// maxes both advance (any cross match involving the consumed elements was
+// already counted). The tail falls back to the scalar merge.
+
+__attribute__((target("sse4.2"))) size_t IntersectSse42(const uint32_t* a,
+                                                        size_t na,
+                                                        const uint32_t* b,
+                                                        size_t nb) {
+  if (Skewed(na, nb)) return IntersectGallopOrdered(a, na, b, nb);
+  size_t i = 0, j = 0, count = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + j));
+    const __m128i r0 = _mm_cmpeq_epi32(va, vb);
+    const __m128i r1 =
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(0, 3, 2, 1)));
+    const __m128i r2 =
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(1, 0, 3, 2)));
+    const __m128i r3 =
+        _mm_cmpeq_epi32(va, _mm_shuffle_epi32(vb, _MM_SHUFFLE(2, 1, 0, 3)));
+    const __m128i any = _mm_or_si128(_mm_or_si128(r0, r1), _mm_or_si128(r2, r3));
+    count += static_cast<size_t>(
+        __builtin_popcount(_mm_movemask_ps(_mm_castsi128_ps(any))));
+    const uint32_t amax = a[i + 3], bmax = b[j + 3];
+    i += amax <= bmax ? 4 : 0;
+    j += bmax <= amax ? 4 : 0;
+  }
+  return count + IntersectScalar(a + i, na - i, b + j, nb - j);
+}
+
+// -- AVX2 8x8 block intersection ---------------------------------------------
+
+__attribute__((target("avx2"))) size_t IntersectAvx2(const uint32_t* a,
+                                                     size_t na,
+                                                     const uint32_t* b,
+                                                     size_t nb) {
+  if (Skewed(na, nb)) return IntersectGallopOrdered(a, na, b, nb);
+  size_t i = 0, j = 0, count = 0;
+  if (i + 8 <= na && j + 8 <= nb) {
+    // The 7 non-identity lane rotations of a 256-bit vector of u32.
+    const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+    const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+    const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+    const __m256i rot4 = _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3);
+    const __m256i rot5 = _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4);
+    const __m256i rot6 = _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5);
+    const __m256i rot7 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+    while (i + 8 <= na && j + 8 <= nb) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      __m256i any = _mm256_cmpeq_epi32(va, vb);
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot1)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot2)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot3)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot4)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot5)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot6)));
+      any = _mm256_or_si256(
+          any, _mm256_cmpeq_epi32(va, _mm256_permutevar8x32_epi32(vb, rot7)));
+      count += static_cast<size_t>(
+          __builtin_popcount(_mm256_movemask_ps(_mm256_castsi256_ps(any))));
+      const uint32_t amax = a[i + 7], bmax = b[j + 7];
+      i += amax <= bmax ? 8 : 0;
+      j += bmax <= amax ? 8 : 0;
+    }
+  }
+  return count + IntersectScalar(a + i, na - i, b + j, nb - j);
+}
+
+// -- AVX2 argmin / gather-max ------------------------------------------------
+//
+// Four strided lanes each keep their first minimum (strict < on the
+// compare/blend); the horizontal reduction then picks the lowest value
+// and, among equal values, the lowest index — exactly the serial
+// first-min-wins scan, lane by lane (a lane's kept index is its stream's
+// first occurrence; the global first occurrence wins the final index
+// tie-break).
+
+__attribute__((target("avx2"))) ArgMinResult ArgMinAvx2(const double* v,
+                                                        size_t n) {
+  size_t i = 0;
+  ArgMinResult best{v[0], 0};
+  if (n >= 8) {
+    __m256d vmin = _mm256_loadu_pd(v);
+    __m256i vidx = _mm256_set_epi64x(3, 2, 1, 0);
+    __m256i cur = vidx;
+    const __m256i step = _mm256_set1_epi64x(4);
+    for (i = 4; i + 4 <= n; i += 4) {
+      cur = _mm256_add_epi64(cur, step);
+      const __m256d vals = _mm256_loadu_pd(v + i);
+      const __m256d lt = _mm256_cmp_pd(vals, vmin, _CMP_LT_OQ);
+      vmin = _mm256_blendv_pd(vmin, vals, lt);
+      vidx = _mm256_blendv_epi8(vidx, cur, _mm256_castpd_si256(lt));
+    }
+    alignas(32) double lane_val[4];
+    alignas(32) int64_t lane_idx[4];
+    _mm256_store_pd(lane_val, vmin);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lane_idx), vidx);
+    best = {lane_val[0], static_cast<size_t>(lane_idx[0])};
+    for (int lane = 1; lane < 4; ++lane) {
+      const size_t idx = static_cast<size_t>(lane_idx[lane]);
+      if (lane_val[lane] < best.value ||
+          (lane_val[lane] == best.value && idx < best.index)) {
+        best = {lane_val[lane], idx};
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (v[i] < best.value) best = {v[i], i};
+  }
+  return best;
+}
+
+__attribute__((target("avx2"))) double MaxAtAvx2(const double* row,
+                                                 const uint32_t* idx,
+                                                 size_t count) {
+  size_t k = 0;
+  double best = row[idx[0]];
+  if (count >= 8) {
+    __m256d vmax = _mm256_set1_pd(best);
+    for (; k + 4 <= count; k += 4) {
+      const __m128i vi =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + k));
+      vmax = _mm256_max_pd(vmax, _mm256_i32gather_pd(row, vi, 8));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, vmax);
+    best = std::max(std::max(lanes[0], lanes[1]),
+                    std::max(lanes[2], lanes[3]));
+  }
+  for (; k < count; ++k) best = std::max(best, row[idx[k]]);
+  return best;
+}
+
+#endif  // DPE_SIMD_X86
+
+// -- Backend tables and resolution -------------------------------------------
+
+constexpr KernelTable kScalarTable = {
+    KernelBackend::kScalar, IntersectScalar, EditU32Scalar,
+    EditBytesScalar,        ArgMinScalar,    MaxAtScalar,
+};
+
+#if DPE_SIMD_X86
+constexpr KernelTable kSse42Table = {
+    KernelBackend::kSse42, IntersectSse42, EditU32Myers,
+    EditBytesMyers,        ArgMinScalar,   MaxAtScalar,
+};
+
+constexpr KernelTable kAvx2Table = {
+    KernelBackend::kAvx2, IntersectAvx2, EditU32Myers,
+    EditBytesMyers,       ArgMinAvx2,    MaxAtAvx2,
+};
+#endif
+
+const KernelTable& TableOf(KernelBackend backend) {
+#if DPE_SIMD_X86
+  switch (backend) {
+    case KernelBackend::kAvx2:
+      return kAvx2Table;
+    case KernelBackend::kSse42:
+      return kSse42Table;
+    default:
+      return kScalarTable;
+  }
+#else
+  (void)backend;
+  return kScalarTable;
+#endif
+}
+
+KernelBackend DetectBackendUncached() {
+#if DPE_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return KernelBackend::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return KernelBackend::kSse42;
+#endif
+  return KernelBackend::kScalar;
+}
+
+/// DPE_KERNEL_BACKEND if set, parseable and runnable; DetectBackend()
+/// otherwise (an unusable value warns once instead of crashing later with
+/// an illegal instruction).
+KernelBackend ResolveAuto() {
+  const KernelBackend detected = DetectBackendUncached();
+  const char* env = std::getenv("DPE_KERNEL_BACKEND");
+  if (env == nullptr || *env == '\0') return detected;
+  const Result<KernelBackend> parsed = ParseBackend(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "simd: ignoring DPE_KERNEL_BACKEND=%s (%s)\n", env,
+                 parsed.status().message().c_str());
+    return detected;
+  }
+  if (*parsed == KernelBackend::kAuto) return detected;
+  if (*parsed > detected) {
+    std::fprintf(stderr,
+                 "simd: DPE_KERNEL_BACKEND=%s not runnable here; using %s\n",
+                 env, BackendName(detected));
+    return detected;
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+const char* BackendName(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kAuto:
+      return "auto";
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kSse42:
+      return "sse4.2";
+    case KernelBackend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Result<KernelBackend> ParseBackend(std::string_view name) {
+  if (name == "auto") return KernelBackend::kAuto;
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "sse4.2" || name == "sse42") return KernelBackend::kSse42;
+  if (name == "avx2") return KernelBackend::kAvx2;
+  return Status::InvalidArgument(
+      "unknown kernel backend '" + std::string(name) +
+      "' (expected auto, scalar, sse4.2 or avx2)");
+}
+
+KernelBackend DetectBackend() {
+  static const KernelBackend detected = DetectBackendUncached();
+  return detected;
+}
+
+const std::vector<KernelBackend>& RunnableBackends() {
+  static const std::vector<KernelBackend> runnable = [] {
+    std::vector<KernelBackend> v{KernelBackend::kScalar};
+#if DPE_SIMD_X86
+    const KernelBackend best = DetectBackendUncached();
+    if (best >= KernelBackend::kSse42) v.push_back(KernelBackend::kSse42);
+    if (best >= KernelBackend::kAvx2) v.push_back(KernelBackend::kAvx2);
+#endif
+    return v;
+  }();
+  return runnable;
+}
+
+bool BackendIsRunnable(KernelBackend backend) {
+  if (backend == KernelBackend::kAuto) return true;
+  const std::vector<KernelBackend>& runnable = RunnableBackends();
+  return std::find(runnable.begin(), runnable.end(), backend) != runnable.end();
+}
+
+Status ValidateBackend(KernelBackend backend) {
+  if (BackendIsRunnable(backend)) return Status::OK();
+  return Status::InvalidArgument(
+      std::string("kernel backend '") + BackendName(backend) +
+      "' is not runnable on this CPU/build (detected: " +
+      BackendName(DetectBackend()) + ")");
+}
+
+const KernelTable& KernelsFor(KernelBackend backend) {
+  if (backend == KernelBackend::kAuto) {
+    static const KernelTable& resolved = TableOf(ResolveAuto());
+    return resolved;
+  }
+  // An explicit backend that cannot run here degrades to the best runnable
+  // one below it — never changes results, only speed (ValidateBackend is
+  // the loud path).
+  const KernelBackend best = DetectBackend();
+  return TableOf(backend <= best ? backend : best);
+}
+
+}  // namespace dpe::common::simd

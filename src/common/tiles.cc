@@ -1,0 +1,83 @@
+#include "common/tiles.h"
+
+namespace dpe::common {
+
+size_t TileCount(size_t n, size_t block) {
+  const size_t block_count = (n + block - 1) / block;
+  return block_count * (block_count + 1) / 2;
+}
+
+std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block) {
+  const size_t block_count = (n + block - 1) / block;
+  std::vector<std::pair<size_t, size_t>> tiles;
+  tiles.reserve(block_count * (block_count + 1) / 2);
+  for (size_t bi = 0; bi < block_count; ++bi) {
+    for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
+  }
+  return tiles;
+}
+
+size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj) {
+  // Closed form, not a traversal: plan derivation runs on every participant
+  // before any distance work, so it must stay O(tile_count), not O(n^2).
+  const size_t row_begin = std::min(n, bi * block);
+  const size_t rows = std::min(n, (bi + 1) * block) - row_begin;
+  if (bi == bj) return rows * (rows - (rows > 0)) / 2;
+  // Off-diagonal tiles (bi < bj): every column index exceeds every row
+  // index, so all rows x cols cells are upper-triangle cells.
+  const size_t col_begin = std::min(n, bj * block);
+  const size_t cols = std::min(n, (bj + 1) * block) - col_begin;
+  return rows * cols;
+}
+
+Result<uint64_t> RangeCellCount(uint64_t n, uint64_t block,
+                                uint64_t tile_begin, uint64_t tile_end) {
+  if (block == 0) {
+    return Status::InvalidArgument("tile range: block must be >= 1 (got 0)");
+  }
+  // Overflow-safe ceil(n / block); a schedule beyond the cap can only come
+  // from a corrupt manifest (2^21 block-rows means an n x n matrix of at
+  // least 2^42 cells — far past anything this system can hold in memory).
+  const uint64_t block_count = n / block + (n % block != 0 ? 1 : 0);
+  if (block_count > (1ull << 21)) {
+    return Status::InvalidArgument(
+        "tile range: schedule of " + std::to_string(block_count) +
+        " block-rows is implausibly large");
+  }
+  const uint64_t tile_count = block_count * (block_count + 1) / 2;
+  tile_end = std::min(tile_end, tile_count);
+  tile_begin = std::min(tile_begin, tile_end);
+
+  // Walk block-rows; each row bi holds the contiguous schedule slice
+  // [row_start, row_start + block_count - bi) of tiles (bi, bi..T-1), and
+  // its intersection with [tile_begin, tile_end) costs O(1): the diagonal
+  // tile (if included) plus one contiguous run of off-diagonal columns.
+  uint64_t cells = 0;
+  uint64_t row_start = 0;
+  for (uint64_t bi = 0; bi < block_count && row_start < tile_end; ++bi) {
+    const uint64_t row_len = block_count - bi;
+    const uint64_t lo = std::max(tile_begin, row_start);
+    const uint64_t hi = std::min(tile_end, row_start + row_len);
+    if (lo < hi) {
+      uint64_t bj0 = bi + (lo - row_start);
+      const uint64_t bj1 = bi + (hi - row_start);
+      const uint64_t row_begin = bi * block;  // < n because bi < block_count
+      const uint64_t rows = std::min(n, (bi + 1) * block) - row_begin;
+      if (bj0 == bi) {
+        cells += rows * (rows - (rows > 0 ? 1 : 0)) / 2;
+        ++bj0;
+      }
+      if (bj0 < bj1) {
+        // Off-diagonal tiles cover contiguous columns [bj0*block, bj1*block)
+        // clamped to n; every one of their cells is an upper-triangle cell.
+        const uint64_t col_begin = bj0 * block;
+        const uint64_t col_end = std::min(n, bj1 * block);
+        cells += rows * (col_end - col_begin);
+      }
+    }
+    row_start += row_len;
+  }
+  return cells;
+}
+
+}  // namespace dpe::common

@@ -1,0 +1,92 @@
+// The blocked upper-triangle tile schedule — THE single definition of how
+// an n x n pairwise matrix is cut into block x block tiles, shared by the
+// engine's MatrixBuilder (parallel build), the shard planner/worker/merge
+// (distributed build) and the store codec (sparse shard payloads encode
+// exactly the cells a tile range owns, in schedule order).
+//
+// It lives in common/ because both the engine layer and the store layer
+// need it and store must not depend on engine; engine/shard.h re-exports
+// these names so existing engine-side callers are unaffected.
+
+#ifndef DPE_COMMON_TILES_H_
+#define DPE_COMMON_TILES_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpe::common {
+
+/// Tiles in the blocked upper-triangle schedule of an n-query matrix with
+/// tile edge `block`: T(T+1)/2 where T = ceil(n / block). Zero when n < 2
+/// produces no pairs only if n == 0; n == 1 still has one (empty) diagonal
+/// tile-row worth of zero tiles — the schedule is over blocks, so n >= 1
+/// yields T >= 1 and TileCount >= 1. Requires block >= 1.
+size_t TileCount(size_t n, size_t block);
+
+/// The deterministic tile schedule the blocked builder executes: tile t maps
+/// to block coordinates (bi, bj) with bi <= bj, enumerated row-major
+/// (bi ascending, bj from bi). Tile t covers cells (i, j) with i < j,
+/// i in [bi*block, min(n, (bi+1)*block)), j in [bj*block, min(n,
+/// (bj+1)*block)). Every cell of the upper triangle belongs to exactly one
+/// tile. Requires block >= 1.
+std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block);
+
+/// Invokes fn(i, j) for every upper-triangle cell (i < j) of tile
+/// (bi, bj), in row-major order. The single definition of tile->cells used
+/// by the builder, the shard worker, the sparse shard codec and the merge
+/// path.
+template <typename Fn>
+void ForEachTileCell(size_t n, size_t block, size_t bi, size_t bj, Fn&& fn) {
+  const size_t row_end = std::min(n, (bi + 1) * block);
+  const size_t col_end = std::min(n, (bj + 1) * block);
+  for (size_t i = bi * block; i < row_end; ++i) {
+    for (size_t j = std::max(i + 1, bj * block); j < col_end; ++j) {
+      fn(i, j);
+    }
+  }
+}
+
+/// Number of upper-triangle cells tile (bi, bj) holds.
+size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj);
+
+/// Invokes fn(bi, bj) for every tile of schedule indices
+/// [tile_begin, min(tile_end, TileCount)), in schedule order, WITHOUT
+/// materializing the full TileSchedule vector: whole block-rows before the
+/// range are skipped analytically, so the cost is O(block_count + range)
+/// instead of O(block_count²). The per-tile coordinates are identical to
+/// TileSchedule(n, block)[t].
+template <typename Fn>
+void ForEachTileInRange(size_t n, size_t block, size_t tile_begin,
+                        size_t tile_end, Fn&& fn) {
+  const size_t block_count = (n + block - 1) / block;
+  const size_t tile_count = block_count * (block_count + 1) / 2;
+  tile_end = std::min(tile_end, tile_count);
+  size_t row_start = 0;  // schedule index of tile (bi, bi)
+  for (size_t bi = 0; bi < block_count && row_start < tile_end; ++bi) {
+    const size_t row_len = block_count - bi;
+    const size_t lo = std::max(tile_begin, row_start);
+    const size_t hi = std::min(tile_end, row_start + row_len);
+    for (size_t t = lo; t < hi; ++t) fn(bi, bi + (t - row_start));
+    row_start += row_len;
+  }
+}
+
+/// Cells owned by tiles [tile_begin, min(tile_end, TileCount(n, block))) of
+/// the schedule — the deterministic payload size of a sparse shard file.
+/// Closed-form per block-row (no allocation, no per-cell work), so the
+/// store codec can validate a declared cell count against untrusted
+/// manifest values before allocating anything. InvalidArgument when
+/// block == 0 or the schedule would be absurdly large (a corrupt manifest
+/// must not buy unbounded CPU either — legitimate schedules are orders of
+/// magnitude below the cap, since the matrix itself is O(n²) memory).
+Result<uint64_t> RangeCellCount(uint64_t n, uint64_t block,
+                                uint64_t tile_begin, uint64_t tile_end);
+
+}  // namespace dpe::common
+
+#endif  // DPE_COMMON_TILES_H_

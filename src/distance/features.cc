@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <utility>
 
 #include "sql/lexer.h"
@@ -27,36 +28,64 @@ FeatureCache FeatureCache::Intern(
   cache.features_.resize(raw.size());
   cache.index_.reserve(raw.size());
 
+  // Exact upper bound on the arena: per query, the token sequence, its
+  // deduplicated copy (<= sequence length) and the structure ids. Reserving
+  // it up front means the arena NEVER reallocates below, so spans taken
+  // while packing stay valid for the cache's lifetime.
+  size_t upper = 0;
+  for (const RawQueryFeatures& r : raw) {
+    upper += 2 * r.token_seq.size() + r.structure.size();
+  }
+  cache.arena_.reserve(upper);
+  std::vector<uint32_t>& arena = cache.arena_;
+
   // Ids are assigned in first-seen order over the input — deterministic for
   // a given log, though the distances never depend on the assignment (only
-  // on cardinalities, which any bijection preserves).
+  // on cardinalities, which any bijection preserves). The arena is packed
+  // in input (= log) order, so the blocked builder's tiles read contiguous
+  // arena ranges.
   std::unordered_map<std::string, uint32_t> token_ids;
   std::map<sql::Feature, uint32_t> feature_ids;
+
+  auto span_of = [&arena](size_t begin, size_t end) {
+    return std::span<const uint32_t>(arena.data() + begin, end - begin);
+  };
 
   for (size_t q = 0; q < raw.size(); ++q) {
     QueryFeatures& f = cache.features_[q];
     f.sql = std::move(raw[q].sql);
 
-    f.token_seq.reserve(raw[q].token_seq.size());
+    const size_t seq_begin = arena.size();
     for (std::string& lexeme : raw[q].token_seq) {
       auto [it, inserted] = token_ids.emplace(
           std::move(lexeme), static_cast<uint32_t>(token_ids.size()));
       (void)inserted;
-      f.token_seq.push_back(it->second);
+      arena.push_back(it->second);
     }
-    f.token_ids = f.token_seq;
-    std::sort(f.token_ids.begin(), f.token_ids.end());
-    f.token_ids.erase(std::unique(f.token_ids.begin(), f.token_ids.end()),
-                      f.token_ids.end());
+    const size_t seq_end = arena.size();
 
-    f.structure_ids.reserve(raw[q].structure.size());
+    // token_ids: sorted unique copy of the sequence, built in place at the
+    // arena tail (resize-down after unique only ever trims the tail).
+    const size_t ids_begin = seq_end;
+    for (size_t t = seq_begin; t < seq_end; ++t) arena.push_back(arena[t]);
+    std::sort(arena.begin() + ids_begin, arena.end());
+    arena.erase(std::unique(arena.begin() + ids_begin, arena.end()),
+                arena.end());
+    const size_t ids_end = arena.size();
+
+    const size_t st_begin = ids_end;
     for (sql::Feature& feature : raw[q].structure) {
       auto [it, inserted] = feature_ids.emplace(
           std::move(feature), static_cast<uint32_t>(feature_ids.size()));
       (void)inserted;
-      f.structure_ids.push_back(it->second);
+      arena.push_back(it->second);
     }
-    std::sort(f.structure_ids.begin(), f.structure_ids.end());
+    std::sort(arena.begin() + st_begin, arena.end());
+    const size_t st_end = arena.size();
+
+    f.token_seq = span_of(seq_begin, seq_end);
+    f.token_ids = span_of(ids_begin, ids_end);
+    f.structure_ids = span_of(st_begin, st_end);
 
     cache.index_.emplace(queries[q], q);
   }

@@ -6,8 +6,20 @@
 // O(n) input. A FeatureCache extracts each query's features exactly once —
 // canonical SQL text, interned token ids (sorted set + ordered sequence),
 // interned structure-feature ids — and the measures' hot paths then run
-// branch-light merge intersections over sorted id vectors instead of
-// re-lexing SQL per pair.
+// SIMD merge/edit kernels over sorted id spans instead of re-lexing SQL per
+// pair.
+//
+// Storage is structure-of-arrays: every interned id of every query lives in
+// ONE flat uint32_t arena, laid out per query in log order
+// ([token_seq][token_ids][structure_ids], queries back to back), and a
+// QueryFeatures holds spans into it instead of per-query std::vectors.
+// That keeps a tile's worth of queries contiguous in memory — the engine's
+// blocked MatrixBuilder walks tiles over contiguous query ranges, so a
+// tile's O(block²) pairs hit a warm arena instead of block² scattered heap
+// allocations — and hands the SIMD kernels (common/simd.h) properly
+// aligned, padding-free input. The spans alias the cache's arena: they are
+// valid exactly as long as the FeatureCache lives, and the cache is
+// move-only so a copy can never silently dangle them.
 //
 // Bit-identity: interning is a bijection on the strings/features actually
 // seen, and the Jaccard / edit distances depend only on element (in)equality
@@ -19,14 +31,16 @@
 // phase 1 in parallel:
 //   1. ExtractRawFeatures(q)  — print + lex + featurize one query;
 //      independent per query, safe to run on any thread.
-//   2. FeatureCache::Intern   — assign ids across the whole log; serial,
-//      cheap (hash-map inserts over already-extracted strings).
+//   2. FeatureCache::Intern   — assign ids across the whole log and pack
+//      the arena; serial, cheap (hash-map inserts over already-extracted
+//      strings).
 // FeatureCache::Compute does both serially (the reference path).
 
 #ifndef DPE_DISTANCE_FEATURES_H_
 #define DPE_DISTANCE_FEATURES_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,15 +52,16 @@
 namespace dpe::distance {
 
 /// Everything the log-only measures need about one query, computed once.
+/// The spans point into the owning FeatureCache's arena (SoA layout above).
 struct QueryFeatures {
   /// Canonical SQL text (sql::ToSql).
   std::string sql;
   /// Interned lexeme id of every token, in token order (Levenshtein).
-  std::vector<uint32_t> token_seq;
+  std::span<const uint32_t> token_seq;
   /// Sorted unique interned lexeme ids (token-set Jaccard).
-  std::vector<uint32_t> token_ids;
+  std::span<const uint32_t> token_ids;
   /// Sorted unique interned structure-feature ids (structure Jaccard).
-  std::vector<uint32_t> structure_ids;
+  std::span<const uint32_t> structure_ids;
 };
 
 /// Phase-1 output: one query's features before interning. Produced
@@ -62,17 +77,26 @@ Result<RawQueryFeatures> ExtractRawFeatures(const sql::SelectQuery& query);
 
 /// Precomputed features of a query log, looked up by query identity (the
 /// address of the log's SelectQuery object). A cache is built against one
-/// specific query vector and must not outlive it.
+/// specific query vector and must not outlive it. Move-only: QueryFeatures
+/// spans alias the arena, so moving transfers them validly (the arena's
+/// heap buffer moves with it) but copying would leave the copy's spans
+/// aliasing the original.
 class FeatureCache {
  public:
   FeatureCache() = default;
+  FeatureCache(FeatureCache&&) = default;
+  FeatureCache& operator=(FeatureCache&&) = default;
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
 
   /// Reference path: extract + intern every query, serially.
   static Result<FeatureCache> Compute(
       const std::vector<sql::SelectQuery>& queries);
 
   /// Phase 2: interns already-extracted raw features. `queries[i]` is the
-  /// query `raw[i]` was extracted from; the vectors must be aligned.
+  /// query `raw[i]` was extracted from; the vectors must be aligned. Arena
+  /// order follows input order, so callers passing queries in log order get
+  /// the tile-contiguous layout the blocked builder wants.
   static FeatureCache Intern(const std::vector<const sql::SelectQuery*>& queries,
                              std::vector<RawQueryFeatures> raw);
 
@@ -85,9 +109,16 @@ class FeatureCache {
 
   size_t size() const { return features_.size(); }
 
+  /// The flat id pool (exposed for tests and layout-aware benches).
+  const std::vector<uint32_t>& arena() const { return arena_; }
+
  private:
   std::unordered_map<const sql::SelectQuery*, size_t> index_;
   std::vector<QueryFeatures> features_;
+  /// One flat pool of interned ids; QueryFeatures spans slice it. Reserved
+  /// to its exact upper bound before any span is taken, so it never
+  /// reallocates while (or after) spans are created.
+  std::vector<uint32_t> arena_;
 };
 
 }  // namespace dpe::distance

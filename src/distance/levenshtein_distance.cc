@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string_view>
 
+#include "common/simd.h"
 #include "distance/features.h"
 #include "sql/lexer.h"
 #include "sql/printer.h"
@@ -50,12 +51,21 @@ Result<double> LevenshteinDistance::Distance(const sql::SelectQuery& q1,
     const QueryFeatures* f1 = context.features->Find(q1);
     const QueryFeatures* f2 = context.features->Find(q2);
     if (f1 != nullptr && f2 != nullptr) {
+      // Featurized hot path: the dispatched edit-distance kernel (scalar
+      // two-row DP, or the bit-parallel Myers kernel on the SIMD backends —
+      // an exact integer either way, so bit-identical across backends).
+      const common::simd::KernelTable& kernels =
+          common::simd::KernelsFor(context.kernel_backend);
       if (granularity_ == Granularity::kTokenSequence) {
-        return Normalized(EditDistanceSeq(f1->token_seq, f2->token_seq),
-                          f1->token_seq.size(), f2->token_seq.size());
+        return Normalized(
+            kernels.edit_u32(f1->token_seq.data(), f1->token_seq.size(),
+                             f2->token_seq.data(), f2->token_seq.size()),
+            f1->token_seq.size(), f2->token_seq.size());
       }
       const std::string_view s1 = f1->sql, s2 = f2->sql;
-      return Normalized(EditDistanceSeq(s1, s2), s1.size(), s2.size());
+      return Normalized(
+          kernels.edit_bytes(s1.data(), s1.size(), s2.data(), s2.size()),
+          s1.size(), s2.size());
     }
   }
 

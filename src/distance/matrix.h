@@ -37,6 +37,13 @@ class DistanceMatrix {
     cells_[j * n_ + i] = d;
   }
 
+  /// Contiguous row i (n doubles) — the input the SIMD min/max row kernels
+  /// (kNN selection, complete-link scoring) consume. i must be < size().
+  const double* RowUnchecked(size_t i) const {
+    assert(i < n_ && "DistanceMatrix::RowUnchecked out of range");
+    return cells_.data() + i * n_;
+  }
+
   double at(size_t i, size_t j) const { return AtUnchecked(i, j); }
   void set(size_t i, size_t j, double d) { SetUnchecked(i, j, d); }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "db/access_area.h"
 #include "db/database.h"
@@ -44,6 +45,13 @@ struct MeasureContext {
   /// without it (or for queries outside the cache) every measure falls back
   /// to extraction on the fly, bit-identically.
   const FeatureCache* features = nullptr;
+  /// Which SIMD kernel backend the measures' hot loops dispatch to
+  /// (common/simd.h). kAuto resolves env + CPU detection; an explicit value
+  /// (from EngineOptions::kernel_backend, or forced by tests) pins the
+  /// backend. Every backend is bit-identical to scalar, so this knob can
+  /// only change speed, never distances — a tested property.
+  common::simd::KernelBackend kernel_backend =
+      common::simd::KernelBackend::kAuto;
 };
 
 class QueryDistanceMeasure {

@@ -76,7 +76,7 @@ Result<double> ResultDistance::Distance(const sql::SelectQuery& q1,
   }
   DPE_ASSIGN_OR_RETURN(const std::vector<uint32_t>* t1, TupleIdsOf(q1, context));
   DPE_ASSIGN_OR_RETURN(const std::vector<uint32_t>* t2, TupleIdsOf(q2, context));
-  return JaccardDistanceSorted(*t1, *t2);
+  return JaccardDistanceSorted(*t1, *t2, context.kernel_backend);
 }
 
 }  // namespace dpe::distance

@@ -13,7 +13,8 @@ Result<double> StructureDistance::Distance(const sql::SelectQuery& q1,
     const QueryFeatures* f1 = context.features->Find(q1);
     const QueryFeatures* f2 = context.features->Find(q2);
     if (f1 != nullptr && f2 != nullptr) {
-      return JaccardDistanceSorted(f1->structure_ids, f2->structure_ids);
+      return JaccardDistanceSorted(f1->structure_ids, f2->structure_ids,
+                                   context.kernel_backend);
     }
   }
   return JaccardDistance(sql::Features(q1), sql::Features(q2));

@@ -14,7 +14,8 @@ Result<double> TokenDistance::Distance(const sql::SelectQuery& q1,
     const QueryFeatures* f1 = context.features->Find(q1);
     const QueryFeatures* f2 = context.features->Find(q2);
     if (f1 != nullptr && f2 != nullptr) {
-      return JaccardDistanceSorted(f1->token_ids, f2->token_ids);
+      return JaccardDistanceSorted(f1->token_ids, f2->token_ids,
+                                   context.kernel_backend);
     }
   }
   DPE_ASSIGN_OR_RETURN(auto t1, sql::TokenSet(sql::ToSql(q1)));

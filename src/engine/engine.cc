@@ -13,7 +13,15 @@ Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
       context_(context),
       pool_(options.threads),
       builder_(&pool_, MatrixBuilderOptions{options.block}),
-      cache_(DistanceCache::Options{options.cache_max_bytes}) {}
+      cache_(DistanceCache::Options{options.cache_max_bytes}) {
+  // The engine's backend choice rides in the context every build receives;
+  // builders validate it (loudly) before computing anything. An explicit
+  // engine option wins; options.kernel_backend == kAuto (the default)
+  // leaves a backend the caller already forced on the context untouched.
+  if (options.kernel_backend != common::simd::KernelBackend::kAuto) {
+    context_.kernel_backend = options.kernel_backend;
+  }
+}
 
 Engine::~Engine() {
   // Async build tasks capture `this`; members destruct in reverse
@@ -184,6 +192,7 @@ Status Engine::JournalComputedPairs(
 
 Status Engine::SaveCheckpoint(const std::string& dir) {
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened, store::MatrixStore::Open(dir));
+  opened.set_fsync_policy(options_.fsync_policy);
   // store_mu_ is held across export + write + truncate + attach so journal
   // appends from in-flight async builds cannot interleave: they block, then
   // land in the fresh (truncated) journal. Pairs such a build inserts after
@@ -221,6 +230,7 @@ Status Engine::LoadCheckpoint(const std::string& dir,
   if (report != nullptr) *report = CheckpointLoadReport{};
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened,
                        store::MatrixStore::OpenExisting(dir));
+  opened.set_fsync_policy(options_.fsync_policy);
   DPE_ASSIGN_OR_RETURN(store::Snapshot snapshot, opened.ReadSnapshot());
   // Recovery read: a torn final record (we may be restarting from the very
   // crash the checkpoint exists for) is dropped and trimmed, not fatal —
@@ -330,7 +340,7 @@ Result<mining::DbscanResult> Engine::RunDbscan(
 
 Result<mining::Dendrogram> Engine::RunHierarchical(const std::string& measure) {
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
-  return mining::CompleteLink(m, &pool_);
+  return mining::CompleteLink(m, &pool_, context_.kernel_backend);
 }
 
 Result<OutlierKnnReport> Engine::RunOutlierKnn(
@@ -349,8 +359,10 @@ Result<OutlierKnnReport> Engine::RunOutlierKnn(
   DPE_RETURN_NOT_OK(common::ParallelForStatus(
       &pool_, 0, outliers.size(), 1, [&](size_t begin, size_t end) -> Status {
         for (size_t r = begin; r < end; ++r) {
-          DPE_ASSIGN_OR_RETURN(report.neighbors[r],
-                               mining::NearestNeighbors(m, outliers[r], k));
+          DPE_ASSIGN_OR_RETURN(
+              report.neighbors[r],
+              mining::NearestNeighbors(m, outliers[r], k,
+                                       context_.kernel_backend));
         }
         return Status::OK();
       }));
@@ -368,6 +380,7 @@ Status Engine::RunShard(const std::string& measure_name, const ShardPlan& plan,
   DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
                        MeasureFor(measure_name));
   DPE_ASSIGN_OR_RETURN(store::MatrixStore store, store::MatrixStore::Open(dir));
+  store.set_fsync_policy(options_.fsync_policy);
   ShardWorker worker(&pool_);
   return worker
       .Run(measure_name, queries_, *measure, context_, plan, shard_index,
@@ -384,8 +397,13 @@ Result<distance::DistanceMatrix> Engine::MergeShards(
   DPE_ASSIGN_OR_RETURN(store::MatrixStore store,
                        store::MatrixStore::OpenExisting(dir));
   ShardCoordinator coordinator;
-  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix merged,
-                       coordinator.Merge(store, measure_name, shard_count));
+  // Passing the expected n rejects a foreign (or corrupt-manifest) shard
+  // set before the merge allocates an n x n matrix for it. Merge treats
+  // expected_n == 0 as "don't check", so the empty-log case needs the
+  // post-merge size check below to stay rejected.
+  DPE_ASSIGN_OR_RETURN(
+      distance::DistanceMatrix merged,
+      coordinator.Merge(store, measure_name, shard_count, queries_.size()));
   if (merged.size() != queries_.size()) {
     return Status::InvalidArgument(
         "merge shards: shard set is for n = " + std::to_string(merged.size()) +

@@ -48,6 +48,18 @@ struct EngineOptions {
   size_t threads = 0;
   /// Tile edge of the blocked matrix build.
   size_t block = 64;
+  /// SIMD kernel backend for the distance hot paths (common/simd.h).
+  /// kAuto resolves the DPE_KERNEL_BACKEND env var, then CPU detection
+  /// (AVX2 > SSE4.2 > scalar). An explicit value pins the backend for
+  /// every build this engine runs; build entry points reject a backend
+  /// this CPU cannot run. All backends produce bit-identical distances.
+  common::simd::KernelBackend kernel_backend =
+      common::simd::KernelBackend::kAuto;
+  /// When the persistent store fsyncs (store/codec.h): kNever trades
+  /// durability for latency, kOnCheckpoint (default) syncs snapshot/
+  /// matrix/shard frames but not journal appends, kAlways also syncs every
+  /// journal append. Applied to every store this engine opens.
+  store::FsyncPolicy fsync_policy = store::FsyncPolicy::kOnCheckpoint;
   /// Memoize distances across BuildMatrix / Run* calls and query insertions.
   bool enable_cache = true;
   /// Distance-cache eviction budget in bytes (LRU); 0 = unbounded. See

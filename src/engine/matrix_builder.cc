@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/simd.h"
 #include "engine/shard.h"
 
 namespace dpe::engine {
@@ -39,6 +40,9 @@ Status MatrixBuilder::ValidateOptions() const {
 
 Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
     const std::vector<const sql::SelectQuery*>& selected) const {
+  // `selected` is in log order, and Intern packs the SoA arena in input
+  // order — so a tile's query range occupies one contiguous arena stripe
+  // and the tile's O(block²) pairs run over warm, padding-free spans.
   const size_t n = selected.size();
   std::vector<distance::RawQueryFeatures> raw(n);
 
@@ -97,6 +101,10 @@ Result<distance::DistanceMatrix> MatrixBuilder::BuildTiles(
     const distance::MeasureContext& context, size_t tile_begin,
     size_t tile_end) const {
   DPE_RETURN_NOT_OK(ValidateOptions());
+  // An explicitly requested kernel backend this CPU cannot run fails the
+  // build loudly here; the per-pair dispatch below would otherwise degrade
+  // silently (same distances, but not what the operator asked to measure).
+  DPE_RETURN_NOT_OK(common::simd::ValidateBackend(context.kernel_backend));
   const size_t n = queries.size();
   const size_t block = options_.block;
   const std::vector<std::pair<size_t, size_t>> tiles = TileSchedule(n, block);
@@ -147,6 +155,7 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
     const distance::QueryDistanceMeasure& measure,
     const distance::MeasureContext& context) const {
   DPE_RETURN_NOT_OK(ValidateOptions());
+  DPE_RETURN_NOT_OK(common::simd::ValidateBackend(context.kernel_backend));
   const size_t n = queries.size();
   for (const auto& [i, j] : pairs) {
     if (i >= n || j >= n) {

@@ -6,34 +6,6 @@
 
 namespace dpe::engine {
 
-size_t TileCount(size_t n, size_t block) {
-  const size_t block_count = (n + block - 1) / block;
-  return block_count * (block_count + 1) / 2;
-}
-
-std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block) {
-  const size_t block_count = (n + block - 1) / block;
-  std::vector<std::pair<size_t, size_t>> tiles;
-  tiles.reserve(block_count * (block_count + 1) / 2);
-  for (size_t bi = 0; bi < block_count; ++bi) {
-    for (size_t bj = bi; bj < block_count; ++bj) tiles.emplace_back(bi, bj);
-  }
-  return tiles;
-}
-
-size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj) {
-  // Closed form, not a traversal: plan derivation runs on every participant
-  // before any distance work, so it must stay O(tile_count), not O(n^2).
-  const size_t row_begin = std::min(n, bi * block);
-  const size_t rows = std::min(n, (bi + 1) * block) - row_begin;
-  if (bi == bj) return rows * (rows - (rows > 0)) / 2;
-  // Off-diagonal tiles (bi < bj): every column index exceeds every row
-  // index, so all rows x cols cells are upper-triangle cells.
-  const size_t col_begin = std::min(n, bj * block);
-  const size_t cols = std::min(n, (bj + 1) * block) - col_begin;
-  return rows * cols;
-}
-
 Result<ShardPlan> PlanShards(size_t n, size_t block, size_t shard_count) {
   if (block == 0) {
     return Status::InvalidArgument("shard plan: block must be >= 1 (got 0)");
@@ -135,7 +107,7 @@ Result<store::ShardManifest> ShardWorker::Run(
 
 Result<distance::DistanceMatrix> ShardCoordinator::Merge(
     const store::MatrixStore& store, const std::string& matrix_name,
-    size_t shard_count) const {
+    size_t shard_count, size_t expected_n) const {
   if (shard_count == 0 || shard_count > UINT32_MAX) {
     return Status::InvalidArgument("shard merge: shard count " +
                                    std::to_string(shard_count) +
@@ -143,8 +115,8 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
   }
 
   // Stream the shards: read one, validate its manifest, copy its owned
-  // cells, drop it — peak memory is one partial plus the result, not k
-  // partials. A failure anywhere returns before `merged` escapes, so a
+  // cells, drop it — peak memory is one shard's cells plus the result, not
+  // k shards. A failure anywhere returns before `merged` escapes, so a
   // missing (NotFound), corrupt (ParseError) or inconsistent
   // (InvalidArgument) shard never yields a half-merged matrix. Shard 0
   // anchors the build parameters every later manifest must match; the
@@ -167,6 +139,12 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
       if (m.block == 0) {
         return Status::InvalidArgument(
             "shard merge: shard 0 declares block 0");
+      }
+      if (expected_n != 0 && m.n != expected_n) {
+        return Status::InvalidArgument(
+            "shard merge: shard set is for n = " + std::to_string(m.n) +
+            " queries but the caller expects n = " +
+            std::to_string(expected_n));
       }
       n = m.n;
       block = m.block;
@@ -201,13 +179,28 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
     }
     expect_begin = m.tile_end;
 
-    // Copy exactly the cells this shard's tile range owns, via the same
-    // tile->cells traversal the builder executes, so the result is
+    // Guard BEFORE the copy loop: the loop indexes shard.cells unchecked,
+    // so a cells vector shorter than the tile range's traversal must be
+    // rejected here, not discovered by overreading it.
+    size_t range_cells = 0;
+    for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
+      range_cells += TileCellCount(n, block, tiles[t].first, tiles[t].second);
+    }
+    if (shard.cells.size() != range_cells) {
+      return Status::ParseError(
+          "shard merge: shard " + std::to_string(m.shard_index) + " carries " +
+          std::to_string(shard.cells.size()) + " cells but its tile range " +
+          "owns " + std::to_string(range_cells));
+    }
+
+    // The shard's cells arrive in tile-schedule order, so the same
+    // tile->cells traversal the builder executes replays them into place —
     // bit-identical to the single-process build.
+    size_t next_cell = 0;
     for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
       const auto [bi, bj] = tiles[t];
       ForEachTileCell(n, block, bi, bj, [&](size_t i, size_t j) {
-        merged.SetUnchecked(i, j, shard.partial.AtUnchecked(i, j));
+        merged.SetUnchecked(i, j, shard.cells[next_cell++]);
       });
     }
   }

@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/tiles.h"
 #include "distance/matrix.h"
 #include "distance/measure.h"
 #include "engine/thread_pool.h"
@@ -44,37 +45,13 @@
 
 namespace dpe::engine {
 
-/// Tiles in the blocked upper-triangle schedule of an n-query matrix with
-/// tile edge `block`: T(T+1)/2 where T = ceil(n / block). Zero when n < 2
-/// produces no pairs only if n == 0; n == 1 still has one (empty) diagonal
-/// tile-row worth of zero tiles — the schedule is over blocks, so n >= 1
-/// yields T >= 1 and TileCount >= 1. Requires block >= 1.
-size_t TileCount(size_t n, size_t block);
-
-/// The deterministic tile schedule the blocked builder executes: tile t maps
-/// to block coordinates (bi, bj) with bi <= bj, enumerated row-major
-/// (bi ascending, bj from bi). Tile t covers cells (i, j) with i < j,
-/// i in [bi*block, min(n, (bi+1)*block)), j in [bj*block, min(n,
-/// (bj+1)*block)). Every cell of the upper triangle belongs to exactly one
-/// tile. Requires block >= 1.
-std::vector<std::pair<size_t, size_t>> TileSchedule(size_t n, size_t block);
-
-/// Invokes fn(i, j) for every upper-triangle cell (i < j) of tile
-/// (bi, bj), in row-major order. The single definition of tile->cells used
-/// by the builder, the worker and the merge path.
-template <typename Fn>
-void ForEachTileCell(size_t n, size_t block, size_t bi, size_t bj, Fn&& fn) {
-  const size_t row_end = std::min(n, (bi + 1) * block);
-  const size_t col_end = std::min(n, (bj + 1) * block);
-  for (size_t i = bi * block; i < row_end; ++i) {
-    for (size_t j = std::max(i + 1, bj * block); j < col_end; ++j) {
-      fn(i, j);
-    }
-  }
-}
-
-/// Number of upper-triangle cells tile (bi, bj) holds.
-size_t TileCellCount(size_t n, size_t block, size_t bi, size_t bj);
+// The tile schedule itself lives in common/tiles.h so the store codec can
+// derive sparse shard payload sizes from a manifest without depending on
+// the engine layer; these aliases keep the engine-side spelling.
+using common::ForEachTileCell;
+using common::TileCellCount;
+using common::TileCount;
+using common::TileSchedule;
 
 /// A contiguous range [begin, end) of tile indices in the schedule.
 struct TileRange {
@@ -137,18 +114,24 @@ class ShardCoordinator {
   /// Streams shards 0..shard_count-1 of `matrix_name` from `store` —
   /// validate manifest, copy owned cells, drop, one shard resident at a
   /// time — into the full matrix. Any failure returns before a (partially)
-  /// merged matrix escapes.
+  /// merged matrix escapes. A non-zero `expected_n` additionally pins the
+  /// matrix size the shard set must declare, and is checked before the
+  /// n x n result is allocated (callers that know their log size should
+  /// pass it — a corrupt or foreign manifest then cannot provoke a huge
+  /// allocation).
   ///
   /// Failure modes (all typed, never UB):
   ///   - a shard file absent                      -> NotFound
   ///   - frame/checksum/decode corruption          -> ParseError
   ///   - manifests disagree on n / block / count   -> InvalidArgument
+  ///   - n != expected_n (when given)              -> InvalidArgument
   ///   - tile ranges overlap                       -> InvalidArgument
   ///   - tile ranges leave a gap / don't cover     -> InvalidArgument
   ///   - tile range exceeds the schedule           -> InvalidArgument
   Result<distance::DistanceMatrix> Merge(const store::MatrixStore& store,
                                          const std::string& matrix_name,
-                                         size_t shard_count) const;
+                                         size_t shard_count,
+                                         size_t expected_n = 0) const;
 };
 
 }  // namespace dpe::engine

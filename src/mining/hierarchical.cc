@@ -5,27 +5,37 @@
 #include <map>
 #include <numeric>
 
+#include "common/simd.h"
 #include "mining/parallel_util.h"
 
 namespace dpe::mining {
 
 Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
-                                common::ThreadPool* pool) {
+                                common::ThreadPool* pool,
+                                common::simd::KernelBackend backend) {
   const size_t n = m.size();
   Dendrogram out;
   out.leaf_count = n;
   if (n == 0) return out;
 
-  // Active clusters: id -> member points. Fresh ids n, n+1, ... per merge.
-  std::map<size_t, std::vector<size_t>> clusters;
-  for (size_t i = 0; i < n; ++i) clusters[i] = {i};
+  // Active clusters: id -> member points (u32: matrix indices fit, and the
+  // SIMD gather kernel wants 32-bit indices). Fresh ids n, n+1, ... per
+  // merge.
+  std::map<size_t, std::vector<uint32_t>> clusters;
+  for (size_t i = 0; i < n; ++i) clusters[i] = {static_cast<uint32_t>(i)};
 
-  // Complete-link distance between two member lists: max pairwise distance
-  // (max is order-independent, so parallel callers get the same double).
-  auto link = [&](const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  // Complete-link distance between two member lists: max pairwise distance.
+  // Per member of `a`, the max over `b`'s columns of the matrix row is the
+  // dispatched gather-max kernel (common/simd.h) — max over non-NaN doubles
+  // is exact and order-independent, so every backend (and parallel caller)
+  // gets the same double.
+  const common::simd::KernelTable& kernels = common::simd::KernelsFor(backend);
+  auto link = [&](const std::vector<uint32_t>& a,
+                  const std::vector<uint32_t>& b) {
     double worst = 0.0;
-    for (size_t x : a) {
-      for (size_t y : b) worst = std::max(worst, m.AtUnchecked(x, y));
+    for (uint32_t x : a) {
+      worst = std::max(worst, kernels.max_at(m.RowUnchecked(x), b.data(),
+                                             b.size()));
     }
     return worst;
   };
@@ -37,7 +47,7 @@ Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
   };
 
   size_t next_id = n;
-  std::vector<const std::vector<size_t>*> members;
+  std::vector<const std::vector<uint32_t>*> members;
   std::vector<size_t> ids;
   while (clusters.size() > 1) {
     // Snapshot the active clusters in map (= ascending id) order; the scan
@@ -80,7 +90,7 @@ Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
       if (candidate.d < best.d) best = candidate;
     }
 
-    std::vector<size_t> merged = clusters[best.a];
+    std::vector<uint32_t> merged = clusters[best.a];
     const auto& right = clusters[best.b];
     merged.insert(merged.end(), right.begin(), right.end());
     clusters.erase(best.a);

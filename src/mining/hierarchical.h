@@ -12,6 +12,7 @@
 #ifndef DPE_MINING_HIERARCHICAL_H_
 #define DPE_MINING_HIERARCHICAL_H_
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "distance/matrix.h"
@@ -37,8 +38,12 @@ struct Dendrogram {
 
 /// Builds the complete-link dendrogram from a distance matrix; the min-pair
 /// search runs on `pool` when one is given (nullptr = serial, bit-identical).
-Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& matrix,
-                                common::ThreadPool* pool = nullptr);
+/// `backend` selects the SIMD kernel for the gather-max linkage scoring
+/// (kAuto = env + CPU detection; Engine::RunHierarchical passes its
+/// EngineOptions::kernel_backend). Every backend is bit-identical.
+Result<Dendrogram> CompleteLink(
+    const distance::DistanceMatrix& matrix, common::ThreadPool* pool = nullptr,
+    common::simd::KernelBackend backend = common::simd::KernelBackend::kAuto);
 
 }  // namespace dpe::mining
 

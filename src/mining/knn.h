@@ -4,6 +4,7 @@
 #ifndef DPE_MINING_KNN_H_
 #define DPE_MINING_KNN_H_
 
+#include "common/simd.h"
 #include "common/status.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
@@ -11,14 +12,19 @@
 namespace dpe::mining {
 
 /// The k nearest neighbours of point `i` (excluding itself), ordered by
-/// (distance, index).
-Result<std::vector<size_t>> NearestNeighbors(const distance::DistanceMatrix& m,
-                                             size_t i, size_t k);
+/// (distance, index). `backend` selects the SIMD kernel of the small-k
+/// argmin selection (kAuto = env + CPU detection; Engine::RunOutlierKnn
+/// passes its EngineOptions::kernel_backend) — bit-identical everywhere.
+Result<std::vector<size_t>> NearestNeighbors(
+    const distance::DistanceMatrix& m, size_t i, size_t k,
+    common::simd::KernelBackend backend = common::simd::KernelBackend::kAuto);
 
 /// Majority-vote kNN label for point `i`, given labels for all points
 /// (label of i itself is ignored). Ties break to the smallest label.
-Result<int> KnnClassify(const distance::DistanceMatrix& m, const Labels& labels,
-                        size_t i, size_t k);
+Result<int> KnnClassify(
+    const distance::DistanceMatrix& m, const Labels& labels, size_t i,
+    size_t k,
+    common::simd::KernelBackend backend = common::simd::KernelBackend::kAuto);
 
 }  // namespace dpe::mining
 

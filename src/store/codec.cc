@@ -12,8 +12,6 @@
 
 namespace dpe::store {
 
-namespace {
-
 /// fsync `path` (a file or a directory) so a rename/unlink ordering cannot
 /// be undone by a power loss. Best-effort on filesystems without dirsync.
 Status SyncPath(const std::string& path) {
@@ -28,6 +26,8 @@ Status SyncPath(const std::string& path) {
   }
   return Status::OK();
 }
+
+namespace {
 
 constexpr std::array<uint32_t, 256> MakeCrcTable() {
   std::array<uint32_t, 256> table{};
@@ -292,16 +292,20 @@ std::string ShardManifestDefect(const ShardManifest& manifest) {
            std::to_string(manifest.tile_begin) + ", " +
            std::to_string(manifest.tile_end) + ") is inverted";
   }
+  if (manifest.block == 0) {
+    return "shard manifest declares block 0";
+  }
   return "";
 }
 
 // -- Framing -----------------------------------------------------------------
 
 Status WriteFramedFile(const std::string& path, uint32_t magic,
-                       std::string_view payload) {
+                       std::string_view payload, uint32_t version,
+                       bool sync) {
   Writer header;
   header.PutU32(magic);
-  header.PutU32(kFormatVersion);
+  header.PutU32(version);
   header.PutU64(payload.size());
   header.PutU32(Crc32(payload));
 
@@ -323,8 +327,10 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
   // Durability order matters: the payload must be on disk before the rename
   // publishes it, and the rename must be on disk before callers take
   // dependent actions (SaveCheckpoint deletes the journal right after this
-  // returns — a reordered power loss must not lose both).
-  DPE_RETURN_NOT_OK(SyncPath(tmp));
+  // returns — a reordered power loss must not lose both). FsyncPolicy::
+  // kNever opts out of both syncs: still atomic against process death (the
+  // rename is), just not against power loss.
+  if (sync) DPE_RETURN_NOT_OK(SyncPath(tmp));
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -332,11 +338,14 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
     return Status::Internal("store codec: rename " + tmp + " -> " + path +
                             " failed");
   }
+  if (!sync) return Status::OK();
   std::string parent = std::filesystem::path(path).parent_path().string();
   return SyncPath(parent.empty() ? "." : parent);
 }
 
-Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
+Result<FramedFile> ReadFramedFileVersions(const std::string& path,
+                                          uint32_t magic,
+                                          uint32_t max_version) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("store codec: " + path + " does not exist");
@@ -348,10 +357,11 @@ Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
   if (got_magic != magic) {
     return Corrupt("bad magic in " + path);
   }
-  DPE_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
-  if (version != kFormatVersion) {
-    return Corrupt("unsupported format version " + std::to_string(version) +
-                   " in " + path);
+  FramedFile file;
+  DPE_ASSIGN_OR_RETURN(file.version, r.ReadU32());
+  if (file.version == 0 || file.version > max_version) {
+    return Corrupt("unsupported format version " +
+                   std::to_string(file.version) + " in " + path);
   }
   DPE_ASSIGN_OR_RETURN(uint64_t payload_len, r.ReadU64());
   DPE_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
@@ -360,11 +370,17 @@ Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
                    std::to_string(payload_len) + ", have " +
                    std::to_string(r.remaining()) + ")");
   }
-  std::string payload = data.substr(data.size() - payload_len);
-  if (Crc32(payload) != crc) {
+  file.payload = data.substr(data.size() - payload_len);
+  if (Crc32(file.payload) != crc) {
     return Corrupt("checksum mismatch in " + path);
   }
-  return payload;
+  return file;
+}
+
+Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
+  DPE_ASSIGN_OR_RETURN(FramedFile file,
+                       ReadFramedFileVersions(path, magic, kFormatVersion));
+  return std::move(file.payload);
 }
 
 void AppendRecord(std::string_view payload, std::string* out) {

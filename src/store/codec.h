@@ -39,11 +39,28 @@ namespace dpe::store {
 /// Current on-disk format version (bumped on incompatible layout changes).
 inline constexpr uint32_t kFormatVersion = 1;
 
+/// Shard files gained a sparse payload (manifest + only the owned cells) in
+/// version 2; version-1 dense shard frames remain readable. Non-shard files
+/// are still written (and required to be) kFormatVersion.
+inline constexpr uint32_t kShardFormatVersion = 2;
+
 /// File magics ("DPES"/"DPEJ"/"DPEM"/"DPEH" as little-endian u32).
 inline constexpr uint32_t kSnapshotMagic = 0x53455044;  // "DPES"
 inline constexpr uint32_t kJournalMagic = 0x4a455044;   // "DPEJ"
 inline constexpr uint32_t kMatrixMagic = 0x4d455044;    // "DPEM"
 inline constexpr uint32_t kShardMagic = 0x48455044;     // "DPEH" (sHard)
+
+/// When the store calls fsync (EngineOptions::fsync_policy feeds this):
+///   kNever        — no fsync anywhere; fastest, survives process crashes
+///                   (the kernel still writes the data back) but a power
+///                   loss can lose or tear recently written files.
+///   kOnCheckpoint — fsync whole-file frames (snapshot / matrix / shard)
+///                   before the rename publishes them, but not journal
+///                   appends. The default, and the long-standing behavior.
+///   kAlways       — additionally fsync the journal after every append:
+///                   an acknowledged AddQuery/row record survives power
+///                   loss at the cost of an fsync per append.
+enum class FsyncPolicy : uint8_t { kNever = 0, kOnCheckpoint = 1, kAlways = 2 };
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`.
 uint32_t Crc32(std::string_view data);
@@ -159,13 +176,35 @@ std::string ShardManifestDefect(const ShardManifest& manifest);
 // -- Framing -----------------------------------------------------------------
 
 /// Writes [magic][version][payload_len][crc32][payload] to `path` atomically
-/// (tmp file + rename), so readers never observe a half-written file.
+/// (tmp file + rename), so readers never observe a half-written file. With
+/// `sync` false the fsync-before-rename and directory fsync are skipped
+/// (FsyncPolicy::kNever): crash-atomic against process death, not against
+/// power loss.
 Status WriteFramedFile(const std::string& path, uint32_t magic,
-                       std::string_view payload);
+                       std::string_view payload,
+                       uint32_t version = kFormatVersion, bool sync = true);
 
-/// Reads a framed file back, validating magic, version, length and checksum.
-/// NotFound if the file does not exist; ParseError on any corruption.
+/// fsync `path` (a file or a directory). Exposed for the journal's
+/// FsyncPolicy::kAlways path.
+Status SyncPath(const std::string& path);
+
+/// Reads a framed file back, validating magic, version (== kFormatVersion),
+/// length and checksum. NotFound if the file does not exist; ParseError on
+/// any corruption.
 Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic);
+
+/// A framed payload plus the format version its frame declared.
+struct FramedFile {
+  uint32_t version = kFormatVersion;
+  std::string payload;
+};
+
+/// Like ReadFramedFile but accepts any version in [1, max_version] — the
+/// multi-version read path for formats with compatible older layouts
+/// (dense v1 shard frames under kShardFormatVersion = 2).
+Result<FramedFile> ReadFramedFileVersions(const std::string& path,
+                                          uint32_t magic,
+                                          uint32_t max_version);
 
 /// Appends one [payload_len][crc32][payload] record to `out`.
 void AppendRecord(std::string_view payload, std::string* out);

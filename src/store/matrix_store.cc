@@ -4,6 +4,8 @@
 #include <fstream>
 #include <set>
 
+#include "common/tiles.h"
+
 namespace dpe::store {
 
 namespace fs = std::filesystem;
@@ -135,7 +137,9 @@ Status MatrixStore::WriteSnapshot(const Snapshot& snapshot) {
   w.PutU64(snapshot.queries.size());
   for (const std::string& sql : snapshot.queries) w.PutString(sql);
   EncodeCacheEntries(snapshot.entries, &w);
-  return WriteFramedFile(SnapshotPath(), kSnapshotMagic, w.buffer());
+  return WriteFramedFile(SnapshotPath(), kSnapshotMagic, w.buffer(),
+                         kFormatVersion,
+                         fsync_policy_ != FsyncPolicy::kNever);
 }
 
 Result<Snapshot> MatrixStore::ReadSnapshot() const {
@@ -198,6 +202,16 @@ Status MatrixStore::AppendRecords(const std::vector<JournalRecord>& records) {
   }
   out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
   out.flush();
+  if (out && fsync_policy_ == FsyncPolicy::kAlways) {
+    // kAlways: the record must survive power loss once this returns, not
+    // just process death. Close first so libc buffers cannot outlive the
+    // sync; and when this append CREATED the journal, sync the directory
+    // too — a durable file behind a lost dirent is still a lost file.
+    out.close();
+    DPE_RETURN_NOT_OK(SyncPath(JournalPath()));
+    if (!existed) DPE_RETURN_NOT_OK(SyncPath(dir_));
+    return Status::OK();
+  }
   if (!out) {
     // Roll the partial append back (best effort): torn bytes left at the
     // tail would be buried mid-stream by a later successful append,
@@ -337,6 +351,46 @@ Result<distance::DistanceMatrix> MatrixStore::ReadMatrix(
 
 // -- Shards ------------------------------------------------------------------
 
+Result<uint64_t> ShardCellCount(const ShardManifest& manifest) {
+  return common::RangeCellCount(manifest.n, manifest.block,
+                                manifest.tile_begin, manifest.tile_end);
+}
+
+/// Walks the manifest's (clamped) tile range in schedule order — the exact
+/// traversal both the sparse encoder and the merge coordinator use, so
+/// cells[k] always means "the k-th owned cell of this shard". Uses the
+/// analytic range walker: no O(block_count²) schedule vector per shard.
+template <typename Fn>
+static void ForEachOwnedCell(const ShardManifest& manifest, Fn&& fn) {
+  common::ForEachTileInRange(
+      manifest.n, manifest.block, manifest.tile_begin, manifest.tile_end,
+      [&](size_t bi, size_t bj) {
+        common::ForEachTileCell(manifest.n, manifest.block, bi, bj, fn);
+      });
+}
+
+Status MatrixStore::WriteShardCells(const ShardManifest& manifest,
+                                    const std::vector<double>& cells) {
+  if (std::string defect = ShardManifestDefect(manifest); !defect.empty()) {
+    return Status::InvalidArgument("matrix store: " + defect);
+  }
+  DPE_ASSIGN_OR_RETURN(uint64_t expected, ShardCellCount(manifest));
+  if (cells.size() != expected) {
+    return Status::InvalidArgument(
+        "matrix store: shard carries " + std::to_string(cells.size()) +
+        " cells but its manifest's tile range owns " +
+        std::to_string(expected));
+  }
+  Writer w;
+  EncodeShardManifest(manifest, &w);
+  w.PutU64(cells.size());
+  for (double d : cells) w.PutDouble(d);
+  return WriteFramedFile(
+      ShardPath(manifest.matrix, manifest.shard_index, manifest.shard_count),
+      kShardMagic, w.buffer(), kShardFormatVersion,
+      fsync_policy_ != FsyncPolicy::kNever);
+}
+
 Status MatrixStore::WriteShard(const ShardManifest& manifest,
                                const distance::DistanceMatrix& partial) {
   if (std::string defect = ShardManifestDefect(manifest); !defect.empty()) {
@@ -348,21 +402,23 @@ Status MatrixStore::WriteShard(const ShardManifest& manifest,
         std::to_string(partial.size()) + " but the manifest declares " +
         std::to_string(manifest.n));
   }
-  Writer w;
-  EncodeShardManifest(manifest, &w);
-  EncodeMatrix(partial, &w);
-  return WriteFramedFile(
-      ShardPath(manifest.matrix, manifest.shard_index, manifest.shard_count),
-      kShardMagic, w.buffer());
+  DPE_ASSIGN_OR_RETURN(uint64_t expected, ShardCellCount(manifest));
+  std::vector<double> cells;
+  cells.reserve(expected);
+  ForEachOwnedCell(manifest, [&](size_t i, size_t j) {
+    cells.push_back(partial.AtUnchecked(i, j));
+  });
+  return WriteShardCells(manifest, cells);
 }
 
 Result<ShardFile> MatrixStore::ReadShard(const std::string& matrix,
                                          uint32_t shard_index,
                                          uint32_t shard_count) const {
   const std::string path = ShardPath(matrix, shard_index, shard_count);
-  DPE_ASSIGN_OR_RETURN(std::string payload,
-                       ReadFramedFile(path, kShardMagic));
-  Reader r(payload);
+  DPE_ASSIGN_OR_RETURN(
+      FramedFile file,
+      ReadFramedFileVersions(path, kShardMagic, kShardFormatVersion));
+  Reader r(file.payload);
   ShardFile shard;
   DPE_ASSIGN_OR_RETURN(shard.manifest, DecodeShardManifest(&r));
   if (shard.manifest.matrix != matrix ||
@@ -373,14 +429,52 @@ Result<ShardFile> MatrixStore::ReadShard(const std::string& matrix,
                    std::to_string(shard.manifest.shard_count) +
                    " of matrix '" + shard.manifest.matrix + "'");
   }
-  DPE_ASSIGN_OR_RETURN(shard.partial, DecodeMatrix(&r));
+  Result<uint64_t> expected = ShardCellCount(shard.manifest);
+  if (!expected.ok()) {  // implausible manifest geometry (e.g. block 0)
+    return Corrupt("shard file " + path + ": " +
+                   expected.status().message());
+  }
+
+  if (file.version >= kShardFormatVersion) {
+    // Sparse payload: u64 cell count + cells in schedule order. The count
+    // is validated against BOTH the manifest-derived count and the bytes
+    // actually present before anything is allocated.
+    DPE_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+    if (count != *expected) {
+      return Corrupt("shard file " + path + " declares " +
+                     std::to_string(count) +
+                     " cells but its manifest's tile range owns " +
+                     std::to_string(*expected));
+    }
+    if (count != r.remaining() / 8 || r.remaining() % 8 != 0) {
+      return Corrupt("shard file " + path + " cell payload is " +
+                     std::to_string(r.remaining()) + " bytes for " +
+                     std::to_string(count) + " cells");
+    }
+    shard.cells.reserve(count);
+    for (uint64_t k = 0; k < count; ++k) {
+      DPE_ASSIGN_OR_RETURN(double d, r.ReadDouble());
+      shard.cells.push_back(d);
+    }
+    DPE_RETURN_NOT_OK(r.ExpectEnd());
+    return shard;
+  }
+
+  // Legacy v1 dense frame: a full upper triangle (zeros outside the owned
+  // tiles). Decode it — DecodeMatrix bounds n by the bytes present — and
+  // extract the owned cells so callers see one representation.
+  DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix partial, DecodeMatrix(&r));
   DPE_RETURN_NOT_OK(r.ExpectEnd());
-  if (shard.partial.size() != shard.manifest.n) {
+  if (partial.size() != shard.manifest.n) {
     return Corrupt("shard file " + path + " carries an n = " +
-                   std::to_string(shard.partial.size()) +
+                   std::to_string(partial.size()) +
                    " matrix but its manifest declares n = " +
                    std::to_string(shard.manifest.n));
   }
+  shard.cells.reserve(*expected);
+  ForEachOwnedCell(shard.manifest, [&](size_t i, size_t j) {
+    shard.cells.push_back(partial.AtUnchecked(i, j));
+  });
   return shard;
 }
 

@@ -9,9 +9,11 @@
 //   <dir>/shard-<name>-<i>of<k>.dpe
 //                            one shard of a sharded matrix build: a
 //                            ShardManifest (which tile range of which
-//                            matrix) plus the partial upper triangle — the
-//                            exchange format between shard workers and the
-//                            merge coordinator (engine/shard.h)
+//                            matrix) plus only the cells that range owns,
+//                            in tile-schedule order (~k× smaller than the
+//                            old dense frame, which is still readable) —
+//                            the exchange format between shard workers and
+//                            the merge coordinator (engine/shard.h)
 //
 // The snapshot is rewritten atomically (tmp + rename) and replaces the
 // journal; the journal is the cheap hot path — one small checksummed record
@@ -75,12 +77,21 @@ struct JournalRecovery {
   uint64_t dropped_bytes = 0;   ///< bytes truncated off the journal file
 };
 
-/// One shard file's contents: its manifest plus the partial matrix (full
-/// n x n, zero outside the shard's tiles).
+/// One shard file's contents: its manifest plus exactly the cells its tile
+/// range owns, in tile-schedule order (the common/tiles.h traversal). The
+/// count is deterministic from the manifest, so sparse shard files carry
+/// ~shard_count× fewer bytes than the old dense upper triangle — and a
+/// reader never materializes an n x n matrix for one shard's worth of
+/// cells.
 struct ShardFile {
   ShardManifest manifest;
-  distance::DistanceMatrix partial;
+  std::vector<double> cells;
 };
+
+/// Cells the manifest's tile range owns: RangeCellCount over
+/// [tile_begin, tile_end) of the (n, block) schedule, with out-of-schedule
+/// tails clamped (the merge validator — not the codec — rejects those).
+Result<uint64_t> ShardCellCount(const ShardManifest& manifest);
 
 class MatrixStore {
  public:
@@ -94,6 +105,12 @@ class MatrixStore {
   static Result<MatrixStore> OpenExisting(const std::string& dir);
 
   const std::string& dir() const { return dir_; }
+
+  /// Durability-vs-latency knob for every write this store performs; see
+  /// store::FsyncPolicy (codec.h). Defaults to kOnCheckpoint — the
+  /// long-standing behavior.
+  void set_fsync_policy(FsyncPolicy policy) { fsync_policy_ = policy; }
+  FsyncPolicy fsync_policy() const { return fsync_policy_; }
 
   // -- Snapshot --------------------------------------------------------------
 
@@ -135,16 +152,26 @@ class MatrixStore {
 
   // -- Shards ----------------------------------------------------------------
 
-  /// Exports one shard of a sharded build: the manifest plus the partial
-  /// matrix, as a checksummed "DPEH" frame. InvalidArgument if the manifest
-  /// is self-inconsistent (index >= count, inverted tile range, partial
-  /// size != n).
+  /// Exports one shard of a sharded build: the manifest plus only the cells
+  /// its tile range owns (extracted from `partial` in schedule order), as a
+  /// checksummed "DPEH" frame of version kShardFormatVersion. InvalidArgument
+  /// if the manifest is self-inconsistent (index >= count, inverted tile
+  /// range, block 0, partial size != n).
   Status WriteShard(const ShardManifest& manifest,
                     const distance::DistanceMatrix& partial);
+  /// Low-level sparse export: `cells` must hold exactly
+  /// ShardCellCount(manifest) doubles in tile-schedule order. WriteShard is
+  /// this plus the dense-matrix extraction; tests use it to fabricate
+  /// doctored shards.
+  Status WriteShardCells(const ShardManifest& manifest,
+                         const std::vector<double>& cells);
   /// Reads shard `shard_index` of `shard_count` for `matrix` back,
   /// validating frame magic/version/checksum, manifest identity against the
-  /// requested coordinates, and the partial's size against the manifest's
-  /// n. NotFound for an absent shard; ParseError on corruption.
+  /// requested coordinates, and the cell payload against the count the
+  /// manifest implies. Both shard format versions decode: v2 sparse frames
+  /// natively, legacy v1 dense frames by extracting the owned cells from
+  /// the dense upper triangle. NotFound for an absent shard; ParseError on
+  /// corruption.
   Result<ShardFile> ReadShard(const std::string& matrix, uint32_t shard_index,
                               uint32_t shard_count) const;
 
@@ -159,6 +186,7 @@ class MatrixStore {
   Result<JournalRecovery> ReadJournalImpl(bool recover_torn_tail) const;
 
   std::string dir_;
+  FsyncPolicy fsync_policy_ = FsyncPolicy::kOnCheckpoint;
 };
 
 }  // namespace dpe::store

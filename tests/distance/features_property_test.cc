@@ -48,13 +48,38 @@ TEST(FeatureCacheTest, ComputesOneEntryPerQuery) {
     EXPECT_FALSE(f->sql.empty());
     EXPECT_FALSE(f->token_seq.empty());
     // token_ids is the sorted unique projection of token_seq.
-    std::vector<uint32_t> expect = f->token_seq;
+    std::vector<uint32_t> expect(f->token_seq.begin(), f->token_seq.end());
     std::sort(expect.begin(), expect.end());
     expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
-    EXPECT_EQ(f->token_ids, expect);
+    EXPECT_TRUE(std::equal(f->token_ids.begin(), f->token_ids.end(),
+                           expect.begin(), expect.end()));
     EXPECT_TRUE(std::is_sorted(f->structure_ids.begin(),
                                f->structure_ids.end()));
   }
+}
+
+// The SoA contract: every span of every query slices the cache's single
+// flat arena, and the per-query stripes are packed in log order — the
+// layout the blocked builder's tiles rely on for locality.
+TEST(FeatureCacheTest, SpansSliceOneArenaInLogOrder) {
+  workload::Scenario s = testutil::Shop(11, 9);
+  auto cache = FeatureCache::Compute(s.log).value();
+  const std::vector<uint32_t>& arena = cache.arena();
+  const uint32_t* base = arena.data();
+  const uint32_t* cursor = base;
+  for (const sql::SelectQuery& q : s.log) {
+    const QueryFeatures* f = cache.Find(q);
+    ASSERT_NE(f, nullptr);
+    // Per-query stripe: [token_seq][token_ids][structure_ids], contiguous.
+    EXPECT_EQ(f->token_seq.data(), cursor);
+    EXPECT_EQ(f->token_ids.data(), f->token_seq.data() + f->token_seq.size());
+    EXPECT_EQ(f->structure_ids.data(),
+              f->token_ids.data() + f->token_ids.size());
+    cursor = f->structure_ids.data() + f->structure_ids.size();
+    EXPECT_GE(f->token_seq.data(), base);
+    EXPECT_LE(cursor, base + arena.size());
+  }
+  EXPECT_EQ(cursor, base + arena.size());
 }
 
 TEST(FeatureCacheTest, FindIsIdentityBasedSoCopiesFallBack) {

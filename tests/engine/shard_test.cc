@@ -75,6 +75,43 @@ TEST_F(ShardTest, TileScheduleCoversUpperTriangleExactlyOnce) {
   }
 }
 
+TEST_F(ShardTest, RangeWalkerAndCellCountMatchTheMaterializedSchedule) {
+  // ForEachTileInRange and RangeCellCount (the sparse-shard codec's
+  // allocation-free walkers) must agree with the materialized TileSchedule
+  // on every subrange, including out-of-schedule tails (clamped).
+  for (size_t n : {0u, 1u, 5u, 16u, 33u}) {
+    for (size_t block : {1u, 4u, 50u}) {
+      const auto tiles = TileSchedule(n, block);
+      for (size_t begin = 0; begin <= tiles.size(); ++begin) {
+        for (size_t end : {begin, (begin + tiles.size() + 1) / 2,
+                           tiles.size(), tiles.size() + 7}) {
+          if (end < begin) continue;
+          std::vector<std::pair<size_t, size_t>> walked;
+          common::ForEachTileInRange(
+              n, block, begin, end,
+              [&](size_t bi, size_t bj) { walked.emplace_back(bi, bj); });
+          const size_t clamped = std::min(end, tiles.size());
+          ASSERT_EQ(walked.size(), clamped - begin)
+              << "n=" << n << " block=" << block << " [" << begin << ", "
+              << end << ")";
+          size_t cells = 0;
+          for (size_t t = begin; t < clamped; ++t) {
+            EXPECT_EQ(walked[t - begin], tiles[t]);
+            cells += TileCellCount(n, block, tiles[t].first, tiles[t].second);
+          }
+          auto counted = common::RangeCellCount(n, block, begin, end);
+          ASSERT_TRUE(counted.ok());
+          EXPECT_EQ(*counted, cells)
+              << "n=" << n << " block=" << block << " [" << begin << ", "
+              << end << ")";
+        }
+      }
+    }
+  }
+  EXPECT_EQ(common::RangeCellCount(5, 0, 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST_F(ShardTest, PlanShardsValidatesArguments) {
   EXPECT_EQ(PlanShards(10, 0, 2).status().code(),
             StatusCode::kInvalidArgument);
@@ -181,6 +218,94 @@ TEST_F(ShardTest, ShardedBuildIsBitIdenticalForAllMeasures) {
   }
 }
 
+TEST_F(ShardTest, LegacyDenseShardSetMergesBitIdentically) {
+  // Shards written by a pre-sparse build — version-1 "DPEH" frames carrying
+  // the full zero-padded upper triangle — must keep merging, including a
+  // mixed directory where only some shards were rewritten sparsely.
+  workload::Scenario s = Shop(67, 17);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  constexpr size_t kShards = 3;
+  auto plan = PlanShards(s.log.size(), 4, kShards);
+  ASSERT_TRUE(plan.ok());
+
+  MatrixBuilder builder(nullptr, MatrixBuilderOptions{4});
+  auto reference = builder.Build(s.log, token, context);
+  ASSERT_TRUE(reference.ok());
+
+  for (size_t dense_upto : {kShards, size_t{1}}) {  // all-dense, then mixed
+    fs::remove_all(dir_);
+    for (size_t shard = 0; shard < kShards; ++shard) {
+      auto store = store::MatrixStore::Open(dir_);
+      ASSERT_TRUE(store.ok());
+      const TileRange& range = plan->ranges[shard];
+      auto partial =
+          builder.BuildTiles(s.log, token, context, range.begin, range.end);
+      ASSERT_TRUE(partial.ok()) << partial.status();
+      store::ShardManifest manifest;
+      manifest.matrix = "token";
+      manifest.shard_index = static_cast<uint32_t>(shard);
+      manifest.shard_count = kShards;
+      manifest.n = plan->n;
+      manifest.block = plan->block;
+      manifest.tile_begin = range.begin;
+      manifest.tile_end = range.end;
+      if (shard < dense_upto) {
+        // The exact legacy byte layout: manifest + dense matrix, version 1.
+        store::Writer w;
+        store::EncodeShardManifest(manifest, &w);
+        store::EncodeMatrix(*partial, &w);
+        const std::string path =
+            (fs::path(dir_) / ("shard-token-" + std::to_string(shard) + "of" +
+                               std::to_string(kShards) + ".dpe"))
+                .string();
+        ASSERT_TRUE(store::WriteFramedFile(path, store::kShardMagic,
+                                           w.buffer(), /*version=*/1)
+                        .ok());
+      } else {
+        ASSERT_TRUE(store->WriteShard(manifest, *partial).ok());
+      }
+    }
+    auto store = store::MatrixStore::OpenExisting(dir_);
+    ASSERT_TRUE(store.ok());
+    auto merged = ShardCoordinator().Merge(*store, "token", kShards);
+    ASSERT_TRUE(merged.ok()) << merged.status();
+    ExpectBitIdentical(*reference, *merged);
+  }
+}
+
+TEST_F(ShardTest, SparseShardFilesAreSmallerThanDense) {
+  // The satellite claim: a k-shard build's files carry the owned cells, not
+  // k copies of the zero-padded upper triangle, so the per-shard file is
+  // roughly dense/k instead of dense-sized.
+  workload::Scenario s = Shop(71, 24);
+  distance::MeasureContext context = s.Context();
+  distance::TokenDistance token;
+  constexpr size_t kShards = 4;
+  auto plan = PlanShards(s.log.size(), 4, kShards);
+  ASSERT_TRUE(plan.ok());
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    auto store = store::MatrixStore::Open(dir_);
+    ASSERT_TRUE(store.ok());
+    ShardWorker worker(nullptr);
+    auto manifest =
+        worker.Run("token", s.log, token, context, *plan, shard, *store);
+    ASSERT_TRUE(manifest.ok()) << manifest.status();
+  }
+  const uintmax_t dense_payload = 24 * 23 / 2 * 8;  // what v1 carried
+  uintmax_t total = 0;
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    const auto path = fs::path(dir_) / ("shard-token-" +
+                                        std::to_string(shard) + "of" +
+                                        std::to_string(kShards) + ".dpe");
+    const uintmax_t size = fs::file_size(path);
+    EXPECT_LT(size, dense_payload / 2) << "shard " << shard;
+    total += size;
+  }
+  // All k files together stay in the ballpark of ONE dense payload.
+  EXPECT_LT(total, 2 * dense_payload);
+}
+
 TEST_F(ShardTest, TinyLogsShardAndMerge) {
   // n = 0 and n = 1 have no pairs; the round-trip must still work (and the
   // n = 1 schedule still has one, empty, tile).
@@ -274,7 +399,10 @@ class ShardCorruptionTest : public ShardTest {
     return ShardCoordinator().Merge(*store, "token", kShards);
   }
 
-  /// Rewrites shard `index` with a doctored manifest (same partial data).
+  /// Rewrites shard `index` with a doctored manifest; the cell payload is
+  /// regenerated (zeros) to the count the doctored manifest implies, so the
+  /// file itself is well-formed and only the coordinator's cross-manifest
+  /// validation can catch it.
   void RewriteShard(uint32_t index, uint64_t tile_begin, uint64_t tile_end,
                     uint64_t n = 0) {
     auto store = store::MatrixStore::Open(dir_);
@@ -283,11 +411,11 @@ class ShardCorruptionTest : public ShardTest {
     ASSERT_TRUE(shard.ok()) << shard.status();
     shard->manifest.tile_begin = tile_begin;
     shard->manifest.tile_end = tile_end;
-    if (n != 0) {
-      shard->manifest.n = n;
-      shard->partial = distance::DistanceMatrix(n);
-    }
-    ASSERT_TRUE(store->WriteShard(shard->manifest, shard->partial).ok());
+    if (n != 0) shard->manifest.n = n;
+    auto count = store::ShardCellCount(shard->manifest);
+    ASSERT_TRUE(count.ok()) << count.status();
+    std::vector<double> cells(*count, 0.0);
+    ASSERT_TRUE(store->WriteShardCells(shard->manifest, cells).ok());
   }
 
   static constexpr size_t kShards = 3;
@@ -357,6 +485,14 @@ TEST_F(ShardCorruptionTest, ConsistentButForeignShardSetIsRejectedByEngine) {
   auto merged = engine.MergeShards("token", kShards, dir_);
   ASSERT_FALSE(merged.ok());
   EXPECT_EQ(merged.status().code(), StatusCode::kInvalidArgument);
+
+  // The empty log (n = 0, which Merge's expected_n treats as "don't
+  // check") must be rejected too, not silently merged and cached.
+  Engine empty_engine(s_->Context());
+  auto empty_merge = empty_engine.MergeShards("token", kShards, dir_);
+  ASSERT_FALSE(empty_merge.ok());
+  EXPECT_EQ(empty_merge.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(empty_engine.cache_size(), 0u);
 }
 
 TEST_F(ShardCorruptionTest, ByteFlippedShardFileIsParseError) {

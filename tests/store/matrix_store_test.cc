@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "common/tiles.h"
 
 namespace dpe::store {
 namespace {
@@ -306,6 +307,21 @@ ShardManifest MakeManifest(uint32_t index, uint32_t count, uint64_t n) {
   return m;
 }
 
+/// The owned cells of `partial` under `manifest`, in tile-schedule order —
+/// the reference extraction ReadShard's payload must match.
+std::vector<double> OwnedCells(const ShardManifest& manifest,
+                               const distance::DistanceMatrix& partial) {
+  std::vector<double> cells;
+  const auto tiles = common::TileSchedule(manifest.n, manifest.block);
+  const uint64_t end = std::min<uint64_t>(manifest.tile_end, tiles.size());
+  for (uint64_t t = manifest.tile_begin; t < end; ++t) {
+    common::ForEachTileCell(
+        manifest.n, manifest.block, tiles[t].first, tiles[t].second,
+        [&](size_t i, size_t j) { cells.push_back(partial.at(i, j)); });
+  }
+  return cells;
+}
+
 TEST_F(MatrixStoreTest, ShardRoundTrip) {
   auto store = MatrixStore::Open(dir_);
   ASSERT_TRUE(store.ok());
@@ -322,10 +338,11 @@ TEST_F(MatrixStoreTest, ShardRoundTrip) {
   auto read = store->ReadShard("token", 1, 3);
   ASSERT_TRUE(read.ok()) << read.status();
   EXPECT_EQ(read->manifest, manifest);
-  auto diff = distance::DistanceMatrix::MaxAbsDifference(partial,
-                                                         read->partial);
-  ASSERT_TRUE(diff.ok());
-  EXPECT_EQ(*diff, 0.0);
+  // Sparse payload: exactly the owned cells, in schedule order.
+  EXPECT_EQ(read->cells, OwnedCells(manifest, partial));
+  auto expected_count = ShardCellCount(manifest);
+  ASSERT_TRUE(expected_count.ok());
+  EXPECT_EQ(read->cells.size(), *expected_count);
 
   // Other coordinates are distinct files.
   EXPECT_EQ(store->ReadShard("token", 0, 3).status().code(),
@@ -334,6 +351,97 @@ TEST_F(MatrixStoreTest, ShardRoundTrip) {
             StatusCode::kNotFound);
   EXPECT_EQ(store->ReadShard("structure", 1, 3).status().code(),
             StatusCode::kNotFound);
+}
+
+TEST_F(MatrixStoreTest, SparseShardFilesOmitUnownedCells) {
+  // A shard owning one tile of a 32-query matrix must not pay for the full
+  // n(n-1)/2 upper triangle the dense v1 format carried.
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  distance::DistanceMatrix partial(32);
+  ShardManifest manifest = MakeManifest(0, 4, 32);  // tiles [0, 1), block 4
+  ASSERT_TRUE(store->WriteShard(manifest, partial).ok());
+  const auto size = fs::file_size(fs::path(dir_) / "shard-token-0of4.dpe");
+  const uintmax_t dense_payload = 32 * 31 / 2 * 8;
+  EXPECT_LT(size, dense_payload / 4);
+  // And the owned-cell count is the deterministic manifest-derived one:
+  // tile (0,0) of block 4 holds 4*3/2 = 6 cells.
+  auto count = ShardCellCount(manifest);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 6u);
+}
+
+TEST_F(MatrixStoreTest, LegacyDenseV1ShardFrameStillReads) {
+  // Fabricate the exact bytes a pre-sparse build wrote: a version-1 "DPEH"
+  // frame holding manifest + dense upper triangle. ReadShard must decode it
+  // and surface the same owned cells a sparse write would.
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  Rng rng(23);
+  distance::DistanceMatrix partial(9);
+  for (size_t i = 0; i < 9; ++i) {
+    for (size_t j = i + 1; j < 9; ++j) partial.set(i, j, rng.NextDouble());
+  }
+  const ShardManifest manifest = MakeManifest(1, 3, 9);
+  Writer w;
+  EncodeShardManifest(manifest, &w);
+  EncodeMatrix(partial, &w);
+  const std::string path = (fs::path(dir_) / "shard-token-1of3.dpe").string();
+  ASSERT_TRUE(
+      WriteFramedFile(path, kShardMagic, w.buffer(), /*version=*/1).ok());
+
+  auto read = store->ReadShard("token", 1, 3);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->manifest, manifest);
+  EXPECT_EQ(read->cells, OwnedCells(manifest, partial));
+}
+
+TEST_F(MatrixStoreTest, SparseShardCellCountMismatchIsParseError) {
+  // A CRC-valid sparse frame whose declared cell count disagrees with what
+  // the manifest's tile range owns must be rejected before any cell lands.
+  auto store = MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  const ShardManifest manifest = MakeManifest(0, 1, 9);  // owns 6 cells
+  Writer w;
+  EncodeShardManifest(manifest, &w);
+  w.PutU64(3);  // lies about the count
+  for (int k = 0; k < 3; ++k) w.PutDouble(0.5);
+  const std::string path = (fs::path(dir_) / "shard-token-0of1.dpe").string();
+  ASSERT_TRUE(WriteFramedFile(path, kShardMagic, w.buffer(),
+                              kShardFormatVersion)
+                  .ok());
+  auto read = store->ReadShard("token", 0, 1);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(MatrixStoreTest, FsyncPolicyRoundTripsUnderEveryPolicy) {
+  // The knob trades durability for latency; the bytes written must be
+  // identical either way, so every policy round-trips every artifact.
+  for (FsyncPolicy policy : {FsyncPolicy::kNever, FsyncPolicy::kOnCheckpoint,
+                             FsyncPolicy::kAlways}) {
+    const std::string dir =
+        dir_ + "-fsync-" + std::to_string(static_cast<int>(policy));
+    auto store = MatrixStore::Open(dir);
+    ASSERT_TRUE(store.ok());
+    store->set_fsync_policy(policy);
+    EXPECT_EQ(store->fsync_policy(), policy);
+
+    Snapshot snapshot;
+    snapshot.queries = {"SELECT a FROM t;"};
+    snapshot.entries = {{"token", 0, 1, 0.25}};
+    ASSERT_TRUE(store->WriteSnapshot(snapshot).ok());
+    ASSERT_TRUE(store->AppendQuery(1, "SELECT b FROM t;").ok());
+    ASSERT_TRUE(store->AppendRow("token", 1, {{0, 0.5}}).ok());
+
+    auto back = store->ReadSnapshot();
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(back->queries, snapshot.queries);
+    auto journal = store->ReadJournal();
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    EXPECT_EQ(journal->size(), 2u);
+    fs::remove_all(dir);
+  }
 }
 
 TEST_F(MatrixStoreTest, WriteShardRejectsInconsistentManifests) {
