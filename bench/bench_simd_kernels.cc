@@ -27,6 +27,7 @@
 
 #include "bench/bench_util.h"
 #include "common/simd.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -297,6 +298,27 @@ int main(int argc, char** argv) {
 
   std::printf("bit-identity verified for every backend before timing\n");
   report.Add("backends", static_cast<double>(RunnableBackends().size()));
+
+  // One small end-to-end matrix build through the resolved-best backend, so
+  // the artifact carries the engine's own StatsReport (distance-call
+  // counters, stage timings, api latency histograms) next to the kernel
+  // numbers — the observability layer's view of the same dispatch.
+  {
+    const size_t log_size = smoke ? 32 : 96;
+    dpe::workload::Scenario s = dpe::bench::MakeShop(7, 40, log_size);
+    dpe::obs::MetricsRegistry registry;
+    dpe::engine::Engine engine(s.Context(),
+                               {.threads = 2, .metrics = &registry});
+    engine.SetLog(s.log);
+    dpe::engine::BuildReport build;
+    DPE_BENCH_CHECK(engine.BuildMatrix("token", &build));
+    report.Add("engine_build_ms", build.wall_ms,
+               {{"measure", "token"},
+                {"n", std::to_string(log_size)},
+                {"backend", build.backend}});
+    report.SetEngineStats(engine.Stats().ToJson());
+  }
+
   if (!report.Write()) return 1;
   return 0;
 }

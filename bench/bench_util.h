@@ -122,6 +122,12 @@ class JsonReport {
     samples_.push_back(std::move(s));
   }
 
+  /// Embeds an engine StatsReport (obs::StatsReport::ToJson(), or any JSON
+  /// value) verbatim as the report's "engine_stats" field, so each bench
+  /// artifact carries the engine's own counters and stage timings alongside
+  /// the bench's measurements. Raw — not escaped; pass real JSON.
+  void SetEngineStats(std::string json) { engine_stats_json_ = std::move(json); }
+
   /// Writes BENCH_<name>.json into BenchOutputDir(); returns false (with a
   /// stderr note) on I/O failure so benches can keep their human-readable
   /// output regardless.
@@ -149,7 +155,11 @@ class JsonReport {
       }
       std::fprintf(f, "}");
     }
-    std::fprintf(f, "\n  ]\n}\n");
+    std::fprintf(f, "\n  ]");
+    if (!engine_stats_json_.empty()) {
+      std::fprintf(f, ",\n  \"engine_stats\": %s", engine_stats_json_.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("(json: %s)\n", path.c_str());
     return true;
@@ -174,6 +184,7 @@ class JsonReport {
 
   std::string name_;
   std::vector<Sample> samples_;
+  std::string engine_stats_json_;  ///< raw JSON; empty = field omitted
 };
 
 #define DPE_BENCH_CHECK(expr)                                              \

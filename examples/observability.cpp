@@ -1,0 +1,162 @@
+// Observability walkthrough: build a 256-query distance matrix with tracing
+// on, then export everything the engine measured about itself —
+//
+//   metrics.prom               Prometheus exposition text (counters, gauges,
+//                              latency histograms with p50/p95/p99)
+//   trace.json                 Chrome trace-event JSON; open in
+//                              chrome://tracing or https://ui.perfetto.dev
+//   observability_report.json  the full StatsReport (metrics + stage
+//                              timings + info labels) as JSON
+//
+//   $ ./build/examples/observability [output-dir]
+//
+// The example doubles as an end-to-end check of the observability layer's
+// accounting and exits non-zero when any of these fail:
+//   1. the distance.calls{measure=token} counter equals the upper-triangle
+//      cell count n*(n-1)/2 exactly (every pair counted once, none twice);
+//   2. the build's stage timings sum to within 10% of its wall time (the
+//      stages cover the build, not a sample of it);
+//   3. the trace export is non-empty and structurally a Chrome trace.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "workload/scenarios.h"
+
+using namespace dpe;
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "observability_out";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s\n", out_dir.c_str());
+    return 1;
+  }
+
+  constexpr size_t kQueries = 256;
+  workload::ScenarioOptions scenario_options;
+  scenario_options.seed = 97;
+  scenario_options.rows_per_relation = 40;
+  scenario_options.log_size = kQueries;
+  auto scenario = workload::MakeShopScenario(scenario_options);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  engine::EngineOptions options{.threads = 2, .block = 32, .trace = true};
+  engine::Engine engine(scenario->Context(), options);
+  engine.SetLog(scenario->log);
+
+  engine::BuildReport report;
+  auto matrix = engine.BuildMatrix("token", &report);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "build: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("built %zu x %zu token matrix: %llu cells computed, "
+              "%llu cached, backend %s, %.1f ms\n",
+              report.n, report.n,
+              static_cast<unsigned long long>(report.cells_computed),
+              static_cast<unsigned long long>(report.cells_cached),
+              report.backend.c_str(), report.wall_ms);
+
+  // A mining pass on top of the warm cache, so the trace and the api
+  // latency histograms show more than one API.
+  auto clusters = engine.RunKMedoids("token", {.k = 4});
+  if (!clusters.ok()) {
+    std::fprintf(stderr, "kmedoids: %s\n",
+                 clusters.status().ToString().c_str());
+    return 1;
+  }
+
+  int failures = 0;
+
+  // -- Check 1: the per-measure distance-call counter is exact. -------------
+  const uint64_t want_cells = kQueries * (kQueries - 1) / 2;
+  const obs::MetricsSnapshot snapshot = engine.metrics().Snapshot();
+  const obs::MetricSample* calls =
+      snapshot.Find("distance.calls", {{"measure", "token"}});
+  const uint64_t got_calls = calls != nullptr ? calls->counter_value : 0;
+  if (got_calls != want_cells) {
+    std::fprintf(stderr,
+                 "FAIL: distance.calls{measure=token} = %llu, want %llu\n",
+                 static_cast<unsigned long long>(got_calls),
+                 static_cast<unsigned long long>(want_cells));
+    ++failures;
+  } else {
+    std::printf("distance.calls{measure=token} = %llu == n(n-1)/2  ok\n",
+                static_cast<unsigned long long>(got_calls));
+  }
+
+  // -- Check 2: stage timings account for the build's wall time. ------------
+  double stage_sum_ms = 0.0;
+  for (const obs::StageTiming& stage : report.stages) {
+    std::printf("  stage %-12s %8.2f ms\n", stage.name.c_str(), stage.ms);
+    stage_sum_ms += stage.ms;
+  }
+  const double drift = std::abs(report.wall_ms - stage_sum_ms);
+  if (report.wall_ms <= 0.0 || drift > 0.10 * report.wall_ms) {
+    std::fprintf(stderr,
+                 "FAIL: stages sum to %.2f ms but the build took %.2f ms "
+                 "(drift %.1f%%)\n",
+                 stage_sum_ms, report.wall_ms,
+                 report.wall_ms > 0.0 ? 100.0 * drift / report.wall_ms : 0.0);
+    ++failures;
+  } else {
+    std::printf("stage sum %.2f ms vs wall %.2f ms (drift %.1f%%)  ok\n",
+                stage_sum_ms, report.wall_ms,
+                100.0 * drift / report.wall_ms);
+  }
+
+  // -- Check 3: the trace exported something Chrome can load. ---------------
+  const std::string trace_json = engine.trace().ToChromeJson();
+  const size_t span_count = engine.trace().size();
+  if (span_count == 0 ||
+      trace_json.find("\"traceEvents\"") == std::string::npos ||
+      trace_json.find("\"ph\":\"X\"") == std::string::npos) {
+    std::fprintf(stderr, "FAIL: trace export is empty or malformed\n");
+    ++failures;
+  } else {
+    std::printf("trace captured %zu spans\n", span_count);
+  }
+
+  // -- Export everything. ---------------------------------------------------
+  const obs::StatsReport stats = engine.Stats();
+  const std::string prom_path = out_dir + "/metrics.prom";
+  const std::string trace_path = out_dir + "/trace.json";
+  const std::string json_path = out_dir + "/observability_report.json";
+  if (!WriteFile(prom_path, stats.ToPrometheusText())) return 1;
+  if (!WriteFile(trace_path, trace_json)) return 1;
+  if (!WriteFile(json_path, stats.ToJson())) return 1;
+  std::printf("wrote %s, %s, %s\n", prom_path.c_str(), trace_path.c_str(),
+              json_path.c_str());
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d observability check(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all observability checks passed\n");
+  return 0;
+}

@@ -37,6 +37,21 @@ echo "== example smoke: sharded build round-trip =="
 # non-zero unless the merge is bit-identical to the direct build.
 (cd build && ./examples/sharded_build > /dev/null)
 
+echo "== traced rerun: DPE_TRACE=1 must not change any result =="
+# Span capture is the only thing DPE_TRACE toggles; every bit-identity and
+# golden-value assertion in the engine/store suites must hold with it on.
+DPE_TRACE=1 ctest --test-dir build --output-on-failure \
+      -R '^(engine|store|integration)$'
+
+echo "== example smoke: observability export =="
+# Builds a 256-query matrix with tracing on; exits non-zero unless the
+# distance-call counters equal the upper-triangle cell count, the stage
+# timings sum to within 10% of the build's wall time, and the Chrome trace
+# export is well-formed. Artifacts land in observability_out/ for CI.
+(cd build && ./examples/observability ../observability_out)
+ls -l observability_out/metrics.prom observability_out/trace.json \
+      observability_out/observability_report.json
+
 echo "== sanitizers: asan+ubsan on engine/distance/store tests =="
 cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
       -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 #if !defined(DPE_DISABLE_SIMD) && (defined(__x86_64__) || defined(__i386__)) && \
     (defined(__GNUC__) || defined(__clang__))
@@ -460,20 +464,7 @@ KernelBackend ResolveAuto() {
   const KernelBackend detected = DetectBackendUncached();
   const char* env = std::getenv("DPE_KERNEL_BACKEND");
   if (env == nullptr || *env == '\0') return detected;
-  const Result<KernelBackend> parsed = ParseBackend(env);
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "simd: ignoring DPE_KERNEL_BACKEND=%s (%s)\n", env,
-                 parsed.status().message().c_str());
-    return detected;
-  }
-  if (*parsed == KernelBackend::kAuto) return detected;
-  if (*parsed > detected) {
-    std::fprintf(stderr,
-                 "simd: DPE_KERNEL_BACKEND=%s not runnable here; using %s\n",
-                 env, BackendName(detected));
-    return detected;
-  }
-  return *parsed;
+  return ApplyEnvBackendOverride(env, detected);
 }
 
 }  // namespace
@@ -500,6 +491,34 @@ Result<KernelBackend> ParseBackend(std::string_view name) {
   return Status::InvalidArgument(
       "unknown kernel backend '" + std::string(name) +
       "' (expected auto, scalar, sse4.2 or avx2)");
+}
+
+KernelBackend ApplyEnvBackendOverride(std::string_view value,
+                                      KernelBackend detected) {
+  // One process-lifetime counter; resolved lazily so the first fallback
+  // registers it and later ones reuse the same instrument.
+  obs::Counter& fallbacks =
+      obs::MetricsRegistry::Default().counter("kernel.backend_fallback");
+  const Result<KernelBackend> parsed = ParseBackend(value);
+  if (!parsed.ok()) {
+    fallbacks.Increment();
+    obs::Log(obs::LogLevel::kWarn, "kernel",
+             "ignoring unparseable DPE_KERNEL_BACKEND",
+             {{"requested", std::string(value)},
+              {"resolved", BackendName(detected)},
+              {"error", parsed.status().message()}});
+    return detected;
+  }
+  if (*parsed == KernelBackend::kAuto) return detected;
+  if (*parsed > detected) {
+    fallbacks.Increment();
+    obs::Log(obs::LogLevel::kWarn, "kernel",
+             "DPE_KERNEL_BACKEND not runnable here; falling back",
+             {{"requested", std::string(value)},
+              {"resolved", BackendName(detected)}});
+    return detected;
+  }
+  return *parsed;
 }
 
 KernelBackend DetectBackend() {

@@ -107,6 +107,16 @@ bool BackendIsRunnable(KernelBackend backend);
 /// so a forced backend fails loudly instead of silently degrading.
 Status ValidateBackend(KernelBackend backend);
 
+/// Resolves a DPE_KERNEL_BACKEND env value against the detected-best
+/// backend: the parsed backend when it is runnable, `detected` otherwise.
+/// Every fallback (unparseable value, or a backend above `detected`)
+/// increments the `kernel.backend_fallback` counter in the default metrics
+/// registry and emits a structured warning through the obs log sink.
+/// Factored out of the kAuto resolution path (which caches its answer in a
+/// static) so tests can force the fallback repeatably.
+KernelBackend ApplyEnvBackendOverride(std::string_view value,
+                                      KernelBackend detected);
+
 /// Kernel table for `backend`. kAuto resolves DPE_KERNEL_BACKEND, then
 /// DetectBackend(), and caches the answer. A non-runnable explicit backend
 /// degrades to the best runnable backend below it (results are identical

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dpe::common {
 
@@ -28,8 +29,23 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
     ++pending_;
+    peak_queue_depth_ = std::max<uint64_t>(peak_queue_depth_, queue_.size());
   }
   wake_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  stats.busy_ns = busy_ns_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.peak_queue_depth = peak_queue_depth_;
+  return stats;
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::Wait() {
@@ -47,7 +63,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto task_start = std::chrono::steady_clock::now();
     task();
+    busy_ns_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - task_start)
+            .count(),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) idle_.notify_all();

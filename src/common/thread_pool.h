@@ -12,8 +12,10 @@
 #ifndef DPE_COMMON_THREAD_POOL_H_
 #define DPE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -42,6 +44,19 @@ class ThreadPool {
   /// Blocks until every task submitted so far has finished.
   void Wait();
 
+  /// Lifetime totals for observability. `busy_ns` is the summed wall time
+  /// workers spent inside task bodies (not waiting); idle time is the
+  /// pool's wall-clock age times thread_count() minus this.
+  struct Stats {
+    uint64_t tasks_executed = 0;
+    uint64_t peak_queue_depth = 0;  ///< max queued-not-yet-running tasks
+    uint64_t busy_ns = 0;
+  };
+  Stats GetStats() const;
+
+  /// Tasks queued but not yet picked up by a worker, right now.
+  size_t queue_depth() const;
+
  private:
   void WorkerLoop();
 
@@ -51,6 +66,9 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t pending_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;
+  uint64_t peak_queue_depth_ = 0;            ///< guarded by mu_
+  std::atomic<uint64_t> tasks_executed_{0};  ///< outside mu_: hot-path adds
+  std::atomic<uint64_t> busy_ns_{0};
   std::vector<std::thread> workers_;
 };
 

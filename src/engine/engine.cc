@@ -1,6 +1,9 @@
 #include "engine/engine.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
+#include <string_view>
 #include <utility>
 
 #include "sql/parser.h"
@@ -11,8 +14,10 @@ namespace dpe::engine {
 Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
     : options_(options),
       context_(context),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Default()),
       pool_(options.threads),
-      builder_(&pool_, MatrixBuilderOptions{options.block}),
+      builder_(&pool_, MatrixBuilderOptions{options.block, metrics_, &trace_}),
       cache_(DistanceCache::Options{options.cache_max_bytes}) {
   // The engine's backend choice rides in the context every build receives;
   // builders validate it (loudly) before computing anything. An explicit
@@ -21,6 +26,12 @@ Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
   if (options.kernel_backend != common::simd::KernelBackend::kAuto) {
     context_.kernel_backend = options.kernel_backend;
   }
+  bool trace_on = options.trace;
+  if (const char* env = std::getenv("DPE_TRACE");
+      env != nullptr && *env != '\0' && std::string_view(env) != "0") {
+    trace_on = true;
+  }
+  trace_.set_enabled(trace_on);
 }
 
 Engine::~Engine() {
@@ -66,10 +77,10 @@ Result<const distance::QueryDistanceMeasure*> Engine::MeasureFor(
 }
 
 Result<distance::DistanceMatrix> Engine::BuildMatrix(
-    const std::string& measure_name) {
+    const std::string& measure_name, BuildReport* report) {
   DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
                        MeasureFor(measure_name));
-  return BuildMatrixOn(builder_, queries_, *measure, measure_name);
+  return BuildMatrixOn(builder_, queries_, *measure, measure_name, report);
 }
 
 std::future<Result<distance::DistanceMatrix>> Engine::BuildMatrixAsync(
@@ -94,8 +105,11 @@ std::future<Result<distance::DistanceMatrix>> Engine::BuildMatrixAsync(
                 owned = std::shared_ptr(std::move(*measure)),
                 queries = queries_] {
     // Serial builder: a nested ParallelFor on the engine's own pool from
-    // inside a pool task could starve the outer task.
-    MatrixBuilder serial(nullptr, MatrixBuilderOptions{options_.block});
+    // inside a pool task could starve the outer task. Same instrumentation
+    // as the sync path — async builds show up in the same trace/registry.
+    MatrixBuilder serial(nullptr,
+                         MatrixBuilderOptions{options_.block, metrics_,
+                                              &trace_});
     promise->set_value(BuildMatrixOn(serial, queries, *owned, measure_name));
   });
   return future;
@@ -104,16 +118,57 @@ std::future<Result<distance::DistanceMatrix>> Engine::BuildMatrixAsync(
 Result<distance::DistanceMatrix> Engine::BuildMatrixOn(
     const MatrixBuilder& builder, const std::vector<sql::SelectQuery>& queries,
     const distance::QueryDistanceMeasure& measure,
-    const std::string& measure_name) {
+    const std::string& measure_name, BuildReport* report) {
+  BuildReport local;
+  local.measure = measure_name;
+  local.n = queries.size();
+  local.cells_total =
+      local.n < 2 ? 0 : static_cast<uint64_t>(local.n) * (local.n - 1) / 2;
+
+  obs::TraceSpan api_span(
+      "engine.build_matrix", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "build_matrix"}}));
+  Result<distance::DistanceMatrix> result =
+      BuildMatrixStaged(builder, queries, measure, measure_name, local);
+  api_span.End();
+
+  local.wall_ms = api_span.elapsed_ms();
+  local.backend = common::simd::BackendName(
+      common::simd::KernelsFor(context_.kernel_backend).backend);
+  local.cache = cache_.stats();
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_build_ = local;
+  }
+  if (report != nullptr) *report = std::move(local);
+  return result;
+}
+
+Result<distance::DistanceMatrix> Engine::BuildMatrixStaged(
+    const MatrixBuilder& builder, const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const std::string& measure_name, BuildReport& report) {
   const size_t n = queries.size();
+  auto stage_hist = [&](const char* stage) -> obs::Histogram& {
+    return metrics_->histogram("build.stage_ms", {{"stage", stage}});
+  };
 
   if (!options_.enable_cache) {
-    return builder.Build(queries, measure, context_);
+    obs::TraceSpan compute_span("build.compute", &trace_,
+                                &stage_hist("compute"));
+    Result<distance::DistanceMatrix> m =
+        builder.Build(queries, measure, context_);
+    compute_span.End();
+    report.stages.push_back({"compute", compute_span.elapsed_ms()});
+    if (m.ok()) report.cells_computed = report.cells_total;
+    return m;
   }
 
   // Split the upper triangle into cached and missing pairs. The view
   // resolves the measure's entry map once for the whole scan.
   distance::DistanceMatrix m(n);
+  obs::TraceSpan scan_span("build.cache_scan", &trace_,
+                           &stage_hist("cache_scan"));
   DistanceCache::MeasureView view = cache_.ViewFor(measure_name);
   std::vector<std::pair<size_t, size_t>> missing;
   for (size_t i = 0; i < n; ++i) {
@@ -126,29 +181,61 @@ Result<distance::DistanceMatrix> Engine::BuildMatrixOn(
       }
     }
   }
+  scan_span.End();
+  report.stages.push_back({"cache_scan", scan_span.elapsed_ms()});
+  report.cells_computed = missing.size();
+  report.cells_cached = report.cells_total - missing.size();
 
   if (missing.size() == n * (n - 1) / 2) {
     // Cold cache: use the blocked full build, then memoize everything.
+    obs::TraceSpan compute_span("build.compute", &trace_,
+                                &stage_hist("compute"));
     DPE_ASSIGN_OR_RETURN(m, builder.Build(queries, measure, context_));
+    compute_span.End();
+    report.stages.push_back({"compute", compute_span.elapsed_ms()});
+
+    obs::TraceSpan insert_span("build.cache_insert", &trace_,
+                               &stage_hist("cache_insert"));
     for (const auto& [i, j] : missing) {
       cache_.Insert(measure_name, static_cast<uint32_t>(i),
                     static_cast<uint32_t>(j), m.at(i, j));
     }
+    insert_span.End();
+    report.stages.push_back({"cache_insert", insert_span.elapsed_ms()});
+
+    obs::TraceSpan journal_span("build.journal", &trace_,
+                                &stage_hist("journal"));
     DPE_RETURN_NOT_OK(JournalComputedPairs(measure_name, missing, m));
+    journal_span.End();
+    report.stages.push_back({"journal", journal_span.elapsed_ms()});
     return m;
   }
 
   if (!missing.empty()) {
+    obs::TraceSpan compute_span("build.compute", &trace_,
+                                &stage_hist("compute"));
     DPE_ASSIGN_OR_RETURN(
         std::vector<double> distances,
         builder.ComputePairs(queries, missing, measure, context_));
+    compute_span.End();
+    report.stages.push_back({"compute", compute_span.elapsed_ms()});
+
+    obs::TraceSpan insert_span("build.cache_insert", &trace_,
+                               &stage_hist("cache_insert"));
     for (size_t p = 0; p < missing.size(); ++p) {
       const auto [i, j] = missing[p];
       m.set(i, j, distances[p]);
       cache_.Insert(measure_name, static_cast<uint32_t>(i),
                     static_cast<uint32_t>(j), distances[p]);
     }
+    insert_span.End();
+    report.stages.push_back({"cache_insert", insert_span.elapsed_ms()});
+
+    obs::TraceSpan journal_span("build.journal", &trace_,
+                                &stage_hist("journal"));
     DPE_RETURN_NOT_OK(JournalComputedPairs(measure_name, missing, m));
+    journal_span.End();
+    report.stages.push_back({"journal", journal_span.elapsed_ms()});
   }
   return m;
 }
@@ -190,7 +277,13 @@ Status Engine::JournalComputedPairs(
   return Status::OK();
 }
 
-Status Engine::SaveCheckpoint(const std::string& dir) {
+Status Engine::SaveCheckpoint(const std::string& dir,
+                              CheckpointSaveReport* report) {
+  CheckpointSaveReport local;
+  obs::TraceSpan api_span(
+      "engine.save_checkpoint", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "save_checkpoint"}}));
+
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened, store::MatrixStore::Open(dir));
   opened.set_fsync_policy(options_.fsync_policy);
   // store_mu_ is held across export + write + truncate + attach so journal
@@ -199,16 +292,35 @@ Status Engine::SaveCheckpoint(const std::string& dir) {
   // the Export() below miss this snapshot and are skipped by the watermark;
   // they are recomputed after a restore — consistency is never at risk.
   std::lock_guard<std::mutex> lock(store_mu_);
+  obs::TraceSpan export_span("checkpoint.export", &trace_);
   store::Snapshot snapshot;
   snapshot.queries.reserve(queries_.size());
   for (const sql::SelectQuery& q : queries_) {
     snapshot.queries.push_back(sql::ToSql(q));
   }
   snapshot.entries = cache_.Export();
+  export_span.End();
+  local.stages.push_back({"export", export_span.elapsed_ms()});
+  local.queries = snapshot.queries.size();
+  local.cache_entries = snapshot.entries.size();
+
+  obs::TraceSpan write_span("checkpoint.write", &trace_);
   DPE_RETURN_NOT_OK(opened.WriteSnapshot(snapshot));
+  write_span.End();
+  local.stages.push_back({"write", write_span.elapsed_ms()});
+
+  obs::TraceSpan truncate_span("checkpoint.truncate", &trace_);
   DPE_RETURN_NOT_OK(opened.TruncateJournal());
+  truncate_span.End();
+  local.stages.push_back({"truncate", truncate_span.elapsed_ms()});
+
   store_ = std::make_unique<store::MatrixStore>(std::move(opened));
   RebuildWatermarksLocked(snapshot.entries);
+
+  api_span.End();
+  local.wall_ms = api_span.elapsed_ms();
+  metrics_->counter("checkpoint.saves").Increment();
+  if (report != nullptr) *report = std::move(local);
   return Status::OK();
 }
 
@@ -228,6 +340,11 @@ void Engine::RebuildWatermarksLocked(
 Status Engine::LoadCheckpoint(const std::string& dir,
                               CheckpointLoadReport* report) {
   if (report != nullptr) *report = CheckpointLoadReport{};
+  obs::TraceSpan api_span(
+      "engine.load_checkpoint", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "load_checkpoint"}}));
+
+  obs::TraceSpan read_span("checkpoint.read", &trace_);
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened,
                        store::MatrixStore::OpenExisting(dir));
   opened.set_fsync_policy(options_.fsync_policy);
@@ -249,6 +366,11 @@ Status Engine::LoadCheckpoint(const std::string& dir,
   } else {
     DPE_ASSIGN_OR_RETURN(journal, opened.ReadJournal());
   }
+  read_span.End();
+  if (report != nullptr) {
+    report->stages.push_back({"read", read_span.elapsed_ms()});
+  }
+  obs::TraceSpan parse_span("checkpoint.parse", &trace_);
 
   // Parse everything up front so a corrupt checkpoint leaves the engine
   // untouched.
@@ -294,6 +416,12 @@ Status Engine::LoadCheckpoint(const std::string& dir,
     }
   }
 
+  parse_span.End();
+  if (report != nullptr) {
+    report->stages.push_back({"parse", parse_span.elapsed_ms()});
+  }
+
+  obs::TraceSpan restore_span("checkpoint.restore", &trace_);
   queries_ = std::move(log);
   for (sql::SelectQuery& q : appended) queries_.push_back(std::move(q));
   cache_.Clear();
@@ -313,6 +441,18 @@ Status Engine::LoadCheckpoint(const std::string& dir,
     size_t& watermark = journal_watermarks_[record.measure];
     watermark = std::max(watermark, record.row + 1ul);
   }
+  restore_span.End();
+
+  metrics_->counter("checkpoint.loads").Increment();
+  metrics_->counter("checkpoint.journal_records_replayed")
+      .Increment(journal.size());
+  api_span.End();
+  if (report != nullptr) {
+    report->stages.push_back({"restore", restore_span.elapsed_ms()});
+    report->queries_restored = queries_.size();
+    report->journal_records_replayed = journal.size();
+    report->wall_ms = api_span.elapsed_ms();
+  }
   return Status::OK();
 }
 
@@ -324,34 +464,51 @@ Status Engine::LoadCheckpoint(const std::string& dir,
 
 Result<mining::KMedoidsResult> Engine::RunKMedoids(
     const std::string& measure, const mining::KMedoidsOptions& options) {
+  obs::TraceSpan span(
+      "engine.kmedoids", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "kmedoids"}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   mining::KMedoidsOptions pooled = options;
   pooled.pool = &pool_;
+  pooled.metrics = metrics_;
   return mining::KMedoids(m, pooled);
 }
 
 Result<mining::DbscanResult> Engine::RunDbscan(
     const std::string& measure, const mining::DbscanOptions& options) {
+  obs::TraceSpan span(
+      "engine.dbscan", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "dbscan"}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   mining::DbscanOptions pooled = options;
   pooled.pool = &pool_;
+  pooled.metrics = metrics_;
   return mining::Dbscan(m, pooled);
 }
 
 Result<mining::Dendrogram> Engine::RunHierarchical(const std::string& measure) {
+  obs::TraceSpan span(
+      "engine.hierarchical", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "hierarchical"}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
-  return mining::CompleteLink(m, &pool_, context_.kernel_backend);
+  return mining::CompleteLink(m, &pool_, context_.kernel_backend, metrics_);
 }
 
 Result<OutlierKnnReport> Engine::RunOutlierKnn(
     const std::string& measure, const mining::OutlierOptions& options,
     size_t k) {
+  obs::TraceSpan span(
+      "engine.outlier_knn", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "outlier_knn"}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   OutlierKnnReport report;
   mining::OutlierOptions pooled = options;
   pooled.pool = &pool_;
+  pooled.metrics = metrics_;
   DPE_ASSIGN_OR_RETURN(report.outliers,
                        mining::DistanceBasedOutliers(m, pooled));
+  metrics_->counter("mining.knn.queries")
+      .Increment(report.outliers.outliers.size());
   // kNN scoring of each outlier is independent; one report slot per
   // outlier, filled in parallel, first failure in index order wins.
   const std::vector<size_t>& outliers = report.outliers.outliers;
@@ -381,7 +538,10 @@ Status Engine::RunShard(const std::string& measure_name, const ShardPlan& plan,
                        MeasureFor(measure_name));
   DPE_ASSIGN_OR_RETURN(store::MatrixStore store, store::MatrixStore::Open(dir));
   store.set_fsync_policy(options_.fsync_policy);
-  ShardWorker worker(&pool_);
+  obs::TraceSpan span(
+      "engine.run_shard", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "run_shard"}}));
+  ShardWorker worker(&pool_, metrics_, &trace_);
   return worker
       .Run(measure_name, queries_, *measure, context_, plan, shard_index,
            store)
@@ -396,7 +556,10 @@ Result<distance::DistanceMatrix> Engine::MergeShards(
   DPE_RETURN_NOT_OK(MeasureFor(measure_name).status());
   DPE_ASSIGN_OR_RETURN(store::MatrixStore store,
                        store::MatrixStore::OpenExisting(dir));
-  ShardCoordinator coordinator;
+  obs::TraceSpan span(
+      "engine.merge_shards", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "merge_shards"}}));
+  ShardCoordinator coordinator(metrics_, &trace_);
   // Passing the expected n rejects a foreign (or corrupt-manifest) shard
   // set before the merge allocates an n x n matrix for it. Merge treats
   // expected_n == 0 as "don't check", so the empty-log case needs the
@@ -423,6 +586,64 @@ Result<distance::DistanceMatrix> Engine::MergeShards(
     }
   }
   return merged;
+}
+
+// -- Observability -----------------------------------------------------------
+
+BuildReport Engine::last_build_report() const {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  return last_build_;
+}
+
+obs::StatsReport Engine::Stats() const {
+  // Gauges are sampled state, not event streams — refresh them from their
+  // sources right before the snapshot so the export is current.
+  const ThreadPool::Stats pool_stats = pool_.GetStats();
+  metrics_->gauge("threadpool.threads")
+      .Set(static_cast<double>(pool_.thread_count()));
+  metrics_->gauge("threadpool.tasks_executed")
+      .Set(static_cast<double>(pool_stats.tasks_executed));
+  metrics_->gauge("threadpool.peak_queue_depth")
+      .Set(static_cast<double>(pool_stats.peak_queue_depth));
+  metrics_->gauge("threadpool.busy_ms")
+      .Set(static_cast<double>(pool_stats.busy_ns) / 1e6);
+  metrics_->gauge("threadpool.queue_depth")
+      .Set(static_cast<double>(pool_.queue_depth()));
+  const DistanceCache::Stats cache_stats = cache_.stats();
+  metrics_->gauge("cache.hits").Set(static_cast<double>(cache_stats.hits));
+  metrics_->gauge("cache.misses").Set(static_cast<double>(cache_stats.misses));
+  metrics_->gauge("cache.evictions")
+      .Set(static_cast<double>(cache_stats.evictions));
+  metrics_->gauge("cache.entries").Set(static_cast<double>(cache_.size()));
+  metrics_->gauge("cache.bytes_used")
+      .Set(static_cast<double>(cache_.bytes_used()));
+
+  obs::StatsReport report;
+  report.metrics = metrics_->Snapshot();
+  BuildReport last;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last = last_build_;
+  }
+  report.stages = last.stages;
+
+  const uint64_t lookups = cache_stats.hits + cache_stats.misses;
+  char hit_rate[32];
+  std::snprintf(hit_rate, sizeof(hit_rate), "%.4f",
+                lookups == 0
+                    ? 0.0
+                    : static_cast<double>(cache_stats.hits) /
+                          static_cast<double>(lookups));
+  report.info = {
+      {"kernel_backend",
+       common::simd::BackendName(
+           common::simd::KernelsFor(context_.kernel_backend).backend)},
+      {"threads", std::to_string(pool_.thread_count())},
+      {"log_size", std::to_string(queries_.size())},
+      {"cache_hit_rate", hit_rate},
+      {"last_build_measure", last.measure},
+  };
+  return report;
 }
 
 }  // namespace dpe::engine

@@ -39,6 +39,9 @@
 #include "mining/kmedoids.h"
 #include "mining/knn.h"
 #include "mining/outlier.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "store/matrix_store.h"
 
 namespace dpe::engine {
@@ -71,6 +74,39 @@ struct EngineOptions {
   /// false fails the load with ParseError so operators who would rather
   /// inspect the file than lose a record can.
   bool tolerate_torn_journal = true;
+  /// Capture TraceSpan events into the engine's trace buffer (exportable
+  /// as chrome://tracing JSON via Engine::trace().ToChromeJson()). The
+  /// DPE_TRACE env var (set and != "0") also turns this on. Counters and
+  /// stage timings are recorded either way; tracing never changes results.
+  bool trace = false;
+  /// Registry for every counter/gauge/histogram this engine records. Null
+  /// (default) uses the process-wide obs::MetricsRegistry::Default(), so
+  /// the engine's numbers land next to the store/kernel layer's. Tests
+  /// inject a private registry for isolation.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// What one BuildMatrix call did and where its time went. `stages` covers
+/// the cache scan, the distance compute, the cache insert and the journal
+/// append — their sum tracks `wall_ms` closely (the remainder is bookkeeping).
+struct BuildReport {
+  std::string measure;
+  size_t n = 0;                 ///< log size at build time
+  uint64_t cells_total = 0;     ///< upper-triangle cells, n*(n-1)/2
+  uint64_t cells_cached = 0;    ///< served from the distance cache
+  uint64_t cells_computed = 0;  ///< computed fresh this call
+  std::string backend;          ///< resolved SIMD kernel backend name
+  std::vector<obs::StageTiming> stages;
+  double wall_ms = 0.0;
+  DistanceCache::Stats cache;   ///< cache lifetime stats after this build
+};
+
+/// What SaveCheckpoint wrote, and where its time went.
+struct CheckpointSaveReport {
+  uint64_t queries = 0;        ///< log entries in the snapshot
+  uint64_t cache_entries = 0;  ///< cached distances exported
+  std::vector<obs::StageTiming> stages;  ///< export / write / truncate
+  double wall_ms = 0.0;
 };
 
 /// What LoadCheckpoint had to do to the journal to complete the restore.
@@ -78,6 +114,10 @@ struct CheckpointLoadReport {
   bool journal_tail_truncated = false;  ///< a torn tail was dropped
   uint64_t dropped_journal_records = 0; ///< partial records lost (0 or 1)
   uint64_t dropped_journal_bytes = 0;   ///< bytes trimmed off the journal
+  uint64_t queries_restored = 0;        ///< snapshot + journaled queries
+  uint64_t journal_records_replayed = 0;  ///< journal records applied
+  std::vector<obs::StageTiming> stages;  ///< read / parse / restore
+  double wall_ms = 0.0;
 };
 
 /// DB(p, D) outliers plus the k nearest neighbours of each outlier — the
@@ -117,8 +157,11 @@ class Engine {
   // -- Batch mining API ------------------------------------------------------
 
   /// Pairwise matrix of the current log under the named measure. Cached
-  /// pairs are reused; missing pairs are computed in parallel.
-  Result<distance::DistanceMatrix> BuildMatrix(const std::string& measure);
+  /// pairs are reused; missing pairs are computed in parallel. When
+  /// `report` is non-null it receives the build's stage timings and cell
+  /// counts (also retrievable afterwards via last_build_report()).
+  Result<distance::DistanceMatrix> BuildMatrix(const std::string& measure,
+                                               BuildReport* report = nullptr);
 
   /// Non-blocking BuildMatrix: the build is scheduled on the engine's pool
   /// and the caller overlaps other work (encryption I/O, another measure's
@@ -176,8 +219,10 @@ class Engine {
   /// Checkpoints the full incremental-mining state (query log as canonical
   /// SQL + every cached distance) into `dir`, truncates the journal, and
   /// attaches the store: subsequent AddQuery calls and freshly computed
-  /// matrix rows are journaled incrementally.
-  Status SaveCheckpoint(const std::string& dir);
+  /// matrix rows are journaled incrementally. `report` (optional) receives
+  /// what was written and the per-stage timings.
+  Status SaveCheckpoint(const std::string& dir,
+                        CheckpointSaveReport* report = nullptr);
 
   /// Restores the state a SaveCheckpoint (plus any journal written since)
   /// captured in `dir`: the query log is re-parsed, the distance cache is
@@ -201,6 +246,25 @@ class Engine {
   size_t cache_bytes_used() const { return cache_.bytes_used(); }
   void ClearCache() { cache_.Clear(); }
 
+  // -- Observability ---------------------------------------------------------
+
+  /// The registry this engine records into (EngineOptions::metrics or the
+  /// process default).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+  /// The engine's span buffer. Enabled via EngineOptions::trace or
+  /// DPE_TRACE; trace().ToChromeJson() exports it for chrome://tracing.
+  obs::TraceBuffer& trace() { return trace_; }
+  const obs::TraceBuffer& trace() const { return trace_; }
+
+  /// Copy of the most recent BuildMatrix report (empty before any build).
+  BuildReport last_build_report() const;
+
+  /// Full exportable report: a snapshot of every metric (thread-pool and
+  /// cache gauges refreshed first), the last build's stage timings, and
+  /// info labels (resolved kernel backend, thread count, cache hit rate).
+  obs::StatsReport Stats() const;
+
  private:
   /// Instantiates (once) and returns the named measure. Instances are kept
   /// alive for the engine's lifetime so measure-internal memoization (the
@@ -210,12 +274,22 @@ class Engine {
 
   /// The cache-aware build over an explicit log/builder/measure — shared by
   /// the sync path (pool-backed builder) and async tasks (serial builder on
-  /// a log snapshot).
+  /// a log snapshot). Fills `report` (when non-null) and stores a copy as
+  /// the engine's last build report.
   Result<distance::DistanceMatrix> BuildMatrixOn(
       const MatrixBuilder& builder,
       const std::vector<sql::SelectQuery>& queries,
       const distance::QueryDistanceMeasure& measure,
-      const std::string& measure_name);
+      const std::string& measure_name, BuildReport* report = nullptr);
+
+  /// The staged body of BuildMatrixOn: cache scan, compute, cache insert,
+  /// journal — each stage timed into `report.stages` (and the build.stage_ms
+  /// histograms / trace buffer).
+  Result<distance::DistanceMatrix> BuildMatrixStaged(
+      const MatrixBuilder& builder,
+      const std::vector<sql::SelectQuery>& queries,
+      const distance::QueryDistanceMeasure& measure,
+      const std::string& measure_name, BuildReport& report);
 
   /// Journals freshly computed pairs as per-row records (grouped by the
   /// larger index — the newer query), reading the values out of `m`.
@@ -231,10 +305,15 @@ class Engine {
 
   EngineOptions options_;
   distance::MeasureContext context_;
+  /// Declared before builder_: the builder's options capture these.
+  obs::MetricsRegistry* metrics_;  ///< never null after construction
+  obs::TraceBuffer trace_;
   MeasureRegistry registry_ = MeasureRegistry::WithBuiltins();
   ThreadPool pool_;
   MatrixBuilder builder_;
   DistanceCache cache_;
+  mutable std::mutex report_mu_;  ///< guards last_build_
+  BuildReport last_build_;
   std::vector<sql::SelectQuery> queries_;
   std::mutex measures_mu_;  ///< guards measures_ and registry lookups
   std::map<std::string, std::unique_ptr<distance::QueryDistanceMeasure>>

@@ -1,6 +1,7 @@
 #include "engine/matrix_builder.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/simd.h"
 #include "engine/shard.h"
@@ -38,6 +39,11 @@ Status MatrixBuilder::ValidateOptions() const {
   return Status::OK();
 }
 
+obs::MetricsRegistry& MatrixBuilder::Metrics() const {
+  return options_.metrics != nullptr ? *options_.metrics
+                                     : obs::MetricsRegistry::Default();
+}
+
 Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
     const std::vector<const sql::SelectQuery*>& selected) const {
   // `selected` is in log order, and Intern packs the SoA arena in input
@@ -47,6 +53,7 @@ Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
   std::vector<distance::RawQueryFeatures> raw(n);
 
   // Phase 1 — print + lex + featurize each query, one task per chunk.
+  obs::TraceSpan featurize_span("build.featurize", options_.trace);
   DPE_RETURN_NOT_OK(common::ParallelForStatus(
       pool_, 0, n, std::max<size_t>(1, options_.block / 4),
       [&](size_t begin, size_t end) -> Status {
@@ -56,8 +63,10 @@ Result<distance::FeatureCache> MatrixBuilder::PrecomputeFeatures(
         }
         return Status::OK();
       }));
+  featurize_span.End();
 
   // Phase 2 — intern serially (cheap; deterministic id assignment).
+  obs::TraceSpan intern_span("build.intern", options_.trace);
   return distance::FeatureCache::Intern(selected, std::move(raw));
 }
 
@@ -127,25 +136,54 @@ Result<distance::DistanceMatrix> MatrixBuilder::BuildTiles(
       used[j] = true;
     }
   }
+  // Resolve instruments once per build — never inside the pair loops.
+  obs::MetricsRegistry& metrics = Metrics();
+  obs::Counter& distance_calls = metrics.counter(
+      "distance.calls", {{"measure", std::string(measure.Name())}});
+  metrics
+      .gauge("kernel.backend",
+             {{"backend",
+               common::simd::BackendName(
+                   common::simd::KernelsFor(context.kernel_backend).backend)}})
+      .Set(1);
+
+  obs::TraceSpan prepare_span(
+      "build.prepare", options_.trace,
+      &metrics.histogram("build.stage_ms", {{"stage", "prepare"}}));
   distance::FeatureCache features;
   DPE_ASSIGN_OR_RETURN(
       distance::MeasureContext ctx,
       PrepareSelected(queries, used, measure, context, &features));
+  prepare_span.End();
 
   distance::DistanceMatrix m(n);
   // One tile per chunk; ParallelForStatus returns the first failing tile
   // in schedule order (deterministic error selection). Cell (i, j), i < j,
   // belongs to exactly one tile, and SetUnchecked mirrors into (j, i) which
   // no other tile touches.
+  obs::TraceSpan tiles_span(
+      "build.tiles", options_.trace,
+      &metrics.histogram("build.stage_ms", {{"stage", "tiles"}}));
+  const bool tile_spans =
+      options_.trace != nullptr && options_.trace->enabled();
   DPE_RETURN_NOT_OK(common::ParallelForStatus(
       pool_, tile_begin, tile_end, 1, [&](size_t begin, size_t end) -> Status {
         for (size_t t = begin; t < end; ++t) {
           const auto [bi, bj] = tiles[t];
+          std::optional<obs::TraceSpan> tile_span;
+          if (tile_spans) {
+            tile_span.emplace("build.tile." + std::to_string(t),
+                              options_.trace);
+          }
           DPE_RETURN_NOT_OK(
               ComputeTile(queries, measure, ctx, block, bi, bj, m));
+          // One add per completed tile covers its whole upper-triangle
+          // cell set — per-pair counting would perturb the hot path.
+          distance_calls.Increment(TileCellCount(n, block, bi, bj));
         }
         return Status::OK();
       }));
+  tiles_span.End();
   return m;
 }
 
@@ -187,6 +225,13 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
         }
         return Status::OK();
       }));
+  uint64_t computed = 0;
+  for (const auto& [i, j] : pairs) {
+    if (i != j) ++computed;
+  }
+  Metrics()
+      .counter("distance.calls", {{"measure", std::string(measure.Name())}})
+      .Increment(computed);
   return out;
 }
 

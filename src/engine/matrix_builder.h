@@ -24,6 +24,8 @@
 #include "distance/features.h"
 #include "distance/matrix.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dpe::engine {
 
@@ -32,6 +34,16 @@ struct MatrixBuilderOptions {
   /// every build entry point validates this and returns InvalidArgument on
   /// a zero block instead of dividing by it.
   size_t block = 64;
+
+  /// Where build counters land (per-measure distance calls, resolved
+  /// kernel-backend gauge, stage-latency histograms). Null means the
+  /// process default registry — instrumentation is always on, and cheap:
+  /// one counter add per tile, not per pair.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Span capture for chrome://tracing. Null (or a disabled buffer) skips
+  /// span recording entirely; stage timings still reach `metrics`.
+  obs::TraceBuffer* trace = nullptr;
 };
 
 class MatrixBuilder {
@@ -74,6 +86,10 @@ class MatrixBuilder {
   /// public entry point calls this first — a zero block would otherwise
   /// divide by zero in the tile-count computation.
   Status ValidateOptions() const;
+
+  /// The registry build counters land in: options_.metrics or the process
+  /// default.
+  obs::MetricsRegistry& Metrics() const;
 
   /// Extracts raw features of `selected` in parallel (phase 1 of
   /// distance/features.h), then interns serially (phase 2).

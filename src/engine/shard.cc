@@ -88,10 +88,25 @@ Result<store::ShardManifest> ShardWorker::Run(
   DPE_RETURN_NOT_OK(ValidatePlan(plan, shard_index, queries.size()));
   const TileRange& range = plan.ranges[shard_index];
 
-  MatrixBuilder builder(pool_, MatrixBuilderOptions{plan.block});
+  obs::MetricsRegistry& metrics =
+      metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
+  obs::TraceSpan run_span("shard.run", trace_);
+
+  MatrixBuilder builder(pool_,
+                        MatrixBuilderOptions{plan.block, &metrics, trace_});
   DPE_ASSIGN_OR_RETURN(
       distance::DistanceMatrix partial,
       builder.BuildTiles(queries, measure, context, range.begin, range.end));
+
+  const std::vector<std::pair<size_t, size_t>> tiles =
+      TileSchedule(plan.n, plan.block);
+  uint64_t cells = 0;
+  for (size_t t = range.begin; t < range.end; ++t) {
+    cells += TileCellCount(plan.n, plan.block, tiles[t].first,
+                           tiles[t].second);
+  }
+  metrics.counter("shard.cells_computed", {{"matrix", matrix_name}})
+      .Increment(cells);
 
   store::ShardManifest manifest;
   manifest.matrix = matrix_name;
@@ -102,6 +117,7 @@ Result<store::ShardManifest> ShardWorker::Run(
   manifest.tile_begin = range.begin;
   manifest.tile_end = range.end;
   DPE_RETURN_NOT_OK(store.WriteShard(manifest, partial));
+  metrics.counter("shard.exports").Increment();
   return manifest;
 }
 
@@ -113,6 +129,10 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
                                    std::to_string(shard_count) +
                                    " out of range");
   }
+  obs::MetricsRegistry& obs_registry =
+      metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
+  obs::TraceSpan merge_span("shard.merge", trace_,
+                            &obs_registry.histogram("shard.merge_ms"));
 
   // Stream the shards: read one, validate its manifest, copy its owned
   // cells, drop it — peak memory is one shard's cells plus the result, not
@@ -209,6 +229,7 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
         "shard merge: tiles [" + std::to_string(expect_begin) + ", " +
         std::to_string(tile_count) + ") are covered by no shard");
   }
+  obs_registry.counter("shard.merges").Increment();
   return merged;
 }
 

@@ -41,6 +41,8 @@
 #include "distance/matrix.h"
 #include "distance/measure.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/matrix_store.h"
 
 namespace dpe::engine {
@@ -89,7 +91,13 @@ Result<ShardPlan> PlanShards(size_t n, size_t block, size_t shard_count);
 class ShardWorker {
  public:
   /// `pool` may be null: the shard's tiles then compute serially.
-  explicit ShardWorker(ThreadPool* pool) : pool_(pool) {}
+  /// `metrics` (null = process default registry) receives
+  /// shard.cells_computed{matrix=...} and shard.exports; `trace` (optional)
+  /// captures a "shard.run" span plus the builder's spans.
+  explicit ShardWorker(ThreadPool* pool,
+                       obs::MetricsRegistry* metrics = nullptr,
+                       obs::TraceBuffer* trace = nullptr)
+      : pool_(pool), metrics_(metrics), trace_(trace) {}
 
   /// Computes tiles plan.ranges[shard_index] of the pairwise matrix of
   /// `queries` under `measure` into a partial matrix and writes it to
@@ -105,12 +113,19 @@ class ShardWorker {
       size_t shard_index, store::MatrixStore& store) const;
 
  private:
-  ThreadPool* pool_;  ///< not owned
+  ThreadPool* pool_;               ///< not owned
+  obs::MetricsRegistry* metrics_;  ///< not owned; null = default registry
+  obs::TraceBuffer* trace_;        ///< not owned; may be null
 };
 
 /// Validates and merges the shard files of one sharded build.
 class ShardCoordinator {
  public:
+  /// `metrics` (null = process default registry) receives shard.merges and
+  /// the shard.merge_ms histogram; `trace` captures a "shard.merge" span.
+  explicit ShardCoordinator(obs::MetricsRegistry* metrics = nullptr,
+                            obs::TraceBuffer* trace = nullptr)
+      : metrics_(metrics), trace_(trace) {}
   /// Streams shards 0..shard_count-1 of `matrix_name` from `store` —
   /// validate manifest, copy owned cells, drop, one shard resident at a
   /// time — into the full matrix. Any failure returns before a (partially)
@@ -132,6 +147,10 @@ class ShardCoordinator {
                                          const std::string& matrix_name,
                                          size_t shard_count,
                                          size_t expected_n = 0) const;
+
+ private:
+  obs::MetricsRegistry* metrics_;  ///< not owned; null = default registry
+  obs::TraceBuffer* trace_;        ///< not owned; may be null
 };
 
 }  // namespace dpe::engine

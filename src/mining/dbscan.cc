@@ -34,9 +34,11 @@ Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
                        }
                      });
   }
+  uint64_t scans = precomputed ? n : 0;  // every list built exactly once
   std::vector<size_t> lazy;
   auto neighbors = [&](size_t p) -> const std::vector<size_t>& {
     if (precomputed) return precompute[p];
+    ++scans;
     lazy.clear();
     for (size_t q = 0; q < n; ++q) {
       if (m.AtUnchecked(p, q) <= options.epsilon) lazy.push_back(q);
@@ -68,6 +70,11 @@ Result<DbscanResult> Dbscan(const distance::DistanceMatrix& m,
   }
   result.cluster_count = static_cast<size_t>(cluster);
   result.labels = CanonicalizeLabels(result.labels);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("mining.dbscan.runs").Increment();
+    options.metrics->counter("mining.dbscan.neighborhood_scans")
+        .Increment(scans);
+  }
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
+#include "obs/metrics.h"
 
 namespace dpe::mining {
 
@@ -25,6 +26,8 @@ struct DbscanOptions {
   size_t min_points = 3; ///< core-point threshold, *including* the point itself
   /// Optional pool for the neighborhood precompute; nullptr = serial.
   common::ThreadPool* pool = nullptr;
+  /// Records mining.dbscan.{runs,neighborhood_scans}; nullptr = none.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct DbscanResult {

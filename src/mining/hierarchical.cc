@@ -12,10 +12,14 @@ namespace dpe::mining {
 
 Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
                                 common::ThreadPool* pool,
-                                common::simd::KernelBackend backend) {
+                                common::simd::KernelBackend backend,
+                                obs::MetricsRegistry* metrics) {
   const size_t n = m.size();
   Dendrogram out;
   out.leaf_count = n;
+  if (metrics != nullptr) {
+    metrics->counter("mining.hierarchical.runs").Increment();
+  }
   if (n == 0) return out;
 
   // Active clusters: id -> member points (u32: matrix indices fit, and the
@@ -98,6 +102,10 @@ Result<Dendrogram> CompleteLink(const distance::DistanceMatrix& m,
     clusters[next_id] = std::move(merged);
     out.merges.push_back({best.a, best.b, best.d});
     ++next_id;
+  }
+  if (metrics != nullptr) {
+    metrics->counter("mining.hierarchical.merge_rounds")
+        .Increment(out.merges.size());
   }
   return out;
 }

@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
+#include "obs/metrics.h"
 
 namespace dpe::mining {
 
@@ -41,9 +42,11 @@ struct Dendrogram {
 /// `backend` selects the SIMD kernel for the gather-max linkage scoring
 /// (kAuto = env + CPU detection; Engine::RunHierarchical passes its
 /// EngineOptions::kernel_backend). Every backend is bit-identical.
+/// `metrics` (optional) records mining.hierarchical.{runs,merge_rounds}.
 Result<Dendrogram> CompleteLink(
     const distance::DistanceMatrix& matrix, common::ThreadPool* pool = nullptr,
-    common::simd::KernelBackend backend = common::simd::KernelBackend::kAuto);
+    common::simd::KernelBackend backend = common::simd::KernelBackend::kAuto,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace dpe::mining
 

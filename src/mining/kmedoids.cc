@@ -112,6 +112,11 @@ Result<KMedoidsResult> KMedoids(const distance::DistanceMatrix& m,
 
   result.medoids = medoids;
   result.labels = CanonicalizeLabels(result.labels);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("mining.kmedoids.runs").Increment();
+    options.metrics->counter("mining.kmedoids.iterations")
+        .Increment(result.iterations);
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 #include "common/thread_pool.h"
 #include "distance/matrix.h"
 #include "mining/partition.h"
+#include "obs/metrics.h"
 
 namespace dpe::mining {
 
@@ -24,6 +25,8 @@ struct KMedoidsOptions {
   size_t max_iterations = 100;
   /// Optional pool for the O(n²) phases; nullptr = serial (bit-identical).
   common::ThreadPool* pool = nullptr;
+  /// Records mining.kmedoids.{runs,iterations}; nullptr = no recording.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct KMedoidsResult {

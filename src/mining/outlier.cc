@@ -36,6 +36,10 @@ Result<OutlierResult> DistanceBasedOutliers(const distance::DistanceMatrix& m,
       result.outliers.push_back(i);
     }
   }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("mining.outlier.runs").Increment();
+    options.metrics->counter("mining.outlier.scans").Increment(n);
+  }
   return result;
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "distance/matrix.h"
+#include "obs/metrics.h"
 
 namespace dpe::mining {
 
@@ -20,6 +21,8 @@ struct OutlierOptions {
   double d = 0.5;  ///< distance threshold D
   /// Optional pool for the far-count scan; nullptr = serial.
   common::ThreadPool* pool = nullptr;
+  /// Records mining.outlier.{runs,scans}; nullptr = no recording.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct OutlierResult {

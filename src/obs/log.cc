@@ -1,0 +1,111 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace dpe::obs {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Current sink plus a one-deep stack for ScopedLogSink. Leaked on purpose
+/// (records can be emitted during static destruction).
+struct SinkState {
+  LogSink sink;                  ///< empty = default stderr sink
+  std::vector<LogSink> stack;    ///< previous sinks for ScopedLogSink
+};
+
+SinkState& State() {
+  static SinkState* state = new SinkState();
+  return *state;
+}
+
+void DefaultSink(const LogRecord& record) {
+  std::fprintf(stderr, "[dpe] %s\n", FormatLogRecord(record).c_str());
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  State().sink = std::move(sink);
+}
+
+void Log(LogRecord record) {
+  // Copy the sink out under the lock, call it while still holding the lock
+  // so records are serialized — sinks stay trivially thread-safe.
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = State().sink;
+  if (sink) {
+    sink(record);
+  } else {
+    DefaultSink(record);
+  }
+}
+
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::vector<std::pair<std::string, std::string>> fields) {
+  LogRecord record;
+  record.level = level;
+  record.component = std::string(component);
+  record.message = std::string(message);
+  record.fields = std::move(fields);
+  Log(std::move(record));
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  std::string out;
+  out.append(LogLevelName(record.level));
+  out.append(" [");
+  out.append(record.component);
+  out.append("] ");
+  out.append(record.message);
+  if (!record.fields.empty()) {
+    out.append(" (");
+    for (size_t f = 0; f < record.fields.size(); ++f) {
+      if (f > 0) out.append(", ");
+      out.append(record.fields[f].first);
+      out.push_back('=');
+      out.append(record.fields[f].second);
+    }
+    out.push_back(')');
+  }
+  return out;
+}
+
+ScopedLogSink::ScopedLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkState& state = State();
+  state.stack.push_back(std::move(state.sink));
+  state.sink = std::move(sink);
+}
+
+ScopedLogSink::~ScopedLogSink() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkState& state = State();
+  if (!state.stack.empty()) {
+    state.sink = std::move(state.stack.back());
+    state.stack.pop_back();
+  } else {
+    state.sink = nullptr;
+  }
+}
+
+}  // namespace dpe::obs

@@ -1,0 +1,66 @@
+// Structured log sink: the one place engine warnings flow through, so
+// embedders (and tests) can capture them instead of scraping stderr.
+//
+// The default sink formats records to stderr exactly like the fprintf
+// calls it replaces ("[dpe] warning: ..."), so behavior is unchanged until
+// someone installs a sink. Tests install a capturing sink around the code
+// under test (e.g. forcing the kernel-backend env fallback) and assert on
+// the structured fields rather than on text.
+
+#ifndef DPE_OBS_LOG_H_
+#define DPE_OBS_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpe::obs {
+
+enum class LogLevel : uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+std::string_view LogLevelName(LogLevel level);  // "info" / "warn" / "error"
+
+/// One structured log record. `fields` carries machine-readable context
+/// ("requested=avx2", "resolved=scalar") alongside the human message.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  std::string component;  ///< emitting subsystem, e.g. "kernel", "store"
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Installs a process-wide sink; an empty function restores the default
+/// stderr sink. Returns nothing — sinks are expected to be installed once
+/// at startup (or scoped in tests via ScopedLogSink).
+void SetLogSink(LogSink sink);
+
+/// Emits one record through the current sink. Thread-safe; records are
+/// delivered one at a time (the sink never needs its own locking).
+void Log(LogRecord record);
+
+/// Convenience: Log({level, component, message, fields}).
+void Log(LogLevel level, std::string_view component, std::string_view message,
+         std::vector<std::pair<std::string, std::string>> fields = {});
+
+/// "warn [kernel] message (requested=avx2, resolved=scalar)" — the format
+/// the default stderr sink prints (with a "[dpe] " prefix).
+std::string FormatLogRecord(const LogRecord& record);
+
+/// RAII sink swap for tests: installs `sink` on construction, restores the
+/// previous sink on destruction.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink sink);
+  ~ScopedLogSink();
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_LOG_H_

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace dpe::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+Labels Canonical(Labels labels) {
+  std::stable_sort(labels.begin(), labels.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return labels;
+}
+
+}  // namespace
+
+// -- Histogram ---------------------------------------------------------------
+
+const std::vector<double>& Histogram::DefaultLatencyBoundsMs() {
+  static const std::vector<double> bounds = {
+      0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) bounds_ = DefaultLatencyBoundsMs();
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  Zero();
+}
+
+void Histogram::Zero() {
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  // First bound >= v: the le-inclusive bucket. Past-the-end = overflow.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    s.counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const uint64_t next = cumulative + counts[b];
+    if (static_cast<double>(next) >= rank && counts[b] > 0) {
+      if (b >= bounds.size()) {
+        // Overflow bucket: the histogram cannot resolve past its last
+        // finite bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = (b == 0) ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / counts[b];
+      return lo + (hi - lo) * within;
+    }
+    cumulative = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+// -- Snapshot ----------------------------------------------------------------
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name,
+                                          const Labels& labels) const {
+  const Labels sorted = Canonical(labels);
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+// -- Registry ----------------------------------------------------------------
+
+std::string MetricsRegistry::Key(MetricKind kind, std::string_view name,
+                                 const Labels& sorted) {
+  std::string key;
+  key.reserve(name.size() + 16);
+  key.push_back(static_cast<char>('0' + static_cast<int>(kind)));
+  key.append(name);
+  for (const auto& [k, v] : sorted) {
+    key.push_back('\x1f');
+    key.append(k);
+    key.push_back('\x1e');
+    key.append(v);
+  }
+  return key;
+}
+
+MetricsRegistry::Instrument& MetricsRegistry::FindOrCreate(
+    MetricKind kind, std::string_view name, Labels labels,
+    std::vector<double> bounds) {
+  Labels sorted = Canonical(std::move(labels));
+  std::string key = Key(kind, name, sorted);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) return *instruments_[it->second];
+  auto inst = std::make_unique<Instrument>();
+  inst->kind = kind;
+  inst->name = std::string(name);
+  inst->labels = std::move(sorted);
+  switch (kind) {
+    case MetricKind::kCounter:
+      inst->counter.reset(new Counter());
+      break;
+    case MetricKind::kGauge:
+      inst->gauge.reset(new Gauge());
+      break;
+    case MetricKind::kHistogram:
+      inst->histogram.reset(new Histogram(std::move(bounds)));
+      break;
+  }
+  index_.emplace(std::move(key), instruments_.size());
+  instruments_.push_back(std::move(inst));
+  return *instruments_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Labels labels) {
+  return *FindOrCreate(MetricKind::kCounter, name, std::move(labels), {})
+              .counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Labels labels) {
+  return *FindOrCreate(MetricKind::kGauge, name, std::move(labels), {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
+                                      std::vector<double> bounds) {
+  return *FindOrCreate(MetricKind::kHistogram, name, std::move(labels),
+                       std::move(bounds))
+              .histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.samples.reserve(instruments_.size());
+    for (const std::unique_ptr<Instrument>& inst : instruments_) {
+      MetricSample s;
+      s.kind = inst->kind;
+      s.name = inst->name;
+      s.labels = inst->labels;
+      switch (inst->kind) {
+        case MetricKind::kCounter:
+          s.counter_value = inst->counter->value();
+          break;
+        case MetricKind::kGauge:
+          s.gauge_value = inst->gauge->value();
+          break;
+        case MetricKind::kHistogram:
+          s.histogram = inst->histogram->snapshot();
+          break;
+      }
+      snapshot.samples.push_back(std::move(s));
+    }
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Instrument>& inst : instruments_) {
+    switch (inst->kind) {
+      case MetricKind::kCounter:
+        inst->counter->Zero();
+        break;
+      case MetricKind::kGauge:
+        inst->gauge->Zero();
+        break;
+      case MetricKind::kHistogram:
+        inst->histogram->Zero();
+        break;
+    }
+  }
+}
+
+size_t MetricsRegistry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instruments_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked on purpose: instruments registered from static-destruction-order
+  // hostile places (kernel dispatch warm-up) must stay valid to the end.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace dpe::obs

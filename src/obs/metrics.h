@@ -1,0 +1,196 @@
+// Lock-cheap metrics substrate for the whole engine: named counters, gauges
+// and fixed-bucket latency histograms, registered once (under a mutex) and
+// then updated with nothing but relaxed atomics — safe to hammer from every
+// pool worker in the distance hot paths without perturbing what is being
+// measured.
+//
+// Identity is (kind, name, labels): `counter("distance.calls",
+// {{"measure", "token"}})` always returns the same Counter&, so callers
+// resolve their instruments once per build (not per pair) and hold the
+// reference. Instrument references stay valid for the registry's lifetime —
+// registration never moves existing instruments, and Reset() zeroes values
+// in place instead of dropping them.
+//
+// The registry is deliberately free of engine types: it lives below
+// common/ (obs depends on the standard library only) so every layer —
+// common/simd's dispatch, the store codec, the miners — can count into it
+// without a dependency cycle. Exporters (Prometheus text, JSON) live in
+// obs/report.h.
+
+#ifndef DPE_OBS_METRICS_H_
+#define DPE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dpe::obs {
+
+/// Metric labels: (key, value) pairs. Registries canonicalize them by
+/// sorting on key, so {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name
+/// the same instrument.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonic counter. Increment is one relaxed fetch_add — the always-on
+/// cost of observability.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Zero() { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins double gauge (queue depth, resolved backend flag, ...).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  void Zero() { v_.store(0.0, std::memory_order_relaxed); }
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of a histogram, with Prometheus-style quantile
+/// estimation (linear interpolation inside the bucket holding the rank).
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< ascending upper bounds (le-inclusive)
+  std::vector<uint64_t> counts;  ///< per-bucket; bounds.size() + 1 entries
+                                 ///< (the last is the +inf overflow bucket)
+  uint64_t count = 0;            ///< total observations
+  double sum = 0.0;              ///< sum of observed values
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty. Values in the
+  /// overflow bucket report the largest finite bound (the histogram cannot
+  /// resolve beyond it).
+  double Quantile(double q) const;
+  double p50() const { return Quantile(0.50); }
+  double p95() const { return Quantile(0.95); }
+  double p99() const { return Quantile(0.99); }
+};
+
+/// Fixed-bucket histogram. Observe is a binary search over the (immutable)
+/// bounds plus two relaxed atomic adds — no locks, no allocation.
+class Histogram {
+ public:
+  /// Records `v` into the first bucket whose upper bound is >= v
+  /// (le-inclusive, exactly Prometheus bucket semantics); values above
+  /// every bound land in the overflow bucket.
+  void Observe(double v);
+  HistogramSnapshot snapshot() const;
+
+  /// Default bounds for millisecond latencies: 0.25 ms .. 10 s.
+  static const std::vector<double>& DefaultLatencyBoundsMs();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Zero();
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+/// One instrument's state inside a MetricsSnapshot.
+struct MetricSample {
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  Labels labels;  ///< canonical (key-sorted) order
+  uint64_t counter_value = 0;    ///< kind == kCounter
+  double gauge_value = 0.0;      ///< kind == kGauge
+  HistogramSnapshot histogram;   ///< kind == kHistogram
+};
+
+/// Point-in-time copy of every registered instrument, sorted by
+/// (name, labels) so exports are deterministic regardless of registration
+/// order.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// The sample named `name` with exactly `labels`, or nullptr.
+  const MetricSample* Find(std::string_view name,
+                           const Labels& labels = {}) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Instrument accessors: find-or-create under the registry mutex, then
+  /// return a reference that stays valid (and lock-free to update) for the
+  /// registry's lifetime. Resolve once per build/phase, not per data point.
+  Counter& counter(std::string_view name, Labels labels = {});
+  Gauge& gauge(std::string_view name, Labels labels = {});
+  /// `bounds` must be strictly ascending; empty uses
+  /// Histogram::DefaultLatencyBoundsMs(). The bounds of the FIRST
+  /// registration win (later calls with the same identity return the
+  /// existing instrument unchanged).
+  Histogram& histogram(std::string_view name, Labels labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Consistent-enough copy of every instrument (relaxed reads; counters
+  /// monotonic, so a concurrent build can only make a sample look slightly
+  /// stale, never torn).
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument in place. References handed out before stay
+  /// valid; registrations are kept. Test isolation, not production use.
+  void Reset();
+
+  size_t instrument_count() const;
+
+  /// The process-wide default registry. Layers with no injected registry
+  /// (the store codec, the SIMD dispatch) count here; the engine defaults
+  /// to it too, so one Prometheus dump shows the whole process.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Instrument {
+    MetricKind kind;
+    std::string name;
+    Labels labels;  ///< canonical order
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  /// Canonical lookup key: kind byte + name + sorted labels.
+  static std::string Key(MetricKind kind, std::string_view name,
+                         const Labels& sorted);
+
+  Instrument& FindOrCreate(MetricKind kind, std::string_view name,
+                           Labels labels, std::vector<double> bounds);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_METRICS_H_

@@ -1,0 +1,55 @@
+// Exporters for the metrics substrate: Prometheus-style text exposition
+// and a JSON stats report, plus the StatsReport struct the engine hands
+// back (metrics snapshot + named stage timings + build info labels).
+//
+// Both exporters are deterministic: samples are already (name, labels)
+// sorted inside MetricsSnapshot, metric names are sanitized the same way
+// every time ('.' and '-' become '_'), and doubles print with %.6g so
+// golden-text tests are stable across runs.
+
+#ifndef DPE_OBS_REPORT_H_
+#define DPE_OBS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+
+/// One named pipeline stage and its wall time.
+struct StageTiming {
+  std::string name;
+  double ms = 0.0;
+};
+
+/// Prometheus text exposition of a snapshot. Counter names gain the
+/// conventional "_total" suffix, histograms expand to cumulative
+/// "_bucket{le=...}" series plus "_sum"/"_count", and every name is
+/// prefixed "dpe_" with '.'/'-' sanitized to '_'.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+/// JSON rendering of a snapshot: {"metrics": [{name, labels, kind, value |
+/// {count, sum, p50, p95, p99}}]} — histograms carry quantiles so perf
+/// artifacts are self-describing without client-side bucket math.
+std::string SnapshotJson(const MetricsSnapshot& snapshot);
+
+/// The exportable report the engine assembles: full metrics snapshot plus
+/// the stage timings of the most recent build and identifying info labels
+/// (resolved kernel backend, thread count, cache hit rate, ...).
+struct StatsReport {
+  MetricsSnapshot metrics;
+  std::vector<StageTiming> stages;  ///< most recent build's stage wall times
+  Labels info;                      ///< e.g. {"kernel_backend","avx2"}
+
+  /// PrometheusText(metrics) plus "dpe_last_build_stage_ms{stage=...}" gauges
+  /// for `stages` and "# info key=value" comment lines for `info`.
+  std::string ToPrometheusText() const;
+
+  /// {"info": {...}, "stages": [...], "metrics": [...]}.
+  std::string ToJson() const;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_REPORT_H_

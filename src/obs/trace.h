@@ -1,0 +1,112 @@
+// Pipeline tracing: RAII scoped timers that answer "where did this
+// 40-second build spend its time".
+//
+// A TraceSpan always measures its own wall time (two steady_clock reads —
+// cheap enough for per-stage and per-tile scopes, never used per distance
+// pair) and can feed that duration into a latency Histogram. When a
+// TraceBuffer is attached AND enabled, the span additionally records a
+// (name, thread, depth, start, duration) event into the buffer; the buffer
+// exports the whole build as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev. Span capture is off by
+// default (EngineOptions::trace / the DPE_TRACE env var turn it on), so the
+// steady-state cost of tracing is one relaxed atomic load per span.
+//
+// Nesting is implicit: spans on one thread form a stack (a thread-local
+// depth counter tags each event), and Chrome's viewer nests events by
+// containment of [start, start + dur) per thread — exactly what the RAII
+// scoping guarantees.
+
+#ifndef DPE_OBS_TRACE_H_
+#define DPE_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+
+/// Nanoseconds since the process trace epoch (the first call in the
+/// process) — small, positive timestamps for trace exports.
+uint64_t TraceNowNs();
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint32_t tid = 0;    ///< small per-buffer thread id (0 = first thread seen)
+  uint32_t depth = 0;  ///< nesting depth on that thread when the span began
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Thread-safe collector of completed spans (one per build, or one per
+/// engine — the owner decides the lifetime). Disabled buffers cost one
+/// relaxed load per span end.
+class TraceBuffer {
+ public:
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span (TraceSpan calls this; tests may too).
+  void Record(std::string name, uint64_t start_ns, uint64_t dur_ns,
+              uint32_t depth);
+
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  void Clear();
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond timestamps,
+  /// sorted by start time) — load via chrome://tracing or Perfetto.
+  std::string ToChromeJson() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, uint32_t> tids_;
+};
+
+/// RAII scoped timer. Construction takes the start timestamp; End() (or the
+/// destructor) computes the duration, observes it into `latency_ms` when
+/// given, and records a TraceEvent when `buffer` is attached and enabled.
+/// The elapsed time is available either way, so stage-timing reports work
+/// with tracing off.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name, TraceBuffer* buffer = nullptr,
+                     Histogram* latency_ms = nullptr);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Idempotent early end (reads the clock once; later calls are no-ops).
+  void End();
+
+  /// Milliseconds from construction to End() — or to now, while live.
+  double elapsed_ms() const;
+
+ private:
+  std::string name_;
+  TraceBuffer* buffer_;     ///< not owned; may be null
+  Histogram* latency_ms_;   ///< not owned; may be null
+  bool recording_;          ///< buffer attached and enabled at construction
+  bool ended_ = false;
+  uint64_t start_ns_ = 0;
+  uint64_t dur_ns_ = 0;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_TRACE_H_

@@ -10,7 +10,42 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace dpe::store {
+
+namespace {
+
+// I/O counters on the process-default registry, resolved once. The codec is
+// the choke point every persisted byte passes through, so these four
+// counters account for the store layer's entire disk traffic.
+obs::Counter& BytesWrittenCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.bytes_written");
+  return c;
+}
+obs::Counter& BytesReadCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.bytes_read");
+  return c;
+}
+obs::Counter& FsyncCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.fsyncs");
+  return c;
+}
+obs::Counter& CrcValidationCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.crc_validations");
+  return c;
+}
+obs::Counter& TornTailCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.torn_tail_drops");
+  return c;
+}
+
+}  // namespace
 
 /// fsync `path` (a file or a directory) so a rename/unlink ordering cannot
 /// be undone by a power loss. Best-effort on filesystems without dirsync.
@@ -24,6 +59,7 @@ Status SyncPath(const std::string& path) {
   if (rc != 0) {
     return Status::Internal("store codec: fsync of " + path + " failed");
   }
+  FsyncCounter().Increment();
   return Status::OK();
 }
 
@@ -323,6 +359,7 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
     if (!out) {
       return Status::Internal("store codec: short write to " + tmp);
     }
+    BytesWrittenCounter().Increment(header.buffer().size() + payload.size());
   }
   // Durability order matters: the payload must be on disk before the rename
   // publishes it, and the rename must be on disk before callers take
@@ -352,6 +389,7 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
   }
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
+  BytesReadCounter().Increment(data.size());
   Reader r(data);
   DPE_ASSIGN_OR_RETURN(uint32_t got_magic, r.ReadU32());
   if (got_magic != magic) {
@@ -371,6 +409,7 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
                    std::to_string(r.remaining()) + ")");
   }
   file.payload = data.substr(data.size() - payload_len);
+  CrcValidationCounter().Increment();
   if (Crc32(file.payload) != crc) {
     return Corrupt("checksum mismatch in " + path);
   }
@@ -406,18 +445,22 @@ Result<RecordScan> ScanRecords(std::string_view data) {
   while (!r.AtEnd()) {
     if (r.remaining() < 8) {  // half-written length/crc header
       scan.torn_tail = true;
+      TornTailCounter().Increment();
       return scan;
     }
     DPE_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
     DPE_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
     if (len > r.remaining()) {  // payload cut off by the crash
       scan.torn_tail = true;
+      TornTailCounter().Increment();
       return scan;
     }
     DPE_ASSIGN_OR_RETURN(std::string payload, r.ReadBytes(len));
+    CrcValidationCounter().Increment();
     if (Crc32(payload) != crc) {
       if (r.AtEnd()) {  // final record half-flushed: recoverable
         scan.torn_tail = true;
+        TornTailCounter().Increment();
         return scan;
       }
       return Corrupt("record checksum mismatch mid-stream");

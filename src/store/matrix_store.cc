@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/tiles.h"
+#include "obs/metrics.h"
 
 namespace dpe::store {
 
@@ -14,6 +15,30 @@ namespace {
 
 Status Corrupt(const std::string& what) {
   return Status::ParseError("matrix store: " + what);
+}
+
+// Journal traffic on the process-default registry. The framed-file paths
+// (snapshots, matrices, shards) are counted inside the codec; the journal
+// appends raw frames itself, so its bytes are counted here.
+obs::Counter& JournalRecordsAppended() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.journal_records_appended");
+  return c;
+}
+obs::Counter& JournalBytesWritten() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.bytes_written");
+  return c;
+}
+obs::Counter& JournalBytesRead() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.bytes_read");
+  return c;
+}
+obs::Counter& JournalTornTailRecoveries() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.journal_tail_recoveries");
+  return c;
 }
 
 void EncodeJournalRecord(const JournalRecord& record, Writer* w) {
@@ -210,6 +235,8 @@ Status MatrixStore::AppendRecords(const std::vector<JournalRecord>& records) {
     out.close();
     DPE_RETURN_NOT_OK(SyncPath(JournalPath()));
     if (!existed) DPE_RETURN_NOT_OK(SyncPath(dir_));
+    JournalBytesWritten().Increment(frame.size());
+    JournalRecordsAppended().Increment(records.size());
     return Status::OK();
   }
   if (!out) {
@@ -225,6 +252,8 @@ Status MatrixStore::AppendRecords(const std::vector<JournalRecord>& records) {
     return Status::Internal("matrix store: short write to journal " +
                             JournalPath());
   }
+  JournalBytesWritten().Increment(frame.size());
+  JournalRecordsAppended().Increment(records.size());
   return Status::OK();
 }
 
@@ -255,6 +284,7 @@ Result<JournalRecovery> MatrixStore::ReadJournalImpl(
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   in.close();
+  JournalBytesRead().Increment(data.size());
   if (data.size() < 8 && recover_torn_tail) {
     // A crash can die inside the very first buffered write, before even the
     // 8-byte magic/version prologue is complete. Recovery treats that as an
@@ -266,6 +296,7 @@ Result<JournalRecovery> MatrixStore::ReadJournalImpl(
     recovery.tail_truncated = true;
     recovery.dropped_records = 1;
     recovery.dropped_bytes = data.size();
+    JournalTornTailRecoveries().Increment();
     return recovery;
   }
   Reader header(data);
@@ -295,6 +326,7 @@ Result<JournalRecovery> MatrixStore::ReadJournalImpl(
     recovery.tail_truncated = true;
     recovery.dropped_records = 1;  // a tear is one half-flushed record
     recovery.dropped_bytes = data.size() - (8 + scan.valid_bytes);
+    JournalTornTailRecoveries().Increment();
   }
   recovery.records.reserve(scan.records.size());
   for (const std::string& payload : scan.records) {

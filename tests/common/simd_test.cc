@@ -17,8 +17,71 @@
 #include <string>
 #include <vector>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+
 namespace dpe::common::simd {
 namespace {
+
+uint64_t FallbackCount() {
+  return obs::MetricsRegistry::Default()
+      .counter("kernel.backend_fallback")
+      .value();
+}
+
+TEST(BackendOverrideTest, RequestAboveDetectedFallsBackWithWarning) {
+  std::vector<obs::LogRecord> captured;
+  obs::ScopedLogSink sink(
+      [&captured](const obs::LogRecord& r) { captured.push_back(r); });
+  const uint64_t before = FallbackCount();
+
+  const KernelBackend resolved =
+      ApplyEnvBackendOverride("avx2", KernelBackend::kScalar);
+
+  EXPECT_EQ(resolved, KernelBackend::kScalar);
+  EXPECT_EQ(FallbackCount(), before + 1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, obs::LogLevel::kWarn);
+  EXPECT_EQ(captured[0].component, "kernel");
+  ASSERT_GE(captured[0].fields.size(), 2u);
+  EXPECT_EQ(captured[0].fields[0], (std::pair<std::string, std::string>{
+                                       "requested", "avx2"}));
+  EXPECT_EQ(captured[0].fields[1], (std::pair<std::string, std::string>{
+                                       "resolved", "scalar"}));
+}
+
+TEST(BackendOverrideTest, UnparseableValueFallsBackWithWarning) {
+  std::vector<obs::LogRecord> captured;
+  obs::ScopedLogSink sink(
+      [&captured](const obs::LogRecord& r) { captured.push_back(r); });
+  const uint64_t before = FallbackCount();
+
+  const KernelBackend resolved =
+      ApplyEnvBackendOverride("bogus", KernelBackend::kSse42);
+
+  EXPECT_EQ(resolved, KernelBackend::kSse42);
+  EXPECT_EQ(FallbackCount(), before + 1);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, obs::LogLevel::kWarn);
+  // The warning carries the parse error, not just the names.
+  ASSERT_EQ(captured[0].fields.size(), 3u);
+  EXPECT_EQ(captured[0].fields[2].first, "error");
+}
+
+TEST(BackendOverrideTest, RunnableRequestIsHonoredSilently) {
+  std::vector<obs::LogRecord> captured;
+  obs::ScopedLogSink sink(
+      [&captured](const obs::LogRecord& r) { captured.push_back(r); });
+  const uint64_t before = FallbackCount();
+
+  EXPECT_EQ(ApplyEnvBackendOverride("scalar", DetectBackend()),
+            KernelBackend::kScalar);
+  EXPECT_EQ(ApplyEnvBackendOverride("auto", DetectBackend()),
+            DetectBackend());
+
+  EXPECT_EQ(FallbackCount(), before);
+  EXPECT_TRUE(captured.empty());
+}
 
 std::vector<uint32_t> SortedUnique(std::mt19937& rng, size_t target,
                                    uint32_t max_value) {

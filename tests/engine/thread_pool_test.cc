@@ -76,6 +76,38 @@ TEST(ParallelForTest, ChunkBoundariesRespectGrain) {
   EXPECT_EQ(total, 103u);
 }
 
+TEST(ThreadPoolTest, StatsCountExecutedTasksAndQueueDepth) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.GetStats().tasks_executed, 0u);
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([] {});
+  }
+  pool.Wait();
+  const ThreadPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_executed, 25u);
+  EXPECT_GE(stats.peak_queue_depth, 1u);
+  EXPECT_EQ(pool.queue_depth(), 0u);  // drained
+}
+
+TEST(ThreadPoolTest, BusyTimeAccumulatesAcrossTasks) {
+  ThreadPool pool(1);
+  pool.Submit([] {
+    volatile uint64_t sink = 0;
+    for (uint64_t i = 0; i < 2000000; ++i) sink += i;
+  });
+  pool.Wait();
+  EXPECT_GT(pool.GetStats().busy_ns, 0u);
+}
+
+TEST(ParallelForTest, EmptyRangeRecordsZeroTasks) {
+  ThreadPool pool(2);
+  ParallelFor(pool, 5, 5, 1, [](size_t, size_t) {});
+  const ThreadPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.tasks_executed, 0u);
+  EXPECT_EQ(stats.peak_queue_depth, 0u);
+  EXPECT_EQ(stats.busy_ns, 0u);
+}
+
 TEST(ParallelForTest, PoolIsReusableAcrossCalls) {
   ThreadPool pool(3);
   for (int round = 0; round < 5; ++round) {

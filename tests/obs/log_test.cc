@@ -1,0 +1,77 @@
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dpe::obs {
+namespace {
+
+TEST(LogTest, ScopedSinkCapturesStructuredRecord) {
+  std::vector<LogRecord> captured;
+  {
+    ScopedLogSink scoped(
+        [&captured](const LogRecord& r) { captured.push_back(r); });
+    Log(LogLevel::kWarn, "kernel", "falling back",
+        {{"requested", "avx2"}, {"resolved", "scalar"}});
+  }
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[0].component, "kernel");
+  EXPECT_EQ(captured[0].message, "falling back");
+  ASSERT_EQ(captured[0].fields.size(), 2u);
+  EXPECT_EQ(captured[0].fields[0].first, "requested");
+  EXPECT_EQ(captured[0].fields[0].second, "avx2");
+}
+
+TEST(LogTest, ScopedSinksNestAndRestore) {
+  std::vector<std::string> outer_msgs;
+  std::vector<std::string> inner_msgs;
+  {
+    ScopedLogSink outer(
+        [&outer_msgs](const LogRecord& r) { outer_msgs.push_back(r.message); });
+    {
+      ScopedLogSink inner([&inner_msgs](const LogRecord& r) {
+        inner_msgs.push_back(r.message);
+      });
+      Log(LogLevel::kInfo, "t", "to-inner");
+    }
+    Log(LogLevel::kInfo, "t", "to-outer");
+  }
+  EXPECT_EQ(inner_msgs, std::vector<std::string>{"to-inner"});
+  EXPECT_EQ(outer_msgs, std::vector<std::string>{"to-outer"});
+}
+
+TEST(LogTest, FormatIncludesLevelComponentAndFields) {
+  LogRecord record;
+  record.level = LogLevel::kWarn;
+  record.component = "kernel";
+  record.message = "requested backend unavailable";
+  record.fields = {{"requested", "avx2"}, {"resolved", "scalar"}};
+  const std::string text = FormatLogRecord(record);
+  EXPECT_NE(text.find("warn"), std::string::npos);
+  EXPECT_NE(text.find("[kernel]"), std::string::npos);
+  EXPECT_NE(text.find("requested backend unavailable"), std::string::npos);
+  EXPECT_NE(text.find("requested=avx2"), std::string::npos);
+  EXPECT_NE(text.find("resolved=scalar"), std::string::npos);
+}
+
+TEST(LogTest, FormatWithoutFieldsHasNoParenthetical) {
+  LogRecord record;
+  record.level = LogLevel::kError;
+  record.component = "store";
+  record.message = "boom";
+  const std::string text = FormatLogRecord(record);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_EQ(text.find('('), std::string::npos);
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "error");
+}
+
+}  // namespace
+}  // namespace dpe::obs

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace dpe::obs {
+namespace {
+
+TEST(MetricsTest, CounterIdentityByNameAndLabels) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("distance.calls", {{"measure", "token"}});
+  Counter& b = registry.counter("distance.calls", {{"measure", "token"}});
+  Counter& c = registry.counter("distance.calls", {{"measure", "structure"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  a.Increment(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, LabelOrderIsCanonicalized) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x", {{"a", "1"}, {"b", "2"}});
+  Counter& b = registry.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammered");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObservationsSumExactly) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {}, {1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(t % 3) * 7.0);  // 0, 7 or 14
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(MetricsTest, HistogramBucketBoundariesAreLeInclusive) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("b", {}, {1.0, 2.0, 4.0});
+  h.Observe(1.0);  // == first bound -> bucket 0 (le semantics)
+  h.Observe(1.5);  // bucket 1
+  h.Observe(2.0);  // == second bound -> bucket 1
+  h.Observe(4.0);  // == last bound -> bucket 2
+  h.Observe(4.5);  // overflow bucket
+  const HistogramSnapshot s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 2u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0 + 1.5 + 2.0 + 4.0 + 4.5);
+}
+
+TEST(MetricsTest, HistogramQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("q", {}, {10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.Observe(5.0);  // all in [0, 10]
+  const HistogramSnapshot s = h.snapshot();
+  // All mass in the first bucket: quantiles interpolate within [0, 10].
+  EXPECT_GT(s.p50(), 0.0);
+  EXPECT_LE(s.p50(), 10.0);
+  EXPECT_LE(s.p99(), 10.0);
+  EXPECT_LE(s.p50(), s.p95());
+  EXPECT_LE(s.p95(), s.p99());
+}
+
+TEST(MetricsTest, QuantileOfOverflowReportsLastBound) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("o", {}, {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.Observe(100.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().p50(), 2.0);
+}
+
+TEST(MetricsTest, EmptyHistogramQuantileIsZero) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("e", {}, {1.0});
+  EXPECT_DOUBLE_EQ(h.snapshot().p50(), 0.0);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("depth");
+  g.Set(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+  g.Add(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndFindable) {
+  MetricsRegistry registry;
+  registry.counter("zebra").Increment(1);
+  registry.counter("apple", {{"k", "v"}}).Increment(2);
+  registry.gauge("mango").Set(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 3u);
+  EXPECT_EQ(snapshot.samples[0].name, "apple");
+  EXPECT_EQ(snapshot.samples[1].name, "mango");
+  EXPECT_EQ(snapshot.samples[2].name, "zebra");
+  const MetricSample* apple = snapshot.Find("apple", {{"k", "v"}});
+  ASSERT_NE(apple, nullptr);
+  EXPECT_EQ(apple->counter_value, 2u);
+  EXPECT_EQ(snapshot.Find("apple"), nullptr);  // labels are part of identity
+  EXPECT_EQ(snapshot.Find("nope"), nullptr);
+}
+
+TEST(MetricsTest, ResetZeroesInPlaceAndKeepsReferencesValid) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Histogram& h = registry.histogram("h", {}, {1.0});
+  c.Increment(7);
+  h.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.Increment();  // the old reference still works
+  EXPECT_EQ(c.value(), 1u);
+  EXPECT_EQ(registry.instrument_count(), 2u);
+}
+
+TEST(MetricsTest, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.counter("distance.calls", {{"measure", "token"}}).Increment(42);
+  registry.gauge("kernel.backend", {{"backend", "scalar"}}).Set(1);
+  registry.histogram("api.ms", {}, {1.0, 10.0}).Observe(0.5);
+  const std::string text = PrometheusText(registry.Snapshot());
+  const std::string expected =
+      "# TYPE dpe_api_ms histogram\n"
+      "dpe_api_ms_bucket{le=\"1\"} 1\n"
+      "dpe_api_ms_bucket{le=\"10\"} 1\n"
+      "dpe_api_ms_bucket{le=\"+Inf\"} 1\n"
+      "dpe_api_ms_sum 0.5\n"
+      "dpe_api_ms_count 1\n"
+      "# TYPE dpe_distance_calls_total counter\n"
+      "dpe_distance_calls_total{measure=\"token\"} 42\n"
+      "# TYPE dpe_kernel_backend gauge\n"
+      "dpe_kernel_backend{backend=\"scalar\"} 1\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(MetricsTest, StatsReportRendersStagesAndInfo) {
+  StatsReport report;
+  report.info = {{"kernel_backend", "scalar"}};
+  report.stages = {{"compute", 12.5}, {"journal", 0.25}};
+  const std::string text = report.ToPrometheusText();
+  EXPECT_NE(text.find("# info kernel_backend=scalar\n"), std::string::npos);
+  EXPECT_NE(text.find("dpe_last_build_stage_ms{stage=\"compute\"} 12.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("dpe_last_build_stage_ms{stage=\"journal\"} 0.25\n"),
+            std::string::npos);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"compute\",\"ms\":12.5}"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotJsonCarriesQuantiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat.ms", {}, {1.0, 2.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  const std::string json = SnapshotJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+}
+
+TEST(MetricsTest, DefaultRegistryIsAProcessSingleton) {
+  MetricsRegistry& a = MetricsRegistry::Default();
+  MetricsRegistry& b = MetricsRegistry::Default();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace dpe::obs

@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+namespace {
+
+TEST(TraceTest, DisabledBufferRecordsNothing) {
+  TraceBuffer buffer;  // disabled by default
+  {
+    TraceSpan span("noop", &buffer);
+  }
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceTest, DetachedSpanStillMeasuresElapsed) {
+  TraceSpan span("free");
+  span.End();
+  EXPECT_GE(span.elapsed_ms(), 0.0);
+}
+
+TEST(TraceTest, EnabledBufferCapturesSpan) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan span("build.compute", &buffer);
+  }
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "build.compute");
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(TraceTest, NestedSpansRecordIncreasingDepthAndContainment) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan outer("outer", &buffer);
+    {
+      TraceSpan middle("middle", &buffer);
+      {
+        TraceSpan inner("inner", &buffer);
+      }
+    }
+  }
+  std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Spans end inner-first, so the buffer holds inner, middle, outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 0u);
+  // All on one thread, so they share one small tid.
+  EXPECT_EQ(events[0].tid, events[2].tid);
+  // Containment: outer starts no later and ends no earlier than inner.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[2];
+  EXPECT_LE(outer.start_ns, inner.start_ns);
+  EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+}
+
+TEST(TraceTest, DepthOnlyCountsRecordingSpans) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan detached("not-recording");  // no buffer: must not bump depth
+    TraceSpan recorded("recording", &buffer);
+  }
+  const std::vector<TraceEvent> events = buffer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  TraceSpan span("once", &buffer);
+  span.End();
+  const double first = span.elapsed_ms();
+  span.End();
+  span.End();
+  EXPECT_EQ(span.elapsed_ms(), first);
+  EXPECT_EQ(buffer.size(), 1u);
+}
+
+TEST(TraceTest, SpanFeedsLatencyHistogramEvenWhenNotRecording) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat.ms");
+  {
+    TraceSpan span("timed", nullptr, &h);
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+}
+
+TEST(TraceTest, EnableAfterConstructionDoesNotRecordInFlightSpan) {
+  TraceBuffer buffer;
+  TraceSpan span("late", &buffer);
+  buffer.set_enabled(true);  // too late: recording decided at construction
+  span.End();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceTest, ClearEmptiesBuffer) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan span("gone", &buffer);
+  }
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  {
+    TraceSpan outer("build", &buffer);
+    {
+      TraceSpan inner("tile \"0\"", &buffer);  // quotes must be escaped
+    }
+  }
+  const std::string json = buffer.ToChromeJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"tile \\\"0\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  // Events are sorted by start time: "build" starts first.
+  EXPECT_LT(json.find("\"name\":\"build\""),
+            json.find("\"name\":\"tile"));
+}
+
+TEST(TraceTest, EmptyBufferStillExportsValidShell) {
+  TraceBuffer buffer;
+  const std::string json = buffer.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\""), std::string::npos);
+}
+
+TEST(TraceTest, TraceNowNsIsMonotonic) {
+  const uint64_t a = TraceNowNs();
+  const uint64_t b = TraceNowNs();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace dpe::obs
