@@ -42,6 +42,7 @@ int main() {
   std::printf("%-10s %14s %14s %12s %9s\n", "measure", "cold ms", "restore ms",
               "incr ms", "speedup");
 
+  bench::JsonReport report("checkpoint");
   for (const char* name : {"token", "structure"}) {
     // Cold build over all N+M queries — what a restart without persistence
     // pays every time.
@@ -96,6 +97,12 @@ int main() {
     std::printf("%-10s %14.1f %14.1f %12.1f %8.2fx\n", name, cold_ms,
                 restore_ms, incr_ms,
                 cold_ms / std::max(restore_ms + incr_ms, 1e-9));
+    report.Add("cold_build_ms", cold_ms, {{"measure", name}});
+    report.Add("restore_ms", restore_ms, {{"measure", name}});
+    report.Add("incremental_ms", incr_ms, {{"measure", name}});
+    // The restored engine's stats carry the cache/journal counters the
+    // restore path exercised (last measure wins).
+    report.SetEngineStats(session2.Stats().ToJson());
   }
 
   // What the journal recorded for the last measure: only the new rows.
@@ -114,5 +121,6 @@ int main() {
               "verified bit-identical to\nits cold build.)\n",
               rows, min_row);
   std::filesystem::remove_all(dir);
+  report.Write();
   return 0;
 }

@@ -117,6 +117,9 @@ int main(int argc, char** argv) {
       report.Add("merge_ms", merge_ms,
                  {{"measure", name}, {"shards", k_label}});
     }
+    // The direct-build engine's own counters/stage timings ride along in
+    // the artifact (last measure wins — the samples cover both).
+    report.SetEngineStats(direct_engine.Stats().ToJson());
     std::printf("\n");
   }
   std::filesystem::remove_all(dir);

@@ -9,6 +9,8 @@
 //                              timings + info labels) as JSON
 //
 //   $ ./build/examples/observability [output-dir]
+//   $ DPE_TELEMETRY_PORT=9464 ./build/examples/observability
+//         --serve --serve-ms 10000 [output-dir]       (telemetry mode)
 //
 // The example doubles as an end-to-end check of the observability layer's
 // accounting and exits non-zero when any of these fail:
@@ -17,14 +19,28 @@
 //   2. the build's stage timings sum to within 10% of its wall time (the
 //      stages cover the build, not a sample of it);
 //   3. the trace export is non-empty and structurally a Chrome trace.
+//
+// --serve additionally exercises the live telemetry path:
+//   4. the engine's embedded server answers /metrics and /healthz over
+//      real HTTP, and the scraped text carries the exact distance-call
+//      counter from check 1;
+//   5. a MetricsPusher pushing to an in-process sink delivers a payload
+//      whose distance-call counters agree with the self-scrape.
+// It then keeps the scrape endpoint alive for --serve-ms milliseconds so
+// an external scraper (scripts/check.sh, curl) can hit it.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/engine.h"
+#include "obs/http.h"
 #include "workload/scenarios.h"
 
 using namespace dpe;
@@ -42,10 +58,40 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Every "dpe_distance_calls_total..." line of a Prometheus exposition, in
+/// order — the stable counter family the push-vs-scrape check compares
+/// (telemetry.requests et al. legitimately differ between the two).
+std::vector<std::string> DistanceCallLines(const std::string& prom) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < prom.size()) {
+    size_t eol = prom.find('\n', pos);
+    if (eol == std::string::npos) eol = prom.size();
+    std::string line = prom.substr(pos, eol - pos);
+    if (line.rfind("dpe_distance_calls_total", 0) == 0) {
+      lines.push_back(std::move(line));
+    }
+    pos = eol + 1;
+  }
+  return lines;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_dir = argc > 1 ? argv[1] : "observability_out";
+  std::string out_dir = "observability_out";
+  bool serve = false;
+  long serve_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      serve_ms = std::atol(argv[++i]);
+    } else {
+      out_dir = arg;
+    }
+  }
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
@@ -66,7 +112,18 @@ int main(int argc, char** argv) {
   }
 
   engine::EngineOptions options{.threads = 2, .block = 32, .trace = true};
+  if (serve && std::getenv("DPE_TELEMETRY_PORT") == nullptr) {
+    options.telemetry_port = 0;  // ephemeral; env (when set) wins below
+  }
   engine::Engine engine(scenario->Context(), options);
+  if (serve) {
+    if (engine.telemetry_port() < 0) {
+      std::fprintf(stderr, "--serve: telemetry server failed to start\n");
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n",
+                engine.telemetry_port());
+  }
   engine.SetLog(scenario->log);
 
   engine::BuildReport report;
@@ -152,6 +209,84 @@ int main(int argc, char** argv) {
   if (!WriteFile(json_path, stats.ToJson())) return 1;
   std::printf("wrote %s, %s, %s\n", prom_path.c_str(), trace_path.c_str(),
               json_path.c_str());
+
+  if (serve) {
+    // -- Check 4: the embedded server serves real HTTP. ---------------------
+    const int port = engine.telemetry_port();
+    obs::HttpResponse scraped;
+    std::string error;
+    if (!obs::HttpGet("127.0.0.1", port, "/metrics", 5000, &scraped, &error) ||
+        scraped.status_code != 200) {
+      std::fprintf(stderr, "FAIL: GET /metrics: %s (status %d)\n",
+                   error.c_str(), scraped.status_code);
+      ++failures;
+    } else {
+      const std::string want_line =
+          "dpe_distance_calls_total{measure=\"token\"} " +
+          std::to_string(want_cells);
+      if (scraped.body.find(want_line) == std::string::npos) {
+        std::fprintf(stderr, "FAIL: scraped /metrics lacks \"%s\"\n",
+                     want_line.c_str());
+        ++failures;
+      } else {
+        std::printf("scraped /metrics carries %s  ok\n", want_line.c_str());
+      }
+    }
+    obs::HttpResponse health;
+    if (!obs::HttpGet("127.0.0.1", port, "/healthz", 5000, &health, &error) ||
+        health.status_code != 200 ||
+        health.body.find("\"status\":\"ok\"") == std::string::npos) {
+      std::fprintf(stderr, "FAIL: GET /healthz: %s (status %d, body %s)\n",
+                   error.c_str(), health.status_code, health.body.c_str());
+      ++failures;
+    } else {
+      std::printf("healthz: %s\n", health.body.c_str());
+    }
+
+    // -- Check 5: pushed and scraped payloads agree. ------------------------
+    auto sink = obs::HttpSink::Start(0, &error);
+    if (sink == nullptr) {
+      std::fprintf(stderr, "FAIL: sink: %s\n", error.c_str());
+      ++failures;
+    } else {
+      obs::MetricsPusher::Options push_options;
+      push_options.url =
+          "http://127.0.0.1:" + std::to_string(sink->port()) + "/push";
+      push_options.interval_ms = 60000;  // loop idles; PushNow drives it
+      auto pusher = obs::MetricsPusher::Start(
+          push_options, [&engine] { return engine.MetricsText(); }, &error);
+      if (pusher == nullptr || !pusher->PushNow(&error)) {
+        std::fprintf(stderr, "FAIL: push: %s\n", error.c_str());
+        ++failures;
+      } else {
+        obs::HttpResponse rescrape;
+        if (!obs::HttpGet("127.0.0.1", port, "/metrics", 5000, &rescrape,
+                          &error)) {
+          std::fprintf(stderr, "FAIL: re-scrape: %s\n", error.c_str());
+          ++failures;
+        } else if (DistanceCallLines(sink->last_body()) !=
+                       DistanceCallLines(rescrape.body) ||
+                   DistanceCallLines(sink->last_body()).empty()) {
+          std::fprintf(stderr,
+                       "FAIL: pushed and scraped distance-call counters "
+                       "disagree\n");
+          ++failures;
+        } else {
+          std::printf("pushed payload matches scrape (%llu pushes, %llu "
+                      "failures)  ok\n",
+                      static_cast<unsigned long long>(pusher->pushes()),
+                      static_cast<unsigned long long>(pusher->failures()));
+        }
+      }
+    }
+
+    // Keep the endpoint alive for external scrapers (check.sh, curl).
+    if (serve_ms > 0 && failures == 0) {
+      std::printf("serving /metrics for %ld ms...\n", serve_ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
+    }
+  }
 
   if (failures != 0) {
     std::fprintf(stderr, "%d observability check(s) failed\n", failures);

@@ -52,6 +52,44 @@ echo "== example smoke: observability export =="
 ls -l observability_out/metrics.prom observability_out/trace.json \
       observability_out/observability_report.json
 
+echo "== telemetry smoke: live /metrics scrape over real HTTP =="
+# The observability example with --serve starts the engine's embedded
+# telemetry server on DPE_TELEMETRY_PORT, runs its push-vs-scrape
+# self-check, then holds the endpoint open; curl scrapes it the way a
+# Prometheus server would. Non-200 answers fail the leg (curl -f), and the
+# scraped text must carry the exact 256-query distance-call count
+# (256 * 255 / 2 = 32640). Scraped artifacts land in observability_out/
+# so CI archives them with the rest.
+TELEMETRY_PORT=$((20000 + RANDOM % 20000))
+# exec so $! is the example itself, not the subshell — the kill below must
+# reach the serving process.
+(cd build && exec env DPE_TELEMETRY_PORT="$TELEMETRY_PORT" \
+      ./examples/observability --serve --serve-ms 30000 ../observability_out \
+      > ../observability_out/serve_log.txt 2>&1) &
+SERVE_PID=$!
+# Poll until the scrape carries the full post-build count — the server is
+# up from engine construction, so an early scrape legitimately sees a
+# partial build. The last iteration's scrape is the archived artifact.
+for _ in $(seq 1 150); do
+  if curl -fsS "http://127.0.0.1:${TELEMETRY_PORT}/metrics" \
+        -o observability_out/scraped_metrics.prom 2>/dev/null \
+      && grep -q 'dpe_distance_calls_total{measure="token"} 32640' \
+            observability_out/scraped_metrics.prom; then
+    break
+  fi
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.2
+done
+grep -q 'dpe_distance_calls_total{measure="token"} 32640' \
+      observability_out/scraped_metrics.prom
+curl -fsS "http://127.0.0.1:${TELEMETRY_PORT}/healthz" \
+      -o observability_out/healthz.json
+grep -q '"status":"ok"' observability_out/healthz.json
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+cat observability_out/serve_log.txt
+ls -l observability_out/scraped_metrics.prom observability_out/healthz.json
+
 echo "== sanitizers: asan+ubsan on engine/distance/store tests =="
 cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
       -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF

@@ -2,6 +2,7 @@
 
 #include "common/hex.h"
 #include "common/str.h"
+#include "crypto/instrument.h"
 
 namespace dpe::cryptdb {
 
@@ -111,6 +112,10 @@ db::ExecuteOptions CryptDb::ProviderOptions() const {
     // Only SUM/AVG over an ADD-onion column use Paillier folding.
     if (fn != sql::AggFn::kSum && fn != sql::AggFn::kAvg) return std::nullopt;
     if (!column_name.ends_with(kAddSuffix)) return std::nullopt;
+    // This is the crypto cost of encrypted result-measure builds: one fold
+    // per aggregate row group, each a chain of Paillier::Add calls.
+    DPE_CRYPTO_COUNT("cryptdb", "agg_fold");
+    crypto::CryptoSpan fold_span("cryptdb.agg_fold");
     Bigint acc;
     bool any = false;
     size_t count = 0;

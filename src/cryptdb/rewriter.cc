@@ -1,6 +1,7 @@
 #include "cryptdb/rewriter.h"
 
 #include "common/hex.h"
+#include "crypto/instrument.h"
 
 namespace dpe::cryptdb {
 
@@ -102,6 +103,9 @@ Result<Literal> QueryRewriter::EncryptConstEq(const std::string& column_key,
                                               ColumnType type,
                                               const Literal& lit) const {
   DPE_ASSIGN_OR_RETURN(Literal coerced, CoerceLiteral(type, lit));
+  obs::MetricsRegistry::Default()
+      .counter("cryptdb.consts_encrypted", {{"onion", "eq"}})
+      .Increment();
   DPE_ASSIGN_OR_RETURN(
       db::Value cell,
       crypto_->EncryptEq(column_key, db::Value::FromLiteral(coerced)));
@@ -112,6 +116,9 @@ Result<Literal> QueryRewriter::EncryptConstOrd(const std::string& column_key,
                                                ColumnType type,
                                                const Literal& lit) const {
   DPE_ASSIGN_OR_RETURN(Literal coerced, CoerceLiteral(type, lit));
+  obs::MetricsRegistry::Default()
+      .counter("cryptdb.consts_encrypted", {{"onion", "ord"}})
+      .Increment();
   DPE_ASSIGN_OR_RETURN(
       db::Value cell,
       crypto_->EncryptOrd(column_key, db::Value::FromLiteral(coerced)));
@@ -185,6 +192,8 @@ Result<PredicatePtr> QueryRewriter::RewritePredicate(const Predicate& p,
 }
 
 Result<SelectQuery> QueryRewriter::Rewrite(const SelectQuery& q) const {
+  DPE_CRYPTO_COUNT("cryptdb", "rewrite");
+  crypto::CryptoSpan rewrite_span("cryptdb.rewrite");
   Scope scope(q);
   SelectQuery out;
   out.distinct = q.distinct;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/instrument.h"
+
 namespace dpe::crypto {
 
 namespace {
@@ -208,6 +210,9 @@ void Aes::DecryptBlock(const unsigned char in[16], unsigned char out[16]) const 
 }
 
 Bytes Aes::CtrXcrypt(std::string_view iv, std::string_view data) const {
+  // One count per message, bytes in bulk — never per block.
+  DPE_CRYPTO_COUNT("aes", "ctr");
+  DPE_CRYPTO_COUNT_BYTES("aes", data.size());
   unsigned char counter[16];
   std::memcpy(counter, iv.data(), 16);
   Bytes out(data.size(), '\0');
@@ -229,6 +234,8 @@ Bytes Aes::CtrXcrypt(std::string_view iv, std::string_view data) const {
 }
 
 Bytes Aes::CbcEncrypt(std::string_view iv, std::string_view plaintext) const {
+  DPE_CRYPTO_COUNT("aes", "cbc_encrypt");
+  DPE_CRYPTO_COUNT_BYTES("aes", plaintext.size());
   const size_t pad = kBlockSize - (plaintext.size() % kBlockSize);
   Bytes padded(plaintext);
   padded.append(pad, static_cast<char>(pad));
@@ -247,6 +254,7 @@ Bytes Aes::CbcEncrypt(std::string_view iv, std::string_view plaintext) const {
 }
 
 Result<Bytes> Aes::CbcDecrypt(std::string_view iv, std::string_view ciphertext) const {
+  DPE_CRYPTO_COUNT("aes", "cbc_decrypt");
   if (ciphertext.empty() || ciphertext.size() % kBlockSize != 0) {
     return Status::CryptoError("CBC ciphertext length not a multiple of 16");
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "crypto/csprng.h"
+#include "crypto/instrument.h"
 
 namespace dpe::crypto {
 
@@ -115,6 +116,9 @@ Bigint& Bigint::operator*=(const Bigint& b) {
 }
 
 Bigint Bigint::PowMod(const Bigint& e, const Bigint& m) const {
+  // The dominant bigint cost in Paillier; counted so encrypted-path perf
+  // work can watch modexps/s, never traced (far too hot).
+  DPE_CRYPTO_COUNT("bigint", "modexp");
   Bigint out;
   mpz_powm(out.v_, v_, e.v_, m.v_);
   return out;

@@ -1,6 +1,7 @@
 #include "crypto/det.h"
 
 #include "crypto/hmac.h"
+#include "crypto/instrument.h"
 
 namespace dpe::crypto {
 
@@ -14,6 +15,8 @@ Result<DetEncryptor> DetEncryptor::Create(std::string_view key) {
 }
 
 Bytes DetEncryptor::EncryptConst(std::string_view plaintext) const {
+  DPE_CRYPTO_COUNT("det", "encrypt");
+  DPE_CRYPTO_COUNT_BYTES("det", plaintext.size());
   Bytes iv = Prf(mac_key_, "det-siv", plaintext).substr(0, Aes::kBlockSize);
   Bytes body = aes_.CtrXcrypt(iv, plaintext);
   return iv + body;
@@ -24,6 +27,7 @@ Bytes DetEncryptor::Encrypt(std::string_view plaintext) {
 }
 
 Result<Bytes> DetEncryptor::Decrypt(std::string_view ciphertext) const {
+  DPE_CRYPTO_COUNT("det", "decrypt");
   if (ciphertext.size() < Aes::kBlockSize) {
     return Status::CryptoError("DET ciphertext shorter than IV");
   }

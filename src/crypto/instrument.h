@@ -1,0 +1,84 @@
+// Deep instrumentation hooks for the crypto layer: always-on op/byte
+// counters in the process-default registry, and trace spans that land in
+// the thread's *ambient* TraceBuffer.
+//
+// The crypto primitives are constructed far below the engine (inside
+// encryptors owned by a CryptDb, owned by encryption artifacts, ...) — no
+// registry or buffer can reach them by injection without threading
+// observability types through every crypto API. So, like the store codec
+// and the SIMD dispatch, they count into MetricsRegistry::Default(); and
+// for spans they use obs::AmbientTraceBuffer(), which the engine's API
+// entry points and the builder's pool tasks install around every build.
+// Outside such a scope (unit tests, owner-side tooling) spans cost one
+// thread-local read and record nothing.
+//
+// Counters resolve once per call site through a function-local static
+// reference (the registry lookup takes a mutex; the increment afterwards
+// is a relaxed fetch_add), so even per-row paths like Paillier::Add in the
+// aggregate fold stay cheap.
+//
+// Span granularity: expensive, message-level operations only — Paillier
+// ops, OPE tree walks, keygen, query rewrites. Never per AES block or per
+// PRF call; those are counted, not traced.
+
+#ifndef DPE_CRYPTO_INSTRUMENT_H_
+#define DPE_CRYPTO_INSTRUMENT_H_
+
+#include <optional>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dpe::crypto {
+
+/// The always-on "crypto.ops{op=,scheme=}" counter for one (scheme, op).
+/// Call through the DPE_CRYPTO_COUNT macro so the lookup happens once per
+/// call site, not once per operation.
+inline obs::Counter& CryptoOpCounter(const char* scheme, const char* op) {
+  return obs::MetricsRegistry::Default().counter(
+      "crypto.ops", {{"op", op}, {"scheme", scheme}});
+}
+
+/// "crypto.bytes_encrypted{scheme=}" — plaintext bytes pushed through the
+/// named scheme's cipher core.
+inline obs::Counter& CryptoBytesCounter(const char* scheme) {
+  return obs::MetricsRegistry::Default().counter("crypto.bytes_encrypted",
+                                                 {{"scheme", scheme}});
+}
+
+/// Counts one (scheme, op) occurrence; `scheme` and `op` must be literals
+/// (one static per call site).
+#define DPE_CRYPTO_COUNT(scheme, op)                               \
+  do {                                                             \
+    static ::dpe::obs::Counter& dpe_crypto_op_counter =            \
+        ::dpe::crypto::CryptoOpCounter(scheme, op);                \
+    dpe_crypto_op_counter.Increment();                             \
+  } while (0)
+
+/// Counts `n` plaintext bytes for `scheme` (a literal).
+#define DPE_CRYPTO_COUNT_BYTES(scheme, n)                          \
+  do {                                                             \
+    static ::dpe::obs::Counter& dpe_crypto_byte_counter =          \
+        ::dpe::crypto::CryptoBytesCounter(scheme);                 \
+    dpe_crypto_byte_counter.Increment(                             \
+        static_cast<uint64_t>(n));                                 \
+  } while (0)
+
+/// RAII span into the thread's ambient trace buffer. Materializes a real
+/// TraceSpan only when a buffer is installed AND enabled — otherwise the
+/// constructor is a thread-local read and a branch.
+class CryptoSpan {
+ public:
+  explicit CryptoSpan(std::string_view name) {
+    obs::TraceBuffer* buffer = obs::AmbientTraceBuffer();
+    if (buffer != nullptr && buffer->enabled()) span_.emplace(name, buffer);
+  }
+
+ private:
+  std::optional<obs::TraceSpan> span_;
+};
+
+}  // namespace dpe::crypto
+
+#endif  // DPE_CRYPTO_INSTRUMENT_H_

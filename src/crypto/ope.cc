@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/hmac.h"
+#include "crypto/instrument.h"
 
 namespace dpe::crypto {
 
@@ -82,6 +83,8 @@ Bigint BoldyrevaOpe::SampleSplit(const Bigint& dlo, const Bigint& dhi,
 }
 
 Bigint BoldyrevaOpe::Encrypt(uint64_t x) const {
+  DPE_CRYPTO_COUNT("ope", "encrypt");
+  CryptoSpan span("crypto.ope.encrypt");
   Bigint dlo(0);
   Bigint dhi = Pow2(options_.domain_bits) - Bigint(1);
   Bigint rlo(0);
@@ -110,6 +113,8 @@ Bigint BoldyrevaOpe::Encrypt(uint64_t x) const {
 }
 
 Result<uint64_t> BoldyrevaOpe::Decrypt(const Bigint& ciphertext) const {
+  DPE_CRYPTO_COUNT("ope", "decrypt");
+  CryptoSpan span("crypto.ope.decrypt");
   Bigint dlo(0);
   Bigint dhi = Pow2(options_.domain_bits) - Bigint(1);
   Bigint rlo(0);
@@ -181,6 +186,7 @@ Status DictionaryOpe::BuildFromDomain(std::vector<Bytes> domain) {
 }
 
 Result<uint64_t> DictionaryOpe::Encrypt(std::string_view value) const {
+  DPE_CRYPTO_COUNT("ope_dict", "encrypt");
   auto it = code_.find(Bytes(value));
   if (it == code_.end()) {
     return Status::NotFound("value not in OPE code book");
@@ -212,6 +218,7 @@ Status DictionaryOpe::Insert(const Bytes& value) {
 }
 
 Result<Bytes> DictionaryOpe::Decrypt(uint64_t ciphertext) const {
+  DPE_CRYPTO_COUNT("ope_dict", "decrypt");
   auto it = reverse_.find(ciphertext);
   if (it == reverse_.end()) {
     return Status::NotFound("ciphertext not in OPE code book");

@@ -1,5 +1,7 @@
 #include "crypto/paillier.h"
 
+#include "crypto/instrument.h"
+
 namespace dpe::crypto {
 
 namespace {
@@ -12,6 +14,8 @@ Result<Paillier::KeyPair> Paillier::GenerateKeyPair(int modulus_bits,
   if (modulus_bits < 64) {
     return Status::InvalidArgument("Paillier modulus must be >= 64 bits");
   }
+  DPE_CRYPTO_COUNT("paillier", "keygen");
+  CryptoSpan span("crypto.paillier.keygen");
   const int half = modulus_bits / 2;
   for (int attempt = 0; attempt < 128; ++attempt) {
     Bigint p = Bigint::RandomPrime(half, rng);
@@ -41,6 +45,8 @@ Result<Bigint> Paillier::Encrypt(const PublicKey& pub, const Bigint& m,
   if (m.IsNegative() || !(m < pub.n)) {
     return Status::InvalidArgument("Paillier plaintext must be in [0, n)");
   }
+  DPE_CRYPTO_COUNT("paillier", "encrypt");
+  CryptoSpan span("crypto.paillier.encrypt");
   // r uniform in [1, n) with gcd(r, n) = 1.
   Bigint r;
   do {
@@ -59,16 +65,21 @@ Result<Bigint> Paillier::Decrypt(const PublicKey& pub, const PrivateKey& priv,
   if (Bigint::Gcd(c, pub.n) != Bigint(1)) {
     return Status::CryptoError("Paillier ciphertext not a unit");
   }
+  DPE_CRYPTO_COUNT("paillier", "decrypt");
+  CryptoSpan span("crypto.paillier.decrypt");
   Bigint l = LFunction(c.PowMod(priv.lambda, pub.n2), pub.n);
   return (l * priv.mu) % pub.n;
 }
 
 Bigint Paillier::Add(const PublicKey& pub, const Bigint& c1, const Bigint& c2) {
+  DPE_CRYPTO_COUNT("paillier", "add");
+  CryptoSpan span("crypto.paillier.add");
   return (c1 * c2) % pub.n2;
 }
 
 Bigint Paillier::AddPlain(const PublicKey& pub, const Bigint& c,
                           const Bigint& k) {
+  DPE_CRYPTO_COUNT("paillier", "add_plain");
   Bigint kk = k % pub.n;  // normalizes negatives into Z_n
   Bigint gk = (Bigint(1) + kk * pub.n) % pub.n2;
   return (c * gk) % pub.n2;
@@ -76,6 +87,8 @@ Bigint Paillier::AddPlain(const PublicKey& pub, const Bigint& c,
 
 Bigint Paillier::MulPlain(const PublicKey& pub, const Bigint& c,
                           const Bigint& k) {
+  DPE_CRYPTO_COUNT("paillier", "mul_plain");
+  CryptoSpan span("crypto.paillier.mul_plain");
   Bigint kk = k % pub.n;
   return c.PowMod(kk, pub.n2);
 }

@@ -1,5 +1,7 @@
 #include "crypto/prob.h"
 
+#include "crypto/instrument.h"
+
 namespace dpe::crypto {
 
 Result<ProbEncryptor> ProbEncryptor::Create(std::string_view key, Csprng rng) {
@@ -11,12 +13,15 @@ Result<ProbEncryptor> ProbEncryptor::Create(std::string_view key, Csprng rng) {
 }
 
 Bytes ProbEncryptor::Encrypt(std::string_view plaintext) {
+  DPE_CRYPTO_COUNT("prob", "encrypt");
+  DPE_CRYPTO_COUNT_BYTES("prob", plaintext.size());
   Bytes iv = rng_.NextBytes(Aes::kBlockSize);
   Bytes body = aes_.CtrXcrypt(iv, plaintext);
   return iv + body;
 }
 
 Result<Bytes> ProbEncryptor::Decrypt(std::string_view ciphertext) const {
+  DPE_CRYPTO_COUNT("prob", "decrypt");
   if (ciphertext.size() < Aes::kBlockSize) {
     return Status::CryptoError("PROB ciphertext shorter than IV");
   }

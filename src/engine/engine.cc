@@ -32,9 +32,70 @@ Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
     trace_on = true;
   }
   trace_.set_enabled(trace_on);
+
+  // Telemetry is best-effort by contract: a taken port or a bad push URL
+  // logs and counts, but never fails engine construction — mining must
+  // work identically with telemetry on, off, or broken.
+  int scrape_port = options_.telemetry_port;
+  if (scrape_port < 0) {
+    if (const char* env = std::getenv("DPE_TELEMETRY_PORT");
+        env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed >= 0 && parsed <= 65535) {
+        scrape_port = static_cast<int>(parsed);
+      }
+    }
+  }
+  if (scrape_port >= 0) {
+    obs::TelemetryServer::Options sopts;
+    sopts.bind_address = options_.telemetry_bind;
+    sopts.port = scrape_port;
+    sopts.metrics = metrics_;
+    obs::TelemetryEndpoints endpoints;
+    endpoints.metrics_text = [this] { return MetricsText(); };
+    endpoints.healthz_json = [this] { return HealthzJson(); };
+    endpoints.stats_json = [this] { return Stats().ToJson(); };
+    endpoints.trace_json = [this] { return trace_.ToChromeJson(); };
+    std::string error;
+    telemetry_ =
+        obs::TelemetryServer::Start(sopts, std::move(endpoints), &error);
+    if (telemetry_ == nullptr) {
+      std::fprintf(stderr, "dpe: telemetry server disabled: %s\n",
+                   error.c_str());
+      metrics_->counter("telemetry.server_errors").Increment();
+    }
+  }
+  std::string push_url = options_.telemetry_push_url;
+  if (push_url.empty()) {
+    if (const char* env = std::getenv("DPE_TELEMETRY_PUSH_URL");
+        env != nullptr && *env != '\0') {
+      push_url = env;
+    }
+  }
+  if (!push_url.empty()) {
+    obs::MetricsPusher::Options popts;
+    popts.url = push_url;
+    popts.interval_ms = options_.telemetry_push_interval_ms;
+    popts.min_backoff_ms = options_.telemetry_push_min_backoff_ms;
+    popts.max_backoff_ms = options_.telemetry_push_max_backoff_ms;
+    popts.metrics = metrics_;
+    std::string error;
+    pusher_ = obs::MetricsPusher::Start(
+        popts, [this] { return MetricsText(); }, &error);
+    if (pusher_ == nullptr) {
+      std::fprintf(stderr, "dpe: metrics pusher disabled: %s\n",
+                   error.c_str());
+      metrics_->counter("telemetry.server_errors").Increment();
+    }
+  }
 }
 
 Engine::~Engine() {
+  // Telemetry threads stop first: their callbacks walk the registry, the
+  // pool, the cache and the trace buffer — everything torn down below.
+  pusher_.reset();
+  telemetry_.reset();
   // Async build tasks capture `this`; members destruct in reverse
   // declaration order, so without this barrier a still-queued task could
   // touch the cache/store after they are gone.
@@ -125,9 +186,13 @@ Result<distance::DistanceMatrix> Engine::BuildMatrixOn(
   local.cells_total =
       local.n < 2 ? 0 : static_cast<uint64_t>(local.n) * (local.n - 1) / 2;
 
+  // Crypto/cryptdb spans fired under this build (measure Prepare work,
+  // homomorphic aggregate folds) land in this engine's buffer.
+  obs::ScopedAmbientTrace ambient(&trace_);
   obs::TraceSpan api_span(
       "engine.build_matrix", &trace_,
-      &metrics_->histogram("engine.api_ms", {{"api", "build_matrix"}}));
+      &metrics_->histogram("engine.api_ms", {{"api", "build_matrix"},
+                                             {"measure", measure_name}}));
   Result<distance::DistanceMatrix> result =
       BuildMatrixStaged(builder, queries, measure, measure_name, local);
   api_span.End();
@@ -466,7 +531,8 @@ Result<mining::KMedoidsResult> Engine::RunKMedoids(
     const std::string& measure, const mining::KMedoidsOptions& options) {
   obs::TraceSpan span(
       "engine.kmedoids", &trace_,
-      &metrics_->histogram("engine.api_ms", {{"api", "kmedoids"}}));
+      &metrics_->histogram("engine.api_ms",
+                           {{"api", "kmedoids"}, {"measure", measure}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   mining::KMedoidsOptions pooled = options;
   pooled.pool = &pool_;
@@ -478,7 +544,8 @@ Result<mining::DbscanResult> Engine::RunDbscan(
     const std::string& measure, const mining::DbscanOptions& options) {
   obs::TraceSpan span(
       "engine.dbscan", &trace_,
-      &metrics_->histogram("engine.api_ms", {{"api", "dbscan"}}));
+      &metrics_->histogram("engine.api_ms",
+                           {{"api", "dbscan"}, {"measure", measure}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   mining::DbscanOptions pooled = options;
   pooled.pool = &pool_;
@@ -489,7 +556,8 @@ Result<mining::DbscanResult> Engine::RunDbscan(
 Result<mining::Dendrogram> Engine::RunHierarchical(const std::string& measure) {
   obs::TraceSpan span(
       "engine.hierarchical", &trace_,
-      &metrics_->histogram("engine.api_ms", {{"api", "hierarchical"}}));
+      &metrics_->histogram("engine.api_ms",
+                           {{"api", "hierarchical"}, {"measure", measure}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   return mining::CompleteLink(m, &pool_, context_.kernel_backend, metrics_);
 }
@@ -499,7 +567,8 @@ Result<OutlierKnnReport> Engine::RunOutlierKnn(
     size_t k) {
   obs::TraceSpan span(
       "engine.outlier_knn", &trace_,
-      &metrics_->histogram("engine.api_ms", {{"api", "outlier_knn"}}));
+      &metrics_->histogram("engine.api_ms",
+                           {{"api", "outlier_knn"}, {"measure", measure}}));
   DPE_ASSIGN_OR_RETURN(distance::DistanceMatrix m, BuildMatrix(measure));
   OutlierKnnReport report;
   mining::OutlierOptions pooled = options;
@@ -644,6 +713,32 @@ obs::StatsReport Engine::Stats() const {
       {"last_build_measure", last.measure},
   };
   return report;
+}
+
+std::string Engine::MetricsText() const {
+  // One scrape = one rate tick: the Prometheus scrape interval IS the rate
+  // window's sampling cadence, the standard arrangement.
+  std::string text = Stats().ToPrometheusText();
+  text += obs::PrometheusText(rates_.Tick(*metrics_));
+  return text;
+}
+
+std::string Engine::HealthzJson() const {
+  const BuildReport last = last_build_report();
+  std::string json = "{\"status\":\"ok\"";
+  json += ",\"log_size\":" + std::to_string(queries_.size());
+  json += ",\"checkpoint_attached\":";
+  json += checkpoint_attached() ? "true" : "false";
+  json += ",\"last_build\":{\"measure\":\"" + last.measure + "\"";
+  json += ",\"n\":" + std::to_string(last.n);
+  json += ",\"cells_total\":" + std::to_string(last.cells_total);
+  json += ",\"cells_computed\":" + std::to_string(last.cells_computed);
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", last.wall_ms);
+  json += ",\"wall_ms\":";
+  json += wall;
+  json += "}}";
+  return json;
 }
 
 }  // namespace dpe::engine

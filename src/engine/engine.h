@@ -40,7 +40,9 @@
 #include "mining/knn.h"
 #include "mining/outlier.h"
 #include "obs/metrics.h"
+#include "obs/rates.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "store/matrix_store.h"
 
@@ -84,6 +86,26 @@ struct EngineOptions {
   /// the engine's numbers land next to the store/kernel layer's. Tests
   /// inject a private registry for isolation.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Embedded telemetry HTTP server (GET-only: /metrics, /healthz, /stats,
+  /// /trace). -1 (default) = disabled: no socket is opened and no server
+  /// thread starts. 0 = bind an ephemeral port (read it back via
+  /// Engine::telemetry_port()). When this is < 0 the DPE_TELEMETRY_PORT
+  /// env var (if set to a valid port) takes over, so operators can turn
+  /// scraping on without a rebuild. A failed bind logs and counts
+  /// telemetry.server_errors but never fails engine construction.
+  int telemetry_port = -1;
+  /// Bind address for the telemetry server. Loopback by default — exposing
+  /// the port beyond the host is an explicit operator decision.
+  std::string telemetry_bind = "127.0.0.1";
+  /// Push-gateway URL ("http://host:port/path"). Non-empty starts a
+  /// MetricsPusher thread POSTing the full Prometheus exposition on an
+  /// interval; a dead gateway only ever costs capped-backoff retries and a
+  /// telemetry.push_failures counter — pushes never block or fail builds.
+  /// Empty (default) consults the DPE_TELEMETRY_PUSH_URL env var.
+  std::string telemetry_push_url{};
+  int telemetry_push_interval_ms = 5000;
+  int telemetry_push_min_backoff_ms = 500;
+  int telemetry_push_max_backoff_ms = 30000;
 };
 
 /// What one BuildMatrix call did and where its time went. `stages` covers
@@ -265,6 +287,24 @@ class Engine {
   /// info labels (resolved kernel backend, thread count, cache hit rate).
   obs::StatsReport Stats() const;
 
+  // -- Live telemetry --------------------------------------------------------
+
+  /// The full Prometheus exposition this engine serves at /metrics and
+  /// pushes to the gateway: Stats() rendered as text, plus the rolling-
+  /// window `dpe_*_per_sec` gauges (each call ticks the rate window).
+  std::string MetricsText() const;
+
+  /// The /healthz payload: liveness plus last-build status, JSON.
+  std::string HealthzJson() const;
+
+  /// Bound scrape port, or -1 when the telemetry server is off (port
+  /// option/env unset, or the bind failed).
+  int telemetry_port() const { return telemetry_ ? telemetry_->port() : -1; }
+  const obs::TelemetryServer* telemetry_server() const {
+    return telemetry_.get();
+  }
+  const obs::MetricsPusher* metrics_pusher() const { return pusher_.get(); }
+
  private:
   /// Instantiates (once) and returns the named measure. Instances are kept
   /// alive for the engine's lifetime so measure-internal memoization (the
@@ -328,6 +368,14 @@ class Engine {
   /// first built after the checkpoint starts at 0 and journals its full
   /// matrix exactly once.
   std::map<std::string, size_t> journal_watermarks_;
+  /// Telemetry lifecycle — declared LAST so it is destroyed FIRST: the
+  /// scrape and push threads call into everything above (and the dtor
+  /// also resets them explicitly before draining the pool, belt and
+  /// braces). RollingRates is internally synchronized, so concurrent
+  /// scrape + push ticks just interleave.
+  mutable obs::RollingRates rates_;
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
+  std::unique_ptr<obs::MetricsPusher> pusher_;
 };
 
 }  // namespace dpe::engine

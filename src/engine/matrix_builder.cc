@@ -168,6 +168,10 @@ Result<distance::DistanceMatrix> MatrixBuilder::BuildTiles(
       options_.trace != nullptr && options_.trace->enabled();
   DPE_RETURN_NOT_OK(common::ParallelForStatus(
       pool_, tile_begin, tile_end, 1, [&](size_t begin, size_t end) -> Status {
+        // Pool workers inherit the build's trace buffer for the duration of
+        // this chunk, so crypto spans fired from measure code on a worker
+        // thread land in the same trace as the build that caused them.
+        obs::ScopedAmbientTrace ambient(options_.trace);
         for (size_t t = begin; t < end; ++t) {
           const auto [bi, bj] = tiles[t];
           std::optional<obs::TraceSpan> tile_span;
@@ -217,6 +221,7 @@ Result<std::vector<double>> MatrixBuilder::ComputePairs(
       pool_, 0, pairs.size(),
       std::max<size_t>(1, options_.block * options_.block / 2),
       [&](size_t begin, size_t end) -> Status {
+        obs::ScopedAmbientTrace ambient(options_.trace);
         for (size_t p = begin; p < end; ++p) {
           const auto [i, j] = pairs[p];
           if (i == j) continue;  // zero diagonal by definition

@@ -1,0 +1,505 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace dpe::obs {
+
+namespace {
+
+/// Total bytes (headers + body) one inbound request may occupy. Telemetry
+/// requests are tiny; anything bigger is a client bug or abuse.
+constexpr size_t kMaxRequestBytes = 1 << 20;
+/// Response cap for the client side (a /metrics payload is well under this).
+constexpr size_t kMaxResponseBytes = 64u << 20;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Polls `fd` for `events` until it is ready or `deadline_ms` passes.
+bool WaitFd(int fd, short events, int64_t deadline_ms) {
+  for (;;) {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) return false;
+    struct pollfd pfd{fd, events, 0};
+    const int rc = poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool SendAll(int fd, const std::string& data, int64_t deadline_ms,
+             std::string* error) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!WaitFd(fd, POLLOUT, deadline_ms)) {
+        SetError(error, "http: send timed out");
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    SetError(error, std::string("http: send failed: ") + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+/// Case-insensitive "Content-Length" lookup in a raw header block.
+/// Returns false when the header is absent; *length is 0 then.
+bool FindContentLength(const std::string& headers, size_t* length) {
+  *length = 0;
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      for (char& c : key) c = static_cast<char>(std::tolower(c));
+      if (key == "content-length") {
+        size_t v = colon + 1;
+        while (v < line.size() && line[v] == ' ') ++v;
+        *length = static_cast<size_t>(
+            std::strtoull(line.c_str() + v, nullptr, 10));
+        return true;
+      }
+    }
+    pos = eol + 2;
+  }
+  return false;
+}
+
+/// Reads one HTTP message (start line + headers + body) off a non-blocking
+/// socket. Responses without Content-Length are read to EOF (we always
+/// send/expect Connection: close).
+bool ReadMessage(int fd, int64_t deadline_ms, size_t max_bytes,
+                 bool body_may_run_to_eof, std::string* start_line,
+                 std::string* headers, std::string* body, std::string* error) {
+  std::string buf;
+  size_t header_end = std::string::npos;
+  size_t content_length = 0;
+  bool have_length = false;
+  bool eof = false;
+  for (;;) {
+    if (header_end != std::string::npos) {
+      const size_t body_start = header_end + 4;
+      if (have_length && buf.size() >= body_start + content_length) break;
+      if (!have_length && (!body_may_run_to_eof || eof)) break;
+      if (eof) break;
+    } else if (eof) {
+      SetError(error, "http: connection closed before headers completed");
+      return false;
+    }
+    if (buf.size() > max_bytes) {
+      SetError(error, "http: message exceeds size cap");
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf.append(chunk, static_cast<size_t>(n));
+      if (header_end == std::string::npos) {
+        header_end = buf.find("\r\n\r\n");
+        if (header_end != std::string::npos) {
+          const size_t line_end = buf.find("\r\n");
+          *start_line = buf.substr(0, line_end);
+          *headers = buf.substr(line_end + 2, header_end - line_end - 2);
+          have_length = FindContentLength(*headers, &content_length);
+          if (content_length > max_bytes) {
+            SetError(error, "http: declared body exceeds size cap");
+            return false;
+          }
+        }
+      }
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!WaitFd(fd, POLLIN, deadline_ms)) {
+        SetError(error, "http: read timed out");
+        return false;
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    SetError(error, std::string("http: recv failed: ") + std::strerror(errno));
+    return false;
+  }
+  const size_t body_start = header_end + 4;
+  if (have_length) {
+    if (buf.size() < body_start + content_length) {
+      SetError(error, "http: connection closed mid-body");
+      return false;
+    }
+    *body = buf.substr(body_start, content_length);
+  } else {
+    *body = buf.substr(body_start);
+  }
+  return true;
+}
+
+const char* StatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string SerializeReply(const HttpReply& reply) {
+  std::string out = "HTTP/1.1 " + std::to_string(reply.status_code) + " " +
+                    StatusText(reply.status_code) + "\r\n";
+  out += "Content-Type: " + reply.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(reply.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += reply.body;
+  return out;
+}
+
+/// Connects to host:port with a deadline; returns the connected
+/// non-blocking fd or -1.
+int ConnectWithDeadline(const std::string& host, int port, int64_t deadline_ms,
+                        std::string* error) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    SetError(error, "http: cannot resolve " + host + ": " + gai_strerror(rc));
+    return -1;
+  }
+  int fd = -1;
+  std::string last_error = "http: no addresses for " + host;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::string("http: socket failed: ") + std::strerror(errno);
+      continue;
+    }
+    if (!SetNonBlocking(fd)) {
+      last_error = "http: cannot set O_NONBLOCK";
+      close(fd);
+      fd = -1;
+      continue;
+    }
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (errno == EINPROGRESS && WaitFd(fd, POLLOUT, deadline_ms)) {
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        break;
+      }
+      last_error =
+          std::string("http: connect failed: ") + std::strerror(so_error);
+    } else {
+      last_error = errno == EINPROGRESS
+                       ? "http: connect timed out"
+                       : std::string("http: connect failed: ") +
+                             std::strerror(errno);
+    }
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) SetError(error, last_error);
+  return fd;
+}
+
+bool HttpRequest(const std::string& host, int port, const std::string& method,
+                 const std::string& path, const std::string& content_type,
+                 const std::string& body, int timeout_ms,
+                 HttpResponse* response, std::string* error) {
+  const int64_t deadline_ms = NowMs() + timeout_ms;
+  const int fd = ConnectWithDeadline(host, port, deadline_ms, error);
+  if (fd < 0) return false;
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: " + host + ":" + std::to_string(port) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+
+  bool ok = SendAll(fd, request, deadline_ms, error);
+  std::string status_line, headers, response_body;
+  if (ok) {
+    ok = ReadMessage(fd, deadline_ms, kMaxResponseBytes,
+                     /*body_may_run_to_eof=*/true, &status_line, &headers,
+                     &response_body, error);
+  }
+  close(fd);
+  if (!ok) return false;
+
+  // "HTTP/1.1 200 OK" -> 200.
+  const size_t space = status_line.find(' ');
+  if (space == std::string::npos) {
+    SetError(error, "http: malformed status line: " + status_line);
+    return false;
+  }
+  response->status_code =
+      static_cast<int>(std::strtol(status_line.c_str() + space + 1, nullptr, 10));
+  response->body = std::move(response_body);
+  if (response->status_code == 0) {
+    SetError(error, "http: malformed status line: " + status_line);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseHttpUrl(const std::string& url, ParsedUrl* out, std::string* error) {
+  const std::string scheme = "http://";
+  if (url.compare(0, scheme.size(), scheme) != 0) {
+    SetError(error, "url: only http:// is supported, got \"" + url + "\"");
+    return false;
+  }
+  const size_t host_begin = scheme.size();
+  const size_t path_begin = url.find('/', host_begin);
+  std::string authority = path_begin == std::string::npos
+                              ? url.substr(host_begin)
+                              : url.substr(host_begin, path_begin - host_begin);
+  out->path = path_begin == std::string::npos ? "/" : url.substr(path_begin);
+  const size_t colon = authority.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string port_str = authority.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (port_str.empty() || *end != '\0' || port < 1 || port > 65535) {
+      SetError(error, "url: bad port in \"" + url + "\"");
+      return false;
+    }
+    out->port = static_cast<int>(port);
+    authority = authority.substr(0, colon);
+  } else {
+    out->port = 80;
+  }
+  if (authority.empty()) {
+    SetError(error, "url: empty host in \"" + url + "\"");
+    return false;
+  }
+  out->host = authority;
+  return true;
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int timeout_ms, HttpResponse* response, std::string* error) {
+  return HttpRequest(host, port, "GET", path, "", "", timeout_ms, response,
+                     error);
+}
+
+bool HttpPost(const ParsedUrl& url, const std::string& content_type,
+              const std::string& body, int timeout_ms, HttpResponse* response,
+              std::string* error) {
+  return HttpRequest(url.host, url.port, "POST", url.path, content_type, body,
+                     timeout_ms, response, error);
+}
+
+// -- HttpServer --------------------------------------------------------------
+
+std::unique_ptr<HttpServer> HttpServer::Start(const Options& options,
+                                              Handler handler,
+                                              std::string* error) {
+  auto server = std::unique_ptr<HttpServer>(new HttpServer());
+  server->options_ = options;
+  server->handler_ = std::move(handler);
+
+  struct in_addr addr;
+  if (inet_pton(AF_INET, options.bind_address.c_str(), &addr) != 1) {
+    SetError(error, "http server: bad bind address \"" + options.bind_address +
+                        "\" (IPv4 dotted quad expected)");
+    return nullptr;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    SetError(error,
+             std::string("http server: socket failed: ") + std::strerror(errno));
+    return nullptr;
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sin_family = AF_INET;
+  sa.sin_addr = addr;
+  sa.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&sa), sizeof(sa)) != 0) {
+    SetError(error, "http server: cannot bind " + options.bind_address + ":" +
+                        std::to_string(options.port) + ": " +
+                        std::strerror(errno));
+    close(fd);
+    return nullptr;
+  }
+  if (listen(fd, 16) != 0) {
+    SetError(error,
+             std::string("http server: listen failed: ") + std::strerror(errno));
+    close(fd);
+    return nullptr;
+  }
+  socklen_t sa_len = sizeof(sa);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&sa), &sa_len) != 0) {
+    SetError(error, std::string("http server: getsockname failed: ") +
+                        std::strerror(errno));
+    close(fd);
+    return nullptr;
+  }
+  server->port_ = ntohs(sa.sin_port);
+  if (!SetNonBlocking(fd) || pipe2(server->wake_fds_, O_CLOEXEC) != 0) {
+    SetError(error, "http server: cannot set up non-blocking accept loop");
+    close(fd);
+    return nullptr;
+  }
+  server->listen_fd_ = fd;
+  server->thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+HttpServer::~HttpServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+}
+
+void HttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  const char byte = 'q';
+  // A full pipe already guarantees a pending wake-up; the loop also
+  // re-checks stopping_ after every request, so a lost write is benign.
+  (void)!write(wake_fds_[1], &byte, 1);
+  thread_.join();
+}
+
+void HttpServer::Loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_fds_[0], POLLIN, 0}};
+    const int rc = poll(pfds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll on our own fds failing is unrecoverable
+    }
+    if (pfds[1].revents != 0) {
+      char drain[16];
+      (void)!read(wake_fds_[0], drain, sizeof(drain));
+      continue;  // loop condition re-checks stopping_
+    }
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    for (;;) {
+      const int conn = accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) break;  // EAGAIN: accepted everything queued
+      if (SetNonBlocking(conn)) ServeConnection(conn);
+      close(conn);
+      if (stopping_.load(std::memory_order_relaxed)) return;
+    }
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  const int64_t deadline_ms = NowMs() + options_.io_timeout_ms;
+  std::string start_line, headers, body, error;
+  if (!ReadMessage(fd, deadline_ms, kMaxRequestBytes,
+                   /*body_may_run_to_eof=*/false, &start_line, &headers, &body,
+                   &error)) {
+    const bool too_large = error.find("size cap") != std::string::npos;
+    SendAll(fd, SerializeReply({too_large ? 413 : 400, "text/plain", error + "\n"}),
+            deadline_ms, nullptr);
+    return;
+  }
+  HttpRequestIn request;
+  const size_t sp1 = start_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : start_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    SendAll(fd, SerializeReply({400, "text/plain", "malformed request line\n"}),
+            deadline_ms, nullptr);
+    return;
+  }
+  request.method = start_line.substr(0, sp1);
+  request.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.body = std::move(body);
+
+  HttpReply reply = handler_(request);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  SendAll(fd, SerializeReply(reply), deadline_ms, nullptr);
+}
+
+// -- HttpSink ----------------------------------------------------------------
+
+std::unique_ptr<HttpSink> HttpSink::Start(int port, std::string* error) {
+  auto sink = std::unique_ptr<HttpSink>(new HttpSink());
+  HttpServer::Options options;
+  options.port = port;
+  HttpSink* raw = sink.get();
+  sink->server_ = HttpServer::Start(
+      options,
+      [raw](const HttpRequestIn& request) -> HttpReply {
+        if (request.method != "POST") {
+          return {405, "text/plain", "sink accepts POST only\n"};
+        }
+        const int status = raw->respond_status_.load(std::memory_order_relaxed);
+        if (status == 200) {
+          std::lock_guard<std::mutex> lock(raw->mu_);
+          raw->last_body_ = request.body;
+          raw->posts_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return {status, "text/plain", ""};
+      },
+      error);
+  if (sink->server_ == nullptr) return nullptr;
+  return sink;
+}
+
+std::string HttpSink::last_body() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_body_;
+}
+
+}  // namespace dpe::obs

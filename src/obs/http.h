@@ -1,0 +1,153 @@
+// Minimal blocking HTTP/1.1 plumbing for the telemetry service — standard
+// library + POSIX sockets only (obs sits below common/, so no Status/Result
+// here; fallible calls return bool and fill an error string).
+//
+// Server side: HttpServer runs a poll()-driven accept loop on ONE
+// background thread, servicing connections sequentially with
+// "Connection: close" semantics. That is deliberate: the consumers are a
+// Prometheus scraper every few seconds and a curl-wielding operator, not
+// traffic — one thread, zero concurrency bugs, and a bounded request size
+// keep the attack/bug surface of an embedded server tiny. Shutdown is a
+// self-pipe write, so Stop() never waits out a poll timeout.
+//
+// Client side: HttpGet/HttpPost make one request per call on a fresh
+// connection with a single deadline covering connect + send + receive —
+// the MetricsPusher's whole failure policy ("never block a build") hangs
+// on that deadline being honored.
+//
+// HttpSink is an in-process push-gateway stand-in (tests, the
+// observability example's --serve self-check): it records POST bodies and
+// can be told to fail requests to exercise retry/backoff.
+
+#ifndef DPE_OBS_HTTP_H_
+#define DPE_OBS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dpe::obs {
+
+/// "http://host[:port][/path]" decomposed. Only plain http: this is a
+/// loopback/LAN telemetry hop, not a general client.
+struct ParsedUrl {
+  std::string host;
+  int port = 80;
+  std::string path = "/";
+};
+
+/// Parses `url` into `out`. Returns false (filling *error when non-null)
+/// for non-http schemes, empty hosts, or out-of-range ports.
+bool ParseHttpUrl(const std::string& url, ParsedUrl* out,
+                  std::string* error = nullptr);
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string body;
+};
+
+/// One GET. `timeout_ms` bounds connect + send + receive together.
+bool HttpGet(const std::string& host, int port, const std::string& path,
+             int timeout_ms, HttpResponse* response,
+             std::string* error = nullptr);
+
+/// One POST of `body` as `content_type`.
+bool HttpPost(const ParsedUrl& url, const std::string& content_type,
+              const std::string& body, int timeout_ms, HttpResponse* response,
+              std::string* error = nullptr);
+
+/// Request line + body of one inbound request, as handed to a Handler.
+struct HttpRequestIn {
+  std::string method;  ///< "GET", "POST", ... (uppercase as received)
+  std::string path;    ///< raw request target, e.g. "/metrics"
+  std::string body;
+};
+
+/// What a Handler returns; serialized with Content-Length and
+/// Connection: close.
+struct HttpReply {
+  int status_code = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  struct Options {
+    /// Loopback by default: exposing telemetry beyond the host is an
+    /// explicit operator decision, not a default.
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; read the bound port back via port()
+    int io_timeout_ms = 2000;  ///< per-connection read/write budget
+  };
+
+  /// Called on the server thread for every complete request.
+  using Handler = std::function<HttpReply(const HttpRequestIn&)>;
+
+  /// Binds, listens and starts the accept-loop thread. Null (with *error
+  /// filled) when the bind/listen fails — e.g. the port is taken.
+  static std::unique_ptr<HttpServer> Start(const Options& options,
+                                           Handler handler,
+                                           std::string* error = nullptr);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Idempotent: wakes the loop via the self-pipe and joins the thread.
+  void Stop();
+
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpServer() = default;
+  void Loop();
+  void ServeConnection(int fd);
+
+  Options options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [read, write]
+  int port_ = 0;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// In-process push-gateway stand-in: accepts POSTs, remembers the most
+/// recent body, and can be told to answer with an error status so pusher
+/// retry/backoff paths are testable without a network.
+class HttpSink {
+ public:
+  static std::unique_ptr<HttpSink> Start(int port = 0,
+                                         std::string* error = nullptr);
+
+  int port() const { return server_->port(); }
+  /// Status code future POSTs receive (default 200; e.g. 503 to force the
+  /// pusher into backoff).
+  void set_respond_status(int code) {
+    respond_status_.store(code, std::memory_order_relaxed);
+  }
+  uint64_t posts() const { return posts_.load(std::memory_order_relaxed); }
+  std::string last_body() const;
+
+ private:
+  HttpSink() = default;
+
+  std::unique_ptr<HttpServer> server_;
+  std::atomic<int> respond_status_{200};
+  std::atomic<uint64_t> posts_{0};
+  mutable std::mutex mu_;
+  std::string last_body_;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_HTTP_H_

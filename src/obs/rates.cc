@@ -1,0 +1,88 @@
+#include "obs/rates.h"
+
+#include <chrono>
+#include <string>
+
+namespace dpe::obs {
+
+namespace {
+
+/// Counter identity inside the ring: name + canonically ordered labels
+/// (snapshots already carry labels key-sorted), joined on separators that
+/// cannot appear in metric names.
+std::string CounterKey(const MetricSample& s) {
+  std::string key = s.name;
+  for (const auto& [k, v] : s.labels) {
+    key.push_back('\x1f');
+    key.append(k);
+    key.push_back('\x1e');
+    key.append(v);
+  }
+  return key;
+}
+
+}  // namespace
+
+RollingRates::RollingRates() : RollingRates(Options{}) {}
+
+RollingRates::RollingRates(Options options) : options_(options) {
+  if (options_.window < 2) options_.window = 2;
+}
+
+MetricsSnapshot RollingRates::Tick(const MetricsRegistry& registry) {
+  const uint64_t now_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return TickAt(registry.Snapshot(), now_ns);
+}
+
+MetricsSnapshot RollingRates::TickAt(const MetricsSnapshot& counters,
+                                     uint64_t now_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.t_ns = now_ns;
+  for (const MetricSample& s : counters.samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    entry.totals.emplace(CounterKey(s), s.counter_value);
+  }
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > options_.window) ring_.pop_front();
+
+  // Rate = (newest - oldest) / window seconds. One entry (the first tick
+  // ever) has no window yet: every rate reports 0, which still registers
+  // the _per_sec families in the first scrape.
+  const Entry& oldest = ring_.front();
+  const Entry& newest = ring_.back();
+  const double dt_s =
+      static_cast<double>(newest.t_ns - oldest.t_ns) / 1e9;
+
+  MetricsSnapshot rates;
+  // Iterate the input snapshot (already (name, labels)-sorted) so the
+  // output is deterministically ordered too; appending ".per_sec" to every
+  // name preserves that order.
+  for (const MetricSample& s : counters.samples) {
+    if (s.kind != MetricKind::kCounter) continue;
+    MetricSample rate;
+    rate.kind = MetricKind::kGauge;
+    rate.name = s.name + ".per_sec";
+    rate.labels = s.labels;
+    if (dt_s > 0.0) {
+      const auto it = oldest.totals.find(CounterKey(s));
+      const uint64_t then = it != oldest.totals.end() ? it->second : 0;
+      const uint64_t delta = s.counter_value >= then
+                                 ? s.counter_value - then
+                                 : 0;  // Reset() mid-window: clamp, not wrap
+      rate.gauge_value = static_cast<double>(delta) / dt_s;
+    }
+    rates.samples.push_back(std::move(rate));
+  }
+  return rates;
+}
+
+size_t RollingRates::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace dpe::obs

@@ -1,0 +1,71 @@
+// Rolling-window rate derivation over MetricsRegistry counters.
+//
+// Dashboards want derivatives ("distance calls per second", "journal bytes
+// per second"), but the registry only holds monotonic totals. RollingRates
+// keeps a small ring of timestamped counter snapshots; every Tick() appends
+// the current totals and returns the per-second rate of each counter over
+// the retained window as a synthetic gauge snapshot whose samples are named
+// "<counter>.per_sec" (so the Prometheus exporter renders them as
+// "dpe_<counter>_per_sec" gauge families) with the counter's own labels.
+//
+// The synthetic samples are deliberately NOT registered back into the
+// registry: rates are a view over the counters, not new instruments, and
+// feeding them back would double the export and distort instrument_count().
+//
+// A counter missing from the oldest retained snapshot is treated as having
+// been zero then — counters are born at zero, so this is exact unless
+// ticking started long after counting did (the first window then reports
+// the counter's whole lifetime as one burst; it self-corrects as the ring
+// fills).
+
+#ifndef DPE_OBS_RATES_H_
+#define DPE_OBS_RATES_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+
+class RollingRates {
+ public:
+  struct Options {
+    /// Snapshots retained, including the one Tick just appended. Two are
+    /// the minimum for a nonzero window; the default smooths over the last
+    /// ~12 scrape intervals.
+    size_t window = 12;
+  };
+
+  RollingRates();
+  explicit RollingRates(Options options);
+
+  /// Snapshots `registry`'s counters at steady-clock "now", appends the
+  /// snapshot to the ring, and returns the windowed per-second rates.
+  /// Thread-safe; concurrent scrape and push just interleave ticks.
+  MetricsSnapshot Tick(const MetricsRegistry& registry);
+
+  /// Deterministic core of Tick for tests: explicit counter snapshot and
+  /// timestamp. Non-counter samples in `counters` are ignored.
+  MetricsSnapshot TickAt(const MetricsSnapshot& counters, uint64_t now_ns);
+
+  /// Snapshots retained right now (<= Options::window).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t t_ns = 0;
+    /// Counter identity key -> total at t_ns.
+    std::unordered_map<std::string, uint64_t> totals;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_RATES_H_

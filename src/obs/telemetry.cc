@@ -1,0 +1,161 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace dpe::obs {
+
+namespace {
+
+MetricsRegistry& RegistryOrDefault(MetricsRegistry* metrics) {
+  return metrics != nullptr ? *metrics : MetricsRegistry::Default();
+}
+
+}  // namespace
+
+// -- TelemetryServer ---------------------------------------------------------
+
+std::unique_ptr<TelemetryServer> TelemetryServer::Start(
+    const Options& options, TelemetryEndpoints endpoints, std::string* error) {
+  auto server = std::unique_ptr<TelemetryServer>(new TelemetryServer());
+  server->endpoints_ = std::move(endpoints);
+  server->metrics_ = &RegistryOrDefault(options.metrics);
+
+  HttpServer::Options http_options;
+  http_options.bind_address = options.bind_address;
+  http_options.port = options.port;
+  TelemetryServer* raw = server.get();
+  server->server_ = HttpServer::Start(
+      http_options,
+      [raw](const HttpRequestIn& request) -> HttpReply {
+        if (request.method != "GET") {
+          return {405, "text/plain; charset=utf-8",
+                  "telemetry endpoints are GET-only\n"};
+        }
+        // Strip any query string: curl 'http://...:p/metrics?x=1' works.
+        std::string path = request.path;
+        if (const size_t q = path.find('?'); q != std::string::npos) {
+          path = path.substr(0, q);
+        }
+        const std::function<std::string()>* render = nullptr;
+        const char* content_type = "application/json; charset=utf-8";
+        if (path == "/metrics") {
+          render = &raw->endpoints_.metrics_text;
+          // The Prometheus exposition-format content type scrapers expect.
+          content_type = "text/plain; version=0.0.4; charset=utf-8";
+        } else if (path == "/healthz") {
+          render = &raw->endpoints_.healthz_json;
+        } else if (path == "/stats") {
+          render = &raw->endpoints_.stats_json;
+        } else if (path == "/trace") {
+          render = &raw->endpoints_.trace_json;
+        }
+        if (render == nullptr || !*render) {
+          return {404, "text/plain; charset=utf-8",
+                  "unknown endpoint; try /metrics /healthz /stats /trace\n"};
+        }
+        raw->metrics_->counter("telemetry.requests", {{"path", path}})
+            .Increment();
+        return {200, content_type, (*render)()};
+      },
+      error);
+  if (server->server_ == nullptr) return nullptr;
+  return server;
+}
+
+// -- MetricsPusher -----------------------------------------------------------
+
+std::unique_ptr<MetricsPusher> MetricsPusher::Start(
+    const Options& options, std::function<std::string()> payload,
+    std::string* error) {
+  auto pusher = std::unique_ptr<MetricsPusher>(new MetricsPusher());
+  pusher->options_ = options;
+  pusher->options_.interval_ms = std::max(1, options.interval_ms);
+  pusher->options_.min_backoff_ms = std::max(1, options.min_backoff_ms);
+  pusher->options_.max_backoff_ms =
+      std::max(pusher->options_.min_backoff_ms, options.max_backoff_ms);
+  pusher->payload_ = std::move(payload);
+  if (!ParseHttpUrl(options.url, &pusher->target_, error)) return nullptr;
+
+  MetricsRegistry& registry = RegistryOrDefault(options.metrics);
+  pusher->push_counter_ = &registry.counter("telemetry.pushes");
+  pusher->failure_counter_ = &registry.counter("telemetry.push_failures");
+  pusher->backoff_gauge_ = &registry.gauge("telemetry.push_backoff_ms");
+  // Seed the jitter from the clock once; the stream only de-synchronizes
+  // fleet members, it carries no other meaning.
+  pusher->jitter_state_ =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) |
+      1u;
+  pusher->thread_ = std::thread([raw = pusher.get()] { raw->Loop(); });
+  return pusher;
+}
+
+MetricsPusher::~MetricsPusher() { Stop(); }
+
+void MetricsPusher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (!thread_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool MetricsPusher::TryPushOnce(std::string* error) {
+  HttpResponse response;
+  const bool sent = HttpPost(target_, "text/plain; version=0.0.4",
+                             payload_ ? payload_() : std::string(),
+                             options_.timeout_ms, &response, error);
+  if (sent && response.status_code >= 200 && response.status_code < 300) {
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+    push_counter_->Increment();
+    backoff_ms_.store(0, std::memory_order_relaxed);  // success resets
+    backoff_gauge_->Set(0.0);
+    return true;
+  }
+  if (sent && error != nullptr) {
+    *error = "push gateway answered " + std::to_string(response.status_code);
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  failure_counter_->Increment();
+  const int prev = backoff_ms_.load(std::memory_order_relaxed);
+  const int next = prev == 0 ? options_.min_backoff_ms
+                             : std::min(options_.max_backoff_ms, prev * 2);
+  backoff_ms_.store(next, std::memory_order_relaxed);
+  backoff_gauge_->Set(static_cast<double>(next));
+  return false;
+}
+
+void MetricsPusher::Loop() {
+  for (;;) {
+    // Healthy: wait the full interval. Backing off: wait the capped
+    // exponential delay plus up to 25% jitter.
+    int wait_ms = options_.interval_ms;
+    const int backoff = backoff_ms_.load(std::memory_order_relaxed);
+    if (backoff > 0) {
+      jitter_state_ ^= jitter_state_ << 13;
+      jitter_state_ ^= jitter_state_ >> 7;
+      jitter_state_ ^= jitter_state_ << 17;
+      const int jitter =
+          static_cast<int>(jitter_state_ % (static_cast<uint64_t>(backoff) / 4 + 1));
+      wait_ms = backoff + jitter;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
+                   [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    // TryPushOnce owns the backoff ladder (shared with PushNow): failure
+    // doubles it up to the cap, success resets it to 0.
+    TryPushOnce(nullptr);
+  }
+}
+
+bool MetricsPusher::PushNow(std::string* error) { return TryPushOnce(error); }
+
+}  // namespace dpe::obs

@@ -1,0 +1,144 @@
+// The active half of the observability stack: a scrapable endpoint server
+// and an interval push exporter, both background threads owned by whoever
+// owns the registry (the engine, in practice).
+//
+// TelemetryServer maps four GET endpoints onto caller-supplied render
+// callbacks — obs/ sits below the engine, so it cannot know what a
+// StatsReport or a build is; the engine hands it closures:
+//
+//   /metrics   Prometheus text exposition (scrape target)
+//   /healthz   liveness + last-build status, JSON
+//   /stats     full StatsReport, JSON
+//   /trace     chrome://tracing JSON of the current TraceBuffer
+//
+// Anything else is 404; non-GET methods are 405. Served requests count
+// into telemetry.requests{path=...}.
+//
+// MetricsPusher POSTs a payload (the Prometheus text) to a push-gateway
+// URL every interval. Failures NEVER propagate anywhere: the pusher's
+// whole contract is that a dead or slow gateway costs the engine nothing
+// but a telemetry.push_failures counter. Failed pushes retry on a capped
+// exponential backoff with jitter (so a fleet of engines does not
+// stampede a recovering gateway), and one success resets the backoff.
+
+#ifndef DPE_OBS_TELEMETRY_H_
+#define DPE_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+
+/// Render callbacks behind the four endpoints. A null callback 404s its
+/// endpoint; all of them run on the server thread and must be thread-safe
+/// against the rest of the process (registry snapshots and trace exports
+/// already are).
+struct TelemetryEndpoints {
+  std::function<std::string()> metrics_text;
+  std::function<std::string()> healthz_json;
+  std::function<std::string()> stats_json;
+  std::function<std::string()> trace_json;
+};
+
+class TelemetryServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";  ///< loopback by default
+    int port = 0;                            ///< 0 = ephemeral
+    /// Registry for telemetry.requests counters; null = process default.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Binds and starts serving; null (with *error filled) when the bind
+  /// fails. The endpoints' captured state must outlive the server.
+  static std::unique_ptr<TelemetryServer> Start(const Options& options,
+                                                TelemetryEndpoints endpoints,
+                                                std::string* error = nullptr);
+
+  int port() const { return server_->port(); }
+  uint64_t requests_served() const { return server_->requests_served(); }
+  void Stop() { server_->Stop(); }
+
+ private:
+  TelemetryServer() = default;
+
+  TelemetryEndpoints endpoints_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<HttpServer> server_;  ///< last: its thread uses the above
+};
+
+class MetricsPusher {
+ public:
+  struct Options {
+    std::string url;  ///< push-gateway target, "http://host:port/path"
+    int interval_ms = 5000;     ///< healthy cadence
+    int min_backoff_ms = 500;   ///< first retry delay after a failure
+    int max_backoff_ms = 30000; ///< backoff cap (doubles until here)
+    int timeout_ms = 2000;      ///< per-request budget, connect included
+    /// Registry for telemetry.pushes / telemetry.push_failures; null =
+    /// process default.
+    MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Starts the push loop; `payload` is invoked right before every POST so
+  /// each push carries fresh numbers. Null (with *error filled) only for
+  /// an unparseable URL — an unreachable gateway is a runtime condition
+  /// the backoff handles, not a startup error.
+  static std::unique_ptr<MetricsPusher> Start(
+      const Options& options, std::function<std::string()> payload,
+      std::string* error = nullptr);
+  ~MetricsPusher();
+
+  MetricsPusher(const MetricsPusher&) = delete;
+  MetricsPusher& operator=(const MetricsPusher&) = delete;
+
+  /// Idempotent; wakes the loop and joins the thread.
+  void Stop();
+
+  /// One synchronous push outside the loop's cadence (the observability
+  /// example's self-check). Counts into the same counters.
+  bool PushNow(std::string* error = nullptr);
+
+  uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  /// Current retry delay: 0 while healthy, else the capped exponential
+  /// value the next retry will (approximately — jitter) wait.
+  int backoff_ms() const { return backoff_ms_.load(std::memory_order_relaxed); }
+
+ private:
+  MetricsPusher() = default;
+  void Loop();
+  bool TryPushOnce(std::string* error);
+
+  Options options_;
+  ParsedUrl target_;
+  std::function<std::string()> payload_;
+  Counter* push_counter_ = nullptr;     ///< telemetry.pushes
+  Counter* failure_counter_ = nullptr;  ///< telemetry.push_failures
+  Gauge* backoff_gauge_ = nullptr;      ///< telemetry.push_backoff_ms
+
+  std::atomic<uint64_t> pushes_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<int> backoff_ms_{0};
+  uint64_t jitter_state_ = 0;  ///< xorshift state; loop thread only
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dpe::obs
+
+#endif  // DPE_OBS_TELEMETRY_H_

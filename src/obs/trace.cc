@@ -11,6 +11,9 @@ namespace {
 /// disabled buffer leaves no thread-local residue.
 thread_local uint32_t t_depth = 0;
 
+/// Per-thread ambient buffer (see ScopedAmbientTrace).
+thread_local TraceBuffer* t_ambient = nullptr;
+
 std::chrono::steady_clock::time_point ProcessEpoch() {
   static const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
@@ -75,7 +78,15 @@ void TraceBuffer::Clear() {
 }
 
 std::string TraceBuffer::ToChromeJson() const {
-  std::vector<TraceEvent> events = Events();
+  // Snapshot under the buffer mutex, then serialize the copy: spans
+  // completing concurrently (a /trace scrape mid-build) can only land in a
+  // later export, never tear this one. Serialization itself must stay
+  // outside the lock or a big buffer would stall every span completion.
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
   std::sort(events.begin(), events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
@@ -97,6 +108,17 @@ std::string TraceBuffer::ToChromeJson() const {
   out.append("\n]}\n");
   return out;
 }
+
+// -- Ambient buffer ----------------------------------------------------------
+
+TraceBuffer* AmbientTraceBuffer() { return t_ambient; }
+
+ScopedAmbientTrace::ScopedAmbientTrace(TraceBuffer* buffer)
+    : previous_(t_ambient) {
+  t_ambient = buffer;
+}
+
+ScopedAmbientTrace::~ScopedAmbientTrace() { t_ambient = previous_; }
 
 // -- TraceSpan ---------------------------------------------------------------
 

@@ -77,6 +77,29 @@ class TraceBuffer {
   std::map<std::thread::id, uint32_t> tids_;
 };
 
+/// The trace buffer ambiently installed on this thread (by
+/// ScopedAmbientTrace), or null. Layers too deep to be handed a buffer
+/// explicitly — the crypto primitives under a distance measure — record
+/// their spans here, so they land in whichever engine build is running on
+/// (or scheduled) this thread.
+TraceBuffer* AmbientTraceBuffer();
+
+/// RAII installer for the thread's ambient trace buffer. The engine's API
+/// entry points and the builder's pool tasks install the engine buffer;
+/// nesting restores the previous value, and `buffer` may be null (an
+/// explicit "no ambient tracing here" scope).
+class ScopedAmbientTrace {
+ public:
+  explicit ScopedAmbientTrace(TraceBuffer* buffer);
+  ~ScopedAmbientTrace();
+
+  ScopedAmbientTrace(const ScopedAmbientTrace&) = delete;
+  ScopedAmbientTrace& operator=(const ScopedAmbientTrace&) = delete;
+
+ private:
+  TraceBuffer* previous_;
+};
+
 /// RAII scoped timer. Construction takes the start timestamp; End() (or the
 /// destructor) computes the duration, observes it into `latency_ms` when
 /// given, and records a TraceEvent when `buffer` is attached and enabled.

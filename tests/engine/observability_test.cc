@@ -100,8 +100,8 @@ TEST(ObservabilityTest, ApiLatencyHistogramRecordsEveryCall) {
   ASSERT_TRUE(engine.BuildMatrix("token").ok());
   ASSERT_TRUE(engine.BuildMatrix("token").ok());
   const obs::MetricsSnapshot snapshot = registry.Snapshot();
-  const obs::MetricSample* sample =
-      snapshot.Find("engine.api_ms", {{"api", "build_matrix"}});
+  const obs::MetricSample* sample = snapshot.Find(
+      "engine.api_ms", {{"api", "build_matrix"}, {"measure", "token"}});
   ASSERT_NE(sample, nullptr);
   EXPECT_EQ(sample->histogram.count, 2u);
 }
@@ -174,8 +174,11 @@ TEST(ObservabilityTest, MiningRunsRecordCountersAndApiSpans) {
             16u - 1);
 
   const obs::MetricsSnapshot snapshot = registry.Snapshot();
-  EXPECT_NE(snapshot.Find("engine.api_ms", {{"api", "kmedoids"}}), nullptr);
-  EXPECT_NE(snapshot.Find("engine.api_ms", {{"api", "hierarchical"}}),
+  EXPECT_NE(snapshot.Find("engine.api_ms",
+                          {{"api", "kmedoids"}, {"measure", "token"}}),
+            nullptr);
+  EXPECT_NE(snapshot.Find("engine.api_ms",
+                          {{"api", "hierarchical"}, {"measure", "token"}}),
             nullptr);
 }
 

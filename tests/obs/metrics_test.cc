@@ -199,6 +199,39 @@ TEST(MetricsTest, SnapshotJsonCarriesQuantiles) {
   EXPECT_NE(json.find("\"count\":2"), std::string::npos);
 }
 
+// -- Exporter conformance edges ----------------------------------------------
+
+TEST(MetricsTest, PrometheusTextOfEmptyRegistryIsEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(PrometheusText(registry.Snapshot()), "");
+}
+
+TEST(MetricsTest, PrometheusTextEscapesLabelValues) {
+  // The three characters the exposition format requires escaping in label
+  // values: backslash, double quote, newline.
+  MetricsRegistry registry;
+  registry.counter("weird", {{"q", "a\\b\"c\nd"}}).Increment();
+  const std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_EQ(text,
+            "# TYPE dpe_weird_total counter\n"
+            "dpe_weird_total{q=\"a\\\\b\\\"c\\nd\"} 1\n");
+}
+
+TEST(MetricsTest, PrometheusTextHistogramWithZeroObservations) {
+  // Registration alone must still export the full (all-zero) bucket
+  // series: scrapers need the family to exist before the first event.
+  MetricsRegistry registry;
+  registry.histogram("idle.ms", {}, {1.0, 10.0});
+  const std::string expected =
+      "# TYPE dpe_idle_ms histogram\n"
+      "dpe_idle_ms_bucket{le=\"1\"} 0\n"
+      "dpe_idle_ms_bucket{le=\"10\"} 0\n"
+      "dpe_idle_ms_bucket{le=\"+Inf\"} 0\n"
+      "dpe_idle_ms_sum 0\n"
+      "dpe_idle_ms_count 0\n";
+  EXPECT_EQ(PrometheusText(registry.Snapshot()), expected);
+}
+
 TEST(MetricsTest, DefaultRegistryIsAProcessSingleton) {
   MetricsRegistry& a = MetricsRegistry::Default();
   MetricsRegistry& b = MetricsRegistry::Default();

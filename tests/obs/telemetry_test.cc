@@ -1,0 +1,282 @@
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/http.h"
+#include "obs/metrics.h"
+
+namespace dpe::obs {
+namespace {
+
+// -- URL parsing -------------------------------------------------------------
+
+TEST(HttpTest, ParseHttpUrl) {
+  ParsedUrl url;
+  ASSERT_TRUE(ParseHttpUrl("http://127.0.0.1:9091/metrics/job/dpe", &url));
+  EXPECT_EQ(url.host, "127.0.0.1");
+  EXPECT_EQ(url.port, 9091);
+  EXPECT_EQ(url.path, "/metrics/job/dpe");
+
+  ASSERT_TRUE(ParseHttpUrl("http://gateway.local", &url));
+  EXPECT_EQ(url.host, "gateway.local");
+  EXPECT_EQ(url.port, 80);
+  EXPECT_EQ(url.path, "/");
+
+  std::string error;
+  EXPECT_FALSE(ParseHttpUrl("https://secure.example/p", &url, &error));
+  EXPECT_FALSE(ParseHttpUrl("not a url", &url, &error));
+  EXPECT_FALSE(ParseHttpUrl("http://:8080/", &url, &error));
+  EXPECT_FALSE(ParseHttpUrl("http://h:99999/", &url, &error));
+}
+
+// -- HttpServer --------------------------------------------------------------
+
+TEST(HttpTest, ServerEchoesThroughHandler) {
+  auto server = HttpServer::Start(
+      HttpServer::Options{},
+      [](const HttpRequestIn& req) {
+        HttpReply reply;
+        reply.body = req.method + " " + req.path;
+        return reply;
+      });
+  ASSERT_NE(server, nullptr);
+  ASSERT_GT(server->port(), 0);
+
+  HttpResponse response;
+  std::string error;
+  ASSERT_TRUE(HttpGet("127.0.0.1", server->port(), "/hello", 5000, &response,
+                      &error))
+      << error;
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "GET /hello");
+  EXPECT_EQ(server->requests_served(), 1u);
+}
+
+TEST(HttpTest, ServerStopIsIdempotentAndFast) {
+  auto server = HttpServer::Start(HttpServer::Options{},
+                                  [](const HttpRequestIn&) {
+                                    return HttpReply{};
+                                  });
+  ASSERT_NE(server, nullptr);
+  const auto t0 = std::chrono::steady_clock::now();
+  server->Stop();
+  server->Stop();
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  // Shutdown is a self-pipe wake, not a poll-timeout wait.
+  EXPECT_LT(ms, 1000.0);
+}
+
+TEST(HttpTest, SinkRecordsPostsAndCanFailThem) {
+  auto sink = HttpSink::Start();
+  ASSERT_NE(sink, nullptr);
+  const ParsedUrl url{"127.0.0.1", sink->port(), "/push"};
+
+  HttpResponse response;
+  std::string error;
+  ASSERT_TRUE(HttpPost(url, "text/plain", "payload-1", 5000, &response,
+                       &error))
+      << error;
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(sink->posts(), 1u);
+  EXPECT_EQ(sink->last_body(), "payload-1");
+
+  sink->set_respond_status(503);
+  ASSERT_TRUE(HttpPost(url, "text/plain", "payload-2", 5000, &response,
+                       &error));
+  EXPECT_EQ(response.status_code, 503);
+  // Failed posts are neither counted nor recorded.
+  EXPECT_EQ(sink->posts(), 1u);
+  EXPECT_EQ(sink->last_body(), "payload-1");
+}
+
+// -- TelemetryServer ---------------------------------------------------------
+
+TEST(TelemetryTest, ServesEndpointsAndCountsRequests) {
+  MetricsRegistry registry;
+  TelemetryServer::Options options;
+  options.metrics = &registry;
+  TelemetryEndpoints endpoints;
+  endpoints.metrics_text = [] { return std::string("dpe_up 1\n"); };
+  endpoints.healthz_json = [] { return std::string("{\"status\":\"ok\"}"); };
+  endpoints.stats_json = [] { return std::string("{\"metrics\":[]}"); };
+  // trace_json left null: /trace must 404.
+  std::string error;
+  auto server = TelemetryServer::Start(options, endpoints, &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  const int port = server->port();
+  HttpResponse response;
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/metrics", 5000, &response));
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "dpe_up 1\n");
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/healthz", 5000, &response));
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "{\"status\":\"ok\"}");
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/stats", 5000, &response));
+  EXPECT_EQ(response.status_code, 200);
+
+  // Query strings are stripped before routing.
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/metrics?format=text", 5000,
+                      &response));
+  EXPECT_EQ(response.status_code, 200);
+
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/trace", 5000, &response));
+  EXPECT_EQ(response.status_code, 404);
+  ASSERT_TRUE(HttpGet("127.0.0.1", port, "/nope", 5000, &response));
+  EXPECT_EQ(response.status_code, 404);
+
+  // Non-GET is 405 regardless of path.
+  ASSERT_TRUE(HttpPost(ParsedUrl{"127.0.0.1", port, "/metrics"}, "text/plain",
+                       "x", 5000, &response));
+  EXPECT_EQ(response.status_code, 405);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* metrics_requests =
+      snapshot.Find("telemetry.requests", {{"path", "/metrics"}});
+  ASSERT_NE(metrics_requests, nullptr);
+  EXPECT_EQ(metrics_requests->counter_value, 2u);
+}
+
+TEST(TelemetryTest, PortCollisionFailsStartWithError) {
+  TelemetryEndpoints endpoints;
+  std::string error;
+  auto first = TelemetryServer::Start(TelemetryServer::Options{}, endpoints,
+                                      &error);
+  ASSERT_NE(first, nullptr) << error;
+  TelemetryServer::Options second_options;
+  second_options.port = first->port();
+  auto second =
+      TelemetryServer::Start(second_options, endpoints, &error);
+  EXPECT_EQ(second, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+// -- MetricsPusher -----------------------------------------------------------
+
+TEST(PusherTest, PushNowDeliversPayloadToSink) {
+  auto sink = HttpSink::Start();
+  ASSERT_NE(sink, nullptr);
+  MetricsRegistry registry;
+  MetricsPusher::Options options;
+  options.url = "http://127.0.0.1:" + std::to_string(sink->port()) + "/push";
+  options.interval_ms = 60000;  // loop idles; PushNow drives the test
+  options.metrics = &registry;
+  std::string error;
+  auto pusher = MetricsPusher::Start(
+      options, [] { return std::string("dpe_x_total 7\n"); }, &error);
+  ASSERT_NE(pusher, nullptr) << error;
+
+  ASSERT_TRUE(pusher->PushNow(&error)) << error;
+  EXPECT_EQ(sink->last_body(), "dpe_x_total 7\n");
+  EXPECT_GE(pusher->pushes(), 1u);
+  EXPECT_EQ(pusher->failures(), 0u);
+  EXPECT_EQ(pusher->backoff_ms(), 0);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* pushes = snapshot.Find("telemetry.pushes", {});
+  ASSERT_NE(pushes, nullptr);
+  EXPECT_GE(pushes->counter_value, 1u);
+}
+
+TEST(PusherTest, UnparseableUrlFailsStart) {
+  std::string error;
+  auto pusher = MetricsPusher::Start(
+      MetricsPusher::Options{.url = "gopher://x"},
+      [] { return std::string(); }, &error);
+  EXPECT_EQ(pusher, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(PusherTest, DeadEndpointCountsFailuresAndBacksOffCapped) {
+  // A loopback port with nothing listening: connects fail fast. The
+  // pusher must never throw/blow up — it counts and backs off.
+  auto taken = HttpSink::Start();  // grab a port, then free it
+  ASSERT_NE(taken, nullptr);
+  const int dead_port = taken->port();
+  taken.reset();
+
+  MetricsRegistry registry;
+  MetricsPusher::Options options;
+  options.url = "http://127.0.0.1:" + std::to_string(dead_port) + "/push";
+  options.interval_ms = 10;
+  options.min_backoff_ms = 20;
+  options.max_backoff_ms = 50;
+  options.timeout_ms = 200;
+  options.metrics = &registry;
+  std::string error;
+  auto pusher = MetricsPusher::Start(
+      options, [] { return std::string("x"); }, &error);
+  ASSERT_NE(pusher, nullptr) << error;
+
+  // Drive a few failures synchronously; the background loop adds more.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(pusher->PushNow());
+  }
+  EXPECT_GE(pusher->failures(), 3u);
+  EXPECT_EQ(pusher->pushes(), 0u);
+  // Backoff grew but respects the cap.
+  EXPECT_GT(pusher->backoff_ms(), 0);
+  EXPECT_LE(pusher->backoff_ms(), options.max_backoff_ms);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricSample* failures =
+      snapshot.Find("telemetry.push_failures", {});
+  ASSERT_NE(failures, nullptr);
+  EXPECT_GE(failures->counter_value, 3u);
+
+  pusher->Stop();  // must not hang mid-backoff
+}
+
+TEST(PusherTest, Non2xxIsAFailureAndSuccessResetsBackoff) {
+  auto sink = HttpSink::Start();
+  ASSERT_NE(sink, nullptr);
+  MetricsPusher::Options options;
+  options.url = "http://127.0.0.1:" + std::to_string(sink->port()) + "/push";
+  options.interval_ms = 60000;
+  options.min_backoff_ms = 10;
+  options.max_backoff_ms = 40;
+  std::string error;
+  auto pusher = MetricsPusher::Start(
+      options, [] { return std::string("x"); }, &error);
+  ASSERT_NE(pusher, nullptr) << error;
+
+  sink->set_respond_status(503);
+  EXPECT_FALSE(pusher->PushNow());
+  EXPECT_FALSE(pusher->PushNow());
+  EXPECT_FALSE(pusher->PushNow());
+  EXPECT_GE(pusher->failures(), 3u);
+  EXPECT_LE(pusher->backoff_ms(), 40);
+  EXPECT_GT(pusher->backoff_ms(), 0);
+
+  sink->set_respond_status(200);
+  EXPECT_TRUE(pusher->PushNow(&error)) << error;
+  EXPECT_EQ(pusher->backoff_ms(), 0);  // one success resets the ladder
+}
+
+TEST(PusherTest, IntervalLoopPushesWithoutPushNow) {
+  auto sink = HttpSink::Start();
+  ASSERT_NE(sink, nullptr);
+  MetricsPusher::Options options;
+  options.url = "http://127.0.0.1:" + std::to_string(sink->port()) + "/push";
+  options.interval_ms = 20;
+  std::string error;
+  auto pusher = MetricsPusher::Start(
+      options, [] { return std::string("tick"); }, &error);
+  ASSERT_NE(pusher, nullptr) << error;
+  for (int i = 0; i < 200 && sink->posts() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(sink->posts(), 1u);
+  EXPECT_EQ(sink->last_body(), "tick");
+}
+
+}  // namespace
+}  // namespace dpe::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -149,6 +150,77 @@ TEST(TraceTest, TraceNowNsIsMonotonic) {
   const uint64_t a = TraceNowNs();
   const uint64_t b = TraceNowNs();
   EXPECT_LE(a, b);
+}
+
+TEST(TraceTest, ExportIsSafeAgainstConcurrentSpanCompletion) {
+  // The /trace endpoint exports while builds are mid-flight: hammer
+  // ToChromeJson from one thread while others complete spans. The export
+  // snapshots under the mutex, so every produced JSON must be
+  // well-formed (balanced braces, shell markers present) — a vector
+  // reallocation mid-serialize would tear it.
+  TraceBuffer buffer;
+  buffer.set_enabled(true);
+  std::atomic<int> live_writers{3};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&buffer, &live_writers, t] {
+      // Fixed span count per writer: keeps the buffer (and thus each
+      // export's cost) bounded no matter how threads get scheduled.
+      for (uint64_t i = 0; i < 2000; ++i) {
+        TraceSpan span("hammer." + std::to_string(t) + "." +
+                           std::to_string(i),
+                       &buffer);
+      }
+      live_writers.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  const auto validate = [](const std::string& json, int round) {
+    ASSERT_NE(json.find("\"traceEvents\""), std::string::npos);
+    ASSERT_EQ(json.back(), '\n');
+    long depth = 0;
+    bool in_string = false, escaped = false;
+    for (char c : json) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = !in_string;
+      } else if (!in_string && (c == '{' || c == '[')) {
+        ++depth;
+      } else if (!in_string && (c == '}' || c == ']')) {
+        --depth;
+        ASSERT_GE(depth, 0);
+      }
+    }
+    ASSERT_EQ(depth, 0) << "unbalanced JSON in round " << round;
+  };
+  for (int round = 0;
+       live_writers.load(std::memory_order_relaxed) > 0 && round < 200;
+       ++round) {
+    validate(buffer.ToChromeJson(), round);
+  }
+  for (std::thread& t : writers) t.join();
+  // One more export after all writers finished: every span made it in.
+  validate(buffer.ToChromeJson(), -1);
+  EXPECT_EQ(buffer.size(), 3u * 2000u);
+}
+
+TEST(TraceTest, AmbientBufferIsThreadLocalAndRestored) {
+  EXPECT_EQ(AmbientTraceBuffer(), nullptr);
+  TraceBuffer outer_buffer, inner_buffer;
+  {
+    ScopedAmbientTrace outer(&outer_buffer);
+    EXPECT_EQ(AmbientTraceBuffer(), &outer_buffer);
+    {
+      ScopedAmbientTrace inner(&inner_buffer);
+      EXPECT_EQ(AmbientTraceBuffer(), &inner_buffer);
+    }
+    EXPECT_EQ(AmbientTraceBuffer(), &outer_buffer);
+    // Another thread sees its own (null) ambient, not this one's.
+    std::thread([] { EXPECT_EQ(AmbientTraceBuffer(), nullptr); }).join();
+  }
+  EXPECT_EQ(AmbientTraceBuffer(), nullptr);
 }
 
 }  // namespace
