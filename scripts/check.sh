@@ -32,10 +32,24 @@ echo "== bench smoke: scaling + kernel benches compile-and-run =="
 ls -l BENCH_distance_scaling.json BENCH_mining_scaling.json \
       BENCH_shard_scaling.json BENCH_simd_kernels.json
 
+echo "== multi-host crash harness: forked workers, one injected kill =="
+# Forks 3 real worker processes coordinating through lease files, scripts
+# one to _exit at its crash point (DPE_FAULT grammar), and hard-fails
+# unless the coordinator's merged matrix is bit-identical to the direct
+# build. The full scenario matrix (wedges, mid-write kills, double-acquire
+# races, all-workers-die) runs without --smoke.
+(cd build && ./bench/bench_multihost --smoke)
+ls -l BENCH_multihost.json
+
 echo "== example smoke: sharded build round-trip =="
 # Plans -> k worker engines -> on-disk shard files -> merged matrix; exits
 # non-zero unless the merge is bit-identical to the direct build.
 (cd build && ./examples/sharded_build > /dev/null)
+
+echo "== example smoke: fault-tolerant multi-host build =="
+# A dead worker's lease + a live worker + the coordinator; exits non-zero
+# unless the lease is reclaimed and the merge is bit-identical.
+(cd build && ./examples/fault_tolerant_build > /dev/null)
 
 echo "== traced rerun: DPE_TRACE=1 must not change any result =="
 # Span capture is the only thing DPE_TRACE toggles; every bit-identity and
@@ -96,6 +110,21 @@ cmake -B build-asan -S . -DDPE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug \
 cmake --build build-asan -j"$JOBS" \
       --target dpe_engine_tests dpe_distance_tests dpe_store_tests
 ctest --test-dir build-asan --output-on-failure -R '^(engine|distance|store)$'
+
+echo "== tsan: driver/coordinator/pool concurrency under ThreadSanitizer =="
+# The lease protocol's value is exactly its behavior under concurrency:
+# heartbeat threads renewing while worker loops acquire, the driver's poll
+# loop racing worker threads, /stats snapshotting a live board. TSan the
+# suites that exercise those interleavings (plus the backoff/fault
+# primitives they are built from); the full matrix stays with ASan above.
+cmake -B build-tsan -S . -DDPE_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDPE_BUILD_BENCHES=OFF -DDPE_BUILD_EXAMPLES=OFF
+cmake --build build-tsan -j"$JOBS" \
+      --target dpe_engine_tests dpe_common_tests
+(cd build-tsan && ./dpe_engine_tests \
+      --gtest_filter='DriverTest.*:ShardTest.*:ThreadPoolTest.*:ParallelForTest.*')
+(cd build-tsan && ./dpe_common_tests \
+      --gtest_filter='BackoffTest.*:FaultInjectorTest.*')
 
 echo "== scalar-only compile: DPE_DISABLE_SIMD build + kernel suites =="
 # Simulates a non-x86 target: the SIMD backends are not even compiled, and

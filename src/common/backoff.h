@@ -1,0 +1,124 @@
+// Capped exponential backoff with jitter — the one retry-delay policy the
+// whole codebase shares.
+//
+// Extracted from obs::MetricsPusher's push-retry ladder so every layer that
+// waits on an unreliable peer (the pusher's push gateway, the shard
+// driver's lease polling) backs off the same tested way:
+//
+//   base delay:  0 while healthy; after a failure min_delay_ms, doubling on
+//                every further failure up to max_delay_ms; one success
+//                resets it to 0.
+//   jitter:      each wait adds up to jitter_pct% of the base (xorshift
+//                stream), so a fleet of clients hammering one recovering
+//                peer de-synchronizes instead of stampeding it.
+//
+// Header-only and dependency-free on purpose: obs/ sits *below* common/ in
+// the link order (dpe_common links dpe_obs), so the pusher can include this
+// header without inverting the layering — there is nothing to link.
+//
+// Thread model: matches what the pusher always did — the ladder state is
+// relaxed atomics, so one thread driving OnFailure/OnSuccess/JitteredMs
+// while others read base_ms() is race-free. It is NOT a synchronization
+// point; callers needing stronger ordering bring their own.
+
+#ifndef DPE_COMMON_BACKOFF_H_
+#define DPE_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dpe::common {
+
+/// The knobs of one backoff ladder. Values are normalized on construction:
+/// min >= 1, max >= min, jitter_pct >= 0.
+struct BackoffPolicy {
+  int min_delay_ms = 500;    ///< first retry delay after a failure
+  int max_delay_ms = 30000;  ///< cap (the base doubles until here)
+  int jitter_pct = 25;       ///< extra wait, up to this % of the base
+};
+
+class Backoff {
+ public:
+  /// `jitter_seed` = 0 seeds the jitter stream from the clock (fleet
+  /// de-synchronization — the stream carries no other meaning); tests pass
+  /// a fixed seed for reproducible jitter sequences.
+  explicit Backoff(const BackoffPolicy& policy = {}, uint64_t jitter_seed = 0)
+      : policy_{std::max(1, policy.min_delay_ms),
+                std::max(std::max(1, policy.min_delay_ms),
+                         policy.max_delay_ms),
+                std::max(0, policy.jitter_pct)},
+        jitter_state_(jitter_seed != 0
+                          ? jitter_seed
+                          : static_cast<uint64_t>(
+                                std::chrono::steady_clock::now()
+                                    .time_since_epoch()
+                                    .count()) |
+                                1u) {}
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+  /// Re-arms the ladder with a new (normalized) policy and a healthy base.
+  /// For owners that default-construct the member before their options are
+  /// known (the pusher, the driver). Not thread-safe against concurrent
+  /// OnFailure/JitteredMs — call before the retry loop starts.
+  void Reset(const BackoffPolicy& policy) {
+    policy_ = BackoffPolicy{
+        std::max(1, policy.min_delay_ms),
+        std::max(std::max(1, policy.min_delay_ms), policy.max_delay_ms),
+        std::max(0, policy.jitter_pct)};
+    base_ms_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Advances the ladder: 0 -> min_delay_ms, else doubles up to the cap.
+  /// Returns the new base delay.
+  int OnFailure() {
+    const int prev = base_ms_.load(std::memory_order_relaxed);
+    const int next = prev == 0 ? policy_.min_delay_ms
+                               : std::min(policy_.max_delay_ms, prev * 2);
+    base_ms_.store(next, std::memory_order_relaxed);
+    return next;
+  }
+
+  /// One success resets the ladder: the next failure starts from min again.
+  void OnSuccess() { base_ms_.store(0, std::memory_order_relaxed); }
+
+  /// Current un-jittered delay: 0 while healthy (what gauges/tests read).
+  int base_ms() const { return base_ms_.load(std::memory_order_relaxed); }
+
+  /// The wait to actually sleep: base plus up to jitter_pct% of it, freshly
+  /// drawn from the xorshift stream. 0 while healthy.
+  int JitteredMs() {
+    const int base = base_ms_.load(std::memory_order_relaxed);
+    if (base <= 0 || policy_.jitter_pct <= 0) return base;
+    // Span of possible extra delay, inclusive of 0: base * pct / 100 + 1
+    // buckets. 25% of a 4ms base still jitters by up to 1ms (the +1).
+    const uint64_t span =
+        static_cast<uint64_t>(base) * static_cast<uint64_t>(policy_.jitter_pct) /
+            100 +
+        1;
+    return base + static_cast<int>(NextRandom() % span);
+  }
+
+ private:
+  uint64_t NextRandom() {
+    // xorshift64 over an atomic cell: concurrent draws may interleave, but
+    // every observed value is some xorshift successor — good enough for
+    // jitter, with no lock on the wait path.
+    uint64_t x = jitter_state_.load(std::memory_order_relaxed);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    jitter_state_.store(x, std::memory_order_relaxed);
+    return x;
+  }
+
+  BackoffPolicy policy_;
+  std::atomic<int> base_ms_{0};
+  std::atomic<uint64_t> jitter_state_;
+};
+
+}  // namespace dpe::common
+
+#endif  // DPE_COMMON_BACKOFF_H_

@@ -1,0 +1,212 @@
+#include "common/fault.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace dpe::common {
+
+namespace {
+
+// Parses "point=action[:ms][@n]" into `out`. Returns false with *error on
+// any defect; never partially fills.
+bool ParseEntry(std::string_view entry, FaultInjector::Fault* out,
+                std::string* error) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    if (error != nullptr) {
+      *error = "fault spec entry '" + std::string(entry) +
+               "' is not point=action";
+    }
+    return false;
+  }
+  std::string_view point = entry.substr(0, eq);
+  std::string_view action = entry.substr(eq + 1);
+
+  FaultInjector::Fault fault;
+  // '@n' suffix on the action selects the n-th hit.
+  if (const size_t at = action.rfind('@'); at != std::string_view::npos) {
+    int n = 0;
+    for (char c : action.substr(at + 1)) {
+      if (c < '0' || c > '9') { n = -1; break; }
+      n = n * 10 + (c - '0');
+    }
+    if (n < 1) {
+      if (error != nullptr) {
+        *error = "fault spec '@' wants a positive hit count in '" +
+                 std::string(entry) + "'";
+      }
+      return false;
+    }
+    fault.at_hit = n;
+    action = action.substr(0, at);
+  }
+  // Optional ':ms' parameter.
+  int ms = -1;
+  if (const size_t colon = action.find(':'); colon != std::string_view::npos) {
+    ms = 0;
+    for (char c : action.substr(colon + 1)) {
+      if (c < '0' || c > '9') { ms = -1; break; }
+      ms = ms * 10 + (c - '0');
+    }
+    if (ms < 0) {
+      if (error != nullptr) {
+        *error = "fault spec ':' wants a millisecond count in '" +
+                 std::string(entry) + "'";
+      }
+      return false;
+    }
+    action = action.substr(0, colon);
+  }
+
+  if (action == "die") {
+    fault.action = FaultInjector::Action::kDie;
+  } else if (action == "wedge") {
+    fault.action = FaultInjector::Action::kWedge;
+    fault.delay_ms = ms < 0 ? 0 : ms;  // 0 = wedge forever
+  } else if (action == "sleep") {
+    if (ms < 0) {
+      if (error != nullptr) {
+        *error = "fault spec 'sleep' wants sleep:ms in '" +
+                 std::string(entry) + "'";
+      }
+      return false;
+    }
+    fault.action = FaultInjector::Action::kSleep;
+    fault.delay_ms = ms;
+  } else {
+    if (error != nullptr) {
+      *error = "fault spec action '" + std::string(action) +
+               "' is not die|wedge|sleep";
+    }
+    return false;
+  }
+  fault.point = std::string(point);
+  *out = fault;
+  return true;
+}
+
+}  // namespace
+
+bool FaultInjector::Arm(std::string_view spec, std::string* error) {
+  std::vector<Fault> parsed;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view entry = spec.substr(start, end - start);
+    if (!entry.empty()) {
+      Fault fault;
+      if (!ParseEntry(entry, &fault, error)) return false;
+      parsed.push_back(std::move(fault));
+    }
+    start = end + 1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  for (Fault& fault : parsed) {
+    points_[fault.point].entries.push_back(std::move(fault));
+  }
+  any_armed_ = !points_.empty();
+  return true;
+}
+
+void FaultInjector::Arm(Fault fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[fault.point].entries.push_back(std::move(fault));
+  any_armed_ = true;
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  any_armed_ = false;
+}
+
+void FaultInjector::Fire(std::string_view point) {
+  Fault to_perform;
+  bool perform = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!any_armed_) {
+      // Fast path: still count hits only for points someone armed or asked
+      // about before — an unarmed injector must cost near nothing. A fully
+      // disarmed injector does not track hit counts.
+      return;
+    }
+    PointState& state = points_[std::string(point)];
+    ++state.hits;
+    for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
+      if (state.hits == static_cast<uint64_t>(it->at_hit)) {
+        to_perform = *it;
+        state.entries.erase(it);  // each armed entry fires at most once
+        perform = true;
+        break;
+      }
+    }
+  }
+  if (perform) Perform(to_perform);
+}
+
+uint64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [point, state] : points_) {
+    if (!state.entries.empty()) return true;
+  }
+  return false;
+}
+
+void FaultInjector::Perform(const Fault& fault) {
+  switch (fault.action) {
+    case Action::kDie:
+      // No flushes, no atexit: the closest in-process stand-in for SIGKILL.
+      _exit(137);
+    case Action::kWedge: {
+      // Wedge = alive but useless: the process keeps its locks/leases and
+      // never heartbeats again. A cap (delay_ms > 0) keeps CI from hanging
+      // if the harness forgets to SIGKILL the wedged worker.
+      const auto started = std::chrono::steady_clock::now();
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (fault.delay_ms > 0 &&
+            std::chrono::steady_clock::now() - started >=
+                std::chrono::milliseconds(fault.delay_ms)) {
+          return;
+        }
+      }
+    }
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+      return;
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    if (const char* spec = std::getenv("DPE_FAULT");
+        spec != nullptr && spec[0] != '\0') {
+      std::string error;
+      if (!created->Arm(spec, &error)) {
+        // A malformed DPE_FAULT in a test harness must be loud, not
+        // silently inert — but common/ has no logging dependency, so
+        // stderr it is.
+        ::write(2, "DPE_FAULT ignored: ", 19);
+        ::write(2, error.data(), error.size());
+        ::write(2, "\n", 1);
+      }
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+}  // namespace dpe::common

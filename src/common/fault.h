@@ -1,0 +1,110 @@
+// Deterministic crash injection for the fault-tolerance test matrix.
+//
+// The multi-host shard driver (engine/driver.h) has to survive workers that
+// die before exporting, die mid-frame-write, wedge without heartbeating, or
+// race each other for a lease. Proving that takes *scripted* crashes at
+// *named* points, not sleeps and hope — so the worker/store code declares
+// fault points (`FaultInjector::Fire("worker.export")`) that are no-ops in
+// production and become deaths, wedges, or delays when a spec arms them.
+//
+// Spec grammar (the DPE_FAULT environment variable, or Arm() in-process):
+//
+//   spec    := entry (';' entry)*
+//   entry   := point '=' action
+//   action  := 'die' | 'wedge' [':' cap_ms] | 'sleep' ':' ms
+//   point may carry '@' n to fire on the n-th hit only (1-based; default 1)
+//
+//   DPE_FAULT='worker.export=die'              die at the 1st export
+//   DPE_FAULT='worker.acquired=wedge'          hold the lease, stop forever
+//   DPE_FAULT='worker.acquired=wedge:30000'    ... for at most 30 s (CI cap)
+//   DPE_FAULT='worker.preacquire=sleep:200@2'  stall the 2nd acquire attempt
+//   DPE_FAULT='store.frame.mid_write=die'      die with a torn tmp on disk
+//
+// `die` is _exit(137) — no atexit handlers, no flushes: the closest a test
+// can get to SIGKILL while still being scheduled from inside the victim.
+// `wedge` spins in sleep without renewing anything, which is exactly the
+// failure mode heartbeat timeouts exist for. Each armed entry fires at most
+// once.
+//
+// Two scopes: the process-global injector (armed from DPE_FAULT at first
+// use — how bench_multihost scripts its forked workers) and per-instance
+// injectors handed around by value (how in-process tests crash a worker
+// thread's export path without also crashing the coordinator that shares
+// the process). Fire() on a null/unarmed injector is a branch and a load —
+// cheap enough to leave in release builds.
+
+#ifndef DPE_COMMON_FAULT_H_
+#define DPE_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dpe::common {
+
+class FaultInjector {
+ public:
+  /// What an armed fault point does when hit.
+  enum class Action : uint8_t {
+    kDie,    ///< _exit(137), immediately
+    kWedge,  ///< sleep-loop (optionally capped) without returning
+    kSleep,  ///< delay delay_ms, then continue
+  };
+
+  struct Fault {
+    std::string point;   ///< e.g. "worker.export"
+    Action action = Action::kSleep;
+    int delay_ms = 0;    ///< sleep duration / wedge cap (0 = forever)
+    int at_hit = 1;      ///< fire on this hit count (1-based)
+  };
+
+  FaultInjector() = default;
+
+  /// Parses a spec (see grammar above) and arms its entries, replacing any
+  /// previous arming. Empty spec = disarm everything. Returns false (and
+  /// arms nothing) on a malformed spec, with *error describing the defect.
+  bool Arm(std::string_view spec, std::string* error = nullptr);
+
+  /// Arms a single fault programmatically (tests).
+  void Arm(Fault fault);
+
+  /// Disarms everything.
+  void Clear();
+
+  /// Hit the named point: counts the hit and, if an entry is armed for this
+  /// point and this hit number, performs its action (possibly never
+  /// returning). The fast path — nothing armed at all — is one relaxed
+  /// atomic-free check under no lock contention in practice.
+  void Fire(std::string_view point);
+
+  /// Total times `point` has been hit (armed or not). For harness asserts.
+  uint64_t hits(std::string_view point) const;
+
+  /// True if any entry is armed.
+  bool armed() const;
+
+  /// The process-global injector, armed once from DPE_FAULT on first use.
+  /// Forked workers inherit a fresh process, so setenv("DPE_FAULT", ...)
+  /// between fork and exec scripts each worker independently.
+  static FaultInjector& Global();
+
+ private:
+  struct PointState {
+    std::vector<Fault> entries;  ///< armed, not yet fired
+    uint64_t hits = 0;
+  };
+
+  void Perform(const Fault& fault);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+  bool any_armed_ = false;
+};
+
+}  // namespace dpe::common
+
+#endif  // DPE_COMMON_FAULT_H_

@@ -1,0 +1,306 @@
+// Fault-tolerant multi-host shard driver: the coordination layer that turns
+// the deterministic ShardPlan (engine/shard.h) into a build that survives
+// workers dying, wedging, or racing each other.
+//
+// The paper's O(n²) encrypted distance matrix is the cost center, and the
+// deployment shape the related work assumes (distance computation farmed to
+// semi-trusted, semi-*reliable* third-party hosts) means the driver must
+// treat worker death as routine, not exceptional. Three properties of the
+// existing shard substrate make that cheap:
+//
+//   - the plan is derived, not assigned: every participant computes the
+//     identical PlanShards(n, block, k) from three integers, so there is no
+//     assignment state to replicate — only *exclusion* (don't have two
+//     hosts burn CPU on the same range) and *detection* (notice a range's
+//     owner died);
+//   - shard exports are idempotent and bit-identical: two workers that both
+//     compute shard 3 write byte-identical frames via unique-tmp + rename,
+//     so a lost race costs electricity, never correctness;
+//   - shard files are CRC-framed: a worker killed mid-export leaves either
+//     no file, or a torn tmp no reader ever opens, or (only via legacy
+//     paths) a corrupt frame that reads as a typed ParseError — all three
+//     are recoverable by recomputing.
+//
+// Coordination therefore reduces to *leases* over shard indices:
+//
+//   acquire   O_CREAT|O_EXCL create of <dir>/shard-<matrix>-<i>of<k>.lease
+//             — the filesystem's atomicity is the lock; the file carries
+//             one line: "dpe-lease host=<h> pid=<p> epoch=<e> renewals=<r>"
+//   renew     rewrite the line with renewals+1 (bumps mtime) every
+//             heartbeat_ms — the holder's liveness signal
+//   expire    mtime older than ttl_ms — the holder is presumed dead or
+//             wedged; anyone may reclaim (unlink) and race a fresh
+//             O_EXCL acquire with epoch+1 (work stealing)
+//   release   unlink by the holder after its shard file landed
+//
+// Lease *content* is informational (the /stats lease table, debugging);
+// correctness rides only on O_EXCL-create atomicity and mtime freshness, so
+// a torn or garbled lease line never confuses the protocol. The LeaseBoard
+// interface keeps the driver's state machine backend-agnostic: the
+// directory board is one implementation, and a consensus service (etcd,
+// raft, a database) can replace it by implementing the same five
+// operations without touching driver or worker logic.
+//
+// The driver (coordinator) polls the store and merges shard files
+// *incrementally* as they land — no barrier on all k — while watching
+// lease freshness: an expired lease is reclaimed (driver.lease_expiries,
+// driver.reassignments) so surviving workers steal the range, and ranges
+// nobody claims within a grace period are self-finished by the driver
+// itself, one per poll round, so the build completes even if every worker
+// dies (the degraded single-process mode). A dead or wedged worker
+// therefore stalls its range at most ttl_ms + one poll-backoff cap.
+//
+// Crash injection (common/fault.h) hooks the worker loop at named points —
+// worker.preacquire, worker.acquired, worker.export, plus the store's
+// store.frame.mid_write — so the four fault modes (die-before-export,
+// die-mid-frame-write, wedge-without-heartbeat, double-acquire races) are
+// scripted deterministically by bench_multihost and the driver tests.
+
+#ifndef DPE_ENGINE_DRIVER_H_
+#define DPE_ENGINE_DRIVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/backoff.h"
+#include "common/fault.h"
+#include "engine/shard.h"
+
+namespace dpe::engine {
+
+/// One shard's lease as observed on the board — the /stats lease-table row.
+struct LeaseInfo {
+  uint32_t shard_index = 0;
+  bool held = false;        ///< a lease file exists
+  bool fresh = false;       ///< and its heartbeat is within TTL
+  std::string holder_host;  ///< from the lease line; "" if unparseable
+  int64_t holder_pid = 0;
+  uint64_t epoch = 0;       ///< bumped on every steal
+  uint64_t renewals = 0;    ///< heartbeat count claimed by the line
+  int64_t age_ms = 0;       ///< since last renewal (mtime)
+};
+
+/// The coordination backend: mutual exclusion + liveness over the shard
+/// indices of one build. Implementations must make TryAcquire atomic
+/// (at most one caller across all processes wins a given shard until it is
+/// released or expires) and thread-safe within a process (the heartbeat
+/// thread renews while the worker loop acquires and /stats snapshots).
+/// DirectoryLeaseBoard is the shared-filesystem implementation; a consensus
+/// service can replace it behind this interface.
+class LeaseBoard {
+ public:
+  virtual ~LeaseBoard() = default;
+
+  /// Tries to take `shard`'s lease: a fresh acquire, or a steal of an
+  /// expired one (epoch+1). False = someone else holds it and is live.
+  /// Errors only for environmental failures (permissions, I/O).
+  virtual Result<bool> TryAcquire(uint32_t shard) = 0;
+
+  /// Heartbeat: re-asserts a lease this process holds. OK even if the
+  /// lease was stolen meanwhile (the export path is idempotent, so a
+  /// resurrected holder is harmless — it re-creates the lease and both
+  /// holders' exports are bit-identical).
+  virtual Status Renew(uint32_t shard) = 0;
+
+  /// Drops a lease this process holds (shard exported, or abandoning).
+  /// OK if already gone.
+  virtual Status Release(uint32_t shard) = 0;
+
+  /// Unlinks `shard`'s lease if it exists AND is expired, without taking
+  /// it — the coordinator's reclaim, which frees the range for any worker
+  /// (or the coordinator itself) to re-acquire. True if a lease was
+  /// actually reclaimed.
+  virtual Result<bool> ReclaimExpired(uint32_t shard) = 0;
+
+  /// The current lease table, one row per shard index.
+  virtual Result<std::vector<LeaseInfo>> Snapshot() const = 0;
+
+  /// The freshness horizon: a lease not renewed for this long is presumed
+  /// dead. Every lease backend has one (a consensus lease has a session
+  /// TTL); the driver derives its default claim grace from it.
+  virtual int ttl_ms() const = 0;
+};
+
+/// Shared-directory lease board: lease files next to the shard files they
+/// guard, O_EXCL-create atomicity, mtime freshness. All methods are
+/// thread-safe; cross-process safety comes from the filesystem.
+class DirectoryLeaseBoard : public LeaseBoard {
+ public:
+  struct Options {
+    std::string dir;       ///< the store directory (created by the store)
+    std::string matrix;    ///< logical matrix name, e.g. "token"
+    uint32_t shard_count = 0;
+    int ttl_ms = 10000;    ///< heartbeat older than this = presumed dead
+    /// Identity written into lease lines; "" = gethostname().
+    std::string host;
+  };
+
+  /// Heap-allocated because the board is shared across threads (worker
+  /// loop, heartbeats, /stats snapshots) and the mutex pins its address.
+  static Result<std::unique_ptr<DirectoryLeaseBoard>> Open(
+      const Options& options);
+
+  Result<bool> TryAcquire(uint32_t shard) override;
+  Status Renew(uint32_t shard) override;
+  Status Release(uint32_t shard) override;
+  Result<bool> ReclaimExpired(uint32_t shard) override;
+  Result<std::vector<LeaseInfo>> Snapshot() const override;
+
+  /// The lease file path for `shard` — exposed for the corruption sweep
+  /// tests, which truncate lease files at every byte.
+  std::string LeasePath(uint32_t shard) const;
+
+  int ttl_ms() const override { return options_.ttl_ms; }
+
+ private:
+  explicit DirectoryLeaseBoard(Options options);
+
+  struct Held {
+    uint64_t epoch = 1;
+    uint64_t renewals = 0;
+  };
+
+  /// Writes the lease line for `shard` to an fd-opened file.
+  Status WriteLine(int fd, uint32_t shard, const Held& held) const;
+
+  Options options_;
+  mutable std::mutex mu_;  ///< guards held_
+  std::unordered_map<uint32_t, Held> held_;
+};
+
+/// RAII heartbeat: renews one held lease every interval on a background
+/// thread until stopped or destroyed. Stop() joins; renew failures are
+/// counted, not fatal (an unrenewable lease just expires — the protocol's
+/// safe direction).
+class LeaseHeartbeat {
+ public:
+  LeaseHeartbeat(LeaseBoard* board, uint32_t shard, int interval_ms);
+  ~LeaseHeartbeat();
+
+  LeaseHeartbeat(const LeaseHeartbeat&) = delete;
+  LeaseHeartbeat& operator=(const LeaseHeartbeat&) = delete;
+
+  void Stop();
+  uint64_t renewals() const { return renewals_.load(std::memory_order_relaxed); }
+
+ private:
+  LeaseBoard* board_;
+  uint32_t shard_;
+  int interval_ms_;
+  std::atomic<uint64_t> renewals_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;  ///< last: uses the members above
+};
+
+/// Knobs shared by the worker loop and the driver.
+struct WorkerOptions {
+  int heartbeat_ms = 1000;  ///< renew cadence; keep well under the TTL
+  /// Wait ladder when a round finds nothing acquirable (all fresh-leased
+  /// or already exported by someone else).
+  common::BackoffPolicy poll_backoff{100, 2000, 25};
+  /// Give up waiting for peers after this long without progress: the
+  /// worker exits and leaves the tail to the coordinator. <= 0 = wait
+  /// forever (not advisable outside tests).
+  int idle_timeout_ms = 60000;
+  ThreadPool* pool = nullptr;              ///< not owned; null = serial
+  obs::MetricsRegistry* metrics = nullptr; ///< null = process default
+  obs::TraceBuffer* trace = nullptr;       ///< may be null
+  /// Crash-injection scope: null = the process-global injector (DPE_FAULT).
+  /// In-process tests pass their own so a "worker" thread's faults do not
+  /// also fire on the coordinator's self-finish path.
+  common::FaultInjector* faults = nullptr;
+};
+
+/// What one worker process/thread accomplished.
+struct WorkerReport {
+  uint32_t computed = 0;  ///< shards this worker computed and exported
+  uint32_t steals = 0;    ///< of which via stealing an expired lease
+};
+
+/// The worker side of the protocol: sweep the plan's shards, skip ones
+/// whose file already landed, lease-acquire the rest (stealing expired
+/// leases), compute + export under a heartbeat, release. Returns when
+/// every shard file exists, or after idle_timeout_ms without progress.
+/// Fault points: worker.preacquire (before each TryAcquire),
+/// worker.acquired (after a successful acquire, BEFORE the heartbeat
+/// starts — a wedge here is the wedge-without-heartbeat mode),
+/// worker.export (before the compute+export — a die here is the
+/// die-before-export mode, with the lease held).
+Result<WorkerReport> RunWorkerLoop(
+    const std::string& matrix_name,
+    const std::vector<sql::SelectQuery>& queries,
+    const distance::QueryDistanceMeasure& measure,
+    const distance::MeasureContext& context, const ShardPlan& plan,
+    store::MatrixStore& store, LeaseBoard& board,
+    const WorkerOptions& options);
+
+/// Coordinator knobs. TTL itself lives on the board (the workers must
+/// agree on it, so it is part of board construction, not driver policy).
+struct DriverOptions {
+  /// Wait ladder between poll rounds that made no progress. The cap bounds
+  /// how stale the driver's view of the board can get — a dead worker
+  /// stalls its range at most ttl_ms + this cap.
+  common::BackoffPolicy poll_backoff{100, 2000, 25};
+  /// How long a never-leased shard may sit unclaimed before the driver
+  /// finishes it itself. < 0 = the board's TTL (give real workers one TTL's
+  /// head start). 0 = immediately (coordinator-only builds).
+  int claim_grace_ms = -1;
+  /// A shard whose export reads corrupt is discarded and recomputed at
+  /// most this many times before the drive fails (pathological disk).
+  int max_discards_per_shard = 3;
+  /// Hard watchdog: no merge progress for this long fails the drive with
+  /// kExecutionError. <= 0 = no watchdog.
+  int stall_timeout_ms = 120000;
+  bool self_finish = true;  ///< false = strictly coordinate, never compute
+  ThreadPool* pool = nullptr;              ///< for self-finished shards
+  obs::MetricsRegistry* metrics = nullptr; ///< null = process default
+  obs::TraceBuffer* trace = nullptr;       ///< may be null
+  common::FaultInjector* faults = nullptr; ///< null = process global
+};
+
+/// The drive's outcome: the merged matrix plus the fault-handling ledger.
+struct DriveReport {
+  distance::DistanceMatrix matrix;
+  uint32_t merged_from_workers = 0;  ///< shards exported by workers
+  uint32_t self_finished = 0;        ///< shards the coordinator computed
+  uint32_t lease_expiries = 0;       ///< dead/wedged holders detected
+  uint32_t reassignments = 0;        ///< expired leases reclaimed for re-work
+  uint32_t discards = 0;             ///< corrupt exports discarded
+  uint32_t poll_rounds = 0;
+};
+
+/// The coordinator: polls the store, merges shard files incrementally as
+/// they land (validating each manifest against the plan), reclaims expired
+/// leases so survivors can steal, and self-finishes unclaimed ranges —
+/// degrading to a single-process build if every worker dies. The state
+/// machine only touches the LeaseBoard interface, never the directory.
+class ShardDriver {
+ public:
+  explicit ShardDriver(DriverOptions options) : options_(std::move(options)) {}
+
+  /// Runs the drive to completion. `queries`/`measure`/`context` are needed
+  /// even in pure-coordination mode only if self_finish is on; the merged
+  /// matrix is bit-identical to MatrixBuilder::Build over the same inputs.
+  Result<DriveReport> Drive(store::MatrixStore& store,
+                            const std::string& matrix_name,
+                            const std::vector<sql::SelectQuery>& queries,
+                            const distance::QueryDistanceMeasure& measure,
+                            const distance::MeasureContext& context,
+                            const ShardPlan& plan, LeaseBoard& board);
+
+ private:
+  DriverOptions options_;
+};
+
+}  // namespace dpe::engine
+
+#endif  // DPE_ENGINE_DRIVER_H_

@@ -657,6 +657,118 @@ Result<distance::DistanceMatrix> Engine::MergeShards(
   return merged;
 }
 
+// -- Fault-tolerant multi-host builds ----------------------------------------
+
+namespace {
+
+/// Registers a drive's lease board with the engine's /stats for its
+/// duration — RAII so every exit path (including errors) deregisters.
+class ScopedActiveDrive {
+ public:
+  ScopedActiveDrive(std::mutex& mu, std::shared_ptr<LeaseBoard>* slot,
+                    std::string* matrix_slot,
+                    std::shared_ptr<LeaseBoard> board, std::string matrix)
+      : mu_(mu), slot_(slot), matrix_slot_(matrix_slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    *slot_ = std::move(board);
+    *matrix_slot_ = std::move(matrix);
+  }
+  ~ScopedActiveDrive() {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot_->reset();
+    matrix_slot_->clear();
+  }
+
+ private:
+  std::mutex& mu_;
+  std::shared_ptr<LeaseBoard>* slot_;
+  std::string* matrix_slot_;
+};
+
+}  // namespace
+
+Result<WorkerReport> Engine::RunShardWorker(const std::string& measure_name,
+                                            size_t shard_count,
+                                            const std::string& dir,
+                                            const MultiHostOptions& options) {
+  DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
+                       MeasureFor(measure_name));
+  DPE_ASSIGN_OR_RETURN(const ShardPlan plan, PlanShards(shard_count));
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore store, store::MatrixStore::Open(dir));
+  store.set_fsync_policy(options_.fsync_policy);
+
+  DirectoryLeaseBoard::Options board_options;
+  board_options.dir = dir;
+  board_options.matrix = measure_name;
+  board_options.shard_count = static_cast<uint32_t>(shard_count);
+  board_options.ttl_ms = options.ttl_ms;
+  DPE_ASSIGN_OR_RETURN(std::shared_ptr<LeaseBoard> board,
+                       DirectoryLeaseBoard::Open(board_options));
+  ScopedActiveDrive active(drive_mu_, &active_board_, &active_drive_matrix_,
+                           board, measure_name);
+
+  obs::TraceSpan span(
+      "engine.run_shard_worker", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "run_shard_worker"}}));
+  WorkerOptions worker_options;
+  worker_options.heartbeat_ms = options.heartbeat_ms;
+  worker_options.idle_timeout_ms = options.idle_timeout_ms;
+  worker_options.pool = &pool_;
+  worker_options.metrics = metrics_;
+  worker_options.trace = &trace_;
+  return RunWorkerLoop(measure_name, queries_, *measure, context_, plan,
+                       store, *board, worker_options);
+}
+
+Result<DriveReport> Engine::DriveShards(const std::string& measure_name,
+                                        size_t shard_count,
+                                        const std::string& dir,
+                                        const MultiHostOptions& options) {
+  DPE_ASSIGN_OR_RETURN(const distance::QueryDistanceMeasure* measure,
+                       MeasureFor(measure_name));
+  DPE_ASSIGN_OR_RETURN(const ShardPlan plan, PlanShards(shard_count));
+  DPE_ASSIGN_OR_RETURN(store::MatrixStore store, store::MatrixStore::Open(dir));
+  store.set_fsync_policy(options_.fsync_policy);
+
+  DirectoryLeaseBoard::Options board_options;
+  board_options.dir = dir;
+  board_options.matrix = measure_name;
+  board_options.shard_count = static_cast<uint32_t>(shard_count);
+  board_options.ttl_ms = options.ttl_ms;
+  DPE_ASSIGN_OR_RETURN(std::shared_ptr<LeaseBoard> board,
+                       DirectoryLeaseBoard::Open(board_options));
+  ScopedActiveDrive active(drive_mu_, &active_board_, &active_drive_matrix_,
+                           board, measure_name);
+
+  obs::TraceSpan span(
+      "engine.drive_shards", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "drive_shards"}}));
+  DriverOptions driver_options;
+  driver_options.claim_grace_ms = options.claim_grace_ms;
+  driver_options.stall_timeout_ms = options.stall_timeout_ms;
+  driver_options.self_finish = options.self_finish;
+  driver_options.pool = &pool_;
+  driver_options.metrics = metrics_;
+  driver_options.trace = &trace_;
+  ShardDriver driver(driver_options);
+  DPE_ASSIGN_OR_RETURN(DriveReport report,
+                       driver.Drive(store, measure_name, queries_, *measure,
+                                    context_, plan, *board));
+
+  if (options_.enable_cache) {
+    // Warm the cache exactly as MergeShards does: the drive's work should
+    // feed incremental rebuilds and mining the same way.
+    const size_t n = report.matrix.size();
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        cache_.Insert(measure_name, static_cast<uint32_t>(i),
+                      static_cast<uint32_t>(j), report.matrix.at(i, j));
+      }
+    }
+  }
+  return report;
+}
+
 // -- Observability -----------------------------------------------------------
 
 BuildReport Engine::last_build_report() const {
@@ -712,6 +824,52 @@ obs::StatsReport Engine::Stats() const {
       {"cache_hit_rate", hit_rate},
       {"last_build_measure", last.measure},
   };
+
+  // In-flight lease table: while a DriveShards/RunShardWorker is active,
+  // /stats shows who holds which range, how stale each heartbeat is, and
+  // how often it renewed — so a stuck multi-host build is diagnosable with
+  // one curl instead of ssh'ing into every worker host.
+  std::shared_ptr<LeaseBoard> board;
+  std::string drive_matrix;
+  {
+    std::lock_guard<std::mutex> lock(drive_mu_);
+    board = active_board_;
+    drive_matrix = active_drive_matrix_;
+  }
+  if (board != nullptr) {
+    std::string leases = "[";
+    if (Result<std::vector<LeaseInfo>> table = board->Snapshot();
+        table.ok()) {
+      bool first = true;
+      for (const LeaseInfo& lease : *table) {
+        if (!first) leases.push_back(',');
+        first = false;
+        // Hostnames are RFC-952 safe except for the rare embedded quote or
+        // backslash — escape just those two so the JSON stays well-formed
+        // no matter what the lease line carried.
+        std::string host;
+        for (char c : lease.holder_host) {
+          if (c == '"' || c == '\\') host.push_back('\\');
+          if (static_cast<unsigned char>(c) >= 0x20) host.push_back(c);
+        }
+        leases += "{\"shard\":" + std::to_string(lease.shard_index);
+        leases += ",\"held\":";
+        leases += lease.held ? "true" : "false";
+        leases += ",\"fresh\":";
+        leases += lease.fresh ? "true" : "false";
+        leases += ",\"holder\":\"" + host + "\"";
+        leases += ",\"pid\":" + std::to_string(lease.holder_pid);
+        leases += ",\"epoch\":" + std::to_string(lease.epoch);
+        leases += ",\"renewals\":" + std::to_string(lease.renewals);
+        leases += ",\"age_ms\":" + std::to_string(lease.age_ms);
+        leases += "}";
+      }
+    }
+    leases += "]";
+    report.extra_json.emplace_back("drive_matrix",
+                                   "\"" + drive_matrix + "\"");
+    report.extra_json.emplace_back("leases", std::move(leases));
+  }
   return report;
 }
 

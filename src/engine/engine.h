@@ -30,6 +30,7 @@
 
 #include "distance/matrix.h"
 #include "engine/distance_cache.h"
+#include "engine/driver.h"
 #include "engine/matrix_builder.h"
 #include "engine/measure_registry.h"
 #include "engine/shard.h"
@@ -47,6 +48,18 @@
 #include "store/matrix_store.h"
 
 namespace dpe::engine {
+
+/// Coordination knobs shared by both sides of a multi-host build. All
+/// participants must use the same ttl_ms (the protocol's liveness
+/// horizon).
+struct MultiHostOptions {
+  int ttl_ms = 10000;        ///< lease freshness horizon
+  int heartbeat_ms = 1000;   ///< worker renew cadence (keep << ttl_ms)
+  int claim_grace_ms = -1;   ///< driver self-finish grace; -1 = ttl_ms
+  int idle_timeout_ms = 60000;   ///< worker: exit after this much idleness
+  int stall_timeout_ms = 120000; ///< driver: hard no-progress watchdog
+  bool self_finish = true;       ///< driver computes abandoned ranges
+};
 
 struct EngineOptions {
   /// Worker threads; 0 = hardware concurrency.
@@ -236,6 +249,38 @@ class Engine {
                                                size_t shard_count,
                                                const std::string& dir);
 
+  // -- Fault-tolerant multi-host builds --------------------------------------
+  //
+  // The lease-coordinated flavor of the above (engine/driver.h): workers
+  // and the coordinator share `dir`, leases over shard indices arbitrate
+  // who computes what, heartbeats detect dead/wedged workers, and the
+  // coordinator merges incrementally — finishing abandoned ranges itself
+  // if it must. The merged matrix is bit-identical to BuildMatrix.
+  //
+  //   // on each worker host (any process able to see `dir`):
+  //   worker_engine.RunShardWorker("token", k, dir);
+  //   // on the coordinator, concurrently:
+  //   auto report = coordinator.DriveShards("token", k, dir).value();
+
+  /// The worker side: sweeps the deterministic k-way plan over this
+  /// engine's log, lease-acquiring and exporting shards of `measure` into
+  /// `dir` until all k shard files exist (or idle_timeout_ms passes with
+  /// peers holding everything). Safe to run on any number of hosts
+  /// concurrently; crashed peers' ranges are stolen after ttl_ms.
+  Result<WorkerReport> RunShardWorker(const std::string& measure,
+                                      size_t shard_count,
+                                      const std::string& dir,
+                                      const MultiHostOptions& options = {});
+
+  /// The coordinator side: merges shards incrementally as they land,
+  /// reclaims expired leases, self-finishes abandoned ranges, and (like
+  /// MergeShards) warms the distance cache with the merged pairs. While a
+  /// drive is active, Stats()/the /stats endpoint carry its live lease
+  /// table. Completes even if every worker dies.
+  Result<DriveReport> DriveShards(const std::string& measure,
+                                  size_t shard_count, const std::string& dir,
+                                  const MultiHostOptions& options = {});
+
   // -- Persistence -----------------------------------------------------------
 
   /// Checkpoints the full incremental-mining state (query log as canonical
@@ -368,6 +413,12 @@ class Engine {
   /// first built after the checkpoint starts at 0 and journals its full
   /// matrix exactly once.
   std::map<std::string, size_t> journal_watermarks_;
+  /// The lease board of the drive (or worker loop) currently running, if
+  /// any — what the /stats lease table snapshots. shared_ptr because the
+  /// telemetry thread may render the table while the drive finishes.
+  mutable std::mutex drive_mu_;
+  std::shared_ptr<LeaseBoard> active_board_;
+  std::string active_drive_matrix_;
   /// Telemetry lifecycle — declared LAST so it is destroyed FIRST: the
   /// scrape and push threads call into everything above (and the dtor
   /// also resets them explicitly before draining the pool, belt and

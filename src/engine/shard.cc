@@ -121,6 +121,44 @@ Result<store::ShardManifest> ShardWorker::Run(
   return manifest;
 }
 
+Status ReplayShardCells(const store::ShardFile& shard, size_t n, size_t block,
+                        const std::vector<std::pair<size_t, size_t>>& tiles,
+                        distance::DistanceMatrix* into) {
+  const store::ShardManifest& m = shard.manifest;
+  if (m.tile_end > tiles.size()) {
+    return Status::InvalidArgument(
+        "shard merge: shard " + std::to_string(m.shard_index) +
+        " claims tiles [" + std::to_string(m.tile_begin) + ", " +
+        std::to_string(m.tile_end) + ") of a schedule with " +
+        std::to_string(tiles.size()) + " tiles");
+  }
+  // Guard BEFORE the copy loop: the loop indexes shard.cells unchecked,
+  // so a cells vector shorter than the tile range's traversal must be
+  // rejected here, not discovered by overreading it.
+  size_t range_cells = 0;
+  for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
+    range_cells += TileCellCount(n, block, tiles[t].first, tiles[t].second);
+  }
+  if (shard.cells.size() != range_cells) {
+    return Status::ParseError(
+        "shard merge: shard " + std::to_string(m.shard_index) + " carries " +
+        std::to_string(shard.cells.size()) + " cells but its tile range " +
+        "owns " + std::to_string(range_cells));
+  }
+
+  // The shard's cells arrive in tile-schedule order, so the same
+  // tile->cells traversal the builder executes replays them into place —
+  // bit-identical to the single-process build.
+  size_t next_cell = 0;
+  for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
+    const auto [bi, bj] = tiles[t];
+    ForEachTileCell(n, block, bi, bj, [&](size_t i, size_t j) {
+      into->SetUnchecked(i, j, shard.cells[next_cell++]);
+    });
+  }
+  return Status::OK();
+}
+
 Result<distance::DistanceMatrix> ShardCoordinator::Merge(
     const store::MatrixStore& store, const std::string& matrix_name,
     size_t shard_count, size_t expected_n) const {
@@ -178,13 +216,6 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
           std::to_string(m.block) + " but shard 0 declares n = " +
           std::to_string(n) + ", block = " + std::to_string(block));
     }
-    if (m.tile_end > tile_count) {
-      return Status::InvalidArgument(
-          "shard merge: shard " + std::to_string(m.shard_index) +
-          " claims tiles [" + std::to_string(m.tile_begin) + ", " +
-          std::to_string(m.tile_end) + ") of a schedule with " +
-          std::to_string(tile_count) + " tiles");
-    }
     if (m.tile_begin < expect_begin) {
       return Status::InvalidArgument(
           "shard merge: shard " + std::to_string(m.shard_index) +
@@ -199,30 +230,9 @@ Result<distance::DistanceMatrix> ShardCoordinator::Merge(
     }
     expect_begin = m.tile_end;
 
-    // Guard BEFORE the copy loop: the loop indexes shard.cells unchecked,
-    // so a cells vector shorter than the tile range's traversal must be
-    // rejected here, not discovered by overreading it.
-    size_t range_cells = 0;
-    for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
-      range_cells += TileCellCount(n, block, tiles[t].first, tiles[t].second);
-    }
-    if (shard.cells.size() != range_cells) {
-      return Status::ParseError(
-          "shard merge: shard " + std::to_string(m.shard_index) + " carries " +
-          std::to_string(shard.cells.size()) + " cells but its tile range " +
-          "owns " + std::to_string(range_cells));
-    }
-
-    // The shard's cells arrive in tile-schedule order, so the same
-    // tile->cells traversal the builder executes replays them into place —
-    // bit-identical to the single-process build.
-    size_t next_cell = 0;
-    for (size_t t = m.tile_begin; t < m.tile_end; ++t) {
-      const auto [bi, bj] = tiles[t];
-      ForEachTileCell(n, block, bi, bj, [&](size_t i, size_t j) {
-        merged.SetUnchecked(i, j, shard.cells[next_cell++]);
-      });
-    }
+    // Range validation + cell-count guard + tile-order replay, shared with
+    // the incremental driver (ReplayShardCells above).
+    DPE_RETURN_NOT_OK(ReplayShardCells(shard, n, block, tiles, &merged));
   }
   if (expect_begin != tile_count) {
     return Status::InvalidArgument(

@@ -118,6 +118,18 @@ class ShardWorker {
   obs::TraceBuffer* trace_;        ///< not owned; may be null
 };
 
+/// Replays one shard file's cells into `into` along the shared tile
+/// traversal — the single definition of "merge this shard" used by both the
+/// all-at-once ShardCoordinator::Merge and the incremental ShardDriver
+/// (engine/driver.h), so the two merge paths cannot drift. `tiles` must be
+/// TileSchedule(n, block). Validates the cell count against the manifest's
+/// tile range (ParseError on mismatch) and that the range fits the schedule
+/// (InvalidArgument); the caller has already validated manifest identity
+/// and partition/coverage.
+Status ReplayShardCells(const store::ShardFile& shard, size_t n, size_t block,
+                        const std::vector<std::pair<size_t, size_t>>& tiles,
+                        distance::DistanceMatrix* into);
+
 /// Validates and merges the shard files of one sharded build.
 class ShardCoordinator {
  public:

@@ -235,6 +235,9 @@ std::string StatsReport::ToJson() const {
     out.append(",\"ms\":").append(Num(stages[i].ms)).push_back('}');
   }
   out.append("],\n \"metrics\": ").append(SnapshotJson(metrics));
+  for (const auto& [key, value] : extra_json) {
+    out.append(",\n ").append(JsonString(key)).append(": ").append(value);
+  }
   out.append("\n}\n");
   return out;
 }

@@ -11,6 +11,7 @@
 #define DPE_OBS_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -41,12 +42,18 @@ struct StatsReport {
   MetricsSnapshot metrics;
   std::vector<StageTiming> stages;  ///< most recent build's stage wall times
   Labels info;                      ///< e.g. {"kernel_backend","avx2"}
+  /// Extra top-level JSON members, (key, pre-rendered JSON value) — how
+  /// layers above obs/ attach structured state (the engine's in-flight
+  /// lease table) without this struct knowing their types. Values must be
+  /// valid JSON; they are spliced into ToJson() verbatim. Ignored by
+  /// ToPrometheusText().
+  std::vector<std::pair<std::string, std::string>> extra_json;
 
   /// PrometheusText(metrics) plus "dpe_last_build_stage_ms{stage=...}" gauges
   /// for `stages` and "# info key=value" comment lines for `info`.
   std::string ToPrometheusText() const;
 
-  /// {"info": {...}, "stages": [...], "metrics": [...]}.
+  /// {"info": {...}, "stages": [...], "metrics": [...], <extra_json>...}.
   std::string ToJson() const;
 };
 

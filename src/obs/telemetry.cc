@@ -81,12 +81,10 @@ std::unique_ptr<MetricsPusher> MetricsPusher::Start(
   pusher->push_counter_ = &registry.counter("telemetry.pushes");
   pusher->failure_counter_ = &registry.counter("telemetry.push_failures");
   pusher->backoff_gauge_ = &registry.gauge("telemetry.push_backoff_ms");
-  // Seed the jitter from the clock once; the stream only de-synchronizes
-  // fleet members, it carries no other meaning.
-  pusher->jitter_state_ =
-      static_cast<uint64_t>(
-          std::chrono::steady_clock::now().time_since_epoch().count()) |
-      1u;
+  // The ladder is the shared common::Backoff policy; the default-constructed
+  // member is re-armed here with the (already normalized) option values.
+  pusher->backoff_.Reset(common::BackoffPolicy{
+      pusher->options_.min_backoff_ms, pusher->options_.max_backoff_ms, 25});
   pusher->thread_ = std::thread([raw = pusher.get()] { raw->Loop(); });
   return pusher;
 }
@@ -113,7 +111,7 @@ bool MetricsPusher::TryPushOnce(std::string* error) {
   if (sent && response.status_code >= 200 && response.status_code < 300) {
     pushes_.fetch_add(1, std::memory_order_relaxed);
     push_counter_->Increment();
-    backoff_ms_.store(0, std::memory_order_relaxed);  // success resets
+    backoff_.OnSuccess();  // success resets the ladder
     backoff_gauge_->Set(0.0);
     return true;
   }
@@ -122,28 +120,16 @@ bool MetricsPusher::TryPushOnce(std::string* error) {
   }
   failures_.fetch_add(1, std::memory_order_relaxed);
   failure_counter_->Increment();
-  const int prev = backoff_ms_.load(std::memory_order_relaxed);
-  const int next = prev == 0 ? options_.min_backoff_ms
-                             : std::min(options_.max_backoff_ms, prev * 2);
-  backoff_ms_.store(next, std::memory_order_relaxed);
-  backoff_gauge_->Set(static_cast<double>(next));
+  backoff_gauge_->Set(static_cast<double>(backoff_.OnFailure()));
   return false;
 }
 
 void MetricsPusher::Loop() {
   for (;;) {
     // Healthy: wait the full interval. Backing off: wait the capped
-    // exponential delay plus up to 25% jitter.
-    int wait_ms = options_.interval_ms;
-    const int backoff = backoff_ms_.load(std::memory_order_relaxed);
-    if (backoff > 0) {
-      jitter_state_ ^= jitter_state_ << 13;
-      jitter_state_ ^= jitter_state_ >> 7;
-      jitter_state_ ^= jitter_state_ << 17;
-      const int jitter =
-          static_cast<int>(jitter_state_ % (static_cast<uint64_t>(backoff) / 4 + 1));
-      wait_ms = backoff + jitter;
-    }
+    // exponential delay plus jitter, both drawn from the shared policy.
+    const int jittered = backoff_.JitteredMs();
+    const int wait_ms = jittered > 0 ? jittered : options_.interval_ms;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),

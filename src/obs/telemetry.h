@@ -19,7 +19,11 @@
 // whole contract is that a dead or slow gateway costs the engine nothing
 // but a telemetry.push_failures counter. Failed pushes retry on a capped
 // exponential backoff with jitter (so a fleet of engines does not
-// stampede a recovering gateway), and one success resets the backoff.
+// stampede a recovering gateway), and one success resets the backoff. The
+// ladder itself is the shared common::Backoff policy (common/backoff.h —
+// header-only, so including it here does not invert the obs-below-common
+// layering); the shard driver waits on lease-directory progress through
+// the exact same tested policy.
 
 #ifndef DPE_OBS_TELEMETRY_H_
 #define DPE_OBS_TELEMETRY_H_
@@ -33,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "common/backoff.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
 
@@ -114,7 +119,7 @@ class MetricsPusher {
   }
   /// Current retry delay: 0 while healthy, else the capped exponential
   /// value the next retry will (approximately — jitter) wait.
-  int backoff_ms() const { return backoff_ms_.load(std::memory_order_relaxed); }
+  int backoff_ms() const { return backoff_.base_ms(); }
 
  private:
   MetricsPusher() = default;
@@ -130,8 +135,9 @@ class MetricsPusher {
 
   std::atomic<uint64_t> pushes_{0};
   std::atomic<uint64_t> failures_{0};
-  std::atomic<int> backoff_ms_{0};
-  uint64_t jitter_state_ = 0;  ///< xorshift state; loop thread only
+  /// The shared capped-exponential + jitter ladder (common/backoff.h).
+  /// TryPushOnce owns its transitions; Loop draws the jittered waits.
+  common::Backoff backoff_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -4,12 +4,14 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <utility>
 
+#include "common/fault.h"
 #include "obs/metrics.h"
 
 namespace dpe::store {
@@ -345,7 +347,16 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
   header.PutU64(payload.size());
   header.PutU32(Crc32(payload));
 
-  const std::string tmp = path + ".tmp";
+  // The tmp name is unique per (process, write): two processes — or two
+  // racing lease holders that both think they own a shard — writing the
+  // same destination concurrently must not scribble over each other's
+  // half-written tmp. The rename at the end stays last-writer-wins over
+  // bit-identical content, which is exactly what idempotent shard exports
+  // want.
+  static std::atomic<uint64_t> tmp_serial{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tmp_serial.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
@@ -354,9 +365,20 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
     }
     out.write(header.buffer().data(),
               static_cast<std::streamsize>(header.buffer().size()));
+    // Crash-injection point for the "die mid-frame-write" fault mode: the
+    // header (and only the header) is flushed to the tmp file first, so a
+    // death here leaves a deterministic torn tmp on disk — which readers
+    // never see (the rename below never happened) and stale-tmp cleanup
+    // can reclaim.
+    if (common::FaultInjector::Global().armed()) {
+      out.flush();
+      common::FaultInjector::Global().Fire("store.frame.mid_write");
+    }
     out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
     out.flush();
     if (!out) {
+      std::error_code cleanup_ec;
+      std::filesystem::remove(tmp, cleanup_ec);
       return Status::Internal("store codec: short write to " + tmp);
     }
     BytesWrittenCounter().Increment(header.buffer().size() + payload.size());
@@ -390,6 +412,15 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   BytesReadCounter().Increment(data.size());
+  if (data.empty()) {
+    // Exists-but-empty gets its own message (still ParseError, the typed
+    // corruption code): a zero-length file is a torn export or a crashed
+    // writer, and the shard merge path turns exactly this into a
+    // discard-and-recompute instead of confusing it with "not yet written"
+    // (which is NotFound, above).
+    return Corrupt("zero-length frame file " + path +
+                   " (torn or crashed export)");
+  }
   Reader r(data);
   DPE_ASSIGN_OR_RETURN(uint32_t got_magic, r.ReadU32());
   if (got_magic != magic) {

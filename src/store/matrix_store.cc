@@ -510,4 +510,22 @@ Result<ShardFile> MatrixStore::ReadShard(const std::string& matrix,
   return shard;
 }
 
+bool MatrixStore::HasShard(const std::string& matrix, uint32_t shard_index,
+                           uint32_t shard_count) const {
+  std::error_code ec;
+  return fs::exists(ShardPath(matrix, shard_index, shard_count), ec);
+}
+
+Status MatrixStore::RemoveShard(const std::string& matrix,
+                                uint32_t shard_index, uint32_t shard_count) {
+  const std::string path = ShardPath(matrix, shard_index, shard_count);
+  std::error_code ec;
+  fs::remove(path, ec);  // remove() is false-without-error when absent
+  if (ec) {
+    return Status::Internal("store: cannot remove shard file " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace dpe::store

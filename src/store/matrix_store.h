@@ -174,6 +174,16 @@ class MatrixStore {
   /// corruption.
   Result<ShardFile> ReadShard(const std::string& matrix, uint32_t shard_index,
                               uint32_t shard_count) const;
+  /// True if the shard file exists on disk (says nothing about validity —
+  /// a torn export still "exists"; ReadShard decides). The driver's cheap
+  /// has-it-landed poll.
+  bool HasShard(const std::string& matrix, uint32_t shard_index,
+                uint32_t shard_count) const;
+  /// Deletes a shard file (a corrupt export being discarded for recompute,
+  /// or post-merge cleanup). OK if it was already absent — the discard
+  /// path races the writer that produced the corruption.
+  Status RemoveShard(const std::string& matrix, uint32_t shard_index,
+                     uint32_t shard_count);
 
  private:
   explicit MatrixStore(std::string dir) : dir_(std::move(dir)) {}

@@ -1,0 +1,118 @@
+// The shared retry-delay policy (common/backoff.h). The pusher's telemetry
+// tests assert the same ladder through HTTP failures; these pin the policy
+// itself — ladder shape, reset, jitter bounds, normalization — so the shard
+// driver can lean on it without re-proving the arithmetic.
+
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpe::common {
+namespace {
+
+TEST(BackoffTest, LadderDoublesFromMinToCapAndHoldsThere) {
+  Backoff backoff(BackoffPolicy{500, 30000, 25});
+  EXPECT_EQ(backoff.base_ms(), 0) << "healthy ladder starts at zero";
+  EXPECT_EQ(backoff.OnFailure(), 500);
+  EXPECT_EQ(backoff.OnFailure(), 1000);
+  EXPECT_EQ(backoff.OnFailure(), 2000);
+  EXPECT_EQ(backoff.OnFailure(), 4000);
+  EXPECT_EQ(backoff.OnFailure(), 8000);
+  EXPECT_EQ(backoff.OnFailure(), 16000);
+  EXPECT_EQ(backoff.OnFailure(), 30000) << "doubling clamps at the cap";
+  EXPECT_EQ(backoff.OnFailure(), 30000) << "and holds there";
+  EXPECT_EQ(backoff.base_ms(), 30000);
+}
+
+TEST(BackoffTest, OneSuccessResetsTheLadderToMin) {
+  Backoff backoff(BackoffPolicy{100, 1000, 0});
+  backoff.OnFailure();
+  backoff.OnFailure();
+  ASSERT_EQ(backoff.base_ms(), 200);
+  backoff.OnSuccess();
+  EXPECT_EQ(backoff.base_ms(), 0);
+  EXPECT_EQ(backoff.OnFailure(), 100) << "next failure starts from min again";
+}
+
+TEST(BackoffTest, JitteredWaitIsZeroWhileHealthy) {
+  Backoff backoff(BackoffPolicy{500, 30000, 25}, /*jitter_seed=*/7);
+  EXPECT_EQ(backoff.JitteredMs(), 0);
+}
+
+TEST(BackoffTest, JitterStaysWithinTheConfiguredPercent) {
+  Backoff backoff(BackoffPolicy{1000, 30000, 25}, /*jitter_seed=*/42);
+  backoff.OnFailure();  // base = 1000, jitter span = [0, 250]
+  for (int i = 0; i < 1000; ++i) {
+    const int wait = backoff.JitteredMs();
+    EXPECT_GE(wait, 1000);
+    EXPECT_LE(wait, 1250);
+  }
+}
+
+TEST(BackoffTest, JitterDrawsVaryAcrossTheStream) {
+  Backoff backoff(BackoffPolicy{10000, 30000, 25}, /*jitter_seed=*/42);
+  backoff.OnFailure();  // base = 10000, span = 2501 buckets
+  std::set<int> waits;
+  for (int i = 0; i < 64; ++i) waits.insert(backoff.JitteredMs());
+  EXPECT_GT(waits.size(), 1u) << "xorshift stream must actually advance";
+}
+
+TEST(BackoffTest, FixedSeedGivesReproducibleJitterSequences) {
+  Backoff a(BackoffPolicy{1000, 30000, 25}, /*jitter_seed=*/99);
+  Backoff b(BackoffPolicy{1000, 30000, 25}, /*jitter_seed=*/99);
+  a.OnFailure();
+  b.OnFailure();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.JitteredMs(), b.JitteredMs());
+}
+
+TEST(BackoffTest, ZeroJitterPercentWaitsExactlyTheBase) {
+  Backoff backoff(BackoffPolicy{500, 30000, 0}, /*jitter_seed=*/5);
+  backoff.OnFailure();
+  backoff.OnFailure();
+  EXPECT_EQ(backoff.JitteredMs(), 1000);
+}
+
+TEST(BackoffTest, TinyBaseStillJittersByAtLeastOneBucket) {
+  // 25% of 4ms is 1ms: the span arithmetic must not collapse to zero
+  // buckets for small bases (the +1 in the span).
+  Backoff backoff(BackoffPolicy{4, 30000, 25}, /*jitter_seed=*/13);
+  backoff.OnFailure();
+  std::set<int> waits;
+  for (int i = 0; i < 64; ++i) {
+    const int wait = backoff.JitteredMs();
+    EXPECT_GE(wait, 4);
+    EXPECT_LE(wait, 5);
+    waits.insert(wait);
+  }
+  EXPECT_EQ(waits.size(), 2u) << "both 4 and 5 should appear over 64 draws";
+}
+
+TEST(BackoffTest, DegeneratePoliciesAreNormalized) {
+  // min below 1 clamps to 1; a cap below the min rises to the min; negative
+  // jitter clamps to none.
+  Backoff backoff(BackoffPolicy{-5, -100, -3});
+  EXPECT_EQ(backoff.policy().min_delay_ms, 1);
+  EXPECT_EQ(backoff.policy().max_delay_ms, 1);
+  EXPECT_EQ(backoff.policy().jitter_pct, 0);
+  EXPECT_EQ(backoff.OnFailure(), 1);
+  EXPECT_EQ(backoff.OnFailure(), 1);
+  EXPECT_EQ(backoff.JitteredMs(), 1);
+}
+
+TEST(BackoffTest, ResetReArmsPolicyAndZeroesTheBase) {
+  Backoff backoff(BackoffPolicy{500, 30000, 25});
+  backoff.OnFailure();
+  backoff.OnFailure();
+  ASSERT_EQ(backoff.base_ms(), 1000);
+  backoff.Reset(BackoffPolicy{50, 200, 0});
+  EXPECT_EQ(backoff.base_ms(), 0) << "Reset re-arms a healthy ladder";
+  EXPECT_EQ(backoff.OnFailure(), 50);
+  EXPECT_EQ(backoff.OnFailure(), 100);
+  EXPECT_EQ(backoff.OnFailure(), 200);
+  EXPECT_EQ(backoff.OnFailure(), 200);
+}
+
+}  // namespace
+}  // namespace dpe::common

@@ -1,0 +1,553 @@
+// The fault-tolerant shard driver (engine/driver.h): lease-file atomicity,
+// heartbeat freshness, expiry + stealing, the worker loop, and the
+// incrementally-merging coordinator — including the degraded modes (dead
+// workers, wedged workers, corrupt exports, coordinator-only builds). Every
+// merged matrix must be bit-identical to the direct single-process build.
+// Real process deaths (die/_exit at injection points) are bench_multihost's
+// territory; here workers are threads and death is simulated by acquiring
+// a lease and never renewing it.
+
+#include "engine/driver.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <thread>
+
+#include "engine/engine.h"
+#include "engine/matrix_builder.h"
+#include "engine/measure_registry.h"
+#include "tests/scenario_test_util.h"
+#include "workload/scenarios.h"
+
+namespace dpe::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+using testutil::ExpectBitIdentical;
+using testutil::Shop;
+
+class DriverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::path(::testing::TempDir()) /
+            ("driver_test_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name())))
+               .string();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  std::unique_ptr<DirectoryLeaseBoard> OpenBoard(uint32_t shards, int ttl_ms,
+                                                 const std::string& host) {
+    DirectoryLeaseBoard::Options options;
+    options.dir = dir_;
+    options.matrix = "token";
+    options.shard_count = shards;
+    options.ttl_ms = ttl_ms;
+    options.host = host;
+    auto board = DirectoryLeaseBoard::Open(options);
+    EXPECT_TRUE(board.ok()) << board.status();
+    return std::move(board).value();
+  }
+
+  std::string dir_;
+};
+
+// -- Lease protocol ----------------------------------------------------------
+
+TEST_F(DriverTest, OpenValidatesItsOptions) {
+  DirectoryLeaseBoard::Options options;
+  options.dir = dir_;
+  options.matrix = "token";
+  options.shard_count = 0;
+  options.ttl_ms = 100;
+  EXPECT_EQ(DirectoryLeaseBoard::Open(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.shard_count = 2;
+  options.ttl_ms = 0;
+  EXPECT_EQ(DirectoryLeaseBoard::Open(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.ttl_ms = 100;
+  options.dir = dir_ + "/does-not-exist";
+  EXPECT_EQ(DirectoryLeaseBoard::Open(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DriverTest, AcquireIsExclusiveAcrossBoards) {
+  auto a = OpenBoard(2, 60000, "host-a");
+  auto b = OpenBoard(2, 60000, "host-b");
+
+  auto first = a->TryAcquire(0);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(*first);
+
+  auto second = b->TryAcquire(0);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(*second) << "a fresh lease must not be acquirable twice";
+
+  auto other = b->TryAcquire(1);
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(*other) << "a different shard is independent";
+
+  EXPECT_EQ(a->TryAcquire(2).status().code(), StatusCode::kInvalidArgument)
+      << "shard index out of range";
+}
+
+TEST_F(DriverTest, ReleaseFreesTheLease) {
+  auto a = OpenBoard(1, 60000, "host-a");
+  auto b = OpenBoard(1, 60000, "host-b");
+  ASSERT_TRUE(*a->TryAcquire(0));
+  ASSERT_TRUE(a->Release(0).ok());
+  EXPECT_TRUE(*b->TryAcquire(0)) << "released lease is immediately takeable";
+  EXPECT_TRUE(b->Release(0).ok());
+  EXPECT_TRUE(b->Release(0).ok()) << "double release is OK";
+}
+
+TEST_F(DriverTest, SnapshotShowsHolderIdentityAndRenewals) {
+  auto a = OpenBoard(3, 60000, "host-a");
+  ASSERT_TRUE(*a->TryAcquire(1));
+  ASSERT_TRUE(a->Renew(1).ok());
+  ASSERT_TRUE(a->Renew(1).ok());
+
+  auto table = a->Snapshot();
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_EQ(table->size(), 3u);
+  EXPECT_FALSE((*table)[0].held);
+  EXPECT_TRUE((*table)[1].held);
+  EXPECT_TRUE((*table)[1].fresh);
+  EXPECT_EQ((*table)[1].holder_host, "host-a");
+  EXPECT_EQ((*table)[1].holder_pid, static_cast<int64_t>(::getpid()));
+  EXPECT_EQ((*table)[1].epoch, 1u);
+  EXPECT_EQ((*table)[1].renewals, 2u);
+  EXPECT_FALSE((*table)[2].held);
+}
+
+TEST_F(DriverTest, RenewRequiresHoldingTheLease) {
+  auto a = OpenBoard(1, 60000, "host-a");
+  EXPECT_EQ(a->Renew(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DriverTest, ExpiredLeaseIsStolenWithABumpedEpoch) {
+  auto dead = OpenBoard(1, 80, "host-dead");
+  auto live = OpenBoard(1, 80, "host-live");
+  ASSERT_TRUE(*dead->TryAcquire(0));
+
+  // Fresh: not stealable.
+  EXPECT_FALSE(*live->TryAcquire(0));
+
+  // The holder never renews; past the TTL anyone may steal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto stolen = live->TryAcquire(0);
+  ASSERT_TRUE(stolen.ok()) << stolen.status();
+  EXPECT_TRUE(*stolen);
+
+  auto table = live->Snapshot();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)[0].holder_host, "host-live");
+  EXPECT_EQ((*table)[0].epoch, 2u) << "a steal bumps the epoch";
+}
+
+TEST_F(DriverTest, ReclaimExpiredFreesWithoutTaking) {
+  auto dead = OpenBoard(1, 80, "host-dead");
+  auto coordinator = OpenBoard(1, 80, "host-coord");
+  ASSERT_TRUE(*dead->TryAcquire(0));
+
+  auto fresh = coordinator->ReclaimExpired(0);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(*fresh) << "a fresh lease must not be reclaimed";
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  auto reclaimed = coordinator->ReclaimExpired(0);
+  ASSERT_TRUE(reclaimed.ok());
+  EXPECT_TRUE(*reclaimed);
+
+  auto table = coordinator->Snapshot();
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE((*table)[0].held) << "reclaim unlinks, it does not take";
+
+  auto again = coordinator->ReclaimExpired(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again) << "nothing left to reclaim";
+}
+
+TEST_F(DriverTest, HeartbeatKeepsALeaseFreshPastManyTtls) {
+  auto holder = OpenBoard(1, 200, "host-a");
+  auto rival = OpenBoard(1, 200, "host-b");
+  ASSERT_TRUE(*holder->TryAcquire(0));
+  {
+    LeaseHeartbeat heartbeat(holder.get(), 0, /*interval_ms=*/40);
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    EXPECT_FALSE(*rival->TryAcquire(0))
+        << "a heartbeating lease must never be stolen";
+    EXPECT_GE(heartbeat.renewals(), 5u);
+  }
+  // Heartbeat stopped: the lease now ages out and becomes stealable.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(*rival->TryAcquire(0));
+}
+
+TEST_F(DriverTest, GarbledLeaseContentStillProtectsFreshness) {
+  auto a = OpenBoard(1, 60000, "host-a");
+  ASSERT_TRUE(*a->TryAcquire(0));
+  {
+    std::ofstream out(a->LeasePath(0), std::ios::trunc | std::ios::binary);
+    out << "\x01garbage\xff not a lease line at all";
+  }
+  auto b = OpenBoard(1, 60000, "host-b");
+  EXPECT_FALSE(*b->TryAcquire(0))
+      << "freshness rides on mtime, not parseable content";
+  auto table = b->Snapshot();
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE((*table)[0].held);
+  EXPECT_TRUE((*table)[0].fresh);
+  EXPECT_EQ((*table)[0].epoch, 0u) << "unknown holder, not an error";
+}
+
+// -- Worker loop + driver ----------------------------------------------------
+
+struct BuildFixture {
+  workload::Scenario scenario;
+  distance::MeasureContext context;
+  std::unique_ptr<distance::QueryDistanceMeasure> measure;
+  distance::DistanceMatrix reference;
+
+  static BuildFixture Make(size_t n) {
+    BuildFixture f{Shop(61, n), {}, nullptr, {}};
+    f.context = f.scenario.Context();
+    auto measure = MeasureRegistry::WithBuiltins().Create("token");
+    EXPECT_TRUE(measure.ok());
+    f.measure = std::move(measure).value();
+    MatrixBuilder builder(nullptr, MatrixBuilderOptions{4});
+    auto reference = builder.Build(f.scenario.log, *f.measure, f.context);
+    EXPECT_TRUE(reference.ok()) << reference.status();
+    f.reference = std::move(reference).value();
+    return f;
+  }
+};
+
+TEST_F(DriverTest, SoloWorkerExportsEveryShard) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 3);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto board = OpenBoard(3, 60000, "worker-1");
+
+  WorkerOptions options;
+  options.heartbeat_ms = 50;
+  auto report = RunWorkerLoop("token", f.scenario.log, *f.measure, f.context,
+                              *plan, *store, *board, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->computed, 3u);
+  for (uint32_t s = 0; s < 3; ++s) {
+    EXPECT_TRUE(store->HasShard("token", s, 3));
+  }
+  // No leases left behind.
+  auto table = board->Snapshot();
+  ASSERT_TRUE(table.ok());
+  for (const LeaseInfo& lease : *table) EXPECT_FALSE(lease.held);
+
+  // The exported set merges bit-identical to the direct build.
+  ShardCoordinator coordinator;
+  auto merged = coordinator.Merge(*store, "token", 3, f.scenario.log.size());
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ExpectBitIdentical(*merged, f.reference);
+}
+
+TEST_F(DriverTest, CoordinatorOnlyDriveCompletesWithZeroWorkers) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 3);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto board = OpenBoard(3, 60000, "coordinator");
+
+  DriverOptions options;
+  options.claim_grace_ms = 0;  // nobody is coming — don't wait for them
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *board);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->self_finished, 3u);
+  EXPECT_EQ(report->merged_from_workers, 0u);
+  ExpectBitIdentical(report->matrix, f.reference);
+}
+
+TEST_F(DriverTest, DriveMergesLiveWorkersIncrementally) {
+  BuildFixture f = BuildFixture::Make(32);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 4);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto worker_store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(worker_store.ok());
+  auto driver_board = OpenBoard(4, 60000, "coordinator");
+
+  // Two worker threads with their own boards (separate processes in real
+  // deployments — the directory is the shared medium either way).
+  auto board_1 = OpenBoard(4, 60000, "worker-1");
+  auto board_2 = OpenBoard(4, 60000, "worker-2");
+  std::thread worker_1([&] {
+    WorkerOptions options;
+    options.heartbeat_ms = 50;
+    auto report = RunWorkerLoop("token", f.scenario.log, *f.measure,
+                                f.context, *plan, *worker_store, *board_1,
+                                options);
+    EXPECT_TRUE(report.ok()) << report.status();
+  });
+  std::thread worker_2([&] {
+    WorkerOptions options;
+    options.heartbeat_ms = 50;
+    auto report = RunWorkerLoop("token", f.scenario.log, *f.measure,
+                                f.context, *plan, *worker_store, *board_2,
+                                options);
+    EXPECT_TRUE(report.ok()) << report.status();
+  });
+
+  DriverOptions options;
+  options.self_finish = true;  // permitted, but workers should beat it
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *driver_board);
+  worker_1.join();
+  worker_2.join();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->merged_from_workers + report->self_finished, 4u);
+  ExpectBitIdentical(report->matrix, f.reference);
+}
+
+TEST_F(DriverTest, DeadWorkersLeaseIsReclaimedAndRangeRedone) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 3);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+
+  // A "worker" that acquired shard 1 and died: lease exists, no renewals,
+  // no shard file ever lands.
+  const int ttl_ms = 300;
+  auto dead = OpenBoard(3, ttl_ms, "host-dead");
+  ASSERT_TRUE(*dead->TryAcquire(1));
+
+  auto board = OpenBoard(3, ttl_ms, "coordinator");
+  DriverOptions options;
+  options.claim_grace_ms = 0;
+  ShardDriver driver(options);
+  const auto started = std::chrono::steady_clock::now();
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *board);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->lease_expiries, 1u);
+  EXPECT_GE(report->reassignments, 1u);
+  EXPECT_EQ(report->self_finished, 3u);
+  ExpectBitIdentical(report->matrix, f.reference);
+
+  // The latency bound: the dead worker stalls the build at most one TTL
+  // plus one poll-backoff cap (2000ms default) — far under the stall
+  // watchdog. Generous envelope to stay unflaky under load.
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(ttl_ms + 2000 + 8000));
+}
+
+TEST_F(DriverTest, WedgedWorkerIsStolenFromAndHarmlessOnResume) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 2);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto worker_store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(worker_store.ok());
+
+  const int ttl_ms = 250;
+  auto worker_board = OpenBoard(2, ttl_ms, "host-wedgy");
+  auto driver_board = OpenBoard(2, ttl_ms, "coordinator");
+
+  // The worker wedges right after its first acquire, BEFORE its heartbeat
+  // starts — the wedge-without-heartbeat mode. The cap lets it resume
+  // later, by which time its range was stolen and finished; the resumed
+  // worker must finish cleanly (idempotent exports) without corrupting
+  // anything.
+  common::FaultInjector faults;
+  ASSERT_TRUE(faults.Arm("worker.acquired=wedge:1200"));
+
+  std::thread worker([&] {
+    WorkerOptions options;
+    options.heartbeat_ms = 50;
+    options.faults = &faults;
+    auto report = RunWorkerLoop("token", f.scenario.log, *f.measure,
+                                f.context, *plan, *worker_store,
+                                *worker_board, options);
+    EXPECT_TRUE(report.ok()) << report.status();
+  });
+
+  DriverOptions options;
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *driver_board);
+  worker.join();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->lease_expiries, 1u)
+      << "the wedged worker's unrenewed lease must expire";
+  ExpectBitIdentical(report->matrix, f.reference);
+}
+
+TEST_F(DriverTest, CorruptExportIsDiscardedAndRecomputed) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 3);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+
+  // A garbage file sits where shard 1's export should be.
+  {
+    std::ofstream out(dir_ + "/shard-token-1of3.dpe", std::ios::binary);
+    out << "this is not a DPEH frame";
+  }
+  ASSERT_TRUE(store->HasShard("token", 1, 3));
+
+  auto board = OpenBoard(3, 60000, "coordinator");
+  DriverOptions options;
+  options.claim_grace_ms = 0;
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *board);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->discards, 1u);
+  ExpectBitIdentical(report->matrix, f.reference);
+}
+
+TEST_F(DriverTest, ForeignManifestIsDiscardedNotMerged) {
+  BuildFixture f = BuildFixture::Make(24);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 2);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+
+  // A well-formed shard file whose manifest disagrees with the derived
+  // plan (wrong tile split — e.g. produced under a different block size).
+  store::ShardManifest foreign;
+  foreign.matrix = "token";
+  foreign.shard_index = 0;
+  foreign.shard_count = 2;
+  foreign.n = f.scenario.log.size();
+  foreign.block = 4;
+  foreign.tile_begin = 0;
+  foreign.tile_end = plan->ranges[0].end == 0 ? 1 : plan->ranges[0].end - 1;
+  auto count = store::ShardCellCount(foreign);
+  ASSERT_TRUE(count.ok());
+  ASSERT_TRUE(
+      store->WriteShardCells(foreign, std::vector<double>(*count, 1.0)).ok());
+
+  auto board = OpenBoard(2, 60000, "coordinator");
+  DriverOptions options;
+  options.claim_grace_ms = 0;
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *board);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->discards, 1u);
+  ExpectBitIdentical(report->matrix, f.reference);
+}
+
+TEST_F(DriverTest, StallWatchdogFailsInsteadOfHangingForever) {
+  BuildFixture f = BuildFixture::Make(12);
+  auto plan = PlanShards(f.scenario.log.size(), 4, 2);
+  ASSERT_TRUE(plan.ok());
+  auto store = store::MatrixStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  auto board = OpenBoard(2, 60000, "coordinator");
+
+  // self_finish off and no workers: nothing can ever land.
+  DriverOptions options;
+  options.self_finish = false;
+  options.stall_timeout_ms = 400;
+  ShardDriver driver(options);
+  auto report = driver.Drive(*store, "token", f.scenario.log, *f.measure,
+                             f.context, *plan, *board);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kExecutionError);
+}
+
+// -- Engine facade -----------------------------------------------------------
+
+TEST_F(DriverTest, EngineDriveShardsMatchesBuildMatrixAndWarmsCache) {
+  workload::Scenario s = Shop(61, 24);
+  EngineOptions eopts;
+  eopts.threads = 2;
+  eopts.block = 4;
+  Engine reference_engine(s.Context(), eopts);
+  reference_engine.SetLog(s.log);
+  auto reference = reference_engine.BuildMatrix("token");
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  Engine e(s.Context(), eopts);
+  e.SetLog(s.log);
+  MultiHostOptions options;
+  options.claim_grace_ms = 0;  // no workers in this test
+  auto report = e.DriveShards("token", 3, dir_, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ExpectBitIdentical(report->matrix, *reference);
+
+  // The drive's pairs warmed the cache: a subsequent build computes 0 cells.
+  auto again = e.BuildMatrix("token");
+  ASSERT_TRUE(again.ok());
+  ExpectBitIdentical(*again, *reference);
+  EXPECT_EQ(e.last_build_report().cells_computed, 0u);
+
+  // After the drive, /stats carries no lease table.
+  EXPECT_EQ(e.Stats().ToJson().find("\"leases\""), std::string::npos);
+}
+
+TEST_F(DriverTest, StatsExposesTheLeaseTableWhileADriveIsActive) {
+  workload::Scenario s = Shop(61, 16);
+  EngineOptions eopts;
+  eopts.threads = 2;
+  eopts.block = 4;
+  Engine e(s.Context(), eopts);
+  e.SetLog(s.log);
+
+  // Pin shard 0 with an external fresh lease so the drive must wait for
+  // it: while it waits, Stats() must render the live lease table.
+  auto external = OpenBoard(1, 60000, "host-external");
+  ASSERT_TRUE(*external->TryAcquire(0));
+
+  std::thread driver_thread([&] {
+    MultiHostOptions options;
+    options.self_finish = false;  // wait for "the worker" (us)
+    options.stall_timeout_ms = 20000;
+    auto report = e.DriveShards("token", 1, dir_, options);
+    EXPECT_TRUE(report.ok()) << report.status();
+  });
+
+  // Poll until the drive is registered and the table shows the holder.
+  std::string json;
+  for (int i = 0; i < 400; ++i) {
+    json = e.Stats().ToJson();
+    if (json.find("host-external") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(json.find("\"drive_matrix\": \"token\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"leases\""), std::string::npos);
+  EXPECT_NE(json.find("host-external"), std::string::npos);
+  EXPECT_NE(json.find("\"renewals\""), std::string::npos);
+
+  // Play the worker: export shard 0 and release — the drive completes.
+  Engine worker(s.Context(), eopts);
+  worker.SetLog(s.log);
+  auto plan = worker.PlanShards(1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(worker.RunShard("token", *plan, 0, dir_).ok());
+  ASSERT_TRUE(external->Release(0).ok());
+  driver_thread.join();
+}
+
+}  // namespace
+}  // namespace dpe::engine
