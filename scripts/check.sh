@@ -13,6 +13,12 @@ cmake -B build -S .
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
+echo "== dpe_lint: layer DAG / banned APIs / include hygiene =="
+# The `lint` ctest above already gates on this; running the binary directly
+# too makes a violation's diagnostics the first thing in the log rather
+# than buried in ctest output.
+./build/dpe_lint .
+
 echo "== scalar-forced backend: dispatch-sensitive suites rerun =="
 # The SIMD dispatch (common/simd.h) honors DPE_KERNEL_BACKEND; rerunning
 # the kernel-touching suites pinned to scalar keeps the fallback path green
@@ -125,6 +131,10 @@ cmake --build build-tsan -j"$JOBS" \
       --gtest_filter='DriverTest.*:ShardTest.*:ThreadPoolTest.*:ParallelForTest.*')
 (cd build-tsan && ./dpe_common_tests \
       --gtest_filter='BackoffTest.*:FaultInjectorTest.*')
+# Log-sink registry: concurrent emitters vs. sink swaps (the regression
+# tests for the delivery/state lock split in obs/log.cc).
+cmake --build build-tsan -j"$JOBS" --target dpe_obs_tests
+(cd build-tsan && ./dpe_obs_tests --gtest_filter='LogTest.*')
 
 echo "== scalar-only compile: DPE_DISABLE_SIMD build + kernel suites =="
 # Simulates a non-x86 target: the SIMD backends are not even compiled, and
@@ -136,5 +146,30 @@ cmake --build build-noscalar-simd -j"$JOBS" \
       dpe_mining_tests
 ctest --test-dir build-noscalar-simd --output-on-failure \
       -R '^(common|distance|engine|mining)$'
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang thread-safety: -Wthread-safety -Werror build of src/ =="
+  # GCC compiles the capability annotations (common/thread_annotations.h)
+  # away; only clang checks them. CMakeLists.txt turns the analysis on
+  # automatically for clang, so a plain library build is the whole gate —
+  # any GUARDED_BY/REQUIRES violation anywhere in src/ fails it.
+  cmake -B build-clang-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DDPE_BUILD_TESTS=OFF -DDPE_BUILD_BENCHES=OFF \
+        -DDPE_BUILD_EXAMPLES=OFF
+  cmake --build build-clang-tsa -j"$JOBS"
+else
+  echo "== clang thread-safety: SKIPPED (clang++ not installed) =="
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy: bugprone/concurrency/performance over src/ =="
+  # .clang-tidy carries the curated check list with warnings-as-errors;
+  # compile_commands.json comes from the tier-1 configure above
+  # (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+  find src -name '*.cc' -print0 \
+    | xargs -0 -P "$JOBS" -n 8 clang-tidy -p build --quiet
+else
+  echo "== clang-tidy: SKIPPED (clang-tidy not installed) =="
+fi
 
 echo "== check.sh: all green =="

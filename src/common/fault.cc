@@ -104,7 +104,7 @@ bool FaultInjector::Arm(std::string_view spec, std::string* error) {
     }
     start = end + 1;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   for (Fault& fault : parsed) {
     points_[fault.point].entries.push_back(std::move(fault));
@@ -114,13 +114,13 @@ bool FaultInjector::Arm(std::string_view spec, std::string* error) {
 }
 
 void FaultInjector::Arm(Fault fault) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_[fault.point].entries.push_back(std::move(fault));
   any_armed_ = true;
 }
 
 void FaultInjector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   any_armed_ = false;
 }
@@ -129,7 +129,7 @@ void FaultInjector::Fire(std::string_view point) {
   Fault to_perform;
   bool perform = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!any_armed_) {
       // Fast path: still count hits only for points someone armed or asked
       // about before — an unarmed injector must cost near nothing. A fully
@@ -151,13 +151,13 @@ void FaultInjector::Fire(std::string_view point) {
 }
 
 uint64_t FaultInjector::hits(std::string_view point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = points_.find(std::string(point));
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 bool FaultInjector::armed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [point, state] : points_) {
     if (!state.entries.empty()) return true;
   }

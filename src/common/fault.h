@@ -38,11 +38,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpe::common {
 
@@ -67,25 +69,26 @@ class FaultInjector {
   /// Parses a spec (see grammar above) and arms its entries, replacing any
   /// previous arming. Empty spec = disarm everything. Returns false (and
   /// arms nothing) on a malformed spec, with *error describing the defect.
-  bool Arm(std::string_view spec, std::string* error = nullptr);
+  bool Arm(std::string_view spec, std::string* error = nullptr)
+      EXCLUDES(mu_);
 
   /// Arms a single fault programmatically (tests).
-  void Arm(Fault fault);
+  void Arm(Fault fault) EXCLUDES(mu_);
 
   /// Disarms everything.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Hit the named point: counts the hit and, if an entry is armed for this
   /// point and this hit number, performs its action (possibly never
   /// returning). The fast path — nothing armed at all — is one relaxed
   /// atomic-free check under no lock contention in practice.
-  void Fire(std::string_view point);
+  void Fire(std::string_view point) EXCLUDES(mu_);
 
   /// Total times `point` has been hit (armed or not). For harness asserts.
-  uint64_t hits(std::string_view point) const;
+  uint64_t hits(std::string_view point) const EXCLUDES(mu_);
 
   /// True if any entry is armed.
-  bool armed() const;
+  bool armed() const EXCLUDES(mu_);
 
   /// The process-global injector, armed once from DPE_FAULT on first use.
   /// Forked workers inherit a fresh process, so setenv("DPE_FAULT", ...)
@@ -98,11 +101,13 @@ class FaultInjector {
     uint64_t hits = 0;
   };
 
-  void Perform(const Fault& fault);
+  // Performs the armed action; called with mu_ dropped so a wedge/sleep
+  // never blocks other threads' Fire() bookkeeping.
+  void Perform(const Fault& fault) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, PointState> points_;
-  bool any_armed_ = false;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, PointState> points_ GUARDED_BY(mu_);
+  bool any_armed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dpe::common

@@ -1,0 +1,101 @@
+// Capability-annotated mutex wrappers for clang -Wthread-safety.
+//
+// std::mutex carries no capability attributes, so the analysis cannot track
+// it. dpe::Mutex wraps one and annotates Lock/Unlock/TryLock; dpe::MutexLock
+// is the RAII guard (SCOPED_CAPABILITY) used in place of std::lock_guard;
+// dpe::CondVar waits on an annotated Mutex without dropping the capability
+// from the analysis's point of view.
+//
+// CondVar deliberately has no predicate-lambda Wait overload: clang's
+// analysis does not propagate held capabilities into lambdas, so a predicate
+// reading GUARDED_BY state would warn. Callers write the explicit loop —
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);
+//
+// — which the analysis verifies end to end.
+//
+// Header-only and stdlib-only so the obs/ layer (below common/ in the layer
+// DAG) may include it; dpe_lint allowlists that edge.
+
+#ifndef DPE_COMMON_MUTEX_H_
+#define DPE_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dpe {
+
+class CondVar;
+
+// A std::mutex the thread-safety analysis can track.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII guard: acquires in the constructor, releases in the destructor.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable over dpe::Mutex. Wait/WaitFor atomically release the
+// mutex while blocked and reacquire before returning, like
+// std::condition_variable — the REQUIRES annotation reflects that the
+// capability is held both at the call and at the return.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait,
+    // then release the unique_lock without unlocking — ownership stays
+    // with the caller's MutexLock, matching the annotation.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  // Returns true if woken by a notify (or spuriously), false on timeout —
+  // callers re-check their guarded predicate either way.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& rel_time)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    const std::cv_status s = cv_.wait_for(native, rel_time);
+    native.release();
+    return s == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dpe
+
+#endif  // DPE_COMMON_MUTEX_H_

@@ -34,7 +34,13 @@ const char* StatusCodeToString(StatusCode code);
 /// Outcome of a fallible operation: a code plus a contextual message.
 ///
 /// The OK state carries no allocation. Non-OK statuses are cheap to move.
-class Status {
+///
+/// [[nodiscard]] on the class makes every function returning a Status warn
+/// (and, with -Werror=unused-result, fail the build) when the caller drops
+/// the return — a silently-ignored error in the crypto or store layers is
+/// a wrong-but-plausible mining result, not a crash. The rare legitimately
+/// ignorable Status must be consumed explicitly with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -94,8 +100,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 }
 
 /// Either a value of type T or an error Status. Analogous to arrow::Result.
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (the common, successful path).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,82 @@
+// Clang thread-safety analysis annotations.
+//
+// These macros expose clang's -Wthread-safety capability analysis to the
+// codebase: fields name the mutex that guards them (GUARDED_BY), functions
+// declare the locks they need (REQUIRES) or must not hold (EXCLUDES), and
+// lock types themselves are marked as capabilities so the compiler can prove
+// every annotated invariant on every path — executed or not. Under any
+// compiler other than clang the macros expand to nothing, so the annotations
+// are pure documentation there.
+//
+// This header is deliberately header-only and stdlib-free so the obs/ layer
+// (which sits below common/ in the layer DAG) may include it; dpe_lint
+// carries an explicit allowlist for that edge.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#ifndef DPE_COMMON_THREAD_ANNOTATIONS_H_
+#define DPE_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && !defined(SWIG)
+#define DPE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DPE_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+// Marks a class as a lock type ("capability") the analysis can track.
+#define CAPABILITY(x) DPE_THREAD_ANNOTATION__(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY DPE_THREAD_ANNOTATION__(scoped_lockable)
+
+// Declares that a field (or a function's return value) is protected by the
+// given capability: reads require the capability held shared or exclusive,
+// writes require it exclusive.
+#define GUARDED_BY(x) DPE_THREAD_ANNOTATION__(guarded_by(x))
+
+// As GUARDED_BY, but protects the data a pointer field points to rather
+// than the pointer itself.
+#define PT_GUARDED_BY(x) DPE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Declares that the calling thread must already hold the given capabilities
+// (exclusively) when this function is invoked; the function neither acquires
+// nor releases them.
+#define REQUIRES(...) \
+  DPE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// Shared (reader) form of REQUIRES.
+#define REQUIRES_SHARED(...) \
+  DPE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// Declares that this function acquires the given capabilities and does not
+// release them before returning.
+#define ACQUIRE(...) DPE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+// Declares that this function releases the given capabilities; they must be
+// held on entry.
+#define RELEASE(...) DPE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+// Declares a function that attempts to acquire the capability and returns
+// `ret` (true/false) on success.
+#define TRY_ACQUIRE(...) \
+  DPE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// Declares that the caller must NOT hold the given capabilities — the
+// function acquires them itself, so calling with them held would deadlock.
+#define EXCLUDES(...) DPE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Asserts at runtime that the capability is held (for code the analysis
+// cannot see through, e.g. callbacks that inherit a lock from their caller).
+#define ASSERT_CAPABILITY(x) DPE_THREAD_ANNOTATION__(assert_capability(x))
+
+// Declares that the function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) DPE_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: disables analysis for one function. Use only where the
+// locking pattern is deliberately outside what the analysis can model, and
+// say why in a comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DPE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // DPE_COMMON_THREAD_ANNOTATIONS_H_

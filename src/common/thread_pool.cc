@@ -17,48 +17,48 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++pending_;
     peak_queue_depth_ = std::max<uint64_t>(peak_queue_depth_, queue_.size());
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 ThreadPool::Stats ThreadPool::GetStats() const {
   Stats stats;
   stats.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
   stats.busy_ns = busy_ns_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats.peak_queue_depth = peak_queue_depth_;
   return stats;
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) idle_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) wake_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -72,8 +72,8 @@ void ThreadPool::WorkerLoop() {
         std::memory_order_relaxed);
     tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) idle_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) idle_.NotifyAll();
     }
   }
 }
@@ -89,22 +89,24 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
   }
 
   // Per-call completion latch: ParallelFor only waits for its own chunks,
-  // so unrelated Submit() traffic on the pool cannot wedge it.
-  std::mutex mu;
-  std::condition_variable done;
+  // so unrelated Submit() traffic on the pool cannot wedge it. Locals can't
+  // carry GUARDED_BY (the analysis only tracks members), but the annotated
+  // types keep the lock/wait discipline uniform with the pool's own.
+  Mutex mu;
+  CondVar done;
   size_t remaining = (count + grain - 1) / grain;
 
   for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
     const size_t chunk_end = std::min(end, chunk_begin + grain);
     pool.Submit([&, chunk_begin, chunk_end] {
       body(chunk_begin, chunk_end);
-      std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) done.notify_one();
+      MutexLock lock(mu);
+      if (--remaining == 0) done.NotifyOne();
     });
   }
 
-  std::unique_lock<std::mutex> lock(mu);
-  done.wait(lock, [&] { return remaining == 0; });
+  MutexLock lock(mu);
+  while (remaining != 0) done.Wait(mu);
 }
 
 Status ParallelForStatus(ThreadPool* pool, size_t begin, size_t end,

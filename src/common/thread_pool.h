@@ -13,16 +13,16 @@
 #define DPE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dpe::common {
 
@@ -39,10 +39,10 @@ class ThreadPool {
   size_t thread_count() const { return workers_.size(); }
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has finished.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   /// Lifetime totals for observability. `busy_ns` is the summed wall time
   /// workers spent inside task bodies (not waiting); idle time is the
@@ -52,21 +52,21 @@ class ThreadPool {
     uint64_t peak_queue_depth = 0;  ///< max queued-not-yet-running tasks
     uint64_t busy_ns = 0;
   };
-  Stats GetStats() const;
+  Stats GetStats() const EXCLUDES(mu_);
 
   /// Tasks queued but not yet picked up by a worker, right now.
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable wake_;  ///< workers: queue non-empty or stopping
-  std::condition_variable idle_;  ///< Wait(): pending_ reached zero
-  std::deque<std::function<void()>> queue_;
-  size_t pending_ = 0;  ///< queued + currently running tasks
-  bool stop_ = false;
-  uint64_t peak_queue_depth_ = 0;            ///< guarded by mu_
+  mutable Mutex mu_;
+  CondVar wake_;  ///< workers: queue non-empty or stopping
+  CondVar idle_;  ///< Wait(): pending_ reached zero
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t pending_ GUARDED_BY(mu_) = 0;  ///< queued + currently running tasks
+  bool stop_ GUARDED_BY(mu_) = false;
+  uint64_t peak_queue_depth_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> tasks_executed_{0};  ///< outside mu_: hot-path adds
   std::atomic<uint64_t> busy_ns_{0};
   std::vector<std::thread> workers_;

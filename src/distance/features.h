@@ -81,6 +81,13 @@ Result<RawQueryFeatures> ExtractRawFeatures(const sql::SelectQuery& query);
 /// spans alias the arena, so moving transfers them validly (the arena's
 /// heap buffer moves with it) but copying would leave the copy's spans
 /// aliasing the original.
+///
+/// Threading contract: the cache is built once (Build populates the SoA
+/// arena, possibly via ParallelFor) and is immutable afterwards, so
+/// concurrent readers need no lock — the build/read phase boundary is the
+/// synchronization point (ParallelFor's completion latch publishes the
+/// arena to all pool threads). There is deliberately no mutex here; adding
+/// per-lookup locking would put a lock in the O(n²) pair hot path.
 class FeatureCache {
  public:
   FeatureCache() = default;

@@ -12,7 +12,7 @@ std::optional<double> DistanceCache::MeasureView::Lookup(uint32_t i,
 }
 
 DistanceCache::MeasureView DistanceCache::ViewFor(const std::string& measure) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = ids_.find(measure);
   return MeasureView(this,
                      it != ids_.end() ? it->second : MeasureView::kNoMeasure,
@@ -27,7 +27,7 @@ std::optional<double> DistanceCache::Lookup(const std::string& measure,
 std::optional<double> DistanceCache::LookupById(uint32_t measure_id,
                                                 uint64_t key,
                                                 uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (generation != generation_ || measure_id >= measures_.size()) {
     // The view outlived a Clear() (e.g. ClearCache during an async build):
     // its id may be gone or reused by a different measure, so read it as a
@@ -62,7 +62,7 @@ uint32_t DistanceCache::MeasureId(const std::string& measure, bool create) {
 
 void DistanceCache::Insert(const std::string& measure, uint32_t i, uint32_t j,
                            double d) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(MeasureId(measure, /*create=*/true), Key(i, j), d);
 }
 
@@ -93,7 +93,7 @@ void DistanceCache::EvictToBudgetLocked() {
 }
 
 size_t DistanceCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 
@@ -106,7 +106,7 @@ DistanceCache::Stats DistanceCache::stats() const {
 }
 
 void DistanceCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++generation_;  // invalidates outstanding MeasureViews
   lru_.clear();
   measures_.clear();
@@ -117,7 +117,7 @@ void DistanceCache::Clear() {
 }
 
 std::vector<store::CacheEntry> DistanceCache::Export() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<store::CacheEntry> entries;
   entries.reserve(lru_.size());
   for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {  // coldest first
@@ -132,7 +132,7 @@ std::vector<store::CacheEntry> DistanceCache::Export() const {
 }
 
 void DistanceCache::Restore(const std::vector<store::CacheEntry>& entries) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const store::CacheEntry& e : entries) {
     InsertLocked(MeasureId(e.measure, /*create=*/true), Key(e.i, e.j), e.d);
   }

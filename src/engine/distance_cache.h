@@ -18,13 +18,14 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "store/codec.h"
 
 namespace dpe::engine {
@@ -74,20 +75,21 @@ class DistanceCache {
   };
 
   /// Read handle for `measure` (valid even if nothing is cached yet).
-  MeasureView ViewFor(const std::string& measure);
+  MeasureView ViewFor(const std::string& measure) EXCLUDES(mu_);
 
   /// Cached d(i, j) under `measure`, if present; promotes to most-recent
   /// when a byte budget is set. Counts a hit or a miss. (i, j) is
   /// unordered: Lookup(m, i, j) == Lookup(m, j, i).
   std::optional<double> Lookup(const std::string& measure, uint32_t i,
-                               uint32_t j);
+                               uint32_t j) EXCLUDES(mu_);
 
   /// Stores d(i, j) as the most-recent entry; overwrites silently
   /// (distances are deterministic, so a rewrite can only store the same
   /// value). May evict cold entries to stay within the byte budget.
-  void Insert(const std::string& measure, uint32_t i, uint32_t j, double d);
+  void Insert(const std::string& measure, uint32_t i, uint32_t j, double d)
+      EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
   /// size() * kEntryBytes — never exceeds Options::max_bytes when set.
   size_t bytes_used() const { return size() * kEntryBytes; }
   size_t max_bytes() const { return options_.max_bytes; }
@@ -96,17 +98,17 @@ class DistanceCache {
   Stats stats() const;
 
   /// Drops every entry and resets the stats counters.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   // -- Persistence hooks (src/store) -----------------------------------------
 
   /// Every entry, coldest-first (the order Restore expects).
-  std::vector<store::CacheEntry> Export() const;
+  std::vector<store::CacheEntry> Export() const EXCLUDES(mu_);
   /// Inserts `entries` in order (coldest-first input reproduces recency);
   /// the byte budget applies, so a too-small budget keeps only the tail —
   /// and counts those drops in stats().evictions. The hit/miss counters
   /// are untouched.
-  void Restore(const std::vector<store::CacheEntry>& entries);
+  void Restore(const std::vector<store::CacheEntry>& entries) EXCLUDES(mu_);
 
  private:
   struct Node {
@@ -129,18 +131,21 @@ class DistanceCache {
   /// stale `generation` (the view predates a Clear) reads as a miss —
   /// never as another measure that reused the id.
   std::optional<double> LookupById(uint32_t measure_id, uint64_t key,
-                                   uint64_t generation);
+                                   uint64_t generation) EXCLUDES(mu_);
   /// Id for `measure`, creating the index if `create`; kNoMeasure otherwise.
-  uint32_t MeasureId(const std::string& measure, bool create);
-  void InsertLocked(uint32_t measure_id, uint64_t key, double d);
-  void EvictToBudgetLocked();
+  uint32_t MeasureId(const std::string& measure, bool create) REQUIRES(mu_);
+  void InsertLocked(uint32_t measure_id, uint64_t key, double d)
+      REQUIRES(mu_);
+  void EvictToBudgetLocked() REQUIRES(mu_);
 
   Options options_;
-  mutable std::mutex mu_;
-  uint64_t generation_ = 0;              ///< bumped by Clear()
-  LruList lru_;                          ///< front = most recently used
-  std::vector<MeasureIndex> measures_;   ///< indexed by measure id
-  std::map<std::string, uint32_t> ids_;  ///< measure name -> id
+  mutable Mutex mu_;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;  ///< bumped by Clear()
+  LruList lru_ GUARDED_BY(mu_);              ///< front = most recently used
+  /// Indexed by measure id.
+  std::vector<MeasureIndex> measures_ GUARDED_BY(mu_);
+  /// Measure name -> id.
+  std::map<std::string, uint32_t> ids_ GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};

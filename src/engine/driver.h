@@ -60,10 +60,8 @@
 #define DPE_ENGINE_DRIVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,6 +69,8 @@
 
 #include "common/backoff.h"
 #include "common/fault.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/shard.h"
 
 namespace dpe::engine {
@@ -147,11 +147,11 @@ class DirectoryLeaseBoard : public LeaseBoard {
   static Result<std::unique_ptr<DirectoryLeaseBoard>> Open(
       const Options& options);
 
-  Result<bool> TryAcquire(uint32_t shard) override;
-  Status Renew(uint32_t shard) override;
-  Status Release(uint32_t shard) override;
-  Result<bool> ReclaimExpired(uint32_t shard) override;
-  Result<std::vector<LeaseInfo>> Snapshot() const override;
+  Result<bool> TryAcquire(uint32_t shard) override EXCLUDES(mu_);
+  Status Renew(uint32_t shard) override EXCLUDES(mu_);
+  Status Release(uint32_t shard) override EXCLUDES(mu_);
+  Result<bool> ReclaimExpired(uint32_t shard) override EXCLUDES(mu_);
+  Result<std::vector<LeaseInfo>> Snapshot() const override EXCLUDES(mu_);
 
   /// The lease file path for `shard` — exposed for the corruption sweep
   /// tests, which truncate lease files at every byte.
@@ -171,8 +171,9 @@ class DirectoryLeaseBoard : public LeaseBoard {
   Status WriteLine(int fd, uint32_t shard, const Held& held) const;
 
   Options options_;
-  mutable std::mutex mu_;  ///< guards held_
-  std::unordered_map<uint32_t, Held> held_;
+  mutable Mutex mu_;
+  /// Shards this process believes it holds (epoch + renewal count).
+  std::unordered_map<uint32_t, Held> held_ GUARDED_BY(mu_);
 };
 
 /// RAII heartbeat: renews one held lease every interval on a background
@@ -187,17 +188,19 @@ class LeaseHeartbeat {
   LeaseHeartbeat(const LeaseHeartbeat&) = delete;
   LeaseHeartbeat& operator=(const LeaseHeartbeat&) = delete;
 
-  void Stop();
+  void Stop() EXCLUDES(mu_);
   uint64_t renewals() const { return renewals_.load(std::memory_order_relaxed); }
 
  private:
+  void Loop() EXCLUDES(mu_);
+
   LeaseBoard* board_;
   uint32_t shard_;
   int interval_ms_;
   std::atomic<uint64_t> renewals_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread thread_;  ///< last: uses the members above
 };
 

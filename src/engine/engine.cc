@@ -105,7 +105,7 @@ Engine::~Engine() {
 void Engine::SetLog(std::vector<sql::SelectQuery> log) {
   queries_ = std::move(log);
   cache_.Clear();
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(store_mu_);
   store_.reset();
   journal_watermarks_.clear();
 }
@@ -116,7 +116,7 @@ Status Engine::AddQuery(sql::SelectQuery query) {
   // otherwise duplicate the query or leave an index gap that bricks the
   // checkpoint on the next load.
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     if (store_ != nullptr) {
       DPE_RETURN_NOT_OK(store_->AppendQuery(
           static_cast<uint32_t>(queries_.size()), sql::ToSql(query)));
@@ -128,7 +128,7 @@ Status Engine::AddQuery(sql::SelectQuery query) {
 
 Result<const distance::QueryDistanceMeasure*> Engine::MeasureFor(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(measures_mu_);
+  MutexLock lock(measures_mu_);
   auto it = measures_.find(name);
   if (it == measures_.end()) {
     DPE_ASSIGN_OR_RETURN(auto measure, registry_.Create(name));
@@ -151,7 +151,7 @@ std::future<Result<distance::DistanceMatrix>> Engine::BuildMatrixAsync(
   // A private measure instance per task: overlapping builds must not race
   // on measure-internal state (Prepare is a single-threaded contract).
   Result<std::unique_ptr<distance::QueryDistanceMeasure>> measure = [&] {
-    std::lock_guard<std::mutex> lock(measures_mu_);
+    MutexLock lock(measures_mu_);
     return registry_.Create(measure_name);
   }();
   if (!measure.ok()) {
@@ -202,7 +202,7 @@ Result<distance::DistanceMatrix> Engine::BuildMatrixOn(
       common::simd::KernelsFor(context_.kernel_backend).backend);
   local.cache = cache_.stats();
   {
-    std::lock_guard<std::mutex> lock(report_mu_);
+    MutexLock lock(report_mu_);
     last_build_ = local;
   }
   if (report != nullptr) *report = std::move(local);
@@ -310,7 +310,7 @@ Status Engine::JournalComputedPairs(
     const std::vector<std::pair<size_t, size_t>>& pairs,
     const distance::DistanceMatrix& m) {
   if (pairs.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(store_mu_);  // also guards the store_ read
+  MutexLock lock(store_mu_);  // also guards the store_ read
   if (store_ == nullptr) return Status::OK();
   // Group by the larger index — the newer query's row — so the journal
   // reads as "row r gained these columns". Rows below the high-water mark
@@ -356,7 +356,7 @@ Status Engine::SaveCheckpoint(const std::string& dir,
   // land in the fresh (truncated) journal. Pairs such a build inserts after
   // the Export() below miss this snapshot and are skipped by the watermark;
   // they are recomputed after a restore — consistency is never at risk.
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(store_mu_);
   obs::TraceSpan export_span("checkpoint.export", &trace_);
   store::Snapshot snapshot;
   snapshot.queries.reserve(queries_.size());
@@ -497,7 +497,7 @@ Status Engine::LoadCheckpoint(const std::string& dir,
       cache_.Insert(record.measure, col, record.row, d);
     }
   }
-  std::lock_guard<std::mutex> lock(store_mu_);
+  MutexLock lock(store_mu_);
   store_ = std::make_unique<store::MatrixStore>(std::move(opened));
   // As in SaveCheckpoint, plus whatever the replayed journal covers on top.
   RebuildWatermarksLocked(snapshot.entries);
@@ -665,22 +665,22 @@ namespace {
 /// duration — RAII so every exit path (including errors) deregisters.
 class ScopedActiveDrive {
  public:
-  ScopedActiveDrive(std::mutex& mu, std::shared_ptr<LeaseBoard>* slot,
+  ScopedActiveDrive(Mutex& mu, std::shared_ptr<LeaseBoard>* slot,
                     std::string* matrix_slot,
                     std::shared_ptr<LeaseBoard> board, std::string matrix)
       : mu_(mu), slot_(slot), matrix_slot_(matrix_slot) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     *slot_ = std::move(board);
     *matrix_slot_ = std::move(matrix);
   }
   ~ScopedActiveDrive() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     slot_->reset();
     matrix_slot_->clear();
   }
 
  private:
-  std::mutex& mu_;
+  Mutex& mu_;
   std::shared_ptr<LeaseBoard>* slot_;
   std::string* matrix_slot_;
 };
@@ -772,7 +772,7 @@ Result<DriveReport> Engine::DriveShards(const std::string& measure_name,
 // -- Observability -----------------------------------------------------------
 
 BuildReport Engine::last_build_report() const {
-  std::lock_guard<std::mutex> lock(report_mu_);
+  MutexLock lock(report_mu_);
   return last_build_;
 }
 
@@ -803,7 +803,7 @@ obs::StatsReport Engine::Stats() const {
   report.metrics = metrics_->Snapshot();
   BuildReport last;
   {
-    std::lock_guard<std::mutex> lock(report_mu_);
+    MutexLock lock(report_mu_);
     last = last_build_;
   }
   report.stages = last.stages;
@@ -832,7 +832,7 @@ obs::StatsReport Engine::Stats() const {
   std::shared_ptr<LeaseBoard> board;
   std::string drive_matrix;
   {
-    std::lock_guard<std::mutex> lock(drive_mu_);
+    MutexLock lock(drive_mu_);
     board = active_board_;
     drive_matrix = active_drive_matrix_;
   }

@@ -24,10 +24,11 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "distance/matrix.h"
 #include "engine/distance_cache.h"
 #include "engine/driver.h"
@@ -301,8 +302,8 @@ class Engine {
   Status LoadCheckpoint(const std::string& dir,
                         CheckpointLoadReport* report = nullptr);
 
-  bool checkpoint_attached() const {
-    std::lock_guard<std::mutex> lock(store_mu_);
+  bool checkpoint_attached() const EXCLUDES(store_mu_) {
+    MutexLock lock(store_mu_);
     return store_ != nullptr;
   }
 
@@ -325,7 +326,7 @@ class Engine {
   const obs::TraceBuffer& trace() const { return trace_; }
 
   /// Copy of the most recent BuildMatrix report (empty before any build).
-  BuildReport last_build_report() const;
+  BuildReport last_build_report() const EXCLUDES(report_mu_);
 
   /// Full exportable report: a snapshot of every metric (thread-pool and
   /// cache gauges refreshed first), the last build's stage timings, and
@@ -355,7 +356,7 @@ class Engine {
   /// alive for the engine's lifetime so measure-internal memoization (the
   /// result measure's tuple-set cache) spans calls.
   Result<const distance::QueryDistanceMeasure*> MeasureFor(
-      const std::string& name);
+      const std::string& name) EXCLUDES(measures_mu_);
 
   /// The cache-aware build over an explicit log/builder/measure — shared by
   /// the sync path (pool-backed builder) and async tasks (serial builder on
@@ -382,11 +383,12 @@ class Engine {
   Status JournalComputedPairs(
       const std::string& measure_name,
       const std::vector<std::pair<size_t, size_t>>& pairs,
-      const distance::DistanceMatrix& m);
+      const distance::DistanceMatrix& m) EXCLUDES(store_mu_);
 
   /// Resets the per-measure watermarks to what `entries` (a snapshot's
   /// cache export) actually covers: the highest row seen per measure.
-  void RebuildWatermarksLocked(const std::vector<store::CacheEntry>& entries);
+  void RebuildWatermarksLocked(const std::vector<store::CacheEntry>& entries)
+      REQUIRES(store_mu_);
 
   EngineOptions options_;
   distance::MeasureContext context_;
@@ -397,28 +399,28 @@ class Engine {
   ThreadPool pool_;
   MatrixBuilder builder_;
   DistanceCache cache_;
-  mutable std::mutex report_mu_;  ///< guards last_build_
-  BuildReport last_build_;
+  mutable Mutex report_mu_;
+  BuildReport last_build_ GUARDED_BY(report_mu_);
   std::vector<sql::SelectQuery> queries_;
-  std::mutex measures_mu_;  ///< guards measures_ and registry lookups
+  Mutex measures_mu_;  ///< also serializes registry lookups
   std::map<std::string, std::unique_ptr<distance::QueryDistanceMeasure>>
-      measures_;
+      measures_ GUARDED_BY(measures_mu_);
   /// Guards store_ itself (attach/detach), the watermarks, and serializes
   /// journal appends.
-  mutable std::mutex store_mu_;
-  std::unique_ptr<store::MatrixStore> store_;
+  mutable Mutex store_mu_;
+  std::unique_ptr<store::MatrixStore> store_ GUARDED_BY(store_mu_);
   /// Per-measure high-water mark: rows below it are already persisted
   /// (snapshot or journal) for that measure, so recomputes of evicted
   /// pairs are never re-journaled (bounded journal growth). A measure
   /// first built after the checkpoint starts at 0 and journals its full
   /// matrix exactly once.
-  std::map<std::string, size_t> journal_watermarks_;
+  std::map<std::string, size_t> journal_watermarks_ GUARDED_BY(store_mu_);
   /// The lease board of the drive (or worker loop) currently running, if
   /// any — what the /stats lease table snapshots. shared_ptr because the
   /// telemetry thread may render the table while the drive finishes.
-  mutable std::mutex drive_mu_;
-  std::shared_ptr<LeaseBoard> active_board_;
-  std::string active_drive_matrix_;
+  mutable Mutex drive_mu_;
+  std::shared_ptr<LeaseBoard> active_board_ GUARDED_BY(drive_mu_);
+  std::string active_drive_matrix_ GUARDED_BY(drive_mu_);
   /// Telemetry lifecycle — declared LAST so it is destroyed FIRST: the
   /// scrape and push threads call into everything above (and the dtor
   /// also resets them explicitly before draining the pool, belt and

@@ -1,5 +1,7 @@
 #include "engine/measure_registry.h"
 
+#include <cstdlib>
+
 #include "distance/access_area_distance.h"
 #include "distance/levenshtein_distance.h"
 #include "distance/result_distance.h"
@@ -11,27 +13,33 @@ namespace dpe::engine {
 MeasureRegistry MeasureRegistry::WithBuiltins() {
   using distance::LevenshteinDistance;
   MeasureRegistry r;
-  r.Register("token", [] {
+  // The built-in names are distinct non-empty literals, so Register can only
+  // fail on a programming error (a duplicate introduced here) — abort loudly
+  // rather than return a half-populated registry.
+  const auto must = [](Status s) {
+    if (!s.ok()) std::abort();
+  };
+  must(r.Register("token", [] {
     return std::make_unique<distance::TokenDistance>();
-  });
-  r.Register("structure", [] {
+  }));
+  must(r.Register("structure", [] {
     return std::make_unique<distance::StructureDistance>();
-  });
-  r.Register("result", [] {
+  }));
+  must(r.Register("result", [] {
     return std::make_unique<distance::ResultDistance>();
-  });
-  r.Register("access-area", [] {
+  }));
+  must(r.Register("access-area", [] {
     return std::make_unique<distance::AccessAreaDistance>(
         distance::AccessAreaDistance::CanonicalDpeOptions());
-  });
-  r.Register("levenshtein-token", [] {
+  }));
+  must(r.Register("levenshtein-token", [] {
     return std::make_unique<LevenshteinDistance>(
         LevenshteinDistance::Granularity::kTokenSequence);
-  });
-  r.Register("levenshtein-char", [] {
+  }));
+  must(r.Register("levenshtein-char", [] {
     return std::make_unique<LevenshteinDistance>(
         LevenshteinDistance::Granularity::kCharacter);
-  });
+  }));
   return r;
 }
 

@@ -486,7 +486,7 @@ std::unique_ptr<HttpSink> HttpSink::Start(int port, std::string* error) {
         }
         const int status = raw->respond_status_.load(std::memory_order_relaxed);
         if (status == 200) {
-          std::lock_guard<std::mutex> lock(raw->mu_);
+          MutexLock lock(raw->mu_);
           raw->last_body_ = request.body;
           raw->posts_.fetch_add(1, std::memory_order_relaxed);
         }
@@ -498,7 +498,7 @@ std::unique_ptr<HttpSink> HttpSink::Start(int port, std::string* error) {
 }
 
 std::string HttpSink::last_body() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return last_body_;
 }
 

@@ -26,9 +26,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpe::obs {
 
@@ -136,7 +138,7 @@ class HttpSink {
     respond_status_.store(code, std::memory_order_relaxed);
   }
   uint64_t posts() const { return posts_.load(std::memory_order_relaxed); }
-  std::string last_body() const;
+  std::string last_body() const EXCLUDES(mu_);
 
  private:
   HttpSink() = default;
@@ -144,8 +146,8 @@ class HttpSink {
   std::unique_ptr<HttpServer> server_;
   std::atomic<int> respond_status_{200};
   std::atomic<uint64_t> posts_{0};
-  mutable std::mutex mu_;
-  std::string last_body_;
+  mutable Mutex mu_;
+  std::string last_body_ GUARDED_BY(mu_);  ///< written by the server thread
 };
 
 }  // namespace dpe::obs

@@ -1,33 +1,80 @@
 #include "obs/log.h"
 
 #include <cstdio>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpe::obs {
 
 namespace {
 
-std::mutex& SinkMutex() {
-  static std::mutex mu;
-  return mu;
-}
-
-/// Current sink plus a one-deep stack for ScopedLogSink. Leaked on purpose
-/// (records can be emitted during static destruction).
-struct SinkState {
-  LogSink sink;                  ///< empty = default stderr sink
-  std::vector<LogSink> stack;    ///< previous sinks for ScopedLogSink
-};
-
-SinkState& State() {
-  static SinkState* state = new SinkState();
-  return *state;
-}
-
 void DefaultSink(const LogRecord& record) {
   std::fprintf(stderr, "[dpe] %s\n", FormatLogRecord(record).c_str());
 }
+
+/// Process-wide sink registry. Two locks on purpose: `state_mu_` guards the
+/// installed-sink state and is never held across a sink invocation (sinks do
+/// I/O and may take arbitrary time — or re-enter SetLogSink themselves);
+/// `deliver_mu_` serializes sink calls so installed sinks never need their
+/// own locking. A sink that calls Log() recursively would self-deadlock on
+/// deliver_mu_ — sinks consume records, they do not emit them.
+class Logger {
+ public:
+  static Logger& Get() {
+    // Leaked on purpose (records can be emitted during static destruction).
+    static Logger* logger = new Logger();
+    return *logger;
+  }
+
+  void Set(LogSink sink) EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    sink_ = std::move(sink);
+  }
+
+  void Push(LogSink sink) EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    stack_.push_back(std::move(sink_));
+    sink_ = std::move(sink);
+  }
+
+  void Pop() EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    if (!stack_.empty()) {
+      sink_ = std::move(stack_.back());
+      stack_.pop_back();
+    } else {
+      sink_ = nullptr;
+    }
+  }
+
+  void Deliver(const LogRecord& record) EXCLUDES(state_mu_, deliver_mu_) {
+    // Copy the sink out under state_mu_, then invoke it under deliver_mu_
+    // only: installation never waits out a slow sink, and the sink body
+    // runs outside the state lock.
+    LogSink sink;
+    {
+      MutexLock lock(state_mu_);
+      sink = sink_;
+    }
+    MutexLock lock(deliver_mu_);
+    if (sink) {
+      sink(record);
+    } else {
+      DefaultSink(record);
+    }
+  }
+
+ private:
+  Logger() = default;
+
+  Mutex state_mu_;
+  Mutex deliver_mu_;  ///< held only while a sink runs; acquired after state_mu_
+  LogSink sink_ GUARDED_BY(state_mu_);  ///< empty = default stderr sink
+  /// Previous sinks for ScopedLogSink.
+  std::vector<LogSink> stack_ GUARDED_BY(state_mu_);
+};
 
 }  // namespace
 
@@ -43,22 +90,9 @@ std::string_view LogLevelName(LogLevel level) {
   return "info";
 }
 
-void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  State().sink = std::move(sink);
-}
+void SetLogSink(LogSink sink) { Logger::Get().Set(std::move(sink)); }
 
-void Log(LogRecord record) {
-  // Copy the sink out under the lock, call it while still holding the lock
-  // so records are serialized — sinks stay trivially thread-safe.
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  const LogSink& sink = State().sink;
-  if (sink) {
-    sink(record);
-  } else {
-    DefaultSink(record);
-  }
-}
+void Log(LogRecord record) { Logger::Get().Deliver(record); }
 
 void Log(LogLevel level, std::string_view component, std::string_view message,
          std::vector<std::pair<std::string, std::string>> fields) {
@@ -90,22 +124,8 @@ std::string FormatLogRecord(const LogRecord& record) {
   return out;
 }
 
-ScopedLogSink::ScopedLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  SinkState& state = State();
-  state.stack.push_back(std::move(state.sink));
-  state.sink = std::move(sink);
-}
+ScopedLogSink::ScopedLogSink(LogSink sink) { Logger::Get().Push(std::move(sink)); }
 
-ScopedLogSink::~ScopedLogSink() {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  SinkState& state = State();
-  if (!state.stack.empty()) {
-    state.sink = std::move(state.stack.back());
-    state.stack.pop_back();
-  } else {
-    state.sink = nullptr;
-  }
-}
+ScopedLogSink::~ScopedLogSink() { Logger::Get().Pop(); }
 
 }  // namespace dpe::obs

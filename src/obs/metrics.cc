@@ -123,7 +123,7 @@ MetricsRegistry::Instrument& MetricsRegistry::FindOrCreate(
     std::vector<double> bounds) {
   Labels sorted = Canonical(std::move(labels));
   std::string key = Key(kind, name, sorted);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) return *instruments_[it->second];
   auto inst = std::make_unique<Instrument>();
@@ -165,7 +165,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name, Labels labels,
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snapshot.samples.reserve(instruments_.size());
     for (const std::unique_ptr<Instrument>& inst : instruments_) {
       MetricSample s;
@@ -195,7 +195,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const std::unique_ptr<Instrument>& inst : instruments_) {
     switch (inst->kind) {
       case MetricKind::kCounter:
@@ -212,7 +212,7 @@ void MetricsRegistry::Reset() {
 }
 
 size_t MetricsRegistry::instrument_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return instruments_.size();
 }
 

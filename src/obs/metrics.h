@@ -23,12 +23,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+// Header-only, stdlib-only common/ headers; the one obs -> common edge the
+// layer DAG allows (dpe_lint carries the matching allowlist).
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dpe::obs {
 
@@ -144,25 +148,25 @@ class MetricsRegistry {
   /// Instrument accessors: find-or-create under the registry mutex, then
   /// return a reference that stays valid (and lock-free to update) for the
   /// registry's lifetime. Resolve once per build/phase, not per data point.
-  Counter& counter(std::string_view name, Labels labels = {});
-  Gauge& gauge(std::string_view name, Labels labels = {});
+  Counter& counter(std::string_view name, Labels labels = {}) EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name, Labels labels = {}) EXCLUDES(mu_);
   /// `bounds` must be strictly ascending; empty uses
   /// Histogram::DefaultLatencyBoundsMs(). The bounds of the FIRST
   /// registration win (later calls with the same identity return the
   /// existing instrument unchanged).
   Histogram& histogram(std::string_view name, Labels labels = {},
-                       std::vector<double> bounds = {});
+                       std::vector<double> bounds = {}) EXCLUDES(mu_);
 
   /// Consistent-enough copy of every instrument (relaxed reads; counters
   /// monotonic, so a concurrent build can only make a sample look slightly
   /// stale, never torn).
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every instrument in place. References handed out before stay
   /// valid; registrations are kept. Test isolation, not production use.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
-  size_t instrument_count() const;
+  size_t instrument_count() const EXCLUDES(mu_);
 
   /// The process-wide default registry. Layers with no injected registry
   /// (the store codec, the SIMD dispatch) count here; the engine defaults
@@ -184,11 +188,12 @@ class MetricsRegistry {
                          const Labels& sorted);
 
   Instrument& FindOrCreate(MetricKind kind, std::string_view name,
-                           Labels labels, std::vector<double> bounds);
+                           Labels labels, std::vector<double> bounds)
+      EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Instrument>> instruments_;
-  std::unordered_map<std::string, size_t> index_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, size_t> index_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpe::obs

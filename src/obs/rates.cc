@@ -39,7 +39,7 @@ MetricsSnapshot RollingRates::Tick(const MetricsRegistry& registry) {
 
 MetricsSnapshot RollingRates::TickAt(const MetricsSnapshot& counters,
                                      uint64_t now_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry entry;
   entry.t_ns = now_ns;
   for (const MetricSample& s : counters.samples) {
@@ -81,7 +81,7 @@ MetricsSnapshot RollingRates::TickAt(const MetricsSnapshot& counters,
 }
 
 size_t RollingRates::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 

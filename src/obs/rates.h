@@ -23,9 +23,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace dpe::obs {
@@ -45,14 +46,15 @@ class RollingRates {
   /// Snapshots `registry`'s counters at steady-clock "now", appends the
   /// snapshot to the ring, and returns the windowed per-second rates.
   /// Thread-safe; concurrent scrape and push just interleave ticks.
-  MetricsSnapshot Tick(const MetricsRegistry& registry);
+  MetricsSnapshot Tick(const MetricsRegistry& registry) EXCLUDES(mu_);
 
   /// Deterministic core of Tick for tests: explicit counter snapshot and
   /// timestamp. Non-counter samples in `counters` are ignored.
-  MetricsSnapshot TickAt(const MetricsSnapshot& counters, uint64_t now_ns);
+  MetricsSnapshot TickAt(const MetricsSnapshot& counters, uint64_t now_ns)
+      EXCLUDES(mu_);
 
   /// Snapshots retained right now (<= Options::window).
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -62,8 +64,8 @@ class RollingRates {
   };
 
   Options options_;
-  mutable std::mutex mu_;
-  std::deque<Entry> ring_;
+  mutable Mutex mu_;
+  std::deque<Entry> ring_ GUARDED_BY(mu_);
 };
 
 }  // namespace dpe::obs

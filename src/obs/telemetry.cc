@@ -93,13 +93,13 @@ MetricsPusher::~MetricsPusher() { Stop(); }
 
 void MetricsPusher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       if (!thread_.joinable()) return;
     }
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
 }
 
@@ -131,9 +131,16 @@ void MetricsPusher::Loop() {
     const int jittered = backoff_.JitteredMs();
     const int wait_ms = jittered > 0 ? jittered : options_.interval_ms;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait_for(lock, std::chrono::milliseconds(wait_ms),
-                   [this] { return stopping_; });
+      MutexLock lock(mu_);
+      // Explicit deadline loop instead of a predicate wait: the analysis
+      // can't see through a predicate lambda reading guarded state.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(wait_ms);
+      while (!stopping_) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        cv_.WaitFor(mu_, deadline - now);
+      }
       if (stopping_) return;
     }
     // TryPushOnce owns the backoff ladder (shared with PushNow): failure

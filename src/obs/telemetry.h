@@ -29,15 +29,15 @@
 #define DPE_OBS_TELEMETRY_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "common/backoff.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/http.h"
 #include "obs/metrics.h"
 
@@ -107,7 +107,7 @@ class MetricsPusher {
   MetricsPusher& operator=(const MetricsPusher&) = delete;
 
   /// Idempotent; wakes the loop and joins the thread.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
   /// One synchronous push outside the loop's cadence (the observability
   /// example's self-check). Counts into the same counters.
@@ -123,7 +123,7 @@ class MetricsPusher {
 
  private:
   MetricsPusher() = default;
-  void Loop();
+  void Loop() EXCLUDES(mu_);
   bool TryPushOnce(std::string* error);
 
   Options options_;
@@ -139,9 +139,9 @@ class MetricsPusher {
   /// TryPushOnce owns its transitions; Loop draws the jittered waits.
   common::Backoff backoff_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

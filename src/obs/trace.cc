@@ -53,7 +53,7 @@ uint64_t TraceNowNs() {
 
 void TraceBuffer::Record(std::string name, uint64_t start_ns, uint64_t dur_ns,
                          uint32_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] =
       tids_.emplace(std::this_thread::get_id(),
                     static_cast<uint32_t>(tids_.size()));
@@ -62,17 +62,17 @@ void TraceBuffer::Record(std::string name, uint64_t start_ns, uint64_t dur_ns,
 }
 
 std::vector<TraceEvent> TraceBuffer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 size_t TraceBuffer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceBuffer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   tids_.clear();
 }
@@ -84,7 +84,7 @@ std::string TraceBuffer::ToChromeJson() const {
   // outside the lock or a big buffer would stall every span completion.
   std::vector<TraceEvent> events;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events = events_;
   }
   std::sort(events.begin(), events.end(),

@@ -23,12 +23,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace dpe::obs {
@@ -60,21 +61,23 @@ class TraceBuffer {
 
   /// Appends one completed span (TraceSpan calls this; tests may too).
   void Record(std::string name, uint64_t start_ns, uint64_t dur_ns,
-              uint32_t depth);
+              uint32_t depth) EXCLUDES(mu_);
 
-  std::vector<TraceEvent> Events() const;
-  size_t size() const;
-  void Clear();
+  std::vector<TraceEvent> Events() const EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
+  void Clear() EXCLUDES(mu_);
 
   /// Chrome trace-event JSON ("X" complete events, microsecond timestamps,
   /// sorted by start time) — load via chrome://tracing or Perfetto.
-  std::string ToChromeJson() const;
+  /// Snapshots under the lock, serializes outside it: a big buffer must not
+  /// stall concurrent span completions.
+  std::string ToChromeJson() const EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::map<std::thread::id, uint32_t> tids_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ GUARDED_BY(mu_);
+  std::map<std::thread::id, uint32_t> tids_ GUARDED_BY(mu_);
 };
 
 /// The trace buffer ambiently installed on this thread (by

@@ -93,6 +93,13 @@ struct ShardFile {
 /// tails clamped (the merge validator — not the codec — rejects those).
 Result<uint64_t> ShardCellCount(const ShardManifest& manifest);
 
+/// Threading contract: MatrixStore holds no mutex of its own. An instance
+/// is single-owner state — the engine serializes every attach/detach and
+/// journal append behind its `store_mu_` (see Engine), and shard workers
+/// each open a private instance. Cross-*process* safety comes from the
+/// codec's unique-tmp + rename discipline, not from in-process locking.
+/// Do not share one instance across threads without external
+/// synchronization.
 class MatrixStore {
  public:
   /// Opens (creating if needed) the store directory. Fails if `dir` exists

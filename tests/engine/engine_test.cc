@@ -66,7 +66,7 @@ TEST(EngineTest, CacheHitCorrectnessAfterPointInsertion) {
 
   // Incremental: append the remaining queries one by one.
   for (size_t i = initial; i < s.log.size(); ++i) {
-    engine.AddQuery(s.log[i]);
+    ASSERT_TRUE(engine.AddQuery(s.log[i]).ok());
   }
   auto incremental = engine.BuildMatrix("token");
   ASSERT_TRUE(incremental.ok()) << incremental.status();

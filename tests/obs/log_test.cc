@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dpe::obs {
@@ -65,6 +70,90 @@ TEST(LogTest, FormatWithoutFieldsHasNoParenthetical) {
   const std::string text = FormatLogRecord(record);
   EXPECT_NE(text.find("error"), std::string::npos);
   EXPECT_EQ(text.find('('), std::string::npos);
+}
+
+// Regression: the sink registry once held a single mutex across the sink
+// invocation, so a slow sink blocked SetLogSink for its whole duration (and
+// a sink touching sink state deadlocked outright). The registry now copies
+// the sink out under the state lock and invokes it under a separate
+// delivery lock — installing a sink must complete while another thread is
+// still inside a slow sink.
+TEST(LogTest, SinkInstallationDoesNotWaitOutSlowSink) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool in_sink = false;
+  bool released = false;
+  bool swap_done = false;
+
+  SetLogSink([&](const LogRecord&) {
+    std::unique_lock<std::mutex> lock(mu);
+    in_sink = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+  });
+
+  std::thread logger([] { Log(LogLevel::kInfo, "t", "slow-delivery"); });
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return in_sink; });
+  }
+  // The logger thread is now parked inside the sink. Installing a new sink
+  // from a second thread must finish without waiting for it.
+  std::thread swapper([&] {
+    SetLogSink([](const LogRecord&) {});
+    std::unique_lock<std::mutex> lock(mu);
+    swap_done = true;
+    cv.notify_all();
+  });
+  bool swapped;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    swapped = cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return swap_done; });
+    // Unblock the parked sink either way so the threads always join.
+    released = true;
+    cv.notify_all();
+  }
+  EXPECT_TRUE(swapped) << "SetLogSink blocked behind an in-flight delivery";
+  logger.join();
+  swapper.join();
+  SetLogSink(nullptr);  // restore the default stderr sink
+}
+
+// Regression companion for the TSan leg: concurrent Log() emitters against
+// a thread churning the sink stack. Any unguarded access to the installed
+// sink or the ScopedLogSink stack is a data race here; the exactly-once
+// delivery count additionally fails the test if a record is dropped or
+// double-delivered during a swap.
+TEST(LogTest, ConcurrentLoggingAndSinkSwapsDeliverEachRecordOnce) {
+  std::atomic<int> delivered{0};
+  const auto counting_sink = [&](const LogRecord&) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  ScopedLogSink base(counting_sink);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<bool> stop{false};
+  std::thread churner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ScopedLogSink inner(counting_sink);  // push + pop under load
+    }
+  });
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Log(LogLevel::kInfo, "t", "concurrent");
+      }
+    });
+  }
+  for (auto& e : emitters) e.join();
+  stop.store(true, std::memory_order_relaxed);
+  churner.join();
+  EXPECT_EQ(delivered.load(), kThreads * kPerThread);
 }
 
 TEST(LogTest, LevelNames) {

@@ -1,0 +1,113 @@
+// dpe_lint: exact diagnostics and exit codes against the fixture trees
+// under tests/tools/fixtures/, plus the gate itself — the real repo tree
+// must lint clean.
+//
+// The linter binary and the fixture/repo paths arrive as compile
+// definitions from CMake (DPE_LINT_BINARY, DPE_LINT_FIXTURES,
+// DPE_LINT_REPO_ROOT), so this suite runs the same binary ctest's `lint`
+// test runs.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+LintRun RunLint(const std::string& target) {
+  // Diagnostics go to stdout; stderr only carries I/O errors, which none of
+  // these runs should produce — keep it visible so a failure explains itself.
+  const std::string cmd = std::string(DPE_LINT_BINARY) + " " + target;
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "cannot run: " << cmd;
+  if (pipe == nullptr) return run;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    run.stdout_text.append(buf, n);
+  }
+  const int raw = pclose(pipe);
+  run.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  return run;
+}
+
+std::string Fixture(const std::string& name) {
+  return std::string(DPE_LINT_FIXTURES) + "/" + name;
+}
+
+TEST(DpeLintTest, RealTreeIsClean) {
+  const LintRun run = RunLint(DPE_LINT_REPO_ROOT);
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
+TEST(DpeLintTest, CleanFixturePasses) {
+  // The clean tree mentions rand()/sprintf in comments and string literals;
+  // stripping must keep those from firing.
+  const LintRun run = RunLint(Fixture("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.stdout_text;
+  EXPECT_EQ(run.stdout_text, "");
+}
+
+TEST(DpeLintTest, LayerBackEdgeIsReported) {
+  const LintRun run = RunLint(Fixture("layer_backedge"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.stdout_text,
+            "src/common/bad.cc:2: layer-dag: layer 'common' must not include "
+            "\"engine/engine.h\" (allowed: self, obs)\n"
+            "src/obs/bad.cc:2: layer-dag: layer 'obs' must not include "
+            "\"common/status.h\" (allowed: self)\n");
+}
+
+TEST(DpeLintTest, CryptoRandomnessIsReported) {
+  const LintRun run = RunLint(Fixture("crypto_rand"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.stdout_text,
+            "src/crypto/bad.cc:5: crypto-random: deterministic randomness "
+            "('mt19937') in src/crypto/: key/nonce material must come from "
+            "crypto/csprng.h (OS entropy)\n"
+            "src/crypto/bad.cc:9: banned-rand: rand() is banned: use "
+            "std::mt19937 (seeded, reproducible) or crypto/csprng.h\n");
+}
+
+TEST(DpeLintTest, TestIncludeFromSrcIsReported) {
+  const LintRun run = RunLint(Fixture("test_include"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.stdout_text,
+            "src/db/bad.cc:2: test-include: src/ must not include test code "
+            "(\"tests/scenario_test_util.h\"); move shared helpers into a "
+            "library\n");
+}
+
+TEST(DpeLintTest, BannedApisAndThrowAreReported) {
+  const LintRun run = RunLint(Fixture("banned_api"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.stdout_text,
+            "src/sql/bad.cc:2: include-hygiene: quoted include "
+            "\"badhelper.h\" is not repo-root-relative (expected "
+            "\"<layer>/file.h\"); use <...> for system headers\n"
+            "src/sql/bad.cc:7: banned-api: sprintf is banned: unbounded "
+            "write, use snprintf or std::format\n"
+            "src/sql/bad.cc:8: banned-api: strcpy is banned: unbounded "
+            "write, use std::string or strncpy\n"
+            "src/sql/bad.cc:9: banned-throw: exceptions must not cross API "
+            "boundaries: return Status / Result<T> (common/status.h "
+            "contract)\n");
+}
+
+TEST(DpeLintTest, MissingDirectoryIsUsageError) {
+  const LintRun run =
+      RunLint(Fixture("no_such_fixture_dir") + " 2>/dev/null");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_EQ(run.stdout_text, "");
+}
+
+}  // namespace

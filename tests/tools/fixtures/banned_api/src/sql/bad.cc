@@ -1,0 +1,10 @@
+// Fixture: banned C APIs, a non-root-relative include, and a throw in src/.
+#include "badhelper.h"
+#include <cstdio>
+#include <cstring>
+
+void F(char* dst, const char* src) {
+  sprintf(dst, "%s", src);
+  strcpy(dst, src);
+  if (!dst) throw 1;
+}

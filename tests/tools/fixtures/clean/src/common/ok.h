@@ -1,0 +1,13 @@
+// Clean fixture: a legal down-edge (common -> obs) plus banned names that
+// appear only inside comments and string literals — none of it may fire.
+// Documentation may say rand() or srand() or sprintf or throw freely.
+#ifndef OK_H_
+#define OK_H_
+
+#include "obs/log.h"
+
+inline const char* Doc() {
+  return "calling sprintf(buf) or rand() inside a string literal is fine";
+}
+
+#endif  // OK_H_

@@ -1,0 +1,5 @@
+// Clean fixture: obs may include exactly the allowlisted header-only
+// common headers (the sanctioned obs -> common edge).
+#include "common/backoff.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"

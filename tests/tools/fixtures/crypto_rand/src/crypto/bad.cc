@@ -1,0 +1,9 @@
+// Fixture: deterministic randomness inside the crypto layer.
+#include <random>
+
+int Key() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+int Weak() { return rand(); }

@@ -1,0 +1,2 @@
+// Fixture: common must not reach up into engine (layer DAG back-edge).
+#include "engine/engine.h"

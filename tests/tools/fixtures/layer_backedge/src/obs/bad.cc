@@ -1,0 +1,2 @@
+// Fixture: common/status.h is not on the obs -> common allowlist.
+#include "common/status.h"

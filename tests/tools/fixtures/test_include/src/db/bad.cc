@@ -1,0 +1,2 @@
+// Fixture: production code reaching into the test tree.
+#include "tests/scenario_test_util.h"

@@ -1,0 +1,445 @@
+// dpe_lint — project-specific static checks the compiler cannot express.
+//
+// Usage: dpe_lint <repo-root>
+//
+// Scans src/, tests/, bench/, examples/ and tools/ under <repo-root> and
+// enforces:
+//
+//   layer-dag        src/<layer>/ may only include headers from layers it
+//                    is allowed to depend on (the CMake link graph, closed
+//                    transitively). One audited exception: obs/ may include
+//                    the header-only common/ headers listed in
+//                    kObsCommonAllowlist (see obs/metrics.h for why).
+//   test-include     src/ must never include anything under tests/.
+//   include-hygiene  every quoted #include must be repo-root-relative
+//                    ("layer/file.h"), never a bare or relative path.
+//   banned-rand      rand()/srand() anywhere — not seedable-reproducible
+//                    (use std::mt19937 outside crypto) and not secure
+//                    (use crypto/csprng.h inside it).
+//   crypto-random    any non-CSPRNG randomness under src/crypto/: the
+//                    <random> engines are deterministic, so key/nonce
+//                    material drawn from them is an exploitable bug.
+//                    crypto/csprng.{h,cc} are exempt — that file *is* the
+//                    OS-entropy wrapper the rest of the layer must use.
+//   banned-throw     `throw` under src/: the common/status.h contract is
+//                    that errors cross API boundaries as Status/Result<T>,
+//                    never as exceptions.
+//   banned-api       sprintf/strcpy/strcat/gets — unbounded writes.
+//
+// Diagnostics go to stdout as "path:line: rule-id: message" (path relative
+// to the repo root, '/' separators), sorted, one per line. Exit status:
+// 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//
+// Matching runs on comment- and string-stripped text, so documentation may
+// mention rand() freely. Standard library only; no dpe dependencies — the
+// linter must stay buildable even when the tree it lints is not.
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Layer DAG: allowed dependencies per src/ layer, transitively closed from
+// the CMake link graph (CMakeLists.txt, dpe_library calls). A layer may
+// always include itself.
+// ---------------------------------------------------------------------------
+
+const std::map<std::string, std::set<std::string>>& LayerDeps() {
+  static const std::map<std::string, std::set<std::string>> deps = {
+      {"obs", {}},
+      {"common", {"obs"}},
+      {"crypto", {"common", "obs"}},
+      {"sql", {"common", "obs"}},
+      {"db", {"sql", "common", "obs"}},
+      {"distance", {"db", "sql", "common", "obs"}},
+      {"store", {"distance", "db", "sql", "common", "obs"}},
+      {"cryptdb", {"crypto", "db", "sql", "common", "obs"}},
+      {"mining", {"distance", "db", "sql", "common", "obs"}},
+      {"engine",
+       {"distance", "mining", "store", "db", "sql", "common", "obs"}},
+      {"workload", {"db", "distance", "sql", "common", "obs"}},
+      {"core",
+       {"cryptdb", "distance", "workload", "crypto", "db", "sql", "common",
+        "obs"}},
+  };
+  return deps;
+}
+
+// The one sanctioned obs -> common edge: header-only, stdlib-only headers
+// that obs needs for its own locking. Anything else from common would pull
+// Status/logging back under obs and close a cycle.
+constexpr std::array<std::string_view, 3> kObsCommonAllowlist = {
+    "common/backoff.h", "common/mutex.h", "common/thread_annotations.h"};
+
+// Non-src roots whose quoted includes are still checked for hygiene.
+constexpr std::array<std::string_view, 4> kExtraRoots = {"tests", "bench",
+                                                         "examples", "tools"};
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping. Replaces comment and literal bodies with
+// spaces so line numbers and column positions survive. Handles //, /* */,
+// "..." and '...' with escapes. (The tree has no raw string literals; if
+// one appears the worst case is a false positive, which is the safe
+// direction for a linter.)
+// ---------------------------------------------------------------------------
+
+std::string StripCommentsAndStrings(const std::string& in) {
+  std::string out = in;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State st = State::kCode;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          st = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          st = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          st = State::kString;
+        } else if (c == '\'') {
+          st = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          st = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when text[pos..pos+word.size()) is `word` as a whole identifier.
+bool MatchesWord(const std::string& text, size_t pos, std::string_view word) {
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + word.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+// True when the first non-blank character after `pos` is '(' — i.e. the
+// identifier at `pos` is used as a call, not merely named.
+bool FollowedByCall(const std::string& text, size_t pos) {
+  size_t i = pos;
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+  return i < text.size() && text[i] == '(';
+}
+
+struct Violation {
+  std::string path;  // repo-root-relative, '/' separators
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Violation& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+struct WordRule {
+  std::string_view word;
+  bool must_be_call;  // require a following '(' (calls, not mentions)
+  std::string_view rule;
+  std::string_view message;
+};
+
+// Rules applying everywhere (all scanned roots).
+constexpr std::array<WordRule, 6> kGlobalWordRules = {{
+    {"rand", true, "banned-rand",
+     "rand() is banned: use std::mt19937 (seeded, reproducible) or "
+     "crypto/csprng.h"},
+    {"srand", true, "banned-rand",
+     "srand() is banned: use std::mt19937 (seeded, reproducible) or "
+     "crypto/csprng.h"},
+    {"sprintf", true, "banned-api",
+     "sprintf is banned: unbounded write, use snprintf or std::format"},
+    {"strcpy", true, "banned-api",
+     "strcpy is banned: unbounded write, use std::string or strncpy"},
+    {"strcat", true, "banned-api",
+     "strcat is banned: unbounded write, use std::string"},
+    {"gets", true, "banned-api",
+     "gets is banned: unbounded read, use std::getline"},
+}};
+
+// Deterministic <random> machinery that must not appear under src/crypto/
+// (outside csprng.{h,cc}, the audited OS-entropy wrapper).
+constexpr std::array<std::string_view, 5> kCryptoBannedRandom = {
+    "mt19937", "mt19937_64", "minstd_rand", "default_random_engine",
+    "random_device"};
+
+struct FileContext {
+  std::string rel;     // repo-root-relative path
+  bool in_src = false;
+  bool in_crypto = false;       // src/crypto/...
+  bool crypto_exempt = false;   // src/crypto/csprng.{h,cc}
+  std::string src_layer;        // "engine" for src/engine/..., else empty
+};
+
+// `line` is the comment/string-stripped text (word rules run on it, so
+// documentation may mention banned names); `raw` is the original line, from
+// which the quoted include target is extracted (stripping blanks string
+// bodies, include paths among them). The directive itself is detected on
+// the stripped line so a commented-out #include is not reported.
+void CheckLine(const FileContext& ctx, int line_no, const std::string& line,
+               const std::string& raw, std::vector<Violation>* out) {
+  // --- include rules -------------------------------------------------------
+  size_t h = line.find('#');
+  if (h != std::string::npos) {
+    size_t i = h + 1;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (line.compare(i, 7, "include") == 0) {
+      size_t q1 = raw.find('"', i + 7);
+      if (q1 != std::string::npos) {
+        size_t q2 = raw.find('"', q1 + 1);
+        if (q2 != std::string::npos) {
+          const std::string target = raw.substr(q1 + 1, q2 - q1 - 1);
+          const size_t slash = target.find('/');
+          const std::string root =
+              slash == std::string::npos ? "" : target.substr(0, slash);
+          const bool known_layer = LayerDeps().count(root) > 0;
+          const bool known_extra =
+              std::find(kExtraRoots.begin(), kExtraRoots.end(), root) !=
+              kExtraRoots.end();
+          if (!known_layer && !known_extra) {
+            out->push_back(
+                {ctx.rel, line_no, "include-hygiene",
+                 "quoted include \"" + target +
+                     "\" is not repo-root-relative (expected "
+                     "\"<layer>/file.h\"); use <...> for system headers"});
+          } else if (ctx.in_src && root == "tests") {
+            out->push_back({ctx.rel, line_no, "test-include",
+                            "src/ must not include test code (\"" + target +
+                                "\"); move shared helpers into a library"});
+          } else if (!ctx.src_layer.empty() && known_layer &&
+                     root != ctx.src_layer) {
+            const auto& allowed = LayerDeps().at(ctx.src_layer);
+            bool ok = allowed.count(root) > 0;
+            if (ctx.src_layer == "obs" && root == "common") {
+              ok = std::find(kObsCommonAllowlist.begin(),
+                             kObsCommonAllowlist.end(),
+                             target) != kObsCommonAllowlist.end();
+            }
+            if (!ok) {
+              out->push_back(
+                  {ctx.rel, line_no, "layer-dag",
+                   "layer '" + ctx.src_layer + "' must not include \"" +
+                       target + "\" (allowed: self" +
+                       [&] {
+                         std::string s;
+                         for (const auto& d : allowed) s += ", " + d;
+                         return s;
+                       }() +
+                       ")"});
+            }
+          }
+        }
+      }
+      return;  // an include line holds no other code
+    }
+  }
+
+  // --- word rules ----------------------------------------------------------
+  for (const auto& r : kGlobalWordRules) {
+    for (size_t pos = line.find(r.word); pos != std::string::npos;
+         pos = line.find(r.word, pos + 1)) {
+      if (!MatchesWord(line, pos, r.word)) continue;
+      if (r.must_be_call && !FollowedByCall(line, pos + r.word.size()))
+        continue;
+      out->push_back({ctx.rel, line_no, std::string(r.rule),
+                      std::string(r.message)});
+      break;  // one report per rule per line
+    }
+  }
+
+  if (ctx.in_src) {
+    for (size_t pos = line.find("throw"); pos != std::string::npos;
+         pos = line.find("throw", pos + 1)) {
+      if (!MatchesWord(line, pos, "throw")) continue;
+      out->push_back(
+          {ctx.rel, line_no, "banned-throw",
+           "exceptions must not cross API boundaries: return Status / "
+           "Result<T> (common/status.h contract)"});
+      break;
+    }
+  }
+
+  if (ctx.in_crypto && !ctx.crypto_exempt) {
+    for (const auto& word : kCryptoBannedRandom) {
+      size_t pos = line.find(word);
+      bool hit = false;
+      for (; pos != std::string::npos; pos = line.find(word, pos + 1)) {
+        if (MatchesWord(line, pos, word)) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        out->push_back(
+            {ctx.rel, line_no, "crypto-random",
+             "deterministic randomness ('" + std::string(word) +
+                 "') in src/crypto/: key/nonce material must come from "
+                 "crypto/csprng.h (OS entropy)"});
+        break;
+      }
+    }
+  }
+}
+
+bool LintFile(const fs::path& abs, const FileContext& ctx,
+              std::vector<Violation>* out) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) {
+    std::cerr << "dpe_lint: cannot read " << abs.string() << "\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw_text = buf.str();
+  const std::string stripped = StripCommentsAndStrings(raw_text);
+
+  // Stripping preserves newlines, so the two streams stay line-aligned.
+  std::istringstream lines(stripped);
+  std::istringstream raw_lines(raw_text);
+  std::string line;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (!std::getline(raw_lines, raw)) raw.clear();
+    CheckLine(ctx, line_no, line, raw, out);
+  }
+  return true;
+}
+
+FileContext MakeContext(const std::string& rel) {
+  FileContext ctx;
+  ctx.rel = rel;
+  ctx.in_src = rel.rfind("src/", 0) == 0;
+  ctx.in_crypto = rel.rfind("src/crypto/", 0) == 0;
+  ctx.crypto_exempt =
+      rel == "src/crypto/csprng.h" || rel == "src/crypto/csprng.cc";
+  if (ctx.in_src) {
+    const size_t next = rel.find('/', 4);
+    if (next != std::string::npos) {
+      const std::string layer = rel.substr(4, next - 4);
+      if (LayerDeps().count(layer)) ctx.src_layer = layer;
+    }
+  }
+  return ctx;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: dpe_lint <repo-root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  std::error_code ec;
+  if (!fs::is_directory(root, ec) || ec) {
+    std::cerr << "dpe_lint: not a directory: " << root.string() << "\n";
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  bool io_ok = true;
+  for (const std::string_view top :
+       {std::string_view("src"), std::string_view("tests"),
+        std::string_view("bench"), std::string_view("examples"),
+        std::string_view("tools")}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir, ec) || ec) continue;  // optional root
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      // fixtures/ trees hold deliberate violations for dpe_lint's own tests
+      // (tests/tools/fixtures/) — they are inputs, not code to lint.
+      if (it->is_directory(ec) && it->path().filename() == "fixtures") {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (!it->is_regular_file(ec) || !IsSourceFile(it->path())) continue;
+      const std::string rel =
+          fs::relative(it->path(), root, ec).generic_string();
+      if (ec) continue;
+      io_ok &= LintFile(it->path(), MakeContext(rel), &violations);
+    }
+    if (ec) {
+      std::cerr << "dpe_lint: walking " << dir.string() << ": "
+                << ec.message() << "\n";
+      io_ok = false;
+    }
+  }
+
+  std::sort(violations.begin(), violations.end());
+  for (const auto& v : violations) {
+    std::cout << v.path << ":" << v.line << ": " << v.rule << ": "
+              << v.message << "\n";
+  }
+  if (!io_ok) return 2;
+  return violations.empty() ? 0 : 1;
+}
