@@ -47,6 +47,21 @@ echo "== multi-host crash harness: forked workers, one injected kill =="
 (cd build && ./bench/bench_multihost --smoke)
 ls -l BENCH_multihost.json
 
+echo "== compaction bench: restart cost, long journal vs folded =="
+# Restarts the same checkpoint twice — once replaying the full journal,
+# once after one compaction cycle folded it into the next snapshot
+# generation — and hard-fails unless both matrices are bit-identical. The
+# JSON records load/rebuild times, replayed record counts and the
+# journal/snapshot byte footprints for the perf trajectory.
+(cd build && ./bench/bench_compaction --smoke > /dev/null)
+ls -l BENCH_compaction.json
+
+echo "== example smoke: compaction + self-healing scrub round-trip =="
+# Compacts in the background, flips a snapshot byte, and exits non-zero
+# unless the strict load fails typed, scrub_on_load quarantines and
+# recomputes the damage, and the result is bit-identical.
+(cd build && ./examples/compaction_scrub > /dev/null)
+
 echo "== example smoke: sharded build round-trip =="
 # Plans -> k worker engines -> on-disk shard files -> merged matrix; exits
 # non-zero unless the merge is bit-identical to the direct build.
@@ -128,7 +143,7 @@ cmake -B build-tsan -S . -DDPE_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan -j"$JOBS" \
       --target dpe_engine_tests dpe_common_tests
 (cd build-tsan && ./dpe_engine_tests \
-      --gtest_filter='DriverTest.*:ShardTest.*:ThreadPoolTest.*:ParallelForTest.*')
+      --gtest_filter='DriverTest.*:ShardTest.*:ThreadPoolTest.*:ParallelForTest.*:CompactionTest.*')
 (cd build-tsan && ./dpe_common_tests \
       --gtest_filter='BackoffTest.*:FaultInjectorTest.*')
 # Log-sink registry: concurrent emitters vs. sink swaps (the regression

@@ -49,10 +49,12 @@ Result<int64_t> FileAgeMs(const std::string& path) {
   return ms < 0 ? 0 : ms;
 }
 
-/// Parses "dpe-lease host=<h> pid=<p> epoch=<e> renewals=<r>". Tolerant by
-/// design: the protocol's correctness rides on O_EXCL and mtime only, so a
-/// torn or garbled line yields defaults ("" / 0), never an error — the
-/// lease is still real, its holder merely anonymous.
+/// Parses "dpe-lease host=<h> pid=<p> epoch=<e> renewals=<r> cells=<c>".
+/// Tolerant by design: the protocol's correctness rides on O_EXCL and mtime
+/// only, so a torn or garbled line yields defaults ("" / 0), never an
+/// error — the lease is still real, its holder merely anonymous. Unknown
+/// keys are skipped, so lines written by older builds (no cells=) and newer
+/// ones interoperate.
 void ParseLeaseLine(const std::string& line, LeaseInfo* info) {
   size_t pos = 0;
   while (pos < line.size()) {
@@ -77,6 +79,8 @@ void ParseLeaseLine(const std::string& line, LeaseInfo* info) {
         info->epoch = number;
       } else if (key == "renewals" && numeric) {
         info->renewals = number;
+      } else if (key == "cells" && numeric) {
+        info->cells = number;
       }
     }
     pos = end + 1;
@@ -129,7 +133,8 @@ Status DirectoryLeaseBoard::WriteLine(int fd, uint32_t shard,
   const std::string line =
       "dpe-lease host=" + options_.host + " pid=" + std::to_string(::getpid()) +
       " epoch=" + std::to_string(held.epoch) +
-      " renewals=" + std::to_string(held.renewals) + "\n";
+      " renewals=" + std::to_string(held.renewals) +
+      " cells=" + std::to_string(held.cells) + "\n";
   const ssize_t written = ::write(fd, line.data(), line.size());
   if (written != static_cast<ssize_t>(line.size())) {
     return Status::Internal("lease: short write to " + LeasePath(shard));
@@ -240,6 +245,15 @@ Status DirectoryLeaseBoard::Release(uint32_t shard) {
   return Status::OK();
 }
 
+void DirectoryLeaseBoard::ReportProgress(uint32_t shard, uint64_t cells) {
+  // Stored on the held record only; the next Renew's rewrite publishes it.
+  // Progress on a shard this process no longer holds is silently dropped —
+  // the lease (and its line) belong to the thief now.
+  MutexLock lock(mu_);
+  auto it = held_.find(shard);
+  if (it != held_.end()) it->second.cells = cells;
+}
+
 Result<bool> DirectoryLeaseBoard::ReclaimExpired(uint32_t shard) {
   const std::string path = LeasePath(shard);
   Result<int64_t> age = FileAgeMs(path);
@@ -278,8 +292,12 @@ Result<std::vector<LeaseInfo>> DirectoryLeaseBoard::Snapshot() const {
 // -- LeaseHeartbeat ----------------------------------------------------------
 
 LeaseHeartbeat::LeaseHeartbeat(LeaseBoard* board, uint32_t shard,
-                               int interval_ms)
-    : board_(board), shard_(shard), interval_ms_(std::max(1, interval_ms)) {
+                               int interval_ms,
+                               const std::atomic<uint64_t>* progress)
+    : board_(board),
+      shard_(shard),
+      interval_ms_(std::max(1, interval_ms)),
+      progress_(progress) {
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -297,6 +315,11 @@ void LeaseHeartbeat::Loop() {
         cv_.WaitFor(mu_, deadline - now);
       }
       if (stopping_) return;
+    }
+    // Publish progress first so the renew's line rewrite carries it.
+    if (progress_ != nullptr) {
+      board_->ReportProgress(shard_,
+                             progress_->load(std::memory_order_relaxed));
     }
     if (board_->Renew(shard_).ok()) {
       renewals_.fetch_add(1, std::memory_order_relaxed);
@@ -356,11 +379,15 @@ Result<WorkerReport> RunWorkerLoop(
       // but never renews, so it expires after the TTL and gets stolen.
       faults.Fire("worker.acquired");
       {
-        LeaseHeartbeat heartbeat(&board, s, options.heartbeat_ms);
+        // The builder bumps this per finished tile; each heartbeat forwards
+        // it into the lease line, so /stats shows how far the shard is.
+        std::atomic<uint64_t> progress{0};
+        LeaseHeartbeat heartbeat(&board, s, options.heartbeat_ms, &progress);
         // Die here = the die-before-export mode: lease held, no shard
         // file — peers steal the range after expiry.
         faults.Fire("worker.export");
         ShardWorker worker(options.pool, options.metrics, options.trace);
+        worker.set_progress_cells(&progress);
         const Result<store::ShardManifest> ran = worker.Run(
             matrix_name, queries, measure, context, plan, s, store);
         heartbeat.Stop();
@@ -545,10 +572,13 @@ Result<DriveReport> ShardDriver::Drive(
         if (acquired) {
           obs::Log(obs::LogLevel::kInfo, "driver", "self-finishing range",
                    {{"matrix", matrix_name}, {"shard", std::to_string(s)}});
+          std::atomic<uint64_t> progress{0};
           LeaseHeartbeat heartbeat(&board, s, /*interval_ms=*/
                                    std::max(1, options_.poll_backoff
-                                                   .min_delay_ms));
+                                                   .min_delay_ms),
+                                   &progress);
           ShardWorker worker(options_.pool, options_.metrics, options_.trace);
+          worker.set_progress_cells(&progress);
           const Result<store::ShardManifest> ran = worker.Run(
               matrix_name, queries, measure, context, plan, s, store);
           heartbeat.Stop();

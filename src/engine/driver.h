@@ -84,6 +84,7 @@ struct LeaseInfo {
   int64_t holder_pid = 0;
   uint64_t epoch = 0;       ///< bumped on every steal
   uint64_t renewals = 0;    ///< heartbeat count claimed by the line
+  uint64_t cells = 0;       ///< matrix cells the holder reports computed
   int64_t age_ms = 0;       ///< since last renewal (mtime)
 };
 
@@ -112,6 +113,15 @@ class LeaseBoard {
   /// Drops a lease this process holds (shard exported, or abandoning).
   /// OK if already gone.
   virtual Status Release(uint32_t shard) = 0;
+
+  /// Progress report: how many matrix cells the holder has computed so far
+  /// on `shard`. Purely informational (the /stats lease table); the next
+  /// Renew publishes it, so a backend that cannot carry it may ignore it —
+  /// the default does. Never affects lease correctness.
+  virtual void ReportProgress(uint32_t shard, uint64_t cells) {
+    (void)shard;
+    (void)cells;
+  }
 
   /// Unlinks `shard`'s lease if it exists AND is expired, without taking
   /// it — the coordinator's reclaim, which frees the range for any worker
@@ -150,6 +160,7 @@ class DirectoryLeaseBoard : public LeaseBoard {
   Result<bool> TryAcquire(uint32_t shard) override EXCLUDES(mu_);
   Status Renew(uint32_t shard) override EXCLUDES(mu_);
   Status Release(uint32_t shard) override EXCLUDES(mu_);
+  void ReportProgress(uint32_t shard, uint64_t cells) override EXCLUDES(mu_);
   Result<bool> ReclaimExpired(uint32_t shard) override EXCLUDES(mu_);
   Result<std::vector<LeaseInfo>> Snapshot() const override EXCLUDES(mu_);
 
@@ -165,6 +176,7 @@ class DirectoryLeaseBoard : public LeaseBoard {
   struct Held {
     uint64_t epoch = 1;
     uint64_t renewals = 0;
+    uint64_t cells = 0;  ///< last progress report; published by Renew
   };
 
   /// Writes the lease line for `shard` to an fd-opened file.
@@ -182,7 +194,11 @@ class DirectoryLeaseBoard : public LeaseBoard {
 /// safe direction).
 class LeaseHeartbeat {
  public:
-  LeaseHeartbeat(LeaseBoard* board, uint32_t shard, int interval_ms);
+  /// `progress` (optional, not owned, must outlive the heartbeat) is read
+  /// each beat and forwarded via board->ReportProgress before the renew, so
+  /// the lease line carries the holder's latest cell count.
+  LeaseHeartbeat(LeaseBoard* board, uint32_t shard, int interval_ms,
+                 const std::atomic<uint64_t>* progress = nullptr);
   ~LeaseHeartbeat();
 
   LeaseHeartbeat(const LeaseHeartbeat&) = delete;
@@ -197,6 +213,7 @@ class LeaseHeartbeat {
   LeaseBoard* board_;
   uint32_t shard_;
   int interval_ms_;
+  const std::atomic<uint64_t>* progress_;  ///< not owned; may be null
   std::atomic<uint64_t> renewals_{0};
   Mutex mu_;
   CondVar cv_;

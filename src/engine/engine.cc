@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string_view>
 #include <utility>
 
@@ -92,6 +93,10 @@ Engine::Engine(const distance::MeasureContext& context, EngineOptions options)
 }
 
 Engine::~Engine() {
+  // Raise the compaction stop flag before draining the pool: an in-flight
+  // cycle checks it between steps and bails instead of publishing into a
+  // store that is about to be torn down (clean shutdown mid-compaction).
+  compaction_stop_.store(true, std::memory_order_release);
   // Telemetry threads stop first: their callbacks walk the registry, the
   // pool, the cache and the trace buffer — everything torn down below.
   pusher_.reset();
@@ -120,6 +125,7 @@ Status Engine::AddQuery(sql::SelectQuery query) {
     if (store_ != nullptr) {
       DPE_RETURN_NOT_OK(store_->AppendQuery(
           static_cast<uint32_t>(queries_.size()), sql::ToSql(query)));
+      MaybeScheduleCompactionLocked();
     }
   }
   queries_.push_back(std::move(query));
@@ -339,7 +345,65 @@ Status Engine::JournalComputedPairs(
   }
   DPE_RETURN_NOT_OK(store_->AppendRecords(records));
   watermark = std::max(watermark, records.back().row + 1ul);
+  MaybeScheduleCompactionLocked();
   return Status::OK();
+}
+
+void Engine::MaybeScheduleCompactionLocked() {
+  if (!options_.enable_compaction || store_ == nullptr) return;
+  if (compaction_stop_.load(std::memory_order_acquire)) return;
+  if (store_->JournalBytes() < options_.compaction_trigger_bytes) return;
+  if (compaction_inflight_.exchange(true, std::memory_order_acq_rel)) return;
+  pool_.Submit([this] { CompactionCycle(); });
+}
+
+void Engine::CompactionCycle() {
+  Result<bool> published = CompactNow();
+  if (!published.ok()) {
+    metrics_->counter("store.compaction.failures").Increment();
+  }
+  compaction_inflight_.store(false, std::memory_order_release);
+  // Appends that landed while the fold ran may already have outgrown the
+  // trigger again; chain the next cycle instead of waiting for the next
+  // append to notice.
+  MutexLock lock(store_mu_);
+  MaybeScheduleCompactionLocked();
+}
+
+Result<bool> Engine::CompactNow() {
+  obs::TraceSpan span(
+      "engine.compact", &trace_,
+      &metrics_->histogram("engine.api_ms", {{"api", "compact"}}));
+  std::shared_ptr<store::MatrixStore> store;
+  store::CompactionPlan plan;
+  {
+    MutexLock lock(store_mu_);
+    if (store_ == nullptr) {
+      return Status::NotFound("compact: no checkpoint attached");
+    }
+    store = store_;
+    DPE_ASSIGN_OR_RETURN(plan, store->BeginCompaction());
+  }
+  if (!plan.has_work) return false;
+  if (compaction_stop_.load(std::memory_order_acquire)) return false;
+
+  // The fold runs OFF the store mutex: it touches only the frozen journal
+  // and the from-generation snapshot, both immutable now that appends go to
+  // the rotated journal. Concurrent builds keep appending the whole time.
+  DPE_ASSIGN_OR_RETURN(store::Snapshot folded, store->FoldFrozen(plan));
+  if (compaction_stop_.load(std::memory_order_acquire)) return false;
+
+  MutexLock lock(store_mu_);
+  if (store_ != store) return false;  // store swapped out while folding
+  DPE_ASSIGN_OR_RETURN(bool published, store->PublishCompaction(plan, folded));
+  if (published) {
+    metrics_->counter("store.compaction.runs").Increment();
+    metrics_->gauge("store.compaction.generation")
+        .Set(static_cast<double>(store->generation()));
+    metrics_->gauge("store.journal_bytes")
+        .Set(static_cast<double>(store->JournalBytes()));
+  }
+  return published;
 }
 
 Status Engine::SaveCheckpoint(const std::string& dir,
@@ -379,7 +443,7 @@ Status Engine::SaveCheckpoint(const std::string& dir,
   truncate_span.End();
   local.stages.push_back({"truncate", truncate_span.elapsed_ms()});
 
-  store_ = std::make_unique<store::MatrixStore>(std::move(opened));
+  store_ = std::make_shared<store::MatrixStore>(std::move(opened));
   RebuildWatermarksLocked(snapshot.entries);
 
   api_span.End();
@@ -413,24 +477,49 @@ Status Engine::LoadCheckpoint(const std::string& dir,
   DPE_ASSIGN_OR_RETURN(store::MatrixStore opened,
                        store::MatrixStore::OpenExisting(dir));
   opened.set_fsync_policy(options_.fsync_policy);
-  DPE_ASSIGN_OR_RETURN(store::Snapshot snapshot, opened.ReadSnapshot());
+  store::Snapshot snapshot;
+  std::vector<store::JournalRecord> journal;
   // Recovery read: a torn final record (we may be restarting from the very
   // crash the checkpoint exists for) is dropped and trimmed, not fatal —
   // unless the operator opted into strict loads, where a tear is theirs to
   // inspect before it is destroyed.
-  std::vector<store::JournalRecord> journal;
-  if (options_.tolerate_torn_journal) {
-    DPE_ASSIGN_OR_RETURN(store::JournalRecovery recovery,
-                         opened.RecoverJournal());
-    journal = std::move(recovery.records);
-    if (report != nullptr) {
-      report->journal_tail_truncated = recovery.tail_truncated;
-      report->dropped_journal_records = recovery.dropped_records;
-      report->dropped_journal_bytes = recovery.dropped_bytes;
+  auto read_state = [&]() -> Status {
+    snapshot = store::Snapshot{};
+    journal.clear();
+    DPE_ASSIGN_OR_RETURN(snapshot, opened.ReadSnapshot());
+    if (options_.tolerate_torn_journal) {
+      DPE_ASSIGN_OR_RETURN(store::JournalRecovery recovery,
+                           opened.RecoverJournal());
+      journal = std::move(recovery.records);
+      if (report != nullptr) {
+        report->journal_tail_truncated = recovery.tail_truncated;
+        report->dropped_journal_records = recovery.dropped_records;
+        report->dropped_journal_bytes = recovery.dropped_bytes;
+      }
+      return Status::OK();
     }
-  } else {
     DPE_ASSIGN_OR_RETURN(journal, opened.ReadJournal());
+    return Status::OK();
+  };
+  store::ScrubReport scrub;
+  bool scrubbed = false;
+  Status read_status = read_state();
+  if (!read_status.ok() && options_.scrub_on_load &&
+      read_status.code() == StatusCode::kParseError) {
+    // Self-healing path: quarantine the damaged extents (never guessing at
+    // their contents), then retry the strict load once over the repaired
+    // files. The quarantined cells are recomputed below, after the restore.
+    obs::TraceSpan scrub_span("checkpoint.scrub", &trace_);
+    DPE_ASSIGN_OR_RETURN(scrub, opened.Scrub());
+    scrubbed = true;
+    scrub_span.End();
+    if (report != nullptr) {
+      report->stages.push_back({"scrub", scrub_span.elapsed_ms()});
+    }
+    metrics_->counter("checkpoint.scrub_loads").Increment();
+    read_status = read_state();
   }
+  DPE_RETURN_NOT_OK(read_status);
   read_span.End();
   if (report != nullptr) {
     report->stages.push_back({"read", read_span.elapsed_ms()});
@@ -497,16 +586,56 @@ Status Engine::LoadCheckpoint(const std::string& dir,
       cache_.Insert(record.measure, col, record.row, d);
     }
   }
-  MutexLock lock(store_mu_);
-  store_ = std::make_unique<store::MatrixStore>(std::move(opened));
-  // As in SaveCheckpoint, plus whatever the replayed journal covers on top.
-  RebuildWatermarksLocked(snapshot.entries);
-  for (const store::JournalRecord& record : journal) {
-    if (record.kind != store::JournalRecord::Kind::kRowComputed) continue;
-    size_t& watermark = journal_watermarks_[record.measure];
-    watermark = std::max(watermark, record.row + 1ul);
+  {
+    MutexLock lock(store_mu_);
+    store_ = std::make_shared<store::MatrixStore>(std::move(opened));
+    // As in SaveCheckpoint, plus whatever the replayed journal covers on top.
+    RebuildWatermarksLocked(snapshot.entries);
+    for (const store::JournalRecord& record : journal) {
+      if (record.kind != store::JournalRecord::Kind::kRowComputed) continue;
+      size_t& watermark = journal_watermarks_[record.measure];
+      watermark = std::max(watermark, record.row + 1ul);
+    }
   }
   restore_span.End();
+
+  // Graceful degradation: what the scrub had to quarantine is rebuilt here
+  // through the normal build path — the quarantined pairs are exactly the
+  // cache misses of a fresh build over the restored log. Best effort: a
+  // measure this engine cannot build (custom, unregistered) leaves its
+  // cells to the caller's next explicit BuildMatrix.
+  uint64_t cells_recomputed = 0;
+  if (scrubbed && (scrub.snapshot_rewritten || scrub.cells_quarantined > 0 ||
+                   scrub.journal_rewritten)) {
+    obs::TraceSpan recompute_span("checkpoint.recompute", &trace_);
+    std::set<std::string> measures;
+    // The snapshot core's metadata names every measure the checkpoint
+    // covered — including ones whose entries the quarantine took wholesale,
+    // which surviving entries/journal records alone would never mention.
+    measures.insert(snapshot.measures.begin(), snapshot.measures.end());
+    for (const store::CacheEntry& e : snapshot.entries) {
+      measures.insert(e.measure);
+    }
+    for (const store::JournalRecord& record : journal) {
+      if (record.kind == store::JournalRecord::Kind::kRowComputed) {
+        measures.insert(record.measure);
+      }
+    }
+    for (const std::string& name : measures) {
+      BuildReport build;
+      if (BuildMatrix(name, &build).ok()) {
+        cells_recomputed += build.cells_computed;
+      } else {
+        metrics_->counter("checkpoint.scrub_recompute_failures").Increment();
+      }
+    }
+    recompute_span.End();
+    if (report != nullptr) {
+      report->stages.push_back({"recompute", recompute_span.elapsed_ms()});
+    }
+    metrics_->counter("checkpoint.cells_recomputed")
+        .Increment(cells_recomputed);
+  }
 
   metrics_->counter("checkpoint.loads").Increment();
   metrics_->counter("checkpoint.journal_records_replayed")
@@ -516,6 +645,10 @@ Status Engine::LoadCheckpoint(const std::string& dir,
     report->stages.push_back({"restore", restore_span.elapsed_ms()});
     report->queries_restored = queries_.size();
     report->journal_records_replayed = journal.size();
+    report->scrubbed = scrubbed;
+    report->cells_quarantined = scrub.cells_quarantined;
+    report->journal_records_quarantined = scrub.journal_records_quarantined;
+    report->cells_recomputed = cells_recomputed;
     report->wall_ms = api_span.elapsed_ms();
   }
   return Status::OK();
@@ -798,6 +931,15 @@ obs::StatsReport Engine::Stats() const {
   metrics_->gauge("cache.entries").Set(static_cast<double>(cache_.size()));
   metrics_->gauge("cache.bytes_used")
       .Set(static_cast<double>(cache_.bytes_used()));
+  {
+    MutexLock lock(store_mu_);
+    if (store_ != nullptr) {
+      metrics_->gauge("store.compaction.generation")
+          .Set(static_cast<double>(store_->generation()));
+      metrics_->gauge("store.journal_bytes")
+          .Set(static_cast<double>(store_->JournalBytes()));
+    }
+  }
 
   obs::StatsReport report;
   report.metrics = metrics_->Snapshot();
@@ -861,6 +1003,7 @@ obs::StatsReport Engine::Stats() const {
         leases += ",\"pid\":" + std::to_string(lease.holder_pid);
         leases += ",\"epoch\":" + std::to_string(lease.epoch);
         leases += ",\"renewals\":" + std::to_string(lease.renewals);
+        leases += ",\"cells\":" + std::to_string(lease.cells);
         leases += ",\"age_ms\":" + std::to_string(lease.age_ms);
         leases += "}";
       }

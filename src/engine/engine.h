@@ -21,6 +21,7 @@
 #ifndef DPE_ENGINE_ENGINE_H_
 #define DPE_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <future>
 #include <map>
 #include <memory>
@@ -84,6 +85,21 @@ struct EngineOptions {
   /// Distance-cache eviction budget in bytes (LRU); 0 = unbounded. See
   /// DistanceCache::kEntryBytes for the per-pair cost.
   size_t cache_max_bytes = 0;
+  /// Background checkpoint compaction: when a checkpoint is attached and
+  /// the on-disk journal exceeds compaction_trigger_bytes, a task on the
+  /// engine's pool folds it into the next snapshot generation while appends
+  /// continue (see store::MatrixStore::BeginCompaction for the crash-safety
+  /// argument). Off by default — restart cost then grows with the journal.
+  bool enable_compaction = false;
+  /// Journal size (bytes, frozen + active generations) that triggers a
+  /// background compaction cycle. Only meaningful with enable_compaction.
+  size_t compaction_trigger_bytes = 1 << 20;
+  /// LoadCheckpoint self-healing: when a strict load fails with ParseError
+  /// and this is set, the engine runs MatrixStore::Scrub() — quarantining
+  /// corrupt extents instead of failing — retries the load once, and
+  /// recomputes the quarantined cells through the normal build path. Off by
+  /// default: corruption stays a hard, inspectable error.
+  bool scrub_on_load = false;
   /// LoadCheckpoint tolerance for a torn journal tail (the half-flushed
   /// append of a killed process): true (default) drops the torn record,
   /// truncates the file back to the intact prefix and reports the damage;
@@ -152,6 +168,13 @@ struct CheckpointLoadReport {
   uint64_t dropped_journal_bytes = 0;   ///< bytes trimmed off the journal
   uint64_t queries_restored = 0;        ///< snapshot + journaled queries
   uint64_t journal_records_replayed = 0;  ///< journal records applied
+  /// Self-healing (EngineOptions::scrub_on_load) outcome: whether a scrub
+  /// pass ran, what it had to quarantine, and how many of the quarantined
+  /// cells the load rebuilt through the normal build path.
+  bool scrubbed = false;
+  uint64_t cells_quarantined = 0;
+  uint64_t journal_records_quarantined = 0;
+  uint64_t cells_recomputed = 0;
   std::vector<obs::StageTiming> stages;  ///< read / parse / restore
   double wall_ms = 0.0;
 };
@@ -307,6 +330,23 @@ class Engine {
     return store_ != nullptr;
   }
 
+  /// Runs one compaction cycle synchronously: rotates the journal, folds
+  /// the frozen generation into the next snapshot, publishes it via the
+  /// MANIFEST, and sweeps the old generation. Returns true if a new
+  /// generation was published, false if there was nothing to fold or a
+  /// concurrent checkpoint superseded the fold. NotFound without an
+  /// attached checkpoint. With EngineOptions::enable_compaction the engine
+  /// runs this automatically on its pool when the journal outgrows
+  /// compaction_trigger_bytes.
+  Result<bool> CompactNow() EXCLUDES(store_mu_);
+
+  /// Current snapshot generation of the attached store (0 when none is
+  /// attached, or before any compaction published).
+  uint64_t checkpoint_generation() const EXCLUDES(store_mu_) {
+    MutexLock lock(store_mu_);
+    return store_ != nullptr ? store_->generation() : 0;
+  }
+
   // -- Cache introspection ---------------------------------------------------
 
   DistanceCache::Stats cache_stats() const { return cache_.stats(); }
@@ -390,6 +430,15 @@ class Engine {
   void RebuildWatermarksLocked(const std::vector<store::CacheEntry>& entries)
       REQUIRES(store_mu_);
 
+  /// Schedules a background compaction cycle on the pool when one is due
+  /// (compaction enabled, store attached, journal past the trigger, no
+  /// cycle already in flight, not shutting down).
+  void MaybeScheduleCompactionLocked() REQUIRES(store_mu_);
+
+  /// The pool-side wrapper around CompactNow: counts failures, then
+  /// re-checks the trigger (appends may have outgrown it again mid-fold).
+  void CompactionCycle() EXCLUDES(store_mu_);
+
   EngineOptions options_;
   distance::MeasureContext context_;
   /// Declared before builder_: the builder's options capture these.
@@ -408,7 +457,11 @@ class Engine {
   /// Guards store_ itself (attach/detach), the watermarks, and serializes
   /// journal appends.
   mutable Mutex store_mu_;
-  std::unique_ptr<store::MatrixStore> store_ GUARDED_BY(store_mu_);
+  /// shared_ptr: a background compaction holds a reference across its
+  /// off-lock fold, so SetLog/SaveCheckpoint can swap the attached store
+  /// without racing it (the publish step re-checks pointer identity under
+  /// the lock and aborts if the store changed).
+  std::shared_ptr<store::MatrixStore> store_ GUARDED_BY(store_mu_);
   /// Per-measure high-water mark: rows below it are already persisted
   /// (snapshot or journal) for that measure, so recomputes of evicted
   /// pairs are never re-journaled (bounded journal growth). A measure
@@ -421,6 +474,11 @@ class Engine {
   mutable Mutex drive_mu_;
   std::shared_ptr<LeaseBoard> active_board_ GUARDED_BY(drive_mu_);
   std::string active_drive_matrix_ GUARDED_BY(drive_mu_);
+  /// Background-compaction lifecycle: at most one cycle in flight, and the
+  /// destructor raises stop_ before draining the pool so a mid-fold cycle
+  /// bails out instead of publishing during teardown.
+  std::atomic<bool> compaction_inflight_{false};
+  std::atomic<bool> compaction_stop_{false};
   /// Telemetry lifecycle — declared LAST so it is destroyed FIRST: the
   /// scrape and push threads call into everything above (and the dtor
   /// also resets them explicitly before draining the pool, belt and

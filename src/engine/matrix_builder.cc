@@ -183,7 +183,12 @@ Result<distance::DistanceMatrix> MatrixBuilder::BuildTiles(
               ComputeTile(queries, measure, ctx, block, bi, bj, m));
           // One add per completed tile covers its whole upper-triangle
           // cell set — per-pair counting would perturb the hot path.
-          distance_calls.Increment(TileCellCount(n, block, bi, bj));
+          const uint64_t tile_cells = TileCellCount(n, block, bi, bj);
+          distance_calls.Increment(tile_cells);
+          if (options_.progress_cells != nullptr) {
+            options_.progress_cells->fetch_add(tile_cells,
+                                               std::memory_order_relaxed);
+          }
         }
         return Status::OK();
       }));

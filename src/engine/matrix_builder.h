@@ -18,6 +18,8 @@
 #ifndef DPE_ENGINE_MATRIX_BUILDER_H_
 #define DPE_ENGINE_MATRIX_BUILDER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -44,6 +46,14 @@ struct MatrixBuilderOptions {
   /// Span capture for chrome://tracing. Null (or a disabled buffer) skips
   /// span recording entirely; stage timings still reach `metrics`.
   obs::TraceBuffer* trace = nullptr;
+
+  /// Optional live progress conduit: when set, the builder adds each
+  /// completed tile's cell count here (relaxed, one add per tile — same
+  /// cadence as the distance.calls counter). Lets a long build be watched
+  /// from another thread (the shard lease table reports it) without
+  /// touching the metrics registry per tile. Not owned; must outlive the
+  /// build.
+  std::atomic<uint64_t>* progress_cells = nullptr;
 };
 
 class MatrixBuilder {

@@ -92,8 +92,9 @@ Result<store::ShardManifest> ShardWorker::Run(
       metrics_ != nullptr ? *metrics_ : obs::MetricsRegistry::Default();
   obs::TraceSpan run_span("shard.run", trace_);
 
-  MatrixBuilder builder(pool_,
-                        MatrixBuilderOptions{plan.block, &metrics, trace_});
+  MatrixBuilder builder(
+      pool_,
+      MatrixBuilderOptions{plan.block, &metrics, trace_, progress_cells_});
   DPE_ASSIGN_OR_RETURN(
       distance::DistanceMatrix partial,
       builder.BuildTiles(queries, measure, context, range.begin, range.end));

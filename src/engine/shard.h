@@ -32,7 +32,9 @@
 #ifndef DPE_ENGINE_SHARD_H_
 #define DPE_ENGINE_SHARD_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -99,6 +101,14 @@ class ShardWorker {
                        obs::TraceBuffer* trace = nullptr)
       : pool_(pool), metrics_(metrics), trace_(trace) {}
 
+  /// Optional live progress conduit, forwarded to the builder: each
+  /// completed tile's cell count is added here (relaxed) while Run is in
+  /// flight, so a lease heartbeat on another thread can publish how far the
+  /// shard has gotten. Not owned; must outlive Run.
+  void set_progress_cells(std::atomic<uint64_t>* progress) {
+    progress_cells_ = progress;
+  }
+
   /// Computes tiles plan.ranges[shard_index] of the pairwise matrix of
   /// `queries` under `measure` into a partial matrix and writes it to
   /// `store` as shard file `matrix_name`-`shard_index`of`k`. Only the
@@ -116,6 +126,7 @@ class ShardWorker {
   ThreadPool* pool_;               ///< not owned
   obs::MetricsRegistry* metrics_;  ///< not owned; null = default registry
   obs::TraceBuffer* trace_;        ///< not owned; may be null
+  std::atomic<uint64_t>* progress_cells_ = nullptr;  ///< not owned; optional
 };
 
 /// Replays one shard file's cells into `into` along the shared tile

@@ -319,6 +319,18 @@ Result<ShardManifest> DecodeShardManifest(Reader* r) {
   return manifest;
 }
 
+void EncodeCompactionManifest(const CompactionManifest& manifest, Writer* w) {
+  w->PutU64(manifest.generation);
+  w->PutU64(manifest.journal_cut_offset);
+}
+
+Result<CompactionManifest> DecodeCompactionManifest(Reader* r) {
+  CompactionManifest manifest;
+  DPE_ASSIGN_OR_RETURN(manifest.generation, r->ReadU64());
+  DPE_ASSIGN_OR_RETURN(manifest.journal_cut_offset, r->ReadU64());
+  return manifest;
+}
+
 std::string ShardManifestDefect(const ShardManifest& manifest) {
   if (manifest.shard_count == 0 ||
       manifest.shard_index >= manifest.shard_count) {
@@ -402,9 +414,9 @@ Status WriteFramedFile(const std::string& path, uint32_t magic,
   return SyncPath(parent.empty() ? "." : parent);
 }
 
-Result<FramedFile> ReadFramedFileVersions(const std::string& path,
-                                          uint32_t magic,
-                                          uint32_t max_version) {
+Result<SalvagedFrame> ReadFramedFileSalvage(const std::string& path,
+                                            uint32_t magic,
+                                            uint32_t max_version) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::NotFound("store codec: " + path + " does not exist");
@@ -413,11 +425,6 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
                    std::istreambuf_iterator<char>());
   BytesReadCounter().Increment(data.size());
   if (data.empty()) {
-    // Exists-but-empty gets its own message (still ParseError, the typed
-    // corruption code): a zero-length file is a torn export or a crashed
-    // writer, and the shard merge path turns exactly this into a
-    // discard-and-recompute instead of confusing it with "not yet written"
-    // (which is NotFound, above).
     return Corrupt("zero-length frame file " + path +
                    " (torn or crashed export)");
   }
@@ -426,11 +433,11 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
   if (got_magic != magic) {
     return Corrupt("bad magic in " + path);
   }
-  FramedFile file;
-  DPE_ASSIGN_OR_RETURN(file.version, r.ReadU32());
-  if (file.version == 0 || file.version > max_version) {
+  SalvagedFrame frame;
+  DPE_ASSIGN_OR_RETURN(frame.version, r.ReadU32());
+  if (frame.version == 0 || frame.version > max_version) {
     return Corrupt("unsupported format version " +
-                   std::to_string(file.version) + " in " + path);
+                   std::to_string(frame.version) + " in " + path);
   }
   DPE_ASSIGN_OR_RETURN(uint64_t payload_len, r.ReadU64());
   DPE_ASSIGN_OR_RETURN(uint32_t crc, r.ReadU32());
@@ -439,12 +446,26 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
                    std::to_string(payload_len) + ", have " +
                    std::to_string(r.remaining()) + ")");
   }
-  file.payload = data.substr(data.size() - payload_len);
+  frame.payload = data.substr(data.size() - payload_len);
   CrcValidationCounter().Increment();
-  if (Crc32(file.payload) != crc) {
+  frame.crc_ok = Crc32(frame.payload) == crc;
+  return frame;
+}
+
+Result<FramedFile> ReadFramedFileVersions(const std::string& path,
+                                          uint32_t magic,
+                                          uint32_t max_version) {
+  // Exists-but-empty gets its own message inside the salvage read (still
+  // ParseError, the typed corruption code): a zero-length file is a torn
+  // export or a crashed writer, and the shard merge path turns exactly
+  // this into a discard-and-recompute instead of confusing it with "not
+  // yet written" (which is NotFound).
+  DPE_ASSIGN_OR_RETURN(SalvagedFrame frame,
+                       ReadFramedFileSalvage(path, magic, max_version));
+  if (!frame.crc_ok) {
     return Corrupt("checksum mismatch in " + path);
   }
-  return file;
+  return FramedFile{frame.version, std::move(frame.payload)};
 }
 
 Result<std::string> ReadFramedFile(const std::string& path, uint32_t magic) {
@@ -498,6 +519,50 @@ Result<RecordScan> ScanRecords(std::string_view data) {
     }
     scan.records.push_back(std::move(payload));
     scan.valid_bytes = data.size() - r.remaining();
+  }
+  return scan;
+}
+
+SalvageScan ScanRecordsSalvage(std::string_view data) {
+  SalvageScan scan;
+  Reader r(data);
+  while (!r.AtEnd()) {
+    if (r.remaining() < 8) {  // half-written length/crc header
+      scan.torn_tail = true;
+      scan.torn_bytes = r.remaining();
+      return scan;
+    }
+    // The header reads below cannot fail (>= 8 bytes checked above), and
+    // ReadBytes cannot fail after the length check — but the Reader API is
+    // fallible by contract, so treat an impossible failure as a tear.
+    Result<uint32_t> len = r.ReadU32();
+    Result<uint32_t> crc = r.ReadU32();
+    if (!len.ok() || !crc.ok() || *len > r.remaining()) {
+      // A length pointing past the end is either the genuine torn tail of a
+      // killed appender or a corrupted length field; either way nothing
+      // beyond this point can be framed, so the remainder is quarantined.
+      scan.torn_tail = true;
+      scan.torn_bytes = r.remaining() + 8;
+      return scan;
+    }
+    Result<std::string> payload = r.ReadBytes(*len);
+    if (!payload.ok()) {
+      scan.torn_tail = true;
+      scan.torn_bytes = r.remaining() + 8;
+      return scan;
+    }
+    CrcValidationCounter().Increment();
+    if (Crc32(*payload) != *crc) {
+      // The length field still framed a full record, so the stream resyncs
+      // at the next boundary: skip exactly this record. (A corrupted length
+      // that lands mid-record desyncs the scan, but every subsequent
+      // misframed "record" fails its CRC too — garbage is dropped, never
+      // returned.)
+      scan.quarantined_records += 1;
+      scan.quarantined_bytes += 8 + *len;
+      continue;
+    }
+    scan.records.push_back(std::move(*payload));
   }
   return scan;
 }

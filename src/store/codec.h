@@ -44,11 +44,18 @@ inline constexpr uint32_t kFormatVersion = 1;
 /// are still written (and required to be) kFormatVersion.
 inline constexpr uint32_t kShardFormatVersion = 2;
 
-/// File magics ("DPES"/"DPEJ"/"DPEM"/"DPEH" as little-endian u32).
+/// Snapshot frames gained a sectioned payload (CRC'd core + fixed-size
+/// CRC'd cache-entry chunks) in version 2, so a byte flip quarantines one
+/// chunk instead of condemning the whole file. Version-1 monolithic
+/// snapshots remain readable (at whole-file scrub granularity).
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// File magics ("DPES"/"DPEJ"/"DPEM"/"DPEH"/"DPEC" as little-endian u32).
 inline constexpr uint32_t kSnapshotMagic = 0x53455044;  // "DPES"
 inline constexpr uint32_t kJournalMagic = 0x4a455044;   // "DPEJ"
 inline constexpr uint32_t kMatrixMagic = 0x4d455044;    // "DPEM"
 inline constexpr uint32_t kShardMagic = 0x48455044;     // "DPEH" (sHard)
+inline constexpr uint32_t kManifestMagic = 0x43455044;  // "DPEC" (Compaction)
 
 /// When the store calls fsync (EngineOptions::fsync_policy feeds this):
 ///   kNever        — no fsync anywhere; fastest, survives process crashes
@@ -167,6 +174,22 @@ struct ShardManifest {
 void EncodeShardManifest(const ShardManifest& manifest, Writer* w);
 Result<ShardManifest> DecodeShardManifest(Reader* r);
 
+/// The store's generation pointer: which snapshot generation is current and
+/// how many frozen-journal bytes the compaction that published it folded
+/// (informational — recovery needs only the generation). Travels as a tiny
+/// "DPEC" frame (`MANIFEST.dpe`), so it is CRC'd and atomically replaced
+/// like every other framed file; an absent manifest means generation 0
+/// (the legacy `snapshot.dpe` / `journal.dpe` layout).
+struct CompactionManifest {
+  uint64_t generation = 0;
+  uint64_t journal_cut_offset = 0;  ///< frozen-journal bytes folded
+
+  bool operator==(const CompactionManifest&) const = default;
+};
+
+void EncodeCompactionManifest(const CompactionManifest& manifest, Writer* w);
+Result<CompactionManifest> DecodeCompactionManifest(Reader* r);
+
 /// Empty when `manifest` is self-consistent; otherwise a description of
 /// the defect (index >= count, inverted tile range). The single definition
 /// of manifest well-formedness — the write path (InvalidArgument) and the
@@ -206,6 +229,24 @@ Result<FramedFile> ReadFramedFileVersions(const std::string& path,
                                           uint32_t magic,
                                           uint32_t max_version);
 
+/// A framed payload read without the whole-payload CRC gate: `crc_ok`
+/// reports whether it passed. The scrubber's entry point — formats with
+/// per-section CRCs (snapshot v2) localize the damage themselves.
+struct SalvagedFrame {
+  uint32_t version = kFormatVersion;
+  std::string payload;
+  bool crc_ok = true;
+};
+
+/// Like ReadFramedFileVersions, but a payload-checksum mismatch is reported
+/// in `crc_ok` instead of failing the read. Structural damage — missing
+/// file, bad magic, unsupported version, payload-length mismatch — still
+/// fails: a frame whose geometry is destroyed cannot be salvaged, only
+/// rejected (typed, never a wrong payload).
+Result<SalvagedFrame> ReadFramedFileSalvage(const std::string& path,
+                                            uint32_t magic,
+                                            uint32_t max_version);
+
 /// Appends one [payload_len][crc32][payload] record to `out`.
 void AppendRecord(std::string_view payload, std::string* out);
 
@@ -226,6 +267,23 @@ struct RecordScan {
 /// records* is still a ParseError. WAL recovery = replay `records`, then
 /// truncate the file back to `valid_bytes`.
 Result<RecordScan> ScanRecords(std::string_view data);
+
+/// Outcome of a salvage scan: what survived and what was quarantined.
+struct SalvageScan {
+  std::vector<std::string> records;   ///< CRC-intact records, in order
+  uint64_t quarantined_records = 0;   ///< mid-stream CRC failures skipped
+  uint64_t quarantined_bytes = 0;     ///< bytes those failures occupied
+  bool torn_tail = false;             ///< trailing partial record dropped
+  uint64_t torn_bytes = 0;            ///< bytes in the dropped tail
+};
+
+/// The scrubber's record scan: never fails. A mid-stream checksum failure
+/// whose length field still frames a plausible record is *skipped* (the
+/// length resyncs the stream at the next record boundary) and counted as
+/// quarantined; a length field pointing past the end quarantines the
+/// remainder as a torn tail. Only CRC-passing payloads are ever returned,
+/// so salvage admits no wrong data — it only drops damaged records.
+SalvageScan ScanRecordsSalvage(std::string_view data);
 
 }  // namespace dpe::store
 

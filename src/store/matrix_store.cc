@@ -1,9 +1,14 @@
 #include "store/matrix_store.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <tuple>
+#include <unistd.h>
 
+#include "common/fault.h"
 #include "common/tiles.h"
 #include "obs/metrics.h"
 
@@ -38,6 +43,44 @@ obs::Counter& JournalBytesRead() {
 obs::Counter& JournalTornTailRecoveries() {
   static obs::Counter& c =
       obs::MetricsRegistry::Default().counter("store.journal_tail_recoveries");
+  return c;
+}
+// Torn-tail tolerance made observable (not silent): every record and byte a
+// journal recovery drops is counted here, so a fleet dashboard can tell
+// clean restarts from crash-looping hosts that shed work on every boot.
+obs::Counter& JournalDroppedRecords() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.journal.dropped_records");
+  return c;
+}
+obs::Counter& JournalDroppedBytes() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.journal.dropped_bytes");
+  return c;
+}
+obs::Counter& ScrubRuns() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.scrub.runs");
+  return c;
+}
+obs::Counter& ScrubCellsQuarantined() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.scrub.cells_quarantined");
+  return c;
+}
+obs::Counter& ScrubJournalRecordsQuarantined() {
+  static obs::Counter& c = obs::MetricsRegistry::Default().counter(
+      "store.scrub.journal_records_quarantined");
+  return c;
+}
+obs::Counter& ScrubRewrites() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.scrub.rewrites");
+  return c;
+}
+obs::Counter& CompactionPublishes() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Default().counter("store.compaction.publishes");
   return c;
 }
 
@@ -95,6 +138,256 @@ Result<JournalRecord> DecodeJournalRecord(std::string_view payload) {
   return record;
 }
 
+// -- Snapshot payload codec (v1 monolithic, v2 sectioned) ---------------------
+
+/// Entries per v2 snapshot chunk. Each chunk is a self-contained
+/// EncodeCacheEntries block with its own CRC, so a byte flip quarantines
+/// ~4096 cells instead of the whole checkpoint.
+constexpr size_t kSnapshotChunkEntries = 4096;
+
+SnapshotMeta MetaFor(const Snapshot& snapshot) {
+  SnapshotMeta meta;
+  meta.query_count = snapshot.queries.size();
+  // Union of the entries present and the names the snapshot already carried
+  // (a scrub rewrite may have quarantined every entry of a measure — its
+  // name must survive so the engine knows what to recompute).
+  std::set<std::string> measures(snapshot.measures.begin(),
+                                 snapshot.measures.end());
+  for (const CacheEntry& e : snapshot.entries) measures.insert(e.measure);
+  meta.measures.assign(measures.begin(), measures.end());
+  return meta;
+}
+
+void EncodeSnapshotCore(const Snapshot& snapshot, Writer* w) {
+  EncodeSnapshotMeta(MetaFor(snapshot), w);
+  w->PutU64(snapshot.queries.size());
+  for (const std::string& sql : snapshot.queries) w->PutString(sql);
+}
+
+/// Core = meta + query log; entries are decoded separately (per layout).
+Result<Snapshot> DecodeSnapshotCore(Reader* r) {
+  DPE_ASSIGN_OR_RETURN(SnapshotMeta meta, DecodeSnapshotMeta(r));
+  DPE_ASSIGN_OR_RETURN(uint64_t query_count, r->ReadU64());
+  if (query_count != meta.query_count) {
+    return Corrupt("snapshot metadata declares " +
+                   std::to_string(meta.query_count) + " queries but " +
+                   std::to_string(query_count) + " are present");
+  }
+  if (query_count > r->remaining() / 4) {  // >= 4 bytes per string
+    return Corrupt("snapshot query count " + std::to_string(query_count) +
+                   " exceeds remaining input");
+  }
+  Snapshot snapshot;
+  snapshot.measures = std::move(meta.measures);
+  snapshot.queries.reserve(query_count);
+  for (uint64_t k = 0; k < query_count; ++k) {
+    DPE_ASSIGN_OR_RETURN(std::string sql, r->ReadString());
+    snapshot.queries.push_back(std::move(sql));
+  }
+  return snapshot;
+}
+
+/// v2 layout:
+///   [core_len u64][core_crc u32][core]
+///   [entries_total u64][chunk_count u32]
+///   chunk*: [chunk_len u64][chunk_crc u32][chunk]
+/// where core = EncodeSnapshotCore and chunk = EncodeCacheEntries over at
+/// most kSnapshotChunkEntries entries.
+std::string EncodeSnapshotPayloadV2(const Snapshot& snapshot) {
+  Writer core;
+  EncodeSnapshotCore(snapshot, &core);
+  Writer w;
+  w.PutU64(core.buffer().size());
+  w.PutU32(Crc32(core.buffer()));
+  w.PutRaw(core.buffer());
+  w.PutU64(snapshot.entries.size());
+  const size_t chunk_count =
+      (snapshot.entries.size() + kSnapshotChunkEntries - 1) /
+      kSnapshotChunkEntries;
+  w.PutU32(static_cast<uint32_t>(chunk_count));
+  for (size_t c = 0; c < chunk_count; ++c) {
+    const size_t begin = c * kSnapshotChunkEntries;
+    const size_t end =
+        std::min(begin + kSnapshotChunkEntries, snapshot.entries.size());
+    std::vector<CacheEntry> slice(snapshot.entries.begin() + begin,
+                                  snapshot.entries.begin() + end);
+    Writer cw;
+    EncodeCacheEntries(slice, &cw);
+    w.PutU64(cw.buffer().size());
+    w.PutU32(Crc32(cw.buffer()));
+    w.PutRaw(cw.buffer());
+  }
+  return w.TakeBuffer();
+}
+
+Result<Snapshot> DecodeSnapshotPayloadV1(std::string_view payload) {
+  Reader r(payload);
+  DPE_ASSIGN_OR_RETURN(Snapshot snapshot, DecodeSnapshotCore(&r));
+  DPE_ASSIGN_OR_RETURN(snapshot.entries, DecodeCacheEntries(&r));
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  return snapshot;
+}
+
+Result<Snapshot> DecodeSnapshotPayloadV2(std::string_view payload) {
+  Reader r(payload);
+  DPE_ASSIGN_OR_RETURN(uint64_t core_len, r.ReadU64());
+  DPE_ASSIGN_OR_RETURN(uint32_t core_crc, r.ReadU32());
+  DPE_ASSIGN_OR_RETURN(std::string core, r.ReadBytes(core_len));
+  if (Crc32(core) != core_crc) {
+    return Corrupt("snapshot core checksum mismatch");
+  }
+  Reader core_r(core);
+  DPE_ASSIGN_OR_RETURN(Snapshot snapshot, DecodeSnapshotCore(&core_r));
+  DPE_RETURN_NOT_OK(core_r.ExpectEnd());
+  DPE_ASSIGN_OR_RETURN(uint64_t entries_total, r.ReadU64());
+  DPE_ASSIGN_OR_RETURN(uint32_t chunk_count, r.ReadU32());
+  if (chunk_count > r.remaining() / 12) {  // >= 12 header bytes per chunk
+    return Corrupt("snapshot chunk count " + std::to_string(chunk_count) +
+                   " exceeds remaining input");
+  }
+  for (uint32_t c = 0; c < chunk_count; ++c) {
+    DPE_ASSIGN_OR_RETURN(uint64_t chunk_len, r.ReadU64());
+    DPE_ASSIGN_OR_RETURN(uint32_t chunk_crc, r.ReadU32());
+    DPE_ASSIGN_OR_RETURN(std::string chunk, r.ReadBytes(chunk_len));
+    if (Crc32(chunk) != chunk_crc) {
+      return Corrupt("snapshot chunk " + std::to_string(c) +
+                     " checksum mismatch");
+    }
+    Reader cr(chunk);
+    DPE_ASSIGN_OR_RETURN(std::vector<CacheEntry> entries,
+                         DecodeCacheEntries(&cr));
+    DPE_RETURN_NOT_OK(cr.ExpectEnd());
+    snapshot.entries.insert(snapshot.entries.end(),
+                            std::make_move_iterator(entries.begin()),
+                            std::make_move_iterator(entries.end()));
+  }
+  DPE_RETURN_NOT_OK(r.ExpectEnd());
+  if (snapshot.entries.size() != entries_total) {
+    return Corrupt("snapshot declares " + std::to_string(entries_total) +
+                   " cache entries but chunks carry " +
+                   std::to_string(snapshot.entries.size()));
+  }
+  return snapshot;
+}
+
+/// Tolerant v2 parse for the scrubber: the core must decode (queries are
+/// source data and cannot be recomputed), but a damaged chunk is skipped
+/// and counted instead of failing the parse.
+struct SnapshotSalvageResult {
+  Snapshot snapshot;
+  bool core_ok = false;
+  uint64_t chunks_checked = 0;
+  uint64_t chunks_quarantined = 0;
+  uint64_t cells_quarantined = 0;
+};
+
+SnapshotSalvageResult SalvageSnapshotPayloadV2(std::string_view payload) {
+  SnapshotSalvageResult out;
+  Reader r(payload);
+  Result<uint64_t> core_len = r.ReadU64();
+  Result<uint32_t> core_crc = r.ReadU32();
+  if (!core_len.ok() || !core_crc.ok()) return out;
+  Result<std::string> core = r.ReadBytes(*core_len);
+  if (!core.ok() || Crc32(*core) != *core_crc) return out;
+  Reader core_r(*core);
+  Result<Snapshot> decoded = DecodeSnapshotCore(&core_r);
+  if (!decoded.ok() || !core_r.AtEnd()) return out;
+  out.snapshot = std::move(*decoded);
+  out.core_ok = true;
+  Result<uint64_t> entries_total = r.ReadU64();
+  Result<uint32_t> chunk_count = r.ReadU32();
+  if (!entries_total.ok() || !chunk_count.ok()) return out;
+  out.chunks_checked = *chunk_count;
+  for (uint32_t c = 0; c < *chunk_count; ++c) {
+    Result<uint64_t> chunk_len = r.ReadU64();
+    Result<uint32_t> chunk_crc = r.ReadU32();
+    if (!chunk_len.ok() || !chunk_crc.ok() || *chunk_len > r.remaining()) {
+      // Structural damage: nothing past this point can be framed, so the
+      // rest of the chunk stream is quarantined wholesale.
+      out.chunks_quarantined += *chunk_count - c;
+      break;
+    }
+    Result<std::string> chunk = r.ReadBytes(*chunk_len);
+    if (!chunk.ok() || Crc32(*chunk) != *chunk_crc) {
+      out.chunks_quarantined += 1;
+      continue;
+    }
+    Reader cr(*chunk);
+    Result<std::vector<CacheEntry>> entries = DecodeCacheEntries(&cr);
+    if (!entries.ok() || !cr.AtEnd()) {  // CRC passed but content malformed
+      out.chunks_quarantined += 1;
+      continue;
+    }
+    out.snapshot.entries.insert(out.snapshot.entries.end(),
+                                std::make_move_iterator(entries->begin()),
+                                std::make_move_iterator(entries->end()));
+  }
+  const uint64_t recovered = out.snapshot.entries.size();
+  out.cells_quarantined =
+      (entries_total.ok() && *entries_total > recovered)
+          ? *entries_total - recovered
+          : 0;
+  return out;
+}
+
+/// Atomic non-framed file replacement (the journal rewrite path — journals
+/// carry per-record CRCs, not a whole-file frame). Same unique-tmp + rename
+/// discipline as the codec's framed writer.
+Status WriteFileAtomic(const std::string& path, std::string_view bytes,
+                       bool sync) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("matrix store: cannot open " + tmp +
+                              " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code cleanup_ec;
+      fs::remove(tmp, cleanup_ec);
+      return Status::Internal("matrix store: short write to " + tmp);
+    }
+  }
+  if (sync) DPE_RETURN_NOT_OK(SyncPath(tmp));
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("matrix store: rename " + tmp + " -> " + path +
+                            " failed");
+  }
+  if (!sync) return Status::OK();
+  std::string parent = fs::path(path).parent_path().string();
+  return SyncPath(parent.empty() ? "." : parent);
+}
+
+/// Parses "<stem>.dpe" (gen 0) or "<stem>.<g>.dpe" -> g. Returns false for
+/// names that are neither (matrix-/shard-/tmp files).
+bool ParseGenerationName(const std::string& filename, const std::string& stem,
+                         uint64_t* gen) {
+  const std::string suffix = ".dpe";
+  if (filename == stem + suffix) {
+    *gen = 0;
+    return true;
+  }
+  if (filename.size() <= stem.size() + suffix.size() + 1 ||
+      filename.compare(0, stem.size() + 1, stem + ".") != 0 ||
+      filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  const std::string digits = filename.substr(
+      stem.size() + 1, filename.size() - stem.size() - 1 - suffix.size());
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *gen = std::stoull(digits);
+  return true;
+}
+
 }  // namespace
 
 Result<MatrixStore> MatrixStore::Open(const std::string& dir) {
@@ -111,7 +404,9 @@ Result<MatrixStore> MatrixStore::Open(const std::string& dir) {
         "matrix store: " + dir + " exists but is not a directory" +
         (ec ? " (" + ec.message() + ")" : ""));
   }
-  return MatrixStore(dir);
+  MatrixStore store(dir);
+  store.ResolveGenerations();
+  return store;
 }
 
 Result<MatrixStore> MatrixStore::OpenExisting(const std::string& dir) {
@@ -119,15 +414,75 @@ Result<MatrixStore> MatrixStore::OpenExisting(const std::string& dir) {
   if (!fs::is_directory(dir, ec)) {
     return Status::NotFound("matrix store: no store directory at " + dir);
   }
-  return MatrixStore(dir);
+  MatrixStore store(dir);
+  store.ResolveGenerations();
+  return store;
 }
 
 std::string MatrixStore::SnapshotPath() const {
-  return (fs::path(dir_) / "snapshot.dpe").string();
+  return SnapshotPathForGen(gen_);
 }
 
 std::string MatrixStore::JournalPath() const {
-  return (fs::path(dir_) / "journal.dpe").string();
+  return JournalPathForGen(journal_gen_);
+}
+
+std::string MatrixStore::SnapshotPathForGen(uint64_t gen) const {
+  const std::string name =
+      gen == 0 ? "snapshot.dpe" : "snapshot." + std::to_string(gen) + ".dpe";
+  return (fs::path(dir_) / name).string();
+}
+
+std::string MatrixStore::JournalPathForGen(uint64_t gen) const {
+  const std::string name =
+      gen == 0 ? "journal.dpe" : "journal." + std::to_string(gen) + ".dpe";
+  return (fs::path(dir_) / name).string();
+}
+
+std::string MatrixStore::ManifestPath() const {
+  return (fs::path(dir_) / "MANIFEST.dpe").string();
+}
+
+void MatrixStore::ResolveGenerations() {
+  gen_ = 0;
+  manifest_ok_ = true;
+  Result<FramedFile> file =
+      ReadFramedFileVersions(ManifestPath(), kManifestMagic, kFormatVersion);
+  if (file.ok()) {
+    Reader r(file->payload);
+    Result<CompactionManifest> manifest = DecodeCompactionManifest(&r);
+    if (manifest.ok() && r.AtEnd()) {
+      gen_ = manifest->generation;
+    } else {
+      manifest_ok_ = false;
+    }
+  } else if (file.status().code() != StatusCode::kNotFound) {
+    manifest_ok_ = false;
+  }
+  if (!manifest_ok_) {
+    // The manifest is a pointer, not the data: fall back to the highest
+    // generation whose snapshot frame still reads valid. Scrub() rebuilds
+    // the manifest from this resolution.
+    uint64_t best = 0;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      uint64_t g = 0;
+      if (!ParseGenerationName(entry.path().filename().string(), "snapshot",
+                               &g)) {
+        continue;
+      }
+      if (g > best &&
+          ReadFramedFileVersions(SnapshotPathForGen(g), kSnapshotMagic,
+                                 kSnapshotFormatVersion)
+              .ok()) {
+        best = g;
+      }
+    }
+    gen_ = best;
+  }
+  std::error_code ec;
+  journal_gen_ =
+      fs::exists(JournalPathForGen(gen_ + 1), ec) ? gen_ + 1 : gen_;
 }
 
 std::string MatrixStore::MatrixPath(const std::string& name) const {
@@ -150,47 +505,62 @@ bool MatrixStore::HasSnapshot() const {
   return fs::exists(SnapshotPath(), ec);
 }
 
-Status MatrixStore::WriteSnapshot(const Snapshot& snapshot) {
-  SnapshotMeta meta;
-  meta.query_count = snapshot.queries.size();
-  std::set<std::string> measures;
-  for (const CacheEntry& e : snapshot.entries) measures.insert(e.measure);
-  meta.measures.assign(measures.begin(), measures.end());
-
-  Writer w;
-  EncodeSnapshotMeta(meta, &w);
-  w.PutU64(snapshot.queries.size());
-  for (const std::string& sql : snapshot.queries) w.PutString(sql);
-  EncodeCacheEntries(snapshot.entries, &w);
-  return WriteFramedFile(SnapshotPath(), kSnapshotMagic, w.buffer(),
-                         kFormatVersion,
+Status MatrixStore::WriteSnapshotToPath(const std::string& path,
+                                        const Snapshot& snapshot) const {
+  return WriteFramedFile(path, kSnapshotMagic, EncodeSnapshotPayloadV2(snapshot),
+                         kSnapshotFormatVersion,
                          fsync_policy_ != FsyncPolicy::kNever);
 }
 
+Status MatrixStore::WriteManifest(const CompactionManifest& manifest) const {
+  Writer w;
+  EncodeCompactionManifest(manifest, &w);
+  return WriteFramedFile(ManifestPath(), kManifestMagic, w.buffer(),
+                         kFormatVersion, fsync_policy_ != FsyncPolicy::kNever);
+}
+
+void MatrixStore::SweepOldGenerations(uint64_t keep_gen) const {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t g = 0;
+    if ((ParseGenerationName(name, "snapshot", &g) ||
+         ParseGenerationName(name, "journal", &g)) &&
+        g < keep_gen) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);  // best effort: stale files are inert
+    }
+  }
+}
+
+Status MatrixStore::WriteSnapshot(const Snapshot& snapshot) {
+  // A full checkpoint targets the ACTIVE journal's generation: when an
+  // interrupted compaction left the journal rotated to gen+1, writing the
+  // checkpoint there (and publishing a manifest) completes the rotation
+  // instead of fighting it. At generation 0 this is the legacy layout —
+  // snapshot.dpe, no manifest.
+  const uint64_t target = journal_gen_;
+  DPE_RETURN_NOT_OK(WriteSnapshotToPath(SnapshotPathForGen(target), snapshot));
+  if (target > 0) {
+    CompactionManifest manifest;
+    manifest.generation = target;
+    DPE_RETURN_NOT_OK(WriteManifest(manifest));
+  }
+  gen_ = target;
+  manifest_ok_ = true;
+  ++mutation_epoch_;  // supersedes any in-flight compaction of older state
+  SweepOldGenerations(gen_);
+  return Status::OK();
+}
+
 Result<Snapshot> MatrixStore::ReadSnapshot() const {
-  DPE_ASSIGN_OR_RETURN(std::string payload,
-                       ReadFramedFile(SnapshotPath(), kSnapshotMagic));
-  Reader r(payload);
-  DPE_ASSIGN_OR_RETURN(SnapshotMeta meta, DecodeSnapshotMeta(&r));
-  DPE_ASSIGN_OR_RETURN(uint64_t query_count, r.ReadU64());
-  if (query_count != meta.query_count) {
-    return Corrupt("snapshot metadata declares " +
-                   std::to_string(meta.query_count) + " queries but " +
-                   std::to_string(query_count) + " are present");
+  DPE_ASSIGN_OR_RETURN(FramedFile file,
+                       ReadFramedFileVersions(SnapshotPath(), kSnapshotMagic,
+                                              kSnapshotFormatVersion));
+  if (file.version >= kSnapshotFormatVersion) {
+    return DecodeSnapshotPayloadV2(file.payload);
   }
-  if (query_count > r.remaining() / 4) {  // >= 4 bytes per string
-    return Corrupt("snapshot query count " + std::to_string(query_count) +
-                   " exceeds remaining input");
-  }
-  Snapshot snapshot;
-  snapshot.queries.reserve(query_count);
-  for (uint64_t k = 0; k < query_count; ++k) {
-    DPE_ASSIGN_OR_RETURN(std::string sql, r.ReadString());
-    snapshot.queries.push_back(std::move(sql));
-  }
-  DPE_ASSIGN_OR_RETURN(snapshot.entries, DecodeCacheEntries(&r));
-  DPE_RETURN_NOT_OK(r.ExpectEnd());
-  return snapshot;
+  return DecodeSnapshotPayloadV1(file.payload);
 }
 
 // -- Journal -----------------------------------------------------------------
@@ -276,11 +646,11 @@ Status MatrixStore::AppendRow(
   return AppendRecords({std::move(record)});
 }
 
-Result<JournalRecovery> MatrixStore::ReadJournalImpl(
-    bool recover_torn_tail) const {
-  JournalRecovery recovery;
-  std::ifstream in(JournalPath(), std::ios::binary);
-  if (!in) return recovery;  // no journal = no records
+Status MatrixStore::ReadJournalFile(const std::string& path,
+                                    bool recover_torn_tail,
+                                    JournalRecovery* recovery) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();  // no journal = no records
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   in.close();
@@ -292,17 +662,19 @@ Result<JournalRecovery> MatrixStore::ReadJournalImpl(
     // prologue is only ever written as part of an append, so the in-flight
     // record was lost too — count it like any other torn tail.
     std::error_code ec;
-    fs::remove(JournalPath(), ec);
-    recovery.tail_truncated = true;
-    recovery.dropped_records = 1;
-    recovery.dropped_bytes = data.size();
+    fs::remove(path, ec);
+    recovery->tail_truncated = true;
+    recovery->dropped_records += 1;
+    recovery->dropped_bytes += data.size();
     JournalTornTailRecoveries().Increment();
-    return recovery;
+    JournalDroppedRecords().Increment();
+    JournalDroppedBytes().Increment(data.size());
+    return Status::OK();
   }
   Reader header(data);
   DPE_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
   if (magic != kJournalMagic) {
-    return Corrupt("bad journal magic in " + JournalPath());
+    return Corrupt("bad journal magic in " + path);
   }
   DPE_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
   if (version != kFormatVersion) {
@@ -312,27 +684,43 @@ Result<JournalRecovery> MatrixStore::ReadJournalImpl(
                        ScanRecords(std::string_view(data).substr(8)));
   if (scan.torn_tail) {
     if (!recover_torn_tail) {
-      return Corrupt("torn journal tail in " + JournalPath() +
-                     " (crash mid-append?)");
+      return Corrupt("torn journal tail in " + path + " (crash mid-append?)");
     }
     // Truncate the torn bytes away so future appends extend an intact
     // stream instead of burying garbage mid-file.
     std::error_code ec;
-    fs::resize_file(JournalPath(), 8 + scan.valid_bytes, ec);
+    fs::resize_file(path, 8 + scan.valid_bytes, ec);
     if (ec) {
       return Status::Internal("matrix store: cannot truncate torn journal " +
-                              JournalPath());
+                              path);
     }
-    recovery.tail_truncated = true;
-    recovery.dropped_records = 1;  // a tear is one half-flushed record
-    recovery.dropped_bytes = data.size() - (8 + scan.valid_bytes);
+    const uint64_t dropped = data.size() - (8 + scan.valid_bytes);
+    recovery->tail_truncated = true;
+    recovery->dropped_records += 1;  // a tear is one half-flushed record
+    recovery->dropped_bytes += dropped;
     JournalTornTailRecoveries().Increment();
+    JournalDroppedRecords().Increment();
+    JournalDroppedBytes().Increment(dropped);
   }
-  recovery.records.reserve(scan.records.size());
+  recovery->records.reserve(recovery->records.size() + scan.records.size());
   for (const std::string& payload : scan.records) {
     DPE_ASSIGN_OR_RETURN(JournalRecord record, DecodeJournalRecord(payload));
-    recovery.records.push_back(std::move(record));
+    recovery->records.push_back(std::move(record));
   }
+  return Status::OK();
+}
+
+Result<JournalRecovery> MatrixStore::ReadJournalImpl(
+    bool recover_torn_tail) const {
+  JournalRecovery recovery;
+  if (journal_gen_ > gen_) {
+    // A compaction is (or was) in flight: the frozen gen journal replays
+    // first, then the active gen+1 journal on top — append order.
+    DPE_RETURN_NOT_OK(ReadJournalFile(JournalPathForGen(gen_),
+                                      recover_torn_tail, &recovery));
+  }
+  DPE_RETURN_NOT_OK(ReadJournalFile(JournalPathForGen(journal_gen_),
+                                    recover_torn_tail, &recovery));
   return recovery;
 }
 
@@ -347,13 +735,283 @@ Result<JournalRecovery> MatrixStore::RecoverJournal() {
 }
 
 Status MatrixStore::TruncateJournal() {
-  std::error_code ec;
-  fs::remove(JournalPath(), ec);
-  if (ec) {
-    return Status::Internal("matrix store: cannot remove journal " +
-                            JournalPath());
+  for (uint64_t g : {gen_, gen_ + 1}) {
+    std::error_code ec;
+    fs::remove(JournalPathForGen(g), ec);
+    if (ec) {
+      return Status::Internal("matrix store: cannot remove journal " +
+                              JournalPathForGen(g));
+    }
   }
+  journal_gen_ = gen_;
+  ++mutation_epoch_;  // any in-flight fold of those records is now stale
   return Status::OK();
+}
+
+uint64_t MatrixStore::JournalBytes() const {
+  uint64_t total = 0;
+  for (uint64_t g = gen_; g <= journal_gen_; ++g) {
+    std::error_code ec;
+    uintmax_t size = fs::file_size(JournalPathForGen(g), ec);
+    if (!ec) total += size;
+  }
+  return total;
+}
+
+// -- Online compaction ---------------------------------------------------------
+
+Result<CompactionPlan> MatrixStore::BeginCompaction() {
+  CompactionPlan plan;
+  plan.from_gen = gen_;
+  plan.to_gen = gen_ + 1;
+  plan.epoch = mutation_epoch_;
+  std::error_code ec;
+  const uintmax_t frozen_bytes = fs::file_size(JournalPathForGen(gen_), ec);
+  if (ec || frozen_bytes <= 8) {  // absent or prologue-only: nothing to fold
+    return plan;
+  }
+  plan.has_work = true;
+  plan.journal_cut_bytes = frozen_bytes;
+  // Rotate: from here on appends go to the gen+1 journal, freezing the gen
+  // journal for the fold. Pure in-memory state — a crash right after this
+  // loses nothing (recovery replays both journals over snapshot.<gen>).
+  // Idempotent when a crashed compaction already rotated us.
+  journal_gen_ = gen_ + 1;
+  common::FaultInjector::Global().Fire("store.compaction.rotate");
+  return plan;
+}
+
+Result<Snapshot> MatrixStore::FoldFrozen(const CompactionPlan& plan) const {
+  Snapshot folded;
+  Result<FramedFile> file =
+      ReadFramedFileVersions(SnapshotPathForGen(plan.from_gen), kSnapshotMagic,
+                             kSnapshotFormatVersion);
+  if (file.ok()) {
+    if (file->version >= kSnapshotFormatVersion) {
+      DPE_ASSIGN_OR_RETURN(folded, DecodeSnapshotPayloadV2(file->payload));
+    } else {
+      DPE_ASSIGN_OR_RETURN(folded, DecodeSnapshotPayloadV1(file->payload));
+    }
+  } else if (file.status().code() != StatusCode::kNotFound) {
+    return file.status();
+  }
+
+  // The frozen journal is read tolerantly and WITHOUT mutating the file —
+  // this runs off-lock while appends continue elsewhere. A torn tail is
+  // dropped silently: those bytes belong to an append that never
+  // acknowledged, and the fold's output supersedes the frozen file anyway.
+  std::vector<JournalRecord> records;
+  {
+    std::ifstream in(JournalPathForGen(plan.from_gen), std::ios::binary);
+    if (in) {
+      std::string data((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+      in.close();
+      JournalBytesRead().Increment(data.size());
+      if (data.size() >= 8) {
+        Reader header(data);
+        DPE_ASSIGN_OR_RETURN(uint32_t magic, header.ReadU32());
+        if (magic != kJournalMagic) {
+          return Corrupt("bad journal magic in " +
+                         JournalPathForGen(plan.from_gen));
+        }
+        DPE_ASSIGN_OR_RETURN(uint32_t version, header.ReadU32());
+        if (version != kFormatVersion) {
+          return Corrupt("unsupported journal version " +
+                         std::to_string(version));
+        }
+        DPE_ASSIGN_OR_RETURN(RecordScan scan,
+                             ScanRecords(std::string_view(data).substr(8)));
+        records.reserve(scan.records.size());
+        for (const std::string& payload : scan.records) {
+          DPE_ASSIGN_OR_RETURN(JournalRecord record,
+                               DecodeJournalRecord(payload));
+          records.push_back(std::move(record));
+        }
+      }
+    }
+  }
+
+  for (const JournalRecord& record : records) {
+    switch (record.kind) {
+      case JournalRecord::Kind::kQueryAppended:
+        if (record.index < folded.queries.size()) break;  // replayed duplicate
+        if (record.index > folded.queries.size()) {
+          return Corrupt("journal query index " +
+                         std::to_string(record.index) + " leaves a gap over " +
+                         std::to_string(folded.queries.size()) +
+                         " snapshot queries");
+        }
+        folded.queries.push_back(record.sql);
+        break;
+      case JournalRecord::Kind::kRowComputed:
+        for (const auto& [col, d] : record.cols) {
+          folded.entries.push_back(CacheEntry{record.measure, col, record.row,
+                                              d});
+        }
+        break;
+    }
+  }
+
+  // Deduplicate cells keeping the LAST occurrence: journal rows are warmer
+  // than snapshot entries, and restoring the deduped list in order
+  // reproduces the cache's LRU recency (snapshot ordering invariant).
+  std::set<std::tuple<std::string, uint32_t, uint32_t>> seen;
+  std::vector<CacheEntry> deduped;
+  deduped.reserve(folded.entries.size());
+  for (auto it = folded.entries.rbegin(); it != folded.entries.rend(); ++it) {
+    auto key = std::make_tuple(it->measure, std::min(it->i, it->j),
+                               std::max(it->i, it->j));
+    if (!seen.insert(std::move(key)).second) continue;
+    deduped.push_back(*it);
+  }
+  std::reverse(deduped.begin(), deduped.end());
+  folded.entries = std::move(deduped);
+  return folded;
+}
+
+Result<bool> MatrixStore::PublishCompaction(const CompactionPlan& plan,
+                                            const Snapshot& folded) {
+  if (!plan.has_work) return false;
+  if (plan.epoch != mutation_epoch_) {
+    // A full checkpoint (or truncation) superseded this fold while it ran.
+    // Its state already covers everything the fold covered — drop it.
+    return false;
+  }
+  auto& faults = common::FaultInjector::Global();
+  faults.Fire("store.compaction.before_snapshot");
+  DPE_RETURN_NOT_OK(WriteSnapshotToPath(SnapshotPathForGen(plan.to_gen),
+                                        folded));
+  faults.Fire("store.compaction.after_snapshot");
+  CompactionManifest manifest;
+  manifest.generation = plan.to_gen;
+  manifest.journal_cut_offset = plan.journal_cut_bytes;
+  DPE_RETURN_NOT_OK(WriteManifest(manifest));
+  // The manifest rename is the commit point: before it, recovery resolves
+  // to from_gen (both journals replay); after it, to to_gen (the frozen
+  // journal's records live in snapshot.<to_gen>).
+  faults.Fire("store.compaction.after_manifest");
+  gen_ = plan.to_gen;
+  manifest_ok_ = true;
+  faults.Fire("store.compaction.before_cleanup");
+  SweepOldGenerations(gen_);
+  CompactionPublishes().Increment();
+  return true;
+}
+
+// -- Scrub ---------------------------------------------------------------------
+
+Result<ScrubReport> MatrixStore::Scrub() {
+  ScrubReport report;
+  ScrubRuns().Increment();
+
+  if (!manifest_ok_) {
+    // gen_ was already re-resolved from the highest readable snapshot at
+    // open; persisting it makes the repair durable.
+    CompactionManifest manifest;
+    manifest.generation = gen_;
+    DPE_RETURN_NOT_OK(WriteManifest(manifest));
+    manifest_ok_ = true;
+    report.manifest_rebuilt = true;
+    ScrubRewrites().Increment();
+  }
+
+  Result<SalvagedFrame> frame = ReadFramedFileSalvage(
+      SnapshotPath(), kSnapshotMagic, kSnapshotFormatVersion);
+  if (frame.ok()) {
+    if (frame->version >= kSnapshotFormatVersion) {
+      SnapshotSalvageResult salvage = SalvageSnapshotPayloadV2(frame->payload);
+      report.snapshot_chunks_checked = salvage.chunks_checked;
+      if (!salvage.core_ok) {
+        // The query log is source data — it cannot be recomputed, so a
+        // damaged core is not salvageable. Leave the file alone; strict
+        // loads keep failing typed (never a wrong matrix).
+        report.snapshot_unreadable = true;
+      } else {
+        report.snapshot_chunks_quarantined = salvage.chunks_quarantined;
+        report.cells_quarantined = salvage.cells_quarantined;
+        if (!frame->crc_ok || salvage.chunks_quarantined > 0 ||
+            salvage.cells_quarantined > 0) {
+          DPE_RETURN_NOT_OK(WriteSnapshotToPath(SnapshotPath(),
+                                                salvage.snapshot));
+          report.snapshot_rewritten = true;
+          ScrubCellsQuarantined().Increment(salvage.cells_quarantined);
+          ScrubRewrites().Increment();
+        }
+      }
+    } else if (!frame->crc_ok ||
+               !DecodeSnapshotPayloadV1(frame->payload).ok()) {
+      // v1 monolithic snapshots have no section checksums to localize the
+      // damage; a corrupt one is all-or-nothing.
+      report.snapshot_unreadable = true;
+    }
+  } else if (frame.status().code() != StatusCode::kNotFound) {
+    report.snapshot_unreadable = true;  // structural frame damage
+  }
+
+  for (uint64_t g = gen_; g <= journal_gen_; ++g) {
+    const std::string path = JournalPathForGen(g);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    JournalBytesRead().Increment(data.size());
+    bool prologue_ok = data.size() >= 8;
+    if (prologue_ok) {
+      Reader header(data);
+      Result<uint32_t> magic = header.ReadU32();
+      Result<uint32_t> version = header.ReadU32();
+      prologue_ok = magic.ok() && *magic == kJournalMagic && version.ok() &&
+                    *version == kFormatVersion;
+    }
+    if (!prologue_ok) {
+      // With a corrupt prologue the record framing cannot be trusted at
+      // all; the whole file is quarantined. Its records were deltas on top
+      // of the snapshot — losing them degrades, replaying garbage corrupts.
+      std::error_code ec;
+      fs::remove(path, ec);
+      report.journal_rewritten = true;
+      report.journal_bytes_quarantined += data.size();
+      ScrubRewrites().Increment();
+      continue;
+    }
+    SalvageScan scan = ScanRecordsSalvage(std::string_view(data).substr(8));
+    std::vector<std::string> keep;
+    keep.reserve(scan.records.size());
+    uint64_t quarantined_records = scan.quarantined_records;
+    uint64_t quarantined_bytes = scan.quarantined_bytes + scan.torn_bytes;
+    for (std::string& payload : scan.records) {
+      // CRC-passing payloads still pass the decode gate: a flip that lands
+      // in both the payload and its checksum consistently is astronomically
+      // unlikely, but a malformed record must never be rewritten as "good".
+      if (DecodeJournalRecord(payload).ok()) {
+        keep.push_back(std::move(payload));
+      } else {
+        quarantined_records += 1;
+        quarantined_bytes += payload.size() + 8;
+      }
+    }
+    report.journal_records_checked += keep.size() + quarantined_records;
+    if (quarantined_records == 0 && !scan.torn_tail) continue;  // clean file
+    Writer prologue;
+    prologue.PutU32(kJournalMagic);
+    prologue.PutU32(kFormatVersion);
+    std::string rewritten = prologue.TakeBuffer();
+    for (const std::string& payload : keep) AppendRecord(payload, &rewritten);
+    DPE_RETURN_NOT_OK(WriteFileAtomic(path, rewritten,
+                                      fsync_policy_ != FsyncPolicy::kNever));
+    report.journal_rewritten = true;
+    report.journal_records_quarantined += quarantined_records;
+    report.journal_bytes_quarantined += quarantined_bytes;
+    ScrubJournalRecordsQuarantined().Increment(quarantined_records);
+    ScrubRewrites().Increment();
+  }
+
+  if (report.cells_quarantined > 0) {
+    ++mutation_epoch_;  // the rewritten snapshot supersedes in-flight folds
+  }
+  return report;
 }
 
 // -- Standalone matrices -----------------------------------------------------

@@ -3,8 +3,15 @@
 //
 //   <dir>/snapshot.dpe       full checkpoint: query log (canonical SQL),
 //                            memoized cache entries, measure metadata
+//                            (generation 0; generation g > 0 is
+//                            snapshot.<g>.dpe)
 //   <dir>/journal.dpe        append-only log of work done *after* the
 //                            snapshot: appended queries and computed rows
+//                            (generation 0; generation g > 0 is
+//                            journal.<g>.dpe)
+//   <dir>/MANIFEST.dpe       tiny CRC'd generation pointer ("DPEC" frame):
+//                            which snapshot generation is current. Absent =
+//                            generation 0, the legacy layout above.
 //   <dir>/matrix-<name>.dpe  standalone finished-matrix snapshots
 //   <dir>/shard-<name>-<i>of<k>.dpe
 //                            one shard of a sharded matrix build: a
@@ -21,6 +28,13 @@
 // replay journal records in order. Every read path returns common::Status
 // on corruption (bad magic, bad checksum, truncated tail) instead of
 // crashing; see store/codec.h for the byte-level format.
+//
+// Online compaction folds a long journal into the next snapshot generation
+// without pausing appends (BeginCompaction / FoldFrozen / PublishCompaction
+// — see those methods for the crash-safety argument), and Scrub() repairs
+// localized corruption by quarantining damaged extents instead of failing
+// the load (the engine recomputes quarantined cells through the normal
+// build path).
 
 #ifndef DPE_STORE_MATRIX_STORE_H_
 #define DPE_STORE_MATRIX_STORE_H_
@@ -45,6 +59,12 @@ struct Snapshot {
   /// Memoized distances, coldest-first, so restoring in order reproduces
   /// the cache's LRU recency as well as its contents.
   std::vector<CacheEntry> entries;
+  /// Measure names the snapshot covered, from the core's SnapshotMeta on
+  /// read (write paths derive it from `entries`). The core survives chunk
+  /// quarantine, so after a scrub this still names the measures whose
+  /// cells were lost — what the engine's recompute pass needs when the
+  /// quarantine took every entry of a measure with it.
+  std::vector<std::string> measures;
 };
 
 /// One replayable journal record.
@@ -73,7 +93,8 @@ struct JournalRecord {
 struct JournalRecovery {
   std::vector<JournalRecord> records;  ///< intact records, in append order
   bool tail_truncated = false;  ///< a torn tail was dropped + trimmed
-  uint64_t dropped_records = 0; ///< partial records lost to the tear (0 or 1)
+  uint64_t dropped_records = 0; ///< partial records lost to tears (one per
+                                ///< torn journal file)
   uint64_t dropped_bytes = 0;   ///< bytes truncated off the journal file
 };
 
@@ -92,6 +113,33 @@ struct ShardFile {
 /// [tile_begin, tile_end) of the (n, block) schedule, with out-of-schedule
 /// tails clamped (the merge validator — not the codec — rejects those).
 Result<uint64_t> ShardCellCount(const ShardManifest& manifest);
+
+/// One in-flight compaction, captured at BeginCompaction. Everything the
+/// fold and publish steps need travels here by value, so the fold can run
+/// off-lock without reading mutable store state.
+struct CompactionPlan {
+  bool has_work = false;          ///< false: frozen journal empty, nothing to do
+  uint64_t from_gen = 0;          ///< generation being folded
+  uint64_t to_gen = 0;            ///< generation being published (from + 1)
+  uint64_t journal_cut_bytes = 0; ///< frozen-journal size at rotation
+  uint64_t epoch = 0;             ///< mutation epoch at rotation (abort guard)
+};
+
+/// What Scrub() found and repaired. Counts cover the current generation's
+/// snapshot plus both journal generations (frozen + active).
+struct ScrubReport {
+  bool manifest_rebuilt = false;    ///< corrupt MANIFEST replaced
+  bool snapshot_rewritten = false;  ///< damaged chunks quarantined + rewritten
+  bool snapshot_unreadable = false; ///< structural/core damage: left as-is,
+                                    ///< strict loads keep failing typed
+  uint64_t snapshot_chunks_checked = 0;
+  uint64_t snapshot_chunks_quarantined = 0;
+  uint64_t cells_quarantined = 0;   ///< cache entries lost to quarantine
+  bool journal_rewritten = false;   ///< damaged records quarantined + rewritten
+  uint64_t journal_records_checked = 0;
+  uint64_t journal_records_quarantined = 0;
+  uint64_t journal_bytes_quarantined = 0;
+};
 
 /// Threading contract: MatrixStore holds no mutex of its own. An instance
 /// is single-owner state — the engine serializes every attach/detach and
@@ -112,6 +160,21 @@ class MatrixStore {
   static Result<MatrixStore> OpenExisting(const std::string& dir);
 
   const std::string& dir() const { return dir_; }
+
+  /// Current snapshot generation (0 = legacy unnumbered layout) and the
+  /// generation the active journal belongs to (gen + 1 while a compaction
+  /// is in flight or was interrupted, gen otherwise).
+  uint64_t generation() const { return gen_; }
+  uint64_t journal_generation() const { return journal_gen_; }
+
+  /// Bumped by every operation that supersedes in-flight compaction state
+  /// (WriteSnapshot, TruncateJournal). PublishCompaction aborts when the
+  /// epoch moved since its plan was made.
+  uint64_t mutation_epoch() const { return mutation_epoch_; }
+
+  /// Total on-disk journal bytes (frozen + active generations) — the
+  /// engine's compaction trigger reads this after appends.
+  uint64_t JournalBytes() const;
 
   /// Durability-vs-latency knob for every write this store performs; see
   /// store::FsyncPolicy (codec.h). Defaults to kOnCheckpoint — the
@@ -149,6 +212,63 @@ class MatrixStore {
   Result<JournalRecovery> RecoverJournal();
   /// Drops every journal record (after a fresh snapshot subsumed them).
   Status TruncateJournal();
+
+  // -- Online compaction -------------------------------------------------------
+  //
+  // Folds the frozen journal into the next snapshot generation while
+  // appends continue. The caller (Engine) serializes BeginCompaction /
+  // PublishCompaction / appends behind its store mutex and runs FoldFrozen
+  // off-lock. Crash-safety: every step is an atomic framed write
+  // (tmp + fsync + rename) or an in-memory rotation, and recovery resolves
+  // generations from the MANIFEST — so a kill at any byte of any step
+  // recovers to either the old or the new generation, never a mix:
+  //
+  //   after rotation only      -> MANIFEST still says g; both journal.<g>
+  //                               and journal.<g+1> replay over snapshot.<g>
+  //   mid snapshot.<g+1> write -> torn tmp never renamed; as above
+  //   snapshot.<g+1> written,  -> MANIFEST still says g; the orphan
+  //   MANIFEST not             .  snapshot.<g+1> is atomically overwritten
+  //                               by the next publish
+  //   MANIFEST written,        -> recovery is at g+1 (journal.<g> records
+  //   cleanup not              .  are already folded in); stale gen-g files
+  //                               are ignored and swept by the next publish
+  //
+  // Fault points (common/fault.h) fire between the steps:
+  // store.compaction.{rotate,before_snapshot,after_snapshot,after_manifest,
+  // before_cleanup}, plus store.frame.mid_write inside each framed write.
+
+  /// Rotates the journal: future appends go to generation gen+1, freezing
+  /// the gen-g journal for folding. `has_work` is false when the frozen
+  /// journal is absent/empty. Idempotent across a crashed prior compaction
+  /// (an existing gen+1 journal is simply kept as the active one).
+  Result<CompactionPlan> BeginCompaction();
+
+  /// Reads snapshot.<from_gen> plus the frozen journal and merges them into
+  /// the folded snapshot. Touches only plan fields and immutable state, so
+  /// it is safe to run concurrently with appends (which go to to_gen's
+  /// journal). A torn frozen-journal tail is dropped (its records were
+  /// never acknowledged); mid-stream corruption is a ParseError — run
+  /// Scrub() first.
+  Result<Snapshot> FoldFrozen(const CompactionPlan& plan) const;
+
+  /// Publishes the folded snapshot: writes snapshot.<to_gen>, lands the
+  /// MANIFEST, then removes every older generation's files. Returns false
+  /// (benign abort, nothing written) when the mutation epoch moved since
+  /// the plan — a full SaveCheckpoint superseded this compaction.
+  Result<bool> PublishCompaction(const CompactionPlan& plan,
+                                 const Snapshot& folded);
+
+  // -- Scrub -------------------------------------------------------------------
+
+  /// Verifies every snapshot chunk and journal record of the current
+  /// generation, quarantines damaged extents, and rewrites the damaged
+  /// files without them (atomic tmp + rename), so a following strict load
+  /// succeeds with the surviving state. A corrupt MANIFEST is rebuilt from
+  /// the highest readable snapshot generation. Core snapshot damage (the
+  /// query log) and v1 monolithic snapshots cannot be partially salvaged:
+  /// they are left untouched (`snapshot_unreadable`) and strict loads keep
+  /// failing typed — never a wrong matrix.
+  Result<ScrubReport> Scrub();
 
   // -- Standalone matrices ---------------------------------------------------
 
@@ -195,15 +315,33 @@ class MatrixStore {
  private:
   explicit MatrixStore(std::string dir) : dir_(std::move(dir)) {}
 
-  std::string SnapshotPath() const;
-  std::string JournalPath() const;
+  std::string SnapshotPath() const;  ///< current generation's snapshot
+  std::string JournalPath() const;   ///< active generation's journal
+  std::string SnapshotPathForGen(uint64_t gen) const;
+  std::string JournalPathForGen(uint64_t gen) const;
+  std::string ManifestPath() const;
   std::string MatrixPath(const std::string& name) const;
   std::string ShardPath(const std::string& matrix, uint32_t shard_index,
                         uint32_t shard_count) const;
   Result<JournalRecovery> ReadJournalImpl(bool recover_torn_tail) const;
+  /// One journal file's crash-tolerant read, accumulated into `recovery`.
+  Status ReadJournalFile(const std::string& path, bool recover_torn_tail,
+                         JournalRecovery* recovery) const;
+  /// Reads MANIFEST (or scans for the highest readable snapshot when the
+  /// manifest is corrupt) and sets gen_ / journal_gen_. Called on open.
+  void ResolveGenerations();
+  Status WriteSnapshotToPath(const std::string& path,
+                             const Snapshot& snapshot) const;
+  Status WriteManifest(const CompactionManifest& manifest) const;
+  /// Removes snapshot/journal files of every generation < keep_gen.
+  void SweepOldGenerations(uint64_t keep_gen) const;
 
   std::string dir_;
   FsyncPolicy fsync_policy_ = FsyncPolicy::kOnCheckpoint;
+  uint64_t gen_ = 0;          ///< current snapshot generation
+  uint64_t journal_gen_ = 0;  ///< active journal generation (gen_ or gen_+1)
+  uint64_t mutation_epoch_ = 0;
+  bool manifest_ok_ = true;   ///< false: MANIFEST was corrupt at open
 };
 
 }  // namespace dpe::store

@@ -129,6 +129,51 @@ TEST_F(DriverTest, SnapshotShowsHolderIdentityAndRenewals) {
   EXPECT_FALSE((*table)[2].held);
 }
 
+TEST_F(DriverTest, ReportProgressPublishesCellsThroughRenew) {
+  auto a = OpenBoard(2, 60000, "host-a");
+  ASSERT_TRUE(*a->TryAcquire(0));
+
+  // Progress lands on the held record; the next renew's rewrite carries it
+  // into the lease line, where any board's snapshot can read it back.
+  a->ReportProgress(0, 123);
+  ASSERT_TRUE(a->Renew(0).ok());
+
+  auto b = OpenBoard(2, 60000, "host-b");
+  auto table = b->Snapshot();
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)[0].cells, 123u);
+  EXPECT_EQ((*table)[1].cells, 0u);
+
+  // Progress on an unheld shard is informational noise: dropped, no error.
+  a->ReportProgress(1, 999);
+  auto after = a->Snapshot();
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE((*after)[1].held);
+}
+
+TEST_F(DriverTest, HeartbeatForwardsLiveProgressIntoTheLeaseLine) {
+  auto holder = OpenBoard(1, 60000, "host-a");
+  auto observer = OpenBoard(1, 60000, "host-b");
+  ASSERT_TRUE(*holder->TryAcquire(0));
+
+  std::atomic<uint64_t> progress{0};
+  {
+    LeaseHeartbeat heartbeat(holder.get(), 0, /*interval_ms=*/30, &progress);
+    progress.store(4096, std::memory_order_relaxed);
+    // Wait until a beat after the store has published the count.
+    uint64_t seen = 0;
+    for (int i = 0; i < 400; ++i) {
+      auto table = observer->Snapshot();
+      ASSERT_TRUE(table.ok());
+      seen = (*table)[0].cells;
+      if (seen == 4096u) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(seen, 4096u)
+        << "the heartbeat must publish the builder's progress";
+  }
+}
+
 TEST_F(DriverTest, RenewRequiresHoldingTheLease) {
   auto a = OpenBoard(1, 60000, "host-a");
   EXPECT_EQ(a->Renew(0).code(), StatusCode::kInvalidArgument);
@@ -538,6 +583,8 @@ TEST_F(DriverTest, StatsExposesTheLeaseTableWhileADriveIsActive) {
   EXPECT_NE(json.find("\"leases\""), std::string::npos);
   EXPECT_NE(json.find("host-external"), std::string::npos);
   EXPECT_NE(json.find("\"renewals\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos)
+      << "the lease table must carry per-worker progress";
 
   // Play the worker: export shard 0 and release — the drive completes.
   Engine worker(s.Context(), eopts);

@@ -67,6 +67,21 @@ TEST(DpeLintTest, LayerBackEdgeIsReported) {
             "\"common/status.h\" (allowed: self)\n");
 }
 
+TEST(DpeLintTest, LaunderedTransitiveBackEdgeIsReported) {
+  // bad.cc's only direct include is same-layer (clean); the helper header
+  // it pulls in reaches up into engine. The transitive rule must fire at
+  // bad.cc's include line with the laundering chain, and the plain rule
+  // still fires at the helper's own forbidden include.
+  const LintRun run = RunLint(Fixture("transitive_backedge"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.stdout_text,
+            "src/common/bad.cc:3: layer-dag-transitive: layer 'common' "
+            "reaches forbidden header \"engine/engine.h\" through its "
+            "includes (chain: \"common/helper.h\" -> \"engine/engine.h\")\n"
+            "src/common/helper.h:2: layer-dag: layer 'common' must not "
+            "include \"engine/engine.h\" (allowed: self, obs)\n");
+}
+
 TEST(DpeLintTest, CryptoRandomnessIsReported) {
   const LintRun run = RunLint(Fixture("crypto_rand"));
   EXPECT_EQ(run.exit_code, 1);

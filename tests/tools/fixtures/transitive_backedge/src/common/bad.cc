@@ -1,0 +1,3 @@
+// Fixture: the direct include is same-layer (clean), but the helper
+// launders an engine back-edge — only the transitive pass can see it here.
+#include "common/helper.h"

@@ -1,0 +1,2 @@
+// Fixture: the laundering point — a common/ header reaching up into engine.
+#include "engine/engine.h"

@@ -10,6 +10,14 @@
 //                    transitively). One audited exception: obs/ may include
 //                    the header-only common/ headers listed in
 //                    kObsCommonAllowlist (see obs/metrics.h for why).
+//   layer-dag-transitive
+//                    a src/ file whose *direct* includes are all clean may
+//                    still reach a forbidden layer through a chain of
+//                    headers (a back-edge laundered through a same-layer
+//                    helper). The include graph of src/ is walked
+//                    breadth-first from every direct include; the first
+//                    forbidden header reached is reported at the direct
+//                    include's line, with the chain that gets there.
 //   test-include     src/ must never include anything under tests/.
 //   include-hygiene  every quoted #include must be repo-root-relative
 //                    ("layer/file.h"), never a bare or relative path.
@@ -200,6 +208,30 @@ struct Violation {
   }
 };
 
+/// One quoted #include whose target names a known src layer — an edge of
+/// the src/ include graph, collected during the per-file scan and walked
+/// afterwards for laundered (transitive) layer back-edges.
+struct IncludeEdge {
+  std::string target;  // repo-root-relative include path, "layer/file.h"
+  int line = 0;
+};
+
+/// True when `layer` may *directly* include `target`. Non-layer roots are
+/// not this rule's business (include-hygiene owns them); the obs -> common
+/// edge is allowed only for the audited allowlist files.
+bool DirectEdgeAllowed(const std::string& layer, const std::string& target) {
+  const size_t slash = target.find('/');
+  const std::string root =
+      slash == std::string::npos ? "" : target.substr(0, slash);
+  if (LayerDeps().count(root) == 0) return true;
+  if (root == layer) return true;
+  if (layer == "obs" && root == "common") {
+    return std::find(kObsCommonAllowlist.begin(), kObsCommonAllowlist.end(),
+                     target) != kObsCommonAllowlist.end();
+  }
+  return LayerDeps().at(layer).count(root) > 0;
+}
+
 struct WordRule {
   std::string_view word;
   bool must_be_call;  // require a following '(' (calls, not mentions)
@@ -245,7 +277,8 @@ struct FileContext {
 // bodies, include paths among them). The directive itself is detected on
 // the stripped line so a commented-out #include is not reported.
 void CheckLine(const FileContext& ctx, int line_no, const std::string& line,
-               const std::string& raw, std::vector<Violation>* out) {
+               const std::string& raw, std::vector<Violation>* out,
+               std::vector<IncludeEdge>* edges) {
   // --- include rules -------------------------------------------------------
   size_t h = line.find('#');
   if (h != std::string::npos) {
@@ -264,6 +297,9 @@ void CheckLine(const FileContext& ctx, int line_no, const std::string& line,
           const bool known_extra =
               std::find(kExtraRoots.begin(), kExtraRoots.end(), root) !=
               kExtraRoots.end();
+          if (edges != nullptr && known_layer) {
+            edges->push_back({target, line_no});
+          }
           if (!known_layer && !known_extra) {
             out->push_back(
                 {ctx.rel, line_no, "include-hygiene",
@@ -350,7 +386,7 @@ void CheckLine(const FileContext& ctx, int line_no, const std::string& line,
 }
 
 bool LintFile(const fs::path& abs, const FileContext& ctx,
-              std::vector<Violation>* out) {
+              std::vector<Violation>* out, std::vector<IncludeEdge>* edges) {
   std::ifstream in(abs, std::ios::binary);
   if (!in) {
     std::cerr << "dpe_lint: cannot read " << abs.string() << "\n";
@@ -370,9 +406,67 @@ bool LintFile(const fs::path& abs, const FileContext& ctx,
   while (std::getline(lines, line)) {
     ++line_no;
     if (!std::getline(raw_lines, raw)) raw.clear();
-    CheckLine(ctx, line_no, line, raw, out);
+    CheckLine(ctx, line_no, line, raw, out, edges);
   }
   return true;
+}
+
+/// A src/ file's node in the include graph. Headers are keyed by their
+/// include form ("layer/file.h" for src/layer/file.h) so an edge's target
+/// string is directly the next node's key; .cc files appear only as BFS
+/// origins (nothing includes them).
+struct SrcNode {
+  std::string rel;    // repo-root-relative path (for the diagnostic)
+  std::string layer;  // owning src layer
+  std::vector<IncludeEdge> includes;
+};
+
+/// The transitive pass: from every clean direct include of every src file,
+/// walk the include graph breadth-first and report the first header whose
+/// layer the file's layer must not depend on. A direct violation is NOT
+/// re-reported here (layer-dag already fired on that line); this rule
+/// exists for the laundered case — the forbidden edge hides behind a
+/// same-layer (or allowed-layer) helper header, so every *direct* include
+/// of the offending file looks clean.
+void CheckTransitiveIncludes(const std::map<std::string, SrcNode>& graph,
+                             std::vector<Violation>* out) {
+  for (const auto& [node_key, node] : graph) {
+    if (node.layer.empty()) continue;
+    for (const IncludeEdge& direct : node.includes) {
+      if (!DirectEdgeAllowed(node.layer, direct.target)) continue;
+      // BFS: shortest laundering chain wins, and each node is visited once
+      // so header diamonds do not blow up the walk.
+      std::vector<std::string> queue{direct.target};
+      std::set<std::string> visited{direct.target};
+      std::map<std::string, std::string> parent;
+      bool reported = false;
+      for (size_t head = 0; head < queue.size() && !reported; ++head) {
+        const std::string at = queue[head];
+        if (!DirectEdgeAllowed(node.layer, at)) {
+          std::string chain = "\"" + at + "\"";
+          for (auto it = parent.find(at); it != parent.end();
+               it = parent.find(it->second)) {
+            chain = "\"" + it->second + "\" -> " + chain;
+          }
+          out->push_back({node.rel, direct.line, "layer-dag-transitive",
+                          "layer '" + node.layer +
+                              "' reaches forbidden header \"" + at +
+                              "\" through its includes (chain: " + chain +
+                              ")"});
+          reported = true;
+          break;
+        }
+        const auto next = graph.find(at);
+        if (next == graph.end()) continue;  // header outside src/ — no edges
+        for (const IncludeEdge& edge : next->second.includes) {
+          if (visited.insert(edge.target).second) {
+            parent[edge.target] = at;
+            queue.push_back(edge.target);
+          }
+        }
+      }
+    }
+  }
 }
 
 FileContext MakeContext(const std::string& rel) {
@@ -407,6 +501,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Violation> violations;
+  std::map<std::string, SrcNode> graph;  // src/ include graph, by node key
   bool io_ok = true;
   for (const std::string_view top :
        {std::string_view("src"), std::string_view("tests"),
@@ -426,7 +521,17 @@ int main(int argc, char** argv) {
       const std::string rel =
           fs::relative(it->path(), root, ec).generic_string();
       if (ec) continue;
-      io_ok &= LintFile(it->path(), MakeContext(rel), &violations);
+      const FileContext ctx = MakeContext(rel);
+      std::vector<IncludeEdge> edges;
+      io_ok &= LintFile(it->path(), ctx, &violations,
+                        ctx.in_src ? &edges : nullptr);
+      if (ctx.in_src) {
+        // Node key = the path an #include would use ("layer/file.h").
+        SrcNode& node = graph[rel.substr(4)];
+        node.rel = rel;
+        node.layer = ctx.src_layer;
+        node.includes = std::move(edges);
+      }
     }
     if (ec) {
       std::cerr << "dpe_lint: walking " << dir.string() << ": "
@@ -434,6 +539,8 @@ int main(int argc, char** argv) {
       io_ok = false;
     }
   }
+
+  CheckTransitiveIncludes(graph, &violations);
 
   std::sort(violations.begin(), violations.end());
   for (const auto& v : violations) {
